@@ -1,0 +1,265 @@
+//! Finite-difference gradient verification.
+//!
+//! Every op on the tape is validated against central differences in this
+//! module's tests; [`grad_check`] is public so downstream crates (the GCN
+//! model) can verify their composed programs too.
+
+use crate::tape::{Tape, Var};
+use galign_matrix::Dense;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute deviation between analytic and numeric gradients.
+    pub max_abs_err: f64,
+    /// Largest relative deviation (guarded against tiny denominators).
+    pub max_rel_err: f64,
+}
+
+impl GradCheckReport {
+    /// True when both deviations are below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Verifies the analytic gradient of a scalar-valued tape program against
+/// central finite differences.
+///
+/// `build` receives a fresh tape plus the current parameter values and must
+/// return the scalar head node. It is invoked `2 · Σ numel(params) + 1`
+/// times, so keep the program small.
+pub fn grad_check(
+    params: &[Dense],
+    build: impl Fn(&mut Tape, &[Dense]) -> (Var, Vec<Var>),
+    h: f64,
+) -> GradCheckReport {
+    // Analytic gradients.
+    let mut tape = Tape::new();
+    let (head, leaves) = build(&mut tape, params);
+    tape.backward(head);
+    let analytic: Vec<Dense> = leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            tape.grad(v)
+                .cloned()
+                .unwrap_or_else(|| Dense::zeros(params[i].rows(), params[i].cols()))
+        })
+        .collect();
+
+    let eval = |params: &[Dense]| -> f64 {
+        let mut tape = Tape::new();
+        let (head, _) = build(&mut tape, params);
+        tape.value(head).get(0, 0)
+    };
+
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    for (pi, param) in params.iter().enumerate() {
+        for i in 0..param.rows() {
+            for j in 0..param.cols() {
+                let mut plus = params.to_vec();
+                plus[pi].set(i, j, param.get(i, j) + h);
+                let mut minus = params.to_vec();
+                minus[pi].set(i, j, param.get(i, j) - h);
+                let numeric = (eval(&plus) - eval(&minus)) / (2.0 * h);
+                let a = analytic[pi].get(i, j);
+                let abs = (a - numeric).abs();
+                let rel = abs / a.abs().max(numeric.abs()).max(1e-8);
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+            }
+        }
+    }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_matrix::rng::SeededRng;
+    use galign_matrix::Coo;
+
+    fn sum_all(tape: &mut Tape, x: Var) -> Var {
+        let (r, c) = tape.value(x).shape();
+        let l = tape.leaf(Dense::filled(1, r, 1.0), false);
+        let rr = tape.leaf(Dense::filled(c, 1, 1.0), false);
+        let t = tape.matmul(l, x);
+        tape.matmul(t, rr)
+    }
+
+    fn random_sym_sparse(rng: &mut SeededRng, n: usize, p: f64) -> galign_matrix::Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.bernoulli(p) {
+                    let v = rng.uniform(0.1, 1.0);
+                    coo.push(i, j, v).unwrap();
+                    coo.push(j, i, v).unwrap();
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let mut rng = SeededRng::new(1);
+        let a = rng.uniform_matrix(3, 4, -1.0, 1.0);
+        let w = rng.uniform_matrix(4, 2, -1.0, 1.0);
+        let report = grad_check(
+            &[a, w],
+            |tape, params| {
+                let a = tape.leaf(params[0].clone(), true);
+                let w = tape.leaf(params[1].clone(), true);
+                let p = tape.matmul(a, w);
+                let t = tape.tanh(p);
+                (sum_all(tape, t), vec![a, w])
+            },
+            1e-5,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn add_sub_scale_gradcheck() {
+        let mut rng = SeededRng::new(2);
+        let a = rng.uniform_matrix(3, 3, -1.0, 1.0);
+        let b = rng.uniform_matrix(3, 3, -1.0, 1.0);
+        let report = grad_check(
+            &[a, b],
+            |tape, params| {
+                let a = tape.leaf(params[0].clone(), true);
+                let b = tape.leaf(params[1].clone(), true);
+                let s = tape.add(a, b);
+                let d = tape.sub(s, b);
+                let sc = tape.scale(d, 2.5);
+                let t = tape.tanh(sc);
+                (sum_all(tape, t), vec![a, b])
+            },
+            1e-5,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        let mut rng = SeededRng::new(7);
+        // Offset so no element sits exactly at the ReLU kink.
+        let a = rng.uniform_matrix(4, 4, -1.0, 1.0).map(|v| v + 0.013);
+        let report = grad_check(
+            &[a],
+            |tape, params| {
+                let a = tape.leaf(params[0].clone(), true);
+                let r = tape.relu(a);
+                (sum_all(tape, r), vec![a])
+            },
+            1e-6,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn spmm_gradcheck() {
+        let mut rng = SeededRng::new(3);
+        let c = random_sym_sparse(&mut rng, 5, 0.5);
+        let x = rng.uniform_matrix(5, 3, -1.0, 1.0);
+        let report = grad_check(
+            &[x],
+            |tape, params| {
+                let cid = tape.sparse(c.clone());
+                let x = tape.leaf(params[0].clone(), true);
+                let y = tape.spmm(cid, x);
+                let t = tape.tanh(y);
+                (sum_all(tape, t), vec![x])
+            },
+            1e-5,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn consistency_loss_gradcheck() {
+        let mut rng = SeededRng::new(4);
+        let c = random_sym_sparse(&mut rng, 6, 0.4);
+        let h = rng.uniform_matrix(6, 3, -1.0, 1.0);
+        let report = grad_check(
+            &[h],
+            |tape, params| {
+                let cid = tape.sparse(c.clone());
+                let h = tape.leaf(params[0].clone(), true);
+                let j = tape.consistency_loss(h, cid);
+                (j, vec![h])
+            },
+            1e-6,
+        );
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn adaptivity_loss_gradcheck() {
+        let mut rng = SeededRng::new(5);
+        let a = rng.uniform_matrix(6, 4, -1.0, 1.0);
+        // b is offset so no row distance sits exactly at 0 or the threshold.
+        let b = a.map(|v| v + 0.3);
+        let report = grad_check(
+            &[a, b],
+            |tape, params| {
+                let a = tape.leaf(params[0].clone(), true);
+                let b = tape.leaf(params[1].clone(), true);
+                let j = tape.adaptivity_loss(a, b, 10.0);
+                (j, vec![a, b])
+            },
+            1e-6,
+        );
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn gcn_layer_composition_gradcheck() {
+        // A realistic 2-layer GCN program with weight sharing across two
+        // graphs and the combined Eq. 10 loss.
+        let mut rng = SeededRng::new(6);
+        let c1 = random_sym_sparse(&mut rng, 5, 0.5);
+        let c2 = random_sym_sparse(&mut rng, 5, 0.5);
+        let f1 = rng.uniform_matrix(5, 3, 0.0, 1.0);
+        let f2 = rng.uniform_matrix(5, 3, 0.0, 1.0);
+        let w1 = rng.uniform_matrix(3, 4, -0.5, 0.5);
+        let w2 = rng.uniform_matrix(4, 4, -0.5, 0.5);
+        let report = grad_check(
+            &[w1, w2],
+            |tape, params| {
+                let w1 = tape.leaf(params[0].clone(), true);
+                let w2 = tape.leaf(params[1].clone(), true);
+                let mut heads = Vec::new();
+                let mut firsts = Vec::new();
+                for (csr, f) in [(&c1, &f1), (&c2, &f2)] {
+                    let cid = tape.sparse(csr.clone());
+                    let h0 = tape.leaf(f.clone(), false);
+                    let p1 = tape.spmm(cid, h0);
+                    let p1 = tape.matmul(p1, w1);
+                    let h1 = tape.tanh(p1);
+                    let p2 = tape.spmm(cid, h1);
+                    let p2 = tape.matmul(p2, w2);
+                    let h2 = tape.tanh(p2);
+                    let jc1 = tape.consistency_loss(h1, cid);
+                    let jc2 = tape.consistency_loss(h2, cid);
+                    heads.push((jc1, 0.4));
+                    heads.push((jc2, 0.4));
+                    firsts.push(h1);
+                }
+                // Adaptivity between the two graphs' layer-1 embeddings.
+                let ja = tape.adaptivity_loss(firsts[0], firsts[1], 100.0);
+                heads.push((ja, 0.2));
+                let head = tape.weighted_sum(&heads);
+                (head, vec![w1, w2])
+            },
+            1e-6,
+        );
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Tape-based reverse-mode automatic differentiation over dense matrices.
+//!
+//! Replaces the PyTorch autograd + Adam stack the paper trains GAlign with.
+//! The [`tape::Tape`] records a computation graph of matrix ops; calling
+//! [`tape::Tape::backward`] accumulates gradients in reverse topological
+//! order. Two fused ops implement the paper's loss functions with the
+//! memory-frugal formulations of DESIGN.md §4.1:
+//!
+//! * consistency loss `‖C − H Hᵀ‖_F` (Eq. 7) without materialising `H Hᵀ`;
+//! * adaptivity loss `Σ_v σ_<(‖H(v) − H*(v)‖)` (Eq. 9) with its threshold
+//!   mask.
+//!
+//! [`optim::Adam`] implements the Adam optimiser; [`check::grad_check`]
+//! verifies analytic gradients against central finite differences (used
+//! extensively in this crate's tests).
+
+pub mod check;
+pub mod optim;
+pub mod tape;
+
+pub use optim::Adam;
+pub use tape::{Tape, Var};

@@ -1,0 +1,150 @@
+//! The Adam optimiser (Kingma & Ba, 2015) — the gradient optimiser the
+//! paper uses (§VII-A "Reproducibility environment").
+
+use galign_matrix::Dense;
+
+/// Adam state over a fixed set of parameter tensors.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    step: u64,
+    m: Vec<Dense>,
+    v: Vec<Dense>,
+}
+
+impl Adam {
+    /// Creates an optimiser for parameters with the given shapes, using the
+    /// canonical hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f64, shapes: &[(usize, usize)]) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: shapes.iter().map(|&(r, c)| Dense::zeros(r, c)).collect(),
+            v: shapes.iter().map(|&(r, c)| Dense::zeros(r, c)).collect(),
+        }
+    }
+
+    /// Overrides β₁/β₂ (builder style).
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Sets the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one Adam update. `grads[i]` may be `None` when a parameter
+    /// received no gradient this step (it is then left untouched, like
+    /// PyTorch's sparse behaviour).
+    ///
+    /// # Panics
+    /// Panics when the number or shapes of parameters/gradients disagree
+    /// with the construction shapes.
+    pub fn step(&mut self, params: &mut [Dense], grads: &[Option<&Dense>]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for ((param, grad), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            let Some(grad) = grad else { continue };
+            assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
+            let p = param.as_mut_slice();
+            let g = grad.as_slice();
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            for i in 0..p.len() {
+                ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * g[i];
+                vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = ms[i] / bc1;
+                let v_hat = vs[i] / bc2;
+                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimising f(x) = (x - 3)² must converge to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut params = vec![Dense::filled(1, 1, 0.0)];
+        let mut adam = Adam::new(0.1, &[(1, 1)]);
+        for _ in 0..500 {
+            let x = params[0].get(0, 0);
+            let grad = Dense::filled(1, 1, 2.0 * (x - 3.0));
+            adam.step(&mut params, &[Some(&grad)]);
+        }
+        assert!((params[0].get(0, 0) - 3.0).abs() < 1e-3);
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // With bias correction, the very first Adam step has magnitude ≈ lr.
+        let mut params = vec![Dense::filled(1, 1, 0.0)];
+        let mut adam = Adam::new(0.05, &[(1, 1)]);
+        let grad = Dense::filled(1, 1, 123.0);
+        adam.step(&mut params, &[Some(&grad)]);
+        assert!((params[0].get(0, 0).abs() - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn none_gradient_skips_param() {
+        let mut params = vec![Dense::filled(1, 1, 1.0), Dense::filled(1, 1, 1.0)];
+        let mut adam = Adam::new(0.1, &[(1, 1), (1, 1)]);
+        let g = Dense::filled(1, 1, 1.0);
+        adam.step(&mut params, &[Some(&g), None]);
+        assert!(params[0].get(0, 0) < 1.0);
+        assert_eq!(params[1].get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn multi_dim_quadratic_bowl() {
+        // Minimise ‖X - T‖² over a 2x3 matrix.
+        let target = Dense::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 3.0, -1.0]]).unwrap();
+        let mut params = vec![Dense::zeros(2, 3)];
+        let mut adam = Adam::new(0.05, &[(2, 3)]).with_betas(0.9, 0.999);
+        for _ in 0..2000 {
+            let grad = params[0].sub(&target).unwrap().scale(2.0);
+            adam.step(&mut params, &[Some(&grad)]);
+        }
+        assert!(params[0].approx_eq(&target, 1e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn rejects_wrong_param_count() {
+        let mut adam = Adam::new(0.1, &[(1, 1)]);
+        adam.step(&mut [], &[]);
+        let mut p = vec![Dense::zeros(1, 1), Dense::zeros(1, 1)];
+        let mut adam2 = Adam::new(0.1, &[(1, 1)]);
+        adam2.step(&mut p, &[None, None]);
+    }
+}

@@ -1,0 +1,583 @@
+//! The autodiff tape: a linear record of matrix operations whose reverse
+//! traversal accumulates gradients.
+//!
+//! A [`Tape`] is built fresh for every training step: leaves are created
+//! from the current parameter values, the forward computation is recorded,
+//! and [`Tape::backward`] fills in `∂loss/∂leaf` for every leaf marked as
+//! requiring gradients. This build-per-step design (the "define-by-run"
+//! model of PyTorch) keeps op bookkeeping trivial and makes weight sharing
+//! automatic: pushing the *same leaf* into several forward passes
+//! accumulates all their gradient contributions.
+
+use galign_matrix::{Csr, Dense};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Handle to a constant sparse matrix registered on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(usize, usize),
+    /// `sparse × dense`; the transpose of the sparse operand is cached for
+    /// the backward pass.
+    SpMM(usize, usize),
+    Tanh(usize),
+    Relu(usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Scale(usize, f64),
+    /// Weighted sum of scalar (1×1) nodes.
+    WeightedSum(Vec<(usize, f64)>),
+    /// Fused consistency loss `‖C − H Hᵀ‖_F` (Eq. 7); stores
+    /// `(h, sparse, cached_norm_sq_of_c, cached_loss_value)`.
+    ConsistencyLoss {
+        h: usize,
+        c: usize,
+        value: f64,
+    },
+    /// Fused adaptivity loss (Eq. 9): per-row distance with threshold mask.
+    AdaptivityLoss {
+        a: usize,
+        b: usize,
+        threshold: f64,
+        /// Row distances cached from the forward pass.
+        row_dists: Vec<f64>,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Dense,
+    grad: Option<Dense>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A reverse-mode autodiff tape over [`Dense`] matrices.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    sparses: Vec<(Csr, Csr)>, // (matrix, transpose)
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Dense, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Registers a leaf. `requires_grad = true` for trainable parameters,
+    /// `false` for constants (e.g. the attribute matrix `H⁽⁰⁾ = F`).
+    pub fn leaf(&mut self, value: Dense, requires_grad: bool) -> Var {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// Registers a constant sparse matrix (a propagation operator `C`).
+    pub fn sparse(&mut self, c: Csr) -> SparseId {
+        let t = c.transpose();
+        self.sparses.push((c, t));
+        SparseId(self.sparses.len() - 1)
+    }
+
+    /// The registered sparse matrix behind `id`.
+    pub fn sparse_matrix(&self, id: SparseId) -> &Csr {
+        &self.sparses[id.0].0
+    }
+
+    /// Forward value of `v`.
+    pub fn value(&self, v: Var) -> &Dense {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the last `backward` root w.r.t. `v`, if any was
+    /// accumulated.
+    pub fn grad(&self, v: Var) -> Option<&Dense> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Matrix product node.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0]
+            .value
+            .matmul(&self.nodes[b.0].value)
+            .expect("matmul shape mismatch on tape");
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::MatMul(a.0, b.0), rg)
+    }
+
+    /// Sparse × dense product node (`C H`, the GCN propagation).
+    pub fn spmm(&mut self, c: SparseId, b: Var) -> Var {
+        let value = self.sparses[c.0]
+            .0
+            .spmm(&self.nodes[b.0].value)
+            .expect("spmm shape mismatch on tape");
+        let rg = self.rg(b);
+        self.push(value, Op::SpMM(c.0, b.0), rg)
+    }
+
+    /// Elementwise `tanh` node — the paper's activation (§IV-A argues a
+    /// bijective activation is required; ReLU collapses signs).
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f64::tanh);
+        let rg = self.rg(a);
+        self.push(value, Op::Tanh(a.0), rg)
+    }
+
+    /// Elementwise ReLU node. The paper argues ReLU is unsuitable for
+    /// alignment (§IV-A); it exists here so that claim can be tested
+    /// empirically (see the design-ablation experiment).
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(value, Op::Relu(a.0), rg)
+    }
+
+    /// Elementwise sum node.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0]
+            .value
+            .add(&self.nodes[b.0].value)
+            .expect("add shape mismatch on tape");
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Add(a.0, b.0), rg)
+    }
+
+    /// Elementwise difference node.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0]
+            .value
+            .sub(&self.nodes[b.0].value)
+            .expect("sub shape mismatch on tape");
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Sub(a.0, b.0), rg)
+    }
+
+    /// Scalar multiple node.
+    pub fn scale(&mut self, a: Var, alpha: f64) -> Var {
+        let value = self.nodes[a.0].value.scale(alpha);
+        let rg = self.rg(a);
+        self.push(value, Op::Scale(a.0, alpha), rg)
+    }
+
+    /// Weighted sum of scalar (1×1) nodes; the head of combined losses
+    /// such as Eq. 10's `γ J_c + (1−γ) Σ J_a`.
+    ///
+    /// # Panics
+    /// Panics when any term is not 1×1.
+    pub fn weighted_sum(&mut self, terms: &[(Var, f64)]) -> Var {
+        let mut total = 0.0;
+        for &(v, w) in terms {
+            assert_eq!(
+                self.nodes[v.0].value.shape(),
+                (1, 1),
+                "weighted_sum terms must be scalars"
+            );
+            total += w * self.nodes[v.0].value.get(0, 0);
+        }
+        let rg = terms.iter().any(|&(v, _)| self.rg(v));
+        let op = Op::WeightedSum(terms.iter().map(|&(v, w)| (v.0, w)).collect());
+        self.push(Dense::from_vec(1, 1, vec![total]).expect("1x1"), op, rg)
+    }
+
+    /// Fused consistency loss node (Eq. 7): `‖C − H Hᵀ‖_F`, evaluated as
+    /// `sqrt(‖C‖² − 2⟨C, H Hᵀ⟩ + ‖HᵀH‖²)` in `O(ed + nd²)`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch between `h` and `c`.
+    pub fn consistency_loss(&mut self, h: Var, c: SparseId) -> Var {
+        let hval = &self.nodes[h.0].value;
+        let csr = &self.sparses[c.0].0;
+        let cross = csr
+            .weighted_gram_dot(hval)
+            .expect("consistency_loss shape mismatch");
+        let gram = hval.gram();
+        let q = (csr.frobenius_norm_sq() - 2.0 * cross + gram.frobenius_norm_sq()).max(0.0);
+        let value = q.sqrt();
+        let rg = self.rg(h);
+        self.push(
+            Dense::from_vec(1, 1, vec![value]).expect("1x1"),
+            Op::ConsistencyLoss {
+                h: h.0,
+                c: c.0,
+                value,
+            },
+            rg,
+        )
+    }
+
+    /// Fused adaptivity loss node (Eq. 9):
+    /// `Σ_v σ_<(‖a_v − b_v‖₂)` where `σ_<(x) = x·1[x < threshold]`.
+    ///
+    /// # Panics
+    /// Panics when `a` and `b` have different shapes.
+    pub fn adaptivity_loss(&mut self, a: Var, b: Var, threshold: f64) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "adaptivity_loss shape mismatch");
+        let mut row_dists = Vec::with_capacity(av.rows());
+        let mut total = 0.0;
+        for i in 0..av.rows() {
+            let d = galign_matrix::dense::sq_dist(av.row(i), bv.row(i)).sqrt();
+            row_dists.push(d);
+            if d < threshold {
+                total += d;
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(
+            Dense::from_vec(1, 1, vec![total]).expect("1x1"),
+            Op::AdaptivityLoss {
+                a: a.0,
+                b: b.0,
+                threshold,
+                row_dists,
+            },
+            rg,
+        )
+    }
+
+    fn accumulate(&mut self, idx: usize, delta: &Dense) {
+        if !self.nodes[idx].requires_grad {
+            return;
+        }
+        match &mut self.nodes[idx].grad {
+            Some(g) => g.axpy(1.0, delta).expect("gradient shape mismatch"),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Runs reverse-mode accumulation from the scalar node `root`,
+    /// populating leaf gradients. Returns the forward value of `root`.
+    ///
+    /// # Panics
+    /// Panics when `root` is not 1×1.
+    pub fn backward(&mut self, root: Var) -> f64 {
+        assert_eq!(
+            self.nodes[root.0].value.shape(),
+            (1, 1),
+            "backward root must be a scalar node"
+        );
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[root.0].grad = Some(Dense::from_vec(1, 1, vec![1.0]).expect("1x1"));
+
+        for idx in (0..=root.0).rev() {
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            let Some(grad) = self.nodes[idx].grad.take() else {
+                continue;
+            };
+            // Put the gradient back for callers who inspect interior nodes.
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    // d/dA (A B) = G Bᵀ ; d/dB = Aᵀ G.
+                    if self.nodes[a].requires_grad {
+                        let da = grad
+                            .matmul_bt(&self.nodes[b].value)
+                            .expect("backward matmul dA");
+                        self.accumulate(a, &da);
+                    }
+                    if self.nodes[b].requires_grad {
+                        let db = self.nodes[a]
+                            .value
+                            .transpose()
+                            .matmul(&grad)
+                            .expect("backward matmul dB");
+                        self.accumulate(b, &db);
+                    }
+                }
+                Op::SpMM(c, b) => {
+                    if self.nodes[b].requires_grad {
+                        let db = self.sparses[c].1.spmm(&grad).expect("backward spmm dB");
+                        self.accumulate(b, &db);
+                    }
+                }
+                Op::Tanh(a) => {
+                    if self.nodes[a].requires_grad {
+                        // d tanh = 1 − tanh², with tanh cached in the value.
+                        let y = &self.nodes[idx].value;
+                        let da = Dense::from_fn(y.rows(), y.cols(), |i, j| {
+                            let t = y.get(i, j);
+                            grad.get(i, j) * (1.0 - t * t)
+                        });
+                        self.accumulate(a, &da);
+                    }
+                }
+                Op::Relu(a) => {
+                    if self.nodes[a].requires_grad {
+                        let y = &self.nodes[idx].value;
+                        let da = Dense::from_fn(y.rows(), y.cols(), |i, j| {
+                            if y.get(i, j) > 0.0 {
+                                grad.get(i, j)
+                            } else {
+                                0.0
+                            }
+                        });
+                        self.accumulate(a, &da);
+                    }
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, &grad);
+                    self.accumulate(b, &grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, &grad);
+                    let neg = grad.scale(-1.0);
+                    self.accumulate(b, &neg);
+                }
+                Op::Scale(a, alpha) => {
+                    let da = grad.scale(alpha);
+                    self.accumulate(a, &da);
+                }
+                Op::WeightedSum(terms) => {
+                    let g = grad.get(0, 0);
+                    for (t, w) in terms {
+                        let dt = Dense::from_vec(1, 1, vec![g * w]).expect("1x1");
+                        self.accumulate(t, &dt);
+                    }
+                }
+                Op::ConsistencyLoss { h, c, value } => {
+                    if self.nodes[h].requires_grad && value > 1e-12 {
+                        let g = grad.get(0, 0);
+                        let hval = &self.nodes[h].value;
+                        // dQ/dH = −4 C H + 4 H (HᵀH); dJ/dH = dQ/dH / (2J).
+                        let ch = self.sparses[c].0.spmm(hval).expect("CH");
+                        let hg = hval.matmul(&hval.gram()).expect("H HᵀH");
+                        let mut dh = hg;
+                        dh.axpy(-1.0, &ch).expect("same shape");
+                        dh.scale_inplace(4.0 * g / (2.0 * value));
+                        self.accumulate(h, &dh);
+                    }
+                }
+                Op::AdaptivityLoss {
+                    a,
+                    b,
+                    threshold,
+                    row_dists,
+                } => {
+                    let g = grad.get(0, 0);
+                    let (rows, cols) = self.nodes[a].value.shape();
+                    let mut da = Dense::zeros(rows, cols);
+                    for i in 0..rows {
+                        let d = row_dists[i];
+                        if d > 1e-12 && d < threshold {
+                            let av = self.nodes[a].value.row(i);
+                            let bv = self.nodes[b].value.row(i);
+                            let out = da.row_mut(i);
+                            for ((o, &x), &y) in out.iter_mut().zip(av).zip(bv) {
+                                *o = g * (x - y) / d;
+                            }
+                        }
+                    }
+                    if self.nodes[a].requires_grad {
+                        self.accumulate(a, &da);
+                    }
+                    if self.nodes[b].requires_grad {
+                        da.scale_inplace(-1.0);
+                        self.accumulate(b, &da);
+                    }
+                }
+            }
+            self.nodes[idx].grad = Some(grad);
+        }
+        self.nodes[root.0].value.get(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_matrix::rng::SeededRng;
+    use galign_matrix::Coo;
+
+    fn scalar(tape: &Tape, v: Var) -> f64 {
+        tape.value(v).get(0, 0)
+    }
+
+    /// Frobenius-norm-squared as a tape program: ‖X‖² = sum(X ⊙ X) via
+    /// matmul with ones. Used to get a scalar head for generic op tests.
+    fn sum_all(tape: &mut Tape, x: Var) -> Var {
+        let (r, c) = tape.value(x).shape();
+        let ones_left = tape.leaf(Dense::filled(1, r, 1.0), false);
+        let ones_right = tape.leaf(Dense::filled(c, 1, 1.0), false);
+        let t = tape.matmul(ones_left, x);
+        tape.matmul(t, ones_right)
+    }
+
+    #[test]
+    fn forward_values() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Dense::filled(2, 2, 2.0), true);
+        let b = tape.leaf(Dense::identity(2), false);
+        let c = tape.matmul(a, b);
+        assert!(tape.value(c).approx_eq(&Dense::filled(2, 2, 2.0), 0.0));
+        let s = tape.scale(c, 0.5);
+        assert!(tape.value(s).approx_eq(&Dense::filled(2, 2, 1.0), 0.0));
+        let t = tape.tanh(s);
+        assert!((tape.value(t).get(0, 0) - 1.0f64.tanh()).abs() < 1e-12);
+        assert_eq!(tape.len(), 5);
+        assert!(!tape.is_empty());
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // f(W) = sum(A W), df/dW = Aᵀ 1.
+        let mut tape = Tape::new();
+        let a_val = Dense::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let a = tape.leaf(a_val.clone(), false);
+        let w = tape.leaf(Dense::identity(2), true);
+        let prod = tape.matmul(a, w);
+        let head = sum_all(&mut tape, prod);
+        tape.backward(head);
+        let grad = tape.grad(w).unwrap();
+        // dW = Aᵀ · ones(2x2) -> column sums of A replicated.
+        let expected = Dense::from_rows(&[vec![4.0, 4.0], vec![6.0, 6.0]]).unwrap();
+        assert!(grad.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn weight_sharing_accumulates() {
+        // Same leaf used twice: gradients must sum.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Dense::filled(1, 1, 3.0), true);
+        let y1 = tape.scale(x, 2.0);
+        let y2 = tape.scale(x, 5.0);
+        let head = tape.weighted_sum(&[(y1, 1.0), (y2, 1.0)]);
+        let val = tape.backward(head);
+        assert_eq!(val, 21.0);
+        assert_eq!(tape.grad(x).unwrap().get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut tape = Tape::new();
+        let c = tape.leaf(Dense::filled(1, 1, 1.0), false);
+        let p = tape.leaf(Dense::filled(1, 1, 1.0), true);
+        let s = tape.add(c, p);
+        tape.backward(s);
+        assert!(tape.grad(c).is_none());
+        assert_eq!(tape.grad(p).unwrap().get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn spmm_forward_and_backward() {
+        let mut tape = Tape::new();
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 2.0).unwrap();
+        let c = tape.sparse(coo.to_csr());
+        let x = tape.leaf(Dense::from_rows(&[vec![1.0], vec![3.0]]).unwrap(), true);
+        let y = tape.spmm(c, x);
+        assert_eq!(tape.value(y).get(0, 0), 6.0);
+        let head = sum_all(&mut tape, y);
+        tape.backward(head);
+        // dX = Cᵀ · ones = [[0],[2]].
+        let g = tape.grad(x).unwrap();
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn consistency_loss_matches_definition() {
+        let mut rng = SeededRng::new(1);
+        let h_val = rng.uniform_matrix(6, 3, -1.0, 1.0);
+        let mut coo = Coo::new(6, 6);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j && rng.bernoulli(0.3) {
+                    coo.push(i, j, 0.5).unwrap();
+                }
+            }
+        }
+        let csr = coo.to_csr();
+        let mut tape = Tape::new();
+        let c = tape.sparse(csr.clone());
+        let h = tape.leaf(h_val.clone(), true);
+        let j = tape.consistency_loss(h, c);
+        // Direct dense evaluation of Eq. 7.
+        let hht = h_val.matmul_bt(&h_val).unwrap();
+        let expected = csr.to_dense().sub(&hht).unwrap().frobenius_norm();
+        assert!((scalar(&tape, j) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adaptivity_loss_thresholding() {
+        let a_val = Dense::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0]]).unwrap();
+        let b_val = Dense::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]).unwrap();
+        let mut tape = Tape::new();
+        let a = tape.leaf(a_val, true);
+        let b = tape.leaf(b_val, false);
+        // Row 0 distance 5 (counted), row 1 distance 10 (masked by σ_<).
+        let j = tape.adaptivity_loss(a, b, 6.0);
+        assert_eq!(scalar(&tape, j), 5.0);
+        tape.backward(j);
+        let g = tape.grad(a).unwrap();
+        // Row 0: (a-b)/d = (-3/5, -4/5); row 1 masked to zero.
+        assert!((g.get(0, 0) + 0.6).abs() < 1e-12);
+        assert!((g.get(0, 1) + 0.8).abs() < 1e-12);
+        assert_eq!(g.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn weighted_sum_combines() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Dense::filled(1, 1, 2.0), true);
+        let b = tape.leaf(Dense::filled(1, 1, 10.0), true);
+        let s = tape.weighted_sum(&[(a, 0.8), (b, 0.2)]);
+        assert!((scalar(&tape, s) - 3.6).abs() < 1e-12);
+        tape.backward(s);
+        assert!((tape.grad(a).unwrap().get(0, 0) - 0.8).abs() < 1e-12);
+        assert!((tape.grad(b).unwrap().get(0, 0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a scalar")]
+    fn backward_requires_scalar_root() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Dense::zeros(2, 2), true);
+        tape.backward(a);
+    }
+
+    #[test]
+    fn backward_resets_between_calls() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Dense::filled(1, 1, 1.0), true);
+        let s = tape.scale(a, 3.0);
+        tape.backward(s);
+        tape.backward(s);
+        // Second call must not double-accumulate.
+        assert_eq!(tape.grad(a).unwrap().get(0, 0), 3.0);
+    }
+}

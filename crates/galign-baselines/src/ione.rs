@@ -1,0 +1,155 @@
+//! IONE (Liu et al., IJCAI 2016): aligning users across social networks by
+//! *sharing the representation* of known anchor users.
+//!
+//! Where PALE embeds the networks separately and learns a mapping, IONE
+//! embeds a merged vocabulary: each seed anchor pair is collapsed into one
+//! token, so the skip-gram objective itself pulls the two networks into a
+//! common space through second-order proximity with the shared anchors.
+//! This is the mechanism of the original paper; we realise it on the shared
+//! SGNS engine (edge-endpoint pairs from both networks over the merged
+//! vocabulary) rather than LINE's edge-sampling trainer.
+
+use crate::aligner::{AlignInput, Aligner};
+use crate::skipgram::{train_sgns, SkipGramConfig};
+use galign_matrix::rng::SeededRng;
+use galign_matrix::Dense;
+use std::collections::HashMap;
+
+/// IONE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct IoneConfig {
+    /// Embedding settings.
+    pub embedding: SkipGramConfig,
+}
+
+impl Default for IoneConfig {
+    fn default() -> Self {
+        IoneConfig {
+            embedding: SkipGramConfig {
+                dim: 64,
+                epochs: 10,
+                ..SkipGramConfig::default()
+            },
+        }
+    }
+}
+
+/// The IONE aligner.
+#[derive(Debug, Clone, Default)]
+pub struct Ione {
+    /// Hyper-parameters.
+    pub config: IoneConfig,
+}
+
+impl Ione {
+    /// Creates an IONE aligner.
+    pub fn new(config: IoneConfig) -> Self {
+        Ione { config }
+    }
+}
+
+impl Aligner for Ione {
+    fn name(&self) -> &'static str {
+        "IONE"
+    }
+
+    fn align(&self, input: &AlignInput<'_>) -> Dense {
+        let (n1, n2) = (input.source.node_count(), input.target.node_count());
+        // Merged vocabulary: source nodes keep their ids; target node t maps
+        // to its anchored source id when seeded, else to `n1 + t`.
+        let anchor_of: HashMap<usize, usize> =
+            input.seeds.iter().map(|&(s, t)| (t, s)).collect();
+        let target_token = |t: usize| anchor_of.get(&t).copied().unwrap_or(n1 + t);
+
+        let mut pairs: Vec<(usize, usize)> =
+            Vec::with_capacity(2 * (input.source.edge_count() + input.target.edge_count()));
+        for (u, v) in input.source.edges() {
+            pairs.push((u, v));
+            pairs.push((v, u));
+        }
+        for (u, v) in input.target.edges() {
+            let (a, b) = (target_token(u), target_token(v));
+            pairs.push((a, b));
+            pairs.push((b, a));
+        }
+
+        let mut rng = SeededRng::new(input.seed);
+        let emb = train_sgns(&pairs, n1 + n2, &self.config.embedding, &mut rng)
+            .normalize_rows();
+
+        let es = emb.select_rows(&(0..n1).collect::<Vec<_>>());
+        let et = emb.select_rows(&(0..n2).map(target_token).collect::<Vec<_>>());
+        let mut sim = es.matmul_bt(&et).expect("same dim");
+        // Seed anchors are known; pin them so the supervision is respected
+        // in the output ranking (their merged token makes them cos = 1
+        // already, but pinning keeps them maximal after ties).
+        for &(s, t) in input.seeds {
+            sim.set(s, t, 1.0 + sim.get(s, t).max(0.0));
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_datasets::synth::noisy_pair;
+    use galign_graph::{generators, AttributedGraph};
+    use galign_metrics::evaluate;
+
+    fn task(seed: u64, n: usize) -> galign_datasets::AlignmentTask {
+        let mut rng = SeededRng::new(seed);
+        let edges = generators::barabasi_albert(&mut rng, n, 3);
+        let attrs = generators::binary_attributes(&mut rng, n, 8, 2);
+        let g = AttributedGraph::from_edges(n, &edges, attrs);
+        noisy_pair("t", &g, 0.0, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn shared_representation_aligns_anchors() {
+        let t = task(1, 40);
+        let seeds: Vec<(usize, usize)> =
+            t.truth.pairs().iter().step_by(4).copied().collect();
+        let input = AlignInput {
+            source: &t.source,
+            target: &t.target,
+            seeds: &seeds,
+            seed: 3,
+        };
+        let scores = Ione::default().align_scores(&input);
+        let report = evaluate(&scores, t.truth.pairs(), &[10]);
+        assert!(
+            report.success(10).unwrap() > 0.4,
+            "Success@10 = {:?}",
+            report.success(10)
+        );
+    }
+
+    #[test]
+    fn seeded_pairs_are_pinned() {
+        let t = task(2, 20);
+        let seeds = vec![(3usize, 7usize)];
+        let input = AlignInput {
+            source: &t.source,
+            target: &t.target,
+            seeds: &seeds,
+            seed: 5,
+        };
+        let s = Ione::default().align(&input);
+        assert_eq!(s.row_argmax(3).unwrap().0, 7);
+    }
+
+    #[test]
+    fn without_seeds_spaces_stay_separate_but_finite() {
+        let t = task(3, 15);
+        let input = AlignInput {
+            source: &t.source,
+            target: &t.target,
+            seeds: &[],
+            seed: 1,
+        };
+        let s = Ione::default().align(&input);
+        assert_eq!(s.shape(), (15, 15));
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

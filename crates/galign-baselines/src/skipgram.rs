@@ -1,0 +1,200 @@
+//! Skip-gram with negative sampling (SGNS) — the embedding engine behind
+//! the PALE and CENALP baselines (both papers train word2vec-style node
+//! embeddings on co-occurrence pairs).
+
+use galign_matrix::rng::SeededRng;
+use galign_matrix::Dense;
+
+/// SGNS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SkipGramConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Passes over the training pairs.
+    pub epochs: usize,
+    /// SGD learning rate (linearly decayed to 10 % over training).
+    pub learning_rate: f64,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig {
+            dim: 64,
+            epochs: 5,
+            learning_rate: 0.025,
+            negatives: 5,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Trains SGNS embeddings over `(center, context)` co-occurrence pairs.
+///
+/// Negative contexts are drawn from the unigram distribution of contexts
+/// raised to the 3/4 power (the word2vec convention). Returns the `center`
+/// (input) embedding matrix, `vocab × dim`.
+pub fn train_sgns(
+    pairs: &[(usize, usize)],
+    vocab: usize,
+    cfg: &SkipGramConfig,
+    rng: &mut SeededRng,
+) -> Dense {
+    let dim = cfg.dim.max(1);
+    let mut input = rng.uniform_matrix(vocab, dim, -0.5 / dim as f64, 0.5 / dim as f64);
+    let mut output = Dense::zeros(vocab, dim);
+    if pairs.is_empty() || vocab == 0 {
+        return input;
+    }
+    // Unigram^{3/4} negative table.
+    let mut counts = vec![0.0f64; vocab];
+    for &(_, ctx) in pairs {
+        counts[ctx] += 1.0;
+    }
+    let weights: Vec<f64> = counts.iter().map(|c| c.powf(0.75)).collect();
+
+    let total_steps = (cfg.epochs * pairs.len()).max(1) as f64;
+    let mut step = 0usize;
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    let mut grad = vec![0.0f64; dim];
+    for _epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        for &idx in &order {
+            let (center, context) = pairs[idx];
+            let lr = cfg.learning_rate * (1.0 - 0.9 * step as f64 / total_steps);
+            step += 1;
+            grad.fill(0.0);
+            // Positive update followed by `negatives` negative updates.
+            for k in 0..=cfg.negatives {
+                let (sample, label) = if k == 0 {
+                    (context, 1.0)
+                } else {
+                    (rng.weighted_index(&weights), 0.0)
+                };
+                if k > 0 && sample == context {
+                    continue;
+                }
+                let vin = input.row(center);
+                let vout = output.row(sample);
+                let score = sigmoid(galign_matrix::dense::dot(vin, vout));
+                let g = (label - score) * lr;
+                for d in 0..dim {
+                    grad[d] += g * vout[d];
+                }
+                let vin_copy: Vec<f64> = vin.to_vec();
+                let vout_mut = output.row_mut(sample);
+                for d in 0..dim {
+                    vout_mut[d] += g * vin_copy[d];
+                }
+            }
+            let vin_mut = input.row_mut(center);
+            for d in 0..dim {
+                vin_mut[d] += grad[d];
+            }
+        }
+    }
+    input
+}
+
+/// Expands random walks into skip-gram training pairs with the given
+/// window size (both directions, excluding self-pairs).
+pub fn walks_to_pairs(walks: &[Vec<usize>], window: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for walk in walks {
+        for (i, &center) in walk.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(walk.len());
+            for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+                if i != j && center != context {
+                    pairs.push((center, context));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint cliques of co-occurring tokens: embeddings within a
+    /// clique must end up more similar than across cliques.
+    #[test]
+    fn separates_two_clusters() {
+        let mut pairs = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        for a in 4..8usize {
+            for b in 4..8usize {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let mut rng = SeededRng::new(1);
+        let cfg = SkipGramConfig {
+            dim: 8,
+            epochs: 120,
+            ..SkipGramConfig::default()
+        };
+        let emb = train_sgns(&pairs, 8, &cfg, &mut rng).normalize_rows();
+        let sim = |a: usize, b: usize| galign_matrix::dense::dot(emb.row(a), emb.row(b));
+        let within = (sim(0, 1) + sim(1, 2) + sim(4, 5) + sim(5, 6)) / 4.0;
+        let across = (sim(0, 4) + sim(1, 5) + sim(2, 6) + sim(3, 7)) / 4.0;
+        assert!(
+            within > across + 0.05,
+            "within {within} should exceed across {across}"
+        );
+    }
+
+    #[test]
+    fn empty_input_returns_random_init() {
+        let mut rng = SeededRng::new(2);
+        let emb = train_sgns(&[], 5, &SkipGramConfig::default(), &mut rng);
+        assert_eq!(emb.shape(), (5, 64));
+    }
+
+    #[test]
+    fn walks_to_pairs_window() {
+        let walks = vec![vec![0, 1, 2, 3]];
+        let pairs = walks_to_pairs(&walks, 1);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 0)));
+        assert!(pairs.contains(&(2, 3)));
+        assert!(!pairs.contains(&(0, 2)));
+        // Window 2 reaches two hops.
+        let pairs2 = walks_to_pairs(&walks, 2);
+        assert!(pairs2.contains(&(0, 2)));
+        assert!(!pairs2.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn walks_to_pairs_skips_self_pairs() {
+        let walks = vec![vec![5, 5, 6]];
+        let pairs = walks_to_pairs(&walks, 2);
+        assert!(pairs.iter().all(|&(a, b)| a != b));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pairs = vec![(0, 1), (1, 2), (2, 0)];
+        let cfg = SkipGramConfig {
+            dim: 4,
+            epochs: 3,
+            ..SkipGramConfig::default()
+        };
+        let a = train_sgns(&pairs, 3, &cfg, &mut SeededRng::new(9));
+        let b = train_sgns(&pairs, 3, &cfg, &mut SeededRng::new(9));
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Stage- and method-level benchmarks: one GCN training epoch, the
+//! refinement sweep, and each aligner end-to-end on a fixed small task —
+//! the data behind Table III's Time(s) column at micro scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use galign::alignment::{AlignmentMatrix, LayerSelection};
+use galign::embedding::{embed_pair, EmbeddingConfig};
+use galign::refine::{refine, RefineConfig};
+use galign::{GAlign, GAlignConfig};
+use galign_baselines::{AlignInput, Aligner, Final, IsoRank, Pale, Regal};
+use galign_datasets::synth::noisy_pair;
+use galign_datasets::AlignmentTask;
+use galign_graph::generators;
+use galign_matrix::rng::SeededRng;
+
+fn task() -> AlignmentTask {
+    let mut rng = SeededRng::new(7);
+    let n = 150;
+    let edges = generators::barabasi_albert(&mut rng, n, 3);
+    let attrs = generators::binary_attributes(&mut rng, n, 16, 3);
+    let g = galign_graph::AttributedGraph::from_edges(n, &edges, attrs);
+    noisy_pair("bench", &g, 0.05, 0.05, &mut rng)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let t = task();
+    let mut group = c.benchmark_group("galign_stages");
+    group.sample_size(10);
+
+    group.bench_function("embedding_20_epochs_d64", |b| {
+        b.iter(|| {
+            let cfg = EmbeddingConfig {
+                layer_dims: vec![64, 64],
+                epochs: 20,
+                num_augments: 1,
+                ..EmbeddingConfig::default()
+            };
+            let mut rng = SeededRng::new(1);
+            embed_pair(&t.source, &t.target, &cfg, &mut rng)
+        });
+    });
+
+    // Refinement over fixed embeddings.
+    let cfg = EmbeddingConfig {
+        layer_dims: vec![64, 64],
+        epochs: 10,
+        num_augments: 1,
+        ..EmbeddingConfig::default()
+    };
+    let mut rng = SeededRng::new(2);
+    let pair = embed_pair(&t.source, &t.target, &cfg, &mut rng);
+    group.bench_function("refinement_5_iters", |b| {
+        b.iter(|| {
+            refine(
+                &pair.model,
+                &t.source,
+                &t.target,
+                &pair.source,
+                &pair.target,
+                &LayerSelection::uniform(3),
+                &RefineConfig {
+                    iterations: 5,
+                    ..RefineConfig::default()
+                },
+            )
+        });
+    });
+
+    group.bench_function("alignment_greedy_score", |b| {
+        let am = AlignmentMatrix::new(&pair.source, &pair.target, LayerSelection::uniform(3));
+        b.iter(|| am.greedy_score());
+    });
+    group.finish();
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let t = task();
+    let seeds: Vec<(usize, usize)> = t.truth.pairs().iter().step_by(10).copied().collect();
+    let input = AlignInput {
+        source: &t.source,
+        target: &t.target,
+        seeds: &seeds,
+        seed: 3,
+    };
+    let mut group = c.benchmark_group("methods_end_to_end");
+    group.sample_size(10);
+    group.bench_function("galign_fast", |b| {
+        b.iter(|| GAlign::new(GAlignConfig::fast()).align(&t.source, &t.target, 5));
+    });
+    group.bench_function("regal", |b| {
+        b.iter(|| Regal::default().align(&input));
+    });
+    group.bench_function("isorank", |b| {
+        b.iter(|| IsoRank::default().align(&input));
+    });
+    group.bench_function("final", |b| {
+        b.iter(|| Final::default().align(&input));
+    });
+    group.bench_function("pale", |b| {
+        b.iter(|| Pale::default().align(&input));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_methods);
+criterion_main!(benches);

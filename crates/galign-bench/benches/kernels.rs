@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the numerical kernels behind every experiment:
+//! dense GEMM, sparse×dense propagation, the fused consistency loss, and
+//! the Gram product — the operations the §VI-C complexity analysis is
+//! about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use galign_autograd::Tape;
+use galign_graph::{generators, AttributedGraph};
+use galign_matrix::rng::SeededRng;
+
+fn graph(n: usize) -> AttributedGraph {
+    let mut rng = SeededRng::new(42);
+    let edges = generators::barabasi_albert(&mut rng, n, 4);
+    let attrs = generators::binary_attributes(&mut rng, n, 32, 4);
+    AttributedGraph::from_edges(n, &edges, attrs)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matmul");
+    group.sample_size(20);
+    let mut rng = SeededRng::new(1);
+    for &n in &[128usize, 512] {
+        let a = rng.uniform_matrix(n, 100, -1.0, 1.0);
+        let b = rng.uniform_matrix(100, 100, -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("n_x100_x100", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap());
+        });
+        let t = rng.uniform_matrix(n, 100, -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("similarity_a_bt", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_bt(&t).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_propagation");
+    group.sample_size(20);
+    let mut rng = SeededRng::new(2);
+    for &n in &[512usize, 2048] {
+        let g = graph(n);
+        let lap = g.normalized_laplacian();
+        let h = rng.uniform_matrix(n, 100, -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("laplacian_spmm_d100", n), &n, |bench, _| {
+            bench.iter(|| lap.spmm(&h).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_consistency_loss(c: &mut Criterion) {
+    // The fused Eq. 7 loss: forward + backward on the tape, which is the
+    // per-epoch hot path of Algorithm 1.
+    let mut group = c.benchmark_group("consistency_loss");
+    group.sample_size(20);
+    let mut rng = SeededRng::new(3);
+    for &n in &[256usize, 1024] {
+        let g = graph(n);
+        let lap = g.normalized_laplacian();
+        let h = rng.uniform_matrix(n, 100, -0.5, 0.5);
+        group.bench_with_input(BenchmarkId::new("fwd_bwd_d100", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let c_id = tape.sparse(lap.clone());
+                let hv = tape.leaf(h.clone(), true);
+                let j = tape.consistency_loss(hv, c_id);
+                tape.backward(j)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram");
+    group.sample_size(20);
+    let mut rng = SeededRng::new(4);
+    let a = rng.uniform_matrix(2048, 100, -1.0, 1.0);
+    group.bench_function("2048x100", |bench| {
+        bench.iter(|| a.gram());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spmm,
+    bench_consistency_loss,
+    bench_gram
+);
+criterion_main!(benches);

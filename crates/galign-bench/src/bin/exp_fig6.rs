@@ -1,0 +1,91 @@
+//! Fig. 6 — effect of the number of GCN layers: Success@1 on Allmovie-Imdb
+//! for k = 1..5, evaluating each single layer `H⁽ˡ⁾` alone and the
+//! multi-order combination `{H⁽ˡ⁾}` (the paper's matrix of Fig. 6).
+//!
+//! The model is trained once per k and the layer selections are evaluated
+//! on the same embeddings (refinement is layer-selection-agnostic and is
+//! skipped here so columns are comparable; EXPERIMENTS.md notes this).
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_fig6`.
+
+use galign::alignment::{AlignmentMatrix, LayerSelection};
+use galign::embedding::{embed_pair, EmbeddingConfig};
+use galign_bench::harness::{fmt4, mean, render_table, CommonArgs, ExperimentOutput};
+use galign_datasets::allmovie_imdb;
+use galign_matrix::rng::SeededRng;
+use galign_metrics::evaluate;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let max_k = 5usize;
+
+    let mut output = ExperimentOutput::new("fig6", &args);
+    let mut rows = Vec::new();
+    println!(
+        "\n=== Fig 6: #GCN layers vs Success@1 on Allmovie-Imdb (scale {}) ===",
+        args.scale
+    );
+    for k in 1..=max_k {
+        // cells[l] = Success@1 using layer l only (l = 0..k); last = multi-order.
+        let mut per_run: Vec<Vec<f64>> = Vec::new();
+        for r in 0..args.runs {
+            let task = allmovie_imdb(args.scale, args.seed + r as u64);
+            let cfg = EmbeddingConfig {
+                layer_dims: vec![100; k],
+                epochs: 20,
+                num_augments: 1,
+                ..EmbeddingConfig::default()
+            };
+            let mut rng = SeededRng::new(args.seed + 100 * r as u64);
+            let pair = embed_pair(&task.source, &task.target, &cfg, &mut rng);
+            let mut cells = Vec::with_capacity(k + 2);
+            for l in 0..=k {
+                let sel = LayerSelection::single(l, k + 1);
+                let am = AlignmentMatrix::new(&pair.source, &pair.target, sel);
+                let rep = evaluate(&am, task.truth.pairs(), &[1]);
+                cells.push(rep.success(1).unwrap_or(0.0));
+            }
+            let am = AlignmentMatrix::new(
+                &pair.source,
+                &pair.target,
+                LayerSelection::uniform(k + 1),
+            );
+            cells.push(
+                evaluate(&am, task.truth.pairs(), &[1])
+                    .success(1)
+                    .unwrap_or(0.0),
+            );
+            per_run.push(cells);
+        }
+        // Average across runs.
+        let cols = per_run[0].len();
+        let avg: Vec<f64> = (0..cols)
+            .map(|c| mean(&per_run.iter().map(|r| r[c]).collect::<Vec<_>>()))
+            .collect();
+
+        let mut row = vec![format!("k={k}")];
+        for l in 0..=max_k {
+            row.push(if l <= k {
+                fmt4(avg[l])
+            } else {
+                "N/A".to_string()
+            });
+        }
+        row.push(fmt4(*avg.last().expect("multi-order cell")));
+        output.push(serde_json::json!({
+            "k": k,
+            "per_layer_success1": avg[..=k],
+            "multi_order_success1": avg.last(),
+        }));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["", "H(0)", "H(1)", "H(2)", "H(3)", "H(4)", "H(5)", "multi-order"],
+            &rows
+        )
+    );
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,51 @@
+//! Fig. 7 — embedding-dimension sensitivity: Success@1 and run time of
+//! GAlign on Allmovie-Imdb as the GCN layer dimension sweeps 25..300.
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_fig7`.
+
+use galign_bench::harness::{fmt4, mean, render_table, CommonArgs, ExperimentOutput};
+use galign_bench::runner::run_galign_with_selection;
+use galign_datasets::allmovie_imdb;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let dims = [25usize, 50, 100, 150, 200, 250, 300];
+
+    let mut output = ExperimentOutput::new("fig7", &args);
+    let mut rows = Vec::new();
+    println!(
+        "\n=== Fig 7: embedding dimension vs Success@1 on Allmovie-Imdb (scale {}) ===",
+        args.scale
+    );
+    for &d in &dims {
+        let mut s1s = Vec::new();
+        let mut secs = Vec::new();
+        for r in 0..args.runs {
+            let task = allmovie_imdb(args.scale, args.seed + r as u64);
+            let run = run_galign_with_selection(
+                &task,
+                vec![d, d],
+                None,
+                args.seed + 100 * r as u64,
+            );
+            s1s.push(run.report.success(1).unwrap_or(0.0));
+            secs.push(run.secs);
+        }
+        rows.push(vec![
+            d.to_string(),
+            fmt4(mean(&s1s)),
+            format!("{:.1}", mean(&secs)),
+        ]);
+        output.push(serde_json::json!({
+            "dimension": d,
+            "success1": mean(&s1s),
+            "time_secs": mean(&secs),
+        }));
+    }
+    println!(
+        "{}",
+        render_table(&["Dimension", "Success@1", "Time(s)"], &rows)
+    );
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,160 @@
+//! Fig. 8 — qualitative study on the 10-movie toy dataset: t-SNE layouts of
+//! (a) the traditional final-layer embeddings, (b) the multi-order
+//! embeddings, and (c) the multi-order embeddings after refinement.
+//!
+//! Prints an ASCII scatter per panel (source movies as letters, target
+//! movies as the matching lowercase) and writes all coordinates to JSON for
+//! external plotting.
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_fig8`.
+
+use galign::alignment::LayerSelection;
+use galign::embedding::{embed_pair, EmbeddingConfig};
+use galign::refine::{refine, RefineConfig};
+use galign_bench::harness::{CommonArgs, ExperimentOutput};
+use galign_datasets::toy::{toy_movies, MOVIE_NAMES};
+use galign_gcn::MultiOrderEmbedding;
+use galign_matrix::rng::SeededRng;
+use galign_matrix::Dense;
+use galign_viz::{paired_points, scatter_svg, tsne, TsneConfig};
+
+/// Stacks source+target embeddings and projects them to 2-D.
+fn layout(source: &Dense, target: &Dense, seed: u64) -> Dense {
+    let stacked = source.vstack(target).expect("same width");
+    tsne(
+        &stacked,
+        &TsneConfig {
+            perplexity: 4.0,
+            iterations: 400,
+            seed,
+            ..TsneConfig::default()
+        },
+    )
+}
+
+/// Renders a crude ASCII scatter: source movie i = uppercase letter,
+/// target movie i = lowercase letter.
+fn ascii_scatter(coords: &Dense) -> String {
+    let (w, h) = (64usize, 20usize);
+    let n = coords.rows() / 2;
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..coords.rows() {
+        min_x = min_x.min(coords.get(i, 0));
+        max_x = max_x.max(coords.get(i, 0));
+        min_y = min_y.min(coords.get(i, 1));
+        max_y = max_y.max(coords.get(i, 1));
+    }
+    let sx = (max_x - min_x).max(1e-9);
+    let sy = (max_y - min_y).max(1e-9);
+    let mut grid = vec![vec![' '; w]; h];
+    for i in 0..coords.rows() {
+        let x = (((coords.get(i, 0) - min_x) / sx) * (w - 1) as f64) as usize;
+        let y = (((coords.get(i, 1) - min_y) / sy) * (h - 1) as f64) as usize;
+        let ch = if i < n {
+            (b'A' + (i % 26) as u8) as char
+        } else {
+            (b'a' + ((i - n) % 26) as u8) as char
+        };
+        grid[h - 1 - y][x] = ch;
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn panel_json(coords: &Dense) -> serde_json::Value {
+    let n = coords.rows() / 2;
+    let points: Vec<serde_json::Value> = (0..coords.rows())
+        .map(|i| {
+            serde_json::json!({
+                "movie": MOVIE_NAMES[i % n],
+                "side": if i < n { "source" } else { "target" },
+                "x": coords.get(i, 0),
+                "y": coords.get(i, 1),
+            })
+        })
+        .collect();
+    serde_json::Value::Array(points)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let task = toy_movies();
+    let cfg = EmbeddingConfig {
+        layer_dims: vec![16, 16],
+        epochs: 60,
+        num_augments: 1,
+        p_structure: 0.1,
+        p_attribute: 0.1,
+        ..EmbeddingConfig::default()
+    };
+    let mut rng = SeededRng::new(args.seed);
+    let pair = embed_pair(&task.source, &task.target, &cfg, &mut rng);
+
+    // (a) Traditional: final layer only.
+    let k = cfg.layer_dims.len();
+    let final_s = pair.source.normalized().layer(k).clone();
+    let final_t = pair.target.normalized().layer(k).clone();
+    let a = layout(&final_s, &final_t, args.seed);
+
+    // (b) Multi-order: concatenation of all layers.
+    let multi = |e: &MultiOrderEmbedding| e.normalized().concatenated();
+    let b = layout(&multi(&pair.source), &multi(&pair.target), args.seed);
+
+    // (c) Multi-order after refinement.
+    let outcome = refine(
+        &pair.model,
+        &task.source,
+        &task.target,
+        &pair.source,
+        &pair.target,
+        &LayerSelection::uniform(k + 1),
+        &RefineConfig {
+            iterations: 10,
+            ..RefineConfig::default()
+        },
+    );
+    let c = layout(&multi(&outcome.source), &multi(&outcome.target), args.seed);
+
+    for (title, coords) in [
+        ("(a) traditional final-layer embeddings", &a),
+        ("(b) multi-order embeddings", &b),
+        ("(c) multi-order embeddings after refinement", &c),
+    ] {
+        println!("\n=== Fig 8{title} ===");
+        println!("{}", ascii_scatter(coords));
+    }
+    println!("\nlegend: A..J = source movies, a..j = matching target movies");
+    for (i, name) in MOVIE_NAMES.iter().enumerate() {
+        println!("  {} / {} = {name}", (b'A' + i as u8) as char, (b'a' + i as u8) as char);
+    }
+
+    // SVG panels alongside the JSON coordinates.
+    std::fs::create_dir_all(&args.out_dir).expect("results dir");
+    for (stem, title, coords) in [
+        ("fig8a", "(a) traditional final-layer embeddings", &a),
+        ("fig8b", "(b) multi-order embeddings", &b),
+        ("fig8c", "(c) multi-order embeddings after refinement", &c),
+    ] {
+        let pts = paired_points(coords, &MOVIE_NAMES);
+        let svg = scatter_svg(&pts, title, 640, 480);
+        let path = args.out_dir.join(format!("{stem}.svg"));
+        std::fs::write(&path, svg).expect("write svg");
+        println!("svg panel -> {}", path.display());
+    }
+
+    let mut output = ExperimentOutput::new("fig8", &args);
+    output.push(serde_json::json!({
+        "panel": "a_final_layer", "points": panel_json(&a),
+    }));
+    output.push(serde_json::json!({
+        "panel": "b_multi_order", "points": panel_json(&b),
+    }));
+    output.push(serde_json::json!({
+        "panel": "c_multi_order_refined", "points": panel_json(&c),
+    }));
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,68 @@
+//! Hyper-parameter sensitivity beyond Figs. 6–7 — the knobs §VII-E says it
+//! omits for space: the loss balance γ (Eq. 10), the stability threshold λ
+//! (Eq. 13), and the accumulation constant β (Eq. 14), swept one-at-a-time
+//! around the paper's defaults (γ = 0.8, λ = 0.94, β = 1.1) on a noisy
+//! email-copy task.
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_sensitivity`.
+
+use galign::GAlignConfig;
+use galign_bench::harness::{fmt4, mean, render_table, CommonArgs, ExperimentOutput};
+use galign_bench::runner::galign_config;
+use galign_datasets::catalog::{email, noisy_task};
+use galign_metrics::evaluate;
+
+fn run(cfg: &GAlignConfig, args: &CommonArgs) -> f64 {
+    let s1s: Vec<f64> = (0..args.runs)
+        .map(|r| {
+            let base = email(args.scale, args.seed + r as u64);
+            let task = noisy_task(&base, "email", 0.1, 0.1, args.seed + 7 + r as u64);
+            let result = galign::GAlign::new(cfg.clone()).align(
+                &task.source,
+                &task.target,
+                args.seed + 100 * r as u64,
+            );
+            evaluate(&result.alignment, task.truth.pairs(), &[1])
+                .success(1)
+                .unwrap_or(0.0)
+        })
+        .collect();
+    mean(&s1s)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let base = galign_config(Default::default());
+    let mut output = ExperimentOutput::new("sensitivity", &args);
+
+    println!(
+        "\n=== Hyper-parameter sensitivity on noisy email copy (scale {}) ===",
+        args.scale
+    );
+
+    let mut rows = Vec::new();
+    for gamma in [0.0, 0.2, 0.5, 0.8, 1.0] {
+        let mut cfg = base.clone();
+        cfg.embedding.gamma = gamma;
+        let s1 = run(&cfg, &args);
+        rows.push(vec![format!("gamma = {gamma}"), fmt4(s1)]);
+        output.push(serde_json::json!({"param": "gamma", "value": gamma, "success1": s1}));
+    }
+    for lambda in [0.5, 0.8, 0.94, 0.99] {
+        let mut cfg = base.clone();
+        cfg.refine.lambda = lambda;
+        let s1 = run(&cfg, &args);
+        rows.push(vec![format!("lambda = {lambda}"), fmt4(s1)]);
+        output.push(serde_json::json!({"param": "lambda", "value": lambda, "success1": s1}));
+    }
+    for beta in [1.05, 1.1, 1.5, 2.0] {
+        let mut cfg = base.clone();
+        cfg.refine.beta = beta;
+        let s1 = run(&cfg, &args);
+        rows.push(vec![format!("beta = {beta}"), fmt4(s1)]);
+        output.push(serde_json::json!({"param": "beta", "value": beta, "success1": s1}));
+    }
+    println!("{}", render_table(&["Setting", "Success@1"], &rows));
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

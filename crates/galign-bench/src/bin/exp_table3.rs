@@ -1,0 +1,62 @@
+//! Table III — end-to-end comparison of GAlign against the five baselines
+//! on the three real-dataset stand-ins (MAP, AUC, Success@1, Success@10,
+//! wall-clock time).
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_table3`.
+//! Paper values are recorded side-by-side in EXPERIMENTS.md.
+
+use galign_bench::harness::{fmt4, render_table, CommonArgs, ExperimentOutput};
+use galign_bench::runner::{average_runs, run_method, Method};
+use galign_datasets::{allmovie_imdb, douban, flickr_myspace, AlignmentTask};
+
+type TaskFn = fn(f64, u64) -> AlignmentTask;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let datasets: [(&str, TaskFn); 3] = [
+        ("Douban Online-Offline", douban),
+        ("Flickr-Myspace", flickr_myspace),
+        ("Allmovie-Imdb", allmovie_imdb),
+    ];
+
+    let mut output = ExperimentOutput::new("table3", &args);
+    for (dataset_name, make_task) in &datasets {
+        println!("\n=== {dataset_name} (scale {}) ===", args.scale);
+        let mut rows = Vec::new();
+        for method in Method::table3() {
+            let runs: Vec<_> = (0..args.runs)
+                .map(|r| {
+                    let task = make_task(args.scale, args.seed + r as u64);
+                    run_method(method, &task, args.seed + 100 * r as u64)
+                })
+                .collect();
+            let (map, auc, s1, s10, secs) = average_runs(&runs);
+            rows.push(vec![
+                method.name().to_string(),
+                fmt4(map),
+                fmt4(auc),
+                fmt4(s1),
+                fmt4(s10),
+                format!("{secs:.1}"),
+            ]);
+            output.push(serde_json::json!({
+                "dataset": dataset_name,
+                "method": method.name(),
+                "map": map,
+                "auc": auc,
+                "success1": s1,
+                "success10": s10,
+                "time_secs": secs,
+            }));
+        }
+        println!(
+            "{}",
+            render_table(
+                &["Method", "MAP", "AUC", "Success@1", "Success@10", "Time(s)"],
+                &rows
+            )
+        );
+    }
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,52 @@
+//! Table IV — ablation study: GAlign vs GAlign-1 (no augmentation),
+//! GAlign-2 (no refinement) and GAlign-3 (last layer only), on the Douban
+//! and Allmovie-Imdb stand-ins (MAP, Success@1).
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_table4`.
+
+use galign::AblationVariant;
+use galign_bench::harness::{fmt4, render_table, CommonArgs, ExperimentOutput};
+use galign_bench::runner::{average_runs, run_method, Method};
+use galign_datasets::{allmovie_imdb, douban, AlignmentTask};
+
+type TaskFn = fn(f64, u64) -> AlignmentTask;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let datasets: [(&str, TaskFn); 2] =
+        [("Douban", douban), ("Allmovie-Imdb", allmovie_imdb)];
+    let variants = [
+        Method::GAlign,
+        Method::GAlignVariant(AblationVariant::NoAugmentation),
+        Method::GAlignVariant(AblationVariant::NoRefinement),
+        Method::GAlignVariant(AblationVariant::LastLayerOnly),
+    ];
+
+    let mut output = ExperimentOutput::new("table4", &args);
+    for (dataset_name, make_task) in &datasets {
+        println!("\n=== {dataset_name} (scale {}) ===", args.scale);
+        let mut rows = Vec::new();
+        for method in variants {
+            let runs: Vec<_> = (0..args.runs)
+                .map(|r| {
+                    let task = make_task(args.scale, args.seed + r as u64);
+                    run_method(method, &task, args.seed + 100 * r as u64)
+                })
+                .collect();
+            let (map, _auc, s1, _s10, _secs) = average_runs(&runs);
+            rows.push(vec![method.name().to_string(), fmt4(map), fmt4(s1)]);
+            output.push(serde_json::json!({
+                "dataset": dataset_name,
+                "method": method.name(),
+                "map": map,
+                "success1": s1,
+            }));
+        }
+        println!(
+            "{}",
+            render_table(&["Variant", "MAP", "Success@1"], &rows)
+        );
+    }
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

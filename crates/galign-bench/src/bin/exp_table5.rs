@@ -1,0 +1,61 @@
+//! Table V — layer-importance-weight sweep: Success@1 of GAlign on
+//! Allmovie-Imdb for the paper's nine θ = (θ⁰, θ¹, θ²) combinations.
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_table5`.
+
+use galign_bench::harness::{fmt4, mean, render_table, CommonArgs, ExperimentOutput};
+use galign_bench::runner::run_galign_with_selection;
+use galign_datasets::allmovie_imdb;
+
+fn main() {
+    let args = CommonArgs::parse();
+    // The nine weight rows of Table V (θ⁰, θ¹, θ²).
+    let thetas: [[f64; 3]; 9] = [
+        [0.33, 0.33, 0.33],
+        [0.33, 0.50, 0.17],
+        [0.33, 0.17, 0.50],
+        [0.00, 0.67, 0.33],
+        [0.67, 0.00, 0.33],
+        [0.33, 0.67, 0.00],
+        [0.00, 1.00, 0.00],
+        [0.00, 0.00, 1.00],
+        [1.00, 0.00, 0.00],
+    ];
+
+    let mut output = ExperimentOutput::new("table5", &args);
+    let mut rows = Vec::new();
+    println!("\n=== Table V: layer weights on Allmovie-Imdb (scale {}) ===", args.scale);
+    for theta in thetas {
+        let s1s: Vec<f64> = (0..args.runs)
+            .map(|r| {
+                let task = allmovie_imdb(args.scale, args.seed + r as u64);
+                let run = run_galign_with_selection(
+                    &task,
+                    vec![100, 100],
+                    Some(theta.to_vec()),
+                    args.seed + 100 * r as u64,
+                );
+                run.report.success(1).unwrap_or(0.0)
+            })
+            .collect();
+        let s1 = mean(&s1s);
+        rows.push(vec![
+            format!("{:.2}", theta[0]),
+            format!("{:.2}", theta[1]),
+            format!("{:.2}", theta[2]),
+            fmt4(s1),
+        ]);
+        output.push(serde_json::json!({
+            "theta0": theta[0],
+            "theta1": theta[1],
+            "theta2": theta[2],
+            "success1": s1,
+        }));
+    }
+    println!(
+        "{}",
+        render_table(&["theta0", "theta1", "theta2", "Success@1"], &rows)
+    );
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,221 @@
+//! Shared infrastructure of the `exp_*` experiment binaries: CLI parsing,
+//! result aggregation, table rendering and JSON persistence.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Arguments shared by every experiment binary.
+///
+/// Parsed from `--scale`, `--runs`, `--seed`, `--out`; unknown flags abort
+/// with a usage message. `--scale 1 --runs 50` reproduces the paper's full
+/// setting (hours of CPU time); the defaults give laptop-scale runs whose
+/// *shape* matches the paper.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Dataset size multiplier (paper = 1.0).
+    pub scale: f64,
+    /// Repetitions averaged per cell (paper = 50).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            scale: 0.2,
+            runs: 2,
+            seed: 2020,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses CLI arguments (skipping `argv[0]`).
+    ///
+    /// # Panics
+    /// Exits the process with a usage message on malformed input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+        let mut out = CommonArgs::default();
+        let mut it = args.peekable();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = parse_num(&value("--scale")),
+                "--runs" => out.runs = parse_num::<f64>(&value("--runs")) as usize,
+                "--seed" => out.seed = parse_num::<f64>(&value("--seed")) as u64,
+                "--out" => out.out_dir = PathBuf::from(value("--out")),
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| usage(&format!("cannot parse number from '{s}'")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: exp_* [--scale F] [--runs N] [--seed S] [--out DIR]\n\
+         defaults: --scale 0.2 --runs 2 --seed 2020 --out results\n\
+         (--scale 1 --runs 50 reproduces the paper's full setting)"
+    );
+    std::process::exit(2);
+}
+
+/// Accumulated output of one experiment, serialised to
+/// `<out>/<experiment>.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. `"table3"`.
+    pub experiment: String,
+    /// CLI scale in effect.
+    pub scale: f64,
+    /// CLI run count in effect.
+    pub runs: usize,
+    /// One JSON object per result row.
+    pub rows: Vec<serde_json::Value>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output.
+    pub fn new(experiment: &str, args: &CommonArgs) -> Self {
+        ExperimentOutput {
+            experiment: experiment.to_string(),
+            scale: args.scale,
+            runs: args.runs,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: serde_json::Value) {
+        self.rows.push(row);
+    }
+
+    /// Writes `<dir>/<experiment>.json`.
+    ///
+    /// # Errors
+    /// IO/serialisation failures.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        std::fs::write(&path, serde_json::to_string_pretty(self)?)?;
+        Ok(path)
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Renders an aligned ASCII table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(4)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&line(headers.iter().map(|h| h.to_string()).collect()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row.clone()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a metric to 4 decimal places (the paper's table precision).
+pub fn fmt4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let d = CommonArgs::parse_from(std::iter::empty());
+        assert_eq!(d.scale, 0.2);
+        assert_eq!(d.runs, 2);
+        let args = ["--scale", "0.5", "--runs", "7", "--seed", "9", "--out", "/tmp/x"]
+            .iter()
+            .map(|s| s.to_string());
+        let p = CommonArgs::parse_from(args);
+        assert_eq!(p.scale, 0.5);
+        assert_eq!(p.runs, 7);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn output_roundtrip() {
+        let args = CommonArgs::default();
+        let mut out = ExperimentOutput::new("unit-test", &args);
+        out.push(serde_json::json!({"metric": 0.5}));
+        let dir = std::env::temp_dir().join("galign-bench-test");
+        let path = out.write(&dir).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("unit-test"));
+        assert!(text.contains("0.5"));
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["Method", "MAP"],
+            &[
+                vec!["GAlign".into(), "0.85".into()],
+                vec!["IsoRank-long-name".into(), "0.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[3].starts_with("IsoRank-long-name"));
+    }
+
+    #[test]
+    fn mean_and_fmt() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(fmt4(0.123456), "0.1235");
+    }
+}

@@ -1,0 +1,13 @@
+//! Shared harness code for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation (§VII), plus Criterion
+//! micro-benchmarks.
+//!
+//! Each `exp_*` binary synthesises its datasets, runs the relevant aligners,
+//! prints a table shaped like the paper's, and writes machine-readable JSON
+//! under `results/`.
+
+pub mod harness;
+pub mod runner;
+
+pub use harness::{CommonArgs, ExperimentOutput};
+pub use runner::{run_method, Method};

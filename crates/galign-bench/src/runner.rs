@@ -1,0 +1,283 @@
+//! Uniform execution of every aligner over an [`AlignmentTask`], with the
+//! paper's supervision protocol (§VII-A): FINAL/IsoRank get a prior built
+//! from 10 % anchor seeds, PALE/CENALP get the seeds directly, REGAL and
+//! GAlign run unsupervised.
+
+use galign::{AblationVariant, GAlign, GAlignConfig};
+use galign::alignment::LayerSelection;
+use galign_baselines::{
+    AlignInput, Aligner, Cenalp, CenalpConfig, Final, IsoRank, Pale, Regal,
+};
+use galign_baselines::skipgram::SkipGramConfig;
+use galign_datasets::AlignmentTask;
+use galign_gcn::TrainConfig;
+use galign_matrix::rng::SeededRng;
+use galign_metrics::{evaluate, EvalReport, ScoreProvider};
+use std::time::Instant;
+
+/// The methods of Table III (plus GAlign's ablation variants for Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The full GAlign model.
+    GAlign,
+    /// GAlign-1/2/3 of the ablation study.
+    GAlignVariant(AblationVariant),
+    /// CENALP (supervised: 10 % seeds).
+    Cenalp,
+    /// PALE (supervised: 10 % seeds).
+    Pale,
+    /// REGAL (unsupervised).
+    Regal,
+    /// IsoRank (prior from 10 % seeds).
+    IsoRank,
+    /// FINAL (prior from 10 % seeds).
+    Final,
+}
+
+impl Method {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::GAlign => "GAlign",
+            Method::GAlignVariant(AblationVariant::Full) => "GAlign",
+            Method::GAlignVariant(AblationVariant::NoAugmentation) => "GAlign-1",
+            Method::GAlignVariant(AblationVariant::NoRefinement) => "GAlign-2",
+            Method::GAlignVariant(AblationVariant::LastLayerOnly) => "GAlign-3",
+            Method::Cenalp => "CENALP",
+            Method::Pale => "PALE",
+            Method::Regal => "REGAL",
+            Method::IsoRank => "IsoRank",
+            Method::Final => "FINAL",
+        }
+    }
+
+    /// The six columns of Table III, in the paper's order.
+    pub fn table3() -> Vec<Method> {
+        vec![
+            Method::GAlign,
+            Method::Cenalp,
+            Method::Pale,
+            Method::Regal,
+            Method::IsoRank,
+            Method::Final,
+        ]
+    }
+
+    /// The attribute-aware subset compared in Fig. 4.
+    pub fn attribute_aware() -> Vec<Method> {
+        vec![Method::GAlign, Method::Regal, Method::Final, Method::Cenalp]
+    }
+}
+
+/// One evaluated run.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// Metrics against the task's ground truth.
+    pub report: EvalReport,
+    /// Wall-clock seconds of the alignment itself (excluding evaluation).
+    pub secs: f64,
+}
+
+/// GAlign configuration scaled for harness runs: the paper's structure
+/// (k = 2, γ = 0.8, λ = 0.94, β = 1.1, uniform θ) with an embedding
+/// dimension and iteration counts sized for CPU runs.
+pub fn galign_config(variant: AblationVariant) -> GAlignConfig {
+    let train = TrainConfig::default();
+    GAlignConfig {
+        embedding: galign::embedding::EmbeddingConfig {
+            layer_dims: vec![100, 100],
+            epochs: 20,
+            learning_rate: train.learning_rate,
+            gamma: train.gamma,
+            adaptivity_threshold: train.adaptivity_threshold,
+            num_augments: 1,
+            p_structure: train.p_structure,
+            p_attribute: train.p_attribute,
+            activation: train.activation,
+            patience: train.patience,
+        },
+        theta: None,
+        refine: galign::refine::RefineConfig {
+            iterations: 5,
+            ..Default::default()
+        },
+        variant,
+    }
+}
+
+/// CENALP configuration sized for harness runs (the paper's CENALP is by
+/// far the slowest method; ours is too, relatively).
+fn cenalp_config() -> CenalpConfig {
+    CenalpConfig {
+        rounds: 2,
+        walks_per_node: 3,
+        walk_length: 8,
+        embedding: SkipGramConfig {
+            dim: 48,
+            epochs: 2,
+            ..SkipGramConfig::default()
+        },
+        ..CenalpConfig::default()
+    }
+}
+
+/// Draws the 10 % supervision split (seeded, disjoint from nothing — the
+/// paper evaluates on the full ground truth).
+pub fn supervision_split(task: &AlignmentTask, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = SeededRng::new(seed ^ 0x5EED);
+    let order = rng.permutation(task.truth.len());
+    let (train, _) = task.truth.split(0.1, &order);
+    train.pairs().to_vec()
+}
+
+/// Runs one method on one task and evaluates it on the full ground truth
+/// with Success@{1,10}, MAP and AUC.
+pub fn run_method(method: Method, task: &AlignmentTask, seed: u64) -> MethodRun {
+    run_method_with(method, task, seed, &galign_config(variant_of(method)))
+}
+
+fn variant_of(method: Method) -> AblationVariant {
+    match method {
+        Method::GAlignVariant(v) => v,
+        _ => AblationVariant::Full,
+    }
+}
+
+/// Like [`run_method`] but with an explicit GAlign configuration (used by
+/// the hyper-parameter sweeps of Table V / Figs. 6–7).
+pub fn run_method_with(
+    method: Method,
+    task: &AlignmentTask,
+    seed: u64,
+    galign_cfg: &GAlignConfig,
+) -> MethodRun {
+    let qs = &[1usize, 10];
+    let start = Instant::now();
+    match method {
+        Method::GAlign | Method::GAlignVariant(_) => {
+            let result = GAlign::new(galign_cfg.clone()).align(&task.source, &task.target, seed);
+            let secs = start.elapsed().as_secs_f64();
+            MethodRun {
+                report: evaluate(&result.alignment, task.truth.pairs(), qs),
+                secs,
+            }
+        }
+        _ => {
+            let seeds = supervision_split(task, seed);
+            let input = AlignInput {
+                source: &task.source,
+                target: &task.target,
+                seeds: &seeds,
+                seed,
+            };
+            let scores: Box<dyn ScoreProvider> = match method {
+                Method::Cenalp => Box::new(Cenalp::new(cenalp_config()).align_scores(&input)),
+                Method::Pale => Box::new(Pale::default().align_scores(&input)),
+                Method::Regal => {
+                    let unsupervised = AlignInput { seeds: &[], ..input };
+                    Box::new(Regal::default().align_scores(&unsupervised))
+                }
+                Method::IsoRank => Box::new(IsoRank::default().align_scores(&input)),
+                Method::Final => Box::new(Final::default().align_scores(&input)),
+                Method::GAlign | Method::GAlignVariant(_) => unreachable!("handled above"),
+            };
+            let secs = start.elapsed().as_secs_f64();
+            MethodRun {
+                report: evaluate(scores.as_ref(), task.truth.pairs(), qs),
+                secs,
+            }
+        }
+    }
+}
+
+/// Averages metric reports across runs.
+pub fn average_runs(runs: &[MethodRun]) -> (f64, f64, f64, f64, f64) {
+    let n = runs.len().max(1) as f64;
+    let mut map = 0.0;
+    let mut auc = 0.0;
+    let mut s1 = 0.0;
+    let mut s10 = 0.0;
+    let mut secs = 0.0;
+    for r in runs {
+        map += r.report.map;
+        auc += r.report.auc;
+        s1 += r.report.success(1).unwrap_or(0.0);
+        s10 += r.report.success(10).unwrap_or(0.0);
+        secs += r.secs;
+    }
+    (map / n, auc / n, s1 / n, s10 / n, secs / n)
+}
+
+/// Per-layer-selection GAlign run (Fig. 6 / Table V): trains with `k`
+/// layers and evaluates with a specific θ.
+pub fn run_galign_with_selection(
+    task: &AlignmentTask,
+    layer_dims: Vec<usize>,
+    theta: Option<Vec<f64>>,
+    seed: u64,
+) -> MethodRun {
+    let mut cfg = galign_config(AblationVariant::Full);
+    cfg.embedding.layer_dims = layer_dims;
+    cfg.theta = theta;
+    run_method_with(Method::GAlign, task, seed, &cfg)
+}
+
+/// Builds a [`LayerSelection`] helper for sweep code.
+pub fn selection_single(l: usize, k_incl: usize) -> LayerSelection {
+    LayerSelection::single(l, k_incl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_datasets::synth::noisy_pair;
+    use galign_graph::{generators, AttributedGraph};
+
+    fn tiny_task() -> AlignmentTask {
+        let mut rng = SeededRng::new(1);
+        let edges = generators::barabasi_albert(&mut rng, 25, 3);
+        let attrs = generators::binary_attributes(&mut rng, 25, 8, 2);
+        let g = AttributedGraph::from_edges(25, &edges, attrs);
+        noisy_pair("tiny", &g, 0.05, 0.05, &mut rng)
+    }
+
+    #[test]
+    fn every_method_runs() {
+        let task = tiny_task();
+        for m in Method::table3() {
+            let run = run_method(m, &task, 7);
+            assert!(run.secs >= 0.0);
+            assert!((0.0..=1.0).contains(&run.report.map), "{:?}", m);
+        }
+    }
+
+    #[test]
+    fn supervision_is_ten_percent() {
+        let task = tiny_task();
+        let seeds = supervision_split(&task, 1);
+        assert_eq!(seeds.len(), (task.truth.len() as f64 * 0.1).round() as usize);
+    }
+
+    #[test]
+    fn averaging() {
+        let task = tiny_task();
+        let r = run_method(Method::Regal, &task, 1);
+        let (map, auc, s1, s10, secs) = average_runs(&[r.clone(), r.clone()]);
+        assert_eq!(map, r.report.map);
+        assert_eq!(auc, r.report.auc);
+        assert_eq!(s1, r.report.success(1).unwrap());
+        assert_eq!(s10, r.report.success(10).unwrap());
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Method::GAlign.name(), "GAlign");
+        assert_eq!(
+            Method::GAlignVariant(AblationVariant::NoAugmentation).name(),
+            "GAlign-1"
+        );
+        assert_eq!(Method::table3().len(), 6);
+        assert_eq!(Method::attribute_aware().len(), 4);
+    }
+}

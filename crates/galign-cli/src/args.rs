@@ -1,0 +1,89 @@
+//! Minimal `--flag value` parser shared by all subcommands.
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--name value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+/// Parses `--flag value` pairs; bare or repeated flags abort with a
+/// diagnostic.
+pub fn parse_flags(args: &[String]) -> Flags {
+    let mut values = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            die(&format!("expected --flag, got '{flag}'"));
+        };
+        let Some(value) = it.next() else {
+            die(&format!("--{name} needs a value"));
+        };
+        if values.insert(name.to_string(), value.clone()).is_some() {
+            die(&format!("--{name} given twice"));
+        }
+    }
+    Flags { values }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+impl Flags {
+    /// Required string flag.
+    pub fn required(&self, name: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| die(&format!("missing required flag --{name}")))
+    }
+
+    /// Optional string flag.
+    pub fn optional(&self, name: &str) -> Option<String> {
+        self.values.get(name).cloned()
+    }
+
+    /// Optional flag with default.
+    pub fn or(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.values.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--{name}: cannot parse '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> Flags {
+        let args: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        parse_flags(&args)
+    }
+
+    #[test]
+    fn lookup_variants() {
+        let f = flags(&[("scale", "0.5"), ("out", "dir")]);
+        assert_eq!(f.required("out"), "dir");
+        assert_eq!(f.optional("missing"), None);
+        assert_eq!(f.or("missing", "x"), "x");
+        assert_eq!(f.num("scale", 1.0), 0.5);
+        assert_eq!(f.num("seed", 7u64), 7);
+    }
+}

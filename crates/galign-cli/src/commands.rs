@@ -1,0 +1,235 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use galign::persist::save_model;
+use galign::{GAlign, GAlignConfig};
+use galign_baselines::{
+    AlignInput, Aligner, Cenalp, DegreeMatch, Final, Ione, IsoRank, Pale, Regal,
+};
+use galign_datasets::synth::AlignmentTask;
+use galign_graph::io::{
+    read_anchors_json, read_graph_json, write_anchors_json, write_graph_json,
+};
+use galign_graph::AnchorLinks;
+use galign_metrics::ScoreProvider;
+use std::io;
+use std::path::{Path, PathBuf};
+
+type CmdResult = io::Result<()>;
+
+/// `galign generate`: synthesise a dataset stand-in and write
+/// `source.json`, `target.json`, `truth.json` into `--out`.
+pub fn generate(flags: &Flags) -> CmdResult {
+    let dataset = flags.required("dataset");
+    let scale: f64 = flags.num("scale", 0.2);
+    let seed: u64 = flags.num("seed", 2020);
+    let out = PathBuf::from(flags.or("out", "data"));
+    std::fs::create_dir_all(&out)?;
+
+    let task: AlignmentTask = match dataset.as_str() {
+        "douban" => galign_datasets::douban(scale, seed),
+        "flickr" | "flickr-myspace" => galign_datasets::flickr_myspace(scale, seed),
+        "allmovie" | "allmovie-imdb" => galign_datasets::allmovie_imdb(scale, seed),
+        "toy" => galign_datasets::toy::toy_movies(),
+        "bn" | "econ" | "email" => {
+            let base = match dataset.as_str() {
+                "bn" => galign_datasets::bn(scale, seed),
+                "econ" => galign_datasets::econ(scale, seed),
+                _ => galign_datasets::email(scale, seed),
+            };
+            galign_datasets::catalog::noisy_task(&base, &dataset, 0.1, 0.1, seed + 1)
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown dataset '{other}'"),
+            ))
+        }
+    };
+    write_graph_json(&task.source, &out.join("source.json"))?;
+    write_graph_json(&task.target, &out.join("target.json"))?;
+    write_anchors_json(&task.truth, &out.join("truth.json"))?;
+    println!("{}", task.summary());
+    println!("written to {}", out.display());
+    Ok(())
+}
+
+fn baseline_by_name(method: &str) -> io::Result<Box<dyn Aligner>> {
+    Ok(match method {
+        "regal" => Box::new(Regal::default()),
+        "isorank" => Box::new(IsoRank::default()),
+        "final" => Box::new(Final::default()),
+        "pale" => Box::new(Pale::default()),
+        "cenalp" => Box::new(Cenalp::default()),
+        "ione" => Box::new(Ione::default()),
+        "degree" => Box::new(DegreeMatch::default()),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown method '{other}'"),
+            ))
+        }
+    })
+}
+
+fn export_topk_scores(provider: &dyn ScoreProvider, k: usize, path: &str) -> CmdResult {
+    let rows: Vec<serde_json::Value> = (0..provider.num_sources())
+        .map(|v| {
+            let row = provider.score_row(v);
+            let top = galign_matrix::dense::top_k_indices(&row, k);
+            serde_json::json!({
+                "source": v,
+                "targets": top.iter().map(|&u| serde_json::json!({
+                    "target": u, "score": row[u],
+                })).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    std::fs::write(path, serde_json::to_string(&rows)?)?;
+    println!("top-{k} score rows -> {path}");
+    Ok(())
+}
+
+/// `galign align`: align two graphs, write predicted anchors, optionally
+/// export top-k score rows and (for GAlign) the trained model.
+pub fn align(flags: &Flags) -> CmdResult {
+    let source = read_graph_json(Path::new(&flags.required("source")))?;
+    let target = read_graph_json(Path::new(&flags.required("target")))?;
+    let method = flags.or("method", "galign");
+    let seed: u64 = flags.num("seed", 1);
+    let out = PathBuf::from(flags.or("out", "anchors.json"));
+    let seeds: Vec<(usize, usize)> = match flags.optional("seeds") {
+        Some(p) => read_anchors_json(Path::new(&p))?.pairs().to_vec(),
+        None => Vec::new(),
+    };
+    let top_k: usize = flags.num("top-k", 10);
+
+    let started = std::time::Instant::now();
+    let anchors: Vec<(usize, usize)>;
+    if method == "galign" {
+        let result = GAlign::new(GAlignConfig::fast()).align(&source, &target, seed);
+        anchors = result.top1_anchors();
+        if let Some(model_path) = flags.optional("save-model") {
+            save_model(&result.model, Path::new(&model_path))?;
+            println!("trained model -> {model_path}");
+        }
+        if let Some(scores_path) = flags.optional("scores") {
+            export_topk_scores(&result.alignment, top_k, &scores_path)?;
+        }
+    } else {
+        let input = AlignInput {
+            source: &source,
+            target: &target,
+            seeds: &seeds,
+            seed,
+        };
+        let scores = baseline_by_name(&method)?.align_scores(&input);
+        anchors = galign::matching::top1(&scores);
+        if let Some(scores_path) = flags.optional("scores") {
+            export_topk_scores(&scores, top_k, &scores_path)?;
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+
+    write_anchors_json(&AnchorLinks::new(anchors.clone()), &out)?;
+    println!(
+        "{} aligned {}x{} nodes in {:.1}s; {} anchors -> {}",
+        method,
+        source.node_count(),
+        target.node_count(),
+        secs,
+        anchors.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `galign evaluate`: exact-pair precision/recall/F1 of predicted anchors
+/// against ground truth.
+pub fn evaluate(flags: &Flags) -> CmdResult {
+    let predicted = read_anchors_json(Path::new(&flags.required("anchors")))?;
+    let truth = read_anchors_json(Path::new(&flags.required("truth")))?;
+    let (p, r, f1) = galign::matching::pair_prf(predicted.pairs(), truth.pairs());
+    println!(
+        "exact-pair precision = {p:.4}, recall = {r:.4}, F1 = {f1:.4} \
+         ({} predicted vs {} true anchors)",
+        predicted.len(),
+        truth.len()
+    );
+    Ok(())
+}
+
+/// `galign convert`: converts a whitespace edge list (SNAP /
+/// network-repository format) plus an optional comma-separated attribute
+/// file (one row per node) into the suite's graph JSON.
+pub fn convert(flags: &Flags) -> CmdResult {
+    let edges_path = flags.required("edges");
+    let out = PathBuf::from(flags.or("out", "graph.json"));
+    let text = std::fs::read_to_string(&edges_path)?;
+    let edges = galign_graph::io::parse_edge_list(&text)?;
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0);
+
+    let graph = match flags.optional("attrs") {
+        None => galign_graph::AttributedGraph::from_edges_featureless(n, &edges),
+        Some(attrs_path) => {
+            let rows: Vec<Vec<f64>> = std::fs::read_to_string(&attrs_path)?
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| {
+                    l.split(',')
+                        .map(|t| {
+                            t.trim().parse::<f64>().map_err(|_| {
+                                io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("bad attribute value '{t}'"),
+                                )
+                            })
+                        })
+                        .collect()
+                })
+                .collect::<io::Result<_>>()?;
+            if rows.len() < n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} attribute rows for {n} nodes", rows.len()),
+                ));
+            }
+            let attrs = galign_matrix::Dense::from_rows(&rows[..n])
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            galign_graph::AttributedGraph::from_edges(n, &edges, attrs)
+        }
+    };
+    write_graph_json(&graph, &out)?;
+    println!(
+        "converted {} -> {} ({} nodes, {} edges, {} attrs)",
+        edges_path,
+        out.display(),
+        graph.node_count(),
+        graph.edge_count(),
+        graph.attr_dim()
+    );
+    Ok(())
+}
+
+/// `galign info`: prints basic statistics of a graph file.
+pub fn info(flags: &Flags) -> CmdResult {
+    let g = read_graph_json(Path::new(&flags.required("graph")))?;
+    println!(
+        "nodes = {}, edges = {}, attributes = {}, avg degree = {:.2}",
+        g.node_count(),
+        g.edge_count(),
+        g.attr_dim(),
+        g.avg_degree()
+    );
+    let comps = galign_graph::components::connected_components(&g);
+    let num = comps.iter().copied().max().map_or(0, |m| m + 1);
+    println!(
+        "connected components = {num}, largest = {} nodes",
+        galign_graph::components::largest_component(&g).len()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! `galign` — command-line network alignment.
+//!
+//! ```text
+//! galign generate --dataset douban --scale 0.2 --seed 1 --out data/
+//! galign align    --source data/source.json --target data/target.json \
+//!                 --method galign --seed 1 --out anchors.json [--model model.json]
+//! galign evaluate --anchors anchors.json --truth data/truth.json
+//! galign info     --graph data/source.json
+//! ```
+//!
+//! Graphs, anchors and models are the JSON formats of `galign-graph::io`
+//! and `galign::persist`, so the CLI interoperates with everything the
+//! library writes.
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| usage(""));
+    let rest: Vec<String> = argv.collect();
+    let result = match command.as_str() {
+        "generate" => commands::generate(&args::parse_flags(&rest)),
+        "align" => commands::align(&args::parse_flags(&rest)),
+        "evaluate" => commands::evaluate(&args::parse_flags(&rest)),
+        "convert" => commands::convert(&args::parse_flags(&rest)),
+        "info" => commands::info(&args::parse_flags(&rest)),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "galign — unsupervised network alignment (GAlign, ICDE 2020)\n\n\
+         commands:\n\
+         \x20 generate --dataset <douban|flickr|allmovie|bn|econ|email|toy> [--scale F] [--seed N] [--out DIR]\n\
+         \x20 align    --source G.json --target G.json [--method galign|regal|isorank|final|pale|cenalp|ione|degree]\n\
+         \x20          [--seeds anchors.json] [--seed N] [--out anchors.json] [--scores scores.json]\n\
+         \x20          [--save-model model.json] [--top-k K]\n\
+         \x20 evaluate --anchors predicted.json --truth truth.json\n\
+         \x20 convert  --edges edges.txt [--attrs attrs.csv] [--out graph.json]\n\
+         \x20 info     --graph G.json"
+    );
+    std::process::exit(2);
+}

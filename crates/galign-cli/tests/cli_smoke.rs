@@ -1,0 +1,112 @@
+//! End-to-end smoke tests of the `galign` binary: generate → align →
+//! evaluate → info, exercising the real executable and file formats.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn galign(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_galign-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("galign-cli-smoke").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn full_workflow_on_toy_dataset() {
+    let dir = workdir("toy");
+    let d = dir.to_str().unwrap();
+    let (ok, out) = galign(&["generate", "--dataset", "toy", "--out", d]);
+    assert!(ok, "{out}");
+    assert!(out.contains("toy-movies"));
+
+    let src = format!("{d}/source.json");
+    let tgt = format!("{d}/target.json");
+    let pred = format!("{d}/pred.json");
+    let scores = format!("{d}/scores.json");
+    let (ok, out) = galign(&[
+        "align", "--source", &src, "--target", &tgt, "--out", &pred, "--scores", &scores,
+        "--method", "final", "--seeds", &format!("{d}/truth.json"),
+    ]);
+    assert!(ok, "{out}");
+    assert!(std::path::Path::new(&pred).exists());
+    assert!(std::path::Path::new(&scores).exists());
+
+    let (ok, out) = galign(&["evaluate", "--anchors", &pred, "--truth", &format!("{d}/truth.json")]);
+    assert!(ok, "{out}");
+    assert!(out.contains("precision"));
+
+    let (ok, out) = galign(&["info", "--graph", &src]);
+    assert!(ok, "{out}");
+    assert!(out.contains("nodes = 10"));
+}
+
+#[test]
+fn galign_method_with_model_export() {
+    let dir = workdir("galign-method");
+    let d = dir.to_str().unwrap();
+    let (ok, out) = galign(&["generate", "--dataset", "toy", "--out", d]);
+    assert!(ok, "{out}");
+    let model = format!("{d}/model.json");
+    let (ok, out) = galign(&[
+        "align",
+        "--source", &format!("{d}/source.json"),
+        "--target", &format!("{d}/target.json"),
+        "--out", &format!("{d}/pred.json"),
+        "--save-model", &model,
+    ]);
+    assert!(ok, "{out}");
+    assert!(std::path::Path::new(&model).exists());
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, out) = galign(&["generate", "--dataset", "nope"]);
+    assert!(!ok);
+    assert!(out.contains("unknown dataset"));
+
+    let (ok, out) = galign(&["frobnicate"]);
+    assert!(!ok);
+    assert!(out.contains("unknown command"));
+
+    let (ok, out) = galign(&["info", "--graph", "/nonexistent/file.json"]);
+    assert!(!ok);
+    assert!(out.contains("error"));
+}
+
+#[test]
+fn convert_edge_list_roundtrip() {
+    let dir = workdir("convert");
+    let d = dir.to_str().unwrap();
+    std::fs::write(format!("{d}/edges.txt"), "# comment\n0 1\n1 2\n2 0\n").unwrap();
+    std::fs::write(format!("{d}/attrs.csv"), "1,0\n0,1\n0.5,0.5\n").unwrap();
+    let out = format!("{d}/g.json");
+    let (ok, text) = galign(&[
+        "convert", "--edges", &format!("{d}/edges.txt"), "--attrs", &format!("{d}/attrs.csv"),
+        "--out", &out,
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("3 nodes, 3 edges, 2 attrs"));
+    let (ok, text) = galign(&["info", "--graph", &out]);
+    assert!(ok, "{text}");
+    assert!(text.contains("nodes = 3"));
+    // Too few attribute rows fails cleanly.
+    std::fs::write(format!("{d}/short.csv"), "1,0\n").unwrap();
+    let (ok, text) = galign(&[
+        "convert", "--edges", &format!("{d}/edges.txt"), "--attrs", &format!("{d}/short.csv"),
+    ]);
+    assert!(!ok);
+    assert!(text.contains("attribute rows"));
+}

@@ -1,0 +1,24 @@
+//! Seeded synthetic stand-ins for the paper's evaluation datasets.
+//!
+//! The real networks of Table II (Douban, Flickr, Myspace, Allmovie,
+//! Imdb/Tmdb, bn, econ, email) are not redistributable; this crate
+//! synthesises structurally comparable replacements (node/edge/attribute
+//! counts, degree regime, overlap sizes) with deterministic seeds — see
+//! DESIGN.md §3 for the substitution argument.
+//!
+//! * [`catalog`] — per-dataset constructors (`douban()`, `flickr_myspace()`,
+//!   `allmovie_imdb()`, `bn()`, `econ()`, `email()`), each returning an
+//!   [`AlignmentTask`]. A `scale` factor shrinks every network for fast CI
+//!   and laptop-scale experiments.
+//! * [`synth`] — generic alignment-pair synthesis: noisy copies (Figs. 3–4),
+//!   partial-overlap pairs for the isomorphic-level sweep (Fig. 5), and
+//!   subgraph pairs with anchor subsets (Douban-style size imbalance).
+//! * [`toy`] — the 10-movie-pair toy dataset of the qualitative study
+//!   (Fig. 8).
+
+pub mod catalog;
+pub mod synth;
+pub mod toy;
+
+pub use catalog::{allmovie_imdb, bn, douban, econ, email, flickr_myspace, DatasetSpec};
+pub use synth::AlignmentTask;

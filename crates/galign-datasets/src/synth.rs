@@ -1,0 +1,246 @@
+//! Generic alignment-pair synthesis.
+//!
+//! These constructions mirror how the paper derives alignment problems:
+//! noisy copies of one network (the synthetic experiments of §VII-D),
+//! partial-overlap pairs (the isomorphic-level sweep, Fig. 5) and
+//! subset pairs (size-imbalanced real pairs like Douban Online/Offline).
+
+use galign_graph::{noise, AnchorLinks, AttributedGraph};
+use galign_matrix::rng::SeededRng;
+use std::collections::HashMap;
+
+/// A ready-to-run alignment problem: two attributed networks plus
+/// ground-truth anchors.
+#[derive(Debug, Clone)]
+pub struct AlignmentTask {
+    /// Human-readable name (e.g. `"douban"`).
+    pub name: String,
+    /// Source network `G_s`.
+    pub source: AttributedGraph,
+    /// Target network `G_t`.
+    pub target: AttributedGraph,
+    /// Ground-truth anchor links.
+    pub truth: AnchorLinks,
+}
+
+impl AlignmentTask {
+    /// One-line statistics summary (node/edge/attribute/anchor counts).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: source {}n/{}e, target {}n/{}e, {} attrs, {} anchors",
+            self.name,
+            self.source.node_count(),
+            self.source.edge_count(),
+            self.target.node_count(),
+            self.target.edge_count(),
+            self.source.attr_dim(),
+            self.truth.len()
+        )
+    }
+}
+
+/// Builds a noisy-copy pair: the target is the source with `p_s` structural
+/// and `p_a` attribute noise, then randomly relabelled so node indices carry
+/// no signal. Ground truth maps each source node to its relabelled copy.
+pub fn noisy_pair(
+    name: &str,
+    g: &AttributedGraph,
+    p_s: f64,
+    p_a: f64,
+    rng: &mut SeededRng,
+) -> AlignmentTask {
+    let noisy = noise::augment(rng, g, p_s, p_a);
+    let perm = rng.permutation(g.node_count());
+    let target = noisy.permute(&perm);
+    let truth = AnchorLinks::new((0..g.node_count()).map(|v| (v, perm[v])).collect());
+    AlignmentTask {
+        name: name.to_string(),
+        source: g.clone(),
+        target,
+        truth,
+    }
+}
+
+/// Builds a partial-overlap pair for the isomorphic-level experiment
+/// (Fig. 5): source and target are induced subgraphs of `parent` sharing
+/// `overlap_ratio` of its nodes; the non-shared remainder is split between
+/// the two sides. Small noise (`p_s`, `p_a`) is applied to the target.
+pub fn overlap_pair(
+    name: &str,
+    parent: &AttributedGraph,
+    overlap_ratio: f64,
+    p_s: f64,
+    p_a: f64,
+    rng: &mut SeededRng,
+) -> AlignmentTask {
+    let n = parent.node_count();
+    let mut order = rng.permutation(n);
+    let shared = ((n as f64) * overlap_ratio.clamp(0.0, 1.0)).round() as usize;
+    let rest = n - shared;
+    let shared_nodes: Vec<usize> = order.drain(..shared).collect();
+    let source_extra: Vec<usize> = order.drain(..rest / 2).collect();
+    let target_extra: Vec<usize> = order;
+
+    let mut source_nodes = shared_nodes.clone();
+    source_nodes.extend(&source_extra);
+    let mut target_nodes = shared_nodes.clone();
+    target_nodes.extend(&target_extra);
+
+    let (source, smap) = parent.induced_subgraph(&source_nodes);
+    let (target_raw, tmap) = parent.induced_subgraph(&target_nodes);
+    let target = noise::augment(rng, &target_raw, p_s, p_a);
+
+    let truth = AnchorLinks::new(
+        shared_nodes
+            .iter()
+            .map(|v| (smap[v], tmap[v]))
+            .collect(),
+    );
+    AlignmentTask {
+        name: name.to_string(),
+        source,
+        target,
+        truth,
+    }
+}
+
+/// Builds a size-imbalanced subset pair (Douban Online/Offline style): the
+/// target keeps only `anchor_count` nodes of the source (biased towards
+/// high-degree nodes, like real "active user" subsets), rewired with noise,
+/// optionally padded with `extra_nodes` fresh nodes carrying random edges.
+pub fn subset_pair(
+    name: &str,
+    g: &AttributedGraph,
+    anchor_count: usize,
+    extra_nodes: usize,
+    p_s: f64,
+    p_a: f64,
+    rng: &mut SeededRng,
+) -> AlignmentTask {
+    let n = g.node_count();
+    let anchor_count = anchor_count.min(n);
+    // Degree-biased sampling without replacement.
+    let mut weights: Vec<f64> = g.degrees().iter().map(|&d| (d + 1) as f64).collect();
+    let mut chosen = Vec::with_capacity(anchor_count);
+    for _ in 0..anchor_count {
+        let v = rng.weighted_index(&weights);
+        chosen.push(v);
+        weights[v] = 0.0;
+    }
+    chosen.sort_unstable();
+
+    let (sub, map) = g.induced_subgraph(&chosen);
+    let noisy = noise::augment(rng, &sub, p_s, p_a);
+
+    // Pad with fresh nodes attached by preferential attachment.
+    let total = noisy.node_count() + extra_nodes;
+    let mut edges = noisy.edges();
+    let mut attrs_rows: Vec<Vec<f64>> = noisy
+        .attributes()
+        .row_iter()
+        .map(|r| r.to_vec())
+        .collect();
+    let attr_dim = noisy.attr_dim();
+    for v in noisy.node_count()..total {
+        let links = 1 + rng.index(3);
+        for _ in 0..links {
+            if v > 0 {
+                edges.push((rng.index(v), v));
+            }
+        }
+        let mut row = vec![0.0; attr_dim];
+        if attr_dim > 0 {
+            row[rng.index(attr_dim)] = 1.0;
+        }
+        attrs_rows.push(row);
+    }
+    let attrs = galign_matrix::Dense::from_rows(&attrs_rows).expect("consistent rows");
+    let target = AttributedGraph::from_edges(total, &edges, attrs);
+
+    let smap: HashMap<usize, usize> = (0..n).map(|v| (v, v)).collect();
+    let truth = AnchorLinks::new(
+        chosen
+            .iter()
+            .map(|v| (smap[v], map[v]))
+            .collect(),
+    );
+    AlignmentTask {
+        name: name.to_string(),
+        source: g.clone(),
+        target,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_graph::generators;
+
+    fn base_graph(seed: u64, n: usize) -> AttributedGraph {
+        let mut rng = SeededRng::new(seed);
+        let edges = generators::barabasi_albert(&mut rng, n, 3);
+        let attrs = generators::binary_attributes(&mut rng, n, 10, 3);
+        AttributedGraph::from_edges(n, &edges, attrs)
+    }
+
+    #[test]
+    fn noisy_pair_truth_is_permutation() {
+        let g = base_graph(1, 50);
+        let mut rng = SeededRng::new(2);
+        let task = noisy_pair("t", &g, 0.1, 0.1, &mut rng);
+        assert_eq!(task.truth.len(), 50);
+        assert_eq!(task.target.node_count(), 50);
+        // Ground truth is a bijection.
+        let targets: std::collections::HashSet<usize> =
+            task.truth.pairs().iter().map(|&(_, t)| t).collect();
+        assert_eq!(targets.len(), 50);
+        assert!(task.summary().contains("50 anchors"));
+    }
+
+    #[test]
+    fn noisy_pair_zero_noise_preserves_structure() {
+        let g = base_graph(3, 30);
+        let mut rng = SeededRng::new(4);
+        let task = noisy_pair("t", &g, 0.0, 0.0, &mut rng);
+        let s2t = task.truth.source_to_target();
+        for (u, v) in task.source.edges() {
+            assert!(task.target.has_edge(s2t[&u], s2t[&v]));
+        }
+    }
+
+    #[test]
+    fn overlap_pair_respects_ratio() {
+        let g = base_graph(5, 100);
+        let mut rng = SeededRng::new(6);
+        let task = overlap_pair("o", &g, 0.6, 0.05, 0.0, &mut rng);
+        assert_eq!(task.truth.len(), 60);
+        // Both sides contain shared + half the remainder.
+        assert_eq!(task.source.node_count(), 60 + 20);
+        assert_eq!(task.target.node_count(), 60 + 20);
+    }
+
+    #[test]
+    fn overlap_pair_extreme_ratios() {
+        let g = base_graph(7, 40);
+        let mut rng = SeededRng::new(8);
+        let full = overlap_pair("o", &g, 1.0, 0.0, 0.0, &mut rng);
+        assert_eq!(full.truth.len(), 40);
+        let none = overlap_pair("o", &g, 0.0, 0.0, 0.0, &mut rng);
+        assert_eq!(none.truth.len(), 0);
+    }
+
+    #[test]
+    fn subset_pair_shapes() {
+        let g = base_graph(9, 80);
+        let mut rng = SeededRng::new(10);
+        let task = subset_pair("s", &g, 30, 5, 0.05, 0.05, &mut rng);
+        assert_eq!(task.source.node_count(), 80);
+        assert_eq!(task.target.node_count(), 35);
+        assert_eq!(task.truth.len(), 30);
+        // All anchors point at valid target ids.
+        for &(s, t) in task.truth.pairs() {
+            assert!(s < 80 && t < 35);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The 10-movie toy dataset of the qualitative study (Fig. 8).
+//!
+//! The paper extracts 10 movie pairs from Allmovie–IMDB with genre one-hot
+//! attributes; we build an equivalent miniature: ten films connected by
+//! shared-cast edges, a target copy with one attribute typo and one missing
+//! co-star edge, and recognisable display names for plot labelling.
+
+use crate::synth::AlignmentTask;
+use galign_graph::{AnchorLinks, AttributedGraph};
+use galign_matrix::Dense;
+
+/// Display names of the toy films (the two the paper calls out in Fig. 8c,
+/// "School Ties" and "Duets", included).
+pub const MOVIE_NAMES: [&str; 10] = [
+    "School Ties",
+    "Duets",
+    "The Mummy: Tomb of the Dragon Emperor",
+    "Apollo 13",
+    "Ocean's Eleven",
+    "The Departed",
+    "Good Will Hunting",
+    "The Bourne Identity",
+    "Gone Girl",
+    "Interstellar",
+];
+
+/// Genre labels backing the 4 one-hot attribute columns.
+pub const GENRES: [&str; 4] = ["Drama", "Music", "Action", "Sci-Fi"];
+
+fn genre_of(movie: usize) -> usize {
+    match movie {
+        0 | 5 | 6 | 8 => 0, // drama
+        1 => 1,             // music
+        2 | 4 | 7 => 2,     // action
+        3 | 9 => 3,         // sci-fi
+        _ => 0,
+    }
+}
+
+/// Shared-cast edges of the toy network (hand-picked to give a connected,
+/// clustered miniature of a co-actor graph).
+const EDGES: [(usize, usize); 14] = [
+    (0, 1), // School Ties – Duets (shared lead)
+    (0, 6),
+    (6, 5),
+    (5, 4),
+    (4, 3),
+    (3, 9),
+    (9, 8),
+    (8, 7),
+    (7, 2),
+    (2, 4),
+    (1, 8),
+    (6, 3),
+    (5, 7),
+    (0, 5),
+];
+
+/// Builds the source toy network.
+pub fn toy_source() -> AttributedGraph {
+    let attrs = Dense::from_fn(10, 4, |v, j| if genre_of(v) == j { 1.0 } else { 0.0 });
+    AttributedGraph::from_edges(10, &EDGES, attrs)
+}
+
+/// Builds the 10-movie-pair toy alignment task: the target is the source
+/// with one dropped edge (a cast-listing omission) and one corrupted genre
+/// attribute (a metadata typo), node identity preserved.
+pub fn toy_movies() -> AlignmentTask {
+    let source = toy_source();
+    // Drop the School Ties – Duets co-star edge in the target.
+    let target_edges: Vec<(usize, usize)> =
+        EDGES.iter().copied().filter(|&e| e != (0, 1)).collect();
+    let mut attrs = Dense::from_fn(10, 4, |v, j| if genre_of(v) == j { 1.0 } else { 0.0 });
+    // "Duets" mis-filed as Drama in the target catalogue.
+    attrs.row_mut(1).copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+    let target = AttributedGraph::from_edges(10, &target_edges, attrs);
+    AlignmentTask {
+        name: "toy-movies".into(),
+        source,
+        target,
+        truth: AnchorLinks::identity(10),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_is_well_formed() {
+        let task = toy_movies();
+        assert_eq!(task.source.node_count(), 10);
+        assert_eq!(task.target.node_count(), 10);
+        assert_eq!(task.truth.len(), 10);
+        assert_eq!(task.source.attr_dim(), 4);
+        // Target dropped exactly one edge.
+        assert_eq!(task.source.edge_count(), task.target.edge_count() + 1);
+        assert!(task.source.has_edge(0, 1));
+        assert!(!task.target.has_edge(0, 1));
+    }
+
+    #[test]
+    fn toy_source_connected() {
+        let comp = galign_graph::components::connected_components(&toy_source());
+        assert!(comp.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn genre_attributes_one_hot() {
+        let g = toy_source();
+        for v in 0..10 {
+            let s: f64 = g.attributes().row(v).iter().sum();
+            assert_eq!(s, 1.0);
+        }
+        // The target's "Duets" row was corrupted to Drama.
+        let task = toy_movies();
+        assert_eq!(task.target.attributes().row(1), &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(task.source.attributes().row(1), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn names_cover_all_nodes() {
+        assert_eq!(MOVIE_NAMES.len(), 10);
+        assert_eq!(GENRES.len(), 4);
+    }
+}

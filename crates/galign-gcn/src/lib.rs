@@ -1,0 +1,18 @@
+//! The paper's graph convolutional network (§IV–§V).
+//!
+//! * [`model::GcnModel`] — a k-layer GCN `H⁽ˡ⁾ = tanh(C H⁽ˡ⁻¹⁾ W⁽ˡ⁾)`
+//!   (Eq. 1) with tanh activation (the paper argues ReLU loses sign
+//!   information for alignment) and **weight sharing** across all forwarded
+//!   graphs, which is what places source/target/augmented embeddings in a
+//!   common space.
+//! * [`loss`] — consistency loss (Eq. 7), adaptivity loss (Eq. 9), combined
+//!   objective (Eq. 10).
+//! * [`train`] — Algorithm 1: the augmented learning loop producing
+//!   multi-order embeddings for both networks.
+
+pub mod loss;
+pub mod model;
+pub mod train;
+
+pub use model::{GcnModel, MultiOrderEmbedding};
+pub use train::{train_multi_order, TrainConfig, TrainReport};

@@ -1,0 +1,190 @@
+//! Loss assembly on the autodiff tape (Eq. 7, 9, 10).
+
+use galign_autograd::tape::{SparseId, Tape, Var};
+
+/// Consistency loss of one network (Eq. 7):
+/// `J_c(G) = Σ_{l∈[1..k]} ‖C − H⁽ˡ⁾ H⁽ˡ⁾ᵀ‖_F`.
+///
+/// `layers` must be the full `H⁽⁰⁾..H⁽ᵏ⁾` list; layer 0 (raw attributes) is
+/// excluded per the paper's summation range.
+pub fn consistency_loss(tape: &mut Tape, layers: &[Var], c: SparseId) -> Var {
+    assert!(layers.len() >= 2, "need at least one GCN layer");
+    let terms: Vec<(Var, f64)> = layers[1..]
+        .iter()
+        .map(|&h| (tape.consistency_loss(h, c), 1.0))
+        .collect();
+    tape.weighted_sum(&terms)
+}
+
+/// Adaptivity loss between a network and one augmented copy (Eq. 9):
+/// `J_a(G, G*) = Σ_v Σ_{l∈[1..k]} σ_<(‖H⁽ˡ⁾(v) − H⁽ˡ⁾(v*)‖)`.
+///
+/// Both layer lists must come from the *same* shared-weight model so the
+/// embeddings live in one space.
+pub fn adaptivity_loss(
+    tape: &mut Tape,
+    layers: &[Var],
+    augmented_layers: &[Var],
+    threshold: f64,
+) -> Var {
+    assert_eq!(layers.len(), augmented_layers.len(), "layer count mismatch");
+    let terms: Vec<(Var, f64)> = layers[1..]
+        .iter()
+        .zip(&augmented_layers[1..])
+        .map(|(&h, &ha)| (tape.adaptivity_loss(h, ha, threshold), 1.0))
+        .collect();
+    tape.weighted_sum(&terms)
+}
+
+/// Combined objective for one network (Eq. 10):
+/// `J(G) = γ J_c(G) + (1−γ) Σ_{G*} J_a(G, G*)`.
+pub fn combined_loss(
+    tape: &mut Tape,
+    layers: &[Var],
+    augmented: &[Vec<Var>],
+    c: SparseId,
+    gamma: f64,
+    threshold: f64,
+) -> Var {
+    let jc = consistency_loss(tape, layers, c);
+    let mut terms = vec![(jc, gamma)];
+    for aug_layers in augmented {
+        let ja = adaptivity_loss(tape, layers, aug_layers, threshold);
+        terms.push((ja, 1.0 - gamma));
+    }
+    tape.weighted_sum(&terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GcnModel;
+    use galign_graph::noise;
+    use galign_graph::AttributedGraph;
+    use galign_matrix::rng::SeededRng;
+    use galign_matrix::Dense;
+
+    fn sample_graph(seed: u64) -> AttributedGraph {
+        let mut rng = SeededRng::new(seed);
+        let edges = galign_graph::generators::erdos_renyi_gnm(&mut rng, 15, 30);
+        let attrs = galign_graph::generators::binary_attributes(&mut rng, 15, 6, 2);
+        AttributedGraph::from_edges(15, &edges, attrs)
+    }
+
+    fn forward(
+        tape: &mut Tape,
+        model: &GcnModel,
+        weights: &[Var],
+        g: &AttributedGraph,
+    ) -> (Vec<Var>, SparseId) {
+        let c = tape.sparse(g.normalized_laplacian());
+        let layers = model.forward_on_tape(tape, weights, c, g.attributes());
+        (layers, c)
+    }
+
+    #[test]
+    fn consistency_loss_is_sum_over_layers() {
+        let g = sample_graph(1);
+        let mut rng = SeededRng::new(2);
+        let model = GcnModel::new(&mut rng, 6, &[4, 4]);
+        let mut tape = Tape::new();
+        let w = model.weights_on_tape(&mut tape);
+        let (layers, c) = forward(&mut tape, &model, &w, &g);
+        let total = consistency_loss(&mut tape, &layers, c);
+        let l1 = tape.consistency_loss(layers[1], c);
+        let l2 = tape.consistency_loss(layers[2], c);
+        let expected = tape.value(l1).get(0, 0) + tape.value(l2).get(0, 0);
+        assert!((tape.value(total).get(0, 0) - expected).abs() < 1e-10);
+        assert!(tape.value(total).get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn adaptivity_loss_zero_for_identical_graphs() {
+        let g = sample_graph(3);
+        let mut rng = SeededRng::new(4);
+        let model = GcnModel::new(&mut rng, 6, &[4]);
+        let mut tape = Tape::new();
+        let w = model.weights_on_tape(&mut tape);
+        let (l1, _) = forward(&mut tape, &model, &w, &g);
+        let (l2, _) = forward(&mut tape, &model, &w, &g);
+        let ja = adaptivity_loss(&mut tape, &l1, &l2, 10.0);
+        assert_eq!(tape.value(ja).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn adaptivity_loss_positive_for_perturbed_graph() {
+        let g = sample_graph(5);
+        let mut noise_rng = SeededRng::new(6);
+        let ga = noise::augment(&mut noise_rng, &g, 0.3, 0.3);
+        let mut rng = SeededRng::new(7);
+        let model = GcnModel::new(&mut rng, 6, &[4]);
+        let mut tape = Tape::new();
+        let w = model.weights_on_tape(&mut tape);
+        let (l1, _) = forward(&mut tape, &model, &w, &g);
+        let (l2, _) = forward(&mut tape, &model, &w, &ga);
+        let ja = adaptivity_loss(&mut tape, &l1, &l2, 10.0);
+        assert!(tape.value(ja).get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn combined_loss_interpolates() {
+        let g = sample_graph(8);
+        let mut noise_rng = SeededRng::new(9);
+        let ga = noise::augment(&mut noise_rng, &g, 0.2, 0.2);
+        let mut rng = SeededRng::new(10);
+        let model = GcnModel::new(&mut rng, 6, &[4]);
+        let mut tape = Tape::new();
+        let w = model.weights_on_tape(&mut tape);
+        let (layers, c) = forward(&mut tape, &model, &w, &g);
+        let (aug_layers, _) = forward(&mut tape, &model, &w, &ga);
+        let jc = consistency_loss(&mut tape, &layers, c);
+        let ja = adaptivity_loss(&mut tape, &layers, &aug_layers, 10.0);
+        let j = combined_loss(&mut tape, &layers, &[aug_layers], c, 0.8, 10.0);
+        let expected = 0.8 * tape.value(jc).get(0, 0) + 0.2 * tape.value(ja).get(0, 0);
+        assert!((tape.value(j).get(0, 0) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_one_ignores_augments() {
+        let g = sample_graph(11);
+        let mut noise_rng = SeededRng::new(12);
+        let ga = noise::augment(&mut noise_rng, &g, 0.2, 0.2);
+        let mut rng = SeededRng::new(13);
+        let model = GcnModel::new(&mut rng, 6, &[4]);
+        let mut tape = Tape::new();
+        let w = model.weights_on_tape(&mut tape);
+        let (layers, c) = forward(&mut tape, &model, &w, &g);
+        let (aug_layers, _) = forward(&mut tape, &model, &w, &ga);
+        let jc = consistency_loss(&mut tape, &layers, c);
+        let j = combined_loss(&mut tape, &layers, &[aug_layers], c, 1.0, 10.0);
+        assert!(
+            (tape.value(j).get(0, 0) - tape.value(jc).get(0, 0)).abs() < 1e-10
+        );
+    }
+
+    #[test]
+    fn losses_are_differentiable_end_to_end() {
+        // Gradient check of the full Eq. 10 program w.r.t. the weights.
+        let g = sample_graph(14);
+        let mut noise_rng = SeededRng::new(15);
+        let ga = noise::augment(&mut noise_rng, &g, 0.2, 0.2);
+        let mut rng = SeededRng::new(16);
+        let model = GcnModel::new(&mut rng, 6, &[3]);
+        let params: Vec<Dense> = model.weights().to_vec();
+        let report = galign_autograd::check::grad_check(
+            &params,
+            |tape, params| {
+                let model = GcnModel::from_weights(6, params.to_vec());
+                let weights = model.weights_on_tape(tape);
+                let c = tape.sparse(g.normalized_laplacian());
+                let layers = model.forward_on_tape(tape, &weights, c, g.attributes());
+                let ca = tape.sparse(ga.normalized_laplacian());
+                let aug = model.forward_on_tape(tape, &weights, ca, ga.attributes());
+                let j = combined_loss(tape, &layers, &[aug], c, 0.8, 10.0);
+                (j, weights)
+            },
+            1e-6,
+        );
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+}

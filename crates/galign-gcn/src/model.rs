@@ -1,0 +1,369 @@
+//! The paper's GCN model (§IV-A, Eq. 1) and its multi-order embeddings.
+
+use galign_autograd::tape::{SparseId, Tape, Var};
+use galign_graph::AttributedGraph;
+use galign_matrix::rng::SeededRng;
+use galign_matrix::{Csr, Dense};
+
+/// The activation σ of Eq. 1.
+///
+/// The paper argues for `tanh` (§IV-A): alignment needs a bijective
+/// activation so negative coordinates keep their sign, whereas ReLU maps
+/// sign information away. `Relu` and `Identity` exist so that argument can
+/// be ablated empirically (see `exp_ablation_design`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// `tanh` — the paper's choice.
+    #[default]
+    Tanh,
+    /// `max(0, x)` — the activation the paper rejects.
+    Relu,
+    /// No activation (a purely linear GCN).
+    Identity,
+}
+
+impl Activation {
+    fn apply_scalar(self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A k-layer graph convolutional network
+/// `H⁽ˡ⁾ = σ(C H⁽ˡ⁻¹⁾ W⁽ˡ⁾)` with `C = D̂^{-1/2} Â D̂^{-1/2}` (Eq. 1) and
+/// σ = tanh by default.
+///
+/// One `GcnModel` instance is shared by the source network, the target
+/// network, and every augmented copy — the weight-sharing mechanism that
+/// places all embeddings in a common space (§V-D).
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    weights: Vec<Dense>,
+    input_dim: usize,
+    activation: Activation,
+}
+
+impl GcnModel {
+    /// Creates a model with Xavier-initialised weights.
+    ///
+    /// `layer_dims[l]` is the embedding dimension `d⁽ˡ⁺¹⁾` of layer `l+1`;
+    /// the paper's default is `k = 2` layers of dimension 200.
+    ///
+    /// # Panics
+    /// Panics when `layer_dims` is empty or `input_dim == 0`.
+    pub fn new(rng: &mut SeededRng, input_dim: usize, layer_dims: &[usize]) -> Self {
+        assert!(!layer_dims.is_empty(), "at least one GCN layer required");
+        assert!(input_dim > 0, "input dimension must be positive");
+        let mut weights = Vec::with_capacity(layer_dims.len());
+        let mut prev = input_dim;
+        for &d in layer_dims {
+            weights.push(rng.xavier_uniform(prev, d));
+            prev = d;
+        }
+        GcnModel {
+            weights,
+            input_dim,
+            activation: Activation::Tanh,
+        }
+    }
+
+    /// Overrides the activation (builder style).
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The activation in use.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Builds a model from explicit weights (deserialisation / tests).
+    ///
+    /// # Panics
+    /// Panics when consecutive weight shapes do not chain.
+    pub fn from_weights(input_dim: usize, weights: Vec<Dense>) -> Self {
+        let mut prev = input_dim;
+        for w in &weights {
+            assert_eq!(w.rows(), prev, "weight shapes must chain");
+            prev = w.cols();
+        }
+        GcnModel {
+            weights,
+            input_dim,
+            activation: Activation::Tanh,
+        }
+    }
+
+    /// Number of GCN layers `k`.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Input (attribute) dimensionality `m = d⁽⁰⁾`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Immutable access to the weight matrices.
+    pub fn weights(&self) -> &[Dense] {
+        &self.weights
+    }
+
+    /// Replaces all weights (used by the trainer after optimisation).
+    ///
+    /// # Panics
+    /// Panics when shapes change.
+    pub fn set_weights(&mut self, weights: Vec<Dense>) {
+        assert_eq!(weights.len(), self.weights.len());
+        for (old, new) in self.weights.iter().zip(&weights) {
+            assert_eq!(old.shape(), new.shape(), "weight shape changed");
+        }
+        self.weights = weights;
+    }
+
+    /// Shapes of all weight matrices (for optimiser construction).
+    pub fn weight_shapes(&self) -> Vec<(usize, usize)> {
+        self.weights.iter().map(|w| w.shape()).collect()
+    }
+
+    /// Inference-mode forward pass on a graph: returns the multi-order
+    /// embeddings `H⁽⁰⁾..H⁽ᵏ⁾` (no gradients recorded).
+    pub fn forward(&self, graph: &AttributedGraph) -> MultiOrderEmbedding {
+        self.forward_with_operator(&graph.normalized_laplacian(), graph.attributes())
+    }
+
+    /// Forward pass with an explicit propagation operator — the refinement
+    /// stage substitutes the noise-aware `C_q` here (Eq. 15).
+    ///
+    /// # Panics
+    /// Panics on operator/attribute shape mismatch.
+    pub fn forward_with_operator(&self, c: &Csr, f: &Dense) -> MultiOrderEmbedding {
+        let mut layers = Vec::with_capacity(self.weights.len() + 1);
+        layers.push(f.clone());
+        let mut h = f.clone();
+        for w in &self.weights {
+            let propagated = c.spmm(&h).expect("operator/embedding shape mismatch");
+            let act = self.activation;
+            h = propagated
+                .matmul(w)
+                .expect("embedding/weight shape mismatch")
+                .map(move |x| act.apply_scalar(x));
+            layers.push(h.clone());
+        }
+        MultiOrderEmbedding { layers }
+    }
+
+    /// Records the forward pass on an autodiff tape, reusing pre-registered
+    /// weight leaves so several graphs share the same parameters.
+    ///
+    /// Returns the tape nodes of `H⁽⁰⁾..H⁽ᵏ⁾`.
+    pub fn forward_on_tape(
+        &self,
+        tape: &mut Tape,
+        weight_vars: &[Var],
+        c: SparseId,
+        f: &Dense,
+    ) -> Vec<Var> {
+        assert_eq!(weight_vars.len(), self.weights.len());
+        let mut layers = Vec::with_capacity(self.weights.len() + 1);
+        let h0 = tape.leaf(f.clone(), false);
+        layers.push(h0);
+        let mut h = h0;
+        for &w in weight_vars {
+            let propagated = tape.spmm(c, h);
+            let projected = tape.matmul(propagated, w);
+            h = match self.activation {
+                Activation::Tanh => tape.tanh(projected),
+                Activation::Relu => tape.relu(projected),
+                Activation::Identity => projected,
+            };
+            layers.push(h);
+        }
+        layers
+    }
+
+    /// Registers the model weights as trainable leaves on a tape.
+    pub fn weights_on_tape(&self, tape: &mut Tape) -> Vec<Var> {
+        self.weights
+            .iter()
+            .map(|w| tape.leaf(w.clone(), true))
+            .collect()
+    }
+}
+
+/// The multi-order embeddings `{H⁽⁰⁾, …, H⁽ᵏ⁾}` of one network (§V-A).
+///
+/// `layers[0]` is the raw attribute matrix `F`; `layers[l]` aggregates the
+/// l-hop neighbourhood.
+#[derive(Debug, Clone)]
+pub struct MultiOrderEmbedding {
+    layers: Vec<Dense>,
+}
+
+impl MultiOrderEmbedding {
+    /// Wraps pre-computed layers.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        MultiOrderEmbedding { layers }
+    }
+
+    /// All layers `H⁽⁰⁾..H⁽ᵏ⁾`.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Number of GCN layers `k` (excludes the attribute layer).
+    pub fn num_gcn_layers(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Embedding matrix of layer `l` (0 = attributes).
+    pub fn layer(&self, l: usize) -> &Dense {
+        &self.layers[l]
+    }
+
+    /// Number of embedded nodes.
+    pub fn node_count(&self) -> usize {
+        self.layers.first().map_or(0, Dense::rows)
+    }
+
+    /// Row-L2-normalised copy of every layer, so layer-wise alignment
+    /// scores (Eq. 11) are cosine similarities in `[-1, 1]` and the
+    /// stability threshold λ of Eq. 13 is meaningful (DESIGN.md §4.2).
+    pub fn normalized(&self) -> MultiOrderEmbedding {
+        MultiOrderEmbedding {
+            layers: self.layers.iter().map(Dense::normalize_rows).collect(),
+        }
+    }
+
+    /// Concatenates all layers horizontally (used by the qualitative
+    /// study's multi-order t-SNE, Fig. 8b).
+    pub fn concatenated(&self) -> Dense {
+        let mut out = self.layers[0].clone();
+        for layer in &self.layers[1..] {
+            out = out.hstack(layer).expect("same node count across layers");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> AttributedGraph {
+        let attrs = Dense::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        ])
+        .unwrap();
+        AttributedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], attrs)
+    }
+
+    #[test]
+    fn shapes_chain_through_layers() {
+        let mut rng = SeededRng::new(1);
+        let model = GcnModel::new(&mut rng, 2, &[5, 3]);
+        assert_eq!(model.num_layers(), 2);
+        assert_eq!(model.weight_shapes(), vec![(2, 5), (5, 3)]);
+        let emb = model.forward(&sample_graph());
+        assert_eq!(emb.num_gcn_layers(), 2);
+        assert_eq!(emb.layer(0).shape(), (4, 2));
+        assert_eq!(emb.layer(1).shape(), (4, 5));
+        assert_eq!(emb.layer(2).shape(), (4, 3));
+        assert_eq!(emb.node_count(), 4);
+    }
+
+    #[test]
+    fn outputs_bounded_by_tanh() {
+        let mut rng = SeededRng::new(2);
+        let model = GcnModel::new(&mut rng, 2, &[4, 4]);
+        let emb = model.forward(&sample_graph());
+        for l in 1..=2 {
+            assert!(emb.layer(l).as_slice().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GCN layer")]
+    fn rejects_empty_layers() {
+        let mut rng = SeededRng::new(3);
+        GcnModel::new(&mut rng, 2, &[]);
+    }
+
+    #[test]
+    fn from_weights_validates_chaining() {
+        let w1 = Dense::zeros(2, 3);
+        let w2 = Dense::zeros(3, 4);
+        let m = GcnModel::from_weights(2, vec![w1, w2]);
+        assert_eq!(m.num_layers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must chain")]
+    fn from_weights_rejects_mismatch() {
+        GcnModel::from_weights(2, vec![Dense::zeros(2, 3), Dense::zeros(5, 4)]);
+    }
+
+    #[test]
+    fn tape_forward_matches_inference_forward() {
+        let mut rng = SeededRng::new(4);
+        let g = sample_graph();
+        let model = GcnModel::new(&mut rng, 2, &[4, 3]);
+        let reference = model.forward(&g);
+        let mut tape = Tape::new();
+        let weights = model.weights_on_tape(&mut tape);
+        let c = tape.sparse(g.normalized_laplacian());
+        let layers = model.forward_on_tape(&mut tape, &weights, c, g.attributes());
+        for (l, var) in layers.iter().enumerate() {
+            assert!(tape.value(*var).approx_eq(reference.layer(l), 1e-12));
+        }
+    }
+
+    #[test]
+    fn normalized_rows_unit_length() {
+        let mut rng = SeededRng::new(5);
+        let model = GcnModel::new(&mut rng, 2, &[4]);
+        let emb = model.forward(&sample_graph()).normalized();
+        for l in 0..=1 {
+            for norm in emb.layer(l).row_norms() {
+                assert!((norm - 1.0).abs() < 1e-9 || norm == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn concatenated_width() {
+        let mut rng = SeededRng::new(6);
+        let model = GcnModel::new(&mut rng, 2, &[4, 3]);
+        let emb = model.forward(&sample_graph());
+        assert_eq!(emb.concatenated().shape(), (4, 2 + 4 + 3));
+    }
+
+    /// Proposition 1: GCN embeddings are permutation-equivariant —
+    /// `H_t⁽ˡ⁾ = P H_s⁽ˡ⁾` when `A_t = P A_s Pᵀ` and weights are shared.
+    #[test]
+    fn proposition1_permutation_equivariance() {
+        let mut rng = SeededRng::new(7);
+        let g = sample_graph();
+        let perm = vec![2, 0, 3, 1];
+        let pg = g.permute(&perm);
+        let model = GcnModel::new(&mut rng, 2, &[5, 4]);
+        let e1 = model.forward(&g);
+        let e2 = model.forward(&pg);
+        for l in 0..=2 {
+            for v in 0..4 {
+                let a = e1.layer(l).row(v);
+                let b = e2.layer(l).row(perm[v]);
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-10, "layer {l} node {v}");
+                }
+            }
+        }
+    }
+}

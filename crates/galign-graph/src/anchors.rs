@@ -1,0 +1,125 @@
+//! Ground-truth anchor links between two networks (§II-B).
+
+use std::collections::HashMap;
+
+/// A set of ground-truth anchor links `(v, v')` with `v` in the source
+/// network and `v'` in the target network.
+///
+/// The paper's alignment setting is one-to-one on the anchored subset, so
+/// lookups are exposed in both directions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AnchorLinks {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl AnchorLinks {
+    /// Creates an anchor set from pairs, deduplicating exact duplicates.
+    pub fn new(mut pairs: Vec<(usize, usize)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        AnchorLinks { pairs }
+    }
+
+    /// The identity alignment on `0..n` (used when the target network is a
+    /// noised copy of the source with node identity preserved, §VII-A).
+    pub fn identity(n: usize) -> Self {
+        AnchorLinks {
+            pairs: (0..n).map(|i| (i, i)).collect(),
+        }
+    }
+
+    /// Anchor pairs in ascending source order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Number of anchor links.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no anchors.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Source→target lookup map.
+    pub fn source_to_target(&self) -> HashMap<usize, usize> {
+        self.pairs.iter().copied().collect()
+    }
+
+    /// Target→source lookup map.
+    pub fn target_to_source(&self) -> HashMap<usize, usize> {
+        self.pairs.iter().map(|&(s, t)| (t, s)).collect()
+    }
+
+    /// Splits into (train, test) by taking `ratio` of the anchors (in the
+    /// order given by `order`, a permutation of `0..len`) as supervision —
+    /// the 10 % training split the paper grants PALE/CENALP/FINAL/IsoRank.
+    ///
+    /// # Panics
+    /// Panics unless `order` is a permutation of `0..len`.
+    pub fn split(&self, ratio: f64, order: &[usize]) -> (AnchorLinks, AnchorLinks) {
+        assert_eq!(order.len(), self.pairs.len(), "order length mismatch");
+        let k = ((self.pairs.len() as f64) * ratio.clamp(0.0, 1.0)).round() as usize;
+        let train: Vec<_> = order[..k].iter().map(|&i| self.pairs[i]).collect();
+        let test: Vec<_> = order[k..].iter().map(|&i| self.pairs[i]).collect();
+        (AnchorLinks::new(train), AnchorLinks::new(test))
+    }
+
+    /// Applies relabelings to both sides, dropping pairs whose endpoint is
+    /// absent from the corresponding map (e.g. after subgraph extraction).
+    pub fn relabel(
+        &self,
+        source_map: &HashMap<usize, usize>,
+        target_map: &HashMap<usize, usize>,
+    ) -> AnchorLinks {
+        AnchorLinks::new(
+            self.pairs
+                .iter()
+                .filter_map(|(s, t)| Some((*source_map.get(s)?, *target_map.get(t)?)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_order() {
+        let a = AnchorLinks::new(vec![(3, 1), (0, 2), (3, 1)]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.pairs(), &[(0, 2), (3, 1)]);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn identity_maps() {
+        let a = AnchorLinks::identity(3);
+        assert_eq!(a.source_to_target()[&2], 2);
+        assert_eq!(a.target_to_source()[&1], 1);
+    }
+
+    #[test]
+    fn split_ratio() {
+        let a = AnchorLinks::identity(10);
+        let order: Vec<usize> = (0..10).collect();
+        let (train, test) = a.split(0.3, &order);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 7);
+        let (all, none) = a.split(1.0, &order);
+        assert_eq!(all.len(), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn relabel_drops_missing() {
+        let a = AnchorLinks::new(vec![(0, 0), (1, 1), (2, 2)]);
+        let smap: HashMap<usize, usize> = [(0, 10), (1, 11)].into_iter().collect();
+        let tmap: HashMap<usize, usize> = [(0, 20), (2, 22)].into_iter().collect();
+        let r = a.relabel(&smap, &tmap);
+        assert_eq!(r.pairs(), &[(10, 20)]);
+    }
+}

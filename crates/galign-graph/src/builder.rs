@@ -1,0 +1,126 @@
+//! Incremental construction of attributed graphs.
+
+use crate::graph::AttributedGraph;
+use galign_matrix::Dense;
+
+/// Incremental builder for [`AttributedGraph`].
+///
+/// Useful when the node count is not known upfront (e.g. parsing edge
+/// lists): nodes are created implicitly by `ensure_node`/`add_edge`, and
+/// attribute rows may be attached at any time before [`GraphBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    attrs: Vec<(usize, Vec<f64>)>,
+    attr_dim: Option<usize>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized to `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            ..Self::default()
+        }
+    }
+
+    /// Grows the node set so `v` exists; returns `v` for chaining.
+    pub fn ensure_node(&mut self, v: usize) -> usize {
+        self.n = self.n.max(v + 1);
+        v
+    }
+
+    /// Adds the undirected edge `{u, v}`, growing the node set as needed.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.ensure_node(u);
+        self.ensure_node(v);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Attaches an attribute row to node `v`.
+    ///
+    /// # Panics
+    /// Panics when the dimensionality disagrees with earlier rows.
+    pub fn set_attr(&mut self, v: usize, attr: Vec<f64>) -> &mut Self {
+        self.ensure_node(v);
+        match self.attr_dim {
+            None => self.attr_dim = Some(attr.len()),
+            Some(d) => assert_eq!(d, attr.len(), "inconsistent attribute dimension"),
+        }
+        self.attrs.push((v, attr));
+        self
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Finalises the graph. Nodes without attributes get zero rows; when no
+    /// attributes were supplied at all, a featureless all-ones column is
+    /// used (the standard GCN convention).
+    pub fn build(self) -> AttributedGraph {
+        let attrs = match self.attr_dim {
+            None => Dense::filled(self.n, 1, 1.0),
+            Some(d) => {
+                let mut m = Dense::zeros(self.n, d);
+                for (v, row) in &self.attrs {
+                    m.row_mut(*v).copy_from_slice(row);
+                }
+                m
+            }
+        };
+        AttributedGraph::from_edges(self.n, &self.edges, attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_featureless_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 4);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.attr_dim(), 1);
+        assert_eq!(g.attributes().get(3, 0), 1.0);
+    }
+
+    #[test]
+    fn builds_attributed_graph_with_defaults() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(0, 1);
+        b.set_attr(0, vec![1.0, 2.0]);
+        let g = b.build();
+        assert_eq!(g.attr_dim(), 2);
+        assert_eq!(g.attributes().row(0), &[1.0, 2.0]);
+        assert_eq!(g.attributes().row(2), &[0.0, 0.0]); // defaulted
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent attribute dimension")]
+    fn rejects_ragged_attributes() {
+        let mut b = GraphBuilder::new();
+        b.set_attr(0, vec![1.0]);
+        b.set_attr(1, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ensure_node_isolated() {
+        let mut b = GraphBuilder::new();
+        b.ensure_node(7);
+        let g = b.build();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

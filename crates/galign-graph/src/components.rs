@@ -1,0 +1,127 @@
+//! Breadth-first traversal utilities: connected components, k-hop
+//! neighbourhoods, eccentricity estimates.
+//!
+//! REGAL's xNetMF features need per-node k-hop degree histograms; the
+//! dataset generators use largest-component extraction to keep stand-ins
+//! connected like their real counterparts.
+
+use crate::graph::AttributedGraph;
+use std::collections::VecDeque;
+
+/// Labels each node with a component id (`0..num_components`), ids assigned
+/// in discovery order.
+pub fn connected_components(g: &AttributedGraph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Node ids of the largest connected component, ascending.
+pub fn largest_component(g: &AttributedGraph) -> Vec<usize> {
+    let comp = connected_components(g);
+    let num = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; num];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let best = (0..num).max_by_key(|&c| sizes[c]).unwrap_or(0);
+    (0..g.node_count()).filter(|&v| comp[v] == best).collect()
+}
+
+/// BFS distances from `start`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &AttributedGraph, start: usize) -> Vec<usize> {
+    let n = g.node_count();
+    let mut dist = vec![usize::MAX; n];
+    dist[start] = 0;
+    let mut queue = VecDeque::from([start]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes grouped by hop distance from `start`, up to `max_hops`
+/// (`result[h]` = nodes at exactly `h` hops, `result[0] = [start]`).
+pub fn khop_layers(g: &AttributedGraph, start: usize, max_hops: usize) -> Vec<Vec<usize>> {
+    let dist = bfs_distances(g, start);
+    let mut layers = vec![Vec::new(); max_hops + 1];
+    for (v, &d) in dist.iter().enumerate() {
+        if d <= max_hops {
+            layers[d].push(v);
+        }
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> AttributedGraph {
+        // 0-1-2 path and 3-4 edge; node 5 isolated.
+        AttributedGraph::from_edges_featureless(6, &[(0, 1), (1, 2), (3, 4)])
+    }
+
+    #[test]
+    fn components_labelling() {
+        let comp = connected_components(&two_components());
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn largest_component_selection() {
+        let lc = largest_component(&two_components());
+        assert_eq!(lc, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_distances_path() {
+        let g = AttributedGraph::from_edges_featureless(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        let d = bfs_distances(&two_components(), 0);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn khop_layers_structure() {
+        let g = AttributedGraph::from_edges_featureless(5, &[(0, 1), (0, 2), (1, 3), (3, 4)]);
+        let layers = khop_layers(&g, 0, 2);
+        assert_eq!(layers[0], vec![0]);
+        assert_eq!(layers[1], vec![1, 2]);
+        assert_eq!(layers[2], vec![3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AttributedGraph::from_edges_featureless(0, &[]);
+        assert!(connected_components(&g).is_empty());
+        assert!(largest_component(&g).is_empty());
+    }
+}

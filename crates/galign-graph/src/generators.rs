@@ -1,0 +1,407 @@
+//! Random graph generators used to synthesise dataset stand-ins.
+//!
+//! The evaluation datasets (Table II) range from sparse social networks
+//! (average degree ≈ 2–4) to dense co-actor networks (average degree ≈ 41).
+//! The generators here cover that spectrum:
+//!
+//! * [`erdos_renyi_gnm`] — uniform random graphs with an exact edge count.
+//! * [`barabasi_albert`] — preferential attachment (heavy-tailed degrees,
+//!   the regime of social networks like Douban/Flickr).
+//! * [`watts_strogatz`] — small-world rewiring (high clustering, used for
+//!   the brain/email stand-ins).
+//! * [`powerlaw_cluster`] — Holme–Kim preferential attachment with triad
+//!   closure.
+//! * [`co_membership`] — bipartite projection of nodes onto shared groups
+//!   (movies sharing actors → near-clique structure of Allmovie/Imdb).
+//!
+//! Attribute samplers generate the two attribute families the paper's noise
+//! model distinguishes: sparse binary attributes and real-valued attributes.
+
+use crate::graph::AttributedGraph;
+use galign_matrix::rng::SeededRng;
+use galign_matrix::Dense;
+use std::collections::HashSet;
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct undirected edges (capped at
+/// the complete graph).
+pub fn erdos_renyi_gnm(rng: &mut SeededRng, n: usize, m: usize) -> Vec<(usize, usize)> {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut edges = HashSet::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.index(n);
+        let v = rng.index(n);
+        if u != v {
+            edges.insert((u.min(v), u.max(v)));
+        }
+    }
+    let mut out: Vec<_> = edges.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi_gnp(rng: &mut SeededRng, n: usize, p: f64) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.bernoulli(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_attach` existing nodes with probability proportional to degree.
+pub fn barabasi_albert(rng: &mut SeededRng, n: usize, m_attach: usize) -> Vec<(usize, usize)> {
+    let m_attach = m_attach.max(1);
+    let seed = (m_attach + 1).min(n);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Repeated-endpoint list implements degree-proportional sampling.
+    let mut targets: Vec<usize> = Vec::new();
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            edges.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for v in seed..n {
+        // Vec + linear scan keeps iteration order deterministic (std
+        // HashSet order is randomised per instance, which would leak into
+        // the degree-proportional sampling stream).
+        let mut chosen: Vec<usize> = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while chosen.len() < m_attach.min(v) && guard < 50 * m_attach {
+            guard += 1;
+            let t = if targets.is_empty() {
+                rng.index(v)
+            } else {
+                targets[rng.index(targets.len())]
+            };
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((t, v));
+            targets.push(t);
+            targets.push(v);
+        }
+    }
+    edges
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbours per side
+/// rewired with probability `beta`.
+pub fn watts_strogatz(rng: &mut SeededRng, n: usize, k: usize, beta: f64) -> Vec<(usize, usize)> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, (n - 1) / 2).max(1);
+    let mut edges = HashSet::new();
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            let (a, b) = (u.min(v), u.max(v));
+            edges.insert((a, b));
+        }
+    }
+    let mut original: Vec<(usize, usize)> = edges.iter().copied().collect();
+    // Sort so the rewiring RNG stream does not depend on HashSet order.
+    original.sort_unstable();
+    for (u, v) in original {
+        if rng.bernoulli(beta) {
+            // Rewire the far endpoint to a uniform non-neighbour.
+            let mut guard = 0;
+            loop {
+                guard += 1;
+                let w = rng.index(n);
+                let cand = (u.min(w), u.max(w));
+                if w != u && !edges.contains(&cand) {
+                    edges.remove(&(u.min(v), u.max(v)));
+                    edges.insert(cand);
+                    break;
+                }
+                if guard > 100 {
+                    break;
+                }
+            }
+        }
+    }
+    let mut out: Vec<_> = edges.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Holme–Kim power-law cluster graph: BA attachment where each extra link
+/// closes a triangle with probability `p_triad`.
+pub fn powerlaw_cluster(
+    rng: &mut SeededRng,
+    n: usize,
+    m_attach: usize,
+    p_triad: f64,
+) -> Vec<(usize, usize)> {
+    let m_attach = m_attach.max(1);
+    let seed = (m_attach + 1).min(n);
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    let mut targets: Vec<usize> = Vec::new();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let connect = |edges: &mut HashSet<(usize, usize)>,
+                       adj: &mut Vec<Vec<usize>>,
+                       targets: &mut Vec<usize>,
+                       u: usize,
+                       v: usize|
+     -> bool {
+        if u == v || edges.contains(&(u.min(v), u.max(v))) {
+            return false;
+        }
+        edges.insert((u.min(v), u.max(v)));
+        adj[u].push(v);
+        adj[v].push(u);
+        targets.push(u);
+        targets.push(v);
+        true
+    };
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            connect(&mut edges, &mut adj, &mut targets, u, v);
+        }
+    }
+    for v in seed..n {
+        let mut added = 0usize;
+        let mut last: Option<usize> = None;
+        let mut guard = 0;
+        while added < m_attach.min(v) && guard < 100 * m_attach {
+            guard += 1;
+            // Triad step: link to a neighbour of the previous target.
+            if let Some(prev) = last {
+                if rng.bernoulli(p_triad) && !adj[prev].is_empty() {
+                    let w = adj[prev][rng.index(adj[prev].len())];
+                    if connect(&mut edges, &mut adj, &mut targets, v, w) {
+                        added += 1;
+                        last = Some(w);
+                        continue;
+                    }
+                }
+            }
+            let t = if targets.is_empty() {
+                rng.index(v)
+            } else {
+                targets[rng.index(targets.len())]
+            };
+            if connect(&mut edges, &mut adj, &mut targets, v, t) {
+                added += 1;
+                last = Some(t);
+            }
+        }
+    }
+    let mut out: Vec<_> = edges.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Co-membership graph: assigns each node to `memberships_per_node` of
+/// `n_groups` groups (Zipf-ish sizes) and links nodes sharing a group —
+/// the structure of co-actor movie networks (Allmovie/Imdb stand-ins).
+///
+/// Returns the edges and the group assignment (usable as categorical
+/// attributes).
+pub fn co_membership(
+    rng: &mut SeededRng,
+    n: usize,
+    n_groups: usize,
+    memberships_per_node: usize,
+) -> (Vec<(usize, usize)>, Vec<Vec<usize>>) {
+    let n_groups = n_groups.max(1);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    let mut node_groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Zipf-like group popularity so some "actors" appear in many "movies".
+    let weights: Vec<f64> = (0..n_groups).map(|g| 1.0 / (g as f64 + 1.0)).collect();
+    for v in 0..n {
+        let mut mine: Vec<usize> = Vec::new();
+        let mut guard = 0;
+        while mine.len() < memberships_per_node.min(n_groups) && guard < 100 {
+            guard += 1;
+            let g = rng.weighted_index(&weights);
+            if !mine.contains(&g) {
+                mine.push(g);
+            }
+        }
+        for g in mine {
+            groups[g].push(v);
+            node_groups[v].push(g);
+        }
+    }
+    let mut edges = HashSet::new();
+    for members in &groups {
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+    }
+    let mut out: Vec<_> = edges.into_iter().collect();
+    out.sort_unstable();
+    (out, node_groups)
+}
+
+/// Sparse binary attribute matrix: each node activates `active_per_node`
+/// of `dim` binary attributes (e.g. Douban's 538 tag attributes).
+pub fn binary_attributes(
+    rng: &mut SeededRng,
+    n: usize,
+    dim: usize,
+    active_per_node: usize,
+) -> Dense {
+    let mut f = Dense::zeros(n, dim);
+    for v in 0..n {
+        for j in rng.sample_indices(dim, active_per_node.min(dim)) {
+            f.set(v, j, 1.0);
+        }
+    }
+    f
+}
+
+/// Real-valued attribute matrix with per-node community-correlated signal:
+/// node `v` draws attributes from a Gaussian centred at one of
+/// `n_profiles` random profile vectors.
+pub fn real_attributes(rng: &mut SeededRng, n: usize, dim: usize, n_profiles: usize) -> Dense {
+    let n_profiles = n_profiles.max(1);
+    let profiles = rng.uniform_matrix(n_profiles, dim, 0.0, 1.0);
+    Dense::from_fn(n, dim, |v, j| {
+        let p = v % n_profiles;
+        (profiles.get(p, j) + rng.normal_with(0.0, 0.1)).clamp(0.0, 1.0)
+    })
+}
+
+/// Categorical one-hot attributes from group assignments (first membership
+/// wins), mapped onto `dim` buckets — mirrors the movie-genre attributes of
+/// the Allmovie/Imdb networks.
+pub fn categorical_attributes(node_groups: &[Vec<usize>], dim: usize) -> Dense {
+    let mut f = Dense::zeros(node_groups.len(), dim.max(1));
+    for (v, gs) in node_groups.iter().enumerate() {
+        if let Some(&g) = gs.first() {
+            f.set(v, g % dim.max(1), 1.0);
+        }
+    }
+    f
+}
+
+/// Convenience: assembles an [`AttributedGraph`] from generator output.
+pub fn assemble(n: usize, edges: Vec<(usize, usize)>, attrs: Dense) -> AttributedGraph {
+    AttributedGraph::from_edges(n, &edges, attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = SeededRng::new(1);
+        let e = erdos_renyi_gnm(&mut rng, 50, 100);
+        assert_eq!(e.len(), 100);
+        // Capped at complete graph.
+        let e2 = erdos_renyi_gnm(&mut rng, 4, 100);
+        assert_eq!(e2.len(), 6);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let mut rng = SeededRng::new(2);
+        let e = erdos_renyi_gnp(&mut rng, 60, 0.2);
+        let max = 60 * 59 / 2;
+        let frac = e.len() as f64 / max as f64;
+        assert!((frac - 0.2).abs() < 0.05, "density {frac}");
+    }
+
+    #[test]
+    fn ba_heavy_tail() {
+        let mut rng = SeededRng::new(3);
+        let n = 300;
+        let edges = barabasi_albert(&mut rng, n, 3);
+        let g = AttributedGraph::from_edges_featureless(n, &edges);
+        let degs = g.degrees();
+        let max_deg = *degs.iter().max().unwrap();
+        let avg = g.avg_degree();
+        // Preferential attachment yields hubs far above the mean degree.
+        assert!(max_deg as f64 > 3.0 * avg, "max {max_deg} avg {avg}");
+        // Graph is connected by construction (every node attaches).
+        let comps = crate::components::connected_components(&g);
+        assert_eq!(comps.iter().max().copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn ws_degree_regularity_without_rewiring() {
+        let mut rng = SeededRng::new(4);
+        let edges = watts_strogatz(&mut rng, 30, 2, 0.0);
+        let g = AttributedGraph::from_edges_featureless(30, &edges);
+        assert!(g.degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_count() {
+        let mut rng = SeededRng::new(5);
+        let e0 = watts_strogatz(&mut rng, 40, 3, 0.0).len();
+        let e1 = watts_strogatz(&mut rng, 40, 3, 0.5).len();
+        assert_eq!(e0, e1);
+    }
+
+    #[test]
+    fn powerlaw_cluster_has_triangles() {
+        let mut rng = SeededRng::new(6);
+        let n = 200;
+        let edges = powerlaw_cluster(&mut rng, n, 3, 0.8);
+        let g = AttributedGraph::from_edges_featureless(n, &edges);
+        // Count triangles crudely.
+        let mut triangles = 0usize;
+        for (u, v) in g.edges() {
+            for &w in g.neighbors(u) {
+                if w != v && g.has_edge(v, w) {
+                    triangles += 1;
+                }
+            }
+        }
+        assert!(triangles > 0);
+    }
+
+    #[test]
+    fn co_membership_forms_cliques() {
+        let mut rng = SeededRng::new(7);
+        let (edges, node_groups) = co_membership(&mut rng, 100, 20, 2);
+        assert!(!edges.is_empty());
+        assert_eq!(node_groups.len(), 100);
+        // Dense: average degree well above a sparse graph's.
+        let g = AttributedGraph::from_edges_featureless(100, &edges);
+        assert!(g.avg_degree() > 4.0);
+    }
+
+    #[test]
+    fn binary_attrs_row_sums() {
+        let mut rng = SeededRng::new(8);
+        let f = binary_attributes(&mut rng, 20, 30, 5);
+        for i in 0..20 {
+            let s: f64 = f.row(i).iter().sum();
+            assert_eq!(s, 5.0);
+            assert!(f.row(i).iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn real_attrs_bounded() {
+        let mut rng = SeededRng::new(9);
+        let f = real_attributes(&mut rng, 15, 6, 3);
+        assert!(f.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn categorical_attrs_one_hot() {
+        let f = categorical_attributes(&[vec![2], vec![], vec![0, 5]], 4);
+        assert_eq!(f.row(0), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(f.row(1), &[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(f.row(2), &[1.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The attributed-network data model of §II-A.
+
+use galign_matrix::{Coo, Csr, Dense};
+
+/// An undirected attributed network `G = (V, A, F)`.
+///
+/// * `A` is stored as a symmetric CSR matrix with unit weights and **no
+///   self-loops**; the self-loop-augmented `Â = A + I` of Eq. 1 is derived
+///   on demand.
+/// * `F` is an `n×m` dense attribute matrix holding application-domain
+///   attributes (the paper stresses these carry no topology information).
+#[derive(Debug, Clone)]
+pub struct AttributedGraph {
+    adjacency: Csr,
+    attributes: Dense,
+}
+
+impl AttributedGraph {
+    /// Builds a graph from an undirected edge list and an attribute matrix.
+    ///
+    /// Edges are symmetrised and deduplicated; self-loops are dropped.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `≥ n` or `attributes.rows() != n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)], attributes: Dense) -> Self {
+        assert_eq!(
+            attributes.rows(),
+            n,
+            "attribute matrix must have one row per node"
+        );
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range for n={n}");
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                coo.push(key.0, key.1, 1.0).expect("checked above");
+                coo.push(key.1, key.0, 1.0).expect("checked above");
+            }
+        }
+        AttributedGraph {
+            adjacency: coo.to_csr(),
+            attributes,
+        }
+    }
+
+    /// Builds a graph with no attributes (an all-ones single column is used,
+    /// the standard featureless-GCN convention).
+    pub fn from_edges_featureless(n: usize, edges: &[(usize, usize)]) -> Self {
+        Self::from_edges(n, edges, Dense::filled(n, 1, 1.0))
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.rows()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.nnz() / 2
+    }
+
+    /// Attribute dimensionality `m`.
+    #[inline]
+    pub fn attr_dim(&self) -> usize {
+        self.attributes.cols()
+    }
+
+    /// The symmetric adjacency matrix `A` (no self-loops).
+    #[inline]
+    pub fn adjacency(&self) -> &Csr {
+        &self.adjacency
+    }
+
+    /// The attribute matrix `F`.
+    #[inline]
+    pub fn attributes(&self) -> &Dense {
+        &self.attributes
+    }
+
+    /// Replaces the attribute matrix (used by noise injection).
+    ///
+    /// # Panics
+    /// Panics when the row count changes.
+    pub fn set_attributes(&mut self, attributes: Dense) {
+        assert_eq!(attributes.rows(), self.node_count());
+        self.attributes = attributes;
+    }
+
+    /// Neighbours of `v` (excluding `v` itself).
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        self.adjacency.row_indices(v)
+    }
+
+    /// Degree of `v` (self-loops excluded).
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency.row_indices(v).len()
+    }
+
+    /// All degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.node_count()).map(|v| self.degree(v)).collect()
+    }
+
+    /// Average degree `2e / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.node_count() as f64
+    }
+
+    /// True when `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency.get(u, v) != 0.0
+    }
+
+    /// Undirected edge list with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.adjacency
+            .iter()
+            .filter(|&(u, v, _)| u < v)
+            .map(|(u, v, _)| (u, v))
+            .collect()
+    }
+
+    /// Self-loop-augmented adjacency `Â = A + I` of Eq. 1.
+    pub fn adjacency_with_self_loops(&self) -> Csr {
+        let n = self.node_count();
+        let mut coo = Coo::new(n, n);
+        for (u, v, w) in self.adjacency.iter() {
+            coo.push(u, v, w).expect("in-range");
+        }
+        for v in 0..n {
+            coo.push(v, v, 1.0).expect("in-range");
+        }
+        coo.to_csr()
+    }
+
+    /// Augmented degree vector `D̂_ii = Σ_j Â_ij` (i.e. `deg(v) + 1`).
+    pub fn augmented_degrees(&self) -> Vec<f64> {
+        (0..self.node_count())
+            .map(|v| self.degree(v) as f64 + 1.0)
+            .collect()
+    }
+
+    /// The normalised Laplacian-style propagation operator of Eq. 1:
+    /// `C = D̂^{-1/2} Â D̂^{-1/2}`.
+    pub fn normalized_laplacian(&self) -> Csr {
+        let inv_sqrt: Vec<f64> = self
+            .augmented_degrees()
+            .iter()
+            .map(|&d| 1.0 / d.sqrt())
+            .collect();
+        self.adjacency_with_self_loops()
+            .diag_scale(&inv_sqrt, &inv_sqrt)
+            .expect("diagonal lengths match by construction")
+    }
+
+    /// Relabels nodes: node `i` of `self` becomes node `perm[i]` of the
+    /// result (Eq. 8: `A_p = P A Pᵀ` with `P_{perm[i], i} = 1` acting on
+    /// rows of `F` likewise).
+    ///
+    /// # Panics
+    /// Panics unless `perm` is a permutation of `0..n`.
+    pub fn permute(&self, perm: &[usize]) -> AttributedGraph {
+        let n = self.node_count();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let edges: Vec<(usize, usize)> = self
+            .edges()
+            .into_iter()
+            .map(|(u, v)| (perm[u], perm[v]))
+            .collect();
+        let mut attrs = Dense::zeros(n, self.attr_dim());
+        for i in 0..n {
+            attrs.row_mut(perm[i]).copy_from_slice(self.attributes.row(i));
+        }
+        AttributedGraph::from_edges(n, &edges, attrs)
+    }
+
+    /// Induced subgraph on `nodes` (order defines new ids). Returns the
+    /// subgraph and the old→new id mapping for nodes that were kept.
+    pub fn induced_subgraph(
+        &self,
+        nodes: &[usize],
+    ) -> (AttributedGraph, std::collections::HashMap<usize, usize>) {
+        let mapping: std::collections::HashMap<usize, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let mut edges = Vec::new();
+        for (new_u, &old_u) in nodes.iter().enumerate() {
+            for &old_v in self.neighbors(old_u) {
+                if let Some(&new_v) = mapping.get(&old_v) {
+                    if new_u < new_v {
+                        edges.push((new_u, new_v));
+                    }
+                }
+            }
+        }
+        let attrs = self.attributes.select_rows(nodes);
+        (
+            AttributedGraph::from_edges(nodes.len(), &edges, attrs),
+            mapping,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> AttributedGraph {
+        let attrs = Dense::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        AttributedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], attrs)
+    }
+
+    #[test]
+    fn basic_topology() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.attr_dim(), 2);
+    }
+
+    #[test]
+    fn dedup_and_self_loop_drop() {
+        let g = AttributedGraph::from_edges_featureless(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        AttributedGraph::from_edges_featureless(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn augmented_adjacency_and_degrees() {
+        let g = triangle();
+        let a_hat = g.adjacency_with_self_loops();
+        assert_eq!(a_hat.get(0, 0), 1.0);
+        assert_eq!(a_hat.get(0, 1), 1.0);
+        assert_eq!(g.augmented_degrees(), vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn normalized_laplacian_rows() {
+        // Triangle: all augmented degrees are 3, so every stored entry is 1/3.
+        let g = triangle();
+        let c = g.normalized_laplacian();
+        for (_, _, v) in c.iter() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+        // Row sums of C for a regular graph equal 1.
+        let sums = c.row_sums();
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_is_symmetric_on_irregular_graph() {
+        let g = AttributedGraph::from_edges_featureless(4, &[(0, 1), (1, 2), (1, 3)]);
+        let c = g.normalized_laplacian();
+        assert!(c.is_symmetric());
+        // C(0,1) = 1/sqrt(d̂_0 · d̂_1) = 1/sqrt(2·4).
+        assert!((c.get(0, 1) - 1.0 / (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_relabels_consistently() {
+        let g = triangle();
+        let perm = vec![2, 0, 1]; // old 0 -> new 2, etc.
+        let p = g.permute(&perm);
+        assert_eq!(p.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(p.has_edge(perm[u], perm[v]));
+        }
+        for i in 0..3 {
+            assert_eq!(p.attributes().row(perm[i]), g.attributes().row(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_invalid_permutation() {
+        triangle().permute(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = AttributedGraph::from_edges_featureless(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (sub, map) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 1); // only (1,2) survives
+        assert!(sub.has_edge(map[&1], map[&2]));
+        assert!(!sub.has_edge(map[&2], map[&4]));
+    }
+
+    #[test]
+    fn edges_listing_sorted_unique() {
+        let g = triangle();
+        let mut e = g.edges();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+}

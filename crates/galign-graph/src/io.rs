@@ -1,0 +1,177 @@
+//! Graph and anchor serialisation.
+//!
+//! Experiments persist their synthesised inputs as JSON so a run can be
+//! inspected or replayed; the format is a plain edge list plus attribute
+//! rows, stable across versions.
+
+use crate::anchors::AnchorLinks;
+use crate::graph::AttributedGraph;
+use galign_matrix::Dense;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serialisable form of an attributed graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphRecord {
+    /// Node count.
+    pub n: usize,
+    /// Undirected edges with `u < v`.
+    pub edges: Vec<(usize, usize)>,
+    /// One attribute row per node.
+    pub attributes: Vec<Vec<f64>>,
+}
+
+impl From<&AttributedGraph> for GraphRecord {
+    fn from(g: &AttributedGraph) -> Self {
+        GraphRecord {
+            n: g.node_count(),
+            edges: g.edges(),
+            attributes: g
+                .attributes()
+                .row_iter()
+                .map(|r| r.to_vec())
+                .collect(),
+        }
+    }
+}
+
+impl GraphRecord {
+    /// Reconstructs the graph.
+    ///
+    /// # Panics
+    /// Panics on malformed records (wrong attribute row count / ragged
+    /// rows), mirroring `AttributedGraph::from_edges`.
+    pub fn to_graph(&self) -> AttributedGraph {
+        let attrs = Dense::from_rows(&self.attributes)
+            .expect("graph record has ragged attribute rows");
+        AttributedGraph::from_edges(self.n, &self.edges, attrs)
+    }
+}
+
+/// Writes a graph as pretty JSON.
+///
+/// # Errors
+/// Returns IO errors from file creation or serialisation.
+pub fn write_graph_json(g: &AttributedGraph, path: &Path) -> std::io::Result<()> {
+    let record = GraphRecord::from(g);
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let json = serde_json::to_string(&record)?;
+    w.write_all(json.as_bytes())
+}
+
+/// Reads a graph written by [`write_graph_json`].
+///
+/// # Errors
+/// Returns IO/parse errors.
+pub fn read_graph_json(path: &Path) -> std::io::Result<AttributedGraph> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    let record: GraphRecord = serde_json::from_str(&buf)?;
+    Ok(record.to_graph())
+}
+
+/// Writes anchor links as JSON.
+///
+/// # Errors
+/// Returns IO errors.
+pub fn write_anchors_json(a: &AnchorLinks, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let json = serde_json::to_string(a)?;
+    w.write_all(json.as_bytes())
+}
+
+/// Reads anchor links written by [`write_anchors_json`].
+///
+/// # Errors
+/// Returns IO/parse errors.
+pub fn read_anchors_json(path: &Path) -> std::io::Result<AnchorLinks> {
+    let buf = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&buf)?)
+}
+
+/// Parses a whitespace-separated edge list (`u v` per line, `#` comments),
+/// the format of SNAP / network-repository dumps.
+///
+/// # Errors
+/// Returns [`std::io::Error`] with `InvalidData` on malformed lines.
+pub fn parse_edge_list(text: &str) -> std::io::Result<Vec<(usize, usize)>> {
+    let mut edges = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> std::io::Result<usize> {
+            tok.ok_or_else(|| malformed(lineno))?
+                .parse::<usize>()
+                .map_err(|_| malformed(lineno))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+fn malformed(lineno: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed edge-list line {}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_matrix::rng::SeededRng;
+
+    fn sample() -> AttributedGraph {
+        let mut rng = SeededRng::new(1);
+        let edges = crate::generators::erdos_renyi_gnm(&mut rng, 20, 40);
+        let attrs = crate::generators::binary_attributes(&mut rng, 20, 6, 2);
+        AttributedGraph::from_edges(20, &edges, attrs)
+    }
+
+    #[test]
+    fn graph_json_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("galign-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        write_graph_json(&g, &path).unwrap();
+        let g2 = read_graph_json(&path).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert!(g2.attributes().approx_eq(g.attributes(), 0.0));
+        let mut e1 = g.edges();
+        let mut e2 = g2.edges();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn anchors_json_roundtrip() {
+        let a = AnchorLinks::new(vec![(0, 3), (5, 1)]);
+        let dir = std::env::temp_dir().join("galign-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.json");
+        write_anchors_json(&a, &path).unwrap();
+        assert_eq!(read_anchors_json(&path).unwrap(), a);
+    }
+
+    #[test]
+    fn edge_list_parsing() {
+        let text = "# comment\n0 1\n2 3 extra-ignored\n\n% also comment\n4 5\n";
+        let edges = parse_edge_list(text).unwrap();
+        assert_eq!(edges, vec![(0, 1), (2, 3), (4, 5)]);
+        assert!(parse_edge_list("a b").is_err());
+        assert!(parse_edge_list("1").is_err());
+    }
+}

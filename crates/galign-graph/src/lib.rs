@@ -1,0 +1,31 @@
+//! Attributed graphs and graph tooling for network alignment.
+//!
+//! Implements the paper's data model (§II-A): an attributed network
+//! `G = (V, A, F)` with a binary symmetric adjacency matrix `A` and a node
+//! attribute matrix `F`, plus everything the experiments need around it:
+//!
+//! * [`AttributedGraph`] and [`builder::GraphBuilder`] — construction and
+//!   topology queries, normalised Laplacian `C = D̂^{-1/2} Â D̂^{-1/2}`
+//!   (Eq. 1).
+//! * [`generators`] — Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+//!   power-law cluster and co-membership random graphs used to synthesise
+//!   dataset stand-ins.
+//! * [`noise`] — the perturbation procedures of §V-C (edge removal/addition,
+//!   binary and real-valued attribute noise) and node permutation (Eq. 8).
+//! * [`anchors`] — ground-truth anchor links shared by datasets, aligners
+//!   and metrics.
+//! * [`components`] — BFS, connected components, k-hop neighbourhoods.
+//! * [`io`] — JSON (de)serialisation of graphs and anchor sets.
+
+pub mod anchors;
+pub mod builder;
+pub mod components;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod noise;
+pub mod stats;
+
+pub use anchors::AnchorLinks;
+pub use builder::GraphBuilder;
+pub use graph::AttributedGraph;

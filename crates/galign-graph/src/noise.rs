@@ -1,0 +1,263 @@
+//! Perturbation-based network augmentation and adversarial noise (§V-C).
+//!
+//! The same primitives serve two roles in the paper:
+//!
+//! 1. **Data augmentation** during training — small perturbations of the
+//!    source/target networks teach the model to tolerate consistency
+//!    violations (the adaptivity loss, Eq. 9).
+//! 2. **Adversarial evaluation** (§VII-D) — the structural-noise and
+//!    attribute-noise sweeps of Figs. 3–4 remove edges / corrupt attributes
+//!    at rates between 10 % and 50 %.
+
+use crate::graph::AttributedGraph;
+use galign_matrix::rng::SeededRng;
+use galign_matrix::Dense;
+use std::collections::HashSet;
+
+/// Removes each edge independently with probability `p` (the element-wise
+/// zero-mask of §V-C).
+pub fn remove_edges(rng: &mut SeededRng, g: &AttributedGraph, p: f64) -> AttributedGraph {
+    let kept: Vec<(usize, usize)> = g
+        .edges()
+        .into_iter()
+        .filter(|_| !rng.bernoulli(p))
+        .collect();
+    AttributedGraph::from_edges(g.node_count(), &kept, g.attributes().clone())
+}
+
+/// Adds `⌈p·e⌉` random previously-absent edges.
+pub fn add_edges(rng: &mut SeededRng, g: &AttributedGraph, p: f64) -> AttributedGraph {
+    let n = g.node_count();
+    if n < 2 {
+        return g.clone();
+    }
+    let mut edges: HashSet<(usize, usize)> = g.edges().into_iter().collect();
+    let target = edges.len() + ((edges.len() as f64) * p).ceil() as usize;
+    let max_edges = n * (n - 1) / 2;
+    let target = target.min(max_edges);
+    let mut guard = 0usize;
+    while edges.len() < target && guard < 100 * target.max(1) {
+        guard += 1;
+        let u = rng.index(n);
+        let v = rng.index(n);
+        if u != v {
+            edges.insert((u.min(v), u.max(v)));
+        }
+    }
+    let mut out: Vec<_> = edges.into_iter().collect();
+    out.sort_unstable();
+    AttributedGraph::from_edges(n, &out, g.attributes().clone())
+}
+
+/// Structural augmentation used during training: removes edges with
+/// probability `p_s` and adds the same expected number of random edges, so
+/// the perturbed copy violates structural consistency in both directions.
+pub fn structural_noise(rng: &mut SeededRng, g: &AttributedGraph, p_s: f64) -> AttributedGraph {
+    let removed = remove_edges(rng, g, p_s);
+    add_edges(rng, &removed, p_s * g.edge_count() as f64 / removed.edge_count().max(1) as f64)
+}
+
+/// Binary attribute noise: with probability `p_a` per node, the positions of
+/// the non-zero entries of its attribute vector are re-randomised (the
+/// paper's "randomly change the position of non-zero entries").
+pub fn binary_attribute_noise(
+    rng: &mut SeededRng,
+    attrs: &Dense,
+    p_a: f64,
+) -> Dense {
+    let mut out = attrs.clone();
+    let dim = attrs.cols();
+    for v in 0..attrs.rows() {
+        if !rng.bernoulli(p_a) {
+            continue;
+        }
+        let active = attrs.row(v).iter().filter(|&&x| x != 0.0).count();
+        let row = out.row_mut(v);
+        row.fill(0.0);
+        for j in rng.sample_indices(dim, active.min(dim)) {
+            row[j] = 1.0;
+        }
+    }
+    out
+}
+
+/// Real-valued attribute noise: each element `F_ij` is shifted by a random
+/// amount in `[0, p_a · F_ij]` (the paper's real-valued rule), with a random
+/// sign so the perturbation is not systematically inflating.
+pub fn real_attribute_noise(rng: &mut SeededRng, attrs: &Dense, p_a: f64) -> Dense {
+    let mut out = attrs.clone();
+    for v in out.as_mut_slice().iter_mut() {
+        let delta = rng.uniform(0.0, 1.0) * p_a * *v;
+        let sign = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+        *v += sign * delta;
+    }
+    out
+}
+
+/// True when every stored attribute value is 0 or 1 — selects which noise
+/// rule applies (§V-C distinguishes binary from real-valued attributes).
+pub fn attributes_are_binary(attrs: &Dense) -> bool {
+    attrs.as_slice().iter().all(|&v| v == 0.0 || v == 1.0)
+}
+
+/// Attribute noise dispatching on the attribute family.
+pub fn attribute_noise(rng: &mut SeededRng, g: &AttributedGraph, p_a: f64) -> AttributedGraph {
+    let noisy = if attributes_are_binary(g.attributes()) {
+        binary_attribute_noise(rng, g.attributes(), p_a)
+    } else {
+        real_attribute_noise(rng, g.attributes(), p_a)
+    };
+    let mut out = g.clone();
+    out.set_attributes(noisy);
+    out
+}
+
+/// Full §V-C augmentation: structural noise at `p_s` plus attribute noise at
+/// `p_a`. Node identity is preserved (see DESIGN.md §4.4 on Eq. 8's
+/// permutation, which Prop. 1 renders immaterial).
+pub fn augment(
+    rng: &mut SeededRng,
+    g: &AttributedGraph,
+    p_s: f64,
+    p_a: f64,
+) -> AttributedGraph {
+    let structural = structural_noise(rng, g, p_s);
+    attribute_noise(rng, &structural, p_a)
+}
+
+/// Builds a noisy alignment problem from one network (§VII-A "synthetic
+/// data"): the target is a copy with `p_s` structural and `p_a` attribute
+/// noise, and the ground truth is the identity.
+pub fn noisy_copy_pair(
+    rng: &mut SeededRng,
+    g: &AttributedGraph,
+    p_s: f64,
+    p_a: f64,
+) -> (AttributedGraph, AttributedGraph, crate::anchors::AnchorLinks) {
+    let target = augment(rng, g, p_s, p_a);
+    (
+        g.clone(),
+        target,
+        crate::anchors::AnchorLinks::identity(g.node_count()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, binary_attributes};
+    use proptest::prelude::*;
+
+    fn sample_graph(seed: u64) -> AttributedGraph {
+        let mut rng = SeededRng::new(seed);
+        let edges = barabasi_albert(&mut rng, 120, 3);
+        let attrs = binary_attributes(&mut rng, 120, 20, 4);
+        AttributedGraph::from_edges(120, &edges, attrs)
+    }
+
+    #[test]
+    fn remove_edges_rate() {
+        let g = sample_graph(1);
+        let mut rng = SeededRng::new(2);
+        let noisy = remove_edges(&mut rng, &g, 0.3);
+        let ratio = noisy.edge_count() as f64 / g.edge_count() as f64;
+        assert!((ratio - 0.7).abs() < 0.1, "kept ratio {ratio}");
+        // Nodes and attributes untouched.
+        assert_eq!(noisy.node_count(), g.node_count());
+        assert!(noisy.attributes().approx_eq(g.attributes(), 0.0));
+    }
+
+    #[test]
+    fn remove_edges_extremes() {
+        let g = sample_graph(3);
+        let mut rng = SeededRng::new(4);
+        assert_eq!(remove_edges(&mut rng, &g, 0.0).edge_count(), g.edge_count());
+        assert_eq!(remove_edges(&mut rng, &g, 1.0).edge_count(), 0);
+    }
+
+    #[test]
+    fn add_edges_grows() {
+        let g = sample_graph(5);
+        let mut rng = SeededRng::new(6);
+        let noisy = add_edges(&mut rng, &g, 0.2);
+        let expected = g.edge_count() + (g.edge_count() as f64 * 0.2).ceil() as usize;
+        assert_eq!(noisy.edge_count(), expected);
+        // All original edges retained.
+        for (u, v) in g.edges() {
+            assert!(noisy.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn binary_noise_preserves_cardinality() {
+        let g = sample_graph(7);
+        let mut rng = SeededRng::new(8);
+        let noisy = binary_attribute_noise(&mut rng, g.attributes(), 1.0);
+        for v in 0..g.node_count() {
+            let before = g.attributes().row(v).iter().filter(|&&x| x != 0.0).count();
+            let after = noisy.row(v).iter().filter(|&&x| x != 0.0).count();
+            assert_eq!(before, after);
+        }
+        assert!(attributes_are_binary(&noisy));
+    }
+
+    #[test]
+    fn binary_noise_zero_rate_is_identity() {
+        let g = sample_graph(9);
+        let mut rng = SeededRng::new(10);
+        let noisy = binary_attribute_noise(&mut rng, g.attributes(), 0.0);
+        assert!(noisy.approx_eq(g.attributes(), 0.0));
+    }
+
+    #[test]
+    fn real_noise_relative_magnitude() {
+        let mut rng = SeededRng::new(11);
+        let attrs = Dense::filled(10, 4, 2.0);
+        let noisy = real_attribute_noise(&mut rng, &attrs, 0.5);
+        for (&a, &b) in attrs.as_slice().iter().zip(noisy.as_slice()) {
+            assert!((a - b).abs() <= 0.5 * a + 1e-12);
+        }
+        // Zero entries stay zero.
+        let zeros = Dense::zeros(3, 3);
+        let nz = real_attribute_noise(&mut rng, &zeros, 0.9);
+        assert!(nz.approx_eq(&zeros, 0.0));
+    }
+
+    #[test]
+    fn attribute_family_detection() {
+        assert!(attributes_are_binary(&Dense::filled(2, 2, 1.0)));
+        assert!(attributes_are_binary(&Dense::zeros(2, 2)));
+        assert!(!attributes_are_binary(&Dense::filled(2, 2, 0.5)));
+    }
+
+    #[test]
+    fn noisy_copy_pair_identity_truth() {
+        let g = sample_graph(12);
+        let mut rng = SeededRng::new(13);
+        let (s, t, truth) = noisy_copy_pair(&mut rng, &g, 0.1, 0.1);
+        assert_eq!(s.node_count(), t.node_count());
+        assert_eq!(truth.len(), g.node_count());
+        assert_eq!(truth.pairs()[5], (5, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_structural_noise_roughly_preserves_edge_count(seed in 0u64..30, p in 0.05f64..0.4) {
+            // Removal + equal-expected addition keeps e within a loose band.
+            let g = sample_graph(seed);
+            let mut rng = SeededRng::new(seed + 1000);
+            let noisy = structural_noise(&mut rng, &g, p);
+            let ratio = noisy.edge_count() as f64 / g.edge_count() as f64;
+            prop_assert!(ratio > 0.75 && ratio < 1.25, "ratio {}", ratio);
+        }
+
+        #[test]
+        fn prop_augment_keeps_node_count(seed in 0u64..30) {
+            let g = sample_graph(seed);
+            let mut rng = SeededRng::new(seed);
+            let a = augment(&mut rng, &g, 0.2, 0.2);
+            prop_assert_eq!(a.node_count(), g.node_count());
+            prop_assert_eq!(a.attr_dim(), g.attr_dim());
+        }
+    }
+}

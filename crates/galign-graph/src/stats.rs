@@ -1,0 +1,174 @@
+//! Descriptive graph statistics.
+//!
+//! Used to validate that synthesised dataset stand-ins sit in the same
+//! structural regime as their Table II originals (degree distribution,
+//! clustering, assortativity), and exposed for users analysing their own
+//! networks before alignment.
+
+use crate::graph::AttributedGraph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Mean degree `2e/n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient (transitivity): `3·triangles / triads`.
+    pub clustering: f64,
+    /// Degree assortativity (Pearson correlation of endpoint degrees).
+    pub assortativity: f64,
+}
+
+/// Computes [`GraphStats`] in `O(Σ deg(v)²)`.
+pub fn graph_stats(g: &AttributedGraph) -> GraphStats {
+    GraphStats {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        avg_degree: g.avg_degree(),
+        max_degree: g.degrees().into_iter().max().unwrap_or(0),
+        clustering: transitivity(g),
+        assortativity: degree_assortativity(g),
+    }
+}
+
+/// Global clustering coefficient: `3 × #triangles / #connected-triples`.
+pub fn transitivity(g: &AttributedGraph) -> f64 {
+    let mut triangles = 0usize; // counted 6× (ordered)
+    let mut triads = 0usize; // open + closed, centred per node
+    for v in 0..g.node_count() {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len();
+        triads += d.saturating_sub(1) * d / 2;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is counted once per corner = 3 times.
+    if triads == 0 {
+        0.0
+    } else {
+        triangles as f64 / triads as f64
+    }
+}
+
+/// Degree assortativity: Pearson correlation between the degrees of edge
+/// endpoints (0 for degenerate graphs).
+pub fn degree_assortativity(g: &AttributedGraph) -> f64 {
+    let edges = g.edges();
+    if edges.is_empty() {
+        return 0.0;
+    }
+    // Each undirected edge contributes both orientations.
+    let degs = g.degrees();
+    let xs: Vec<f64> = edges
+        .iter()
+        .flat_map(|&(u, v)| [degs[u] as f64, degs[v] as f64])
+        .collect();
+    let ys: Vec<f64> = edges
+        .iter()
+        .flat_map(|&(u, v)| [degs[v] as f64, degs[u] as f64])
+        .collect();
+    pearson(&xs, &ys)
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Histogram of node degrees; `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &AttributedGraph) -> Vec<usize> {
+    let degs = g.degrees();
+    let max = degs.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degs {
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use galign_matrix::rng::SeededRng;
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = AttributedGraph::from_edges_featureless(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn star_has_zero_clustering_and_negative_assortativity() {
+        let g = AttributedGraph::from_edges_featureless(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(transitivity(&g), 0.0);
+        // Hubs connect to leaves: anti-assortative.
+        assert!(degree_assortativity(&g) <= 0.0);
+    }
+
+    #[test]
+    fn path_statistics() {
+        let g = AttributedGraph::from_edges_featureless(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(transitivity(&g), 0.0);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 2, 2]); // two leaves, two middle nodes
+    }
+
+    #[test]
+    fn small_world_more_clustered_than_random() {
+        let mut rng = SeededRng::new(1);
+        let n = 200;
+        let ws = AttributedGraph::from_edges_featureless(
+            n,
+            &generators::watts_strogatz(&mut rng, n, 3, 0.05),
+        );
+        let er = AttributedGraph::from_edges_featureless(
+            n,
+            &generators::erdos_renyi_gnm(&mut rng, n, ws.edge_count()),
+        );
+        assert!(
+            transitivity(&ws) > 2.0 * transitivity(&er),
+            "WS {} vs ER {}",
+            transitivity(&ws),
+            transitivity(&er)
+        );
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = AttributedGraph::from_edges_featureless(0, &[]);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.assortativity, 0.0);
+        assert_eq!(degree_histogram(&g), vec![0]);
+    }
+}

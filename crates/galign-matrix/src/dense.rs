@@ -1,0 +1,784 @@
+//! Row-major dense `f64` matrices with rayon-parallel kernels.
+//!
+//! [`Dense`] is the workhorse type of the whole workspace: GCN activations,
+//! weight matrices, embeddings, and alignment-score blocks are all `Dense`.
+//! Kernels use the cache-friendly `ikj` loop order and parallelise over
+//! output rows, which is the right trade-off for the tall-skinny matrices
+//! (n×d with n ≫ d) this project manipulates.
+
+use crate::error::{MatrixError, Result};
+use rayon::prelude::*;
+
+/// Minimum number of rows before a kernel bothers spawning rayon tasks.
+const PAR_THRESHOLD: usize = 64;
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a `rows`×`cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows`×`cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Dense {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Dense::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square matrix with `diag` on the diagonal.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Dense::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidInput`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::InvalidInput(format!(
+                "buffer of length {} cannot back a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Dense { rows, cols, data })
+    }
+
+    /// Builds a matrix from a slice of equally sized rows.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidInput`] on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Dense::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(MatrixError::InvalidInput("ragged rows".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Dense {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Dense { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at `(i, j)` without bounds diagnostics (panics like slice
+    /// indexing on violation).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Checked element access.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::IndexOutOfBounds`] when `(i, j)` is outside the
+    /// matrix.
+    pub fn try_get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Immutable slice over row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable slice over row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies column `j` into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Returns a new matrix holding the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Dense {
+        let mut out = Dense::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Dense {
+        let mut out = Dense::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    fn require_same_shape(&self, other: &Dense, op: &'static str) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Dense) -> Result<Dense> {
+        self.require_same_shape(other, "add")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise difference `self - other`.
+    pub fn sub(&self, other: &Dense) -> Result<Dense> {
+        self.require_same_shape(other, "sub")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// In-place `self += alpha * other` (BLAS `axpy`).
+    pub fn axpy(&mut self, alpha: f64, other: &Dense) -> Result<()> {
+        self.require_same_shape(other, "axpy")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scaled copy `alpha * self`.
+    pub fn scale(&self, alpha: f64) -> Dense {
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * alpha).collect(),
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Dense) -> Result<Dense> {
+        self.require_same_shape(other, "hadamard")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Dense {
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Matrix product `self * other`, parallelised over output rows.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Dense) -> Result<Dense> {
+        if self.cols != other.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Dense::zeros(m, n);
+        let body = |(i, out_row): (usize, &mut [f64])| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b;
+                }
+            }
+        };
+        if m >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_exact_mut(n.max(1))
+                .enumerate()
+                .for_each(body);
+        } else {
+            out.data.chunks_exact_mut(n.max(1)).enumerate().for_each(body);
+        }
+        Ok(out)
+    }
+
+    /// Reference (sequential, naive) matrix product used to cross-check the
+    /// fast kernel in tests.
+    pub fn matmul_naive(&self, other: &Dense) -> Result<Dense> {
+        if self.cols != other.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "matmul_naive",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Dense::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc = 0.0;
+                for p in 0..self.cols {
+                    acc += self.get(i, p) * other.get(p, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product with a transposed right operand: `self * otherᵀ`.
+    ///
+    /// Both operands are read row-wise, which makes this the preferred kernel
+    /// for similarity matrices `H_s H_tᵀ` (Eq. 11 of the paper).
+    pub fn matmul_bt(&self, other: &Dense) -> Result<Dense> {
+        if self.cols != other.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "matmul_bt",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Dense::zeros(m, n);
+        let body = |(i, out_row): (usize, &mut [f64])| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                *o = dot(a_row, b_row);
+            }
+        };
+        if m >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_exact_mut(n.max(1))
+                .enumerate()
+                .for_each(body);
+        } else {
+            out.data.chunks_exact_mut(n.max(1)).enumerate().for_each(body);
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self` (`cols`×`cols`), computed by accumulating
+    /// rank-1 row updates — `O(n d²)` with only a `d²` temporary.
+    pub fn gram(&self) -> Dense {
+        let d = self.cols;
+        let fold_rows = |acc: Vec<f64>, rows: &[f64]| {
+            let mut acc = acc;
+            for row in rows.chunks_exact(d.max(1)) {
+                for (a, &ra) in row.iter().enumerate() {
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    let out = &mut acc[a * d..(a + 1) * d];
+                    for (o, &rb) in out.iter_mut().zip(row) {
+                        *o += ra * rb;
+                    }
+                }
+            }
+            acc
+        };
+        let data = if self.rows >= PAR_THRESHOLD {
+            self.data
+                .par_chunks(d.max(1) * 32)
+                .fold(|| vec![0.0; d * d], &fold_rows)
+                .reduce(
+                    || vec![0.0; d * d],
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+        } else {
+            fold_rows(vec![0.0; d * d], &self.data)
+        };
+        Dense {
+            rows: d,
+            cols: d,
+            data,
+        }
+    }
+
+    /// Frobenius norm `‖self‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum element (`NEG_INFINITY` for an empty matrix).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`.
+    pub fn frobenius_dot(&self, other: &Dense) -> Result<f64> {
+        self.require_same_shape(other, "frobenius_dot")?;
+        Ok(dot(&self.data, &other.data))
+    }
+
+    /// L2 norm of each row.
+    pub fn row_norms(&self) -> Vec<f64> {
+        self.row_iter().map(|r| dot(r, r).sqrt()).collect()
+    }
+
+    /// Returns a copy whose rows are L2-normalised; zero rows are left as-is.
+    pub fn normalize_rows(&self) -> Dense {
+        let mut out = self.clone();
+        for row in out.data.chunks_exact_mut(self.cols.max(1)) {
+            let n = dot(row, row).sqrt();
+            if n > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= n;
+                }
+            }
+        }
+        out
+    }
+
+    /// `(argmax, max)` of row `i`; `None` for zero-width matrices.
+    pub fn row_argmax(&self, i: usize) -> Option<(usize, f64)> {
+        let row = self.row(i);
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &v) in row.iter().enumerate() {
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((j, v));
+            }
+        }
+        best
+    }
+
+    /// Indices of the `q` largest entries of row `i`, descending by value.
+    pub fn row_topk(&self, i: usize, q: usize) -> Vec<usize> {
+        top_k_indices(self.row(i), q)
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &Dense) -> Result<Dense> {
+        if self.rows != other.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Dense::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Vertical concatenation.
+    pub fn vstack(&self, other: &Dense) -> Result<Dense> {
+        if self.cols != other.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Dense {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// True when every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Dense, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Indices of the `q` largest values in `values`, descending.
+///
+/// Uses a linear scan with a small sorted buffer — `q` is tiny (≤ 10 for
+/// Success@q) compared to row length, so this beats a full sort.
+pub fn top_k_indices(values: &[f64], q: usize) -> Vec<usize> {
+    let q = q.min(values.len());
+    if q == 0 {
+        return Vec::new();
+    }
+    let mut best: Vec<(usize, f64)> = Vec::with_capacity(q + 1);
+    for (j, &v) in values.iter().enumerate() {
+        if best.len() < q || v > best.last().expect("non-empty when len >= q > 0").1 {
+            let pos = best
+                .iter()
+                .position(|&(_, bv)| v > bv)
+                .unwrap_or(best.len());
+            best.insert(pos, (j, v));
+            if best.len() > q {
+                best.pop();
+            }
+        }
+    }
+    best.into_iter().map(|(j, _)| j).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use proptest::prelude::*;
+
+    fn m(rows: &[&[f64]]) -> Dense {
+        Dense::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.shape(), (2, 2));
+        assert_eq!(a.get(1, 0), 3.0);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(1), vec![2.0, 4.0]);
+        assert!(a.try_get(2, 0).is_err());
+        assert!(Dense::from_vec(2, 2, vec![1.0]).is_err());
+        assert!(Dense::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i = Dense::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        let d = Dense::from_diag(&[2.0, 5.0]);
+        assert_eq!(d.get(1, 1), 5.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.add(&b).unwrap(), m(&[&[6.0, 8.0], &[10.0, 12.0]]));
+        assert_eq!(b.sub(&a).unwrap(), m(&[&[4.0, 4.0], &[4.0, 4.0]]));
+        assert_eq!(a.scale(2.0), m(&[&[2.0, 4.0], &[6.0, 8.0]]));
+        assert_eq!(a.hadamard(&b).unwrap(), m(&[&[5.0, 12.0], &[21.0, 32.0]]));
+        let mut c = a.clone();
+        c.axpy(0.5, &b).unwrap();
+        assert!(c.approx_eq(&m(&[&[3.5, 5.0], &[6.5, 8.0]]), 1e-12));
+        let wrong = Dense::zeros(3, 3);
+        assert!(a.add(&wrong).is_err());
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = m(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m(&[&[58.0, 64.0], &[139.0, 154.0]]));
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_bt_matches_transpose() {
+        let mut rng = SeededRng::new(7);
+        let a = rng.uniform_matrix(13, 5, -1.0, 1.0);
+        let b = rng.uniform_matrix(9, 5, -1.0, 1.0);
+        let fast = a.matmul_bt(&b).unwrap();
+        let slow = a.matmul_naive(&b.transpose()).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn gram_matches_definition() {
+        let mut rng = SeededRng::new(11);
+        let a = rng.uniform_matrix(70, 6, -2.0, 2.0);
+        let g = a.gram();
+        let reference = a.transpose().matmul_naive(&a).unwrap();
+        assert!(g.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn norms_and_reductions() {
+        let a = m(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.frobenius_norm_sq(), 25.0);
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.row_norms(), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_rows_keeps_zero_rows() {
+        let a = m(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        let n = a.normalize_rows();
+        assert!((dot(n.row(0), n.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_argmax_and_topk() {
+        let a = m(&[&[0.1, 0.9, 0.5, 0.9]]);
+        // First maximal element wins on ties.
+        assert_eq!(a.row_argmax(0), Some((1, 0.9)));
+        assert_eq!(a.row_topk(0, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&[], 4), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&[1.0, 2.0], 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = m(&[&[1.0], &[2.0]]);
+        let b = m(&[&[3.0], &[4.0]]);
+        assert_eq!(a.hstack(&b).unwrap(), m(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.vstack(&b).unwrap(),
+            m(&[&[1.0], &[2.0], &[3.0], &[4.0]])
+        );
+        assert!(a.hstack(&Dense::zeros(3, 1)).is_err());
+        assert!(a.vstack(&Dense::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let a = m(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s, m(&[&[3.0, 3.0], &[1.0, 1.0]]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_matches_naive(seed in 0u64..1000, mm in 1usize..40, kk in 1usize..20, nn in 1usize..40) {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.uniform_matrix(mm, kk, -1.0, 1.0);
+            let b = rng.uniform_matrix(kk, nn, -1.0, 1.0);
+            let fast = a.matmul(&b).unwrap();
+            let slow = a.matmul_naive(&b).unwrap();
+            prop_assert!(fast.approx_eq(&slow, 1e-9));
+        }
+
+        #[test]
+        fn prop_parallel_matmul_large_rows(seed in 0u64..50) {
+            // Exercise the rayon path (rows >= PAR_THRESHOLD).
+            let mut rng = SeededRng::new(seed);
+            let a = rng.uniform_matrix(80, 7, -1.0, 1.0);
+            let b = rng.uniform_matrix(7, 5, -1.0, 1.0);
+            prop_assert!(a.matmul(&b).unwrap().approx_eq(&a.matmul_naive(&b).unwrap(), 1e-9));
+            let c = rng.uniform_matrix(80, 7, -1.0, 1.0);
+            prop_assert!(a.matmul_bt(&c).unwrap().approx_eq(&a.matmul_naive(&c.transpose()).unwrap(), 1e-9));
+        }
+
+        #[test]
+        fn prop_frobenius_triangle_inequality(seed in 0u64..200) {
+            let mut rng = SeededRng::new(seed);
+            let a = rng.uniform_matrix(6, 6, -1.0, 1.0);
+            let b = rng.uniform_matrix(6, 6, -1.0, 1.0);
+            let lhs = a.add(&b).unwrap().frobenius_norm();
+            prop_assert!(lhs <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+        }
+
+        #[test]
+        fn prop_topk_sorted_desc(values in proptest::collection::vec(-1.0f64..1.0, 0..30), q in 0usize..10) {
+            let idx = top_k_indices(&values, q);
+            prop_assert_eq!(idx.len(), q.min(values.len()));
+            for w in idx.windows(2) {
+                prop_assert!(values[w[0]] >= values[w[1]]);
+            }
+            // Every excluded value is <= the smallest included one.
+            if let Some(&last) = idx.last() {
+                for (j, &v) in values.iter().enumerate() {
+                    if !idx.contains(&j) {
+                        prop_assert!(v <= values[last] + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

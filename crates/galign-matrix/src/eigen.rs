@@ -1,0 +1,241 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Small symmetric eigenproblems appear in two places in the reproduction:
+//! REGAL's Nyström low-rank factorisation (a `p×p` landmark Gram matrix with
+//! `p ≈ 10·log n`) and PCA in `galign-viz`. Cyclic Jacobi is simple, robust
+//! and plenty fast at those sizes (`O(n³)` per sweep with tiny constants).
+
+use crate::dense::Dense;
+use crate::error::{MatrixError, Result};
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as *columns*, aligned with `values`.
+    pub vectors: Dense,
+}
+
+/// Computes all eigenpairs of a symmetric matrix using cyclic Jacobi
+/// rotations.
+///
+/// # Errors
+/// * [`MatrixError::ShapeMismatch`] for a non-square input.
+/// * [`MatrixError::NoConvergence`] if the off-diagonal mass does not drop
+///   below tolerance within `max_sweeps` sweeps (does not occur for
+///   well-posed symmetric input).
+pub fn sym_eigen(a: &Dense, max_sweeps: usize) -> Result<SymEigen> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sym_eigen",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    if n == 0 {
+        return Ok(SymEigen {
+            values: Vec::new(),
+            vectors: Dense::zeros(0, 0),
+        });
+    }
+    let mut m = a.clone();
+    let mut v = Dense::identity(n);
+    let tol = 1e-12 * a.frobenius_norm().max(1.0);
+
+    let off_diag_norm = |m: &Dense| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m.get(i, j) * m.get(i, j);
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let mut converged = false;
+    for _ in 0..max_sweeps {
+        if off_diag_norm(&m) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Standard Jacobi rotation angle: tan(2φ) = 2·a_pq / (a_pp − a_qq).
+                let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = phi.sin_cos();
+                // Apply rotation G(p, q, φ) on both sides: M ← Gᵀ M G.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp + s * mkq);
+                    m.set(k, q, -s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk + s * mqk);
+                    m.set(q, k, -s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp + s * vkq);
+                    v.set(k, q, -s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    if !converged && off_diag_norm(&m) > tol {
+        return Err(MatrixError::NoConvergence {
+            op: "sym_eigen",
+            iters: max_sweeps,
+        });
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let mut vectors = Dense::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors.set(k, new_col, v.get(k, old_col));
+        }
+    }
+    Ok(SymEigen { values, vectors })
+}
+
+/// Symmetric matrix square-root-pseudo-inverse `A^{+1/2}` from the
+/// eigendecomposition, zeroing modes with eigenvalue below `cutoff`.
+///
+/// REGAL's xNetMF uses `W^{1/2}` of the landmark pseudo-inverse; computing
+/// it spectrally keeps the factorisation stable when landmarks are nearly
+/// collinear.
+///
+/// # Errors
+/// Propagates [`sym_eigen`] failures.
+pub fn sqrt_pinv(a: &Dense, cutoff: f64) -> Result<Dense> {
+    let eig = sym_eigen(a, 100)?;
+    let n = a.rows();
+    let mut scaled = eig.vectors.clone();
+    for j in 0..n {
+        let lam = eig.values[j];
+        let f = if lam > cutoff { lam.powf(-0.25) } else { 0.0 };
+        for i in 0..n {
+            scaled.set(i, j, scaled.get(i, j) * f);
+        }
+    }
+    // A^{+1/2} = V Λ^{-1/2} Vᵀ = (V Λ^{-1/4})(V Λ^{-1/4})ᵀ.
+    scaled.matmul_bt(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use proptest::prelude::*;
+
+    fn random_symmetric(rng: &mut SeededRng, n: usize) -> Dense {
+        let a = rng.uniform_matrix(n, n, -1.0, 1.0);
+        a.add(&a.transpose()).unwrap().scale(0.5)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Dense::from_diag(&[3.0, -1.0, 7.0]);
+        let eig = sym_eigen(&a, 50).unwrap();
+        assert_eq!(eig.values, vec![7.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Dense::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = sym_eigen(&a, 50).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(sym_eigen(&Dense::zeros(2, 3), 10).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let eig = sym_eigen(&Dense::zeros(0, 0), 10).unwrap();
+        assert!(eig.values.is_empty());
+    }
+
+    #[test]
+    fn sqrt_pinv_of_spd_matrix() {
+        let mut rng = SeededRng::new(5);
+        let b = rng.uniform_matrix(5, 5, -1.0, 1.0);
+        let mut a = b.gram();
+        for i in 0..5 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let r = sqrt_pinv(&a, 1e-10).unwrap();
+        // r * r ≈ A^{-1}  =>  A * r * r ≈ I.
+        let prod = a.matmul(&r).unwrap().matmul(&r).unwrap();
+        assert!(prod.approx_eq(&Dense::identity(5), 1e-7));
+    }
+
+    #[test]
+    fn sqrt_pinv_drops_null_modes() {
+        // Rank-1 matrix: pseudo-inverse must not blow up on the null space.
+        let v = Dense::from_vec(3, 1, vec![1.0, 2.0, 2.0]).unwrap();
+        let a = v.matmul_bt(&v).unwrap(); // vvᵀ, eigenvalue 9 with 2 zeros
+        let r = sqrt_pinv(&a, 1e-8).unwrap();
+        assert!(r.frobenius_norm().is_finite());
+        // On the range of A: A r² v = v.
+        let arrv = a
+            .matmul(&r)
+            .unwrap()
+            .matmul(&r)
+            .unwrap()
+            .matmul(&v)
+            .unwrap();
+        assert!(arrv.approx_eq(&v, 1e-7));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruction(seed in 0u64..100, n in 1usize..8) {
+            let mut rng = SeededRng::new(seed);
+            let a = random_symmetric(&mut rng, n);
+            let eig = sym_eigen(&a, 100).unwrap();
+            // Reconstruct A = V diag(λ) Vᵀ.
+            let lam = Dense::from_diag(&eig.values);
+            let rec = eig.vectors.matmul(&lam).unwrap().matmul(&eig.vectors.transpose()).unwrap();
+            prop_assert!(rec.approx_eq(&a, 1e-8));
+            // Eigenvectors orthonormal.
+            let vtv = eig.vectors.gram();
+            prop_assert!(vtv.approx_eq(&Dense::identity(n), 1e-8));
+            // Values descending.
+            for w in eig.values.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_trace_preserved(seed in 0u64..100, n in 1usize..8) {
+            let mut rng = SeededRng::new(seed);
+            let a = random_symmetric(&mut rng, n);
+            let eig = sym_eigen(&a, 100).unwrap();
+            let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+            let sum: f64 = eig.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by the linear-algebra kernels.
+
+use std::fmt;
+
+/// Convenient alias for fallible matrix operations.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors raised by dense/sparse kernels and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Offending (row, col).
+        index: (usize, usize),
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// The matrix is not positive definite (Cholesky) or singular (solve).
+    NotPositiveDefinite {
+        /// Pivot index at which factorisation failed.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Routine name.
+        op: &'static str,
+        /// Iterations performed.
+        iters: usize,
+    },
+    /// Input data was malformed (e.g. CSR triplets out of range).
+    InvalidInput(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite (pivot {pivot})")
+            }
+            MatrixError::NoConvergence { op, iters } => {
+                write!(f, "{op} did not converge after {iters} iterations")
+            }
+            MatrixError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = MatrixError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(MatrixError::NotPositiveDefinite { pivot: 3 }
+            .to_string()
+            .contains("pivot 3"));
+        assert!(MatrixError::NoConvergence {
+            op: "jacobi",
+            iters: 100
+        }
+        .to_string()
+        .contains("jacobi"));
+        assert!(MatrixError::InvalidInput("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(MatrixError::IndexOutOfBounds {
+            index: (9, 9),
+            shape: (3, 3)
+        }
+        .to_string()
+        .contains("out of bounds"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense and sparse linear-algebra kernels for the GAlign reproduction.
+//!
+//! This crate is the numerical substrate of the workspace: everything the
+//! paper delegates to numpy / PyTorch tensor kernels is implemented here on
+//! plain `f64` storage:
+//!
+//! * [`Dense`] — row-major dense matrices with rayon-parallel GEMM,
+//!   Gram products, row normalisation and reductions.
+//! * [`Csr`] — compressed-sparse-row matrices (adjacency matrices,
+//!   normalised Laplacians) with parallel sparse×dense products.
+//! * [`solve`] — Cholesky factorisation and least-squares solves (used by
+//!   the PALE baseline's linear mapping).
+//! * [`eigen`] — cyclic Jacobi symmetric eigendecomposition (used by
+//!   REGAL's Nyström factorisation and by PCA in `galign-viz`).
+//! * [`rng`] — deterministic, seedable random initialisers (Xavier/Glorot,
+//!   uniform, Gaussian via Box–Muller).
+//!
+//! Design notes: matrices are small enough (≤ ~10⁴ rows) that a cache-blocked
+//! `f64` GEMM with rayon row-parallelism is adequate; we deliberately avoid
+//! BLAS bindings to keep the reproduction self-contained and portable.
+
+pub mod dense;
+pub mod eigen;
+pub mod error;
+pub mod rng;
+pub mod solve;
+pub mod sparse;
+
+pub use dense::Dense;
+pub use error::{MatrixError, Result};
+pub use sparse::{Coo, Csr};
+
+/// Absolute tolerance used by approximate comparisons in tests and solvers.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,214 @@
+//! Deterministic random number generation and matrix initialisers.
+//!
+//! All stochastic components of the reproduction (weight initialisation,
+//! graph generators, noise injection, walk sampling) draw from
+//! [`SeededRng`], a thin wrapper over ChaCha8 so that every experiment is
+//! reproducible bit-for-bit from its seed.
+
+use crate::dense::Dense;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Seedable RNG with matrix-shaped convenience samplers.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: ChaCha8Rng,
+}
+
+impl SeededRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG; used to give each subsystem its own
+    /// stream so adding randomness in one place does not shift another.
+    pub fn fork(&mut self, salt: u64) -> SeededRng {
+        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(s)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`; panics when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling u1 from the open interval.
+        let u1: f64 = loop {
+            let u = self.inner.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Matrix of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn uniform_matrix(&mut self, rows: usize, cols: usize, lo: f64, hi: f64) -> Dense {
+        Dense::from_fn(rows, cols, |_, _| self.uniform(lo, hi))
+    }
+
+    /// Matrix of i.i.d. standard normal samples scaled by `std`.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, std: f64) -> Dense {
+        Dense::from_fn(rows, cols, |_, _| self.normal() * std)
+    }
+
+    /// Xavier/Glorot-uniform initialised weight matrix, the initialisation
+    /// the paper's PyTorch implementation uses for GCN layers.
+    pub fn xavier_uniform(&mut self, fan_in: usize, fan_out: usize) -> Dense {
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        self.uniform_matrix(fan_in, fan_out, -limit, limit)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir-free; `k ≤ n`).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+        let mut p = self.permutation(n);
+        p.truncate(k);
+        p
+    }
+
+    /// Draws an index from an (unnormalised) non-negative weight vector.
+    /// Falls back to uniform when all weights are zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return self.index(weights.len());
+        }
+        let mut target = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Access to the raw rand RNG for interop.
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SeededRng::new(1);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let x: Vec<f64> = (0..10).map(|_| c1.uniform(0.0, 1.0)).collect();
+        let y: Vec<f64> = (0..10).map(|_| c2.uniform(0.0, 1.0)).collect();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeededRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = SeededRng::new(3);
+        let w = rng.xavier_uniform(100, 200);
+        let limit = (6.0f64 / 300.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        assert_eq!(w.shape(), (100, 200));
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let mut rng = SeededRng::new(5);
+        let p = rng.permutation(50);
+        let mut seen = [false; 50];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SeededRng::new(9);
+        let s = rng.sample_indices(30, 10);
+        assert_eq!(s.len(), 10);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SeededRng::new(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[rng.weighted_index(&[0.0, 1.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > counts[1]);
+        // Degenerate all-zero weights fall back to uniform without panicking.
+        let _ = rng.weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SeededRng::new(13);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.5)); // clamped to 1
+    }
+}

@@ -1,0 +1,230 @@
+//! Direct solvers: Cholesky factorisation, triangular solves, linear
+//! least squares via regularised normal equations.
+//!
+//! Used by the PALE baseline (learning the linear mapping between embedding
+//! spaces from anchor pairs) and by REGAL's Nyström pseudo-inverse.
+
+use crate::dense::Dense;
+use crate::error::{MatrixError, Result};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Dense,
+}
+
+impl Cholesky {
+    /// Factorises symmetric positive-definite `a` as `L Lᵀ`.
+    ///
+    /// # Errors
+    /// * [`MatrixError::ShapeMismatch`] for non-square input.
+    /// * [`MatrixError::NotPositiveDefinite`] when a pivot is `≤ 0`.
+    pub fn new(a: &Dense) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(MatrixError::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let mut l = Dense::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for p in 0..j {
+                    sum -= l.get(i, p) * l.get(j, p);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(MatrixError::NotPositiveDefinite { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Dense {
+        &self.l
+    }
+
+    /// Solves `A x = b` for one right-hand side.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] when `b` has the wrong length.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(MatrixError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for p in 0..i {
+                sum -= self.l.get(i, p) * y[p];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for p in i + 1..n {
+                sum -= self.l.get(p, i) * x[p];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] when row counts disagree.
+    pub fn solve(&self, b: &Dense) -> Result<Dense> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(MatrixError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Dense::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Solves the linear least-squares problem `min_X ‖A X − B‖_F` through the
+/// ridge-regularised normal equations `(AᵀA + ridge·I) X = AᵀB`.
+///
+/// The small ridge keeps the system positive definite when `A` is
+/// rank-deficient (e.g. duplicate anchor embeddings in PALE).
+///
+/// # Errors
+/// Propagates shape mismatches and factorisation failures.
+pub fn least_squares(a: &Dense, b: &Dense, ridge: f64) -> Result<Dense> {
+    if a.rows() != b.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "least_squares",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut ata = a.gram();
+    for i in 0..ata.rows() {
+        let v = ata.get(i, i);
+        ata.set(i, i, v + ridge);
+    }
+    let atb = a.transpose().matmul(b)?;
+    Cholesky::new(&ata)?.solve(&atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use proptest::prelude::*;
+
+    fn spd(rng: &mut SeededRng, n: usize) -> Dense {
+        // AᵀA + n·I is comfortably positive definite.
+        let a = rng.uniform_matrix(n, n, -1.0, 1.0);
+        let mut g = a.gram();
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + n as f64);
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let mut rng = SeededRng::new(1);
+        let a = spd(&mut rng, 6);
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = SeededRng::new(2);
+        let a = spd(&mut rng, 8);
+        let x_true: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        let b = a
+            .matmul(&Dense::from_vec(8, 1, x_true.clone()).unwrap())
+            .unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve_vec(&b.col(0)).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cholesky::new(&Dense::zeros(2, 3)).is_err());
+        // Negative-definite matrix fails at pivot 0.
+        let neg = Dense::from_diag(&[-1.0, 2.0]);
+        match Cholesky::new(&neg) {
+            Err(MatrixError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 0),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+        let mut rng = SeededRng::new(3);
+        let ch = Cholesky::new(&spd(&mut rng, 3)).unwrap();
+        assert!(ch.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(ch.solve(&Dense::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn least_squares_exact_when_consistent() {
+        let mut rng = SeededRng::new(4);
+        let a = rng.uniform_matrix(20, 4, -1.0, 1.0);
+        let x_true = rng.uniform_matrix(4, 3, -1.0, 1.0);
+        let b = a.matmul(&x_true).unwrap();
+        let x = least_squares(&a, &b, 1e-10).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-6));
+        assert!(least_squares(&a, &Dense::zeros(5, 3), 0.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_multiple_rhs(seed in 0u64..200) {
+            let mut rng = SeededRng::new(seed);
+            let a = spd(&mut rng, 5);
+            let x_true = rng.uniform_matrix(5, 3, -2.0, 2.0);
+            let b = a.matmul(&x_true).unwrap();
+            let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+            prop_assert!(x.approx_eq(&x_true, 1e-7));
+        }
+
+        #[test]
+        fn prop_least_squares_residual_orthogonal(seed in 0u64..100) {
+            // Normal equations: Aᵀ(AX - B) ≈ 0 at the minimiser.
+            let mut rng = SeededRng::new(seed);
+            let a = rng.uniform_matrix(15, 3, -1.0, 1.0);
+            let b = rng.uniform_matrix(15, 2, -1.0, 1.0);
+            let x = least_squares(&a, &b, 1e-12).unwrap();
+            let resid = a.matmul(&x).unwrap().sub(&b).unwrap();
+            let grad = a.transpose().matmul(&resid).unwrap();
+            prop_assert!(grad.frobenius_norm() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Sparse matrices in COO (builder) and CSR (compute) formats.
+//!
+//! Adjacency matrices and the normalised Laplacian `C = D̂^{-1/2} Â D̂^{-1/2}`
+//! of Eq. 1 are stored as [`Csr`]; the hot kernel is the parallel
+//! sparse×dense product [`Csr::spmm`] that drives every GCN forward and
+//! backward pass (`O(e·d)`, matching the paper's §VI-C complexity analysis).
+
+use crate::dense::Dense;
+use crate::error::{MatrixError, Result};
+use rayon::prelude::*;
+
+/// Coordinate-format triplet builder for sparse matrices.
+///
+/// Duplicated coordinates are *summed* on conversion to CSR, matching the
+/// conventions of scipy's `coo_matrix`.
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty builder for a `rows`×`cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::IndexOutOfBounds`] for out-of-range
+    /// coordinates.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Number of (possibly duplicated) triplets collected so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no triplets have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros.
+    pub fn to_csr(mut self) -> Csr {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        indptr.push(0);
+        let mut current_row = 0usize;
+        let mut i = 0usize;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            i += 1;
+            while i < self.entries.len() && self.entries[i].0 == r && self.entries[i].1 == c {
+                v += self.entries[i].2;
+                i += 1;
+            }
+            while current_row < r {
+                indptr.push(indices.len());
+                current_row += 1;
+            }
+            if v != 0.0 {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        while current_row < self.rows {
+            indptr.push(indices.len());
+            current_row += 1;
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+}
+
+/// Compressed-sparse-row matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// The `rows`×`cols` all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n`×`n` identity.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds from a dense matrix, keeping entries with `|v| > 0`.
+    pub fn from_dense(m: &Dense) -> Self {
+        let mut coo = Coo::new(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(i, j, v).expect("in-range by construction");
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_indices(&self, i: usize) -> &[usize] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i`, aligned with [`Csr::row_indices`].
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.values[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Value at `(i, j)` (0.0 when not stored). Binary-searches the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let idx = self.row_indices(i);
+        match idx.binary_search(&j) {
+            Ok(pos) => self.row_values(i)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            self.row_indices(i)
+                .iter()
+                .zip(self.row_values(i))
+                .map(move |(&j, &v)| (i, j, v))
+        })
+    }
+
+    /// Sum of each row (for adjacency matrices: out-degree).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row_values(i).iter().sum())
+            .collect()
+    }
+
+    /// Sparse × dense product `self * x`, parallelised over output rows.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] when `self.cols != x.rows`.
+    pub fn spmm(&self, x: &Dense) -> Result<Dense> {
+        if self.cols != x.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "spmm",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        let d = x.cols();
+        let mut out = Dense::zeros(self.rows, d);
+        let body = |(i, out_row): (usize, &mut [f64])| {
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                let x_row = x.row(j);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        };
+        if self.rows >= 64 {
+            out.as_mut_slice()
+                .par_chunks_exact_mut(d.max(1))
+                .enumerate()
+                .for_each(body);
+        } else {
+            out.as_mut_slice()
+                .chunks_exact_mut(d.max(1))
+                .enumerate()
+                .for_each(body);
+        }
+        Ok(out)
+    }
+
+    /// Sparse matrix–vector product.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != x.len() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "spmv",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                self.row_indices(i)
+                    .iter()
+                    .zip(self.row_values(i))
+                    .map(|(&j, &v)| v * x[j])
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Transposed copy (CSC-to-CSR style counting sort, `O(nnz)`).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for (i, j, v) in self.iter() {
+            let pos = cursor[j];
+            indices[pos] = i;
+            values[pos] = v;
+            cursor[j] += 1;
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// `diag(left) * self * diag(right)` — the scaling used both for the
+    /// normalised Laplacian and for the refinement operator
+    /// `C_q = Q D̂^{-1/2} Â D̂^{-1/2} Q` (Eq. 14/15 as resolved in DESIGN.md).
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] when the diagonal lengths do
+    /// not match the matrix shape.
+    pub fn diag_scale(&self, left: &[f64], right: &[f64]) -> Result<Csr> {
+        if left.len() != self.rows || right.len() != self.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "diag_scale",
+                lhs: (left.len(), right.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let (start, end) = (out.indptr[i], out.indptr[i + 1]);
+            for pos in start..end {
+                out.values[pos] *= left[i] * right[out.indices[pos]];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// `Σ_{(i,j)∈nz} self_ij * ⟨h_i, h_j⟩` — the sparse inner product
+    /// `⟨self, H Hᵀ⟩` needed by the consistency loss (Eq. 7) without
+    /// materialising `H Hᵀ`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] unless `self` is
+    /// `n×n` and `h` has `n` rows.
+    pub fn weighted_gram_dot(&self, h: &Dense) -> Result<f64> {
+        if self.rows != h.rows() || self.cols != h.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "weighted_gram_dot",
+                lhs: self.shape(),
+                rhs: h.shape(),
+            });
+        }
+        let total = (0..self.rows)
+            .into_par_iter()
+            .map(|i| {
+                let hi = h.row(i);
+                self.row_indices(i)
+                    .iter()
+                    .zip(self.row_values(i))
+                    .map(|(&j, &v)| v * crate::dense::dot(hi, h.row(j)))
+                    .sum::<f64>()
+            })
+            .sum();
+        Ok(total)
+    }
+
+    /// Densifies (test/debug helper; avoid on large matrices).
+    pub fn to_dense(&self) -> Dense {
+        let mut out = Dense::zeros(self.rows, self.cols);
+        for (i, j, v) in self.iter() {
+            out.set(i, j, v);
+        }
+        out
+    }
+
+    /// True when the matrix equals its transpose (exact comparison).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.iter().all(|(i, j, v)| (self.get(j, i) - v).abs() == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use proptest::prelude::*;
+
+    fn random_sparse(rng: &mut SeededRng, rows: usize, cols: usize, density: f64) -> Csr {
+        let mut coo = Coo::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.bernoulli(density) {
+                    coo.push(i, j, rng.uniform(-1.0, 1.0)).unwrap();
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_roundtrip_with_duplicates() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(0, 1, 3.0).unwrap(); // duplicate summed
+        coo.push(2, 0, 1.0).unwrap();
+        coo.push(1, 1, 0.0).unwrap(); // explicit zero dropped
+        assert_eq!(coo.len(), 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), 5.0);
+        assert_eq!(csr.get(2, 0), 1.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn push_out_of_bounds() {
+        let mut coo = Coo::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let mut rng = SeededRng::new(1);
+        let x = rng.uniform_matrix(10, 4, -1.0, 1.0);
+        let i = Csr::identity(10);
+        assert!(i.spmm(&x).unwrap().approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn spmm_shape_error() {
+        let c = Csr::zeros(3, 4);
+        assert!(c.spmm(&Dense::zeros(3, 2)).is_err());
+        assert!(c.spmv(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = SeededRng::new(2);
+        let a = random_sparse(&mut rng, 7, 5, 0.3);
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().shape(), (5, 7));
+    }
+
+    #[test]
+    fn diag_scale_matches_dense() {
+        let mut rng = SeededRng::new(3);
+        let a = random_sparse(&mut rng, 5, 5, 0.4);
+        let left: Vec<f64> = (0..5).map(|i| (i + 1) as f64).collect();
+        let right: Vec<f64> = (0..5).map(|i| 0.5 * (i + 1) as f64).collect();
+        let scaled = a.diag_scale(&left, &right).unwrap().to_dense();
+        let expected = Dense::from_diag(&left)
+            .matmul(&a.to_dense())
+            .unwrap()
+            .matmul(&Dense::from_diag(&right))
+            .unwrap();
+        assert!(scaled.approx_eq(&expected, 1e-12));
+        assert!(a.diag_scale(&left[..3], &right).is_err());
+    }
+
+    #[test]
+    fn weighted_gram_dot_matches_dense() {
+        let mut rng = SeededRng::new(4);
+        let a = random_sparse(&mut rng, 8, 8, 0.3);
+        let h = rng.uniform_matrix(8, 3, -1.0, 1.0);
+        let fast = a.weighted_gram_dot(&h).unwrap();
+        let hht = h.matmul_bt(&h).unwrap();
+        let slow = a.to_dense().frobenius_dot(&hht).unwrap();
+        assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn row_sums_and_symmetry() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 2, 2.0).unwrap();
+        coo.push(2, 1, 2.0).unwrap();
+        let a = coo.to_csr();
+        assert_eq!(a.row_sums(), vec![1.0, 3.0, 2.0]);
+        assert!(a.is_symmetric());
+        let asym = {
+            let mut c = Coo::new(2, 2);
+            c.push(0, 1, 1.0).unwrap();
+            c.to_csr()
+        };
+        assert!(!asym.is_symmetric());
+        assert!(!Csr::zeros(2, 3).is_symmetric());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spmm_matches_dense(seed in 0u64..300) {
+            let mut rng = SeededRng::new(seed);
+            let a = random_sparse(&mut rng, 12, 9, 0.25);
+            let x = rng.uniform_matrix(9, 4, -1.0, 1.0);
+            let fast = a.spmm(&x).unwrap();
+            let slow = a.to_dense().matmul_naive(&x).unwrap();
+            prop_assert!(fast.approx_eq(&slow, 1e-10));
+        }
+
+        #[test]
+        fn prop_from_dense_roundtrip(seed in 0u64..300) {
+            let mut rng = SeededRng::new(seed);
+            let a = random_sparse(&mut rng, 6, 6, 0.4);
+            let rt = Csr::from_dense(&a.to_dense());
+            prop_assert_eq!(rt, a);
+        }
+
+        #[test]
+        fn prop_spmv_matches_spmm(seed in 0u64..200) {
+            let mut rng = SeededRng::new(seed);
+            let a = random_sparse(&mut rng, 10, 7, 0.3);
+            let x: Vec<f64> = (0..7).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let xm = Dense::from_vec(7, 1, x.clone()).unwrap();
+            let v = a.spmv(&x).unwrap();
+            let m = a.spmm(&xm).unwrap();
+            for i in 0..10 {
+                prop_assert!((v[i] - m.get(i, 0)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Alignment evaluation metrics (§VII-A):
+//! Success@q (Eq. 16), MAP (Eq. 17), and the simplified AUC (Eq. 18).
+//!
+//! All metrics consume a *score provider* — any type that can produce the
+//! alignment-score row of a source node — so they work both on materialised
+//! alignment matrices and on row-streamed scorers without ever holding the
+//! full `n₁×n₂` matrix (§VI-C's space argument).
+
+pub mod metrics;
+pub mod scores;
+
+pub use metrics::{evaluate, EvalReport};
+pub use scores::{DenseScores, ScoreProvider};

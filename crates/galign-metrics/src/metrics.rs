@@ -1,0 +1,191 @@
+//! Success@q (Eq. 16), MAP (Eq. 17) and the simplified AUC (Eq. 18).
+
+use crate::scores::ScoreProvider;
+use rayon::prelude::*;
+
+/// Anchor pairs `(source, target)` used as evaluation ground truth.
+pub type GroundTruth = [(usize, usize)];
+
+/// Evaluation results over one alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// `(q, Success@q)` pairs in the order requested.
+    pub success_at: Vec<(usize, f64)>,
+    /// Mean Average Precision (mean reciprocal rank under the pairwise
+    /// setting, Eq. 17).
+    pub map: f64,
+    /// Simplified AUC of Eq. 18, averaged over anchors.
+    pub auc: f64,
+}
+
+impl EvalReport {
+    /// Success@q for a specific `q` (if requested at evaluation time).
+    pub fn success(&self, q: usize) -> Option<f64> {
+        self.success_at
+            .iter()
+            .find(|&&(qq, _)| qq == q)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Rank of the true target within the score row (1 = best).
+///
+/// Ties are resolved pessimistically: every strictly-greater score outranks
+/// the anchor, and equal scores at other positions count half so tied rows
+/// do not overstate performance.
+fn rank_of(row: &[f64], true_target: usize) -> f64 {
+    let s = row[true_target];
+    let mut greater = 0usize;
+    let mut equal = 0usize;
+    for (j, &v) in row.iter().enumerate() {
+        if j == true_target {
+            continue;
+        }
+        if v > s {
+            greater += 1;
+        } else if v == s {
+            equal += 1;
+        }
+    }
+    1.0 + greater as f64 + equal as f64 / 2.0
+}
+
+/// Evaluates an alignment against ground truth.
+///
+/// For each anchor `(v, v')`, the score row of `v` is streamed from the
+/// provider; `Success@q` counts anchors whose true target ranks within the
+/// top `q` (Eq. 16), `MAP = mean(1/ra)` (Eq. 17), and
+/// `AUC = (#neg + 1 − ra) / #neg` (Eq. 18) with `#neg = n₂ − 1`.
+///
+/// Returns a report with all-zero metrics when `truth` is empty.
+pub fn evaluate(scores: &dyn ScoreProvider, truth: &GroundTruth, qs: &[usize]) -> EvalReport {
+    if truth.is_empty() || scores.num_targets() == 0 {
+        return EvalReport {
+            success_at: qs.iter().map(|&q| (q, 0.0)).collect(),
+            map: 0.0,
+            auc: 0.0,
+        };
+    }
+    let ranks: Vec<f64> = truth
+        .par_iter()
+        .map(|&(v, v_true)| {
+            let row = scores.score_row(v);
+            rank_of(&row, v_true)
+        })
+        .collect();
+
+    let n = ranks.len() as f64;
+    let negatives = (scores.num_targets() - 1).max(1) as f64;
+    let success_at = qs
+        .iter()
+        .map(|&q| {
+            let hits = ranks.iter().filter(|&&r| r <= q as f64).count();
+            (q, hits as f64 / n)
+        })
+        .collect();
+    let map = ranks.iter().map(|r| 1.0 / r).sum::<f64>() / n;
+    let auc = ranks
+        .iter()
+        .map(|r| (negatives + 1.0 - r) / negatives)
+        .sum::<f64>()
+        / n;
+    EvalReport {
+        success_at,
+        map,
+        auc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scores::DenseScores;
+    use galign_matrix::Dense;
+    use proptest::prelude::*;
+
+    fn perfect_scores(n: usize) -> DenseScores {
+        DenseScores::new(Dense::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 }))
+    }
+
+    #[test]
+    fn perfect_alignment_is_all_ones() {
+        let truth: Vec<(usize, usize)> = (0..5).map(|i| (i, i)).collect();
+        let r = evaluate(&perfect_scores(5), &truth, &[1, 10]);
+        assert_eq!(r.success(1), Some(1.0));
+        assert_eq!(r.success(10), Some(1.0));
+        assert_eq!(r.map, 1.0);
+        assert_eq!(r.auc, 1.0);
+    }
+
+    #[test]
+    fn worst_alignment() {
+        // True target always has the lowest score.
+        let m = Dense::from_fn(3, 3, |i, j| if i == j { 0.0 } else { 1.0 });
+        let truth: Vec<(usize, usize)> = (0..3).map(|i| (i, i)).collect();
+        let r = evaluate(&DenseScores::new(m), &truth, &[1]);
+        assert_eq!(r.success(1), Some(0.0));
+        // rank = 3 ⇒ MAP = 1/3, AUC = (2 + 1 − 3)/2 = 0.
+        assert!((r.map - 1.0 / 3.0).abs() < 1e-12);
+        assert!(r.auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_tie_handling() {
+        assert_eq!(rank_of(&[0.5, 0.5, 0.2], 0), 1.5);
+        assert_eq!(rank_of(&[0.9, 0.5, 0.2], 1), 2.0);
+        assert_eq!(rank_of(&[0.2, 0.2, 0.2], 2), 2.0);
+    }
+
+    #[test]
+    fn partial_success() {
+        // Two anchors right, two wrong at rank 2.
+        let m = Dense::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.5, 0.9],
+            vec![0.0, 0.0, 0.9, 0.5],
+        ])
+        .unwrap();
+        let truth: Vec<(usize, usize)> = (0..4).map(|i| (i, i)).collect();
+        let r = evaluate(&DenseScores::new(m), &truth, &[1, 2]);
+        assert_eq!(r.success(1), Some(0.5));
+        assert_eq!(r.success(2), Some(1.0));
+        assert!((r.map - (1.0 + 1.0 + 0.5 + 0.5) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_is_zero() {
+        let r = evaluate(&perfect_scores(3), &[], &[1]);
+        assert_eq!(r.success(1), Some(0.0));
+        assert_eq!(r.map, 0.0);
+        assert_eq!(r.auc, 0.0);
+    }
+
+    #[test]
+    fn success_lookup_missing_q() {
+        let r = evaluate(&perfect_scores(3), &[(0, 0)], &[1]);
+        assert_eq!(r.success(5), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metric_bounds(seed in 0u64..200) {
+            let mut rng = galign_matrix::rng::SeededRng::new(seed);
+            let n = 8;
+            let m = rng.uniform_matrix(n, n, -1.0, 1.0);
+            let truth: Vec<(usize, usize)> = (0..n).map(|i| (i, rng.index(n))).collect();
+            let r = evaluate(&DenseScores::new(m), &truth, &[1, 5, 10]);
+            for (_, s) in &r.success_at {
+                prop_assert!((0.0..=1.0).contains(s));
+            }
+            prop_assert!(r.map > 0.0 && r.map <= 1.0);
+            prop_assert!((0.0..=1.0).contains(&r.auc));
+            // Success@q is monotone in q.
+            prop_assert!(r.success(1).unwrap() <= r.success(5).unwrap());
+            prop_assert!(r.success(5).unwrap() <= r.success(10).unwrap());
+            // MAP is bounded above by Success@1 + contributions of lower ranks,
+            // and below by Success@1 itself times 1.
+            prop_assert!(r.map >= r.success(1).unwrap() * 1.0 / 1.0 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Score providers: row-streamed access to alignment scores.
+
+use galign_matrix::Dense;
+
+/// Anything that can produce the alignment-score row of a source node.
+///
+/// The paper's §VI-C space analysis relies on never materialising the full
+/// `n₁×n₂` alignment matrix; this trait lets metrics and refinement consume
+/// scores row by row. Implementations must be thread-safe (`Sync`) so
+/// evaluation can parallelise over anchors.
+pub trait ScoreProvider: Sync {
+    /// Number of source nodes (rows).
+    fn num_sources(&self) -> usize;
+    /// Number of target nodes (columns).
+    fn num_targets(&self) -> usize;
+    /// Alignment scores of source node `v` against every target node.
+    fn score_row(&self, v: usize) -> Vec<f64>;
+
+    /// Index of the best-scoring target for source `v` (`None` when there
+    /// are no targets).
+    fn argmax(&self, v: usize) -> Option<usize> {
+        let row = self.score_row(v);
+        let mut best: Option<(usize, f64)> = None;
+        for (j, s) in row.into_iter().enumerate() {
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((j, s));
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+}
+
+/// A fully materialised alignment matrix (fine at evaluation scale; the
+/// GAlign pipeline itself streams rows instead).
+#[derive(Debug, Clone)]
+pub struct DenseScores {
+    matrix: Dense,
+}
+
+impl DenseScores {
+    /// Wraps a dense `n₁×n₂` score matrix.
+    pub fn new(matrix: Dense) -> Self {
+        DenseScores { matrix }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Dense {
+        &self.matrix
+    }
+}
+
+impl ScoreProvider for DenseScores {
+    fn num_sources(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn num_targets(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    fn score_row(&self, v: usize) -> Vec<f64> {
+        self.matrix.row(v).to_vec()
+    }
+}
+
+/// Scores computed lazily from two embedding matrices (`S = E_s E_tᵀ`
+/// row by row).
+#[derive(Debug, Clone)]
+pub struct EmbeddingScores {
+    source: Dense,
+    target: Dense,
+}
+
+impl EmbeddingScores {
+    /// Creates a provider over embeddings with equal dimensionality.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn new(source: Dense, target: Dense) -> Self {
+        assert_eq!(
+            source.cols(),
+            target.cols(),
+            "embedding dimensions must match"
+        );
+        EmbeddingScores { source, target }
+    }
+}
+
+impl ScoreProvider for EmbeddingScores {
+    fn num_sources(&self) -> usize {
+        self.source.rows()
+    }
+
+    fn num_targets(&self) -> usize {
+        self.target.rows()
+    }
+
+    fn score_row(&self, v: usize) -> Vec<f64> {
+        let sv = self.source.row(v);
+        (0..self.target.rows())
+            .map(|u| galign_matrix::dense::dot(sv, self.target.row(u)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_scores_roundtrip() {
+        let m = Dense::from_rows(&[vec![0.1, 0.9], vec![0.7, 0.2]]).unwrap();
+        let s = DenseScores::new(m);
+        assert_eq!(s.num_sources(), 2);
+        assert_eq!(s.num_targets(), 2);
+        assert_eq!(s.score_row(0), vec![0.1, 0.9]);
+        assert_eq!(s.argmax(0), Some(1));
+        assert_eq!(s.argmax(1), Some(0));
+    }
+
+    #[test]
+    fn embedding_scores_match_matmul() {
+        let e_s = Dense::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let e_t = Dense::from_rows(&[vec![0.5, 0.5], vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        let s = EmbeddingScores::new(e_s.clone(), e_t.clone());
+        let full = e_s.matmul_bt(&e_t).unwrap();
+        for v in 0..2 {
+            assert_eq!(s.score_row(v), full.row(v).to_vec());
+        }
+        assert_eq!(s.num_targets(), 3);
+    }
+
+    #[test]
+    fn argmax_empty_targets() {
+        let s = DenseScores::new(Dense::zeros(2, 0));
+        assert_eq!(s.argmax(0), None);
+    }
+}

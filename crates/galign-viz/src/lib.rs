@@ -1,0 +1,16 @@
+//! Dimensionality reduction for the qualitative study (Fig. 8).
+//!
+//! * [`mod@pca`] — principal component analysis via the symmetric Jacobi
+//!   eigensolver of `galign-matrix` (also used to initialise t-SNE).
+//! * [`mod@tsne`] — exact t-SNE (perplexity-calibrated Gaussian affinities,
+//!   gradient descent with early exaggeration and momentum); the toy study
+//!   embeds ~20 points, where exact t-SNE is both fastest and most faithful.
+//! * [`mod@svg`] — dependency-free SVG scatter rendering of the layouts.
+
+pub mod pca;
+pub mod svg;
+pub mod tsne;
+
+pub use pca::pca;
+pub use svg::{paired_points, scatter_svg, ScatterPoint};
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,84 @@
+//! Principal component analysis over the Jacobi eigensolver.
+
+use galign_matrix::eigen::sym_eigen;
+use galign_matrix::Dense;
+
+/// Projects the rows of `data` onto the top `k` principal components.
+///
+/// Returns an `n×k` matrix of component scores (columns ordered by
+/// explained variance). When `k` exceeds the data dimensionality the extra
+/// columns are zero.
+pub fn pca(data: &Dense, k: usize) -> Dense {
+    let (n, d) = data.shape();
+    if n == 0 || d == 0 || k == 0 {
+        return Dense::zeros(n, k);
+    }
+    // Centre columns.
+    let mut centered = data.clone();
+    for j in 0..d {
+        let mean: f64 = (0..n).map(|i| data.get(i, j)).sum::<f64>() / n as f64;
+        for i in 0..n {
+            centered.set(i, j, centered.get(i, j) - mean);
+        }
+    }
+    // Covariance (d×d) and its top eigenvectors.
+    let cov = centered.gram().scale(1.0 / (n.max(2) - 1) as f64);
+    let eig = sym_eigen(&cov, 100).expect("covariance is symmetric");
+    let mut proj = Dense::zeros(d, k);
+    for c in 0..k.min(d) {
+        for r in 0..d {
+            proj.set(r, c, eig.vectors.get(r, c));
+        }
+    }
+    centered.matmul(&proj).expect("shapes chain")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_matrix::rng::SeededRng;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along the diagonal y = x with tiny orthogonal noise: PC1
+        // must capture nearly all variance.
+        let mut rng = SeededRng::new(1);
+        let data = Dense::from_fn(50, 2, |i, j| {
+            let t = i as f64 / 10.0;
+            let noise = rng.normal_with(0.0, 0.01);
+            if j == 0 {
+                t + noise
+            } else {
+                t - noise
+            }
+        });
+        let p = pca(&data, 2);
+        let var1: f64 = p.col(0).iter().map(|v| v * v).sum();
+        let var2: f64 = p.col(1).iter().map(|v| v * v).sum();
+        assert!(var1 > 100.0 * var2, "var1 {var1}, var2 {var2}");
+    }
+
+    #[test]
+    fn projection_is_centred() {
+        let mut rng = SeededRng::new(2);
+        let data = rng.uniform_matrix(30, 5, -3.0, 7.0);
+        let p = pca(&data, 3);
+        assert_eq!(p.shape(), (30, 3));
+        for j in 0..3 {
+            let mean: f64 = p.col(j).iter().sum::<f64>() / 30.0;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pca(&Dense::zeros(0, 3), 2).shape(), (0, 2));
+        assert_eq!(pca(&Dense::zeros(4, 0), 2).shape(), (4, 2));
+        assert_eq!(pca(&Dense::zeros(4, 3), 0).shape(), (4, 0));
+        // k larger than dimensionality: extra columns are zero.
+        let mut rng = SeededRng::new(3);
+        let p = pca(&rng.uniform_matrix(5, 2, 0.0, 1.0), 4);
+        assert_eq!(p.shape(), (5, 4));
+        assert!(p.col(3).iter().all(|&v| v == 0.0));
+    }
+}

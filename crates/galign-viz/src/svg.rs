@@ -1,0 +1,179 @@
+//! Minimal SVG scatter-plot writer for embedding layouts.
+//!
+//! Produces the publication-style panels of Fig. 8 without any plotting
+//! dependency: labelled points, anchor pairs in matching colours, source
+//! nodes as circles and target nodes as squares.
+
+use galign_matrix::Dense;
+use std::fmt::Write as _;
+
+/// One point of a scatter plot.
+#[derive(Debug, Clone)]
+pub struct ScatterPoint {
+    /// X coordinate (layout units; the writer rescales).
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Text label drawn next to the marker.
+    pub label: String,
+    /// Colour group — points in the same group share a colour (anchor
+    /// pairs in Fig. 8).
+    pub group: usize,
+    /// True for source-network points (circle marker); false for target
+    /// (square marker).
+    pub is_source: bool,
+}
+
+/// Builds the scatter points for a stacked source+target layout, pairing
+/// row `i` with row `n + i` (the Fig. 8 convention).
+pub fn paired_points(layout: &Dense, labels: &[&str]) -> Vec<ScatterPoint> {
+    let n = layout.rows() / 2;
+    (0..layout.rows())
+        .map(|i| ScatterPoint {
+            x: layout.get(i, 0),
+            y: layout.get(i, 1),
+            label: labels
+                .get(i % n.max(1))
+                .map_or_else(|| format!("#{}", i % n.max(1)), |s| s.to_string()),
+            group: i % n.max(1),
+            is_source: i < n,
+        })
+        .collect()
+}
+
+/// Distinct fill colours cycled by group id.
+const PALETTE: [&str; 10] = [
+    "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#46f0f0", "#f032e6", "#9a6324",
+    "#008080", "#808000",
+];
+
+/// Renders a scatter plot as a standalone SVG document.
+pub fn scatter_svg(points: &[ScatterPoint], title: &str, width: u32, height: u32) -> String {
+    let (w, h) = (width as f64, height as f64);
+    let margin = 40.0;
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    if points.is_empty() {
+        min_x = 0.0;
+        max_x = 1.0;
+        min_y = 0.0;
+        max_y = 1.0;
+    }
+    let sx = (max_x - min_x).max(1e-9);
+    let sy = (max_y - min_y).max(1e-9);
+    let to_px = |x: f64, y: f64| {
+        (
+            margin + (x - min_x) / sx * (w - 2.0 * margin),
+            // SVG y grows downward; flip so the layout reads naturally.
+            h - margin - (y - min_y) / sy * (h - 2.0 * margin),
+        )
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="100%" height="100%" fill="white"/>
+<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        xml_escape(title)
+    );
+    for p in points {
+        let (px, py) = to_px(p.x, p.y);
+        let color = PALETTE[p.group % PALETTE.len()];
+        if p.is_source {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{px:.1}" cy="{py:.1}" r="5" fill="{color}" stroke="black" stroke-width="0.5"/>"#
+            );
+        } else {
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{color}" fill-opacity="0.6" stroke="black" stroke-width="0.5"/>"#,
+                px - 5.0,
+                py - 5.0
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="9">{}</text>"#,
+            px + 7.0,
+            py + 3.0,
+            xml_escape(&p.label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Dense {
+        Dense::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.1],
+            vec![0.9, 1.1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paired_points_structure() {
+        let pts = paired_points(&layout(), &["Alpha", "Beta"]);
+        assert_eq!(pts.len(), 4);
+        assert!(pts[0].is_source && pts[1].is_source);
+        assert!(!pts[2].is_source && !pts[3].is_source);
+        // Pair (0, 2) shares group and label.
+        assert_eq!(pts[0].group, pts[2].group);
+        assert_eq!(pts[0].label, "Alpha");
+        assert_eq!(pts[2].label, "Alpha");
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let pts = paired_points(&layout(), &["A & B", "C<D>"]);
+        let svg = scatter_svg(&pts, "panel <1>", 400, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<rect").count(), 3); // background + 2 targets
+        // Escaping applied.
+        assert!(svg.contains("A &amp; B"));
+        assert!(svg.contains("panel &lt;1&gt;"));
+        assert!(!svg.contains("C<D>"));
+    }
+
+    #[test]
+    fn empty_points_render() {
+        let svg = scatter_svg(&[], "empty", 200, 100);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn coordinates_fit_canvas() {
+        let pts = paired_points(&layout(), &["x", "y"]);
+        let svg = scatter_svg(&pts, "t", 400, 300);
+        for cap in svg.split("cx=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=400.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008).
+//!
+//! The qualitative study (Fig. 8) projects ~20 embedding rows to 2-D; at
+//! that size the exact `O(n²)` algorithm with early exaggeration and
+//! momentum is the right tool (Barnes–Hut approximations only pay off for
+//! thousands of points).
+
+use crate::pca::pca;
+use galign_matrix::dense::sq_dist;
+use galign_matrix::rng::SeededRng;
+use galign_matrix::Dense;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Output dimensionality (2 for plots).
+    pub out_dim: usize,
+    /// Target perplexity of the Gaussian affinities.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// RNG seed for the PCA-jitter initialisation.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            out_dim: 2,
+            perplexity: 5.0,
+            iterations: 500,
+            // Tuned for the tens-of-points layouts this crate targets;
+            // large datasets want 100+ (van der Maaten's default is 100).
+            learning_rate: 20.0,
+            exaggeration: 4.0,
+            momentum: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+/// Binary-searches the Gaussian bandwidth of row `i` to match the target
+/// perplexity; returns the conditional distribution `p_{j|i}`.
+fn conditional_probs(dists: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
+    let n = dists.len();
+    let target_entropy = perplexity.max(1.0).ln();
+    let mut beta = 1.0; // 1 / (2σ²)
+    let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+    let mut probs = vec![0.0; n];
+    for _ in 0..64 {
+        let mut sum = 0.0;
+        for j in 0..n {
+            probs[j] = if j == i { 0.0 } else { (-beta * dists[j]).exp() };
+            sum += probs[j];
+        }
+        if sum <= 0.0 {
+            beta /= 2.0;
+            continue;
+        }
+        let mut entropy = 0.0;
+        for p in probs.iter_mut() {
+            *p /= sum;
+            if *p > 1e-12 {
+                entropy -= *p * p.ln();
+            }
+        }
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_lo = beta;
+            beta = if beta_hi.is_finite() {
+                (beta + beta_hi) / 2.0
+            } else {
+                beta * 2.0
+            };
+        } else {
+            beta_hi = beta;
+            beta = (beta + beta_lo) / 2.0;
+        }
+    }
+    probs
+}
+
+/// Runs exact t-SNE on the rows of `data`, returning an `n×out_dim` layout.
+pub fn tsne(data: &Dense, cfg: &TsneConfig) -> Dense {
+    let n = data.rows();
+    if n == 0 {
+        return Dense::zeros(0, cfg.out_dim);
+    }
+    if n == 1 {
+        return Dense::zeros(1, cfg.out_dim);
+    }
+    // Symmetrised joint affinities P.
+    let mut p = Dense::zeros(n, n);
+    for i in 0..n {
+        let dists: Vec<f64> = (0..n).map(|j| sq_dist(data.row(i), data.row(j))).collect();
+        let cond = conditional_probs(&dists, i, cfg.perplexity.min((n - 1) as f64 / 3.0));
+        for j in 0..n {
+            p.set(i, j, cond[j]);
+        }
+    }
+    let mut p_sym = Dense::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = ((p.get(i, j) + p.get(j, i)) / (2.0 * n as f64)).max(1e-12);
+            if i != j {
+                p_sym.set(i, j, v);
+            }
+        }
+    }
+
+    // PCA + jitter initialisation.
+    let mut rng = SeededRng::new(cfg.seed);
+    let init = pca(data, cfg.out_dim);
+    let scale = init.frobenius_norm().max(1e-9);
+    let mut y = init.scale(1e-2 / scale);
+    for v in y.as_mut_slice().iter_mut() {
+        *v += rng.normal_with(0.0, 1e-4);
+    }
+    let mut velocity = Dense::zeros(n, cfg.out_dim);
+
+    let exag_until = cfg.iterations / 4;
+    for it in 0..cfg.iterations {
+        let exag = if it < exag_until { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities Q (unnormalised numerators cached).
+        let mut num = Dense::zeros(n, n);
+        let mut z = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = 1.0 / (1.0 + sq_dist(y.row(i), y.row(j)));
+                num.set(i, j, q);
+                z += q;
+            }
+        }
+        let z = z.max(1e-12);
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) q̃_ij (y_i − y_j).
+        let mut grad = Dense::zeros(n, cfg.out_dim);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = num.get(i, j) / z;
+                let mult = 4.0 * (exag * p_sym.get(i, j) - q) * num.get(i, j);
+                for d in 0..cfg.out_dim {
+                    let g = grad.get(i, d) + mult * (y.get(i, d) - y.get(j, d));
+                    grad.set(i, d, g);
+                }
+            }
+        }
+        for idx in 0..n * cfg.out_dim {
+            let v = cfg.momentum * velocity.as_slice()[idx]
+                - cfg.learning_rate * grad.as_slice()[idx];
+            velocity.as_mut_slice()[idx] = v;
+            y.as_mut_slice()[idx] += v;
+        }
+        // Re-centre to keep the layout bounded.
+        for d in 0..cfg.out_dim {
+            let mean: f64 = (0..n).map(|i| y.get(i, d)).sum::<f64>() / n as f64;
+            for i in 0..n {
+                y.set(i, d, y.get(i, d) - mean);
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_matrix::rng::SeededRng;
+
+    #[test]
+    fn conditional_probs_sum_to_one() {
+        let dists = vec![0.0, 1.0, 4.0, 9.0, 0.5];
+        let p = conditional_probs(&dists, 0, 2.0);
+        assert_eq!(p[0], 0.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Closer points get more mass.
+        assert!(p[4] > p[1] && p[1] > p[2] && p[2] > p[3]);
+    }
+
+    #[test]
+    fn separates_two_gaussian_blobs() {
+        let mut rng = SeededRng::new(1);
+        let n_half = 10;
+        let data = Dense::from_fn(2 * n_half, 4, |i, _| {
+            let centre = if i < n_half { 0.0 } else { 10.0 };
+            centre + rng.normal_with(0.0, 0.3)
+        });
+        let layout = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 400,
+                perplexity: 4.0,
+                learning_rate: 20.0,
+                ..TsneConfig::default()
+            },
+        );
+        // Mean intra-blob distance must be far below inter-blob distance.
+        let d = |a: usize, b: usize| sq_dist(layout.row(a), layout.row(b)).sqrt();
+        let intra = (d(0, 1) + d(2, 3) + d(10, 11) + d(12, 13)) / 4.0;
+        let inter = (d(0, 10) + d(1, 11) + d(2, 12) + d(3, 13)) / 4.0;
+        assert!(
+            inter > 2.0 * intra,
+            "inter {inter} should dominate intra {intra}"
+        );
+    }
+
+    #[test]
+    fn output_shapes_and_edge_cases() {
+        let cfg = TsneConfig::default();
+        assert_eq!(tsne(&Dense::zeros(0, 3), &cfg).shape(), (0, 2));
+        assert_eq!(tsne(&Dense::zeros(1, 3), &cfg).shape(), (1, 2));
+        let mut rng = SeededRng::new(2);
+        let data = rng.uniform_matrix(8, 5, -1.0, 1.0);
+        let layout = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 50,
+                ..cfg
+            },
+        );
+        assert_eq!(layout.shape(), (8, 2));
+        assert!(layout.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = SeededRng::new(3);
+        let data = rng.uniform_matrix(10, 4, -1.0, 1.0);
+        let cfg = TsneConfig {
+            iterations: 60,
+            seed: 5,
+            ..TsneConfig::default()
+        };
+        let a = tsne(&data, &cfg);
+        let b = tsne(&data, &cfg);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! Alignment instantiation (§VI-A): layer-wise alignment matrices (Eq. 11)
+//! fused by layer-importance weights into the aggregated matrix (Eq. 12).
+//!
+//! The aggregated matrix is exposed as a row-streamed
+//! [`galign_metrics::ScoreProvider`]; the full `n₁×n₂`
+//! matrix is only materialised on explicit request, matching the §VI-C
+//! space analysis.
+
+use galign_gcn::MultiOrderEmbedding;
+use galign_matrix::dense::dot;
+use galign_matrix::Dense;
+use galign_metrics::ScoreProvider;
+use rayon::prelude::*;
+
+/// Which layers participate in the alignment matrix and with what weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSelection {
+    /// θ⁽ˡ⁾ for `l = 0..=k`; need not be normalised.
+    pub theta: Vec<f64>,
+}
+
+impl LayerSelection {
+    /// Equal weights `θ⁽ˡ⁾ = 1/(k+1)` over all `k+1` layers — the paper's
+    /// default (§VII-A).
+    pub fn uniform(num_layers_incl_attrs: usize) -> Self {
+        let w = 1.0 / num_layers_incl_attrs.max(1) as f64;
+        LayerSelection {
+            theta: vec![w; num_layers_incl_attrs],
+        }
+    }
+
+    /// Only layer `l` participates (the single-order baselines of Fig. 6 /
+    /// Table V and the GAlign-3 ablation).
+    pub fn single(l: usize, num_layers_incl_attrs: usize) -> Self {
+        let mut theta = vec![0.0; num_layers_incl_attrs];
+        theta[l] = 1.0;
+        LayerSelection { theta }
+    }
+
+    /// Explicit weights (Table V's sweep).
+    pub fn weighted(theta: Vec<f64>) -> Self {
+        LayerSelection { theta }
+    }
+
+    /// Number of weighted layers (including the attribute layer 0).
+    pub fn len(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// True when no layers are selected.
+    pub fn is_empty(&self) -> bool {
+        self.theta.is_empty()
+    }
+}
+
+/// The aggregated alignment matrix `S = Σ_l θ⁽ˡ⁾ H_s⁽ˡ⁾ H_t⁽ˡ⁾ᵀ`
+/// (Eq. 11–12) over row-normalised embeddings.
+#[derive(Debug, Clone)]
+pub struct AlignmentMatrix {
+    source: MultiOrderEmbedding,
+    target: MultiOrderEmbedding,
+    selection: LayerSelection,
+}
+
+impl AlignmentMatrix {
+    /// Builds the alignment view. Embeddings are row-L2-normalised here so
+    /// every layer contributes cosine similarities (DESIGN.md §4.2).
+    ///
+    /// # Panics
+    /// Panics when layer counts disagree with the selection length.
+    pub fn new(
+        source: &MultiOrderEmbedding,
+        target: &MultiOrderEmbedding,
+        selection: LayerSelection,
+    ) -> Self {
+        assert_eq!(
+            source.layers().len(),
+            target.layers().len(),
+            "source/target layer counts differ"
+        );
+        assert_eq!(
+            selection.len(),
+            source.layers().len(),
+            "selection length must equal layer count (incl. layer 0)"
+        );
+        AlignmentMatrix {
+            source: source.normalized(),
+            target: target.normalized(),
+            selection,
+        }
+    }
+
+    /// Layer weights in use.
+    pub fn selection(&self) -> &LayerSelection {
+        &self.selection
+    }
+
+    /// Alignment scores of source `v` at a single layer `l` (Eq. 11,
+    /// one row).
+    pub fn layer_score_row(&self, l: usize, v: usize) -> Vec<f64> {
+        let sv = self.source.layer(l).row(v);
+        let t = self.target.layer(l);
+        (0..t.rows()).map(|u| dot(sv, t.row(u))).collect()
+    }
+
+    /// Materialises the aggregated matrix — `O(n₁ n₂)` memory, test/tooling
+    /// only.
+    pub fn materialize(&self) -> Dense {
+        let mut out = Dense::zeros(self.num_sources(), self.num_targets());
+        out.as_mut_slice()
+            .par_chunks_exact_mut(self.num_targets().max(1))
+            .enumerate()
+            .for_each(|(v, row)| {
+                let scores = self.score_row(v);
+                row.copy_from_slice(&scores);
+            });
+        out
+    }
+
+    /// Greedy top-1 anchors: for each source node the best-scoring target
+    /// (the paper's one-to-one instantiation rule, §VI-A).
+    pub fn top1_anchors(&self) -> Vec<(usize, usize)> {
+        (0..self.num_sources())
+            .into_par_iter()
+            .filter_map(|v| {
+                let row = self.score_row(v);
+                let mut best: Option<(usize, f64)> = None;
+                for (u, s) in row.into_iter().enumerate() {
+                    if best.is_none_or(|(_, bs)| s > bs) {
+                        best = Some((u, s));
+                    }
+                }
+                best.map(|(u, _)| (v, u))
+            })
+            .collect()
+    }
+
+    /// The greedy objective `g(S) = Σ_v max_u S(v, u)` that Algorithm 2
+    /// tracks during refinement.
+    pub fn greedy_score(&self) -> f64 {
+        (0..self.num_sources())
+            .into_par_iter()
+            .map(|v| {
+                self.score_row(v)
+                    .into_iter()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .filter(|m| m.is_finite())
+            .sum()
+    }
+
+    /// Access to the (normalised) source embeddings.
+    pub fn source(&self) -> &MultiOrderEmbedding {
+        &self.source
+    }
+
+    /// Access to the (normalised) target embeddings.
+    pub fn target(&self) -> &MultiOrderEmbedding {
+        &self.target
+    }
+}
+
+impl ScoreProvider for AlignmentMatrix {
+    fn num_sources(&self) -> usize {
+        self.source.node_count()
+    }
+
+    fn num_targets(&self) -> usize {
+        self.target.node_count()
+    }
+
+    fn score_row(&self, v: usize) -> Vec<f64> {
+        let n_t = self.num_targets();
+        let mut acc = vec![0.0; n_t];
+        for (l, &theta) in self.selection.theta.iter().enumerate() {
+            if theta == 0.0 {
+                continue;
+            }
+            let sv = self.source.layer(l).row(v);
+            let t = self.target.layer(l);
+            for (u, a) in acc.iter_mut().enumerate() {
+                *a += theta * dot(sv, t.row(u));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb(rows: &[&[f64]]) -> MultiOrderEmbedding {
+        let m = Dense::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap();
+        MultiOrderEmbedding::from_layers(vec![m.clone(), m])
+    }
+
+    #[test]
+    fn selection_constructors() {
+        let u = LayerSelection::uniform(3);
+        assert_eq!(u.theta, vec![1.0 / 3.0; 3]);
+        let s = LayerSelection::single(1, 3);
+        assert_eq!(s.theta, vec![0.0, 1.0, 0.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn identical_embeddings_score_diagonal_highest() {
+        let e = emb(&[&[1.0, 0.0], &[0.0, 1.0], &[0.7, 0.7]]);
+        let a = AlignmentMatrix::new(&e, &e, LayerSelection::uniform(2));
+        let anchors = a.top1_anchors();
+        assert_eq!(anchors, vec![(0, 0), (1, 1), (2, 2)]);
+        // Diagonal of the materialised matrix is 1 (cosine of identical rows).
+        let m = a.materialize();
+        for i in 0..3 {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn score_row_matches_materialize() {
+        let s = emb(&[&[1.0, 2.0], &[3.0, -1.0]]);
+        let t = emb(&[&[0.5, 0.5], &[-1.0, 2.0], &[2.0, 0.1]]);
+        let a = AlignmentMatrix::new(&s, &t, LayerSelection::weighted(vec![0.3, 0.7]));
+        let m = a.materialize();
+        for v in 0..2 {
+            let row = a.score_row(v);
+            for u in 0..3 {
+                assert!((row[u] - m.get(v, u)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(a.num_sources(), 2);
+        assert_eq!(a.num_targets(), 3);
+    }
+
+    #[test]
+    fn single_layer_selection_uses_only_that_layer() {
+        let l0 = Dense::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let l1 = Dense::from_rows(&[vec![0.0, 1.0]]).unwrap();
+        let s = MultiOrderEmbedding::from_layers(vec![l0.clone(), l1.clone()]);
+        let t = MultiOrderEmbedding::from_layers(vec![l0, l1]);
+        let a0 = AlignmentMatrix::new(&s, &t, LayerSelection::single(0, 2));
+        let a1 = AlignmentMatrix::new(&s, &t, LayerSelection::single(1, 2));
+        assert!((a0.score_row(0)[0] - 1.0).abs() < 1e-12);
+        assert!((a1.score_row(0)[0] - 1.0).abs() < 1e-12);
+        // Cross-check layer_score_row.
+        assert!((a0.layer_score_row(0, 0)[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_score_sums_row_maxima() {
+        let e = emb(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let a = AlignmentMatrix::new(&e, &e, LayerSelection::uniform(2));
+        assert!((a.greedy_score() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "selection length")]
+    fn selection_length_checked() {
+        let e = emb(&[&[1.0, 0.0]]);
+        AlignmentMatrix::new(&e, &e, LayerSelection::uniform(5));
+    }
+}

@@ -1,0 +1,143 @@
+//! Multi-order embedding stage: a thin, documented façade over the
+//! `galign-gcn` trainer (Algorithm 1) with the paper's defaults.
+
+use galign_gcn::model::Activation;
+use galign_gcn::{train_multi_order, GcnModel, MultiOrderEmbedding, TrainConfig, TrainReport};
+use galign_graph::AttributedGraph;
+use galign_matrix::rng::SeededRng;
+
+/// Embedding-stage hyper-parameters (§VII-A defaults).
+#[derive(Debug, Clone)]
+pub struct EmbeddingConfig {
+    /// Embedding dimension per GCN layer; length = k. Paper default:
+    /// `[200, 200]`.
+    pub layer_dims: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Loss balance γ (Eq. 10).
+    pub gamma: f64,
+    /// σ_< threshold (Eq. 9).
+    pub adaptivity_threshold: f64,
+    /// Augmented copies per network.
+    pub num_augments: usize,
+    /// Augmenter structural rate p_s.
+    pub p_structure: f64,
+    /// Augmenter attribute rate p_a.
+    pub p_attribute: f64,
+    /// Activation σ of Eq. 1 (tanh per the paper; others for ablation).
+    pub activation: Activation,
+    /// Early-stopping patience (see `TrainConfig::patience`).
+    pub patience: Option<usize>,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        let t = TrainConfig::default();
+        EmbeddingConfig {
+            layer_dims: t.layer_dims,
+            epochs: t.epochs,
+            learning_rate: t.learning_rate,
+            gamma: t.gamma,
+            adaptivity_threshold: t.adaptivity_threshold,
+            num_augments: t.num_augments,
+            p_structure: t.p_structure,
+            p_attribute: t.p_attribute,
+            activation: t.activation,
+            patience: t.patience,
+        }
+    }
+}
+
+impl EmbeddingConfig {
+    /// Converts to the trainer's configuration type.
+    pub fn to_train_config(&self) -> TrainConfig {
+        TrainConfig {
+            layer_dims: self.layer_dims.clone(),
+            epochs: self.epochs,
+            learning_rate: self.learning_rate,
+            gamma: self.gamma,
+            adaptivity_threshold: self.adaptivity_threshold,
+            num_augments: self.num_augments,
+            p_structure: self.p_structure,
+            p_attribute: self.p_attribute,
+            activation: self.activation,
+            patience: self.patience,
+        }
+    }
+
+    /// Number of GCN layers k.
+    pub fn num_layers(&self) -> usize {
+        self.layer_dims.len()
+    }
+}
+
+/// Output of the embedding stage.
+#[derive(Debug, Clone)]
+pub struct EmbeddedPair {
+    /// The trained shared-weight model (needed again by refinement).
+    pub model: GcnModel,
+    /// Source multi-order embeddings `H_s⁽⁰⁾..H_s⁽ᵏ⁾`.
+    pub source: MultiOrderEmbedding,
+    /// Target multi-order embeddings.
+    pub target: MultiOrderEmbedding,
+    /// Loss trajectory.
+    pub report: TrainReport,
+}
+
+/// Embeds both networks into one space with a shared-weight multi-order GCN
+/// (Algorithm 1).
+pub fn embed_pair(
+    source: &AttributedGraph,
+    target: &AttributedGraph,
+    cfg: &EmbeddingConfig,
+    rng: &mut SeededRng,
+) -> EmbeddedPair {
+    let trained = train_multi_order(source, target, &cfg.to_train_config(), rng);
+    EmbeddedPair {
+        model: trained.model,
+        source: trained.source,
+        target: trained.target,
+        report: trained.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_graph::generators;
+
+    #[test]
+    fn config_conversion_roundtrip() {
+        let cfg = EmbeddingConfig {
+            layer_dims: vec![16, 8],
+            epochs: 5,
+            gamma: 0.5,
+            ..EmbeddingConfig::default()
+        };
+        let t = cfg.to_train_config();
+        assert_eq!(t.layer_dims, vec![16, 8]);
+        assert_eq!(t.epochs, 5);
+        assert_eq!(t.gamma, 0.5);
+        assert_eq!(cfg.num_layers(), 2);
+    }
+
+    #[test]
+    fn embed_pair_smoke() {
+        let mut rng = SeededRng::new(1);
+        let edges = generators::erdos_renyi_gnm(&mut rng, 25, 60);
+        let attrs = generators::binary_attributes(&mut rng, 25, 6, 2);
+        let g = AttributedGraph::from_edges(25, &edges, attrs);
+        let cfg = EmbeddingConfig {
+            layer_dims: vec![5],
+            epochs: 3,
+            num_augments: 1,
+            ..EmbeddingConfig::default()
+        };
+        let pair = embed_pair(&g, &g, &cfg, &mut rng);
+        assert_eq!(pair.source.num_gcn_layers(), 1);
+        assert_eq!(pair.target.layer(1).shape(), (25, 5));
+        assert_eq!(pair.report.loss_history.len(), 3);
+    }
+}

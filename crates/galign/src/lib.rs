@@ -1,0 +1,38 @@
+//! GAlign — fully unsupervised multi-order network alignment (ICDE 2020).
+//!
+//! This crate is the paper's primary contribution: an end-to-end framework
+//! that embeds two attributed networks with a shared-weight multi-order GCN,
+//! augments training with perturbed copies for noise adaptivity, and
+//! computes a refined alignment matrix.
+//!
+//! ```no_run
+//! use galign::{GAlign, GAlignConfig};
+//! use galign_graph::AttributedGraph;
+//!
+//! let source = AttributedGraph::from_edges_featureless(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let target = source.clone();
+//! let result = GAlign::new(GAlignConfig::default()).align(&source, &target, 7);
+//! let anchors = result.top1_anchors();
+//! # let _ = anchors;
+//! ```
+//!
+//! Pipeline stages (each its own module):
+//! * [`augment`] — the data augmenter (§V-C).
+//! * [`embedding`] — multi-order embedding via `galign-gcn` (Algorithm 1).
+//! * [`alignment`] — layer-wise and aggregated alignment matrices
+//!   (Eq. 11–12), row-streamed so `S` is never fully materialised.
+//! * [`refine`] — stability detection (Eq. 13) and noise-aware propagation
+//!   (Eq. 14–15, Algorithm 2).
+//! * [`pipeline`] — the [`GAlign`] front door plus the ablation variants of
+//!   §VII-C (GAlign-1/2/3).
+
+pub mod alignment;
+pub mod augment;
+pub mod embedding;
+pub mod matching;
+pub mod persist;
+pub mod pipeline;
+pub mod refine;
+
+pub use alignment::{AlignmentMatrix, LayerSelection};
+pub use pipeline::{AblationVariant, GAlign, GAlignConfig, GAlignResult};

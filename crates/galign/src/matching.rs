@@ -1,0 +1,212 @@
+//! Anchor-link instantiation policies on top of the alignment matrix.
+//!
+//! §VI-A instantiates one-to-one anchors by the top-1 rule and notes that
+//! "other alignment settings such as one-to-many can be instantiated as
+//! well". This module implements those instantiations as first-class
+//! policies:
+//!
+//! * [`top1`] — the paper's rule: best target per source (not injective).
+//! * [`greedy_injective`] — globally greedy one-to-one matching: pairs are
+//!   taken in descending score order, each node used at most once (the
+//!   standard approximation of maximum-weight bipartite matching).
+//! * [`one_to_many`] — every target within `margin` of a source's best
+//!   score (for differently sized networks where a source node may
+//!   legitimately map to several targets).
+//! * [`mutual_best`] — high-precision subset: pairs that are each other's
+//!   argmax.
+
+use galign_metrics::ScoreProvider;
+use rayon::prelude::*;
+
+/// The paper's top-1 instantiation: for each source node, its best target.
+pub fn top1(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
+    (0..scores.num_sources())
+        .into_par_iter()
+        .filter_map(|v| scores.argmax(v).map(|u| (v, u)))
+        .collect()
+}
+
+/// Globally greedy injective matching: considers all `(v, u)` pairs in
+/// descending score order and keeps a pair when both endpoints are unused.
+///
+/// Returns pairs sorted by source id. `O(n₁ n₂ log(n₁ n₂))` time and
+/// `O(n₁ n₂)` memory — intended for instantiation-time use on the anchored
+/// subset, not for streaming-scale matrices.
+pub fn greedy_injective(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
+    let n1 = scores.num_sources();
+    let n2 = scores.num_targets();
+    let mut entries: Vec<(f64, usize, usize)> = (0..n1)
+        .into_par_iter()
+        .flat_map_iter(|v| {
+            let row = scores.score_row(v);
+            row.into_iter()
+                .enumerate()
+                .map(move |(u, s)| (s, v, u))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    entries.par_sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let mut used_s = vec![false; n1];
+    let mut used_t = vec![false; n2];
+    let mut out = Vec::with_capacity(n1.min(n2));
+    for (_, v, u) in entries {
+        if !used_s[v] && !used_t[u] {
+            used_s[v] = true;
+            used_t[u] = true;
+            out.push((v, u));
+            if out.len() == n1.min(n2) {
+                break;
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// One-to-many instantiation: for each source node, all targets whose score
+/// is within `margin` of the row maximum (and at least `min_score`).
+pub fn one_to_many(
+    scores: &dyn ScoreProvider,
+    margin: f64,
+    min_score: f64,
+) -> Vec<(usize, Vec<usize>)> {
+    (0..scores.num_sources())
+        .into_par_iter()
+        .map(|v| {
+            let row = scores.score_row(v);
+            let best = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let matches: Vec<usize> = row
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s >= best - margin && s >= min_score)
+                .map(|(u, _)| u)
+                .collect();
+            (v, matches)
+        })
+        .collect()
+}
+
+/// Mutual-best pairs: `(v, u)` such that `u = argmax S(v, ·)` and
+/// `v = argmax S(·, u)` — the high-precision subset used e.g. to seed
+/// iterative expansion.
+pub fn mutual_best(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
+    let n1 = scores.num_sources();
+    let n2 = scores.num_targets();
+    if n1 == 0 || n2 == 0 {
+        return Vec::new();
+    }
+    // Row argmaxes and column argmaxes in two streamed passes.
+    let row_best: Vec<Option<usize>> = (0..n1)
+        .into_par_iter()
+        .map(|v| scores.argmax(v))
+        .collect();
+    let col_best: Vec<(usize, f64)> = {
+        let mut best = vec![(0usize, f64::NEG_INFINITY); n2];
+        for v in 0..n1 {
+            let row = scores.score_row(v);
+            for (u, &s) in row.iter().enumerate() {
+                if s > best[u].1 {
+                    best[u] = (v, s);
+                }
+            }
+        }
+        best
+    };
+    row_best
+        .into_iter()
+        .enumerate()
+        .filter_map(|(v, u)| {
+            let u = u?;
+            (col_best[u].0 == v).then_some((v, u))
+        })
+        .collect()
+}
+
+/// Precision/recall/F1 of a predicted anchor set against ground truth
+/// (order-insensitive exact pair matching).
+pub fn pair_prf(
+    predicted: &[(usize, usize)],
+    truth: &[(usize, usize)],
+) -> (f64, f64, f64) {
+    if predicted.is_empty() || truth.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let truth_set: std::collections::HashSet<(usize, usize)> = truth.iter().copied().collect();
+    let hits = predicted.iter().filter(|p| truth_set.contains(p)).count() as f64;
+    let precision = hits / predicted.len() as f64;
+    let recall = hits / truth.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_matrix::Dense;
+    use galign_metrics::DenseScores;
+
+    fn scores(rows: &[&[f64]]) -> DenseScores {
+        DenseScores::new(
+            Dense::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn top1_is_row_argmax() {
+        let s = scores(&[&[0.1, 0.9], &[0.8, 0.2]]);
+        assert_eq!(top1(&s), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn greedy_injective_resolves_conflicts() {
+        // Both sources prefer target 0; the higher scorer gets it.
+        let s = scores(&[&[0.9, 0.1], &[0.95, 0.5]]);
+        let m = greedy_injective(&s);
+        assert_eq!(m, vec![(0, 1), (1, 0)]);
+        // top1 by contrast double-assigns target 0.
+        assert_eq!(top1(&s), vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn greedy_injective_handles_rectangular() {
+        let s = scores(&[&[0.9], &[0.8], &[0.7]]);
+        let m = greedy_injective(&s);
+        assert_eq!(m, vec![(0, 0)]); // one target only
+    }
+
+    #[test]
+    fn one_to_many_margin() {
+        let s = scores(&[&[0.9, 0.85, 0.2]]);
+        let m = one_to_many(&s, 0.1, 0.0);
+        assert_eq!(m[0].1, vec![0, 1]);
+        let tight = one_to_many(&s, 0.01, 0.0);
+        assert_eq!(tight[0].1, vec![0]);
+        // min_score filters everything.
+        let none = one_to_many(&s, 0.1, 0.95);
+        assert!(none[0].1.is_empty());
+    }
+
+    #[test]
+    fn mutual_best_subset_of_top1() {
+        let s = scores(&[&[0.9, 0.1], &[0.95, 0.5]]);
+        // Row argmax: 0->0, 1->0. Col 0 argmax = 1, so only (1,0) is mutual.
+        assert_eq!(mutual_best(&s), vec![(1, 0)]);
+        let empty = scores(&[&[]]);
+        assert!(mutual_best(&empty).is_empty());
+    }
+
+    #[test]
+    fn prf_computation() {
+        let predicted = vec![(0, 0), (1, 1), (2, 3)];
+        let truth = vec![(0, 0), (1, 1), (2, 2), (3, 3)];
+        let (p, r, f1) = pair_prf(&predicted, &truth);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        assert!(f1 > 0.5 && f1 < 0.6);
+        assert_eq!(pair_prf(&[], &truth), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Model and embedding persistence.
+//!
+//! A trained [`GcnModel`] is just its weight matrices plus the input
+//! dimension; persisting it lets a deployment train once and align many
+//! network snapshots later (or resume refinement) without retraining.
+//! The format is versioned JSON so older dumps keep loading.
+
+use galign_gcn::{GcnModel, MultiOrderEmbedding};
+use galign_matrix::Dense;
+use std::io;
+use std::path::Path;
+
+/// Current on-disk format version.
+const FORMAT_VERSION: u32 = 1;
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ModelRecord {
+    version: u32,
+    input_dim: usize,
+    weights: Vec<MatrixRecord>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MatrixRecord {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl From<&Dense> for MatrixRecord {
+    fn from(m: &Dense) -> Self {
+        MatrixRecord {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().to_vec(),
+        }
+    }
+}
+
+impl MatrixRecord {
+    fn to_dense(&self) -> io::Result<Dense> {
+        Dense::from_vec(self.rows, self.cols, self.data.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Saves a trained model as versioned JSON.
+///
+/// # Errors
+/// IO/serialisation failures.
+pub fn save_model(model: &GcnModel, path: &Path) -> io::Result<()> {
+    let record = ModelRecord {
+        version: FORMAT_VERSION,
+        input_dim: model.input_dim(),
+        weights: model.weights().iter().map(MatrixRecord::from).collect(),
+    };
+    std::fs::write(path, serde_json::to_string(&record)?)
+}
+
+/// Loads a model saved by [`save_model`].
+///
+/// # Errors
+/// IO failures, parse failures, unknown format versions, or weight shapes
+/// that do not chain.
+pub fn load_model(path: &Path) -> io::Result<GcnModel> {
+    let text = std::fs::read_to_string(path)?;
+    let record: ModelRecord = serde_json::from_str(&text)?;
+    if record.version != FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported model format version {}", record.version),
+        ));
+    }
+    let weights = record
+        .weights
+        .iter()
+        .map(MatrixRecord::to_dense)
+        .collect::<io::Result<Vec<_>>>()?;
+    let mut prev = record.input_dim;
+    for w in &weights {
+        if w.rows() != prev {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "weight shapes do not chain",
+            ));
+        }
+        prev = w.cols();
+    }
+    Ok(GcnModel::from_weights(record.input_dim, weights))
+}
+
+/// Saves multi-order embeddings (all layers) as JSON.
+///
+/// # Errors
+/// IO/serialisation failures.
+pub fn save_embeddings(emb: &MultiOrderEmbedding, path: &Path) -> io::Result<()> {
+    let layers: Vec<MatrixRecord> = emb.layers().iter().map(MatrixRecord::from).collect();
+    std::fs::write(path, serde_json::to_string(&layers)?)
+}
+
+/// Loads embeddings saved by [`save_embeddings`].
+///
+/// # Errors
+/// IO/parse failures.
+pub fn load_embeddings(path: &Path) -> io::Result<MultiOrderEmbedding> {
+    let text = std::fs::read_to_string(path)?;
+    let records: Vec<MatrixRecord> = serde_json::from_str(&text)?;
+    let layers = records
+        .iter()
+        .map(MatrixRecord::to_dense)
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok(MultiOrderEmbedding::from_layers(layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_matrix::rng::SeededRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("galign-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn model_roundtrip() {
+        let mut rng = SeededRng::new(1);
+        let model = GcnModel::new(&mut rng, 6, &[8, 4]);
+        let path = tmp("model.json");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.input_dim(), 6);
+        assert_eq!(loaded.num_layers(), 2);
+        for (a, b) in model.weights().iter().zip(loaded.weights()) {
+            assert!(a.approx_eq(b, 0.0));
+        }
+    }
+
+    #[test]
+    fn loaded_model_produces_same_embeddings() {
+        let mut rng = SeededRng::new(2);
+        let edges = galign_graph::generators::erdos_renyi_gnm(&mut rng, 15, 30);
+        let attrs = galign_graph::generators::binary_attributes(&mut rng, 15, 6, 2);
+        let g = galign_graph::AttributedGraph::from_edges(15, &edges, attrs);
+        let model = GcnModel::new(&mut rng, 6, &[5]);
+        let path = tmp("model2.json");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        let a = model.forward(&g);
+        let b = loaded.forward(&g);
+        for l in 0..=1 {
+            assert!(a.layer(l).approx_eq(b.layer(l), 0.0));
+        }
+    }
+
+    #[test]
+    fn embeddings_roundtrip() {
+        let mut rng = SeededRng::new(3);
+        let emb = MultiOrderEmbedding::from_layers(vec![
+            rng.uniform_matrix(5, 3, -1.0, 1.0),
+            rng.uniform_matrix(5, 4, -1.0, 1.0),
+        ]);
+        let path = tmp("emb.json");
+        save_embeddings(&emb, &path).unwrap();
+        let loaded = load_embeddings(&path).unwrap();
+        assert_eq!(loaded.layers().len(), 2);
+        assert!(loaded.layer(1).approx_eq(emb.layer(1), 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let path = tmp("bad.json");
+        std::fs::write(
+            &path,
+            r#"{"version": 99, "input_dim": 2, "weights": []}"#,
+        )
+        .unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_unchained_weights() {
+        let path = tmp("unchained.json");
+        std::fs::write(
+            &path,
+            r#"{"version": 1, "input_dim": 2,
+               "weights": [{"rows": 2, "cols": 3, "data": [0,0,0,0,0,0]},
+                            {"rows": 5, "cols": 1, "data": [0,0,0,0,0]}]}"#,
+        )
+        .unwrap();
+        assert!(load_model(&path).is_err());
+    }
+}

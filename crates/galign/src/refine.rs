@@ -1,0 +1,343 @@
+//! Alignment refinement (§VI-B, Algorithm 2): stability detection (Eq. 13)
+//! and noise-aware propagation (Eq. 14–15) with greedy `g(S)` tracking.
+//!
+//! Note on Eq. 14 vs Eq. 15: the paper's AGG_w rule multiplies each message
+//! by `α(v)·α(t)` (stable nodes *amplified*), while Eq. 15's literal
+//! `D̂_q = D̂ Q` would divide by `√α`. We follow the stated intent: the
+//! refined propagation operator is `C_q = Q C Q` with `Q = diag(α)` and
+//! `C` the base normalised Laplacian (DESIGN.md §4.3).
+
+use crate::alignment::{AlignmentMatrix, LayerSelection};
+use galign_gcn::{GcnModel, MultiOrderEmbedding};
+use galign_graph::AttributedGraph;
+use galign_matrix::dense::dot;
+use rayon::prelude::*;
+
+/// How stable-node influence enters the propagation operator — the Eq. 14
+/// vs Eq. 15 ambiguity made explicit (DESIGN.md §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineOperator {
+    /// `C_q = Q C Q` — stable nodes *amplified*, matching the AGG_w rule
+    /// and Eq. 14's intent. The default.
+    #[default]
+    AmplifyStable,
+    /// `C_q = Q^{-1/2} C Q^{-1/2}` — the literal reading of Eq. 15's
+    /// `D̂_q = D̂Q`, which *dampens* stable nodes. Kept for the design
+    /// ablation.
+    DampenLiteral,
+}
+
+/// Refinement hyper-parameters (§VII-A defaults: λ = 0.94, β = 1.1).
+#[derive(Debug, Clone)]
+pub struct RefineConfig {
+    /// Number of refinement iterations ("some iterations" in Algorithm 2).
+    pub iterations: usize,
+    /// Stability threshold λ on layer-wise alignment scores (Eq. 13).
+    pub lambda: f64,
+    /// Influence accumulation constant β > 1 (Eq. 14).
+    pub beta: f64,
+    /// Operator variant (Eq. 14 amplification vs literal Eq. 15).
+    pub operator: RefineOperator,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            iterations: 10,
+            lambda: 0.94,
+            beta: 1.1,
+            operator: RefineOperator::AmplifyStable,
+        }
+    }
+}
+
+/// Result of the refinement search.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// Source embeddings of the best iterate (by `g(S)`).
+    pub source: MultiOrderEmbedding,
+    /// Target embeddings of the best iterate.
+    pub target: MultiOrderEmbedding,
+    /// Best greedy score `g(S)` observed.
+    pub best_score: f64,
+    /// `(#stable source nodes, #stable target nodes)` per iteration.
+    pub stable_history: Vec<(usize, usize)>,
+}
+
+/// Per-row layer-wise maxima: `best[v][l] = (argmax, max)` of
+/// `S⁽ˡ⁾(v, ·)`, plus the greedy aggregated score `g(S)`.
+fn per_row_stats(
+    src: &MultiOrderEmbedding,
+    dst: &MultiOrderEmbedding,
+    theta: &[f64],
+) -> (Vec<Vec<(usize, f64)>>, f64) {
+    let n_src = src.node_count();
+    let n_dst = dst.node_count();
+    let layers = src.layers().len();
+    if n_src == 0 || n_dst == 0 {
+        return (vec![Vec::new(); n_src], 0.0);
+    }
+    let results: Vec<(Vec<(usize, f64)>, f64)> = (0..n_src)
+        .into_par_iter()
+        .map(|v| {
+            let mut agg = vec![0.0f64; n_dst];
+            let mut per_layer = Vec::with_capacity(layers);
+            for l in 0..layers {
+                let sv = src.layer(l).row(v);
+                let t = dst.layer(l);
+                let w = theta[l];
+                let mut best = (0usize, f64::NEG_INFINITY);
+                for u in 0..n_dst {
+                    let s = dot(sv, t.row(u));
+                    if s > best.1 {
+                        best = (u, s);
+                    }
+                    agg[u] += w * s;
+                }
+                per_layer.push(best);
+            }
+            let g = agg.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (per_layer, g)
+        })
+        .collect();
+    let g_total = results.iter().map(|(_, g)| g).sum();
+    (results.into_iter().map(|(p, _)| p).collect(), g_total)
+}
+
+/// Stable nodes per Eq. 13: the layer-wise argmax is identical across all
+/// layers and every layer-wise max exceeds λ.
+fn stable_nodes(row_best: &[Vec<(usize, f64)>], lambda: f64) -> Vec<usize> {
+    row_best
+        .iter()
+        .enumerate()
+        .filter_map(|(v, layers)| {
+            let (first_arg, _) = *layers.first()?;
+            let stable = layers
+                .iter()
+                .all(|&(arg, max)| arg == first_arg && max > lambda);
+            stable.then_some(v)
+        })
+        .collect()
+}
+
+/// Runs Algorithm 2: iterative stability-driven refinement of the
+/// embeddings, returning the iterate with the highest greedy score `g(S)`.
+pub fn refine(
+    model: &GcnModel,
+    source: &AttributedGraph,
+    target: &AttributedGraph,
+    initial_source: &MultiOrderEmbedding,
+    initial_target: &MultiOrderEmbedding,
+    selection: &LayerSelection,
+    cfg: &RefineConfig,
+) -> RefineOutcome {
+    let c_s = source.normalized_laplacian();
+    let c_t = target.normalized_laplacian();
+    let mut alpha_s = vec![1.0f64; source.node_count()];
+    let mut alpha_t = vec![1.0f64; target.node_count()];
+
+    let mut current_s = initial_source.clone();
+    let mut current_t = initial_target.clone();
+    let mut best_s = current_s.clone();
+    let mut best_t = current_t.clone();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut stable_history = Vec::with_capacity(cfg.iterations);
+
+    for iter in 0..=cfg.iterations {
+        let ns = current_s.normalized();
+        let nt = current_t.normalized();
+        let (row_best, g) = per_row_stats(&ns, &nt, &selection.theta);
+        if g > best_score {
+            best_score = g;
+            best_s = current_s.clone();
+            best_t = current_t.clone();
+        }
+        if iter == cfg.iterations {
+            break;
+        }
+        // Target-side stability mirrors the source side with roles swapped
+        // (column argmax of S⁽ˡ⁾ = row argmax of the transposed product).
+        let (col_best, _) = per_row_stats(&nt, &ns, &selection.theta);
+        let stable_s = stable_nodes(&row_best, cfg.lambda);
+        let stable_t = stable_nodes(&col_best, cfg.lambda);
+        stable_history.push((stable_s.len(), stable_t.len()));
+        for &v in &stable_s {
+            alpha_s[v] *= cfg.beta;
+        }
+        for &u in &stable_t {
+            alpha_t[u] *= cfg.beta;
+        }
+        // Eq. 14/15 as resolved (AmplifyStable: C_q = Q C Q), or the
+        // literal Eq. 15 reading for the ablation.
+        let scale_of = |alpha: &[f64]| -> Vec<f64> {
+            match cfg.operator {
+                RefineOperator::AmplifyStable => alpha.to_vec(),
+                RefineOperator::DampenLiteral => {
+                    alpha.iter().map(|a| 1.0 / a.sqrt()).collect()
+                }
+            }
+        };
+        let (ss, st) = (scale_of(&alpha_s), scale_of(&alpha_t));
+        let cq_s = c_s
+            .diag_scale(&ss, &ss)
+            .expect("alpha length matches node count");
+        let cq_t = c_t
+            .diag_scale(&st, &st)
+            .expect("alpha length matches node count");
+        current_s = model.forward_with_operator(&cq_s, source.attributes());
+        current_t = model.forward_with_operator(&cq_t, target.attributes());
+    }
+
+    RefineOutcome {
+        source: best_s,
+        target: best_t,
+        best_score,
+        stable_history,
+    }
+}
+
+/// Convenience: refine and wrap the winning embeddings into an
+/// [`AlignmentMatrix`].
+pub fn refine_to_alignment(
+    model: &GcnModel,
+    source: &AttributedGraph,
+    target: &AttributedGraph,
+    initial_source: &MultiOrderEmbedding,
+    initial_target: &MultiOrderEmbedding,
+    selection: LayerSelection,
+    cfg: &RefineConfig,
+) -> (AlignmentMatrix, RefineOutcome) {
+    let outcome = refine(
+        model,
+        source,
+        target,
+        initial_source,
+        initial_target,
+        &selection,
+        cfg,
+    );
+    let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection);
+    (alignment, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galign_gcn::{train_multi_order, TrainConfig};
+    use galign_graph::{generators, noise};
+    use galign_matrix::rng::SeededRng;
+    use galign_matrix::Dense;
+
+    fn sample_problem(
+        seed: u64,
+    ) -> (AttributedGraph, AttributedGraph, GcnModel, MultiOrderEmbedding, MultiOrderEmbedding)
+    {
+        let mut rng = SeededRng::new(seed);
+        let edges = generators::barabasi_albert(&mut rng, 30, 3);
+        let attrs = generators::binary_attributes(&mut rng, 30, 8, 2);
+        let g = AttributedGraph::from_edges(30, &edges, attrs);
+        let mut noise_rng = SeededRng::new(seed + 1);
+        let t = noise::augment(&mut noise_rng, &g, 0.1, 0.1);
+        let cfg = TrainConfig {
+            layer_dims: vec![6, 6],
+            epochs: 10,
+            num_augments: 1,
+            ..TrainConfig::default()
+        };
+        let trained = train_multi_order(&g, &t, &cfg, &mut rng);
+        (g, t, trained.model, trained.source, trained.target)
+    }
+
+    #[test]
+    fn stable_nodes_criteria() {
+        // Node 0: consistent argmax with high scores -> stable.
+        // Node 1: inconsistent argmax -> unstable.
+        // Node 2: consistent argmax but low score at one layer -> unstable.
+        let row_best = vec![
+            vec![(3, 0.99), (3, 0.97)],
+            vec![(1, 0.99), (2, 0.99)],
+            vec![(0, 0.99), (0, 0.5)],
+        ];
+        assert_eq!(stable_nodes(&row_best, 0.94), vec![0]);
+        // Lower λ admits node 2.
+        assert_eq!(stable_nodes(&row_best, 0.4), vec![0, 2]);
+    }
+
+    #[test]
+    fn per_row_stats_simple() {
+        let s = MultiOrderEmbedding::from_layers(vec![Dense::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap()]);
+        let t = MultiOrderEmbedding::from_layers(vec![Dense::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ])
+        .unwrap()]);
+        let (best, g) = per_row_stats(&s, &t, &[1.0]);
+        assert_eq!(best[0][0], (1, 1.0));
+        assert_eq!(best[1][0], (0, 1.0));
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_never_worsens_greedy_score() {
+        let (s, t, model, es, et) = sample_problem(1);
+        let sel = LayerSelection::uniform(3);
+        let initial =
+            AlignmentMatrix::new(&es, &et, sel.clone()).greedy_score();
+        let cfg = RefineConfig {
+            iterations: 4,
+            ..RefineConfig::default()
+        };
+        let outcome = refine(&model, &s, &t, &es, &et, &sel, &cfg);
+        assert!(outcome.best_score >= initial - 1e-9);
+        assert_eq!(outcome.stable_history.len(), 4);
+    }
+
+    #[test]
+    fn zero_iterations_returns_initial() {
+        let (s, t, model, es, et) = sample_problem(2);
+        let sel = LayerSelection::uniform(3);
+        let cfg = RefineConfig {
+            iterations: 0,
+            ..RefineConfig::default()
+        };
+        let outcome = refine(&model, &s, &t, &es, &et, &sel, &cfg);
+        assert!(outcome.stable_history.is_empty());
+        for l in 0..=2 {
+            assert!(outcome.source.layer(l).approx_eq(es.layer(l), 0.0));
+        }
+    }
+
+    #[test]
+    fn refine_to_alignment_wraps_best() {
+        let (s, t, model, es, et) = sample_problem(3);
+        let cfg = RefineConfig {
+            iterations: 3,
+            ..RefineConfig::default()
+        };
+        let (alignment, outcome) = refine_to_alignment(
+            &model,
+            &s,
+            &t,
+            &es,
+            &et,
+            LayerSelection::uniform(3),
+            &cfg,
+        );
+        assert!((alignment.greedy_score() - outcome.best_score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let (best, g) = per_row_stats(
+            &MultiOrderEmbedding::from_layers(vec![Dense::zeros(0, 2)]),
+            &MultiOrderEmbedding::from_layers(vec![Dense::zeros(0, 2)]),
+            &[1.0],
+        );
+        assert!(best.is_empty());
+        assert_eq!(g, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Noise-robustness study (a miniature of the paper's Figs. 3–4):
+//! how GAlign's Success@1 degrades as structural and attribute noise grow,
+//! and how much the adaptivity loss (data augmentation) helps.
+//!
+//! Run with `cargo run --release --example noise_robustness`.
+
+use galign_suite::datasets::catalog::{email, noisy_task};
+use galign_suite::galign::{AblationVariant, GAlign, GAlignConfig};
+use galign_suite::metrics::evaluate;
+
+fn run(variant: AblationVariant, p_s: f64, p_a: f64) -> f64 {
+    let base = email(0.1, 77); // ~113-node email network
+    let task = noisy_task(&base, "email", p_s, p_a, 13);
+    let config = GAlignConfig::fast().with_variant(variant);
+    let result = GAlign::new(config).align(&task.source, &task.target, 5);
+    evaluate(&result.alignment, task.truth.pairs(), &[1])
+        .success(1)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    println!("structural noise sweep (email stand-in, Success@1):");
+    println!("noise   GAlign   GAlign-1 (no augmentation)");
+    for p_s in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let full = run(AblationVariant::Full, p_s, 0.0);
+        let no_aug = run(AblationVariant::NoAugmentation, p_s, 0.0);
+        println!("{p_s:.1}     {full:.4}   {no_aug:.4}");
+    }
+
+    println!("\nattribute noise sweep (email stand-in, Success@1):");
+    println!("noise   GAlign");
+    for p_a in [0.1, 0.3, 0.5] {
+        let full = run(AblationVariant::Full, 0.0, p_a);
+        println!("{p_a:.1}     {full:.4}");
+    }
+
+    println!(
+        "\nExpected shape (paper, Figs. 3-4): Success@1 decays with noise; \
+         the full model stays above the ablated one."
+    );
+}

@@ -1,0 +1,90 @@
+//! Cross-species protein-network alignment — the paper's bioinformatics
+//! motivation (§I): align two protein-interaction networks to transfer
+//! functional annotations between species.
+//!
+//! Two "species" are simulated as diverged copies of an ancestral
+//! interaction network (interactions gained/lost since divergence, plus
+//! annotation drift). GAlign is compared against IsoRank — the classic
+//! tool for exactly this task (Singh et al., PNAS 2008).
+//!
+//! Run with `cargo run --release --example protein_network_alignment`.
+
+use galign_suite::baselines::{AlignInput, Aligner, IsoRank};
+use galign_suite::galign::{GAlign, GAlignConfig};
+use galign_suite::graph::{generators, noise, AttributedGraph};
+use galign_suite::matrix::rng::SeededRng;
+use galign_suite::metrics::evaluate;
+
+fn main() {
+    // Ancestral proteome: small-world interaction structure, 16 binary
+    // "functional annotation" attributes (GO-term-like).
+    let mut rng = SeededRng::new(11);
+    let n = 120;
+    let edges = generators::watts_strogatz(&mut rng, n, 4, 0.15);
+    let attrs = generators::binary_attributes(&mut rng, n, 16, 3);
+    let ancestor = AttributedGraph::from_edges(n, &edges, attrs);
+
+    // Species A and B diverge independently: 8 % interaction turnover and
+    // 5 % annotation drift each.
+    let mut div_rng = SeededRng::new(23);
+    let species_a = noise::augment(&mut div_rng, &ancestor, 0.08, 0.05);
+    let task = galign_suite::datasets::synth::noisy_pair(
+        "proteome",
+        &species_a,
+        0.08,
+        0.05,
+        &mut div_rng,
+    );
+    println!("{}\n", task.summary());
+
+    let galign_result =
+        GAlign::new(GAlignConfig::fast()).align(&task.source, &task.target, 3);
+    let galign_report = evaluate(&galign_result.alignment, task.truth.pairs(), &[1, 10]);
+
+    // IsoRank with a 10 % ortholog seed prior (its usual setting).
+    let mut split_rng = SeededRng::new(5);
+    let order = split_rng.permutation(task.truth.len());
+    let (train, _) = task.truth.split(0.1, &order);
+    let input = AlignInput {
+        source: &task.source,
+        target: &task.target,
+        seeds: train.pairs(),
+        seed: 3,
+    };
+    let isorank_report = evaluate(
+        &IsoRank::default().align_scores(&input),
+        task.truth.pairs(),
+        &[1, 10],
+    );
+
+    println!("method   Success@1  Success@10  MAP");
+    println!(
+        "GAlign   {:.4}     {:.4}      {:.4}",
+        galign_report.success(1).unwrap(),
+        galign_report.success(10).unwrap(),
+        galign_report.map
+    );
+    println!(
+        "IsoRank  {:.4}     {:.4}      {:.4}",
+        isorank_report.success(1).unwrap(),
+        isorank_report.success(10).unwrap(),
+        isorank_report.map
+    );
+
+    // Annotation-transfer demo: for the most confident alignment, transfer
+    // the source protein's annotations to its target counterpart.
+    let anchors = galign_result.top1_anchors();
+    let (p, q) = anchors[0];
+    let annotations: Vec<usize> = task
+        .source
+        .attributes()
+        .row(p)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    println!(
+        "\nannotation transfer: protein A#{p} -> protein B#{q}, GO-like terms {annotations:?}"
+    );
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper's evaluation section.
+# Usage: ./run_experiments.sh [--scale F] [--runs N]
+set -e
+ARGS="$@"
+for exp in table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8; do
+  echo "=== running exp_$exp $ARGS ==="
+  cargo run --release -q -p galign-bench --bin "exp_$exp" -- $ARGS
+done

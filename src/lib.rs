@@ -1,0 +1,13 @@
+//! Umbrella crate for the GAlign reproduction suite.
+//!
+//! Re-exports the individual crates so examples and integration tests can use
+//! a single dependency. See the workspace README for the architecture map.
+pub use galign;
+pub use galign_autograd as autograd;
+pub use galign_baselines as baselines;
+pub use galign_datasets as datasets;
+pub use galign_gcn as gcn;
+pub use galign_graph as graph;
+pub use galign_matrix as matrix;
+pub use galign_metrics as metrics;
+pub use galign_viz as viz;

@@ -1,0 +1,142 @@
+//! Integration tests of the baseline aligners under the paper's protocol:
+//! every method beats random guessing on an easy problem, and the relative
+//! behaviours the paper reports (attribute-noise sensitivity of FINAL,
+//! REGAL's structural focus) hold qualitatively.
+
+use galign_suite::baselines::{
+    AlignInput, Aligner, Cenalp, CenalpConfig, Final, IsoRank, Pale, Regal,
+};
+use galign_suite::baselines::skipgram::SkipGramConfig;
+use galign_suite::datasets::synth::noisy_pair;
+use galign_suite::datasets::AlignmentTask;
+use galign_suite::graph::{generators, AttributedGraph};
+use galign_suite::matrix::rng::SeededRng;
+use galign_suite::metrics::evaluate;
+
+fn make_task(seed: u64, n: usize, p_s: f64, p_a: f64) -> AlignmentTask {
+    let mut rng = SeededRng::new(seed);
+    let edges = generators::barabasi_albert(&mut rng, n, 3);
+    let attrs = generators::binary_attributes(&mut rng, n, 12, 3);
+    let g = AttributedGraph::from_edges(n, &edges, attrs);
+    noisy_pair("t", &g, p_s, p_a, &mut rng)
+}
+
+fn ten_percent(task: &AlignmentTask, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = SeededRng::new(seed);
+    let order = rng.permutation(task.truth.len());
+    let (train, _) = task.truth.split(0.1, &order);
+    train.pairs().to_vec()
+}
+
+fn success10(aligner: &dyn Aligner, task: &AlignmentTask, seeds: &[(usize, usize)]) -> f64 {
+    let input = AlignInput {
+        source: &task.source,
+        target: &task.target,
+        seeds,
+        seed: 17,
+    };
+    let scores = aligner.align_scores(&input);
+    evaluate(&scores, task.truth.pairs(), &[10])
+        .success(10)
+        .unwrap()
+}
+
+#[test]
+fn all_baselines_beat_random_on_easy_task() {
+    let n = 40;
+    let task = make_task(1, n, 0.02, 0.02);
+    let seeds = ten_percent(&task, 2);
+    let random_s10 = 10.0 / n as f64;
+    let cenalp = Cenalp::new(CenalpConfig {
+        rounds: 3,
+        walks_per_node: 6,
+        embedding: SkipGramConfig {
+            dim: 48,
+            epochs: 4,
+            ..SkipGramConfig::default()
+        },
+        ..CenalpConfig::default()
+    });
+    let methods: Vec<(&str, Box<dyn Aligner>)> = vec![
+        ("REGAL", Box::new(Regal::default())),
+        ("IsoRank", Box::new(IsoRank::default())),
+        ("FINAL", Box::new(Final::default())),
+        ("CENALP", Box::new(cenalp)),
+    ];
+    for (name, aligner) in &methods {
+        let s10 = success10(aligner.as_ref(), &task, &seeds);
+        assert!(
+            s10 > 1.5 * random_s10,
+            "{name}: Success@10 {s10} vs random {random_s10}"
+        );
+    }
+    // PALE's linear mapping is under-determined at 10 % of a 40-node truth
+    // (4 anchors for a 64-dim map); with a 25 % split it must beat random —
+    // mirroring the seed-hunger the paper reports for embedding+mapping
+    // methods.
+    let mut rng = SeededRng::new(9);
+    let order = rng.permutation(task.truth.len());
+    let (train, _) = task.truth.split(0.25, &order);
+    let s10 = success10(&Pale::default(), &task, train.pairs());
+    assert!(
+        s10 > 1.5 * random_s10,
+        "PALE: Success@10 {s10} vs random {random_s10}"
+    );
+}
+
+/// Fig. 4's qualitative claim: REGAL (structure-first) degrades less under
+/// attribute noise than FINAL (attribute-coupled).
+#[test]
+fn regal_more_robust_to_attribute_noise_than_final() {
+    let drop = |aligner: &dyn Aligner| {
+        let clean = make_task(3, 40, 0.0, 0.0);
+        let noisy = make_task(3, 40, 0.0, 0.9);
+        let seeds_c = ten_percent(&clean, 4);
+        let seeds_n = ten_percent(&noisy, 4);
+        success10(aligner, &clean, &seeds_c) - success10(aligner, &noisy, &seeds_n)
+    };
+    let regal_drop = drop(&Regal::default());
+    let final_drop = drop(&Final::default());
+    assert!(
+        regal_drop <= final_drop + 0.15,
+        "REGAL drop {regal_drop} should not exceed FINAL drop {final_drop} by much"
+    );
+}
+
+/// Structural noise must hurt the structure-only methods (Fig. 3's trend).
+#[test]
+fn structural_noise_degrades_isorank() {
+    let clean = make_task(5, 40, 0.0, 0.0);
+    let noisy = make_task(5, 40, 0.5, 0.0);
+    let s_clean = success10(&IsoRank::default(), &clean, &ten_percent(&clean, 6));
+    let s_noisy = success10(&IsoRank::default(), &noisy, &ten_percent(&noisy, 6));
+    assert!(
+        s_clean >= s_noisy,
+        "clean {s_clean} should be at least noisy {s_noisy}"
+    );
+}
+
+/// The efficiency ordering the paper reports: REGAL is the fastest
+/// baseline, CENALP by far the slowest.
+#[test]
+fn runtime_ordering_regal_fastest_cenalp_slowest() {
+    let task = make_task(7, 60, 0.05, 0.05);
+    let seeds = ten_percent(&task, 8);
+    let time_of = |aligner: &dyn Aligner| {
+        let input = AlignInput {
+            source: &task.source,
+            target: &task.target,
+            seeds: &seeds,
+            seed: 1,
+        };
+        let start = std::time::Instant::now();
+        let _ = aligner.align(&input);
+        start.elapsed().as_secs_f64()
+    };
+    let regal = time_of(&Regal::default());
+    let cenalp = time_of(&Cenalp::default());
+    assert!(
+        cenalp > regal,
+        "CENALP ({cenalp}s) should be slower than REGAL ({regal}s)"
+    );
+}

@@ -1,0 +1,85 @@
+//! Integration tests of the dataset catalog and graph IO: every stand-in
+//! builds at several scales, matches its Table II regime, and survives a
+//! serialisation round trip.
+
+use galign_suite::datasets::{allmovie_imdb, douban, flickr_myspace};
+use galign_suite::datasets::catalog::{bn, econ, email, TABLE2};
+use galign_suite::graph::io::{
+    read_anchors_json, read_graph_json, write_anchors_json, write_graph_json,
+};
+
+#[test]
+fn all_alignment_tasks_build_at_multiple_scales() {
+    for &scale in &[0.05, 0.15] {
+        for (name, task) in [
+            ("douban", douban(scale, 1)),
+            ("flickr-myspace", flickr_myspace(scale, 2)),
+            ("allmovie-imdb", allmovie_imdb(scale, 3)),
+        ] {
+            assert!(task.source.node_count() > 0, "{name} empty source");
+            assert!(task.target.node_count() > 0, "{name} empty target");
+            assert!(!task.truth.is_empty(), "{name} has no anchors");
+            assert_eq!(
+                task.source.attr_dim(),
+                task.target.attr_dim(),
+                "{name} attribute spaces differ"
+            );
+            // Every anchor must reference valid nodes.
+            for &(s, t) in task.truth.pairs() {
+                assert!(s < task.source.node_count(), "{name} anchor src {s}");
+                assert!(t < task.target.node_count(), "{name} anchor tgt {t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn node_counts_scale_proportionally() {
+    let small = douban(0.05, 7);
+    let large = douban(0.15, 7);
+    let ratio = large.source.node_count() as f64 / small.source.node_count() as f64;
+    assert!((ratio - 3.0).abs() < 0.3, "scaling ratio {ratio}");
+}
+
+#[test]
+fn single_networks_have_table2_attribute_dims() {
+    assert_eq!(bn(0.1, 1).attr_dim(), 20);
+    assert_eq!(econ(0.1, 2).attr_dim(), 20);
+    assert_eq!(email(0.1, 3).attr_dim(), 20);
+    // Table II constants exposed for documentation/tests.
+    assert_eq!(TABLE2.iter().filter(|d| d.attrs == 20).count(), 3);
+}
+
+#[test]
+fn graph_and_anchor_io_roundtrip_through_files() {
+    let task = flickr_myspace(0.05, 9);
+    let dir = std::env::temp_dir().join("galign-integration-io");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let gpath = dir.join("source.json");
+    write_graph_json(&task.source, &gpath).unwrap();
+    let g2 = read_graph_json(&gpath).unwrap();
+    assert_eq!(g2.node_count(), task.source.node_count());
+    assert_eq!(g2.edge_count(), task.source.edge_count());
+
+    let apath = dir.join("anchors.json");
+    write_anchors_json(&task.truth, &apath).unwrap();
+    assert_eq!(read_anchors_json(&apath).unwrap(), task.truth);
+}
+
+#[test]
+fn toy_movies_align_perfectly_under_galign() {
+    use galign_suite::galign::{GAlign, GAlignConfig};
+    use galign_suite::metrics::evaluate;
+    let task = galign_suite::datasets::toy::toy_movies();
+    let mut cfg = GAlignConfig::fast();
+    cfg.embedding.layer_dims = vec![16, 16];
+    cfg.embedding.epochs = 40;
+    let result = GAlign::new(cfg).align(&task.source, &task.target, 1);
+    let report = evaluate(&result.alignment, task.truth.pairs(), &[1]);
+    assert!(
+        report.success(1).unwrap() >= 0.8,
+        "toy Success@1 = {:?}",
+        report.success(1)
+    );
+}

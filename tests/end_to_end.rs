@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: the full GAlign pipeline against
+//! synthesised alignment problems, evaluated with the metrics crate.
+
+use galign_suite::datasets::synth::noisy_pair;
+use galign_suite::galign::{AblationVariant, GAlign, GAlignConfig};
+use galign_suite::graph::{generators, AttributedGraph};
+use galign_suite::matrix::rng::SeededRng;
+use galign_suite::metrics::evaluate;
+
+fn base_graph(seed: u64, n: usize) -> AttributedGraph {
+    let mut rng = SeededRng::new(seed);
+    let edges = generators::barabasi_albert(&mut rng, n, 3);
+    let attrs = generators::binary_attributes(&mut rng, n, 12, 3);
+    AttributedGraph::from_edges(n, &edges, attrs)
+}
+
+fn fast_config() -> GAlignConfig {
+    GAlignConfig::fast()
+}
+
+/// The paper's idealised setting (§IV-B): the target is a pure permutation
+/// of the source. GAlign must recover it almost perfectly.
+#[test]
+fn recovers_pure_permutation() {
+    let g = base_graph(1, 60);
+    let mut rng = SeededRng::new(2);
+    let task = noisy_pair("perm", &g, 0.0, 0.0, &mut rng);
+    let result = GAlign::new(fast_config()).align(&task.source, &task.target, 3);
+    let report = evaluate(&result.alignment, task.truth.pairs(), &[1]);
+    assert!(
+        report.success(1).unwrap() > 0.95,
+        "Success@1 = {:?}",
+        report.success(1)
+    );
+    assert!(report.map > 0.95);
+    assert!(report.auc > 0.99);
+}
+
+/// Mild noise must not destroy alignment (R2 of §III-A).
+#[test]
+fn tolerates_mild_noise() {
+    let g = base_graph(4, 60);
+    let mut rng = SeededRng::new(5);
+    let task = noisy_pair("noisy", &g, 0.1, 0.1, &mut rng);
+    let result = GAlign::new(fast_config()).align(&task.source, &task.target, 6);
+    let report = evaluate(&result.alignment, task.truth.pairs(), &[1, 10]);
+    assert!(
+        report.success(10).unwrap() > 0.7,
+        "Success@10 = {:?}",
+        report.success(10)
+    );
+}
+
+/// Table IV's headline: the full model beats the single-order ablation
+/// (GAlign-3) clearly on a noisy problem.
+#[test]
+fn multi_order_beats_last_layer_only() {
+    let g = base_graph(7, 50);
+    let mut rng = SeededRng::new(8);
+    let task = noisy_pair("abl", &g, 0.1, 0.1, &mut rng);
+    let s1 = |variant: AblationVariant| {
+        let cfg = fast_config().with_variant(variant);
+        let result = GAlign::new(cfg).align(&task.source, &task.target, 9);
+        evaluate(&result.alignment, task.truth.pairs(), &[1])
+            .success(1)
+            .unwrap()
+    };
+    let full = s1(AblationVariant::Full);
+    let last_only = s1(AblationVariant::LastLayerOnly);
+    assert!(
+        full >= last_only,
+        "full {full} should be at least last-layer-only {last_only}"
+    );
+}
+
+/// Size-imbalanced alignment (Douban-style subset target) must still rank
+/// the right counterpart highly for most anchored nodes.
+#[test]
+fn handles_size_imbalance() {
+    let task = galign_suite::datasets::douban(0.08, 11);
+    let result = GAlign::new(fast_config()).align(&task.source, &task.target, 12);
+    let report = evaluate(&result.alignment, task.truth.pairs(), &[1, 10]);
+    assert!(
+        report.success(10).unwrap() > 0.6,
+        "Success@10 = {:?}",
+        report.success(10)
+    );
+}
+
+/// The whole pipeline is deterministic given seeds — a requirement for
+/// every experiment in the harness.
+#[test]
+fn pipeline_is_deterministic() {
+    let g = base_graph(13, 40);
+    let mut rng = SeededRng::new(14);
+    let task = noisy_pair("det", &g, 0.05, 0.05, &mut rng);
+    let r1 = GAlign::new(fast_config()).align(&task.source, &task.target, 15);
+    let r2 = GAlign::new(fast_config()).align(&task.source, &task.target, 15);
+    assert_eq!(r1.top1_anchors(), r2.top1_anchors());
+    assert_eq!(
+        r1.train_report.loss_history,
+        r2.train_report.loss_history
+    );
+}
