@@ -63,6 +63,10 @@ impl Adam {
         assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
         assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
         self.step += 1;
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("adam.steps", 1);
+            galign_telemetry::gauge_set("adam.lr", self.lr);
+        }
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
         for ((param, grad), (m, v)) in params

@@ -138,7 +138,7 @@ impl Aligner for Cenalp {
         let mut anchors: Vec<(usize, usize)> = input.seeds.to_vec();
         let mut emb = Dense::zeros(vocab, cfg.embedding.dim);
 
-        for _round in 0..cfg.rounds {
+        for round in 0..cfg.rounds {
             let walker = Walker {
                 gs: input.source,
                 gt: input.target,
@@ -188,6 +188,11 @@ impl Aligner for Cenalp {
                     anchors.push((v, u));
                 }
             }
+            galign_telemetry::debug!(
+                "cenalp",
+                "round {round}: anchors={} of {n1} source nodes",
+                anchors.len()
+            );
         }
 
         // Final scores: cosine similarity in the joint space, with the

@@ -73,7 +73,7 @@ impl Aligner for Final {
         let a_s = sym_normalized(input.source);
         let a_t = sym_normalized(input.target);
         let mut s = h.clone();
-        for _ in 0..self.config.max_iters {
+        for iter in 0..self.config.max_iters {
             let masked = n.hadamard(&s).expect("same shape");
             let left = a_s.spmm(&masked).expect("shapes chain");
             let right = a_t
@@ -86,7 +86,9 @@ impl Aligner for Final {
             next.axpy(1.0 - self.config.alpha, &h).expect("same shape");
             let delta = next.sub(&s).expect("same shape").frobenius_norm();
             s = next;
+            galign_telemetry::trace_event!("final", "iter {iter}: delta={delta:.3e}");
             if delta < self.config.tolerance {
+                galign_telemetry::debug!("final", "converged after {} iterations", iter + 1);
                 break;
             }
         }

@@ -74,6 +74,13 @@ impl Aligner for Ione {
         }
 
         let mut rng = SeededRng::new(input.seed);
+        galign_telemetry::debug!(
+            "ione",
+            "merged vocabulary of {} tokens ({} anchors shared), {} pairs",
+            n1 + n2,
+            input.seeds.len(),
+            pairs.len()
+        );
         let emb = train_sgns(&pairs, n1 + n2, &self.config.embedding, &mut rng)
             .normalize_rows();
 

@@ -71,7 +71,7 @@ impl Aligner for IsoRank {
         let wt = column_normalized(input.target);
         let wst = ws.transpose();
         let mut r = h.clone();
-        for _ in 0..self.config.max_iters {
+        for iter in 0..self.config.max_iters {
             // R' = α Wsᵀ R Wt + (1-α) H;   (R Wt) = (Wtᵀ Rᵀ)ᵀ.
             let left = wst.spmm(&r).expect("shapes chain");
             let right = wt
@@ -83,7 +83,9 @@ impl Aligner for IsoRank {
             next.axpy(1.0 - self.config.alpha, &h).expect("same shape");
             let delta = next.sub(&r).expect("same shape").frobenius_norm();
             r = next;
+            galign_telemetry::trace_event!("isorank", "iter {iter}: delta={delta:.3e}");
             if delta < self.config.tolerance {
+                galign_telemetry::debug!("isorank", "converged after {} iterations", iter + 1);
                 break;
             }
         }

@@ -74,6 +74,12 @@ impl Aligner for Pale {
     fn align(&self, input: &AlignInput<'_>) -> Dense {
         let mut rng = SeededRng::new(input.seed);
         let mut rng_t = rng.fork(1);
+        galign_telemetry::debug!(
+            "pale",
+            "embedding both networks (dim={}, epochs={})",
+            self.config.embedding.dim,
+            self.config.embedding.epochs
+        );
         let es = train_sgns(
             &edge_pairs(input.source),
             input.source.node_count(),
@@ -93,8 +99,10 @@ impl Aligner for Pale {
         // the spaces stay unreconciled (PALE requires anchors; the paper
         // grants it 10 % of the truth, §VII-A).
         let mapped = if input.seeds.is_empty() {
+            galign_telemetry::debug!("pale", "no anchor seeds: skipping the mapping solve");
             es.clone()
         } else {
+            galign_telemetry::debug!("pale", "fitting linear map on {} anchors", input.seeds.len());
             let src_rows: Vec<usize> = input.seeds.iter().map(|&(s, _)| s).collect();
             let tgt_rows: Vec<usize> = input.seeds.iter().map(|&(_, t)| t).collect();
             let a = es.select_rows(&src_rows);

@@ -123,6 +123,10 @@ impl Aligner for Regal {
             .num_landmarks
             .unwrap_or(((n as f64).log2() * 10.0) as usize + 1)
             .clamp(1, n);
+        galign_telemetry::debug!(
+            "regal",
+            "xNetMF: {n} joint nodes, {buckets} degree buckets, {p} landmarks"
+        );
         let mut rng = SeededRng::new(input.seed);
         let landmarks = rng.sample_indices(n, p);
 

@@ -61,7 +61,13 @@ pub fn train_sgns(
     let mut step = 0usize;
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     let mut grad = vec![0.0f64; dim];
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        galign_telemetry::trace_event!(
+            "skipgram",
+            "epoch {epoch}/{}: {} pairs",
+            cfg.epochs,
+            pairs.len()
+        );
         rng.shuffle(&mut order);
         for &idx in &order {
             let (center, context) = pairs[idx];

@@ -20,6 +20,12 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Output directory for JSON results.
     pub out_dir: PathBuf,
+    /// Silence stderr (`--quiet`).
+    pub quiet: bool,
+    /// Debug-level stderr (`--verbose`/`-v`).
+    pub verbose: bool,
+    /// Stream JSONL telemetry to this path (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -29,17 +35,41 @@ impl Default for CommonArgs {
             runs: 2,
             seed: 2020,
             out_dir: PathBuf::from("results"),
+            quiet: false,
+            verbose: false,
+            metrics_out: None,
         }
     }
 }
 
 impl CommonArgs {
-    /// Parses CLI arguments (skipping `argv[0]`).
+    /// Parses CLI arguments (skipping `argv[0]`) and configures the global
+    /// telemetry from the verbosity/metrics flags.
     ///
     /// # Panics
     /// Exits the process with a usage message on malformed input.
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        let args = Self::parse_from(std::env::args().skip(1));
+        args.configure_telemetry();
+        args
+    }
+
+    /// Applies `quiet`/`verbose`/`metrics_out` to the global telemetry.
+    pub fn configure_telemetry(&self) {
+        let level = if self.quiet {
+            galign_telemetry::Level::Quiet
+        } else if self.verbose {
+            galign_telemetry::Level::Debug
+        } else {
+            galign_telemetry::Level::Info
+        };
+        galign_telemetry::set_stderr_level(level);
+        galign_telemetry::set_metrics_enabled(true);
+        if let Some(path) = &self.metrics_out {
+            if let Err(e) = galign_telemetry::attach_jsonl_path(path) {
+                usage(&format!("cannot open --metrics-out {}: {e}", path.display()));
+            }
+        }
     }
 
     /// Parses from an explicit iterator (testable).
@@ -55,6 +85,9 @@ impl CommonArgs {
                 "--runs" => out.runs = parse_num::<f64>(&value("--runs")) as usize,
                 "--seed" => out.seed = parse_num::<f64>(&value("--seed")) as u64,
                 "--out" => out.out_dir = PathBuf::from(value("--out")),
+                "--metrics-out" => out.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+                "--quiet" | "-q" => out.quiet = true,
+                "--verbose" | "-v" => out.verbose = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -74,6 +107,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: exp_* [--scale F] [--runs N] [--seed S] [--out DIR]\n\
+         \x20      [--metrics-out PATH] [-v|--verbose] [-q|--quiet]\n\
          defaults: --scale 0.2 --runs 2 --seed 2020 --out results\n\
          (--scale 1 --runs 50 reproduces the paper's full setting)"
     );
@@ -110,14 +144,26 @@ impl ExperimentOutput {
         self.rows.push(row);
     }
 
-    /// Writes `<dir>/<experiment>.json`.
+    /// Writes `<dir>/<experiment>.json`. When metric collection is on, a
+    /// `"telemetry"` key with the counter/gauge/histogram snapshot is
+    /// embedded in the result document, and any attached JSONL sink is
+    /// flushed.
     ///
     /// # Errors
     /// IO/serialisation failures.
     pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.experiment));
-        std::fs::write(&path, serde_json::to_string_pretty(self)?)?;
+        let mut doc = serde_json::to_value(self)?;
+        if galign_telemetry::metrics_enabled() {
+            let snapshot: serde_json::Value =
+                serde_json::from_str(&galign_telemetry::snapshot_json())?;
+            if let Some(obj) = doc.as_object_mut() {
+                obj.insert("telemetry".to_string(), snapshot);
+            }
+        }
+        galign_telemetry::flush();
+        std::fs::write(&path, serde_json::to_string_pretty(&doc)?)?;
         Ok(path)
     }
 }

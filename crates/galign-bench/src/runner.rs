@@ -13,7 +13,6 @@ use galign_datasets::AlignmentTask;
 use galign_gcn::TrainConfig;
 use galign_matrix::rng::SeededRng;
 use galign_metrics::{evaluate, EvalReport, ScoreProvider};
-use std::time::Instant;
 
 /// The methods of Table III (plus GAlign's ablation variants for Table IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,11 +151,11 @@ pub fn run_method_with(
     galign_cfg: &GAlignConfig,
 ) -> MethodRun {
     let qs = &[1usize, 10];
-    let start = Instant::now();
+    let sp = galign_telemetry::span!("method", name = method.name(), seed = seed);
     match method {
         Method::GAlign | Method::GAlignVariant(_) => {
             let result = GAlign::new(galign_cfg.clone()).align(&task.source, &task.target, seed);
-            let secs = start.elapsed().as_secs_f64();
+            let secs = sp.finish();
             MethodRun {
                 report: evaluate(&result.alignment, task.truth.pairs(), qs),
                 secs,
@@ -181,7 +180,7 @@ pub fn run_method_with(
                 Method::Final => Box::new(Final::default().align_scores(&input)),
                 Method::GAlign | Method::GAlignVariant(_) => unreachable!("handled above"),
             };
-            let secs = start.elapsed().as_secs_f64();
+            let secs = sp.finish();
             MethodRun {
                 report: evaluate(scores.as_ref(), task.truth.pairs(), qs),
                 secs,

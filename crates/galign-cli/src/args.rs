@@ -1,19 +1,33 @@
 //! Minimal `--flag value` parser shared by all subcommands.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed flags: `--name value` pairs.
+/// Boolean switches (take no value), with their short aliases.
+const SWITCHES: &[(&str, &str)] = &[("verbose", "-v"), ("quiet", "-q")];
+
+/// Parsed flags: `--name value` pairs plus boolean switches.
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
-/// Parses `--flag value` pairs; bare or repeated flags abort with a
-/// diagnostic.
+/// Parses `--flag value` pairs and the boolean switches of [`SWITCHES`];
+/// bare or repeated flags abort with a diagnostic.
 pub fn parse_flags(args: &[String]) -> Flags {
     let mut values = HashMap::new();
+    let mut switches = HashSet::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        let known_switch = SWITCHES
+            .iter()
+            .find(|(long, short)| flag.as_str() == *short || flag.strip_prefix("--") == Some(*long));
+        if let Some((name, _)) = known_switch {
+            if !switches.insert(name.to_string()) {
+                die(&format!("--{name} given twice"));
+            }
+            continue;
+        }
         let Some(name) = flag.strip_prefix("--") else {
             die(&format!("expected --flag, got '{flag}'"));
         };
@@ -24,7 +38,7 @@ pub fn parse_flags(args: &[String]) -> Flags {
             die(&format!("--{name} given twice"));
         }
     }
-    Flags { values }
+    Flags { values, switches }
 }
 
 fn die(msg: &str) -> ! {
@@ -33,6 +47,11 @@ fn die(msg: &str) -> ! {
 }
 
 impl Flags {
+    /// Whether a boolean switch (e.g. `verbose`, `quiet`) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
     /// Required string flag.
     pub fn required(&self, name: &str) -> String {
         self.values
@@ -85,5 +104,18 @@ mod tests {
         assert_eq!(f.or("missing", "x"), "x");
         assert_eq!(f.num("scale", 1.0), 0.5);
         assert_eq!(f.num("seed", 7u64), 7);
+        assert!(!f.has("verbose"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let args: Vec<String> = ["--verbose", "--out", "dir", "-q"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args);
+        assert!(f.has("verbose"));
+        assert!(f.has("quiet"));
+        assert_eq!(f.required("out"), "dir");
     }
 }

@@ -50,7 +50,7 @@ pub fn generate(flags: &Flags) -> CmdResult {
     write_graph_json(&task.target, &out.join("target.json"))?;
     write_anchors_json(&task.truth, &out.join("truth.json"))?;
     println!("{}", task.summary());
-    println!("written to {}", out.display());
+    galign_telemetry::info!("generate", "written to {}", out.display());
     Ok(())
 }
 
@@ -86,7 +86,7 @@ fn export_topk_scores(provider: &dyn ScoreProvider, k: usize, path: &str) -> Cmd
         })
         .collect();
     std::fs::write(path, serde_json::to_string(&rows)?)?;
-    println!("top-{k} score rows -> {path}");
+    galign_telemetry::info!("align", "top-{k} score rows -> {path}");
     Ok(())
 }
 
@@ -104,14 +104,14 @@ pub fn align(flags: &Flags) -> CmdResult {
     };
     let top_k: usize = flags.num("top-k", 10);
 
-    let started = std::time::Instant::now();
+    let sp = galign_telemetry::span!("align", method = method, seed = seed);
     let anchors: Vec<(usize, usize)>;
     if method == "galign" {
         let result = GAlign::new(GAlignConfig::fast()).align(&source, &target, seed);
         anchors = result.top1_anchors();
         if let Some(model_path) = flags.optional("save-model") {
             save_model(&result.model, Path::new(&model_path))?;
-            println!("trained model -> {model_path}");
+            galign_telemetry::info!("align", "trained model -> {model_path}");
         }
         if let Some(scores_path) = flags.optional("scores") {
             export_topk_scores(&result.alignment, top_k, &scores_path)?;
@@ -129,10 +129,11 @@ pub fn align(flags: &Flags) -> CmdResult {
             export_topk_scores(&scores, top_k, &scores_path)?;
         }
     }
-    let secs = started.elapsed().as_secs_f64();
+    let secs = sp.finish();
 
     write_anchors_json(&AnchorLinks::new(anchors.clone()), &out)?;
-    println!(
+    galign_telemetry::info!(
+        "align",
         "{} aligned {}x{} nodes in {:.1}s; {} anchors -> {}",
         method,
         source.node_count(),

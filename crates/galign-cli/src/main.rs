@@ -19,18 +19,43 @@ fn main() {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().unwrap_or_else(|| usage(""));
     let rest: Vec<String> = argv.collect();
+    if matches!(command.as_str(), "--help" | "-h" | "help") {
+        usage("");
+    }
+    let flags = args::parse_flags(&rest);
+    configure_telemetry(&flags);
     let result = match command.as_str() {
-        "generate" => commands::generate(&args::parse_flags(&rest)),
-        "align" => commands::align(&args::parse_flags(&rest)),
-        "evaluate" => commands::evaluate(&args::parse_flags(&rest)),
-        "convert" => commands::convert(&args::parse_flags(&rest)),
-        "info" => commands::info(&args::parse_flags(&rest)),
-        "--help" | "-h" | "help" => usage(""),
+        "generate" => commands::generate(&flags),
+        "align" => commands::align(&flags),
+        "evaluate" => commands::evaluate(&flags),
+        "convert" => commands::convert(&flags),
+        "info" => commands::info(&flags),
         other => usage(&format!("unknown command '{other}'")),
     };
+    galign_telemetry::shutdown();
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+}
+
+/// Applies the global telemetry flags: `--quiet/-q` silences stderr,
+/// `--verbose/-v` raises it to debug, `--metrics-out PATH` streams JSONL
+/// telemetry (and enables metric collection) to the given file.
+fn configure_telemetry(flags: &args::Flags) {
+    let level = if flags.has("quiet") {
+        galign_telemetry::Level::Quiet
+    } else if flags.has("verbose") {
+        galign_telemetry::Level::Debug
+    } else {
+        galign_telemetry::Level::Info
+    };
+    galign_telemetry::set_stderr_level(level);
+    if let Some(path) = flags.optional("metrics-out") {
+        if let Err(e) = galign_telemetry::attach_jsonl_path(std::path::Path::new(&path)) {
+            eprintln!("error: cannot open --metrics-out {path}: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -47,7 +72,11 @@ fn usage(msg: &str) -> ! {
          \x20          [--save-model model.json] [--top-k K]\n\
          \x20 evaluate --anchors predicted.json --truth truth.json\n\
          \x20 convert  --edges edges.txt [--attrs attrs.csv] [--out graph.json]\n\
-         \x20 info     --graph G.json"
+         \x20 info     --graph G.json\n\n\
+         global flags:\n\
+         \x20 -v/--verbose   debug-level progress on stderr\n\
+         \x20 -q/--quiet     silence stderr entirely\n\
+         \x20 --metrics-out PATH   stream JSONL telemetry (spans, gauges, counters) to PATH"
     );
     std::process::exit(2);
 }

@@ -17,6 +17,19 @@ fn galign(args: &[&str]) -> (bool, String) {
     (out.status.success(), text)
 }
 
+/// Like [`galign`] but with stdout and stderr kept separate.
+fn galign_split(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_galign-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 fn workdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("galign-cli-smoke").join(name);
     let _ = std::fs::remove_dir_all(&dir);
@@ -69,6 +82,57 @@ fn galign_method_with_model_export() {
     ]);
     assert!(ok, "{out}");
     assert!(std::path::Path::new(&model).exists());
+}
+
+#[test]
+fn quiet_silences_stderr_and_metrics_out_writes_jsonl() {
+    let dir = workdir("telemetry");
+    let d = dir.to_str().unwrap();
+    let (ok, _, _) = galign_split(&["generate", "--dataset", "toy", "--out", d, "--quiet"]);
+    assert!(ok);
+
+    // --quiet: nothing at all on stderr.
+    let metrics = format!("{d}/metrics.jsonl");
+    let (ok, _, err) = galign_split(&[
+        "align",
+        "--source", &format!("{d}/source.json"),
+        "--target", &format!("{d}/target.json"),
+        "--out", &format!("{d}/pred.json"),
+        "--quiet",
+        "--metrics-out", &metrics,
+    ]);
+    assert!(ok, "{err}");
+    assert!(err.is_empty(), "--quiet left stderr output: {err:?}");
+
+    // --metrics-out: every line is a JSON object; the GAlign stage spans
+    // and training gauges are present.
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(!text.trim().is_empty());
+    let mut spans = Vec::new();
+    let mut gauges = Vec::new();
+    let mut counters_seen = false;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("well-formed JSONL");
+        match v["type"].as_str().unwrap() {
+            "span" => spans.push(v["name"].as_str().unwrap().to_string()),
+            "gauge" => gauges.push(v["name"].as_str().unwrap().to_string()),
+            "snapshot" => {
+                counters_seen = v["metrics"]["counters"]
+                    .as_object()
+                    .is_some_and(|c| c.keys().any(|k| k.starts_with("matrix.")));
+            }
+            _ => {}
+        }
+    }
+    for expected in ["pipeline", "embedding", "augment", "refine", "match"] {
+        assert!(spans.iter().any(|s| s == expected), "missing span {expected}: {spans:?}");
+    }
+    assert!(gauges.iter().any(|g| g == "train.loss"), "missing train.loss: {gauges:?}");
+    assert!(counters_seen, "snapshot lacks matrix.* counters");
+
+    // --verbose produces progress on stderr.
+    let (ok, _, err) = galign_split(&["info", "--graph", &format!("{d}/source.json"), "-v"]);
+    assert!(ok, "{err}");
 }
 
 #[test]

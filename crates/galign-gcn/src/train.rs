@@ -92,12 +92,14 @@ struct PreparedGraph {
 }
 
 fn prepare(g: &AttributedGraph, cfg: &TrainConfig, rng: &mut SeededRng) -> PreparedGraph {
+    let sp = galign_telemetry::span!("augment", copies = cfg.num_augments, nodes = g.node_count());
     let augmented = (0..cfg.num_augments)
         .map(|_| {
             let aug = noise::augment(rng, g, cfg.p_structure, cfg.p_attribute);
             (aug.normalized_laplacian(), aug.attributes().clone())
         })
         .collect();
+    sp.finish();
     PreparedGraph {
         laplacian: g.normalized_laplacian(),
         attributes: g.attributes().clone(),
@@ -132,7 +134,8 @@ pub fn train_multi_order(
     let mut best_loss = f64::INFINITY;
     let mut epochs_since_best = 0usize;
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let epoch_start = std::time::Instant::now();
         let mut tape = Tape::new();
         let weight_vars = model.weights_on_tape(&mut tape);
         let mut per_graph_losses = Vec::with_capacity(2);
@@ -162,9 +165,26 @@ pub fn train_multi_order(
         loss_history.push(loss);
 
         let grads: Vec<Option<&Dense>> = weight_vars.iter().map(|&v| tape.grad(v)).collect();
+        if galign_telemetry::metrics_enabled() {
+            let grad_norm = grads
+                .iter()
+                .filter_map(|g| *g)
+                .flat_map(|g| g.as_slice())
+                .map(|&x| x * x)
+                .sum::<f64>()
+                .sqrt();
+            galign_telemetry::gauge_set("train.loss", loss);
+            galign_telemetry::gauge_set("train.lr", adam.lr());
+            galign_telemetry::gauge_set("train.grad_norm", grad_norm);
+        }
         let mut params = model.weights().to_vec();
         adam.step(&mut params, &grads);
         model.set_weights(params);
+
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::histogram_record("train.epoch_secs", epoch_start.elapsed().as_secs_f64());
+        }
+        galign_telemetry::debug!("train", "epoch {epoch}: loss={loss:.6}");
 
         if loss < best_loss - 1e-9 {
             best_loss = loss;

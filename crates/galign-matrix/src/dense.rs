@@ -334,6 +334,11 @@ impl Dense {
             });
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("matrix.gemm.calls", 1);
+            galign_telemetry::counter_add("matrix.gemm.flops", (2 * m * k * n) as u64);
+            galign_telemetry::counter_add("matrix.alloc.elems", (m * n) as u64);
+        }
         let mut out = Dense::zeros(m, n);
         let body = |(i, out_row): (usize, &mut [f64])| {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -394,6 +399,11 @@ impl Dense {
             });
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("matrix.gemm.calls", 1);
+            galign_telemetry::counter_add("matrix.gemm.flops", (2 * m * k * n) as u64);
+            galign_telemetry::counter_add("matrix.alloc.elems", (m * n) as u64);
+        }
         let mut out = Dense::zeros(m, n);
         let body = |(i, out_row): (usize, &mut [f64])| {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -417,6 +427,11 @@ impl Dense {
     /// rank-1 row updates — `O(n d²)` with only a `d²` temporary.
     pub fn gram(&self) -> Dense {
         let d = self.cols;
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("matrix.gemm.calls", 1);
+            galign_telemetry::counter_add("matrix.gemm.flops", (2 * self.rows * d * d) as u64);
+            galign_telemetry::counter_add("matrix.alloc.elems", (d * d) as u64);
+        }
         let fold_rows = |acc: Vec<f64>, rows: &[f64]| {
             let mut acc = acc;
             for row in rows.chunks_exact(d.max(1)) {

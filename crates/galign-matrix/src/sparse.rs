@@ -217,6 +217,11 @@ impl Csr {
             });
         }
         let d = x.cols();
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("matrix.spmm.calls", 1);
+            galign_telemetry::counter_add("matrix.spmm.flops", (2 * self.values.len() * d) as u64);
+            galign_telemetry::counter_add("matrix.alloc.elems", (self.rows * d) as u64);
+        }
         let mut out = Dense::zeros(self.rows, d);
         let body = |(i, out_row): (usize, &mut [f64])| {
             for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {

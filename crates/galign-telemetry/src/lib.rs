@@ -1,0 +1,462 @@
+//! # galign-telemetry
+//!
+//! The observability substrate of the GAlign suite: a lightweight span/event
+//! tracer, a metrics registry (counters, gauges, histograms) and two
+//! pluggable sinks — a leveled human-readable stderr logger and a JSONL
+//! exporter whose output the bench harness embeds into `results/*.json`.
+//!
+//! Everything is `std`-only and **cheap when disabled**: with no sink
+//! attached and metrics off (the default), an instrumented kernel pays one
+//! relaxed atomic load and a branch.
+//!
+//! ```
+//! use galign_telemetry as telemetry;
+//!
+//! // A counter in a hot kernel: guard on `metrics_enabled`.
+//! if telemetry::metrics_enabled() {
+//!     telemetry::counter_add("matrix.gemm.flops", 1_000_000);
+//! }
+//!
+//! // A traced stage: the span measures wall-clock even when disabled, so
+//! // pipelines can use `finish()` for their stage timings.
+//! let span = telemetry::span!("refine", iter = 3);
+//! let secs = span.finish();
+//! assert!(secs >= 0.0);
+//!
+//! // Leveled events (stderr is silent unless the level is raised).
+//! telemetry::info!("pipeline", "refinement done in {secs:.2}s");
+//! ```
+
+pub mod registry;
+pub mod sink;
+pub mod trace;
+
+pub use registry::{HistogramSummary, MetricsSnapshot, Registry};
+pub use sink::Level;
+pub use trace::Span;
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+struct Global {
+    stderr_level: AtomicU8,
+    metrics_enabled: AtomicBool,
+    jsonl_attached: AtomicBool,
+    seq: AtomicU64,
+    jsonl: Mutex<Option<Box<dyn Write + Send>>>,
+    registry: Registry,
+}
+
+static GLOBAL: Global = Global {
+    stderr_level: AtomicU8::new(0), // Quiet: libraries are silent by default
+    metrics_enabled: AtomicBool::new(false),
+    jsonl_attached: AtomicBool::new(false),
+    seq: AtomicU64::new(0),
+    jsonl: Mutex::new(None),
+    registry: Registry::new(),
+};
+
+static CLOCK: OnceLock<Instant> = OnceLock::new();
+
+/// Anchors the process-relative clock (idempotent; called implicitly by
+/// every emitting path).
+pub fn init_clock() {
+    let _ = CLOCK.get_or_init(Instant::now);
+}
+
+fn elapsed_ms() -> f64 {
+    CLOCK
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_secs_f64()
+        * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Sets the stderr logger's verbosity ([`Level::Quiet`] disables it).
+pub fn set_stderr_level(level: Level) {
+    GLOBAL.stderr_level.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current stderr verbosity.
+pub fn stderr_level() -> Level {
+    Level::from_u8(GLOBAL.stderr_level.load(Ordering::Relaxed))
+}
+
+/// Enables/disables metric recording (counters, gauges, histograms).
+pub fn set_metrics_enabled(on: bool) {
+    GLOBAL.metrics_enabled.store(on, Ordering::Relaxed);
+}
+
+/// True when metric recording is on. Instrumented hot paths check this
+/// before doing any work.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    GLOBAL.metrics_enabled.load(Ordering::Relaxed)
+}
+
+/// True when spans should participate in the stack and emit on close:
+/// a JSONL sink is attached, metrics are recording (span durations feed
+/// histograms) or the stderr logger is at debug verbosity.
+#[inline]
+pub fn spans_enabled() -> bool {
+    jsonl_attached() || metrics_enabled() || stderr_level() >= Level::Debug
+}
+
+fn jsonl_attached() -> bool {
+    GLOBAL.jsonl_attached.load(Ordering::Relaxed)
+}
+
+/// Attaches a JSONL sink writing to an arbitrary writer (replacing any
+/// previous sink). Every event, span close and gauge update is appended as
+/// one JSON object per line.
+pub fn attach_jsonl_writer(w: Box<dyn Write + Send>) {
+    init_clock();
+    let mut sink = GLOBAL.jsonl.lock().expect("jsonl lock");
+    *sink = Some(w);
+    GLOBAL.jsonl_attached.store(true, Ordering::Relaxed);
+}
+
+/// Attaches a JSONL sink writing to `path` (truncating). Also enables
+/// metrics so the closing snapshot has content.
+///
+/// # Errors
+/// Propagates file-creation failures.
+pub fn attach_jsonl_path(path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    attach_jsonl_writer(Box::new(std::io::BufWriter::new(file)));
+    set_metrics_enabled(true);
+    Ok(())
+}
+
+/// Detaches the JSONL sink (flushing it) and returns the writer, if any.
+pub fn detach_jsonl() -> Option<Box<dyn Write + Send>> {
+    let mut sink = GLOBAL.jsonl.lock().expect("jsonl lock");
+    GLOBAL.jsonl_attached.store(false, Ordering::Relaxed);
+    let mut w = sink.take();
+    if let Some(w) = w.as_mut() {
+        let _ = w.flush();
+    }
+    w
+}
+
+/// Writes a `snapshot` record (current counters/gauges/histograms) to the
+/// JSONL sink and flushes it. Call at the end of a run so aggregate-only
+/// metrics (e.g. GEMM/SpMM counters) appear in the exported stream.
+pub fn flush() {
+    if jsonl_attached() {
+        let metrics = GLOBAL.registry.snapshot().to_json();
+        write_jsonl_record(|seq, ms| {
+            format!(
+                "{{\"type\":\"snapshot\",\"seq\":{seq},\"ms\":{},\"metrics\":{metrics}}}",
+                sink::json_f64(ms)
+            )
+        });
+    }
+    let mut sink = GLOBAL.jsonl.lock().expect("jsonl lock");
+    if let Some(w) = sink.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Final-snapshot + flush + detach, in one call (CLI exit path).
+pub fn shutdown() {
+    flush();
+    let _ = detach_jsonl();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics (global registry)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn global_registry() -> &'static Registry {
+    &GLOBAL.registry
+}
+
+/// Adds `delta` to a global counter. No-op when metrics are disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if metrics_enabled() {
+        GLOBAL.registry.counter_add(name, delta);
+    }
+}
+
+/// Current value of a global counter.
+pub fn counter_value(name: &str) -> u64 {
+    GLOBAL.registry.counter_value(name)
+}
+
+/// Sets a global gauge and (when a JSONL sink is attached) appends a
+/// time-series record, so per-epoch gauges become convergence curves.
+/// No-op when metrics are disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    GLOBAL.registry.gauge_set(name, value);
+    write_jsonl_record(|seq, ms| {
+        format!(
+            "{{\"type\":\"gauge\",\"seq\":{seq},\"ms\":{},\"name\":\"{}\",\"value\":{}}}",
+            sink::json_f64(ms),
+            sink::escape_json(name),
+            sink::json_f64(value)
+        )
+    });
+}
+
+/// Last value of a global gauge.
+pub fn gauge_value(name: &str) -> Option<f64> {
+    GLOBAL.registry.gauge_value(name)
+}
+
+/// Records a sample into a global histogram. No-op when metrics are
+/// disabled.
+pub fn histogram_record(name: &str, value: f64) {
+    if metrics_enabled() {
+        GLOBAL.registry.histogram_record(name, value);
+    }
+}
+
+/// Summary of a global histogram.
+pub fn histogram_summary(name: &str) -> Option<HistogramSummary> {
+    GLOBAL.registry.histogram_summary(name)
+}
+
+/// Snapshot of every global metric.
+pub fn snapshot() -> MetricsSnapshot {
+    GLOBAL.registry.snapshot()
+}
+
+/// Snapshot rendered as a JSON object string (see
+/// [`MetricsSnapshot::to_json`]); consumers with a JSON parser can embed it
+/// verbatim.
+pub fn snapshot_json() -> String {
+    GLOBAL.registry.snapshot().to_json()
+}
+
+/// Clears every global metric (between bench repetitions, for instance).
+pub fn reset_metrics() {
+    GLOBAL.registry.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Emits a leveled event to the active sinks. Prefer the [`info!`],
+/// [`debug!`] and [`trace_event!`] macros, which build the message lazily.
+pub fn emit(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let to_stderr = level != Level::Quiet && level <= stderr_level();
+    let to_jsonl = jsonl_attached();
+    if !to_stderr && !to_jsonl {
+        return;
+    }
+    init_clock();
+    let message = args.to_string();
+    if to_jsonl {
+        write_jsonl_record(|seq, ms| {
+            format!(
+                "{{\"type\":\"event\",\"seq\":{seq},\"ms\":{},\"level\":\"{}\",\"target\":\"{}\",\"thread\":{},\"message\":\"{}\"}}",
+                sink::json_f64(ms),
+                level.name(),
+                sink::escape_json(target),
+                trace::thread_id(),
+                sink::escape_json(&message)
+            )
+        });
+    }
+    if to_stderr {
+        sink::stderr_line(&format!("[{}] {target}: {message}", level.name()));
+    }
+}
+
+/// Appends one record line to the JSONL sink (if attached). The closure
+/// receives the allocated sequence number and the process-relative
+/// timestamp in milliseconds.
+pub(crate) fn write_jsonl_record(build: impl FnOnce(u64, f64) -> String) {
+    if !jsonl_attached() {
+        return;
+    }
+    let seq = GLOBAL.seq.fetch_add(1, Ordering::Relaxed);
+    let line = build(seq, elapsed_ms());
+    let mut sink = GLOBAL.jsonl.lock().expect("jsonl lock");
+    if let Some(w) = sink.as_mut() {
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Info-level event: `info!("target", "fmt {}", args)`.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::emit($crate::Level::Info, $target, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Debug-level event (per-iteration/per-epoch diagnostics).
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::emit($crate::Level::Debug, $target, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Trace-level event (inner-loop chatter).
+#[macro_export]
+macro_rules! trace_event {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::emit($crate::Level::Trace, $target, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Opens a [`Span`]: `span!("name")` or `span!("name", key = value, ...)`.
+/// Field values are formatted with `Display` — and only when tracing is
+/// enabled, so a disabled span costs one `Instant::now()`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::spans_enabled() {
+            $crate::Span::enter(
+                $name,
+                ::std::vec![$((::std::stringify!($key), ::std::format!("{}", $value))),+],
+            )
+        } else {
+            $crate::Span::enter($name, ::std::vec::Vec::new())
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Global-state tests share one lock so they never interleave.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// A shared in-memory writer for inspecting JSONL output.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Shared {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    fn fresh_session() -> Shared {
+        let buf = Shared::default();
+        attach_jsonl_writer(Box::new(buf.clone()));
+        set_metrics_enabled(true);
+        reset_metrics();
+        buf
+    }
+
+    fn end_session() {
+        set_metrics_enabled(false);
+        set_stderr_level(Level::Quiet);
+        let _ = detach_jsonl();
+        reset_metrics();
+    }
+
+    #[test]
+    fn disabled_paths_are_noops() {
+        let _g = guard();
+        end_session();
+        assert!(!metrics_enabled());
+        assert!(!spans_enabled());
+        counter_add("x.calls", 5);
+        gauge_set("x.g", 1.0);
+        histogram_record("x.h", 1.0);
+        assert_eq!(counter_value("x.calls"), 0);
+        assert_eq!(gauge_value("x.g"), None);
+        assert!(histogram_summary("x.h").is_none());
+        // Spans still measure time when disabled.
+        let sp = span!("idle", k = 1);
+        assert!(sp.finish() >= 0.0);
+    }
+
+    #[test]
+    fn span_nesting_and_ordering_in_jsonl() {
+        let _g = guard();
+        let buf = fresh_session();
+        {
+            let outer = span!("outer");
+            {
+                let inner = span!("inner", iter = 7);
+                let _ = inner.finish();
+            }
+            let _ = outer.finish();
+        }
+        end_session();
+        let text = buf.text();
+        let lines: Vec<&str> = text.lines().collect();
+        let inner_pos = lines
+            .iter()
+            .position(|l| l.contains("\"name\":\"inner\""))
+            .expect("inner span recorded");
+        let outer_pos = lines
+            .iter()
+            .position(|l| l.contains("\"name\":\"outer\""))
+            .expect("outer span recorded");
+        // Children close (and are written) before their parents.
+        assert!(inner_pos < outer_pos, "{text}");
+        assert!(lines[inner_pos].contains("\"path\":\"outer/inner\""));
+        assert!(lines[inner_pos].contains("\"depth\":1"));
+        assert!(lines[inner_pos].contains("\"iter\":\"7\""));
+        assert!(lines[outer_pos].contains("\"depth\":0"));
+    }
+
+    #[test]
+    fn events_gauges_and_snapshot_records() {
+        let _g = guard();
+        let buf = fresh_session();
+        info!("unit", "hello {}", 42);
+        gauge_set("train.loss", 0.5);
+        counter_add("gemm.calls", 3);
+        flush();
+        end_session();
+        let text = buf.text();
+        assert!(text.contains("\"type\":\"event\""), "{text}");
+        assert!(text.contains("\"message\":\"hello 42\""));
+        assert!(text.contains("\"type\":\"gauge\""));
+        assert!(text.contains("\"name\":\"train.loss\""));
+        assert!(text.contains("\"type\":\"snapshot\""));
+        assert!(text.contains("\"gemm.calls\":3"));
+    }
+
+    #[test]
+    fn span_durations_feed_histograms() {
+        let _g = guard();
+        let _buf = fresh_session();
+        let sp = span!("stage");
+        let secs = sp.finish();
+        let h = histogram_summary("span.stage.secs").expect("recorded");
+        assert_eq!(h.count, 1);
+        assert!((h.max - secs).abs() < 1.0);
+        end_session();
+    }
+}

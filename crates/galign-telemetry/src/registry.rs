@@ -1,0 +1,320 @@
+//! The metrics registry: monotonic counters, last-value gauges and
+//! sample-keeping histograms, all keyed by dotted string names
+//! (`matrix.gemm.flops`, `train.loss`, `span.embedding.secs`).
+//!
+//! A [`Registry`] is plain data behind mutexes — the zero-cost-when-disabled
+//! guarantee lives one level up (callers check [`crate::metrics_enabled`]
+//! before touching the global registry at all).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregate description of one histogram's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Point-in-time copy of every metric in a registry, ordered by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → accumulated value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → last value set.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → summary statistics.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric of any kind has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as a JSON object string (no trailing newline):
+    /// `{"counters":{...},"gauges":{...},"histograms":{"name":{"count":..}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", crate::sink::escape_json(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                crate::sink::escape_json(name),
+                crate::sink::json_f64(*v)
+            ));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                crate::sink::escape_json(name),
+                h.count,
+                crate::sink::json_f64(h.min),
+                crate::sink::json_f64(h.max),
+                crate::sink::json_f64(h.mean),
+                crate::sink::json_f64(h.p50),
+                crate::sink::json_f64(h.p90),
+                crate::sink::json_f64(h.p99),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A metrics registry. The crate hosts one global instance (see
+/// [`crate::counter_add`] and friends); tests may build their own.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Vec<f64>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (usable in `static` position).
+    pub const fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut c = self.counters.lock().expect("counter lock");
+        match c.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                c.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of the named counter (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("counter lock")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("gauge lock")
+            .insert(name.to_string(), value);
+    }
+
+    /// Last value set on the named gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().expect("gauge lock").get(name).copied()
+    }
+
+    /// Appends one sample to the named histogram.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        self.histograms
+            .lock()
+            .expect("histogram lock")
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Summary of the named histogram (`None` when empty or unknown).
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms
+            .lock()
+            .expect("histogram lock")
+            .get(name)
+            .and_then(|samples| summarize(samples))
+    }
+
+    /// Copies every metric out of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter lock")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge lock")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram lock")
+            .iter()
+            .filter_map(|(k, samples)| summarize(samples).map(|s| (k.clone(), s)))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Clears every counter, gauge and histogram.
+    pub fn reset(&self) {
+        self.counters.lock().expect("counter lock").clear();
+        self.gauges.lock().expect("gauge lock").clear();
+        self.histograms.lock().expect("histogram lock").clear();
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(samples: &[f64]) -> Option<HistogramSummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let sum: f64 = sorted.iter().sum();
+    Some(HistogramSummary {
+        count: sorted.len(),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        mean: sum / sorted.len() as f64,
+        p50: percentile(&sorted, 50.0),
+        p90: percentile(&sorted, 90.0),
+        p99: percentile(&sorted, 99.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let r = Registry::new();
+        assert_eq!(r.counter_value("gemm.calls"), 0);
+        let mut last = 0;
+        for i in 1..=50u64 {
+            r.counter_add("gemm.calls", i);
+            let now = r.counter_value("gemm.calls");
+            assert!(now > last, "counter must be monotonic");
+            last = now;
+        }
+        assert_eq!(last, (1..=50u64).sum::<u64>());
+        // Saturates instead of wrapping.
+        r.counter_add("gemm.calls", u64::MAX);
+        assert_eq!(r.counter_value("gemm.calls"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let r = Registry::new();
+        assert_eq!(r.gauge_value("loss"), None);
+        r.gauge_set("loss", 3.5);
+        r.gauge_set("loss", 1.25);
+        assert_eq!(r.gauge_value("loss"), Some(1.25));
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let r = Registry::new();
+        assert!(r.histogram_summary("lat").is_none());
+        // 1..=100 in shuffled-ish order; percentiles are exact ranks.
+        for v in (1..=100).rev() {
+            r.histogram_record("lat", v as f64);
+        }
+        let h = r.histogram_summary("lat").unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean - 50.5).abs() < 1e-12);
+        assert_eq!(h.p50, 51.0); // nearest-rank of 50% over 0..=99 → index 50
+        assert_eq!(h.p90, 90.0);
+        assert_eq!(h.p99, 99.0);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let r = Registry::new();
+        r.counter_add("a.calls", 2);
+        r.gauge_set("b.val", -1.5);
+        r.histogram_record("c.secs", 0.25);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a.calls".to_string(), 2)]);
+        assert_eq!(snap.gauges, vec![("b.val".to_string(), -1.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert!(!snap.is_empty());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = Registry::new();
+        r.counter_add("gemm.flops", 1000);
+        r.gauge_set("loss", 0.5);
+        r.histogram_record("secs", 2.0);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"gemm.flops\":1000"));
+        assert!(json.contains("\"loss\":0.5"));
+        assert!(json.contains("\"count\":1"));
+        // Non-finite gauges serialise as null, keeping the JSON valid.
+        r.gauge_set("bad", f64::NAN);
+        assert!(r.snapshot().to_json().contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 100.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0], 100.0), 2.0);
+    }
+}

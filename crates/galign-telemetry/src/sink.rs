@@ -1,0 +1,153 @@
+//! Output sinks: verbosity levels for the human-readable stderr logger and
+//! helpers for the machine-readable JSONL exporter.
+//!
+//! The JSONL format is one JSON object per line, four record types:
+//!
+//! ```text
+//! {"type":"event","seq":3,"ms":12.5,"level":"info","target":"isorank","thread":1,"message":"..."}
+//! {"type":"span","seq":9,"ms":80.1,"name":"refine","path":"pipeline/refine","depth":1,"thread":1,"fields":{"iter":"3"},"secs":0.123}
+//! {"type":"gauge","seq":5,"ms":40.0,"name":"train.loss","value":0.51}
+//! {"type":"snapshot","seq":20,"ms":95.0,"metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+//! ```
+//!
+//! `seq` is a process-global ordering counter, `ms` is milliseconds since
+//! the first telemetry call, `thread` a numeric thread id. Span records are
+//! written on close, so a parent span appears *after* its children; consumers
+//! reconstruct nesting from `path`/`depth`.
+
+use std::io::Write;
+
+/// Stderr verbosity. Records are printed when their level is at or below
+/// the configured level; `Quiet` suppresses everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No stderr output at all.
+    Quiet = 0,
+    /// High-level progress (stage completions, result summaries).
+    Info = 1,
+    /// Per-iteration/per-epoch diagnostics and span timings.
+    Debug = 2,
+    /// Everything, including inner-loop chatter.
+    Trace = 3,
+}
+
+impl Level {
+    /// Lower-case name used in JSONL records and stderr prefixes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Quiet => "quiet",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Quiet,
+            1 => Level::Info,
+            2 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders span fields as a JSON object fragment: `{"iter":"3","k":"2"}`.
+pub(crate) fn fields_json(fields: &[(&'static str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders span fields for the stderr logger: ` iter=3 k=2` (empty when
+/// there are no fields).
+pub(crate) fn fields_human(fields: &[(&'static str, String)]) -> String {
+    let mut out = String::new();
+    for (k, v) in fields {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out
+}
+
+/// Writes one line to stderr, ignoring errors (a closed stderr must never
+/// break the computation being observed).
+pub(crate) fn stderr_line(line: &str) {
+    let _ = writeln!(std::io::stderr().lock(), "{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Quiet < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::Info.name(), "info");
+        assert_eq!(Level::from_u8(0), Level::Quiet);
+        assert_eq!(Level::from_u8(2), Level::Debug);
+        assert_eq!(Level::from_u8(200), Level::Trace);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_floats() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn field_rendering() {
+        let fields = vec![("iter", "3".to_string()), ("name", "a\"b".to_string())];
+        assert_eq!(fields_json(&fields), "{\"iter\":\"3\",\"name\":\"a\\\"b\"}");
+        assert_eq!(fields_human(&fields), " iter=3 name=a\"b");
+        assert_eq!(fields_json(&[]), "{}");
+        assert_eq!(fields_human(&[]), "");
+    }
+}

@@ -1,0 +1,132 @@
+//! Span tracer: nested, named scopes with wall-clock duration, thread id
+//! and depth. Construct spans with the [`crate::span!`] macro; a span is
+//! emitted to the active sinks when it closes (explicit [`Span::finish`] or
+//! drop).
+
+use crate::sink::{fields_human, fields_json, stderr_line, Level};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pushes a span name onto this thread's stack; returns `(depth, path)`.
+fn push(name: &'static str) -> (usize, String) {
+    SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        (s.len() - 1, s.join("/"))
+    })
+}
+
+/// Pops back down to `depth` (tolerates out-of-order drops by truncating).
+fn pop(depth: usize) {
+    SPAN_STACK.with(|s| s.borrow_mut().truncate(depth));
+}
+
+/// Numeric id of the current thread (parsed from its debug representation).
+pub(crate) fn thread_id() -> u64 {
+    let repr = format!("{:?}", std::thread::current().id());
+    repr.chars()
+        .filter(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// A timed scope. Always measures wall-clock (so callers can rely on
+/// [`Span::finish`] for timings even with telemetry disabled); participates
+/// in the span stack and emits to sinks only when tracing is active.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    fields: Vec<(&'static str, String)>,
+    start: Instant,
+    active: bool,
+    depth: usize,
+    path: String,
+    closed: bool,
+}
+
+impl Span {
+    /// Opens a span. Prefer the [`crate::span!`] macro, which skips field
+    /// formatting entirely when tracing is disabled.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, String)>) -> Span {
+        crate::init_clock();
+        let active = crate::spans_enabled();
+        let (depth, path) = if active {
+            push(name)
+        } else {
+            (0, String::new())
+        };
+        Span {
+            name,
+            fields,
+            start: Instant::now(),
+            active,
+            depth,
+            path,
+            closed: false,
+        }
+    }
+
+    /// Span name as given at creation.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Seconds elapsed since the span was opened.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Closes the span now and returns its duration in seconds.
+    pub fn finish(mut self) -> f64 {
+        let secs = self.elapsed_secs();
+        self.close(secs);
+        secs
+    }
+
+    fn close(&mut self, secs: f64) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if !self.active {
+            return;
+        }
+        pop(self.depth);
+        if crate::metrics_enabled() {
+            crate::global_registry().histogram_record(&format!("span.{}.secs", self.name), secs);
+        }
+        crate::write_jsonl_record(|seq, ms| {
+            format!(
+                "{{\"type\":\"span\",\"seq\":{seq},\"ms\":{},\"name\":\"{}\",\"path\":\"{}\",\"depth\":{},\"thread\":{},\"fields\":{},\"secs\":{}}}",
+                crate::sink::json_f64(ms),
+                crate::sink::escape_json(self.name),
+                crate::sink::escape_json(&self.path),
+                self.depth,
+                thread_id(),
+                fields_json(&self.fields),
+                crate::sink::json_f64(secs),
+            )
+        });
+        if crate::stderr_level() >= Level::Debug {
+            stderr_line(&format!(
+                "[debug] span {}{} took {secs:.4}s",
+                self.path,
+                fields_human(&self.fields)
+            ));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.closed {
+            let secs = self.elapsed_secs();
+            self.close(secs);
+        }
+    }
+}

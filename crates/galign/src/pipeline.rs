@@ -71,15 +71,12 @@ impl GAlignConfig {
 pub struct StageTimings {
     /// Embedding/training wall-clock.
     pub embedding_secs: f64,
-    /// Refinement wall-clock.
+    /// Refinement wall-clock (0 for the GAlign-2 variant).
     pub refinement_secs: f64,
-}
-
-impl StageTimings {
-    /// Total pipeline wall-clock.
-    pub fn total_secs(&self) -> f64 {
-        self.embedding_secs + self.refinement_secs
-    }
+    /// Alignment-matrix construction (matching) wall-clock.
+    pub matching_secs: f64,
+    /// End-to-end pipeline wall-clock (≥ the sum of the stages).
+    pub total_secs: f64,
 }
 
 /// Result of a GAlign run.
@@ -134,6 +131,13 @@ impl GAlign {
         target: &AttributedGraph,
         seed: u64,
     ) -> GAlignResult {
+        let total_start = Instant::now();
+        let sp_pipeline = galign_telemetry::span!(
+            "pipeline",
+            variant = format!("{:?}", self.config.variant),
+            source_nodes = source.node_count(),
+            target_nodes = target.node_count(),
+        );
         let mut rng = SeededRng::new(seed);
         let mut emb_cfg = self.config.embedding.clone();
         if self.config.variant == AblationVariant::NoAugmentation {
@@ -141,9 +145,9 @@ impl GAlign {
             emb_cfg.num_augments = 0;
         }
 
-        let t0 = Instant::now();
+        let sp = galign_telemetry::span!("embedding", epochs = emb_cfg.epochs);
         let pair = embed_pair(source, target, &emb_cfg, &mut rng);
-        let embedding_secs = t0.elapsed().as_secs_f64();
+        let embedding_secs = sp.finish();
 
         let num_layers_incl_attrs = emb_cfg.num_layers() + 1;
         let selection = match self.config.variant {
@@ -163,14 +167,13 @@ impl GAlign {
             },
         };
 
-        let t1 = Instant::now();
-        let (alignment, refine_outcome) =
+        let (alignment, refine_outcome, refinement_secs, matching_secs) =
             if self.config.variant == AblationVariant::NoRefinement {
-                (
-                    AlignmentMatrix::new(&pair.source, &pair.target, selection),
-                    None,
-                )
+                let sp = galign_telemetry::span!("match");
+                let alignment = AlignmentMatrix::new(&pair.source, &pair.target, selection);
+                (alignment, None, 0.0, sp.finish())
             } else {
+                let sp = galign_telemetry::span!("refine", iterations = self.config.refine.iterations);
                 let outcome = refine(
                     &pair.model,
                     source,
@@ -180,12 +183,13 @@ impl GAlign {
                     &selection,
                     &self.config.refine,
                 );
-                (
-                    AlignmentMatrix::new(&outcome.source, &outcome.target, selection),
-                    Some(outcome),
-                )
+                let refinement_secs = sp.finish();
+                let sp = galign_telemetry::span!("match");
+                let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection);
+                (alignment, Some(outcome), refinement_secs, sp.finish())
             };
-        let refinement_secs = t1.elapsed().as_secs_f64();
+        sp_pipeline.finish();
+        let total_secs = total_start.elapsed().as_secs_f64();
 
         GAlignResult {
             alignment,
@@ -195,6 +199,8 @@ impl GAlign {
             timings: StageTimings {
                 embedding_secs,
                 refinement_secs,
+                matching_secs,
+                total_secs,
             },
         }
     }
@@ -311,7 +317,12 @@ mod tests {
         let (s, t, _) = permuted_pair(7, 15);
         let r = GAlign::new(small_config()).align(&s, &t, 1);
         assert!(r.timings.embedding_secs > 0.0);
-        assert!(r.timings.total_secs() >= r.timings.embedding_secs);
+        assert!(r.timings.matching_secs >= 0.0);
+        assert!(r.timings.total_secs >= r.timings.embedding_secs);
+        assert!(
+            r.timings.total_secs
+                >= r.timings.embedding_secs + r.timings.refinement_secs + r.timings.matching_secs
+        );
     }
 
     #[test]

@@ -160,6 +160,12 @@ pub fn refine(
         let (col_best, _) = per_row_stats(&nt, &ns, &selection.theta);
         let stable_s = stable_nodes(&row_best, cfg.lambda);
         let stable_t = stable_nodes(&col_best, cfg.lambda);
+        galign_telemetry::trace_event!(
+            "refine",
+            "iter {iter}: g(S)={g:.4} stable_s={} stable_t={}",
+            stable_s.len(),
+            stable_t.len()
+        );
         stable_history.push((stable_s.len(), stable_t.len()));
         for &v in &stable_s {
             alpha_s[v] *= cfg.beta;

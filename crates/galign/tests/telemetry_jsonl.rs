@@ -1,0 +1,105 @@
+//! Integration: one full pipeline run must emit well-formed JSONL
+//! telemetry containing the expected stage spans, per-epoch training
+//! gauges and kernel counters.
+//!
+//! Kept as the only test in this file: the telemetry sink is global per
+//! process, and a dedicated integration-test binary gives it a process of
+//! its own.
+
+use galign::embedding::EmbeddingConfig;
+use galign::refine::RefineConfig;
+use galign::{GAlign, GAlignConfig};
+use galign_graph::{generators, AttributedGraph};
+use galign_matrix::rng::SeededRng;
+use std::collections::BTreeSet;
+
+#[test]
+fn pipeline_emits_wellformed_jsonl() {
+    let path = std::env::temp_dir().join("galign-telemetry-pipeline-test.jsonl");
+    let _ = std::fs::remove_file(&path);
+    galign_telemetry::attach_jsonl_path(&path).expect("attach jsonl sink");
+
+    let mut rng = SeededRng::new(1);
+    let edges = generators::barabasi_albert(&mut rng, 25, 3);
+    let attrs = generators::binary_attributes(&mut rng, 25, 8, 2);
+    let g = AttributedGraph::from_edges(25, &edges, attrs);
+    let perm = rng.permutation(25);
+    let t = g.permute(&perm);
+
+    let cfg = GAlignConfig {
+        embedding: EmbeddingConfig {
+            layer_dims: vec![8, 8],
+            epochs: 5,
+            num_augments: 1,
+            ..EmbeddingConfig::default()
+        },
+        refine: RefineConfig {
+            iterations: 2,
+            ..RefineConfig::default()
+        },
+        ..GAlignConfig::default()
+    };
+    let result = GAlign::new(cfg).align(&g, &t, 7);
+    assert!(result.timings.total_secs > 0.0);
+    galign_telemetry::shutdown();
+
+    let text = std::fs::read_to_string(&path).expect("read jsonl");
+    assert!(!text.trim().is_empty(), "no telemetry written");
+
+    let mut span_names = BTreeSet::new();
+    let mut gauge_names = BTreeSet::new();
+    let mut snapshot: Option<serde_json::Value> = None;
+    let mut last_seq = -1i64;
+    for (i, line) in text.lines().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {i} is not valid JSON ({e}): {line}"));
+        let obj = v.as_object().unwrap_or_else(|| panic!("line {i} not an object"));
+        let seq = obj["seq"].as_i64().expect("numeric seq");
+        assert!(seq > last_seq, "seq not increasing at line {i}");
+        last_seq = seq;
+        assert!(obj["ms"].is_number(), "line {i} missing ms");
+        match obj["type"].as_str().expect("record type") {
+            "span" => {
+                let name = obj["name"].as_str().expect("span name").to_string();
+                assert!(obj["secs"].as_f64().expect("span secs") >= 0.0);
+                assert!(obj["path"].as_str().expect("span path").contains(&name));
+                span_names.insert(name);
+            }
+            "gauge" => {
+                gauge_names.insert(obj["name"].as_str().expect("gauge name").to_string());
+                assert!(obj["value"].is_number() || obj["value"].is_null());
+            }
+            "snapshot" => snapshot = Some(obj["metrics"].clone()),
+            "event" => {
+                assert!(obj["message"].is_string());
+            }
+            other => panic!("line {i}: unexpected record type '{other}'"),
+        }
+    }
+
+    for expected in ["pipeline", "embedding", "augment", "refine", "match"] {
+        assert!(span_names.contains(expected), "missing span '{expected}' in {span_names:?}");
+    }
+    for expected in ["train.loss", "train.lr", "train.grad_norm", "adam.lr"] {
+        assert!(gauge_names.contains(expected), "missing gauge '{expected}' in {gauge_names:?}");
+    }
+
+    let snapshot = snapshot.expect("flush wrote a snapshot record");
+    let counters = snapshot["counters"].as_object().expect("counters object");
+    for expected in ["matrix.gemm.calls", "matrix.spmm.calls", "matrix.alloc.elems", "adam.steps"] {
+        let v = counters
+            .get(expected)
+            .unwrap_or_else(|| panic!("missing counter '{expected}'"))
+            .as_u64()
+            .expect("counter is u64");
+        assert!(v > 0, "counter '{expected}' never incremented");
+    }
+    let histograms = snapshot["histograms"].as_object().expect("histograms object");
+    assert!(
+        histograms.contains_key("span.pipeline.secs"),
+        "span durations not recorded as histograms: {histograms:?}"
+    );
+    assert!(histograms.contains_key("train.epoch_secs"));
+
+    let _ = std::fs::remove_file(&path);
+}
