@@ -95,7 +95,10 @@ mod tests {
         let (s, t) = graphs();
         let m = attribute_similarity(&s, &t);
         assert_eq!(m.shape(), (10, 8));
-        assert!(m.as_slice().iter().all(|&v| (-1.0..=1.0 + 1e-12).contains(&v)));
+        assert!(m
+            .as_slice()
+            .iter()
+            .all(|&v| (-1.0..=1.0 + 1e-12).contains(&v)));
     }
 
     #[test]

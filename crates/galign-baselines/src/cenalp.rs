@@ -239,8 +239,7 @@ mod tests {
     #[test]
     fn beats_random_with_seeds() {
         let t = task(1, 30);
-        let seeds: Vec<(usize, usize)> =
-            t.truth.pairs().iter().step_by(4).copied().collect(); // 25 %
+        let seeds: Vec<(usize, usize)> = t.truth.pairs().iter().step_by(4).copied().collect(); // 25 %
         let input = AlignInput {
             source: &t.source,
             target: &t.target,

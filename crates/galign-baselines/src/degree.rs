@@ -73,7 +73,10 @@ mod tests {
         let s = DegreeMatch::default().align(&input);
         // Hub matches hub best.
         assert_eq!(s.row_argmax(0).unwrap().0, 0);
-        assert!(s.as_slice().iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        assert!(s
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
     }
 
     #[test]

@@ -57,8 +57,7 @@ impl Aligner for Ione {
         let (n1, n2) = (input.source.node_count(), input.target.node_count());
         // Merged vocabulary: source nodes keep their ids; target node t maps
         // to its anchored source id when seeded, else to `n1 + t`.
-        let anchor_of: HashMap<usize, usize> =
-            input.seeds.iter().map(|&(s, t)| (t, s)).collect();
+        let anchor_of: HashMap<usize, usize> = input.seeds.iter().map(|&(s, t)| (t, s)).collect();
         let target_token = |t: usize| anchor_of.get(&t).copied().unwrap_or(n1 + t);
 
         let mut pairs: Vec<(usize, usize)> =
@@ -81,8 +80,7 @@ impl Aligner for Ione {
             input.seeds.len(),
             pairs.len()
         );
-        let emb = train_sgns(&pairs, n1 + n2, &self.config.embedding, &mut rng)
-            .normalize_rows();
+        let emb = train_sgns(&pairs, n1 + n2, &self.config.embedding, &mut rng).normalize_rows();
 
         let es = emb.select_rows(&(0..n1).collect::<Vec<_>>());
         let et = emb.select_rows(&(0..n2).map(target_token).collect::<Vec<_>>());
@@ -115,8 +113,7 @@ mod tests {
     #[test]
     fn shared_representation_aligns_anchors() {
         let t = task(1, 40);
-        let seeds: Vec<(usize, usize)> =
-            t.truth.pairs().iter().step_by(4).copied().collect();
+        let seeds: Vec<(usize, usize)> = t.truth.pairs().iter().step_by(4).copied().collect();
         let input = AlignInput {
             source: &t.source,
             target: &t.target,

@@ -23,7 +23,7 @@ pub mod pale;
 pub mod regal;
 pub mod skipgram;
 
-pub use aligner::{Aligner, AlignInput};
+pub use aligner::{AlignInput, Aligner};
 pub use cenalp::{Cenalp, CenalpConfig};
 pub use degree::{DegreeMatch, DegreeMatchConfig};
 pub use finalalg::{Final, FinalConfig};

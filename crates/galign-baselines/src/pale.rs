@@ -102,7 +102,11 @@ impl Aligner for Pale {
             galign_telemetry::debug!("pale", "no anchor seeds: skipping the mapping solve");
             es.clone()
         } else {
-            galign_telemetry::debug!("pale", "fitting linear map on {} anchors", input.seeds.len());
+            galign_telemetry::debug!(
+                "pale",
+                "fitting linear map on {} anchors",
+                input.seeds.len()
+            );
             let src_rows: Vec<usize> = input.seeds.iter().map(|&(s, _)| s).collect();
             let tgt_rows: Vec<usize> = input.seeds.iter().map(|&(_, t)| t).collect();
             let a = es.select_rows(&src_rows);
@@ -142,8 +146,7 @@ mod tests {
     #[test]
     fn supervision_improves_alignment() {
         let t = task(1, 40);
-        let seeds: Vec<(usize, usize)> =
-            t.truth.pairs().iter().step_by(4).copied().collect(); // 25 %
+        let seeds: Vec<(usize, usize)> = t.truth.pairs().iter().step_by(4).copied().collect(); // 25 %
         let with = AlignInput {
             source: &t.source,
             target: &t.target,

@@ -147,7 +147,10 @@ impl Aligner for Regal {
         // Symmetrise to guard against tiny asymmetries before eigensolving.
         let w = w.add(&w.transpose()).expect("square").scale(0.5);
         let w_pinv_sqrt = sqrt_pinv(&w, 1e-10).expect("landmark matrix eigensolve");
-        let y = c.matmul(&w_pinv_sqrt).expect("shapes chain").normalize_rows();
+        let y = c
+            .matmul(&w_pinv_sqrt)
+            .expect("shapes chain")
+            .normalize_rows();
 
         // Split back and score.
         let ys = y.select_rows(&(0..n1).collect::<Vec<_>>());

@@ -41,9 +41,13 @@ fn bench_spmm(c: &mut Criterion) {
         let g = graph(n);
         let lap = g.normalized_laplacian();
         let h = rng.uniform_matrix(n, 100, -1.0, 1.0);
-        group.bench_with_input(BenchmarkId::new("laplacian_spmm_d100", n), &n, |bench, _| {
-            bench.iter(|| lap.spmm(&h).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("laplacian_spmm_d100", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| lap.spmm(&h).unwrap());
+            },
+        );
     }
     group.finish();
 }

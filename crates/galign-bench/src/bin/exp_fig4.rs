@@ -18,7 +18,10 @@ fn main() {
 
     let mut output = ExperimentOutput::new("fig4", &args);
     for (name, base_fn) in &datasets {
-        println!("\n=== Fig 4: attribute noise on {name} (scale {}) ===", args.scale);
+        println!(
+            "\n=== Fig 4: attribute noise on {name} (scale {}) ===",
+            args.scale
+        );
         let mut rows = Vec::new();
         for method in Method::attribute_aware() {
             let mut cells = vec![method.name().to_string()];
@@ -27,8 +30,7 @@ fn main() {
                     .map(|r| {
                         let base = base_fn(args.scale, args.seed + r as u64);
                         // Attribute noise only, per the paper's Fig. 4 protocol.
-                        let task =
-                            noisy_task(&base, name, 0.0, ratio, args.seed + 7 + r as u64);
+                        let task = noisy_task(&base, name, 0.0, ratio, args.seed + 7 + r as u64);
                         run_method(method, &task, args.seed + 100 * r as u64)
                     })
                     .collect();

@@ -23,7 +23,10 @@ fn main() {
 
     let mut output = ExperimentOutput::new("fig5", &args);
     for (name, base_fn) in &datasets {
-        println!("\n=== Fig 5: isomorphic level on {name} (scale {}) ===", args.scale);
+        println!(
+            "\n=== Fig 5: isomorphic level on {name} (scale {}) ===",
+            args.scale
+        );
         let mut rows = Vec::new();
         for method in Method::table3() {
             let mut cells = vec![method.name().to_string()];
@@ -32,8 +35,7 @@ fn main() {
                     .map(|r| {
                         let base = base_fn(args.scale, args.seed + r as u64);
                         let mut rng = SeededRng::new(args.seed + 7 + r as u64);
-                        let task =
-                            overlap_pair(name, &base, overlap, 0.05, 0.05, &mut rng);
+                        let task = overlap_pair(name, &base, overlap, 0.05, 0.05, &mut rng);
                         run_method(method, &task, args.seed + 100 * r as u64)
                     })
                     .collect();
@@ -50,10 +52,7 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(
-                &["Method", "0.50", "0.625", "0.75", "0.875", "1.00"],
-                &rows
-            )
+            render_table(&["Method", "0.50", "0.625", "0.75", "0.875", "1.00"], &rows)
         );
     }
     let path = output.write(&args.out_dir).expect("write results");

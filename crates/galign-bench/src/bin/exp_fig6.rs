@@ -45,11 +45,8 @@ fn main() {
                 let rep = evaluate(&am, task.truth.pairs(), &[1]);
                 cells.push(rep.success(1).unwrap_or(0.0));
             }
-            let am = AlignmentMatrix::new(
-                &pair.source,
-                &pair.target,
-                LayerSelection::uniform(k + 1),
-            );
+            let am =
+                AlignmentMatrix::new(&pair.source, &pair.target, LayerSelection::uniform(k + 1));
             cells.push(
                 evaluate(&am, task.truth.pairs(), &[1])
                     .success(1)
@@ -82,7 +79,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["", "H(0)", "H(1)", "H(2)", "H(3)", "H(4)", "H(5)", "multi-order"],
+            &[
+                "",
+                "H(0)",
+                "H(1)",
+                "H(2)",
+                "H(3)",
+                "H(4)",
+                "H(5)",
+                "multi-order"
+            ],
             &rows
         )
     );

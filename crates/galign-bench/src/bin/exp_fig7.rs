@@ -22,12 +22,8 @@ fn main() {
         let mut secs = Vec::new();
         for r in 0..args.runs {
             let task = allmovie_imdb(args.scale, args.seed + r as u64);
-            let run = run_galign_with_selection(
-                &task,
-                vec![d, d],
-                None,
-                args.seed + 100 * r as u64,
-            );
+            let run =
+                run_galign_with_selection(&task, vec![d, d], None, args.seed + 100 * r as u64);
             s1s.push(run.report.success(1).unwrap_or(0.0));
             secs.push(run.secs);
         }

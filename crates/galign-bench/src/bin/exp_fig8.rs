@@ -128,7 +128,11 @@ fn main() {
     }
     println!("\nlegend: A..J = source movies, a..j = matching target movies");
     for (i, name) in MOVIE_NAMES.iter().enumerate() {
-        println!("  {} / {} = {name}", (b'A' + i as u8) as char, (b'a' + i as u8) as char);
+        println!(
+            "  {} / {} = {name}",
+            (b'A' + i as u8) as char,
+            (b'a' + i as u8) as char
+        );
     }
 
     // SVG panels alongside the JSON coordinates.

@@ -13,8 +13,7 @@ type TaskFn = fn(f64, u64) -> AlignmentTask;
 
 fn main() {
     let args = CommonArgs::parse();
-    let datasets: [(&str, TaskFn); 2] =
-        [("Douban", douban), ("Allmovie-Imdb", allmovie_imdb)];
+    let datasets: [(&str, TaskFn); 2] = [("Douban", douban), ("Allmovie-Imdb", allmovie_imdb)];
     let variants = [
         Method::GAlign,
         Method::GAlignVariant(AblationVariant::NoAugmentation),
@@ -42,10 +41,7 @@ fn main() {
                 "success1": s1,
             }));
         }
-        println!(
-            "{}",
-            render_table(&["Variant", "MAP", "Success@1"], &rows)
-        );
+        println!("{}", render_table(&["Variant", "MAP", "Success@1"], &rows));
     }
     let path = output.write(&args.out_dir).expect("write results");
     println!("results written to {}", path.display());

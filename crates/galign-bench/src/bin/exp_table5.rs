@@ -24,7 +24,10 @@ fn main() {
 
     let mut output = ExperimentOutput::new("table5", &args);
     let mut rows = Vec::new();
-    println!("\n=== Table V: layer weights on Allmovie-Imdb (scale {}) ===", args.scale);
+    println!(
+        "\n=== Table V: layer weights on Allmovie-Imdb (scale {}) ===",
+        args.scale
+    );
     for theta in thetas {
         let s1s: Vec<f64> = (0..args.runs)
             .map(|r| {

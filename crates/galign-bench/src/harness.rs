@@ -67,7 +67,10 @@ impl CommonArgs {
         galign_telemetry::set_metrics_enabled(true);
         if let Some(path) = &self.metrics_out {
             if let Err(e) = galign_telemetry::attach_jsonl_path(path) {
-                usage(&format!("cannot open --metrics-out {}: {e}", path.display()));
+                usage(&format!(
+                    "cannot open --metrics-out {}: {e}",
+                    path.display()
+                ));
             }
         }
     }
@@ -78,7 +81,8 @@ impl CommonArgs {
         let mut it = args.peekable();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> String {
-                it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                it.next()
+                    .unwrap_or_else(|| usage(&format!("{name} needs a value")))
             };
             match flag.as_str() {
                 "--scale" => out.scale = parse_num(&value("--scale")),
@@ -221,9 +225,11 @@ mod tests {
         let d = CommonArgs::parse_from(std::iter::empty());
         assert_eq!(d.scale, 0.2);
         assert_eq!(d.runs, 2);
-        let args = ["--scale", "0.5", "--runs", "7", "--seed", "9", "--out", "/tmp/x"]
-            .iter()
-            .map(|s| s.to_string());
+        let args = [
+            "--scale", "0.5", "--runs", "7", "--seed", "9", "--out", "/tmp/x",
+        ]
+        .iter()
+        .map(|s| s.to_string());
         let p = CommonArgs::parse_from(args);
         assert_eq!(p.scale, 0.5);
         assert_eq!(p.runs, 7);

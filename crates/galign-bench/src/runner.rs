@@ -3,12 +3,10 @@
 //! from 10 % anchor seeds, PALE/CENALP get the seeds directly, REGAL and
 //! GAlign run unsupervised.
 
-use galign::{AblationVariant, GAlign, GAlignConfig};
 use galign::alignment::LayerSelection;
-use galign_baselines::{
-    AlignInput, Aligner, Cenalp, CenalpConfig, Final, IsoRank, Pale, Regal,
-};
+use galign::{AblationVariant, GAlign, GAlignConfig};
 use galign_baselines::skipgram::SkipGramConfig;
+use galign_baselines::{AlignInput, Aligner, Cenalp, CenalpConfig, Final, IsoRank, Pale, Regal};
 use galign_datasets::AlignmentTask;
 use galign_gcn::TrainConfig;
 use galign_matrix::rng::SeededRng;
@@ -173,7 +171,10 @@ pub fn run_method_with(
                 Method::Cenalp => Box::new(Cenalp::new(cenalp_config()).align_scores(&input)),
                 Method::Pale => Box::new(Pale::default().align_scores(&input)),
                 Method::Regal => {
-                    let unsupervised = AlignInput { seeds: &[], ..input };
+                    let unsupervised = AlignInput {
+                        seeds: &[],
+                        ..input
+                    };
                     Box::new(Regal::default().align_scores(&unsupervised))
                 }
                 Method::IsoRank => Box::new(IsoRank::default().align_scores(&input)),
@@ -254,7 +255,10 @@ mod tests {
     fn supervision_is_ten_percent() {
         let task = tiny_task();
         let seeds = supervision_split(&task, 1);
-        assert_eq!(seeds.len(), (task.truth.len() as f64 * 0.1).round() as usize);
+        assert_eq!(
+            seeds.len(),
+            (task.truth.len() as f64 * 0.1).round() as usize
+        );
     }
 
     #[test]

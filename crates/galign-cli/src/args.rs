@@ -19,9 +19,9 @@ pub fn parse_flags(args: &[String]) -> Flags {
     let mut switches = HashSet::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let known_switch = SWITCHES
-            .iter()
-            .find(|(long, short)| flag.as_str() == *short || flag.strip_prefix("--") == Some(*long));
+        let known_switch = SWITCHES.iter().find(|(long, short)| {
+            flag.as_str() == *short || flag.strip_prefix("--") == Some(*long)
+        });
         if let Some((name, _)) = known_switch {
             if !switches.insert(name.to_string()) {
                 die(&format!("--{name} given twice"));

@@ -7,9 +7,7 @@ use galign_baselines::{
     AlignInput, Aligner, Cenalp, DegreeMatch, Final, Ione, IsoRank, Pale, Regal,
 };
 use galign_datasets::synth::AlignmentTask;
-use galign_graph::io::{
-    read_anchors_json, read_graph_json, write_anchors_json, write_graph_json,
-};
+use galign_graph::io::{read_anchors_json, read_graph_json, write_anchors_json, write_graph_json};
 use galign_graph::AnchorLinks;
 use galign_metrics::ScoreProvider;
 use std::io;
@@ -168,11 +166,7 @@ pub fn convert(flags: &Flags) -> CmdResult {
     let out = PathBuf::from(flags.or("out", "graph.json"));
     let text = std::fs::read_to_string(&edges_path)?;
     let edges = galign_graph::io::parse_edge_list(&text)?;
-    let n = edges
-        .iter()
-        .map(|&(u, v)| u.max(v) + 1)
-        .max()
-        .unwrap_or(0);
+    let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
 
     let graph = match flags.optional("attrs") {
         None => galign_graph::AttributedGraph::from_edges_featureless(n, &edges),
@@ -214,6 +208,102 @@ pub fn convert(flags: &Flags) -> CmdResult {
         graph.attr_dim()
     );
     Ok(())
+}
+
+fn parse_theta(text: &str) -> io::Result<Vec<f64>> {
+    text.split(',')
+        .map(|t| {
+            t.trim().parse::<f64>().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("--theta: cannot parse '{t}' (want comma-separated numbers)"),
+                )
+            })
+        })
+        .collect()
+}
+
+/// `galign export-artifact`: produce a binary serving artifact, either by
+/// running the full pipeline on a graph pair or by migrating existing JSON
+/// embedding dumps.
+pub fn export_artifact(flags: &Flags) -> CmdResult {
+    let out = PathBuf::from(flags.or("out", "artifact.bin"));
+    let theta = match flags.optional("theta") {
+        Some(t) => Some(parse_theta(&t)?),
+        None => None,
+    };
+
+    // Migration mode: JSON embedding dumps in, binary artifact out.
+    if let Some(s_emb) = flags.optional("source-embeddings") {
+        let t_emb = flags.required("target-embeddings");
+        let artifact = galign::artifact::migrate_embeddings_json(
+            Path::new(&s_emb),
+            Path::new(&t_emb),
+            theta,
+            &out,
+        )?;
+        println!(
+            "migrated {s_emb} + {t_emb} -> {} ({} layers, {}x{} nodes, {} bytes)",
+            out.display(),
+            artifact.theta.len(),
+            artifact.source[0].rows(),
+            artifact.target[0].rows(),
+            std::fs::metadata(&out)?.len()
+        );
+        return Ok(());
+    }
+
+    // Pipeline mode: align two graphs, export the result.
+    let source = read_graph_json(Path::new(&flags.required("source")))?;
+    let target = read_graph_json(Path::new(&flags.required("target")))?;
+    let seed: u64 = flags.num("seed", 1);
+    let mut config = GAlignConfig::fast();
+    if theta.is_some() {
+        config.theta = theta;
+    }
+    let sp = galign_telemetry::span!("export-artifact", seed = seed);
+    let result = GAlign::new(config).align(&source, &target, seed);
+    galign::artifact::export_artifact(&result, &out)?;
+    let secs = sp.finish();
+    if let Some(anchors_path) = flags.optional("anchors") {
+        write_anchors_json(
+            &AnchorLinks::new(result.top1_anchors()),
+            Path::new(&anchors_path),
+        )?;
+    }
+    println!(
+        "aligned {}x{} nodes in {secs:.1}s; artifact -> {} ({} bytes)",
+        source.node_count(),
+        target.node_count(),
+        out.display(),
+        std::fs::metadata(&out)?.len()
+    );
+    Ok(())
+}
+
+/// `galign serve`: load a binary artifact and serve top-k alignment
+/// queries over HTTP until shut down (SIGKILL or `POST /v1/admin/shutdown`).
+pub fn serve(flags: &Flags) -> CmdResult {
+    let artifact_path = flags.required("artifact");
+    let addr = flags.or("addr", "127.0.0.1:8080");
+    let artifact = galign_serve::Artifact::read(Path::new(&artifact_path))?;
+    let defaults = galign_serve::ServeConfig::default();
+    let cfg = galign_serve::ServeConfig {
+        workers: flags.num("workers", defaults.workers),
+        cache_capacity: flags.num("cache-capacity", defaults.cache_capacity),
+        default_k: flags.num("default-k", defaults.default_k),
+        max_k: flags.num("max-k", defaults.max_k),
+        ..defaults
+    };
+    let index = galign_serve::TopkIndex::from_artifact(artifact);
+    let nodes = index.source_nodes();
+    let server = galign_serve::Server::bind(&addr, index, cfg)?;
+    println!(
+        "serving {artifact_path} on http://{} ({nodes} source nodes); \
+         POST /v1/align/topk, GET /healthz, GET /metrics",
+        server.local_addr(),
+    );
+    server.run()
 }
 
 /// `galign info`: prints basic statistics of a graph file.

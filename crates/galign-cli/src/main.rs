@@ -6,6 +6,8 @@
 //!                 --method galign --seed 1 --out anchors.json [--model model.json]
 //! galign evaluate --anchors anchors.json --truth data/truth.json
 //! galign info     --graph data/source.json
+//! galign export-artifact --source data/source.json --target data/target.json --out artifact.bin
+//! galign serve    --artifact artifact.bin --addr 127.0.0.1:8080 --workers 4
 //! ```
 //!
 //! Graphs, anchors and models are the JSON formats of `galign-graph::io`
@@ -30,6 +32,8 @@ fn main() {
         "evaluate" => commands::evaluate(&flags),
         "convert" => commands::convert(&flags),
         "info" => commands::info(&flags),
+        "export-artifact" => commands::export_artifact(&flags),
+        "serve" => commands::serve(&flags),
         other => usage(&format!("unknown command '{other}'")),
     };
     galign_telemetry::shutdown();
@@ -72,7 +76,12 @@ fn usage(msg: &str) -> ! {
          \x20          [--save-model model.json] [--top-k K]\n\
          \x20 evaluate --anchors predicted.json --truth truth.json\n\
          \x20 convert  --edges edges.txt [--attrs attrs.csv] [--out graph.json]\n\
-         \x20 info     --graph G.json\n\n\
+         \x20 info     --graph G.json\n\
+         \x20 export-artifact --source G.json --target G.json [--seed N] [--theta W,W,..]\n\
+         \x20          [--anchors anchors.json] [--out artifact.bin]\n\
+         \x20          | --source-embeddings E.json --target-embeddings E.json [--out artifact.bin]\n\
+         \x20 serve    --artifact artifact.bin [--addr HOST:PORT] [--workers N]\n\
+         \x20          [--cache-capacity N] [--default-k K] [--max-k K]\n\n\
          global flags:\n\
          \x20 -v/--verbose   debug-level progress on stderr\n\
          \x20 -q/--quiet     silence stderr entirely\n\

@@ -50,14 +50,31 @@ fn full_workflow_on_toy_dataset() {
     let pred = format!("{d}/pred.json");
     let scores = format!("{d}/scores.json");
     let (ok, out) = galign(&[
-        "align", "--source", &src, "--target", &tgt, "--out", &pred, "--scores", &scores,
-        "--method", "final", "--seeds", &format!("{d}/truth.json"),
+        "align",
+        "--source",
+        &src,
+        "--target",
+        &tgt,
+        "--out",
+        &pred,
+        "--scores",
+        &scores,
+        "--method",
+        "final",
+        "--seeds",
+        &format!("{d}/truth.json"),
     ]);
     assert!(ok, "{out}");
     assert!(std::path::Path::new(&pred).exists());
     assert!(std::path::Path::new(&scores).exists());
 
-    let (ok, out) = galign(&["evaluate", "--anchors", &pred, "--truth", &format!("{d}/truth.json")]);
+    let (ok, out) = galign(&[
+        "evaluate",
+        "--anchors",
+        &pred,
+        "--truth",
+        &format!("{d}/truth.json"),
+    ]);
     assert!(ok, "{out}");
     assert!(out.contains("precision"));
 
@@ -75,10 +92,14 @@ fn galign_method_with_model_export() {
     let model = format!("{d}/model.json");
     let (ok, out) = galign(&[
         "align",
-        "--source", &format!("{d}/source.json"),
-        "--target", &format!("{d}/target.json"),
-        "--out", &format!("{d}/pred.json"),
-        "--save-model", &model,
+        "--source",
+        &format!("{d}/source.json"),
+        "--target",
+        &format!("{d}/target.json"),
+        "--out",
+        &format!("{d}/pred.json"),
+        "--save-model",
+        &model,
     ]);
     assert!(ok, "{out}");
     assert!(std::path::Path::new(&model).exists());
@@ -95,11 +116,15 @@ fn quiet_silences_stderr_and_metrics_out_writes_jsonl() {
     let metrics = format!("{d}/metrics.jsonl");
     let (ok, _, err) = galign_split(&[
         "align",
-        "--source", &format!("{d}/source.json"),
-        "--target", &format!("{d}/target.json"),
-        "--out", &format!("{d}/pred.json"),
+        "--source",
+        &format!("{d}/source.json"),
+        "--target",
+        &format!("{d}/target.json"),
+        "--out",
+        &format!("{d}/pred.json"),
         "--quiet",
-        "--metrics-out", &metrics,
+        "--metrics-out",
+        &metrics,
     ]);
     assert!(ok, "{err}");
     assert!(err.is_empty(), "--quiet left stderr output: {err:?}");
@@ -125,9 +150,15 @@ fn quiet_silences_stderr_and_metrics_out_writes_jsonl() {
         }
     }
     for expected in ["pipeline", "embedding", "augment", "refine", "match"] {
-        assert!(spans.iter().any(|s| s == expected), "missing span {expected}: {spans:?}");
+        assert!(
+            spans.iter().any(|s| s == expected),
+            "missing span {expected}: {spans:?}"
+        );
     }
-    assert!(gauges.iter().any(|g| g == "train.loss"), "missing train.loss: {gauges:?}");
+    assert!(
+        gauges.iter().any(|g| g == "train.loss"),
+        "missing train.loss: {gauges:?}"
+    );
     assert!(counters_seen, "snapshot lacks matrix.* counters");
 
     // --verbose produces progress on stderr.
@@ -158,8 +189,13 @@ fn convert_edge_list_roundtrip() {
     std::fs::write(format!("{d}/attrs.csv"), "1,0\n0,1\n0.5,0.5\n").unwrap();
     let out = format!("{d}/g.json");
     let (ok, text) = galign(&[
-        "convert", "--edges", &format!("{d}/edges.txt"), "--attrs", &format!("{d}/attrs.csv"),
-        "--out", &out,
+        "convert",
+        "--edges",
+        &format!("{d}/edges.txt"),
+        "--attrs",
+        &format!("{d}/attrs.csv"),
+        "--out",
+        &out,
     ]);
     assert!(ok, "{text}");
     assert!(text.contains("3 nodes, 3 edges, 2 attrs"));
@@ -169,7 +205,11 @@ fn convert_edge_list_roundtrip() {
     // Too few attribute rows fails cleanly.
     std::fs::write(format!("{d}/short.csv"), "1,0\n").unwrap();
     let (ok, text) = galign(&[
-        "convert", "--edges", &format!("{d}/edges.txt"), "--attrs", &format!("{d}/short.csv"),
+        "convert",
+        "--edges",
+        &format!("{d}/edges.txt"),
+        "--attrs",
+        &format!("{d}/short.csv"),
     ]);
     assert!(!ok);
     assert!(text.contains("attribute rows"));

@@ -36,15 +36,60 @@ pub struct DatasetSpec {
 
 /// Table II, verbatim.
 pub const TABLE2: &[DatasetSpec] = &[
-    DatasetSpec { name: "douban-online", nodes: 3906, edges: 8164, attrs: 538 },
-    DatasetSpec { name: "douban-offline", nodes: 1118, edges: 1511, attrs: 538 },
-    DatasetSpec { name: "flickr", nodes: 5740, edges: 8977, attrs: 3 },
-    DatasetSpec { name: "myspace", nodes: 4504, edges: 5507, attrs: 3 },
-    DatasetSpec { name: "allmovie", nodes: 6011, edges: 124_709, attrs: 14 },
-    DatasetSpec { name: "tmdb", nodes: 5713, edges: 119_073, attrs: 14 },
-    DatasetSpec { name: "bn", nodes: 1781, edges: 9016, attrs: 20 },
-    DatasetSpec { name: "econ", nodes: 1258, edges: 7619, attrs: 20 },
-    DatasetSpec { name: "email", nodes: 1133, edges: 5451, attrs: 20 },
+    DatasetSpec {
+        name: "douban-online",
+        nodes: 3906,
+        edges: 8164,
+        attrs: 538,
+    },
+    DatasetSpec {
+        name: "douban-offline",
+        nodes: 1118,
+        edges: 1511,
+        attrs: 538,
+    },
+    DatasetSpec {
+        name: "flickr",
+        nodes: 5740,
+        edges: 8977,
+        attrs: 3,
+    },
+    DatasetSpec {
+        name: "myspace",
+        nodes: 4504,
+        edges: 5507,
+        attrs: 3,
+    },
+    DatasetSpec {
+        name: "allmovie",
+        nodes: 6011,
+        edges: 124_709,
+        attrs: 14,
+    },
+    DatasetSpec {
+        name: "tmdb",
+        nodes: 5713,
+        edges: 119_073,
+        attrs: 14,
+    },
+    DatasetSpec {
+        name: "bn",
+        nodes: 1781,
+        edges: 9016,
+        attrs: 20,
+    },
+    DatasetSpec {
+        name: "econ",
+        nodes: 1258,
+        edges: 7619,
+        attrs: 20,
+    },
+    DatasetSpec {
+        name: "email",
+        nodes: 1133,
+        edges: 5451,
+        attrs: 20,
+    },
 ];
 
 fn scaled(count: usize, scale: f64) -> usize {
@@ -80,10 +125,7 @@ pub fn flickr_myspace(scale: f64, seed: u64) -> AlignmentTask {
     let anchors = scaled(323, scale).min(n_f).min(n_m);
 
     let flickr_edges = generators::barabasi_albert(&mut rng, n_f, 2);
-    let flickr_edges: Vec<_> = flickr_edges
-        .into_iter()
-        .take(scaled(8977, scale))
-        .collect();
+    let flickr_edges: Vec<_> = flickr_edges.into_iter().take(scaled(8977, scale)).collect();
     // Real profile attributes are 3 coarse fields; real-valued here.
     let flickr_attrs = generators::real_attributes(&mut rng, n_f, 3, 12);
     // Anchored users occupy the first `anchors` ids of both networks.
@@ -97,7 +139,11 @@ pub fn flickr_myspace(scale: f64, seed: u64) -> AlignmentTask {
     let mut myspace_edges = myspace_shared;
     // Fresh sparse periphery for the non-anchored Myspace users.
     let fresh = generators::barabasi_albert(&mut rng, n_m, 1);
-    myspace_edges.extend(fresh.into_iter().filter(|&(u, v)| u >= anchors || v >= anchors));
+    myspace_edges.extend(
+        fresh
+            .into_iter()
+            .filter(|&(u, v)| u >= anchors || v >= anchors),
+    );
     myspace_edges.truncate(scaled(5507, scale).max(anchors));
     // Anchored users keep (noisy) profile attributes; others are random.
     let mut myspace_attrs = generators::real_attributes(&mut rng, n_m, 3, 12);
@@ -136,7 +182,15 @@ pub fn allmovie_imdb(scale: f64, seed: u64) -> AlignmentTask {
     let g = AttributedGraph::from_edges(n, &edges, attrs);
     let anchor_count = scaled(5176, scale).min(n);
     let extra = scaled(5713, scale).saturating_sub(anchor_count);
-    let mut task = subset_pair("allmovie-imdb", &g, anchor_count, extra, 0.03, 0.03, &mut rng);
+    let mut task = subset_pair(
+        "allmovie-imdb",
+        &g,
+        anchor_count,
+        extra,
+        0.03,
+        0.03,
+        &mut rng,
+    );
     task.name = "allmovie-imdb".into();
     task
 }
@@ -218,8 +272,16 @@ mod tests {
         assert_eq!(task.target.attr_dim(), 3);
         assert!((task.truth.len() as f64 - 32.3).abs() < 2.0);
         // Both networks are very sparse (the paper stresses avg degree < 5).
-        assert!(task.source.avg_degree() < 5.0, "{}", task.source.avg_degree());
-        assert!(task.target.avg_degree() < 5.0, "{}", task.target.avg_degree());
+        assert!(
+            task.source.avg_degree() < 5.0,
+            "{}",
+            task.source.avg_degree()
+        );
+        assert!(
+            task.target.avg_degree() < 5.0,
+            "{}",
+            task.target.avg_degree()
+        );
     }
 
     #[test]
@@ -228,7 +290,11 @@ mod tests {
         assert_eq!(task.source.attr_dim(), 14);
         // Dense co-membership regime: much higher average degree than the
         // social pairs.
-        assert!(task.source.avg_degree() > 10.0, "{}", task.source.avg_degree());
+        assert!(
+            task.source.avg_degree() > 10.0,
+            "{}",
+            task.source.avg_degree()
+        );
         assert!(task.truth.len() > task.target.node_count() / 2);
     }
 
@@ -243,8 +309,16 @@ mod tests {
         // Average degrees within a factor of ~2 of Table II's
         // (10.1, 12.1, 9.6 respectively).
         assert!((5.0..20.0).contains(&b.avg_degree()), "{}", b.avg_degree());
-        assert!((6.0..24.0).contains(&ec.avg_degree()), "{}", ec.avg_degree());
-        assert!((5.0..20.0).contains(&em.avg_degree()), "{}", em.avg_degree());
+        assert!(
+            (6.0..24.0).contains(&ec.avg_degree()),
+            "{}",
+            ec.avg_degree()
+        );
+        assert!(
+            (5.0..20.0).contains(&em.avg_degree()),
+            "{}",
+            em.avg_degree()
+        );
     }
 
     #[test]

@@ -90,12 +90,7 @@ pub fn overlap_pair(
     let (target_raw, tmap) = parent.induced_subgraph(&target_nodes);
     let target = noise::augment(rng, &target_raw, p_s, p_a);
 
-    let truth = AnchorLinks::new(
-        shared_nodes
-            .iter()
-            .map(|v| (smap[v], tmap[v]))
-            .collect(),
-    );
+    let truth = AnchorLinks::new(shared_nodes.iter().map(|v| (smap[v], tmap[v])).collect());
     AlignmentTask {
         name: name.to_string(),
         source,
@@ -135,11 +130,7 @@ pub fn subset_pair(
     // Pad with fresh nodes attached by preferential attachment.
     let total = noisy.node_count() + extra_nodes;
     let mut edges = noisy.edges();
-    let mut attrs_rows: Vec<Vec<f64>> = noisy
-        .attributes()
-        .row_iter()
-        .map(|r| r.to_vec())
-        .collect();
+    let mut attrs_rows: Vec<Vec<f64>> = noisy.attributes().row_iter().map(|r| r.to_vec()).collect();
     let attr_dim = noisy.attr_dim();
     for v in noisy.node_count()..total {
         let links = 1 + rng.index(3);
@@ -158,12 +149,7 @@ pub fn subset_pair(
     let target = AttributedGraph::from_edges(total, &edges, attrs);
 
     let smap: HashMap<usize, usize> = (0..n).map(|v| (v, v)).collect();
-    let truth = AnchorLinks::new(
-        chosen
-            .iter()
-            .map(|v| (smap[v], map[v]))
-            .collect(),
-    );
+    let truth = AnchorLinks::new(chosen.iter().map(|v| (smap[v], map[v])).collect());
     AlignmentTask {
         name: name.to_string(),
         source: g.clone(),

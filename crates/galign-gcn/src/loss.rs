@@ -157,9 +157,7 @@ mod tests {
         let (aug_layers, _) = forward(&mut tape, &model, &w, &ga);
         let jc = consistency_loss(&mut tape, &layers, c);
         let j = combined_loss(&mut tape, &layers, &[aug_layers], c, 1.0, 10.0);
-        assert!(
-            (tape.value(j).get(0, 0) - tape.value(jc).get(0, 0)).abs() < 1e-10
-        );
+        assert!((tape.value(j).get(0, 0) - tape.value(jc).get(0, 0)).abs() < 1e-10);
     }
 
     #[test]

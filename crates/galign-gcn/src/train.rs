@@ -125,10 +125,7 @@ pub fn train_multi_order(
     );
     let mut model =
         GcnModel::new(rng, source.attr_dim(), &cfg.layer_dims).with_activation(cfg.activation);
-    let prepared = [
-        prepare(source, cfg, rng),
-        prepare(target, cfg, rng),
-    ];
+    let prepared = [prepare(source, cfg, rng), prepare(target, cfg, rng)];
     let mut adam = Adam::new(cfg.learning_rate, &model.weight_shapes());
     let mut loss_history = Vec::with_capacity(cfg.epochs);
     let mut best_loss = f64::INFINITY;
@@ -182,7 +179,10 @@ pub fn train_multi_order(
         model.set_weights(params);
 
         if galign_telemetry::metrics_enabled() {
-            galign_telemetry::histogram_record("train.epoch_secs", epoch_start.elapsed().as_secs_f64());
+            galign_telemetry::histogram_record(
+                "train.epoch_secs",
+                epoch_start.elapsed().as_secs_f64(),
+            );
         }
         galign_telemetry::debug!("train", "epoch {epoch}: loss={loss:.6}");
 

@@ -150,10 +150,10 @@ pub fn powerlaw_cluster(
     let mut targets: Vec<usize> = Vec::new();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     let connect = |edges: &mut HashSet<(usize, usize)>,
-                       adj: &mut Vec<Vec<usize>>,
-                       targets: &mut Vec<usize>,
-                       u: usize,
-                       v: usize|
+                   adj: &mut Vec<Vec<usize>>,
+                   targets: &mut Vec<usize>,
+                   u: usize,
+                   v: usize|
      -> bool {
         if u == v || edges.contains(&(u.min(v), u.max(v))) {
             return false;

@@ -183,7 +183,9 @@ impl AttributedGraph {
             .collect();
         let mut attrs = Dense::zeros(n, self.attr_dim());
         for i in 0..n {
-            attrs.row_mut(perm[i]).copy_from_slice(self.attributes.row(i));
+            attrs
+                .row_mut(perm[i])
+                .copy_from_slice(self.attributes.row(i));
         }
         AttributedGraph::from_edges(n, &edges, attrs)
     }

@@ -27,11 +27,7 @@ impl From<&AttributedGraph> for GraphRecord {
         GraphRecord {
             n: g.node_count(),
             edges: g.edges(),
-            attributes: g
-                .attributes()
-                .row_iter()
-                .map(|r| r.to_vec())
-                .collect(),
+            attributes: g.attributes().row_iter().map(|r| r.to_vec()).collect(),
         }
     }
 }
@@ -43,8 +39,8 @@ impl GraphRecord {
     /// Panics on malformed records (wrong attribute row count / ragged
     /// rows), mirroring `AttributedGraph::from_edges`.
     pub fn to_graph(&self) -> AttributedGraph {
-        let attrs = Dense::from_rows(&self.attributes)
-            .expect("graph record has ragged attribute rows");
+        let attrs =
+            Dense::from_rows(&self.attributes).expect("graph record has ragged attribute rows");
         AttributedGraph::from_edges(self.n, &self.edges, attrs)
     }
 }

@@ -54,17 +54,17 @@ pub fn add_edges(rng: &mut SeededRng, g: &AttributedGraph, p: f64) -> Attributed
 /// the perturbed copy violates structural consistency in both directions.
 pub fn structural_noise(rng: &mut SeededRng, g: &AttributedGraph, p_s: f64) -> AttributedGraph {
     let removed = remove_edges(rng, g, p_s);
-    add_edges(rng, &removed, p_s * g.edge_count() as f64 / removed.edge_count().max(1) as f64)
+    add_edges(
+        rng,
+        &removed,
+        p_s * g.edge_count() as f64 / removed.edge_count().max(1) as f64,
+    )
 }
 
 /// Binary attribute noise: with probability `p_a` per node, the positions of
 /// the non-zero entries of its attribute vector are re-randomised (the
 /// paper's "randomly change the position of non-zero entries").
-pub fn binary_attribute_noise(
-    rng: &mut SeededRng,
-    attrs: &Dense,
-    p_a: f64,
-) -> Dense {
+pub fn binary_attribute_noise(rng: &mut SeededRng, attrs: &Dense, p_a: f64) -> Dense {
     let mut out = attrs.clone();
     let dim = attrs.cols();
     for v in 0..attrs.rows() {
@@ -115,12 +115,7 @@ pub fn attribute_noise(rng: &mut SeededRng, g: &AttributedGraph, p_a: f64) -> At
 /// Full §V-C augmentation: structural noise at `p_s` plus attribute noise at
 /// `p_a`. Node identity is preserved (see DESIGN.md §4.4 on Eq. 8's
 /// permutation, which Prop. 1 renders immaterial).
-pub fn augment(
-    rng: &mut SeededRng,
-    g: &AttributedGraph,
-    p_s: f64,
-    p_a: f64,
-) -> AttributedGraph {
+pub fn augment(rng: &mut SeededRng, g: &AttributedGraph, p_s: f64, p_a: f64) -> AttributedGraph {
     let structural = structural_noise(rng, g, p_s);
     attribute_noise(rng, &structural, p_a)
 }
@@ -133,7 +128,11 @@ pub fn noisy_copy_pair(
     g: &AttributedGraph,
     p_s: f64,
     p_a: f64,
-) -> (AttributedGraph, AttributedGraph, crate::anchors::AnchorLinks) {
+) -> (
+    AttributedGraph,
+    AttributedGraph,
+    crate::anchors::AnchorLinks,
+) {
     let target = augment(rng, g, p_s, p_a);
     (
         g.clone(),

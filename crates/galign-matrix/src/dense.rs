@@ -358,7 +358,10 @@ impl Dense {
                 .enumerate()
                 .for_each(body);
         } else {
-            out.data.chunks_exact_mut(n.max(1)).enumerate().for_each(body);
+            out.data
+                .chunks_exact_mut(n.max(1))
+                .enumerate()
+                .for_each(body);
         }
         Ok(out)
     }
@@ -418,7 +421,10 @@ impl Dense {
                 .enumerate()
                 .for_each(body);
         } else {
-            out.data.chunks_exact_mut(n.max(1)).enumerate().for_each(body);
+            out.data
+                .chunks_exact_mut(n.max(1))
+                .enumerate()
+                .for_each(body);
         }
         Ok(out)
     }
@@ -566,6 +572,38 @@ impl Dense {
             cols: self.cols,
             data,
         })
+    }
+
+    /// Serialises the element buffer as little-endian `f64` bytes
+    /// (row-major, `rows * cols * 8` bytes). The shape is deliberately not
+    /// part of the encoding — callers embed it in their own framing (the
+    /// `galign-serve` artifact format stores `rows`/`cols` alongside).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 8);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds a matrix from [`Dense::to_le_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidInput`] when `bytes.len()` is not
+    /// exactly `rows * cols * 8`.
+    pub fn from_le_bytes(rows: usize, cols: usize, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != rows * cols * 8 {
+            return Err(MatrixError::InvalidInput(format!(
+                "{} bytes cannot back a {rows}x{cols} f64 matrix (want {})",
+                bytes.len(),
+                rows * cols * 8
+            )));
+        }
+        let data = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Dense::from_vec(rows, cols, data)
     }
 
     /// True when every element differs from `other` by at most `tol`.
@@ -733,12 +771,24 @@ mod tests {
         let a = m(&[&[1.0], &[2.0]]);
         let b = m(&[&[3.0], &[4.0]]);
         assert_eq!(a.hstack(&b).unwrap(), m(&[&[1.0, 3.0], &[2.0, 4.0]]));
-        assert_eq!(
-            a.vstack(&b).unwrap(),
-            m(&[&[1.0], &[2.0], &[3.0], &[4.0]])
-        );
+        assert_eq!(a.vstack(&b).unwrap(), m(&[&[1.0], &[2.0], &[3.0], &[4.0]]));
         assert!(a.hstack(&Dense::zeros(3, 1)).is_err());
         assert!(a.vstack(&Dense::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_is_bit_exact() {
+        let mut rng = SeededRng::new(21);
+        let a = rng.uniform_matrix(7, 5, -1e9, 1e9);
+        let bytes = a.to_le_bytes();
+        assert_eq!(bytes.len(), 7 * 5 * 8);
+        let back = Dense::from_le_bytes(7, 5, &bytes).unwrap();
+        // Bit-exact, not just approximate: compare the raw representations.
+        for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(Dense::from_le_bytes(7, 5, &bytes[..8]).is_err());
+        assert!(Dense::from_le_bytes(2, 2, &bytes).is_err());
     }
 
     #[test]

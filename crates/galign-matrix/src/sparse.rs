@@ -58,8 +58,7 @@ impl Coo {
 
     /// Converts to CSR, summing duplicates and dropping explicit zeros.
     pub fn to_csr(mut self) -> Csr {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut indptr = Vec::with_capacity(self.rows + 1);
         let mut indices = Vec::with_capacity(self.entries.len());
         let mut values = Vec::with_capacity(self.entries.len());
@@ -366,7 +365,8 @@ impl Csr {
         if self.rows != self.cols {
             return false;
         }
-        self.iter().all(|(i, j, v)| (self.get(j, i) - v).abs() == 0.0)
+        self.iter()
+            .all(|(i, j, v)| (self.get(j, i) - v).abs() == 0.0)
     }
 }
 

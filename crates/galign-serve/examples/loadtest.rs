@@ -1,0 +1,184 @@
+//! Load generator for a running `galign serve` instance.
+//!
+//! Hammers `POST /v1/align/topk` with N concurrent clients and reports
+//! p50/p95/p99 latency plus throughput, so serving performance can sit
+//! next to the kernel benchmarks in the experiment trajectory.
+//!
+//! ```text
+//! cargo run --release -p galign-serve --example loadtest -- \
+//!     --addr 127.0.0.1:8080 --requests 2000 --concurrency 8 --k 10 --batch 4
+//! ```
+//!
+//! The node-id range is discovered from `/healthz`. Exits nonzero if any
+//! request fails, so CI can gate on it.
+
+use galign_serve::json::{self, Json};
+use galign_serve::testutil::Xorshift;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    k: usize,
+    batch: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        requests: 1000,
+        concurrency: 8,
+        k: 10,
+        batch: 1,
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("--{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = take("addr"),
+            "--requests" => args.requests = take("requests").parse().expect("--requests"),
+            "--concurrency" => {
+                args.concurrency = take("concurrency").parse().expect("--concurrency");
+            }
+            "--k" => args.k = take("k").parse().expect("--k"),
+            "--batch" => args.batch = take("batch").parse().expect("--batch"),
+            "--seed" => args.seed = take("seed").parse().expect("--seed"),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: loadtest [--addr HOST:PORT] [--requests N] \
+                     [--concurrency C] [--k K] [--batch B] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args.concurrency = args.concurrency.max(1);
+    args.batch = args.batch.max(1);
+    args
+}
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).ok();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: loadtest\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {response:?}"))?;
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Discover the queryable node range from the server itself.
+    let (status, health) = request(&args.addr, "GET", "/healthz", "").unwrap_or_else(|e| {
+        eprintln!("loadtest: server unreachable: {e}");
+        std::process::exit(1);
+    });
+    assert_eq!(status, 200, "healthz returned {status}: {health}");
+    let nodes = json::parse(&health)
+        .ok()
+        .and_then(|h| h.get("source_nodes").and_then(Json::as_usize))
+        .unwrap_or_else(|| {
+            eprintln!("loadtest: healthz did not report source_nodes: {health}");
+            std::process::exit(1);
+        });
+    println!(
+        "loadtest: {} requests x {} clients against {} ({} source nodes, k={}, batch={})",
+        args.requests, args.concurrency, args.addr, nodes, args.k, args.batch
+    );
+
+    let per_client = args.requests.div_ceil(args.concurrency);
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..args.concurrency {
+        let addr = args.addr.clone();
+        let (k, batch, seed) = (args.k, args.batch, args.seed);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Xorshift::new(seed ^ (client as u64).wrapping_mul(0x9e37));
+            let mut latencies_ms = Vec::with_capacity(per_client);
+            let mut failures = 0usize;
+            for _ in 0..per_client {
+                let ids: Vec<String> = (0..batch).map(|_| rng.below(nodes).to_string()).collect();
+                let body = format!("{{\"nodes\":[{}],\"k\":{k}}}", ids.join(","));
+                let t0 = Instant::now();
+                match request(&addr, "POST", "/v1/align/topk", &body) {
+                    Ok((200, _)) => latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+                    Ok((status, payload)) => {
+                        eprintln!("loadtest: HTTP {status}: {payload}");
+                        failures += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("loadtest: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            (latencies_ms, failures)
+        }));
+    }
+
+    let mut latencies = Vec::new();
+    let mut failures = 0;
+    for h in handles {
+        let (l, f) = h.join().expect("client thread panicked");
+        latencies.extend(l);
+        failures += f;
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+
+    let total = latencies.len() + failures;
+    println!(
+        "loadtest: {} ok / {failures} failed in {wall:.2}s  ({:.0} req/s)",
+        latencies.len(),
+        latencies.len() as f64 / wall.max(1e-9)
+    );
+    if !latencies.is_empty() {
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        println!(
+            "latency ms: mean {mean:.3}  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 95.0),
+            percentile(&latencies, 99.0),
+            latencies.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+    if failures > 0 || total == 0 {
+        std::process::exit(1);
+    }
+}

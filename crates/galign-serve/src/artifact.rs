@@ -1,0 +1,556 @@
+//! Versioned binary artifact format for trained alignment state.
+//!
+//! A deployment trains GAlign once, exports the θ-weighted multi-order
+//! embedding pair as one compact artifact, and serves top-k alignment
+//! queries from it forever after. The JSON persistence in
+//! `galign::persist` spends ~17 bytes per matrix entry (decimal text plus
+//! punctuation); this format spends 8 (little-endian `f64`), cutting
+//! artifacts roughly 8x and making loads a bounds-checked `memcpy` instead
+//! of a float parse.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! magic            8 B   b"GALNART1"
+//! format version   4 B   u32, currently 1
+//! flags            4 B   u32, bit 0 = rows already L2-normalized
+//! layer count      4 B   u32, layers per side (k+1, incl. attribute layer)
+//! reserved         4 B   u32, zero
+//! theta section    8·L B f64 layer weights, then 8 B FNV-1a of the bytes
+//! source blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
+//! target blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
+//! file checksum    8 B   FNV-1a of every preceding byte
+//! ```
+//!
+//! Loads validate magic, version (future versions are rejected, never
+//! silently reinterpreted), shape consistency between the two sides, every
+//! section checksum and the whole-file checksum, so a truncated or
+//! bit-flipped artifact fails loudly instead of serving garbage scores.
+
+use std::io;
+use std::path::Path;
+
+/// File magic: "GALN ARTifact" plus a format generation digit.
+pub const MAGIC: [u8; 8] = *b"GALNART1";
+
+/// Current on-disk format version. Readers reject anything newer.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Flag bit: matrix rows are already L2-normalized (cosine-ready).
+pub const FLAG_ROWS_NORMALIZED: u32 = 1;
+
+/// FNV-1a 64-bit hash — the format's checksum primitive (fast, std-only,
+/// good avalanche for corruption detection; not cryptographic).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A row-major `f64` matrix — the artifact's own minimal matrix type, so
+/// the serving crate stays free of the training stack's dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Wraps a row-major buffer.
+    ///
+    /// # Errors
+    /// When `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> io::Result<Self> {
+        if data.len()
+            != rows
+                .checked_mul(cols)
+                .ok_or_else(|| invalid("matrix shape overflows"))?
+        {
+            return Err(invalid(format!(
+                "buffer of length {} cannot back a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Decodes a matrix from little-endian `f64` bytes (the wire encoding
+    /// of one artifact block, and of `galign-matrix`'s `Dense` bytes
+    /// round-trip).
+    ///
+    /// # Errors
+    /// When the byte length does not equal `rows * cols * 8`.
+    pub fn from_le_bytes(rows: usize, cols: usize, bytes: &[u8]) -> io::Result<Self> {
+        let want = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| invalid("matrix shape overflows"))?;
+        if bytes.len() != want {
+            return Err(invalid(format!(
+                "{} bytes cannot back a {rows}x{cols} f64 matrix (want {want})",
+                bytes.len()
+            )));
+        }
+        let data = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Encodes the matrix as little-endian `f64` bytes.
+    #[must_use]
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 8);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// When `i >= rows`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The full row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Divides every row by its L2 norm (zero rows are left untouched).
+    pub fn normalize_rows(&mut self) {
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in row {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+}
+
+/// A trained alignment artifact: θ layer weights plus the multi-order
+/// embedding layers of both networks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Layer-importance weights θ⁽⁰⁾..θ⁽ᵏ⁾ (the serving default).
+    pub theta: Vec<f64>,
+    /// Source-network embedding, one matrix per layer.
+    pub source: Vec<Mat>,
+    /// Target-network embedding, one matrix per layer.
+    pub target: Vec<Mat>,
+    /// Whether rows were L2-normalized before export (if not, the query
+    /// index normalizes at load time).
+    pub rows_normalized: bool,
+}
+
+impl Artifact {
+    /// Builds and shape-validates an artifact.
+    ///
+    /// # Errors
+    /// When the two sides disagree on layer count or per-layer embedding
+    /// dimension, a side's layers disagree on node count, θ length does
+    /// not match the layer count, or there are no layers at all.
+    pub fn new(
+        theta: Vec<f64>,
+        source: Vec<Mat>,
+        target: Vec<Mat>,
+        rows_normalized: bool,
+    ) -> io::Result<Self> {
+        if theta.is_empty() {
+            return Err(invalid("artifact needs at least one layer"));
+        }
+        if source.len() != theta.len() || target.len() != theta.len() {
+            return Err(invalid(format!(
+                "theta has {} weights but source/target have {}/{} layers",
+                theta.len(),
+                source.len(),
+                target.len()
+            )));
+        }
+        for side in [&source, &target] {
+            if side.iter().any(|m| m.rows() != side[0].rows()) {
+                return Err(invalid("layers of one side disagree on node count"));
+            }
+        }
+        for (l, (s, t)) in source.iter().zip(&target).enumerate() {
+            if s.cols() != t.cols() {
+                return Err(invalid(format!(
+                    "layer {l}: source dim {} != target dim {}",
+                    s.cols(),
+                    t.cols()
+                )));
+            }
+        }
+        Ok(Artifact {
+            theta,
+            source,
+            target,
+            rows_normalized,
+        })
+    }
+
+    /// Number of embedding layers per side (k+1).
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Source-network node count.
+    #[must_use]
+    pub fn source_nodes(&self) -> usize {
+        self.source[0].rows()
+    }
+
+    /// Target-network node count.
+    #[must_use]
+    pub fn target_nodes(&self) -> usize {
+        self.target[0].rows()
+    }
+
+    /// Serializes to the binary format described in the module docs.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let flags = if self.rows_normalized {
+            FLAG_ROWS_NORMALIZED
+        } else {
+            0
+        };
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&(self.theta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        let theta_start = out.len();
+        for t in &self.theta {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        let theta_sum = fnv1a(&out[theta_start..]);
+        out.extend_from_slice(&theta_sum.to_le_bytes());
+        for m in self.source.iter().chain(&self.target) {
+            out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+            out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+            let data = m.to_le_bytes();
+            out.extend_from_slice(&data);
+            out.extend_from_slice(&fnv1a(&data).to_le_bytes());
+        }
+        let file_sum = fnv1a(&out);
+        out.extend_from_slice(&file_sum.to_le_bytes());
+        out
+    }
+
+    /// Parses and fully validates an artifact from bytes.
+    ///
+    /// # Errors
+    /// Bad magic, a format version newer than [`FORMAT_VERSION`],
+    /// truncation, trailing bytes, checksum mismatches (per section and
+    /// whole-file), or shape inconsistencies.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(invalid("not a galign artifact (bad magic)"));
+        }
+        let version = r.u32()?;
+        if version > FORMAT_VERSION {
+            return Err(invalid(format!(
+                "artifact format version {version} is newer than this build \
+                 supports ({FORMAT_VERSION}); upgrade galign-serve"
+            )));
+        }
+        if version == 0 {
+            return Err(invalid("artifact format version 0 does not exist"));
+        }
+        let flags = r.u32()?;
+        let layers = r.u32()? as usize;
+        let _reserved = r.u32()?;
+        if layers == 0 {
+            return Err(invalid("artifact declares zero layers"));
+        }
+        let theta_start = r.pos;
+        let mut theta = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            theta.push(r.f64()?);
+        }
+        let theta_sum = fnv1a(&bytes[theta_start..r.pos]);
+        if r.u64()? != theta_sum {
+            return Err(invalid(
+                "theta section checksum mismatch (corrupt artifact)",
+            ));
+        }
+        let mut sides = Vec::with_capacity(2 * layers);
+        for i in 0..2 * layers {
+            let rows = usize::try_from(r.u64()?).map_err(|_| invalid("rows overflow"))?;
+            let cols = usize::try_from(r.u64()?).map_err(|_| invalid("cols overflow"))?;
+            let nbytes = rows
+                .checked_mul(cols)
+                .and_then(|n| n.checked_mul(8))
+                .ok_or_else(|| invalid("matrix shape overflows"))?;
+            let data = r.take(nbytes)?;
+            let sum = fnv1a(data);
+            let mat = Mat::from_le_bytes(rows, cols, data)?;
+            if r.u64()? != sum {
+                return Err(invalid(format!(
+                    "matrix block {i} checksum mismatch (corrupt artifact)"
+                )));
+            }
+            sides.push(mat);
+        }
+        let file_sum = fnv1a(&bytes[..r.pos]);
+        if r.u64()? != file_sum {
+            return Err(invalid("file checksum mismatch (corrupt artifact)"));
+        }
+        if r.pos != bytes.len() {
+            return Err(invalid(format!(
+                "{} trailing bytes after artifact",
+                bytes.len() - r.pos
+            )));
+        }
+        let target = sides.split_off(layers);
+        Artifact::new(theta, sides, target, flags & FLAG_ROWS_NORMALIZED != 0)
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    /// IO failures.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads and validates an artifact from `path`.
+    ///
+    /// # Errors
+    /// IO failures plus everything [`Artifact::from_bytes`] rejects.
+    pub fn read(path: &Path) -> io::Result<Self> {
+        Artifact::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Bounds-checked byte cursor over the artifact buffer.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| invalid("artifact truncated"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Xorshift;
+
+    fn random_artifact(seed: u64, normalized: bool) -> Artifact {
+        let mut rng = Xorshift::new(seed);
+        let dims = [4usize, 3, 5];
+        let mk = |rng: &mut Xorshift, rows: usize| -> Vec<Mat> {
+            dims.iter()
+                .map(|&d| {
+                    Mat::new(rows, d, (0..rows * d).map(|_| rng.f64_signed()).collect()).unwrap()
+                })
+                .collect()
+        };
+        let source = mk(&mut rng, 7);
+        let target = mk(&mut rng, 9);
+        Artifact::new(vec![0.2, 0.3, 0.5], source, target, normalized).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        for normalized in [false, true] {
+            let a = random_artifact(1, normalized);
+            let b = Artifact::from_bytes(&a.to_bytes()).unwrap();
+            assert_eq!(a, b, "decoded artifact must equal the original bit-for-bit");
+            // PartialEq on f64 is bitwise here only when no NaNs are
+            // involved; double-check the raw buffers too.
+            for (ma, mb) in a.source.iter().zip(&b.source) {
+                assert_eq!(ma.to_le_bytes(), mb.to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("galign-serve-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.galn");
+        let a = random_artifact(2, true);
+        a.write(&path).unwrap();
+        let b = Artifact::read(&path).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json_equivalent() {
+        let a = random_artifact(3, false);
+        let binary = a.to_bytes().len();
+        // The JSON persistence writes every f64 in decimal (17 significant
+        // digits for round-tripping) plus struct punctuation.
+        let json_estimate: usize = a
+            .source
+            .iter()
+            .chain(&a.target)
+            .map(|m| m.as_slice().len() * 20)
+            .sum();
+        assert!(
+            binary * 2 < json_estimate,
+            "binary {binary} B should be far below the ~{json_estimate} B JSON costs"
+        );
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let bytes = random_artifact(4, false).to_bytes();
+        // Flipping any single byte must fail validation somewhere: magic,
+        // version, shape, section checksum or file checksum. Sample a
+        // spread of positions (every 97th byte) to keep the test fast.
+        for pos in (0..bytes.len()).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                Artifact::from_bytes(&bad).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_rejected() {
+        let bytes = random_artifact(5, false).to_bytes();
+        assert!(Artifact::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Artifact::from_bytes(&bytes[..10]).is_err());
+        assert!(Artifact::from_bytes(&[]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        let err = Artifact::from_bytes(&long).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn future_version_rejected_with_clear_error() {
+        let mut bytes = random_artifact(6, false).to_bytes();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let err = Artifact::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = random_artifact(7, false).to_bytes();
+        bytes[0] = b'X';
+        let err = Artifact::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let m = |r, c| Mat::new(r, c, vec![0.0; r * c]).unwrap();
+        // θ length mismatch.
+        assert!(Artifact::new(vec![1.0], vec![m(2, 2); 2], vec![m(2, 2); 2], false).is_err());
+        // Source/target dim mismatch at one layer.
+        assert!(Artifact::new(
+            vec![0.5, 0.5],
+            vec![m(2, 2), m(2, 3)],
+            vec![m(4, 2), m(4, 4)],
+            false
+        )
+        .is_err());
+        // One side's layers disagree on node count.
+        assert!(Artifact::new(
+            vec![0.5, 0.5],
+            vec![m(2, 2), m(3, 3)],
+            vec![m(4, 2), m(4, 3)],
+            false
+        )
+        .is_err());
+        // Empty.
+        assert!(Artifact::new(vec![], vec![], vec![], false).is_err());
+    }
+
+    #[test]
+    fn mat_byte_helpers() {
+        let m = Mat::new(2, 3, vec![1.0, -2.5, 3.0, 0.0, f64::MIN_POSITIVE, 1e300]).unwrap();
+        let bytes = m.to_le_bytes();
+        assert_eq!(bytes.len(), 48);
+        let back = Mat::from_le_bytes(2, 3, &bytes).unwrap();
+        assert_eq!(m, back);
+        assert!(Mat::from_le_bytes(2, 3, &bytes[..40]).is_err());
+        assert!(Mat::new(2, 3, vec![0.0; 5]).is_err());
+        assert_eq!(m.row(1), &[0.0, f64::MIN_POSITIVE, 1e300]);
+    }
+
+    #[test]
+    fn normalize_rows_handles_zero_rows() {
+        let mut m = Mat::new(2, 2, vec![3.0, 4.0, 0.0, 0.0]).unwrap();
+        m.normalize_rows();
+        assert!((m.row(0)[0] - 0.6).abs() < 1e-12);
+        assert!((m.row(0)[1] - 0.8).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference values of FNV-1a 64.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

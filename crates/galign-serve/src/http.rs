@@ -1,0 +1,299 @@
+//! HTTP/1.1 request parsing and response writing over raw streams.
+//!
+//! Deliberately small: one request per connection (`Connection: close`),
+//! bodies require `Content-Length` (no chunked encoding), and hard limits
+//! bound header and body sizes so a misbehaving client cannot balloon a
+//! worker. This is all the protocol surface the serving API needs, with
+//! zero dependencies.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request-line + header bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request-body bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request that could not be parsed; maps to a 4xx response.
+#[derive(Debug)]
+pub struct BadRequest(pub String);
+
+/// Outcome of reading one request from a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Ok(Request),
+    /// The client sent something unparseable; respond 400 and close.
+    Bad(BadRequest),
+    /// The connection closed (or timed out) before a request arrived.
+    Closed,
+}
+
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "request head too large",
+                    ));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads and parses one request.
+///
+/// # Errors
+/// Underlying IO failures (including read timeouts) are returned as
+/// `Err`; protocol problems come back as [`ReadOutcome::Bad`].
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, &mut budget) {
+        Ok(Some(l)) if !l.is_empty() => l,
+        Ok(_) => return Ok(ReadOutcome::Closed),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Ok(ReadOutcome::Bad(BadRequest(e.to_string())))
+        }
+        Err(e) => return Err(e),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(uri), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Bad(BadRequest(format!(
+            "malformed request line: {request_line:?}"
+        ))));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Bad(BadRequest(format!(
+            "unsupported protocol {version}"
+        ))));
+    }
+    let path = uri.split('?').next().unwrap_or(uri).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        match read_line(reader, &mut budget) {
+            Ok(Some(l)) if l.is_empty() => break,
+            Ok(Some(l)) => {
+                let Some((name, value)) = l.split_once(':') else {
+                    return Ok(ReadOutcome::Bad(BadRequest(format!(
+                        "malformed header {l:?}"
+                    ))));
+                };
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+            Ok(None) => return Ok(ReadOutcome::Closed),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Ok(ReadOutcome::Bad(BadRequest(e.to_string())))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = request.header("content-length") {
+        let Ok(len) = len.parse::<usize>() else {
+            return Ok(ReadOutcome::Bad(BadRequest(format!(
+                "bad content-length {len:?}"
+            ))));
+        };
+        if len > MAX_BODY_BYTES {
+            return Ok(ReadOutcome::Bad(BadRequest(format!(
+                "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            ))));
+        }
+        let mut body = vec![0u8; len];
+        if let Err(e) = io::Read::read_exact(reader, &mut body) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Ok(ReadOutcome::Bad(BadRequest(
+                    "body shorter than content-length".into(),
+                )));
+            }
+            return Err(e);
+        }
+        request.body = body;
+    }
+    Ok(ReadOutcome::Ok(request))
+}
+
+/// Standard reason phrase for the status codes the server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response.
+///
+/// # Errors
+/// IO failures on the stream.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes a JSON response.
+///
+/// # Errors
+/// IO failures on the stream.
+pub fn write_json(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write_response(writer, status, "application/json", body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_ok(raw: &str) -> Request {
+        match read_request(&mut BufReader::new(raw.as_bytes())).unwrap() {
+            ReadOutcome::Ok(r) => r,
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_get_with_headers() {
+        let r = parse_ok("GET /healthz?probe=1 HTTP/1.1\r\nHost: x\r\nX-Trace: 7\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("X-TRACE"), Some("7"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let r = parse_ok(
+            "POST /v1/align/topk HTTP/1.1\r\ncontent-length: 11\r\n\r\n{\"nodes\":1}extra-ignored",
+        );
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"nodes\":1}");
+    }
+
+    #[test]
+    fn eof_before_request_is_closed_not_error() {
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b""[..])).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_are_bad_requests() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/9\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            "POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            "POST /x HTTP/1.1\r\ncontent-length: 99\r\n\r\nshort",
+        ] {
+            let outcome = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+            assert!(matches!(outcome, ReadOutcome::Bad(_)), "accepted {raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_rejected() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            read_request(&mut BufReader::new(huge_header.as_bytes())).unwrap(),
+            ReadOutcome::Bad(_)
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut BufReader::new(huge_body.as_bytes())).unwrap(),
+            ReadOutcome::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_json(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn reasons_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 408, 500, 503] {
+            assert_ne!(reason(code), "Unknown");
+        }
+        assert_eq!(reason(999), "Unknown");
+    }
+}

@@ -1,0 +1,59 @@
+//! # galign-serve
+//!
+//! The online half of the GAlign suite's train-once / align-many story.
+//! The batch pipeline (`galign`) trains multi-order embeddings and
+//! matches once; this crate persists that trained state as a compact
+//! binary artifact and answers top-k alignment queries over HTTP from it:
+//!
+//! * [`artifact`] — a versioned, FNV-1a-checksummed binary format for
+//!   θ-weighted multi-order embedding pairs (~8x smaller than the JSON in
+//!   `galign::persist`, validated byte-for-byte at load time);
+//! * [`topk`] — the query kernel: row-normalized dot-product scoring over
+//!   the θ-weighted layers with heap-based partial selection, parallel
+//!   across the queries of a batch;
+//! * [`cache`] — a sharded in-memory LRU keyed on `(node, k, θ)`;
+//! * [`server`] — a std-only multi-threaded HTTP/1.1 server with a
+//!   bounded worker pool, per-request timeouts and graceful shutdown,
+//!   instrumented through `galign-telemetry`;
+//! * [`http`] / [`json`] — the dependency-free protocol plumbing.
+//!
+//! The crate is std-only: with `--no-default-features` it has no
+//! dependency besides `galign-telemetry`; the default `parallel` feature
+//! adds rayon for query fan-out.
+//!
+//! ```
+//! use galign_serve::artifact::{Artifact, Mat};
+//! use galign_serve::server::{ServeConfig, Server};
+//! use galign_serve::topk::TopkIndex;
+//!
+//! // A toy artifact: one layer, identical 3-node networks.
+//! let m = Mat::new(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.6, 0.8]).unwrap();
+//! let artifact = Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap();
+//!
+//! // Bit-exact binary round-trip.
+//! let reloaded = Artifact::from_bytes(&artifact.to_bytes()).unwrap();
+//! assert_eq!(artifact, reloaded);
+//!
+//! // Query it directly ...
+//! let index = TopkIndex::from_artifact(reloaded);
+//! let hits = index.topk(0, 2, None).unwrap();
+//! assert_eq!(hits[0].target, 0);
+//!
+//! // ... or over HTTP.
+//! let server = Server::bind("127.0.0.1:0", index, ServeConfig::default()).unwrap();
+//! let handle = server.spawn();
+//! handle.shutdown().unwrap();
+//! ```
+
+pub mod artifact;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod testutil;
+pub mod topk;
+
+pub use artifact::{Artifact, Mat};
+pub use cache::{LruCache, QueryKey, ShardedCache};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use topk::{Hit, QueryError, TopkIndex};

@@ -1,0 +1,498 @@
+//! The alignment query server: a bounded worker pool over a
+//! `TcpListener`, routing to the top-k kernel through the sharded cache,
+//! instrumented with `galign-telemetry` counters and latency histograms.
+//!
+//! ## Endpoints
+//!
+//! | method | path                 | purpose                                |
+//! |--------|----------------------|----------------------------------------|
+//! | POST   | `/v1/align/topk`     | top-k alignment query (JSON body)      |
+//! | GET    | `/healthz`           | liveness + artifact shape              |
+//! | GET    | `/metrics`           | telemetry snapshot as JSON             |
+//! | POST   | `/v1/admin/shutdown` | graceful shutdown (SIGTERM-equivalent) |
+//!
+//! Query body: `{"nodes": [0, 3], "k": 5, "theta": [0.2, 0.3, 0.5]}` —
+//! `k` and `theta` optional. Response: one `{"node", "matches": [{"target",
+//! "score"}]}` entry per queried node, best match first.
+//!
+//! ## Shutdown
+//!
+//! `POST /v1/admin/shutdown` (or [`ServerHandle::shutdown`]) flips an
+//! atomic flag and nudges the acceptor awake with a loopback connection;
+//! the acceptor stops taking connections, the request channel drains, and
+//! every worker joins before [`Server::run`] returns — in-flight requests
+//! finish, new ones are refused.
+
+use crate::cache::{QueryKey, ShardedCache};
+use crate::http::{self, ReadOutcome, Request};
+use crate::json;
+use crate::topk::TopkIndex;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Per-request socket read/write timeout.
+    pub request_timeout: Duration,
+    /// Total top-k cache entries across shards (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// `k` used when a query omits it.
+    pub default_k: usize,
+    /// Largest accepted `k` (bounds per-request work and cache entry size).
+    pub max_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            request_timeout: Duration::from_secs(10),
+            cache_capacity: 4096,
+            cache_shards: 16,
+            default_k: 10,
+            max_k: 1000,
+        }
+    }
+}
+
+struct Inner {
+    index: TopkIndex,
+    cache: ShardedCache,
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    shutting_down: AtomicBool,
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    inner: Arc<Inner>,
+    listener: TcpListener,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:8080"`, port 0 for ephemeral) and
+    /// prepares the query index. Also enables telemetry metrics — a
+    /// server wants its `/metrics` endpoint live.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn bind(addr: &str, index: TopkIndex, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        galign_telemetry::set_metrics_enabled(true);
+        galign_telemetry::info!(
+            "serve",
+            "listening on {local} ({} source x {} target nodes, {} layers, {} workers)",
+            index.source_nodes(),
+            index.target_nodes(),
+            index.num_layers(),
+            cfg.workers.max(1),
+        );
+        Ok(Server {
+            inner: Arc::new(Inner {
+                cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+                index,
+                cfg,
+                addr: local,
+                shutting_down: AtomicBool::new(false),
+            }),
+            listener,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Runs the accept loop on the calling thread until graceful
+    /// shutdown; all workers have joined when this returns.
+    ///
+    /// # Errors
+    /// Fatal listener failures (per-connection errors are absorbed).
+    pub fn run(self) -> io::Result<()> {
+        let workers = self.inner.cfg.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let inner = Arc::clone(&self.inner);
+            pool.push(std::thread::spawn(move || loop {
+                let stream = rx.lock().expect("worker queue lock").recv();
+                match stream {
+                    Ok(stream) => handle_connection(&inner, stream),
+                    Err(_) => break, // acceptor dropped the sender: shutdown
+                }
+            }));
+        }
+        for stream in self.listener.incoming() {
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                break; // the waking connection (if any) is dropped unserved
+            }
+            match stream {
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    galign_telemetry::debug!("serve", "accept error: {e}");
+                }
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        galign_telemetry::info!("serve", "shut down cleanly");
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle for
+    /// tests and embedders.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let inner = Arc::clone(&self.inner);
+        let addr = self.local_addr();
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle { inner, addr, join }
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown and waits for the accept loop and all
+    /// workers to finish.
+    ///
+    /// # Errors
+    /// The run loop's error, if it failed.
+    ///
+    /// # Panics
+    /// If the server thread panicked.
+    pub fn shutdown(self) -> io::Result<()> {
+        begin_shutdown(&self.inner);
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+/// Flips the shutdown flag and wakes the acceptor.
+fn begin_shutdown(inner: &Inner) {
+    if !inner.shutting_down.swap(true, Ordering::SeqCst) {
+        // A throwaway loopback connection unblocks `accept`.
+        let _ = TcpStream::connect_timeout(&inner.addr, Duration::from_secs(1));
+    }
+}
+
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(inner.cfg.request_timeout));
+    let _ = stream.set_write_timeout(Some(inner.cfg.request_timeout));
+    let mut reader = BufReader::new(&stream);
+    let outcome = http::read_request(&mut reader);
+    let mut writer = &stream;
+    let (status, body) = match outcome {
+        Ok(ReadOutcome::Ok(request)) => route(inner, &request),
+        Ok(ReadOutcome::Bad(bad)) => (400, error_body(&bad.0)),
+        Ok(ReadOutcome::Closed) => return,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            (408, error_body("request timed out"))
+        }
+        Err(e) => {
+            galign_telemetry::debug!("serve", "connection error: {e}");
+            return;
+        }
+    };
+    let _ = http::write_json(&mut writer, status, &body);
+    if galign_telemetry::metrics_enabled() {
+        galign_telemetry::counter_add("serve.http.requests", 1);
+        galign_telemetry::counter_add(
+            match status {
+                200 => "serve.http.status.2xx",
+                500..=599 => "serve.http.status.5xx",
+                _ => "serve.http.status.4xx",
+            },
+            1,
+        );
+        galign_telemetry::histogram_record(
+            "serve.request.ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", json::escape(msg))
+}
+
+fn route(inner: &Inner, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, healthz(inner)),
+        ("POST", "/v1/align/topk") => topk_route(inner, &request.body),
+        ("GET", "/metrics") => (200, galign_telemetry::snapshot_json()),
+        ("POST", "/v1/admin/shutdown") => {
+            galign_telemetry::info!("serve", "shutdown requested via admin endpoint");
+            begin_shutdown(inner);
+            (200, "{\"status\":\"shutting-down\"}".to_string())
+        }
+        ("GET" | "HEAD", "/v1/align/topk") | ("POST", "/healthz" | "/metrics") => {
+            (405, error_body("wrong method for this path"))
+        }
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+fn healthz(inner: &Inner) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{}}}",
+        inner.index.source_nodes(),
+        inner.index.target_nodes(),
+        inner.index.num_layers(),
+        inner.cfg.workers.max(1),
+        inner.cache.len(),
+    )
+}
+
+/// Parsed `/v1/align/topk` request body.
+struct TopkQuery {
+    nodes: Vec<usize>,
+    k: usize,
+    theta: Option<Vec<f64>>,
+}
+
+fn parse_topk_body(inner: &Inner, body: &[u8]) -> Result<TopkQuery, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let nodes: Vec<usize> = match (doc.get("nodes"), doc.get("node")) {
+        (Some(arr), _) => arr
+            .as_arr()
+            .ok_or("\"nodes\" must be an array of node ids")?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or("\"nodes\" entries must be non-negative integers")
+            })
+            .collect::<Result<_, _>>()?,
+        (None, Some(one)) => vec![one
+            .as_usize()
+            .ok_or("\"node\" must be a non-negative integer")?],
+        (None, None) => return Err("body needs \"nodes\" (array) or \"node\" (integer)".into()),
+    };
+    if nodes.is_empty() {
+        return Err("\"nodes\" must not be empty".into());
+    }
+    let k = match doc.get("k") {
+        None => inner.cfg.default_k,
+        Some(v) => v
+            .as_usize()
+            .filter(|&k| k >= 1)
+            .ok_or("\"k\" must be an integer >= 1")?,
+    };
+    if k > inner.cfg.max_k {
+        return Err(format!(
+            "\"k\" exceeds the server limit of {}",
+            inner.cfg.max_k
+        ));
+    }
+    let theta = match doc.get("theta") {
+        None => None,
+        Some(v) => Some(
+            v.as_arr()
+                .ok_or("\"theta\" must be an array of numbers")?
+                .iter()
+                .map(|w| w.as_f64().ok_or("\"theta\" entries must be numbers"))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    Ok(TopkQuery { nodes, k, theta })
+}
+
+fn topk_route(inner: &Inner, body: &[u8]) -> (u16, String) {
+    let started = Instant::now();
+    let query = match parse_topk_body(inner, body) {
+        Ok(q) => q,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let theta = query.theta.as_deref();
+
+    // Serve each node from the cache where possible; batch-compute the
+    // misses through the parallel kernel.
+    let mut results = vec![None; query.nodes.len()];
+    let mut miss_positions = Vec::new();
+    for (i, &node) in query.nodes.iter().enumerate() {
+        match inner.cache.get(&QueryKey::new(node, query.k, theta)) {
+            Some(hits) => results[i] = Some(hits),
+            None => miss_positions.push(i),
+        }
+    }
+    let miss_count = miss_positions.len() as u64;
+    if !miss_positions.is_empty() {
+        let miss_nodes: Vec<usize> = miss_positions.iter().map(|&i| query.nodes[i]).collect();
+        let computed = match inner.index.topk_batch(&miss_nodes, query.k, theta) {
+            Ok(c) => c,
+            Err(e) => return (400, error_body(&e.to_string())),
+        };
+        for (&i, hits) in miss_positions.iter().zip(computed) {
+            let hits = Arc::new(hits);
+            inner.cache.insert(
+                QueryKey::new(query.nodes[i], query.k, theta),
+                Arc::clone(&hits),
+            );
+            results[i] = Some(hits);
+        }
+    }
+
+    let mut out = format!("{{\"k\":{},\"results\":[", query.k);
+    for (i, (node, hits)) in query.nodes.iter().zip(&results).enumerate() {
+        let hits = hits.as_ref().expect("every slot filled");
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"node\":{node},\"matches\":["));
+        for (j, hit) in hits.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"target\":{},\"score\":{}}}",
+                hit.target,
+                json::fmt_f64(hit.score)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+
+    if galign_telemetry::metrics_enabled() {
+        galign_telemetry::counter_add("serve.topk.requests", 1);
+        galign_telemetry::counter_add("serve.topk.nodes", query.nodes.len() as u64);
+        galign_telemetry::counter_add("serve.topk.cache_misses", miss_count);
+        galign_telemetry::counter_add(
+            "serve.topk.cache_hits",
+            query.nodes.len() as u64 - miss_count,
+        );
+        galign_telemetry::gauge_set("serve.cache.entries", inner.cache.len() as f64);
+        galign_telemetry::histogram_record("serve.topk.ms", started.elapsed().as_secs_f64() * 1e3);
+    }
+    (200, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Artifact, Mat};
+
+    fn test_index() -> TopkIndex {
+        let m = Mat::new(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7]).unwrap();
+        TopkIndex::from_artifact(Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap())
+    }
+
+    fn test_inner() -> Inner {
+        Inner {
+            index: test_index(),
+            cache: ShardedCache::new(64, 2),
+            cfg: ServeConfig::default(),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    #[test]
+    fn topk_route_happy_path_and_cache() {
+        let inner = test_inner();
+        let (status, body) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#);
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        let first = results[0].get("matches").unwrap().as_arr().unwrap();
+        assert_eq!(first[0].get("target").unwrap().as_usize(), Some(0));
+        // Second identical request is served from the cache.
+        let (status2, body2) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#);
+        assert_eq!(status2, 200);
+        assert_eq!(body, body2);
+        let (hits, misses) = inner.cache.stats();
+        assert_eq!((hits, misses), (2, 2));
+    }
+
+    #[test]
+    fn topk_route_rejects_bad_bodies() {
+        let inner = test_inner();
+        for (body, needle) in [
+            (&b"not json"[..], "invalid JSON"),
+            (br#"{}"#, "nodes"),
+            (br#"{"nodes":[]}"#, "empty"),
+            (br#"{"nodes":[0],"k":0}"#, "k"),
+            (br#"{"nodes":[0],"k":100000}"#, "limit"),
+            (br#"{"nodes":[99]}"#, "out of range"),
+            (br#"{"nodes":[0],"theta":[1.0,2.0]}"#, "theta"),
+            (br#"{"nodes":[-1]}"#, "non-negative"),
+        ] {
+            let (status, msg) = topk_route(&inner, body);
+            assert_eq!(status, 400, "body {body:?} gave {msg}");
+            assert!(
+                msg.to_lowercase().contains(&needle.to_lowercase()),
+                "error {msg:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_form_and_theta_override() {
+        let inner = test_inner();
+        let (status, body) = topk_route(&inner, br#"{"node":2,"k":1,"theta":[1.0]}"#);
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        let matches = doc.get("results").unwrap().as_arr().unwrap()[0]
+            .get("matches")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].get("target").unwrap().as_usize(), Some(2));
+    }
+
+    #[test]
+    fn routing_table() {
+        let inner = test_inner();
+        let req = |method: &str, path: &str| Request {
+            method: method.into(),
+            path: path.into(),
+            headers: vec![],
+            body: br#"{"nodes":[0]}"#.to_vec(),
+        };
+        assert_eq!(route(&inner, &req("GET", "/healthz")).0, 200);
+        assert_eq!(route(&inner, &req("GET", "/metrics")).0, 200);
+        assert_eq!(route(&inner, &req("POST", "/v1/align/topk")).0, 200);
+        assert_eq!(route(&inner, &req("GET", "/v1/align/topk")).0, 405);
+        assert_eq!(route(&inner, &req("POST", "/metrics")).0, 405);
+        assert_eq!(route(&inner, &req("GET", "/nope")).0, 404);
+        let health = route(&inner, &req("GET", "/healthz")).1;
+        let doc = json::parse(&health).unwrap();
+        assert_eq!(doc.get("source_nodes").unwrap().as_usize(), Some(3));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    }
+}

@@ -1,0 +1,64 @@
+//! A tiny deterministic xorshift64* generator for tests, examples and the
+//! loadtest binary. The serving crate deliberately avoids the workspace's
+//! `rand` dependency so it stays std-only.
+
+/// Seeded xorshift64* PRNG. Not cryptographic; stable across platforms.
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Creates a generator from a nonzero-ified seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Xorshift {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn f64_signed(&mut self) -> f64 {
+        self.f64() * 2.0 - 1.0
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        for _ in 0..1000 {
+            let v = a.f64();
+            assert_eq!(v, b.f64());
+            assert!((0.0..1.0).contains(&v));
+            assert!(a.below(7) < 7);
+            assert!(b.below(7) < 7);
+        }
+        let mut c = Xorshift::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

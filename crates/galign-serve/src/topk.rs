@@ -1,0 +1,404 @@
+//! The top-k alignment query kernel.
+//!
+//! Scores are θ-weighted sums of per-layer dot products over
+//! row-L2-normalized embeddings — exactly the aggregated alignment matrix
+//! `S = Σ_l θ⁽ˡ⁾ H_s⁽ˡ⁾ H_t⁽ˡ⁾ᵀ` (paper Eq. 11–12) that the batch pipeline
+//! materializes, evaluated one source row at a time. Selection is a
+//! bounded min-heap (`O(n log k)` instead of a full `O(n log n)` sort),
+//! and query batches fan out across threads (rayon under the default
+//! `parallel` feature, `std::thread::scope` chunking otherwise).
+
+use crate::artifact::{Artifact, Mat};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// One scored alignment candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Target-network node id.
+    pub target: usize,
+    /// Aggregated alignment score.
+    pub score: f64,
+}
+
+/// A rejected query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A queried node id is not in the source network.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Source-network node count.
+        nodes: usize,
+    },
+    /// `k` must be at least 1.
+    ZeroK,
+    /// A per-query θ override has the wrong number of weights.
+    BadThetaLength {
+        /// Weights supplied.
+        got: usize,
+        /// Layers in the index.
+        want: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NodeOutOfRange { node, nodes } => {
+                write!(
+                    f,
+                    "node {node} out of range (source network has {nodes} nodes)"
+                )
+            }
+            QueryError::ZeroK => write!(f, "k must be >= 1"),
+            QueryError::BadThetaLength { got, want } => {
+                write!(f, "theta has {got} weights but the index has {want} layers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// An in-memory query index over a loaded [`Artifact`]: normalized
+/// multi-order embeddings of both networks plus the default θ.
+#[derive(Debug)]
+pub struct TopkIndex {
+    source: Vec<Mat>,
+    target: Vec<Mat>,
+    theta: Vec<f64>,
+}
+
+impl TopkIndex {
+    /// Builds the index, row-normalizing the embeddings unless the
+    /// artifact says they already are (so that every layer contributes
+    /// cosine similarities).
+    #[must_use]
+    pub fn from_artifact(artifact: Artifact) -> Self {
+        let Artifact {
+            theta,
+            mut source,
+            mut target,
+            rows_normalized,
+        } = artifact;
+        if !rows_normalized {
+            for m in source.iter_mut().chain(target.iter_mut()) {
+                m.normalize_rows();
+            }
+        }
+        TopkIndex {
+            source,
+            target,
+            theta,
+        }
+    }
+
+    /// Source-network node count.
+    #[must_use]
+    pub fn source_nodes(&self) -> usize {
+        self.source[0].rows()
+    }
+
+    /// Target-network node count.
+    #[must_use]
+    pub fn target_nodes(&self) -> usize {
+        self.target[0].rows()
+    }
+
+    /// Number of embedding layers per side.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// The artifact's default layer weights.
+    #[must_use]
+    pub fn default_theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    fn check(&self, nodes: &[usize], k: usize, theta: Option<&[f64]>) -> Result<(), QueryError> {
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        if let Some(t) = theta {
+            if t.len() != self.theta.len() {
+                return Err(QueryError::BadThetaLength {
+                    got: t.len(),
+                    want: self.theta.len(),
+                });
+            }
+        }
+        let nodes_total = self.source_nodes();
+        for &n in nodes {
+            if n >= nodes_total {
+                return Err(QueryError::NodeOutOfRange {
+                    node: n,
+                    nodes: nodes_total,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The full aggregated score row of a source node (layer-major
+    /// accumulation, skipping zero-weight layers).
+    fn score_row(&self, node: usize, theta: &[f64]) -> Vec<f64> {
+        let n_t = self.target_nodes();
+        let mut acc = vec![0.0; n_t];
+        for (l, &w) in theta.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let sv = self.source[l].row(node);
+            let t = &self.target[l];
+            for (u, a) in acc.iter_mut().enumerate() {
+                let mut dot = 0.0;
+                for (x, y) in sv.iter().zip(t.row(u)) {
+                    dot += x * y;
+                }
+                *a += w * dot;
+            }
+        }
+        acc
+    }
+
+    /// Top-k alignment candidates of one source node, best first. Ties
+    /// break toward the smaller target id. `k` is clamped to the target
+    /// node count; `theta` of `None` uses the artifact default.
+    ///
+    /// # Errors
+    /// [`QueryError`] on an out-of-range node, `k == 0`, or a θ override
+    /// of the wrong length.
+    pub fn topk(
+        &self,
+        node: usize,
+        k: usize,
+        theta: Option<&[f64]>,
+    ) -> Result<Vec<Hit>, QueryError> {
+        self.check(&[node], k, theta)?;
+        Ok(self.topk_unchecked(node, k, theta.unwrap_or(&self.theta)))
+    }
+
+    fn topk_unchecked(&self, node: usize, k: usize, theta: &[f64]) -> Vec<Hit> {
+        select_topk(&self.score_row(node, theta), k)
+    }
+
+    /// Top-k for a batch of source nodes, parallel across queries.
+    ///
+    /// # Errors
+    /// [`QueryError`] if any node is out of range, `k == 0`, or the θ
+    /// override has the wrong length — the whole batch is rejected before
+    /// any scoring happens.
+    pub fn topk_batch(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        theta: Option<&[f64]>,
+    ) -> Result<Vec<Vec<Hit>>, QueryError> {
+        self.check(nodes, k, theta)?;
+        let theta = theta.unwrap_or(&self.theta);
+        Ok(self.batch_dispatch(nodes, k, theta))
+    }
+
+    #[cfg(feature = "parallel")]
+    fn batch_dispatch(&self, nodes: &[usize], k: usize, theta: &[f64]) -> Vec<Vec<Hit>> {
+        use rayon::prelude::*;
+        nodes
+            .par_iter()
+            .map(|&n| self.topk_unchecked(n, k, theta))
+            .collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn batch_dispatch(&self, nodes: &[usize], k: usize, theta: &[f64]) -> Vec<Vec<Hit>> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(nodes.len())
+            .max(1);
+        if threads == 1 || nodes.len() < 2 {
+            return nodes
+                .iter()
+                .map(|&n| self.topk_unchecked(n, k, theta))
+                .collect();
+        }
+        let chunk = nodes.len().div_ceil(threads);
+        let mut out: Vec<Vec<Hit>> = Vec::with_capacity(nodes.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&n| self.topk_unchecked(n, k, theta))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("topk worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+/// Heap-ordering wrapper: greater = better (higher score, then smaller
+/// target id). `total_cmp` gives a total order even for NaN scores.
+#[derive(Debug, PartialEq)]
+struct Entry {
+    score: f64,
+    target: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.target.cmp(&self.target))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Partial selection: the `k` best scores (clamped to `scores.len()`),
+/// best first, via a size-bounded min-heap.
+#[must_use]
+pub fn select_topk(scores: &[f64], k: usize) -> Vec<Hit> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+    for (target, &score) in scores.iter().enumerate() {
+        heap.push(Reverse(Entry { score, target }));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|Reverse(e)| Hit {
+            target: e.target,
+            score: e.score,
+        })
+        .collect()
+}
+
+/// Reference implementation: full sort, same ordering contract as
+/// [`select_topk`]. Public so the property tests and benches can share it.
+#[must_use]
+pub fn select_topk_bruteforce(scores: &[f64], k: usize) -> Vec<Hit> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
+    idx.truncate(k);
+    idx.into_iter()
+        .map(|target| Hit {
+            target,
+            score: scores[target],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Artifact;
+
+    fn tiny_index() -> TopkIndex {
+        // Two layers; identical source/target embeddings, so node i's best
+        // match is target i with cosine 1.
+        let data = vec![1.0, 0.0, 0.0, 1.0, 0.6, 0.8, -1.0, 0.5];
+        let m = Mat::new(4, 2, data).unwrap();
+        let artifact = Artifact::new(
+            vec![0.5, 0.5],
+            vec![m.clone(), m.clone()],
+            vec![m.clone(), m],
+            false,
+        )
+        .unwrap();
+        TopkIndex::from_artifact(artifact)
+    }
+
+    #[test]
+    fn identical_embeddings_rank_self_first() {
+        let idx = tiny_index();
+        for v in 0..4 {
+            let hits = idx.topk(v, 1, None).unwrap();
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].target, v);
+            assert!((hits[0].score - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_clamped_and_sorted_descending() {
+        let idx = tiny_index();
+        let hits = idx.topk(0, 100, None).unwrap();
+        assert_eq!(hits.len(), 4);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn theta_override_changes_scores() {
+        let idx = tiny_index();
+        // Zero out both layers: every score becomes 0 and ties break by id.
+        let hits = idx.topk(2, 2, Some(&[0.0, 0.0])).unwrap();
+        assert_eq!(hits[0].target, 0);
+        assert_eq!(hits[1].target, 1);
+        assert_eq!(hits[0].score, 0.0);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let idx = tiny_index();
+        assert_eq!(
+            idx.topk(9, 1, None).unwrap_err(),
+            QueryError::NodeOutOfRange { node: 9, nodes: 4 }
+        );
+        assert_eq!(idx.topk(0, 0, None).unwrap_err(), QueryError::ZeroK);
+        assert_eq!(
+            idx.topk(0, 1, Some(&[1.0])).unwrap_err(),
+            QueryError::BadThetaLength { got: 1, want: 2 }
+        );
+        // Batch rejects before scoring anything.
+        assert!(idx.topk_batch(&[0, 1, 99], 1, None).is_err());
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let idx = tiny_index();
+        let nodes = [3, 0, 2, 2, 1];
+        let batch = idx.topk_batch(&nodes, 3, None).unwrap();
+        assert_eq!(batch.len(), nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(batch[i], idx.topk(n, 3, None).unwrap());
+        }
+    }
+
+    #[test]
+    fn select_topk_ties_break_by_smaller_index() {
+        let scores = [1.0, 3.0, 3.0, 0.5];
+        let hits = select_topk(&scores, 2);
+        assert_eq!(hits[0].target, 1);
+        assert_eq!(hits[1].target, 2);
+        assert_eq!(hits, select_topk_bruteforce(&scores, 2));
+    }
+
+    #[test]
+    fn select_topk_empty_and_k_zero() {
+        assert!(select_topk(&[], 3).is_empty());
+        assert!(select_topk(&[1.0], 0).is_empty());
+    }
+}

@@ -69,11 +69,7 @@ pub fn init_clock() {
 }
 
 fn elapsed_ms() -> f64 {
-    CLOCK
-        .get_or_init(Instant::now)
-        .elapsed()
-        .as_secs_f64()
-        * 1e3
+    CLOCK.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
 }
 
 // ---------------------------------------------------------------------------

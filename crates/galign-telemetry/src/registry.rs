@@ -88,13 +88,43 @@ impl MetricsSnapshot {
     }
 }
 
+/// Cap on retained samples per histogram.
+///
+/// Batch pipeline runs record a few thousand samples at most, but a
+/// long-running `galign serve` process records one latency sample per
+/// request and an unbounded `Vec` would grow without limit. Each histogram
+/// therefore keeps a sliding window of the most recent samples (ring
+/// buffer) plus a lifetime count; summaries describe the window while
+/// `count` stays lifetime-accurate.
+const MAX_HISTOGRAM_SAMPLES: usize = 8192;
+
+/// One histogram: a bounded ring of recent samples plus a lifetime count.
+#[derive(Debug, Default)]
+struct Histogram {
+    total: u64,
+    samples: Vec<f64>,
+    head: usize,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        self.total += 1;
+        if self.samples.len() < MAX_HISTOGRAM_SAMPLES {
+            self.samples.push(value);
+        } else {
+            self.samples[self.head] = value;
+            self.head = (self.head + 1) % MAX_HISTOGRAM_SAMPLES;
+        }
+    }
+}
+
 /// A metrics registry. The crate hosts one global instance (see
 /// [`crate::counter_add`] and friends); tests may build their own.
 #[derive(Debug)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
-    histograms: Mutex<BTreeMap<String, Vec<f64>>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
 impl Registry {
@@ -141,14 +171,16 @@ impl Registry {
         self.gauges.lock().expect("gauge lock").get(name).copied()
     }
 
-    /// Appends one sample to the named histogram.
+    /// Records one sample into the named histogram. Retention is bounded:
+    /// only the most recent [`MAX_HISTOGRAM_SAMPLES`] samples back the
+    /// percentiles, so recording is safe on unbounded serving workloads.
     pub fn histogram_record(&self, name: &str, value: f64) {
         self.histograms
             .lock()
             .expect("histogram lock")
             .entry(name.to_string())
             .or_default()
-            .push(value);
+            .record(value);
     }
 
     /// Summary of the named histogram (`None` when empty or unknown).
@@ -157,7 +189,7 @@ impl Registry {
             .lock()
             .expect("histogram lock")
             .get(name)
-            .and_then(|samples| summarize(samples))
+            .and_then(summarize)
     }
 
     /// Copies every metric out of the registry.
@@ -181,7 +213,7 @@ impl Registry {
             .lock()
             .expect("histogram lock")
             .iter()
-            .filter_map(|(k, samples)| summarize(samples).map(|s| (k.clone(), s)))
+            .filter_map(|(k, h)| summarize(h).map(|s| (k.clone(), s)))
             .collect();
         MetricsSnapshot {
             counters,
@@ -213,15 +245,15 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn summarize(samples: &[f64]) -> Option<HistogramSummary> {
-    if samples.is_empty() {
+fn summarize(h: &Histogram) -> Option<HistogramSummary> {
+    if h.samples.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = samples.to_vec();
+    let mut sorted: Vec<f64> = h.samples.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let sum: f64 = sorted.iter().sum();
     Some(HistogramSummary {
-        count: sorted.len(),
+        count: h.total as usize,
         min: sorted[0],
         max: sorted[sorted.len() - 1],
         mean: sum / sorted.len() as f64,
@@ -277,6 +309,23 @@ mod tests {
         assert_eq!(h.p50, 51.0); // nearest-rank of 50% over 0..=99 → index 50
         assert_eq!(h.p90, 90.0);
         assert_eq!(h.p99, 99.0);
+    }
+
+    #[test]
+    fn histogram_retention_is_bounded() {
+        let r = Registry::new();
+        // Overfill by 3x: memory stays capped, the lifetime count does not,
+        // and percentiles describe the most recent window.
+        let n = 3 * MAX_HISTOGRAM_SAMPLES;
+        for i in 0..n {
+            r.histogram_record("lat", i as f64);
+        }
+        let h = r.histogram_summary("lat").unwrap();
+        assert_eq!(h.count, n);
+        // Window = the last MAX_HISTOGRAM_SAMPLES values recorded.
+        assert_eq!(h.min, (n - MAX_HISTOGRAM_SAMPLES) as f64);
+        assert_eq!(h.max, (n - 1) as f64);
+        assert!(h.p50 >= h.min && h.p50 <= h.max);
     }
 
     #[test]

@@ -155,7 +155,7 @@ mod tests {
         assert!(svg.ends_with("</svg>\n"));
         assert_eq!(svg.matches("<circle").count(), 2);
         assert_eq!(svg.matches("<rect").count(), 3); // background + 2 targets
-        // Escaping applied.
+                                                     // Escaping applied.
         assert!(svg.contains("A &amp; B"));
         assert!(svg.contains("panel &lt;1&gt;"));
         assert!(!svg.contains("C<D>"));

@@ -56,7 +56,11 @@ fn conditional_probs(dists: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
     for _ in 0..64 {
         let mut sum = 0.0;
         for j in 0..n {
-            probs[j] = if j == i { 0.0 } else { (-beta * dists[j]).exp() };
+            probs[j] = if j == i {
+                0.0
+            } else {
+                (-beta * dists[j]).exp()
+            };
             sum += probs[j];
         }
         if sum <= 0.0 {
@@ -129,7 +133,11 @@ pub fn tsne(data: &Dense, cfg: &TsneConfig) -> Dense {
 
     let exag_until = cfg.iterations / 4;
     for it in 0..cfg.iterations {
-        let exag = if it < exag_until { cfg.exaggeration } else { 1.0 };
+        let exag = if it < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities Q (unnormalised numerators cached).
         let mut num = Dense::zeros(n, n);
         let mut z = 0.0;
@@ -160,8 +168,8 @@ pub fn tsne(data: &Dense, cfg: &TsneConfig) -> Dense {
             }
         }
         for idx in 0..n * cfg.out_dim {
-            let v = cfg.momentum * velocity.as_slice()[idx]
-                - cfg.learning_rate * grad.as_slice()[idx];
+            let v =
+                cfg.momentum * velocity.as_slice()[idx] - cfg.learning_rate * grad.as_slice()[idx];
             velocity.as_mut_slice()[idx] = v;
             y.as_mut_slice()[idx] += v;
         }

@@ -25,8 +25,11 @@
 //!   (Eq. 14–15, Algorithm 2).
 //! * [`pipeline`] — the [`GAlign`] front door plus the ablation variants of
 //!   §VII-C (GAlign-1/2/3).
+//! * [`artifact`] — export of finished alignments into the binary serving
+//!   format consumed by `galign-serve`.
 
 pub mod alignment;
+pub mod artifact;
 pub mod augment;
 pub mod embedding;
 pub mod matching;

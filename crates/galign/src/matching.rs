@@ -96,10 +96,7 @@ pub fn mutual_best(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
         return Vec::new();
     }
     // Row argmaxes and column argmaxes in two streamed passes.
-    let row_best: Vec<Option<usize>> = (0..n1)
-        .into_par_iter()
-        .map(|v| scores.argmax(v))
-        .collect();
+    let row_best: Vec<Option<usize>> = (0..n1).into_par_iter().map(|v| scores.argmax(v)).collect();
     let col_best: Vec<(usize, f64)> = {
         let mut best = vec![(0usize, f64::NEG_INFINITY); n2];
         for v in 0..n1 {
@@ -124,10 +121,7 @@ pub fn mutual_best(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
 
 /// Precision/recall/F1 of a predicted anchor set against ground truth
 /// (order-insensitive exact pair matching).
-pub fn pair_prf(
-    predicted: &[(usize, usize)],
-    truth: &[(usize, usize)],
-) -> (f64, f64, f64) {
+pub fn pair_prf(predicted: &[(usize, usize)], truth: &[(usize, usize)]) -> (f64, f64, f64) {
     if predicted.is_empty() || truth.is_empty() {
         return (0.0, 0.0, 0.0);
     }

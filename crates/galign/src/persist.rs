@@ -13,11 +13,41 @@ use std::path::Path;
 /// Current on-disk format version.
 const FORMAT_VERSION: u32 = 1;
 
+/// Rejects records stamped with a version this build cannot interpret.
+///
+/// Anything newer than [`FORMAT_VERSION`] was written by a later galign and
+/// silently misreading it would be worse than failing, so the error says
+/// exactly that. Version 0 never existed and marks a corrupt header.
+fn check_version(kind: &str, version: u32) -> io::Result<()> {
+    if version > FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{kind} format version {version} is newer than this build \
+                 supports (max {FORMAT_VERSION}); upgrade galign to read this file"
+            ),
+        ));
+    }
+    if version == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{kind} format version 0 is invalid (corrupt header?)"),
+        ));
+    }
+    Ok(())
+}
+
 #[derive(serde::Serialize, serde::Deserialize)]
 struct ModelRecord {
     version: u32,
     input_dim: usize,
     weights: Vec<MatrixRecord>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EmbeddingsRecord {
+    version: u32,
+    layers: Vec<MatrixRecord>,
 }
 
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -65,12 +95,7 @@ pub fn save_model(model: &GcnModel, path: &Path) -> io::Result<()> {
 pub fn load_model(path: &Path) -> io::Result<GcnModel> {
     let text = std::fs::read_to_string(path)?;
     let record: ModelRecord = serde_json::from_str(&text)?;
-    if record.version != FORMAT_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported model format version {}", record.version),
-        ));
-    }
+    check_version("model", record.version)?;
     let weights = record
         .weights
         .iter()
@@ -89,22 +114,36 @@ pub fn load_model(path: &Path) -> io::Result<GcnModel> {
     Ok(GcnModel::from_weights(record.input_dim, weights))
 }
 
-/// Saves multi-order embeddings (all layers) as JSON.
+/// Saves multi-order embeddings (all layers) as versioned JSON.
 ///
 /// # Errors
 /// IO/serialisation failures.
 pub fn save_embeddings(emb: &MultiOrderEmbedding, path: &Path) -> io::Result<()> {
-    let layers: Vec<MatrixRecord> = emb.layers().iter().map(MatrixRecord::from).collect();
-    std::fs::write(path, serde_json::to_string(&layers)?)
+    let record = EmbeddingsRecord {
+        version: FORMAT_VERSION,
+        layers: emb.layers().iter().map(MatrixRecord::from).collect(),
+    };
+    std::fs::write(path, serde_json::to_string(&record)?)
 }
 
 /// Loads embeddings saved by [`save_embeddings`].
 ///
+/// Pre-versioning dumps were a bare JSON array of layer matrices; those
+/// still load. Versioned records newer than this build are rejected rather
+/// than misread.
+///
 /// # Errors
-/// IO/parse failures.
+/// IO/parse failures or an unsupported format version.
 pub fn load_embeddings(path: &Path) -> io::Result<MultiOrderEmbedding> {
     let text = std::fs::read_to_string(path)?;
-    let records: Vec<MatrixRecord> = serde_json::from_str(&text)?;
+    let value: serde_json::Value = serde_json::from_str(&text)?;
+    let records: Vec<MatrixRecord> = if value.is_array() {
+        serde_json::from_value(value)?
+    } else {
+        let record: EmbeddingsRecord = serde_json::from_value(value)?;
+        check_version("embeddings", record.version)?;
+        record.layers
+    };
     let layers = records
         .iter()
         .map(MatrixRecord::to_dense)
@@ -171,13 +210,44 @@ mod tests {
     #[test]
     fn rejects_bad_version() {
         let path = tmp("bad.json");
+        std::fs::write(&path, r#"{"version": 99, "input_dim": 2, "weights": []}"#).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 99"), "{err}");
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn rejects_version_zero() {
+        let path = tmp("zero.json");
+        std::fs::write(&path, r#"{"version": 0, "input_dim": 2, "weights": []}"#).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(err.to_string().contains("version 0"), "{err}");
+    }
+
+    #[test]
+    fn embeddings_reject_future_version() {
+        let path = tmp("future-emb.json");
         std::fs::write(
             &path,
-            r#"{"version": 99, "input_dim": 2, "weights": []}"#,
+            r#"{"version": 7, "layers": [{"rows": 1, "cols": 1, "data": [1.0]}]}"#,
         )
         .unwrap();
-        let err = load_model(&path).unwrap_err();
-        assert!(err.to_string().contains("version"));
+        let err = load_embeddings(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 7"), "{err}");
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn embeddings_load_legacy_bare_array() {
+        // Dumps written before the embeddings format was versioned were a
+        // bare array of matrices; they must keep loading.
+        let path = tmp("legacy-emb.json");
+        std::fs::write(&path, r#"[{"rows": 2, "cols": 1, "data": [0.5, -0.5]}]"#).unwrap();
+        let emb = load_embeddings(&path).unwrap();
+        assert_eq!(emb.layers().len(), 1);
+        assert_eq!(emb.layer(0).get(1, 0), -0.5);
     }
 
     #[test]

@@ -167,27 +167,28 @@ impl GAlign {
             },
         };
 
-        let (alignment, refine_outcome, refinement_secs, matching_secs) =
-            if self.config.variant == AblationVariant::NoRefinement {
-                let sp = galign_telemetry::span!("match");
-                let alignment = AlignmentMatrix::new(&pair.source, &pair.target, selection);
-                (alignment, None, 0.0, sp.finish())
-            } else {
-                let sp = galign_telemetry::span!("refine", iterations = self.config.refine.iterations);
-                let outcome = refine(
-                    &pair.model,
-                    source,
-                    target,
-                    &pair.source,
-                    &pair.target,
-                    &selection,
-                    &self.config.refine,
-                );
-                let refinement_secs = sp.finish();
-                let sp = galign_telemetry::span!("match");
-                let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection);
-                (alignment, Some(outcome), refinement_secs, sp.finish())
-            };
+        let (alignment, refine_outcome, refinement_secs, matching_secs) = if self.config.variant
+            == AblationVariant::NoRefinement
+        {
+            let sp = galign_telemetry::span!("match");
+            let alignment = AlignmentMatrix::new(&pair.source, &pair.target, selection);
+            (alignment, None, 0.0, sp.finish())
+        } else {
+            let sp = galign_telemetry::span!("refine", iterations = self.config.refine.iterations);
+            let outcome = refine(
+                &pair.model,
+                source,
+                target,
+                &pair.source,
+                &pair.target,
+                &selection,
+                &self.config.refine,
+            );
+            let refinement_secs = sp.finish();
+            let sp = galign_telemetry::span!("match");
+            let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection);
+            (alignment, Some(outcome), refinement_secs, sp.finish())
+        };
         sp_pipeline.finish();
         let total_secs = total_start.elapsed().as_secs_f64();
 
@@ -262,16 +263,15 @@ mod tests {
         let base = small_config();
         let full = GAlign::new(base.clone()).align(&s, &t, 3);
         assert!(full.refine_outcome.is_some());
-        let g2 = GAlign::new(base.clone().with_variant(AblationVariant::NoRefinement))
-            .align(&s, &t, 3);
+        let g2 =
+            GAlign::new(base.clone().with_variant(AblationVariant::NoRefinement)).align(&s, &t, 3);
         assert!(g2.refine_outcome.is_none());
-        let g3 = GAlign::new(base.clone().with_variant(AblationVariant::LastLayerOnly))
-            .align(&s, &t, 3);
+        let g3 =
+            GAlign::new(base.clone().with_variant(AblationVariant::LastLayerOnly)).align(&s, &t, 3);
         let theta = &g3.alignment.selection().theta;
         assert_eq!(theta[0], 0.0);
         assert_eq!(*theta.last().unwrap(), 1.0);
-        let g1 = GAlign::new(base.with_variant(AblationVariant::NoAugmentation))
-            .align(&s, &t, 3);
+        let g1 = GAlign::new(base.with_variant(AblationVariant::NoAugmentation)).align(&s, &t, 3);
         // No augmentation: still aligns, just trained without J_a.
         assert_eq!(g1.alignment.num_sources(), 25);
     }

@@ -178,9 +178,7 @@ pub fn refine(
         let scale_of = |alpha: &[f64]| -> Vec<f64> {
             match cfg.operator {
                 RefineOperator::AmplifyStable => alpha.to_vec(),
-                RefineOperator::DampenLiteral => {
-                    alpha.iter().map(|a| 1.0 / a.sqrt()).collect()
-                }
+                RefineOperator::DampenLiteral => alpha.iter().map(|a| 1.0 / a.sqrt()).collect(),
             }
         };
         let (ss, st) = (scale_of(&alpha_s), scale_of(&alpha_t));
@@ -236,8 +234,13 @@ mod tests {
 
     fn sample_problem(
         seed: u64,
-    ) -> (AttributedGraph, AttributedGraph, GcnModel, MultiOrderEmbedding, MultiOrderEmbedding)
-    {
+    ) -> (
+        AttributedGraph,
+        AttributedGraph,
+        GcnModel,
+        MultiOrderEmbedding,
+        MultiOrderEmbedding,
+    ) {
         let mut rng = SeededRng::new(seed);
         let edges = generators::barabasi_albert(&mut rng, 30, 3);
         let attrs = generators::binary_attributes(&mut rng, 30, 8, 2);
@@ -291,8 +294,7 @@ mod tests {
     fn refinement_never_worsens_greedy_score() {
         let (s, t, model, es, et) = sample_problem(1);
         let sel = LayerSelection::uniform(3);
-        let initial =
-            AlignmentMatrix::new(&es, &et, sel.clone()).greedy_score();
+        let initial = AlignmentMatrix::new(&es, &et, sel.clone()).greedy_score();
         let cfg = RefineConfig {
             iterations: 4,
             ..RefineConfig::default()
@@ -324,15 +326,8 @@ mod tests {
             iterations: 3,
             ..RefineConfig::default()
         };
-        let (alignment, outcome) = refine_to_alignment(
-            &model,
-            &s,
-            &t,
-            &es,
-            &et,
-            LayerSelection::uniform(3),
-            &cfg,
-        );
+        let (alignment, outcome) =
+            refine_to_alignment(&model, &s, &t, &es, &et, LayerSelection::uniform(3), &cfg);
         assert!((alignment.greedy_score() - outcome.best_score).abs() < 1e-9);
     }
 

@@ -53,7 +53,9 @@ fn pipeline_emits_wellformed_jsonl() {
     for (i, line) in text.lines().enumerate() {
         let v: serde_json::Value = serde_json::from_str(line)
             .unwrap_or_else(|e| panic!("line {i} is not valid JSON ({e}): {line}"));
-        let obj = v.as_object().unwrap_or_else(|| panic!("line {i} not an object"));
+        let obj = v
+            .as_object()
+            .unwrap_or_else(|| panic!("line {i} not an object"));
         let seq = obj["seq"].as_i64().expect("numeric seq");
         assert!(seq > last_seq, "seq not increasing at line {i}");
         last_seq = seq;
@@ -78,15 +80,26 @@ fn pipeline_emits_wellformed_jsonl() {
     }
 
     for expected in ["pipeline", "embedding", "augment", "refine", "match"] {
-        assert!(span_names.contains(expected), "missing span '{expected}' in {span_names:?}");
+        assert!(
+            span_names.contains(expected),
+            "missing span '{expected}' in {span_names:?}"
+        );
     }
     for expected in ["train.loss", "train.lr", "train.grad_norm", "adam.lr"] {
-        assert!(gauge_names.contains(expected), "missing gauge '{expected}' in {gauge_names:?}");
+        assert!(
+            gauge_names.contains(expected),
+            "missing gauge '{expected}' in {gauge_names:?}"
+        );
     }
 
     let snapshot = snapshot.expect("flush wrote a snapshot record");
     let counters = snapshot["counters"].as_object().expect("counters object");
-    for expected in ["matrix.gemm.calls", "matrix.spmm.calls", "matrix.alloc.elems", "adam.steps"] {
+    for expected in [
+        "matrix.gemm.calls",
+        "matrix.spmm.calls",
+        "matrix.alloc.elems",
+        "adam.steps",
+    ] {
         let v = counters
             .get(expected)
             .unwrap_or_else(|| panic!("missing counter '{expected}'"))
@@ -94,7 +107,9 @@ fn pipeline_emits_wellformed_jsonl() {
             .expect("counter is u64");
         assert!(v > 0, "counter '{expected}' never incremented");
     }
-    let histograms = snapshot["histograms"].as_object().expect("histograms object");
+    let histograms = snapshot["histograms"]
+        .as_object()
+        .expect("histograms object");
     assert!(
         histograms.contains_key("span.pipeline.secs"),
         "span durations not recorded as histograms: {histograms:?}"

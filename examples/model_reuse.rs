@@ -22,7 +22,8 @@ fn main() {
     let edges = galign_suite::graph::generators::barabasi_albert(&mut rng, n, 3);
     let attrs = galign_suite::graph::generators::binary_attributes(&mut rng, n, 12, 3);
     let snapshot1 = galign_suite::graph::AttributedGraph::from_edges(n, &edges, attrs);
-    let task1 = galign_suite::datasets::synth::noisy_pair("snap1", &snapshot1, 0.05, 0.05, &mut rng);
+    let task1 =
+        galign_suite::datasets::synth::noisy_pair("snap1", &snapshot1, 0.05, 0.05, &mut rng);
 
     // Train + align snapshot 1, then persist the model.
     let result = GAlign::new(GAlignConfig::fast()).align(&task1.source, &task1.target, 1);

@@ -34,7 +34,11 @@ fn main() {
     let result = GAlign::new(config).align(&task.source, &task.target, 1);
     println!(
         "training loss: {:.3} -> {:.3} over {} epochs",
-        result.train_report.loss_history.first().unwrap_or(&f64::NAN),
+        result
+            .train_report
+            .loss_history
+            .first()
+            .unwrap_or(&f64::NAN),
         result.train_report.final_loss(),
         result.train_report.loss_history.len()
     );

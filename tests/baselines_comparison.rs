@@ -3,10 +3,10 @@
 //! behaviours the paper reports (attribute-noise sensitivity of FINAL,
 //! REGAL's structural focus) hold qualitatively.
 
+use galign_suite::baselines::skipgram::SkipGramConfig;
 use galign_suite::baselines::{
     AlignInput, Aligner, Cenalp, CenalpConfig, Final, IsoRank, Pale, Regal,
 };
-use galign_suite::baselines::skipgram::SkipGramConfig;
 use galign_suite::datasets::synth::noisy_pair;
 use galign_suite::datasets::AlignmentTask;
 use galign_suite::graph::{generators, AttributedGraph};

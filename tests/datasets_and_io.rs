@@ -2,8 +2,8 @@
 //! builds at several scales, matches its Table II regime, and survives a
 //! serialisation round trip.
 
-use galign_suite::datasets::{allmovie_imdb, douban, flickr_myspace};
 use galign_suite::datasets::catalog::{bn, econ, email, TABLE2};
+use galign_suite::datasets::{allmovie_imdb, douban, flickr_myspace};
 use galign_suite::graph::io::{
     read_anchors_json, read_graph_json, write_anchors_json, write_graph_json,
 };

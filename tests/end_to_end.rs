@@ -97,8 +97,5 @@ fn pipeline_is_deterministic() {
     let r1 = GAlign::new(fast_config()).align(&task.source, &task.target, 15);
     let r2 = GAlign::new(fast_config()).align(&task.source, &task.target, 15);
     assert_eq!(r1.top1_anchors(), r2.top1_anchors());
-    assert_eq!(
-        r1.train_report.loss_history,
-        r2.train_report.loss_history
-    );
+    assert_eq!(r1.train_report.loss_history, r2.train_report.loss_history);
 }

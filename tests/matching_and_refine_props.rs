@@ -127,7 +127,10 @@ fn refinement_with_impossible_lambda_is_identity() {
         assert_eq!((*s_count, *t_count), (0, 0));
     }
     for l in 0..=2 {
-        assert!(outcome.source.layer(l).approx_eq(trained.source.layer(l), 1e-12));
+        assert!(outcome
+            .source
+            .layer(l)
+            .approx_eq(trained.source.layer(l), 1e-12));
     }
 }
 
