@@ -67,7 +67,8 @@ fn bench_stages(c: &mut Criterion) {
     });
 
     group.bench_function("alignment_greedy_score", |b| {
-        let am = AlignmentMatrix::new(&pair.source, &pair.target, LayerSelection::uniform(3));
+        let am = AlignmentMatrix::new(&pair.source, &pair.target, LayerSelection::uniform(3))
+            .expect("embeddings share layer counts");
         b.iter(|| am.greedy_score());
     });
     group.finish();
@@ -85,7 +86,11 @@ fn bench_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("methods_end_to_end");
     group.sample_size(10);
     group.bench_function("galign_fast", |b| {
-        b.iter(|| GAlign::new(GAlignConfig::fast()).align(&t.source, &t.target, 5));
+        b.iter(|| {
+            GAlign::new(GAlignConfig::fast())
+                .align(&t.source, &t.target, 5)
+                .expect("bench task shapes are consistent")
+        });
     });
     group.bench_function("regal", |b| {
         b.iter(|| Regal::default().align(&input));

@@ -1,0 +1,85 @@
+//! Blocked streaming-similarity benchmarks: the `simblock` engine's fused
+//! top-1/top-k reductions against the materialise-then-scan baseline, plus
+//! a block-size sweep. Sizes are kept small enough that `--test` (CI smoke
+//! mode) finishes in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use galign_matrix::rng::SeededRng;
+use galign_matrix::simblock::{self, SimPanel};
+use galign_matrix::Dense;
+
+struct Panels {
+    source: Vec<Dense>,
+    target: Vec<Dense>,
+    theta: Vec<f64>,
+}
+
+/// Row-normalised multi-layer embeddings for both sides, mimicking the
+/// alignment pipeline's inputs (k = 2 GCN layers + input layer).
+fn panels(n: usize) -> Panels {
+    let mut rng = SeededRng::new(42);
+    let dims = [32usize, 64, 64];
+    let make = |rng: &mut SeededRng| {
+        dims.iter()
+            .map(|&d| rng.uniform_matrix(n, d, -1.0, 1.0).normalize_rows())
+            .collect::<Vec<_>>()
+    };
+    Panels {
+        source: make(&mut rng),
+        target: make(&mut rng),
+        theta: vec![0.2, 0.3, 0.5],
+    }
+}
+
+fn bench_top1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simblock_top1");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let p = panels(n);
+        let panel = SimPanel::new(&p.source, &p.target, &p.theta).unwrap();
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| simblock::top1(&panel));
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", n), &n, |b, _| {
+            b.iter(|| {
+                let dense = simblock::materialize(&panel);
+                (0..dense.rows())
+                    .filter_map(|v| dense.row_argmax(v).map(|(u, _)| (v, u)))
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simblock_topk10");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let p = panels(n);
+        let panel = SimPanel::new(&p.source, &p.target, &p.theta).unwrap();
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| simblock::topk(&panel, 10));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simblock_block_sweep");
+    group.sample_size(10);
+    let n = 512;
+    let p = panels(n);
+    for block in [32usize, 128, 512] {
+        let panel = SimPanel::new(&p.source, &p.target, &p.theta)
+            .unwrap()
+            .with_block_rows(block);
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, _| {
+            b.iter(|| simblock::top1(&panel));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_top1, bench_topk, bench_block_sweep);
+criterion_main!(benches);

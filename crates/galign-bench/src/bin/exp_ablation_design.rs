@@ -25,8 +25,9 @@ fn run_variant(cfg: &GAlignConfig, args: &CommonArgs) -> (f64, f64) {
     for r in 0..args.runs {
         let base = email(args.scale, args.seed + r as u64);
         let task = noisy_task(&base, "email", 0.1, 0.1, args.seed + 7 + r as u64);
-        let result =
-            GAlign::new(cfg.clone()).align(&task.source, &task.target, args.seed + 100 * r as u64);
+        let result = GAlign::new(cfg.clone())
+            .align(&task.source, &task.target, args.seed + 100 * r as u64)
+            .expect("ablation tasks have consistent shapes");
         let report = evaluate(&result.alignment, task.truth.pairs(), &[1]);
         s1s.push(report.success(1).unwrap_or(0.0));
         maps.push(report.map);

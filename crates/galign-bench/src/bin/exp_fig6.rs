@@ -41,12 +41,14 @@ fn main() {
             let mut cells = Vec::with_capacity(k + 2);
             for l in 0..=k {
                 let sel = LayerSelection::single(l, k + 1);
-                let am = AlignmentMatrix::new(&pair.source, &pair.target, sel);
+                let am = AlignmentMatrix::new(&pair.source, &pair.target, sel)
+                    .expect("embedded pair shares layer counts");
                 let rep = evaluate(&am, task.truth.pairs(), &[1]);
                 cells.push(rep.success(1).unwrap_or(0.0));
             }
             let am =
-                AlignmentMatrix::new(&pair.source, &pair.target, LayerSelection::uniform(k + 1));
+                AlignmentMatrix::new(&pair.source, &pair.target, LayerSelection::uniform(k + 1))
+                    .expect("embedded pair shares layer counts");
             cells.push(
                 evaluate(&am, task.truth.pairs(), &[1])
                     .success(1)

@@ -17,11 +17,9 @@ fn run(cfg: &GAlignConfig, args: &CommonArgs) -> f64 {
         .map(|r| {
             let base = email(args.scale, args.seed + r as u64);
             let task = noisy_task(&base, "email", 0.1, 0.1, args.seed + 7 + r as u64);
-            let result = galign::GAlign::new(cfg.clone()).align(
-                &task.source,
-                &task.target,
-                args.seed + 100 * r as u64,
-            );
+            let result = galign::GAlign::new(cfg.clone())
+                .align(&task.source, &task.target, args.seed + 100 * r as u64)
+                .expect("sweep tasks have consistent shapes");
             evaluate(&result.alignment, task.truth.pairs(), &[1])
                 .success(1)
                 .unwrap_or(0.0)

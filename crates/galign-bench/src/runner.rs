@@ -152,7 +152,9 @@ pub fn run_method_with(
     let sp = galign_telemetry::span!("method", name = method.name(), seed = seed);
     match method {
         Method::GAlign | Method::GAlignVariant(_) => {
-            let result = GAlign::new(galign_cfg.clone()).align(&task.source, &task.target, seed);
+            let result = GAlign::new(galign_cfg.clone())
+                .align(&task.source, &task.target, seed)
+                .expect("harness tasks have consistent shapes");
             let secs = sp.finish();
             MethodRun {
                 report: evaluate(&result.alignment, task.truth.pairs(), qs),

@@ -2,7 +2,7 @@
 
 use crate::args::Flags;
 use galign::persist::save_model;
-use galign::{GAlign, GAlignConfig};
+use galign::{GAlign, GAlignConfig, GAlignError};
 use galign_baselines::{
     AlignInput, Aligner, Cenalp, DegreeMatch, Final, Ione, IsoRank, Pale, Regal,
 };
@@ -14,6 +14,15 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 type CmdResult = io::Result<()>;
+
+/// Maps a pipeline error onto the CLI's `io::Result` plumbing, preserving
+/// real IO errors and folding everything else into `InvalidInput`.
+fn to_io(e: GAlignError) -> io::Error {
+    match e {
+        GAlignError::Io(io) => io,
+        other => io::Error::new(io::ErrorKind::InvalidInput, other.to_string()),
+    }
+}
 
 /// `galign generate`: synthesise a dataset stand-in and write
 /// `source.json`, `target.json`, `truth.json` into `--out`.
@@ -105,10 +114,25 @@ pub fn align(flags: &Flags) -> CmdResult {
     let sp = galign_telemetry::span!("align", method = method, seed = seed);
     let anchors: Vec<(usize, usize)>;
     if method == "galign" {
-        let result = GAlign::new(GAlignConfig::fast()).align(&source, &target, seed);
+        // All pipeline knobs pass through the validating builder so a bad
+        // flag combination surfaces here, once, as a CLI error.
+        let mut builder = GAlignConfig::builder().fast();
+        if let Some(e) = flags.optional("epochs") {
+            let epochs = e.parse::<usize>().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("--epochs: cannot parse '{e}'"),
+                )
+            })?;
+            builder = builder.epochs(epochs);
+        }
+        let config = builder.build().map_err(to_io)?;
+        let result = GAlign::new(config)
+            .align(&source, &target, seed)
+            .map_err(to_io)?;
         anchors = result.top1_anchors();
         if let Some(model_path) = flags.optional("save-model") {
-            save_model(&result.model, Path::new(&model_path))?;
+            save_model(&result.model, Path::new(&model_path)).map_err(to_io)?;
             galign_telemetry::info!("align", "trained model -> {model_path}");
         }
         if let Some(scores_path) = flags.optional("scores") {
@@ -241,7 +265,8 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
             Path::new(&t_emb),
             theta,
             &out,
-        )?;
+        )
+        .map_err(to_io)?;
         println!(
             "migrated {s_emb} + {t_emb} -> {} ({} layers, {}x{} nodes, {} bytes)",
             out.display(),
@@ -257,13 +282,18 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
     let source = read_graph_json(Path::new(&flags.required("source")))?;
     let target = read_graph_json(Path::new(&flags.required("target")))?;
     let seed: u64 = flags.num("seed", 1);
-    let mut config = GAlignConfig::fast();
+    // Route `--theta` through the builder: a wrong-length vector is caught
+    // here as a validation error instead of deep inside the pipeline.
+    let mut builder = GAlignConfig::builder().fast();
     if theta.is_some() {
-        config.theta = theta;
+        builder = builder.theta(theta);
     }
+    let config = builder.build().map_err(to_io)?;
     let sp = galign_telemetry::span!("export-artifact", seed = seed);
-    let result = GAlign::new(config).align(&source, &target, seed);
-    galign::artifact::export_artifact(&result, &out)?;
+    let result = GAlign::new(config)
+        .align(&source, &target, seed)
+        .map_err(to_io)?;
+    galign::artifact::export_artifact(&result, &out).map_err(to_io)?;
     let secs = sp.finish();
     if let Some(anchors_path) = flags.optional("anchors") {
         write_anchors_json(

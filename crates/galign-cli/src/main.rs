@@ -73,7 +73,7 @@ fn usage(msg: &str) -> ! {
          \x20 generate --dataset <douban|flickr|allmovie|bn|econ|email|toy> [--scale F] [--seed N] [--out DIR]\n\
          \x20 align    --source G.json --target G.json [--method galign|regal|isorank|final|pale|cenalp|ione|degree]\n\
          \x20          [--seeds anchors.json] [--seed N] [--out anchors.json] [--scores scores.json]\n\
-         \x20          [--save-model model.json] [--top-k K]\n\
+         \x20          [--save-model model.json] [--top-k K] [--epochs N]\n\
          \x20 evaluate --anchors predicted.json --truth truth.json\n\
          \x20 convert  --edges edges.txt [--attrs attrs.csv] [--out graph.json]\n\
          \x20 info     --graph G.json\n\

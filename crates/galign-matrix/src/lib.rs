@@ -14,6 +14,10 @@
 //!   REGAL's Nyström factorisation and by PCA in `galign-viz`).
 //! * [`rng`] — deterministic, seedable random initialisers (Xavier/Glorot,
 //!   uniform, Gaussian via Box–Muller).
+//! * [`simblock`] — blocked streaming similarity engine: the
+//!   [`ScoreProvider`] trait plus fused top-k / argmax / row-max reductions
+//!   that score θ-weighted multi-order embeddings block-at-a-time in
+//!   `O(block · n)` memory.
 //!
 //! Design notes: matrices are small enough (≤ ~10⁴ rows) that a cache-blocked
 //! `f64` GEMM with rayon row-parallelism is adequate; we deliberately avoid
@@ -23,11 +27,13 @@ pub mod dense;
 pub mod eigen;
 pub mod error;
 pub mod rng;
+pub mod simblock;
 pub mod solve;
 pub mod sparse;
 
 pub use dense::Dense;
 pub use error::{MatrixError, Result};
+pub use simblock::{ScoreProvider, SimPanel};
 pub use sparse::{Coo, Csr};
 
 /// Absolute tolerance used by approximate comparisons in tests and solvers.

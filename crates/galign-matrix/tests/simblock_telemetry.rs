@@ -1,0 +1,65 @@
+//! Telemetry proof of the streaming engine's memory contract: blocked
+//! drivers buffer O(block · n_targets) elements per block — never the
+//! n₁ × n₂ similarity matrix — and `materialize` is the only path that
+//! pays the full allocation. Kept in its own integration-test binary
+//! because the metrics registry is global per process.
+
+use galign_matrix::rng::SeededRng;
+use galign_matrix::simblock::{self, SimPanel};
+use galign_matrix::Dense;
+
+fn layers(seed: u64, n: usize, dims: &[usize]) -> Vec<Dense> {
+    let mut rng = SeededRng::new(seed);
+    dims.iter()
+        .map(|&d| rng.uniform_matrix(n, d, -1.0, 1.0).normalize_rows())
+        .collect()
+}
+
+#[test]
+fn blocked_drivers_buffer_block_by_targets_not_n_squared() {
+    let (n1, n2, block) = (96usize, 70usize, 16usize);
+    let dims = [5usize, 4];
+    let source = layers(1, n1, &dims);
+    let target = layers(2, n2, &dims);
+    let theta = vec![0.5, 0.5];
+    let panel = SimPanel::new(&source, &target, &theta)
+        .unwrap()
+        .with_block_rows(block);
+
+    galign_telemetry::set_metrics_enabled(true);
+    galign_telemetry::reset_metrics();
+
+    let anchors = simblock::top1(&panel);
+    assert_eq!(anchors.len(), n1);
+
+    // The gauge records the live per-block buffer: block · n₂ elements.
+    assert_eq!(
+        galign_telemetry::gauge_value("simblock.block_elems"),
+        Some((block * n2) as f64),
+    );
+    // Cumulative block-buffer traffic covers each row exactly once...
+    assert_eq!(
+        galign_telemetry::counter_value("simblock.alloc.elems"),
+        (n1 * n2) as u64,
+    );
+    assert_eq!(
+        galign_telemetry::counter_value("simblock.blocks"),
+        n1.div_ceil(block) as u64,
+    );
+    // ...but no n₁ × n₂ Dense was ever allocated by the fused reduction.
+    let dense_allocs_after_top1 = galign_telemetry::counter_value("matrix.alloc.elems");
+    assert!(
+        dense_allocs_after_top1 < (n1 * n2) as u64,
+        "top1 allocated {dense_allocs_after_top1} dense elements"
+    );
+
+    // Materialising, by contrast, admits to the full quadratic allocation.
+    let dense = simblock::materialize(&panel);
+    assert_eq!((dense.rows(), dense.cols()), (n1, n2));
+    assert!(
+        galign_telemetry::counter_value("matrix.alloc.elems")
+            >= dense_allocs_after_top1 + (n1 * n2) as u64
+    );
+
+    galign_telemetry::set_metrics_enabled(false);
+}

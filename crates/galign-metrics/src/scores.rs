@@ -1,37 +1,17 @@
-//! Score providers: row-streamed access to alignment scores.
+//! Score providers: block-streamed access to alignment scores.
+//!
+//! The [`ScoreProvider`] trait itself lives in
+//! [`galign_matrix::simblock`] — it is the workspace-wide scoring API — and
+//! is re-exported here so metric consumers keep a single import path. This
+//! module adds the two evaluation-side implementations.
 
 use galign_matrix::Dense;
+use std::ops::Range;
 
-/// Anything that can produce the alignment-score row of a source node.
-///
-/// The paper's §VI-C space analysis relies on never materialising the full
-/// `n₁×n₂` alignment matrix; this trait lets metrics and refinement consume
-/// scores row by row. Implementations must be thread-safe (`Sync`) so
-/// evaluation can parallelise over anchors.
-pub trait ScoreProvider: Sync {
-    /// Number of source nodes (rows).
-    fn num_sources(&self) -> usize;
-    /// Number of target nodes (columns).
-    fn num_targets(&self) -> usize;
-    /// Alignment scores of source node `v` against every target node.
-    fn score_row(&self, v: usize) -> Vec<f64>;
-
-    /// Index of the best-scoring target for source `v` (`None` when there
-    /// are no targets).
-    fn argmax(&self, v: usize) -> Option<usize> {
-        let row = self.score_row(v);
-        let mut best: Option<(usize, f64)> = None;
-        for (j, s) in row.into_iter().enumerate() {
-            if best.is_none_or(|(_, bs)| s > bs) {
-                best = Some((j, s));
-            }
-        }
-        best.map(|(j, _)| j)
-    }
-}
+pub use galign_matrix::simblock::ScoreProvider;
 
 /// A fully materialised alignment matrix (fine at evaluation scale; the
-/// GAlign pipeline itself streams rows instead).
+/// GAlign pipeline itself streams blocks instead).
 #[derive(Debug, Clone)]
 pub struct DenseScores {
     matrix: Dense,
@@ -58,13 +38,21 @@ impl ScoreProvider for DenseScores {
         self.matrix.cols()
     }
 
+    fn score_block(&self, rows: Range<usize>, out: &mut [f64]) {
+        let n_t = self.matrix.cols();
+        debug_assert_eq!(out.len(), rows.len() * n_t);
+        for (i, v) in rows.enumerate() {
+            out[i * n_t..(i + 1) * n_t].copy_from_slice(self.matrix.row(v));
+        }
+    }
+
     fn score_row(&self, v: usize) -> Vec<f64> {
         self.matrix.row(v).to_vec()
     }
 }
 
 /// Scores computed lazily from two embedding matrices (`S = E_s E_tᵀ`
-/// row by row).
+/// block by block).
 #[derive(Debug, Clone)]
 pub struct EmbeddingScores {
     source: Dense,
@@ -95,11 +83,15 @@ impl ScoreProvider for EmbeddingScores {
         self.target.rows()
     }
 
-    fn score_row(&self, v: usize) -> Vec<f64> {
-        let sv = self.source.row(v);
-        (0..self.target.rows())
-            .map(|u| galign_matrix::dense::dot(sv, self.target.row(u)))
-            .collect()
+    fn score_block(&self, rows: Range<usize>, out: &mut [f64]) {
+        let n_t = self.target.rows();
+        debug_assert_eq!(out.len(), rows.len() * n_t);
+        for (i, v) in rows.enumerate() {
+            let sv = self.source.row(v);
+            for (u, o) in out[i * n_t..(i + 1) * n_t].iter_mut().enumerate() {
+                *o = galign_matrix::dense::dot(sv, self.target.row(u));
+            }
+        }
     }
 }
 
@@ -128,6 +120,17 @@ mod tests {
             assert_eq!(s.score_row(v), full.row(v).to_vec());
         }
         assert_eq!(s.num_targets(), 3);
+    }
+
+    #[test]
+    fn block_access_matches_rows() {
+        let e_s = Dense::from_rows(&[vec![1.0, 0.5], vec![0.0, 1.0], vec![0.3, 0.3]]).unwrap();
+        let e_t = Dense::from_rows(&[vec![0.5, 0.5], vec![1.0, 0.0]]).unwrap();
+        let s = EmbeddingScores::new(e_s, e_t);
+        let mut block = vec![0.0; 2 * s.num_targets()];
+        s.score_block(1..3, &mut block);
+        assert_eq!(&block[..2], s.score_row(1).as_slice());
+        assert_eq!(&block[2..], s.score_row(2).as_slice());
     }
 
     #[test]

@@ -144,6 +144,13 @@ impl Mat {
         &self.data
     }
 
+    /// Consumes the matrix, returning its row-major buffer (used to hand
+    /// the data to `galign-matrix`'s `Dense` without a copy).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Divides every row by its L2 norm (zero rows are left untouched).
     pub fn normalize_rows(&mut self) {
         for i in 0..self.rows {

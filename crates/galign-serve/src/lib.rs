@@ -8,18 +8,20 @@
 //! * [`artifact`] — a versioned, FNV-1a-checksummed binary format for
 //!   θ-weighted multi-order embedding pairs (~8x smaller than the JSON in
 //!   `galign::persist`, validated byte-for-byte at load time);
-//! * [`topk`] — the query kernel: row-normalized dot-product scoring over
+//! * [`topk`] — query validation over the *shared* blocked scoring engine
+//!   (`galign_matrix::simblock`): row-normalized dot-product scoring over
 //!   the θ-weighted layers with heap-based partial selection, parallel
-//!   across the queries of a batch;
+//!   across the queries of a batch. This crate carries no private scoring
+//!   kernel — serving and the batch pipeline score through the same code;
 //! * [`cache`] — a sharded in-memory LRU keyed on `(node, k, θ)`;
 //! * [`server`] — a std-only multi-threaded HTTP/1.1 server with a
 //!   bounded worker pool, per-request timeouts and graceful shutdown,
 //!   instrumented through `galign-telemetry`;
 //! * [`http`] / [`json`] — the dependency-free protocol plumbing.
 //!
-//! The crate is std-only: with `--no-default-features` it has no
-//! dependency besides `galign-telemetry`; the default `parallel` feature
-//! adds rayon for query fan-out.
+//! The HTTP/protocol layers remain dependency-free std code; scoring
+//! depends on `galign-matrix`, whose rayon pool fans query batches out
+//! across cores.
 //!
 //! ```
 //! use galign_serve::artifact::{Artifact, Mat};

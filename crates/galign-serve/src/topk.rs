@@ -1,26 +1,22 @@
 //! The top-k alignment query kernel.
 //!
-//! Scores are θ-weighted sums of per-layer dot products over
-//! row-L2-normalized embeddings — exactly the aggregated alignment matrix
-//! `S = Σ_l θ⁽ˡ⁾ H_s⁽ˡ⁾ H_t⁽ˡ⁾ᵀ` (paper Eq. 11–12) that the batch pipeline
-//! materializes, evaluated one source row at a time. Selection is a
-//! bounded min-heap (`O(n log k)` instead of a full `O(n log n)` sort),
-//! and query batches fan out across threads (rayon under the default
-//! `parallel` feature, `std::thread::scope` chunking otherwise).
+//! Since the `simblock` redesign this module holds **no scoring code of its
+//! own**: queries are validated here and then delegated to the shared
+//! blocked engine in [`galign_matrix::simblock`] — the same
+//! [`SimPanel`] panel GEMM that backs
+//! the batch pipeline's matching stage. Scores are θ-weighted sums of
+//! per-layer dot products over row-L2-normalized embeddings — exactly the
+//! aggregated alignment matrix `S = Σ_l θ⁽ˡ⁾ H_s⁽ˡ⁾ H_t⁽ˡ⁾ᵀ` (paper
+//! Eq. 11–12), evaluated one source row at a time with bounded-heap
+//! selection (`O(n log k)`), and query batches fan out across rayon
+//! workers via [`galign_matrix::simblock::topk_rows`].
 
 use crate::artifact::{Artifact, Mat};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use galign_matrix::simblock::{self, ScoreProvider, SimPanel};
+use galign_matrix::Dense;
 use std::fmt;
 
-/// One scored alignment candidate.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Hit {
-    /// Target-network node id.
-    pub target: usize,
-    /// Aggregated alignment score.
-    pub score: f64,
-}
+pub use galign_matrix::simblock::{select_topk, select_topk_bruteforce, Hit};
 
 /// A rejected query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,12 +58,17 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+fn mat_to_dense(m: Mat) -> Dense {
+    let (rows, cols) = (m.rows(), m.cols());
+    Dense::from_vec(rows, cols, m.into_vec()).expect("artifact matrices are shape-consistent")
+}
+
 /// An in-memory query index over a loaded [`Artifact`]: normalized
 /// multi-order embeddings of both networks plus the default θ.
 #[derive(Debug)]
 pub struct TopkIndex {
-    source: Vec<Mat>,
-    target: Vec<Mat>,
+    source: Vec<Dense>,
+    target: Vec<Dense>,
     theta: Vec<f64>,
 }
 
@@ -79,18 +80,25 @@ impl TopkIndex {
     pub fn from_artifact(artifact: Artifact) -> Self {
         let Artifact {
             theta,
-            mut source,
-            mut target,
-            rows_normalized,
-        } = artifact;
-        if !rows_normalized {
-            for m in source.iter_mut().chain(target.iter_mut()) {
-                m.normalize_rows();
-            }
-        }
-        TopkIndex {
             source,
             target,
+            rows_normalized,
+        } = artifact;
+        let convert = |mats: Vec<Mat>| -> Vec<Dense> {
+            mats.into_iter()
+                .map(|m| {
+                    let d = mat_to_dense(m);
+                    if rows_normalized {
+                        d
+                    } else {
+                        d.normalize_rows()
+                    }
+                })
+                .collect()
+        };
+        TopkIndex {
+            source: convert(source),
+            target: convert(target),
             theta,
         }
     }
@@ -143,26 +151,10 @@ impl TopkIndex {
         Ok(())
     }
 
-    /// The full aggregated score row of a source node (layer-major
-    /// accumulation, skipping zero-weight layers).
-    fn score_row(&self, node: usize, theta: &[f64]) -> Vec<f64> {
-        let n_t = self.target_nodes();
-        let mut acc = vec![0.0; n_t];
-        for (l, &w) in theta.iter().enumerate() {
-            if w == 0.0 {
-                continue;
-            }
-            let sv = self.source[l].row(node);
-            let t = &self.target[l];
-            for (u, a) in acc.iter_mut().enumerate() {
-                let mut dot = 0.0;
-                for (x, y) in sv.iter().zip(t.row(u)) {
-                    dot += x * y;
-                }
-                *a += w * dot;
-            }
-        }
-        acc
+    /// The shared blocked scoring panel under a (validated) θ.
+    fn panel<'a>(&'a self, theta: &'a [f64]) -> SimPanel<'a> {
+        SimPanel::new(&self.source, &self.target, theta)
+            .expect("artifact layers validated at load time")
     }
 
     /// Top-k alignment candidates of one source node, best first. Ties
@@ -179,11 +171,8 @@ impl TopkIndex {
         theta: Option<&[f64]>,
     ) -> Result<Vec<Hit>, QueryError> {
         self.check(&[node], k, theta)?;
-        Ok(self.topk_unchecked(node, k, theta.unwrap_or(&self.theta)))
-    }
-
-    fn topk_unchecked(&self, node: usize, k: usize, theta: &[f64]) -> Vec<Hit> {
-        select_topk(&self.score_row(node, theta), k)
+        let panel = self.panel(theta.unwrap_or(&self.theta));
+        Ok(select_topk(&panel.score_row(node), k))
     }
 
     /// Top-k for a batch of source nodes, parallel across queries.
@@ -199,114 +188,9 @@ impl TopkIndex {
         theta: Option<&[f64]>,
     ) -> Result<Vec<Vec<Hit>>, QueryError> {
         self.check(nodes, k, theta)?;
-        let theta = theta.unwrap_or(&self.theta);
-        Ok(self.batch_dispatch(nodes, k, theta))
+        let panel = self.panel(theta.unwrap_or(&self.theta));
+        Ok(simblock::topk_rows(&panel, nodes, k))
     }
-
-    #[cfg(feature = "parallel")]
-    fn batch_dispatch(&self, nodes: &[usize], k: usize, theta: &[f64]) -> Vec<Vec<Hit>> {
-        use rayon::prelude::*;
-        nodes
-            .par_iter()
-            .map(|&n| self.topk_unchecked(n, k, theta))
-            .collect()
-    }
-
-    #[cfg(not(feature = "parallel"))]
-    fn batch_dispatch(&self, nodes: &[usize], k: usize, theta: &[f64]) -> Vec<Vec<Hit>> {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(nodes.len())
-            .max(1);
-        if threads == 1 || nodes.len() < 2 {
-            return nodes
-                .iter()
-                .map(|&n| self.topk_unchecked(n, k, theta))
-                .collect();
-        }
-        let chunk = nodes.len().div_ceil(threads);
-        let mut out: Vec<Vec<Hit>> = Vec::with_capacity(nodes.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = nodes
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|&n| self.topk_unchecked(n, k, theta))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("topk worker panicked"));
-            }
-        });
-        out
-    }
-}
-
-/// Heap-ordering wrapper: greater = better (higher score, then smaller
-/// target id). `total_cmp` gives a total order even for NaN scores.
-#[derive(Debug, PartialEq)]
-struct Entry {
-    score: f64,
-    target: usize,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.score
-            .total_cmp(&other.score)
-            .then_with(|| other.target.cmp(&self.target))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Partial selection: the `k` best scores (clamped to `scores.len()`),
-/// best first, via a size-bounded min-heap.
-#[must_use]
-pub fn select_topk(scores: &[f64], k: usize) -> Vec<Hit> {
-    let k = k.min(scores.len());
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
-    for (target, &score) in scores.iter().enumerate() {
-        heap.push(Reverse(Entry { score, target }));
-        if heap.len() > k {
-            heap.pop();
-        }
-    }
-    heap.into_sorted_vec()
-        .into_iter()
-        .map(|Reverse(e)| Hit {
-            target: e.target,
-            score: e.score,
-        })
-        .collect()
-}
-
-/// Reference implementation: full sort, same ordering contract as
-/// [`select_topk`]. Public so the property tests and benches can share it.
-#[must_use]
-pub fn select_topk_bruteforce(scores: &[f64], k: usize) -> Vec<Hit> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
-    idx.truncate(k);
-    idx.into_iter()
-        .map(|target| Hit {
-            target,
-            score: scores[target],
-        })
-        .collect()
 }
 
 #[cfg(test)]

@@ -1,16 +1,19 @@
 //! Alignment instantiation (§VI-A): layer-wise alignment matrices (Eq. 11)
 //! fused by layer-importance weights into the aggregated matrix (Eq. 12).
 //!
-//! The aggregated matrix is exposed as a row-streamed
-//! [`galign_metrics::ScoreProvider`]; the full `n₁×n₂`
-//! matrix is only materialised on explicit request, matching the §VI-C
-//! space analysis.
+//! The aggregated matrix is exposed as a blocked
+//! [`ScoreProvider`] over the shared streaming engine in
+//! [`galign_matrix::simblock`]; consumers reduce it block-at-a-time in
+//! `O(block · n)` memory, matching the §VI-C space analysis. The full
+//! `n₁×n₂` matrix is only materialised through the deprecated
+//! [`AlignmentMatrix::materialize`] escape hatch.
 
+use crate::error::{GAlignError, Result};
 use galign_gcn::MultiOrderEmbedding;
 use galign_matrix::dense::dot;
+use galign_matrix::simblock::{self, ScoreProvider, SimPanel};
 use galign_matrix::Dense;
-use galign_metrics::ScoreProvider;
-use rayon::prelude::*;
+use std::ops::Range;
 
 /// Which layers participate in the alignment matrix and with what weight.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,33 +69,63 @@ impl AlignmentMatrix {
     /// Builds the alignment view. Embeddings are row-L2-normalised here so
     /// every layer contributes cosine similarities (DESIGN.md §4.2).
     ///
-    /// # Panics
-    /// Panics when layer counts disagree with the selection length.
+    /// # Errors
+    /// [`GAlignError::LayerMismatch`] when the two sides disagree on layer
+    /// count, [`GAlignError::ThetaLength`] when the selection length does
+    /// not match the layer count.
     pub fn new(
         source: &MultiOrderEmbedding,
         target: &MultiOrderEmbedding,
         selection: LayerSelection,
-    ) -> Self {
-        assert_eq!(
-            source.layers().len(),
-            target.layers().len(),
-            "source/target layer counts differ"
-        );
-        assert_eq!(
-            selection.len(),
-            source.layers().len(),
-            "selection length must equal layer count (incl. layer 0)"
-        );
-        AlignmentMatrix {
+    ) -> Result<Self> {
+        if source.layers().len() != target.layers().len() {
+            return Err(GAlignError::LayerMismatch {
+                source: source.layers().len(),
+                target: target.layers().len(),
+            });
+        }
+        if selection.len() != source.layers().len() {
+            return Err(GAlignError::ThetaLength {
+                got: selection.len(),
+                want: source.layers().len(),
+            });
+        }
+        Ok(AlignmentMatrix {
             source: source.normalized(),
             target: target.normalized(),
             selection,
-        }
+        })
+    }
+
+    /// Pre-`GAlignError` shim for [`AlignmentMatrix::new`]; will be removed
+    /// next release.
+    ///
+    /// # Panics
+    /// Panics where [`AlignmentMatrix::new`] returns an error.
+    #[doc(hidden)]
+    pub fn new_or_panic(
+        source: &MultiOrderEmbedding,
+        target: &MultiOrderEmbedding,
+        selection: LayerSelection,
+    ) -> Self {
+        Self::new(source, target, selection).expect("valid alignment inputs")
     }
 
     /// Layer weights in use.
     pub fn selection(&self) -> &LayerSelection {
         &self.selection
+    }
+
+    /// The shared blocked scoring panel over this alignment's layers.
+    /// Shapes were validated in [`AlignmentMatrix::new`], so construction
+    /// cannot fail here.
+    fn panel(&self) -> SimPanel<'_> {
+        SimPanel::new(
+            self.source.layers(),
+            self.target.layers(),
+            &self.selection.theta,
+        )
+        .expect("alignment shapes validated at construction")
     }
 
     /// Alignment scores of source `v` at a single layer `l` (Eq. 11,
@@ -103,50 +136,27 @@ impl AlignmentMatrix {
         (0..t.rows()).map(|u| dot(sv, t.row(u))).collect()
     }
 
-    /// Materialises the aggregated matrix — `O(n₁ n₂)` memory, test/tooling
-    /// only.
+    /// Materialises the aggregated matrix — `O(n₁ n₂)` memory.
+    #[deprecated(
+        since = "0.1.0",
+        note = "materialising S is O(n²) memory; reduce block-at-a-time via \
+                `galign_matrix::simblock` (`top1`, `topk`, `map_blocks`) instead"
+    )]
     pub fn materialize(&self) -> Dense {
-        let mut out = Dense::zeros(self.num_sources(), self.num_targets());
-        out.as_mut_slice()
-            .par_chunks_exact_mut(self.num_targets().max(1))
-            .enumerate()
-            .for_each(|(v, row)| {
-                let scores = self.score_row(v);
-                row.copy_from_slice(&scores);
-            });
-        out
+        simblock::materialize(self)
     }
 
     /// Greedy top-1 anchors: for each source node the best-scoring target
-    /// (the paper's one-to-one instantiation rule, §VI-A).
+    /// (the paper's one-to-one instantiation rule, §VI-A), computed by the
+    /// blocked engine without materialising `S`.
     pub fn top1_anchors(&self) -> Vec<(usize, usize)> {
-        (0..self.num_sources())
-            .into_par_iter()
-            .filter_map(|v| {
-                let row = self.score_row(v);
-                let mut best: Option<(usize, f64)> = None;
-                for (u, s) in row.into_iter().enumerate() {
-                    if best.is_none_or(|(_, bs)| s > bs) {
-                        best = Some((u, s));
-                    }
-                }
-                best.map(|(u, _)| (v, u))
-            })
-            .collect()
+        simblock::top1(self)
     }
 
     /// The greedy objective `g(S) = Σ_v max_u S(v, u)` that Algorithm 2
     /// tracks during refinement.
     pub fn greedy_score(&self) -> f64 {
-        (0..self.num_sources())
-            .into_par_iter()
-            .map(|v| {
-                self.score_row(v)
-                    .into_iter()
-                    .fold(f64::NEG_INFINITY, f64::max)
-            })
-            .filter(|m| m.is_finite())
-            .sum()
+        simblock::greedy_objective(self)
     }
 
     /// Access to the (normalised) source embeddings.
@@ -169,20 +179,8 @@ impl ScoreProvider for AlignmentMatrix {
         self.target.node_count()
     }
 
-    fn score_row(&self, v: usize) -> Vec<f64> {
-        let n_t = self.num_targets();
-        let mut acc = vec![0.0; n_t];
-        for (l, &theta) in self.selection.theta.iter().enumerate() {
-            if theta == 0.0 {
-                continue;
-            }
-            let sv = self.source.layer(l).row(v);
-            let t = self.target.layer(l);
-            for (u, a) in acc.iter_mut().enumerate() {
-                *a += theta * dot(sv, t.row(u));
-            }
-        }
-        acc
+    fn score_block(&self, rows: Range<usize>, out: &mut [f64]) {
+        self.panel().score_block(rows, out);
     }
 }
 
@@ -208,10 +206,11 @@ mod tests {
     #[test]
     fn identical_embeddings_score_diagonal_highest() {
         let e = emb(&[&[1.0, 0.0], &[0.0, 1.0], &[0.7, 0.7]]);
-        let a = AlignmentMatrix::new(&e, &e, LayerSelection::uniform(2));
+        let a = AlignmentMatrix::new(&e, &e, LayerSelection::uniform(2)).unwrap();
         let anchors = a.top1_anchors();
         assert_eq!(anchors, vec![(0, 0), (1, 1), (2, 2)]);
         // Diagonal of the materialised matrix is 1 (cosine of identical rows).
+        #[allow(deprecated)]
         let m = a.materialize();
         for i in 0..3 {
             assert!((m.get(i, i) - 1.0).abs() < 1e-12);
@@ -222,7 +221,8 @@ mod tests {
     fn score_row_matches_materialize() {
         let s = emb(&[&[1.0, 2.0], &[3.0, -1.0]]);
         let t = emb(&[&[0.5, 0.5], &[-1.0, 2.0], &[2.0, 0.1]]);
-        let a = AlignmentMatrix::new(&s, &t, LayerSelection::weighted(vec![0.3, 0.7]));
+        let a = AlignmentMatrix::new(&s, &t, LayerSelection::weighted(vec![0.3, 0.7])).unwrap();
+        #[allow(deprecated)]
         let m = a.materialize();
         for v in 0..2 {
             let row = a.score_row(v);
@@ -240,8 +240,8 @@ mod tests {
         let l1 = Dense::from_rows(&[vec![0.0, 1.0]]).unwrap();
         let s = MultiOrderEmbedding::from_layers(vec![l0.clone(), l1.clone()]);
         let t = MultiOrderEmbedding::from_layers(vec![l0, l1]);
-        let a0 = AlignmentMatrix::new(&s, &t, LayerSelection::single(0, 2));
-        let a1 = AlignmentMatrix::new(&s, &t, LayerSelection::single(1, 2));
+        let a0 = AlignmentMatrix::new(&s, &t, LayerSelection::single(0, 2)).unwrap();
+        let a1 = AlignmentMatrix::new(&s, &t, LayerSelection::single(1, 2)).unwrap();
         assert!((a0.score_row(0)[0] - 1.0).abs() < 1e-12);
         assert!((a1.score_row(0)[0] - 1.0).abs() < 1e-12);
         // Cross-check layer_score_row.
@@ -251,14 +251,15 @@ mod tests {
     #[test]
     fn greedy_score_sums_row_maxima() {
         let e = emb(&[&[1.0, 0.0], &[0.0, 1.0]]);
-        let a = AlignmentMatrix::new(&e, &e, LayerSelection::uniform(2));
+        let a = AlignmentMatrix::new(&e, &e, LayerSelection::uniform(2)).unwrap();
         assert!((a.greedy_score() - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "selection length")]
-    fn selection_length_checked() {
+    fn selection_length_is_an_error_not_a_panic() {
         let e = emb(&[&[1.0, 0.0]]);
-        AlignmentMatrix::new(&e, &e, LayerSelection::uniform(5));
+        let err = AlignmentMatrix::new(&e, &e, LayerSelection::uniform(5)).unwrap_err();
+        assert!(matches!(err, GAlignError::ThetaLength { got: 5, want: 2 }));
+        assert!(err.to_string().contains("theta has 5"));
     }
 }

@@ -10,22 +10,25 @@
 //! The embeddings inside an [`AlignmentMatrix`] are already row-L2-normalised
 //! (done once in `AlignmentMatrix::new`), so exports set `rows_normalized`
 //! and a server loading the artifact reproduces Eq. 11–12 scores — and
-//! therefore [`AlignmentMatrix::top1_anchors`] — bit for bit.
+//! therefore [`AlignmentMatrix::top1_anchors`] — bit for bit: since the
+//! `simblock` redesign both sides literally run the same blocked kernel.
+//!
+//! All fallible surfaces return [`crate::error::GAlignError`].
 
 use crate::alignment::{AlignmentMatrix, LayerSelection};
+use crate::error::{GAlignError, Result};
 use crate::persist;
 use crate::pipeline::GAlignResult;
 use galign_gcn::MultiOrderEmbedding;
 use galign_matrix::Dense;
 use galign_serve::artifact::{Artifact, Mat};
-use std::io;
 use std::path::Path;
 
-fn dense_to_mat(d: &Dense) -> io::Result<Mat> {
-    Mat::new(d.rows(), d.cols(), d.as_slice().to_vec())
+fn dense_to_mat(d: &Dense) -> Result<Mat> {
+    Ok(Mat::new(d.rows(), d.cols(), d.as_slice().to_vec())?)
 }
 
-fn layers_to_mats(emb: &MultiOrderEmbedding) -> io::Result<Vec<Mat>> {
+fn layers_to_mats(emb: &MultiOrderEmbedding) -> Result<Vec<Mat>> {
     emb.layers().iter().map(dense_to_mat).collect()
 }
 
@@ -34,20 +37,20 @@ fn layers_to_mats(emb: &MultiOrderEmbedding) -> io::Result<Vec<Mat>> {
 /// # Errors
 /// Shape inconsistencies between the two embeddings (cannot happen for an
 /// `AlignmentMatrix` built by the pipeline, but the artifact re-validates).
-pub fn artifact_from_alignment(alignment: &AlignmentMatrix) -> io::Result<Artifact> {
-    Artifact::new(
+pub fn artifact_from_alignment(alignment: &AlignmentMatrix) -> Result<Artifact> {
+    Ok(Artifact::new(
         alignment.selection().theta.clone(),
         layers_to_mats(alignment.source())?,
         layers_to_mats(alignment.target())?,
         true,
-    )
+    )?)
 }
 
 /// Builds a serving artifact from a full pipeline result.
 ///
 /// # Errors
 /// See [`artifact_from_alignment`].
-pub fn artifact_from_result(result: &GAlignResult) -> io::Result<Artifact> {
+pub fn artifact_from_result(result: &GAlignResult) -> Result<Artifact> {
     artifact_from_alignment(&result.alignment)
 }
 
@@ -55,8 +58,9 @@ pub fn artifact_from_result(result: &GAlignResult) -> io::Result<Artifact> {
 ///
 /// # Errors
 /// Conversion or IO failures.
-pub fn export_artifact(result: &GAlignResult, path: &Path) -> io::Result<()> {
-    artifact_from_result(result)?.write(path)
+pub fn export_artifact(result: &GAlignResult, path: &Path) -> Result<()> {
+    artifact_from_result(result)?.write(path)?;
+    Ok(())
 }
 
 /// Migrates a pair of JSON embedding dumps ([`persist::save_embeddings`])
@@ -75,18 +79,14 @@ pub fn migrate_embeddings_json(
     target_json: &Path,
     theta: Option<Vec<f64>>,
     out: &Path,
-) -> io::Result<Artifact> {
+) -> Result<Artifact> {
     let source = persist::load_embeddings(source_json)?;
     let target = persist::load_embeddings(target_json)?;
     if source.layers().len() != target.layers().len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "embedding dumps disagree on layer count: source has {}, target has {}",
-                source.layers().len(),
-                target.layers().len()
-            ),
-        ));
+        return Err(GAlignError::LayerMismatch {
+            source: source.layers().len(),
+            target: target.layers().len(),
+        });
     }
     let theta = theta.unwrap_or_else(|| LayerSelection::uniform(source.layers().len()).theta);
     let artifact = Artifact::new(
@@ -124,7 +124,7 @@ mod tests {
         let mut rng = SeededRng::new(5);
         let source = random_embedding(&mut rng, 6, &[4, 3]);
         let target = random_embedding(&mut rng, 8, &[4, 3]);
-        let alignment = AlignmentMatrix::new(&source, &target, LayerSelection::uniform(2));
+        let alignment = AlignmentMatrix::new(&source, &target, LayerSelection::uniform(2)).unwrap();
         let artifact = artifact_from_alignment(&alignment).unwrap();
         let bytes = artifact.to_bytes();
         let back = Artifact::from_bytes(&bytes).unwrap();
@@ -147,7 +147,8 @@ mod tests {
         let source = random_embedding(&mut rng, 9, &[5, 3]);
         let target = random_embedding(&mut rng, 9, &[5, 3]);
         let alignment =
-            AlignmentMatrix::new(&source, &target, LayerSelection::weighted(vec![0.7, 0.3]));
+            AlignmentMatrix::new(&source, &target, LayerSelection::weighted(vec![0.7, 0.3]))
+                .unwrap();
         let index = TopkIndex::from_artifact(artifact_from_alignment(&alignment).unwrap());
         for (v, expected) in alignment.top1_anchors() {
             let hits = index.topk(v, 1, None).unwrap();
@@ -189,6 +190,7 @@ mod tests {
         persist::save_embeddings(&source, &s_json).unwrap();
         persist::save_embeddings(&target, &t_json).unwrap();
         let err = migrate_embeddings_json(&s_json, &t_json, None, &tmp("bad.bin")).unwrap_err();
+        assert!(matches!(err, GAlignError::LayerMismatch { .. }), "{err:?}");
         assert!(err.to_string().contains("layer count"), "{err}");
     }
 }

@@ -1,0 +1,142 @@
+//! The crate-wide error type.
+//!
+//! Every fallible public surface of `galign` — the pipeline
+//! ([`crate::pipeline::GAlign::align`]), alignment construction
+//! ([`crate::alignment::AlignmentMatrix::new`]), persistence
+//! ([`crate::persist`]) and artifact export ([`crate::artifact`]) —
+//! returns [`GAlignError`] instead of panicking on malformed input.
+//! The enum is hand-rolled (std-only, `thiserror`-style `Display` +
+//! `source`) to keep the workspace dependency-free.
+
+use galign_matrix::MatrixError;
+use std::fmt;
+use std::io;
+
+/// Convenient alias for fallible `galign` operations.
+pub type Result<T> = std::result::Result<T, GAlignError>;
+
+/// Errors raised by the GAlign pipeline, persistence and export surfaces.
+#[derive(Debug)]
+pub enum GAlignError {
+    /// A configuration value is out of range (reported by the
+    /// [`crate::pipeline::GAlignConfigBuilder`] at build time).
+    Config(String),
+    /// A θ layer-weight vector has the wrong number of entries.
+    ThetaLength {
+        /// Entries supplied.
+        got: usize,
+        /// Entries required (`k + 1`, including the attribute layer).
+        want: usize,
+    },
+    /// The two sides of an alignment disagree on layer count.
+    LayerMismatch {
+        /// Source-side layer count.
+        source: usize,
+        /// Target-side layer count.
+        target: usize,
+    },
+    /// The two graphs disagree on attribute dimensionality.
+    AttrDimMismatch {
+        /// Source-graph attribute dimension.
+        source: usize,
+        /// Target-graph attribute dimension.
+        target: usize,
+    },
+    /// A linear-algebra kernel rejected its operands.
+    Matrix(MatrixError),
+    /// An IO failure while persisting or loading state.
+    Io(io::Error),
+    /// Persisted data was malformed (bad JSON, wrong version, shapes that
+    /// do not chain).
+    Format(String),
+}
+
+impl fmt::Display for GAlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GAlignError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            GAlignError::ThetaLength { got, want } => {
+                write!(f, "theta has {got} entries but must have {want} (k+1)")
+            }
+            GAlignError::LayerMismatch { source, target } => write!(
+                f,
+                "source and target layer counts differ: {source} vs {target}"
+            ),
+            GAlignError::AttrDimMismatch { source, target } => write!(
+                f,
+                "source and target attribute dimensions differ: {source} vs {target}"
+            ),
+            GAlignError::Matrix(e) => write!(f, "matrix operation failed: {e}"),
+            GAlignError::Io(e) => write!(f, "io error: {e}"),
+            GAlignError::Format(msg) => write!(f, "malformed data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GAlignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GAlignError::Matrix(e) => Some(e),
+            GAlignError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for GAlignError {
+    fn from(e: MatrixError) -> Self {
+        GAlignError::Matrix(e)
+    }
+}
+
+impl From<io::Error> for GAlignError {
+    fn from(e: io::Error) -> Self {
+        GAlignError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for GAlignError {
+    fn from(e: serde_json::Error) -> Self {
+        GAlignError::Format(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        assert!(GAlignError::Config("epochs must be >= 1".into())
+            .to_string()
+            .contains("epochs"));
+        assert!(GAlignError::ThetaLength { got: 2, want: 3 }
+            .to_string()
+            .contains("2 entries"));
+        assert!(GAlignError::LayerMismatch {
+            source: 3,
+            target: 2
+        }
+        .to_string()
+        .contains("3 vs 2"));
+        assert!(GAlignError::AttrDimMismatch {
+            source: 5,
+            target: 7
+        }
+        .to_string()
+        .contains("attribute"));
+        assert!(GAlignError::Format("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        use std::error::Error;
+        let e = GAlignError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        let e = GAlignError::from(MatrixError::InvalidInput("bad".into()));
+        assert!(e.source().is_some());
+        assert!(GAlignError::Config("x".into()).source().is_none());
+    }
+}

@@ -6,36 +6,50 @@
 //! computes a refined alignment matrix.
 //!
 //! ```no_run
-//! use galign::{GAlign, GAlignConfig};
+//! use galign::prelude::*;
 //! use galign_graph::AttributedGraph;
 //!
+//! # fn main() -> Result<()> {
 //! let source = AttributedGraph::from_edges_featureless(4, &[(0, 1), (1, 2), (2, 3)]);
 //! let target = source.clone();
-//! let result = GAlign::new(GAlignConfig::default()).align(&source, &target, 7);
+//! let config = GAlignConfig::builder().fast().build()?;
+//! let result = GAlign::new(config).align(&source, &target, 7)?;
 //! let anchors = result.top1_anchors();
 //! # let _ = anchors;
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! Pipeline stages (each its own module):
 //! * [`augment`] — the data augmenter (§V-C).
 //! * [`embedding`] — multi-order embedding via `galign-gcn` (Algorithm 1).
 //! * [`alignment`] — layer-wise and aggregated alignment matrices
-//!   (Eq. 11–12), row-streamed so `S` is never fully materialised.
+//!   (Eq. 11–12), scored block-at-a-time by the shared streaming engine in
+//!   `galign_matrix::simblock` so `S` is never fully materialised.
+//! * [`matching`] — anchor instantiation policies (top-1, greedy
+//!   injective, one-to-many, mutual-best) over the blocked engine.
 //! * [`refine`] — stability detection (Eq. 13) and noise-aware propagation
 //!   (Eq. 14–15, Algorithm 2).
 //! * [`pipeline`] — the [`GAlign`] front door plus the ablation variants of
-//!   §VII-C (GAlign-1/2/3).
+//!   §VII-C (GAlign-1/2/3), configured through the validating
+//!   [`pipeline::GAlignConfigBuilder`].
 //! * [`artifact`] — export of finished alignments into the binary serving
 //!   format consumed by `galign-serve`.
+//! * [`error`] — the crate-wide [`GAlignError`]; public surfaces return
+//!   `Result` instead of panicking on malformed input.
+//! * [`prelude`] — one-import access to the stable types.
 
 pub mod alignment;
 pub mod artifact;
 pub mod augment;
 pub mod embedding;
+pub mod error;
 pub mod matching;
 pub mod persist;
 pub mod pipeline;
+pub mod prelude;
 pub mod refine;
 
 pub use alignment::{AlignmentMatrix, LayerSelection};
-pub use pipeline::{AblationVariant, GAlign, GAlignConfig, GAlignResult};
+pub use error::GAlignError;
+pub use pipeline::{AblationVariant, GAlign, GAlignConfig, GAlignConfigBuilder, GAlignResult};

@@ -3,7 +3,11 @@
 //! §VI-A instantiates one-to-one anchors by the top-1 rule and notes that
 //! "other alignment settings such as one-to-many can be instantiated as
 //! well". This module implements those instantiations as first-class
-//! policies:
+//! policies, all running off the blocked streaming engine in
+//! [`galign_matrix::simblock`] — scores are produced block-at-a-time and
+//! reduced in place, so no policy ever holds the full `n₁×n₂` matrix
+//! (except [`greedy_injective`], whose candidate list is quadratic by
+//! definition):
 //!
 //! * [`top1`] — the paper's rule: best target per source (not injective).
 //! * [`greedy_injective`] — globally greedy one-to-one matching: pairs are
@@ -15,37 +19,42 @@
 //! * [`mutual_best`] — high-precision subset: pairs that are each other's
 //!   argmax.
 
-use galign_metrics::ScoreProvider;
+use galign_matrix::simblock::{self, ScoreProvider};
 use rayon::prelude::*;
 
 /// The paper's top-1 instantiation: for each source node, its best target.
 pub fn top1(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
-    (0..scores.num_sources())
-        .into_par_iter()
-        .filter_map(|v| scores.argmax(v).map(|u| (v, u)))
-        .collect()
+    simblock::top1(scores)
 }
 
 /// Globally greedy injective matching: considers all `(v, u)` pairs in
 /// descending score order and keeps a pair when both endpoints are unused.
+/// NaN-scored pairs (degenerate embeddings) are never matched.
 ///
 /// Returns pairs sorted by source id. `O(n₁ n₂ log(n₁ n₂))` time and
-/// `O(n₁ n₂)` memory — intended for instantiation-time use on the anchored
-/// subset, not for streaming-scale matrices.
+/// `O(n₁ n₂)` memory for the candidate list — intended for
+/// instantiation-time use on the anchored subset, not for streaming-scale
+/// matrices.
 pub fn greedy_injective(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
     let n1 = scores.num_sources();
     let n2 = scores.num_targets();
-    let mut entries: Vec<(f64, usize, usize)> = (0..n1)
-        .into_par_iter()
-        .flat_map_iter(|v| {
-            let row = scores.score_row(v);
-            row.into_iter()
-                .enumerate()
-                .map(move |(u, s)| (s, v, u))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    entries.par_sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let mut entries: Vec<(f64, usize, usize)> = simblock::map_blocks(scores, |rows, buf| {
+        rows.clone()
+            .enumerate()
+            .flat_map(|(i, v)| {
+                buf[i * n2..(i + 1) * n2]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.is_nan())
+                    .map(move |(u, &s)| (s, v, u))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    entries.par_sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
     let mut used_s = vec![false; n1];
     let mut used_t = vec![false; n2];
     let mut out = Vec::with_capacity(n1.min(n2));
@@ -70,20 +79,26 @@ pub fn one_to_many(
     margin: f64,
     min_score: f64,
 ) -> Vec<(usize, Vec<usize>)> {
-    (0..scores.num_sources())
-        .into_par_iter()
-        .map(|v| {
-            let row = scores.score_row(v);
-            let best = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let matches: Vec<usize> = row
-                .iter()
-                .enumerate()
-                .filter(|&(_, &s)| s >= best - margin && s >= min_score)
-                .map(|(u, _)| u)
-                .collect();
-            (v, matches)
-        })
-        .collect()
+    let n2 = scores.num_targets();
+    simblock::map_blocks(scores, |rows, buf| {
+        rows.clone()
+            .enumerate()
+            .map(|(i, v)| {
+                let row = &buf[i * n2..(i + 1) * n2];
+                let best = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let matches: Vec<usize> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s >= best - margin && s >= min_score)
+                    .map(|(u, _)| u)
+                    .collect();
+                (v, matches)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Mutual-best pairs: `(v, u)` such that `u = argmax S(v, ·)` and
@@ -95,27 +110,11 @@ pub fn mutual_best(scores: &dyn ScoreProvider) -> Vec<(usize, usize)> {
     if n1 == 0 || n2 == 0 {
         return Vec::new();
     }
-    // Row argmaxes and column argmaxes in two streamed passes.
-    let row_best: Vec<Option<usize>> = (0..n1).into_par_iter().map(|v| scores.argmax(v)).collect();
-    let col_best: Vec<(usize, f64)> = {
-        let mut best = vec![(0usize, f64::NEG_INFINITY); n2];
-        for v in 0..n1 {
-            let row = scores.score_row(v);
-            for (u, &s) in row.iter().enumerate() {
-                if s > best[u].1 {
-                    best[u] = (v, s);
-                }
-            }
-        }
-        best
-    };
+    let row_best = simblock::top1(scores);
+    let col_best = simblock::column_argmax(scores);
     row_best
         .into_iter()
-        .enumerate()
-        .filter_map(|(v, u)| {
-            let u = u?;
-            (col_best[u].0 == v).then_some((v, u))
-        })
+        .filter(|&(v, u)| col_best[u].0 == v)
         .collect()
 }
 
@@ -170,6 +169,19 @@ mod tests {
         let s = scores(&[&[0.9], &[0.8], &[0.7]]);
         let m = greedy_injective(&s);
         assert_eq!(m, vec![(0, 0)]); // one target only
+    }
+
+    #[test]
+    fn greedy_injective_survives_nan_scores() {
+        // Degenerate embeddings can produce NaN scores; the old
+        // `partial_cmp(..).expect("finite scores")` sort panicked here.
+        // NaN pairs must be ignored, finite pairs still matched greedily.
+        let s = scores(&[&[f64::NAN, 0.9], &[0.8, f64::NAN]]);
+        let m = greedy_injective(&s);
+        assert_eq!(m, vec![(0, 1), (1, 0)]);
+        // An all-NaN matrix matches nothing instead of panicking.
+        let all_nan = scores(&[&[f64::NAN, f64::NAN]]);
+        assert!(greedy_injective(&all_nan).is_empty());
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! A trained [`GcnModel`] is just its weight matrices plus the input
 //! dimension; persisting it lets a deployment train once and align many
 //! network snapshots later (or resume refinement) without retraining.
-//! The format is versioned JSON so older dumps keep loading.
+//! The format is versioned JSON so older dumps keep loading. Every
+//! fallible surface returns [`GAlignError`] — malformed files are an
+//! error, never a panic.
 
+use crate::error::{GAlignError, Result};
 use galign_gcn::{GcnModel, MultiOrderEmbedding};
 use galign_matrix::Dense;
-use std::io;
 use std::path::Path;
 
 /// Current on-disk format version.
@@ -18,21 +20,17 @@ const FORMAT_VERSION: u32 = 1;
 /// Anything newer than [`FORMAT_VERSION`] was written by a later galign and
 /// silently misreading it would be worse than failing, so the error says
 /// exactly that. Version 0 never existed and marks a corrupt header.
-fn check_version(kind: &str, version: u32) -> io::Result<()> {
+fn check_version(kind: &str, version: u32) -> Result<()> {
     if version > FORMAT_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "{kind} format version {version} is newer than this build \
-                 supports (max {FORMAT_VERSION}); upgrade galign to read this file"
-            ),
-        ));
+        return Err(GAlignError::Format(format!(
+            "{kind} format version {version} is newer than this build \
+             supports (max {FORMAT_VERSION}); upgrade galign to read this file"
+        )));
     }
     if version == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("{kind} format version 0 is invalid (corrupt header?)"),
-        ));
+        return Err(GAlignError::Format(format!(
+            "{kind} format version 0 is invalid (corrupt header?)"
+        )));
     }
     Ok(())
 }
@@ -68,9 +66,8 @@ impl From<&Dense> for MatrixRecord {
 }
 
 impl MatrixRecord {
-    fn to_dense(&self) -> io::Result<Dense> {
-        Dense::from_vec(self.rows, self.cols, self.data.clone())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    fn to_dense(&self) -> Result<Dense> {
+        Ok(Dense::from_vec(self.rows, self.cols, self.data.clone())?)
     }
 }
 
@@ -78,13 +75,14 @@ impl MatrixRecord {
 ///
 /// # Errors
 /// IO/serialisation failures.
-pub fn save_model(model: &GcnModel, path: &Path) -> io::Result<()> {
+pub fn save_model(model: &GcnModel, path: &Path) -> Result<()> {
     let record = ModelRecord {
         version: FORMAT_VERSION,
         input_dim: model.input_dim(),
         weights: model.weights().iter().map(MatrixRecord::from).collect(),
     };
-    std::fs::write(path, serde_json::to_string(&record)?)
+    std::fs::write(path, serde_json::to_string(&record)?)?;
+    Ok(())
 }
 
 /// Loads a model saved by [`save_model`].
@@ -92,7 +90,7 @@ pub fn save_model(model: &GcnModel, path: &Path) -> io::Result<()> {
 /// # Errors
 /// IO failures, parse failures, unknown format versions, or weight shapes
 /// that do not chain.
-pub fn load_model(path: &Path) -> io::Result<GcnModel> {
+pub fn load_model(path: &Path) -> Result<GcnModel> {
     let text = std::fs::read_to_string(path)?;
     let record: ModelRecord = serde_json::from_str(&text)?;
     check_version("model", record.version)?;
@@ -100,14 +98,11 @@ pub fn load_model(path: &Path) -> io::Result<GcnModel> {
         .weights
         .iter()
         .map(MatrixRecord::to_dense)
-        .collect::<io::Result<Vec<_>>>()?;
+        .collect::<Result<Vec<_>>>()?;
     let mut prev = record.input_dim;
     for w in &weights {
         if w.rows() != prev {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "weight shapes do not chain",
-            ));
+            return Err(GAlignError::Format("weight shapes do not chain".into()));
         }
         prev = w.cols();
     }
@@ -118,12 +113,13 @@ pub fn load_model(path: &Path) -> io::Result<GcnModel> {
 ///
 /// # Errors
 /// IO/serialisation failures.
-pub fn save_embeddings(emb: &MultiOrderEmbedding, path: &Path) -> io::Result<()> {
+pub fn save_embeddings(emb: &MultiOrderEmbedding, path: &Path) -> Result<()> {
     let record = EmbeddingsRecord {
         version: FORMAT_VERSION,
         layers: emb.layers().iter().map(MatrixRecord::from).collect(),
     };
-    std::fs::write(path, serde_json::to_string(&record)?)
+    std::fs::write(path, serde_json::to_string(&record)?)?;
+    Ok(())
 }
 
 /// Loads embeddings saved by [`save_embeddings`].
@@ -134,7 +130,7 @@ pub fn save_embeddings(emb: &MultiOrderEmbedding, path: &Path) -> io::Result<()>
 ///
 /// # Errors
 /// IO/parse failures or an unsupported format version.
-pub fn load_embeddings(path: &Path) -> io::Result<MultiOrderEmbedding> {
+pub fn load_embeddings(path: &Path) -> Result<MultiOrderEmbedding> {
     let text = std::fs::read_to_string(path)?;
     let value: serde_json::Value = serde_json::from_str(&text)?;
     let records: Vec<MatrixRecord> = if value.is_array() {
@@ -147,7 +143,7 @@ pub fn load_embeddings(path: &Path) -> io::Result<MultiOrderEmbedding> {
     let layers = records
         .iter()
         .map(MatrixRecord::to_dense)
-        .collect::<io::Result<Vec<_>>>()?;
+        .collect::<Result<Vec<_>>>()?;
     Ok(MultiOrderEmbedding::from_layers(layers))
 }
 
@@ -212,7 +208,7 @@ mod tests {
         let path = tmp("bad.json");
         std::fs::write(&path, r#"{"version": 99, "input_dim": 2, "weights": []}"#).unwrap();
         let err = load_model(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, GAlignError::Format(_)), "{err:?}");
         assert!(err.to_string().contains("version 99"), "{err}");
         assert!(err.to_string().contains("newer"), "{err}");
     }
@@ -226,6 +222,20 @@ mod tests {
     }
 
     #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_model(&tmp("does-not-exist.json")).unwrap_err();
+        assert!(matches!(err, GAlignError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn garbage_json_is_a_format_error() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, GAlignError::Format(_)), "{err:?}");
+    }
+
+    #[test]
     fn embeddings_reject_future_version() {
         let path = tmp("future-emb.json");
         std::fs::write(
@@ -234,7 +244,7 @@ mod tests {
         )
         .unwrap();
         let err = load_embeddings(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, GAlignError::Format(_)), "{err:?}");
         assert!(err.to_string().contains("version 7"), "{err}");
         assert!(err.to_string().contains("newer"), "{err}");
     }
@@ -261,5 +271,18 @@ mod tests {
         )
         .unwrap();
         assert!(load_model(&path).is_err());
+    }
+
+    #[test]
+    fn bad_matrix_shape_is_an_error() {
+        let path = tmp("badshape.json");
+        std::fs::write(
+            &path,
+            r#"{"version": 1, "input_dim": 2,
+               "weights": [{"rows": 2, "cols": 3, "data": [0.0]}]}"#,
+        )
+        .unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, GAlignError::Matrix(_)), "{err:?}");
     }
 }

@@ -1,9 +1,16 @@
 //! The end-to-end GAlign pipeline (Fig. 2): multi-order embedding →
 //! alignment instantiation → refinement, plus the §VII-C ablation variants.
+//!
+//! Configuration is constructed through [`GAlignConfig::builder`], which
+//! validates every hyper-parameter range once at build time; the pipeline
+//! itself ([`GAlign::align`]) returns [`GAlignError`] on malformed inputs
+//! instead of panicking.
 
 use crate::alignment::{AlignmentMatrix, LayerSelection};
 use crate::embedding::{embed_pair, EmbeddingConfig};
-use crate::refine::{refine, RefineConfig, RefineOutcome};
+use crate::error::{GAlignError, Result};
+use crate::refine::{refine, RefineConfig, RefineOperator, RefineOutcome};
+use galign_gcn::model::Activation;
 use galign_gcn::{GcnModel, TrainReport};
 use galign_graph::AttributedGraph;
 use galign_matrix::rng::SeededRng;
@@ -28,6 +35,10 @@ pub enum AblationVariant {
 
 /// Full pipeline configuration. Defaults reproduce §VII-A:
 /// γ = 0.8, β = 1.1, λ = 0.94, k = 2, d = 200, uniform θ.
+///
+/// Construct through [`GAlignConfig::builder`] so out-of-range values are
+/// rejected once, at build time, instead of surfacing as NaNs or panics
+/// mid-pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct GAlignConfig {
     /// Embedding/training stage parameters.
@@ -41,28 +52,246 @@ pub struct GAlignConfig {
 }
 
 impl GAlignConfig {
-    /// A configuration scaled down for quick experiments: smaller embedding
-    /// dimension and fewer epochs/iterations, same structure.
-    pub fn fast() -> Self {
-        GAlignConfig {
-            embedding: EmbeddingConfig {
-                layer_dims: vec![64, 64],
-                epochs: 15,
-                num_augments: 1,
-                ..EmbeddingConfig::default()
-            },
-            refine: RefineConfig {
-                iterations: 5,
-                ..RefineConfig::default()
-            },
-            ..GAlignConfig::default()
-        }
+    /// Starts a validating builder from the paper's defaults.
+    pub fn builder() -> GAlignConfigBuilder {
+        GAlignConfigBuilder::default()
     }
 
-    /// Sets the ablation variant (builder style).
+    /// A configuration scaled down for quick experiments: smaller embedding
+    /// dimension and fewer epochs/iterations, same structure — the
+    /// [`GAlignConfigBuilder::fast`] preset.
+    pub fn fast() -> Self {
+        GAlignConfig::builder()
+            .fast()
+            .build()
+            .expect("fast preset is valid")
+    }
+
+    /// Pre-builder shim: sets the ablation variant in place. Use
+    /// [`GAlignConfigBuilder::variant`] instead; will be removed next
+    /// release.
+    #[doc(hidden)]
     pub fn with_variant(mut self, variant: AblationVariant) -> Self {
         self.variant = variant;
         self
+    }
+}
+
+/// Fluent, validating builder for [`GAlignConfig`].
+///
+/// ```
+/// use galign::prelude::*;
+/// let cfg = GAlignConfig::builder()
+///     .fast()
+///     .epochs(10)
+///     .noise(0.05, 0.05)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.embedding.epochs, 10);
+/// assert!(GAlignConfig::builder().epochs(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GAlignConfigBuilder {
+    config: GAlignConfig,
+}
+
+impl GAlignConfigBuilder {
+    /// Starts from an existing configuration (it will be re-validated by
+    /// [`GAlignConfigBuilder::build`]).
+    pub fn from_config(config: GAlignConfig) -> Self {
+        GAlignConfigBuilder { config }
+    }
+
+    /// The quick-experiment preset: 64-dim layers, 15 epochs, one
+    /// augmented copy, 5 refinement iterations.
+    #[must_use]
+    pub fn fast(mut self) -> Self {
+        self.config.embedding.layer_dims = vec![64, 64];
+        self.config.embedding.epochs = 15;
+        self.config.embedding.num_augments = 1;
+        self.config.refine.iterations = 5;
+        self
+    }
+
+    /// Embedding dimension per GCN layer (length = k).
+    #[must_use]
+    pub fn layer_dims(mut self, dims: Vec<usize>) -> Self {
+        self.config.embedding.layer_dims = dims;
+        self
+    }
+
+    /// Training epochs.
+    #[must_use]
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.embedding.epochs = epochs;
+        self
+    }
+
+    /// Adam learning rate.
+    #[must_use]
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.config.embedding.learning_rate = lr;
+        self
+    }
+
+    /// Loss balance γ (Eq. 10).
+    #[must_use]
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.config.embedding.gamma = gamma;
+        self
+    }
+
+    /// σ_< threshold (Eq. 9).
+    #[must_use]
+    pub fn adaptivity_threshold(mut self, threshold: f64) -> Self {
+        self.config.embedding.adaptivity_threshold = threshold;
+        self
+    }
+
+    /// Augmented copies per network.
+    #[must_use]
+    pub fn num_augments(mut self, n: usize) -> Self {
+        self.config.embedding.num_augments = n;
+        self
+    }
+
+    /// Augmenter noise rates: structural `p_s` and attribute `p_a`.
+    #[must_use]
+    pub fn noise(mut self, p_structure: f64, p_attribute: f64) -> Self {
+        self.config.embedding.p_structure = p_structure;
+        self.config.embedding.p_attribute = p_attribute;
+        self
+    }
+
+    /// Activation σ of Eq. 1.
+    #[must_use]
+    pub fn activation(mut self, activation: Activation) -> Self {
+        self.config.embedding.activation = activation;
+        self
+    }
+
+    /// Early-stopping patience (`None` disables early stopping).
+    #[must_use]
+    pub fn patience(mut self, patience: Option<usize>) -> Self {
+        self.config.embedding.patience = patience;
+        self
+    }
+
+    /// Explicit layer weights θ⁽⁰⁾..θ⁽ᵏ⁾ (`None` = uniform).
+    #[must_use]
+    pub fn theta(mut self, theta: Option<Vec<f64>>) -> Self {
+        self.config.theta = theta;
+        self
+    }
+
+    /// Refinement iterations.
+    #[must_use]
+    pub fn refine_iterations(mut self, iterations: usize) -> Self {
+        self.config.refine.iterations = iterations;
+        self
+    }
+
+    /// Stability threshold λ (Eq. 13).
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.config.refine.lambda = lambda;
+        self
+    }
+
+    /// Influence accumulation constant β (Eq. 14).
+    #[must_use]
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.refine.beta = beta;
+        self
+    }
+
+    /// Refinement operator variant (Eq. 14 amplification vs literal Eq. 15).
+    #[must_use]
+    pub fn operator(mut self, operator: RefineOperator) -> Self {
+        self.config.refine.operator = operator;
+        self
+    }
+
+    /// Ablation variant (§VII-C).
+    #[must_use]
+    pub fn variant(mut self, variant: AblationVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Validates every range and returns the configuration.
+    ///
+    /// # Errors
+    /// [`GAlignError::Config`] naming the offending field, or
+    /// [`GAlignError::ThetaLength`] when an explicit θ does not have
+    /// `k + 1` entries.
+    pub fn build(self) -> Result<GAlignConfig> {
+        let cfg = self.config;
+        let e = &cfg.embedding;
+        if e.layer_dims.is_empty() {
+            return Err(GAlignError::Config("layer_dims must not be empty".into()));
+        }
+        if e.layer_dims.iter().any(|&d| d == 0) {
+            return Err(GAlignError::Config(
+                "layer_dims entries must be >= 1".into(),
+            ));
+        }
+        if e.epochs == 0 {
+            return Err(GAlignError::Config("epochs must be >= 1".into()));
+        }
+        if !e.learning_rate.is_finite() || e.learning_rate <= 0.0 {
+            return Err(GAlignError::Config(format!(
+                "learning_rate must be finite and > 0, got {}",
+                e.learning_rate
+            )));
+        }
+        if !e.gamma.is_finite() || !(0.0..=1.0).contains(&e.gamma) {
+            return Err(GAlignError::Config(format!(
+                "gamma must be in [0, 1], got {}",
+                e.gamma
+            )));
+        }
+        if !e.adaptivity_threshold.is_finite() || e.adaptivity_threshold < 0.0 {
+            return Err(GAlignError::Config(format!(
+                "adaptivity_threshold must be finite and >= 0, got {}",
+                e.adaptivity_threshold
+            )));
+        }
+        for (name, p) in [
+            ("p_structure", e.p_structure),
+            ("p_attribute", e.p_attribute),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(GAlignError::Config(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !cfg.refine.lambda.is_finite() {
+            return Err(GAlignError::Config(format!(
+                "lambda must be finite, got {}",
+                cfg.refine.lambda
+            )));
+        }
+        if !cfg.refine.beta.is_finite() || cfg.refine.beta < 1.0 {
+            return Err(GAlignError::Config(format!(
+                "beta must be finite and >= 1, got {}",
+                cfg.refine.beta
+            )));
+        }
+        if let Some(theta) = &cfg.theta {
+            let want = e.layer_dims.len() + 1;
+            if theta.len() != want {
+                return Err(GAlignError::ThetaLength {
+                    got: theta.len(),
+                    want,
+                });
+            }
+            if theta.iter().any(|w| !w.is_finite()) {
+                return Err(GAlignError::Config("theta entries must be finite".into()));
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -122,15 +351,32 @@ impl GAlign {
     /// Aligns `source` to `target`; `seed` fixes all randomness
     /// (initialisation and augmentation).
     ///
-    /// # Panics
-    /// Panics when the networks' attribute dimensions differ (§II-C) or
-    /// when an explicit θ has the wrong length.
+    /// # Errors
+    /// [`GAlignError::AttrDimMismatch`] when the networks' attribute
+    /// dimensions differ (§II-C), [`GAlignError::ThetaLength`] when an
+    /// explicit θ has the wrong length.
     pub fn align(
         &self,
         source: &AttributedGraph,
         target: &AttributedGraph,
         seed: u64,
-    ) -> GAlignResult {
+    ) -> Result<GAlignResult> {
+        if source.attr_dim() != target.attr_dim() {
+            return Err(GAlignError::AttrDimMismatch {
+                source: source.attr_dim(),
+                target: target.attr_dim(),
+            });
+        }
+        let num_layers_incl_attrs = self.config.embedding.num_layers() + 1;
+        if let Some(theta) = &self.config.theta {
+            if theta.len() != num_layers_incl_attrs {
+                return Err(GAlignError::ThetaLength {
+                    got: theta.len(),
+                    want: num_layers_incl_attrs,
+                });
+            }
+        }
+
         let total_start = Instant::now();
         let sp_pipeline = galign_telemetry::span!(
             "pipeline",
@@ -149,20 +395,12 @@ impl GAlign {
         let pair = embed_pair(source, target, &emb_cfg, &mut rng);
         let embedding_secs = sp.finish();
 
-        let num_layers_incl_attrs = emb_cfg.num_layers() + 1;
         let selection = match self.config.variant {
             AblationVariant::LastLayerOnly => {
                 LayerSelection::single(emb_cfg.num_layers(), num_layers_incl_attrs)
             }
             _ => match &self.config.theta {
-                Some(theta) => {
-                    assert_eq!(
-                        theta.len(),
-                        num_layers_incl_attrs,
-                        "theta must have k+1 entries"
-                    );
-                    LayerSelection::weighted(theta.clone())
-                }
+                Some(theta) => LayerSelection::weighted(theta.clone()),
                 None => LayerSelection::uniform(num_layers_incl_attrs),
             },
         };
@@ -171,7 +409,7 @@ impl GAlign {
             == AblationVariant::NoRefinement
         {
             let sp = galign_telemetry::span!("match");
-            let alignment = AlignmentMatrix::new(&pair.source, &pair.target, selection);
+            let alignment = AlignmentMatrix::new(&pair.source, &pair.target, selection)?;
             (alignment, None, 0.0, sp.finish())
         } else {
             let sp = galign_telemetry::span!("refine", iterations = self.config.refine.iterations);
@@ -186,13 +424,13 @@ impl GAlign {
             );
             let refinement_secs = sp.finish();
             let sp = galign_telemetry::span!("match");
-            let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection);
+            let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection)?;
             (alignment, Some(outcome), refinement_secs, sp.finish())
         };
         sp_pipeline.finish();
         let total_secs = total_start.elapsed().as_secs_f64();
 
-        GAlignResult {
+        Ok(GAlignResult {
             alignment,
             model: pair.model,
             train_report: pair.report,
@@ -203,7 +441,23 @@ impl GAlign {
                 matching_secs,
                 total_secs,
             },
-        }
+        })
+    }
+
+    /// Pre-`GAlignError` shim for [`GAlign::align`]; will be removed next
+    /// release.
+    ///
+    /// # Panics
+    /// Panics where [`GAlign::align`] returns an error.
+    #[doc(hidden)]
+    pub fn align_or_panic(
+        &self,
+        source: &AttributedGraph,
+        target: &AttributedGraph,
+        seed: u64,
+    ) -> GAlignResult {
+        self.align(source, target, seed)
+            .expect("valid align inputs")
     }
 }
 
@@ -214,19 +468,13 @@ mod tests {
     use galign_metrics::{evaluate, ScoreProvider};
 
     fn small_config() -> GAlignConfig {
-        GAlignConfig {
-            embedding: EmbeddingConfig {
-                layer_dims: vec![8, 8],
-                epochs: 12,
-                num_augments: 1,
-                ..EmbeddingConfig::default()
-            },
-            refine: RefineConfig {
-                iterations: 3,
-                ..RefineConfig::default()
-            },
-            ..GAlignConfig::default()
-        }
+        GAlignConfig::builder()
+            .layer_dims(vec![8, 8])
+            .epochs(12)
+            .num_augments(1)
+            .refine_iterations(3)
+            .build()
+            .unwrap()
     }
 
     fn permuted_pair(
@@ -248,7 +496,7 @@ mod tests {
     #[test]
     fn recovers_permutation_without_noise() {
         let (s, t, truth) = permuted_pair(1, 40);
-        let result = GAlign::new(small_config()).align(&s, &t, 7);
+        let result = GAlign::new(small_config()).align(&s, &t, 7).unwrap();
         let report = evaluate(&result.alignment, &truth, &[1]);
         assert!(
             report.success(1).unwrap() > 0.9,
@@ -261,17 +509,36 @@ mod tests {
     fn variants_run_and_differ_in_mechanics() {
         let (s, t, _) = permuted_pair(2, 25);
         let base = small_config();
-        let full = GAlign::new(base.clone()).align(&s, &t, 3);
+        let full = GAlign::new(base.clone()).align(&s, &t, 3).unwrap();
         assert!(full.refine_outcome.is_some());
-        let g2 =
-            GAlign::new(base.clone().with_variant(AblationVariant::NoRefinement)).align(&s, &t, 3);
+        let g2 = GAlign::new(
+            GAlignConfigBuilder::from_config(base.clone())
+                .variant(AblationVariant::NoRefinement)
+                .build()
+                .unwrap(),
+        )
+        .align(&s, &t, 3)
+        .unwrap();
         assert!(g2.refine_outcome.is_none());
-        let g3 =
-            GAlign::new(base.clone().with_variant(AblationVariant::LastLayerOnly)).align(&s, &t, 3);
+        let g3 = GAlign::new(
+            GAlignConfigBuilder::from_config(base.clone())
+                .variant(AblationVariant::LastLayerOnly)
+                .build()
+                .unwrap(),
+        )
+        .align(&s, &t, 3)
+        .unwrap();
         let theta = &g3.alignment.selection().theta;
         assert_eq!(theta[0], 0.0);
         assert_eq!(*theta.last().unwrap(), 1.0);
-        let g1 = GAlign::new(base.with_variant(AblationVariant::NoAugmentation)).align(&s, &t, 3);
+        let g1 = GAlign::new(
+            GAlignConfigBuilder::from_config(base)
+                .variant(AblationVariant::NoAugmentation)
+                .build()
+                .unwrap(),
+        )
+        .align(&s, &t, 3)
+        .unwrap();
         // No augmentation: still aligns, just trained without J_a.
         assert_eq!(g1.alignment.num_sources(), 25);
     }
@@ -279,23 +546,87 @@ mod tests {
     #[test]
     fn custom_theta_respected() {
         let (s, t, _) = permuted_pair(3, 20);
-        let cfg = GAlignConfig {
-            theta: Some(vec![0.33, 0.5, 0.17]),
-            ..small_config()
-        };
-        let r = GAlign::new(cfg).align(&s, &t, 1);
+        let cfg = GAlignConfigBuilder::from_config(small_config())
+            .theta(Some(vec![0.33, 0.5, 0.17]))
+            .build()
+            .unwrap();
+        let r = GAlign::new(cfg).align(&s, &t, 1).unwrap();
         assert_eq!(r.alignment.selection().theta, vec![0.33, 0.5, 0.17]);
     }
 
     #[test]
-    #[should_panic(expected = "theta must have k+1 entries")]
-    fn wrong_theta_length_panics() {
+    fn wrong_theta_length_is_an_error() {
+        // The builder catches it at build time ...
+        let err = GAlignConfigBuilder::from_config(small_config())
+            .theta(Some(vec![1.0]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GAlignError::ThetaLength { got: 1, want: 3 }));
+        // ... and align() catches hand-assembled configs too.
         let (s, t, _) = permuted_pair(4, 15);
         let cfg = GAlignConfig {
             theta: Some(vec![1.0]),
             ..small_config()
         };
-        GAlign::new(cfg).align(&s, &t, 1);
+        let err = GAlign::new(cfg).align(&s, &t, 1).unwrap_err();
+        assert!(matches!(err, GAlignError::ThetaLength { got: 1, want: 3 }));
+    }
+
+    #[test]
+    fn mismatched_attr_dims_are_an_error() {
+        let mut rng = SeededRng::new(9);
+        let edges = generators::barabasi_albert(&mut rng, 10, 2);
+        let a5 = generators::binary_attributes(&mut rng, 10, 5, 2);
+        let a7 = generators::binary_attributes(&mut rng, 10, 7, 2);
+        let s = AttributedGraph::from_edges(10, &edges, a5);
+        let t = AttributedGraph::from_edges(10, &edges, a7);
+        let err = GAlign::new(small_config()).align(&s, &t, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            GAlignError::AttrDimMismatch {
+                source: 5,
+                target: 7
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_validates_ranges() {
+        assert!(GAlignConfig::builder().build().is_ok());
+        assert!(GAlignConfig::builder().layer_dims(vec![]).build().is_err());
+        assert!(GAlignConfig::builder()
+            .layer_dims(vec![8, 0])
+            .build()
+            .is_err());
+        assert!(GAlignConfig::builder().epochs(0).build().is_err());
+        assert!(GAlignConfig::builder().learning_rate(0.0).build().is_err());
+        assert!(GAlignConfig::builder()
+            .learning_rate(f64::NAN)
+            .build()
+            .is_err());
+        assert!(GAlignConfig::builder().gamma(1.5).build().is_err());
+        assert!(GAlignConfig::builder().noise(-0.1, 0.0).build().is_err());
+        assert!(GAlignConfig::builder().noise(0.0, 2.0).build().is_err());
+        assert!(GAlignConfig::builder()
+            .adaptivity_threshold(-1.0)
+            .build()
+            .is_err());
+        assert!(GAlignConfig::builder().beta(0.5).build().is_err());
+        assert!(GAlignConfig::builder().lambda(f64::NAN).build().is_err());
+        assert!(GAlignConfig::builder()
+            .theta(Some(vec![f64::NAN, 0.5, 0.5]))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn fast_preset_matches_fast_constructor() {
+        let a = GAlignConfig::fast();
+        let b = GAlignConfig::builder().fast().build().unwrap();
+        assert_eq!(a.embedding.layer_dims, b.embedding.layer_dims);
+        assert_eq!(a.embedding.epochs, b.embedding.epochs);
+        assert_eq!(a.embedding.num_augments, b.embedding.num_augments);
+        assert_eq!(a.refine.iterations, b.refine.iterations);
     }
 
     #[test]
@@ -303,7 +634,7 @@ mod tests {
         let (s, _, _) = permuted_pair(5, 40);
         let mut nrng = SeededRng::new(6);
         let (src, tgt, truth) = noise::noisy_copy_pair(&mut nrng, &s, 0.1, 0.0);
-        let result = GAlign::new(small_config()).align(&src, &tgt, 9);
+        let result = GAlign::new(small_config()).align(&src, &tgt, 9).unwrap();
         let report = evaluate(&result.alignment, truth.pairs(), &[1, 10]);
         assert!(
             report.success(10).unwrap() > 0.6,
@@ -315,7 +646,7 @@ mod tests {
     #[test]
     fn timings_populated() {
         let (s, t, _) = permuted_pair(7, 15);
-        let r = GAlign::new(small_config()).align(&s, &t, 1);
+        let r = GAlign::new(small_config()).align(&s, &t, 1).unwrap();
         assert!(r.timings.embedding_secs > 0.0);
         assert!(r.timings.matching_secs >= 0.0);
         assert!(r.timings.total_secs >= r.timings.embedding_secs);
@@ -328,8 +659,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (s, t, _) = permuted_pair(8, 20);
-        let a = GAlign::new(small_config()).align(&s, &t, 42);
-        let b = GAlign::new(small_config()).align(&s, &t, 42);
+        let a = GAlign::new(small_config()).align(&s, &t, 42).unwrap();
+        let b = GAlign::new(small_config()).align(&s, &t, 42).unwrap();
         assert_eq!(a.top1_anchors(), b.top1_anchors());
     }
 }

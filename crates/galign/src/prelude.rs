@@ -1,0 +1,17 @@
+//! The stable public surface in one import.
+//!
+//! ```
+//! use galign::prelude::*;
+//! # let _ = GAlignConfig::builder();
+//! ```
+//!
+//! Re-exports the types a downstream user needs for the common
+//! train-align-evaluate loop; internals (augmentation, persistence
+//! records, refinement operators) stay behind their modules.
+
+pub use crate::alignment::{AlignmentMatrix, LayerSelection};
+pub use crate::error::{GAlignError, Result};
+pub use crate::pipeline::{
+    AblationVariant, GAlign, GAlignConfig, GAlignConfigBuilder, GAlignResult,
+};
+pub use galign_matrix::simblock::ScoreProvider;

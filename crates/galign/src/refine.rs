@@ -8,10 +8,10 @@
 //! `C` the base normalised Laplacian (DESIGN.md §4.3).
 
 use crate::alignment::{AlignmentMatrix, LayerSelection};
+use crate::error::Result;
 use galign_gcn::{GcnModel, MultiOrderEmbedding};
 use galign_graph::AttributedGraph;
-use galign_matrix::dense::dot;
-use rayon::prelude::*;
+use galign_matrix::simblock::{self, DEFAULT_BLOCK_ROWS};
 
 /// How stable-node influence enters the propagation operator — the Eq. 14
 /// vs Eq. 15 ambiguity made explicit (DESIGN.md §4.3).
@@ -65,43 +65,14 @@ pub struct RefineOutcome {
 }
 
 /// Per-row layer-wise maxima: `best[v][l] = (argmax, max)` of
-/// `S⁽ˡ⁾(v, ·)`, plus the greedy aggregated score `g(S)`.
+/// `S⁽ˡ⁾(v, ·)`, plus the greedy aggregated score `g(S)` — computed by the
+/// shared blocked engine in `O(block · n)` memory.
 fn per_row_stats(
     src: &MultiOrderEmbedding,
     dst: &MultiOrderEmbedding,
     theta: &[f64],
 ) -> (Vec<Vec<(usize, f64)>>, f64) {
-    let n_src = src.node_count();
-    let n_dst = dst.node_count();
-    let layers = src.layers().len();
-    if n_src == 0 || n_dst == 0 {
-        return (vec![Vec::new(); n_src], 0.0);
-    }
-    let results: Vec<(Vec<(usize, f64)>, f64)> = (0..n_src)
-        .into_par_iter()
-        .map(|v| {
-            let mut agg = vec![0.0f64; n_dst];
-            let mut per_layer = Vec::with_capacity(layers);
-            for l in 0..layers {
-                let sv = src.layer(l).row(v);
-                let t = dst.layer(l);
-                let w = theta[l];
-                let mut best = (0usize, f64::NEG_INFINITY);
-                for u in 0..n_dst {
-                    let s = dot(sv, t.row(u));
-                    if s > best.1 {
-                        best = (u, s);
-                    }
-                    agg[u] += w * s;
-                }
-                per_layer.push(best);
-            }
-            let g = agg.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            (per_layer, g)
-        })
-        .collect();
-    let g_total = results.iter().map(|(_, g)| g).sum();
-    (results.into_iter().map(|(p, _)| p).collect(), g_total)
+    simblock::layer_stats(src.layers(), dst.layers(), theta, DEFAULT_BLOCK_ROWS)
 }
 
 /// Stable nodes per Eq. 13: the layer-wise argmax is identical across all
@@ -202,6 +173,10 @@ pub fn refine(
 
 /// Convenience: refine and wrap the winning embeddings into an
 /// [`AlignmentMatrix`].
+///
+/// # Errors
+/// [`crate::error::GAlignError::ThetaLength`] when `selection` does not
+/// match the embeddings' layer count.
 pub fn refine_to_alignment(
     model: &GcnModel,
     source: &AttributedGraph,
@@ -210,7 +185,7 @@ pub fn refine_to_alignment(
     initial_target: &MultiOrderEmbedding,
     selection: LayerSelection,
     cfg: &RefineConfig,
-) -> (AlignmentMatrix, RefineOutcome) {
+) -> Result<(AlignmentMatrix, RefineOutcome)> {
     let outcome = refine(
         model,
         source,
@@ -220,8 +195,8 @@ pub fn refine_to_alignment(
         &selection,
         cfg,
     );
-    let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection);
-    (alignment, outcome)
+    let alignment = AlignmentMatrix::new(&outcome.source, &outcome.target, selection)?;
+    Ok((alignment, outcome))
 }
 
 #[cfg(test)]
@@ -294,7 +269,9 @@ mod tests {
     fn refinement_never_worsens_greedy_score() {
         let (s, t, model, es, et) = sample_problem(1);
         let sel = LayerSelection::uniform(3);
-        let initial = AlignmentMatrix::new(&es, &et, sel.clone()).greedy_score();
+        let initial = AlignmentMatrix::new(&es, &et, sel.clone())
+            .unwrap()
+            .greedy_score();
         let cfg = RefineConfig {
             iterations: 4,
             ..RefineConfig::default()
@@ -327,7 +304,8 @@ mod tests {
             ..RefineConfig::default()
         };
         let (alignment, outcome) =
-            refine_to_alignment(&model, &s, &t, &es, &et, LayerSelection::uniform(3), &cfg);
+            refine_to_alignment(&model, &s, &t, &es, &et, LayerSelection::uniform(3), &cfg)
+                .unwrap();
         assert!((alignment.greedy_score() - outcome.best_score).abs() < 1e-9);
     }
 

@@ -55,7 +55,9 @@ fn post_json(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
 fn pipeline_to_served_queries_end_to_end() {
     // 1. Run the full unsupervised pipeline on a small synthetic pair.
     let (source, target) = permuted_pair(3, 30);
-    let result = GAlign::new(GAlignConfig::fast()).align(&source, &target, 11);
+    let result = GAlign::new(GAlignConfig::fast())
+        .align(&source, &target, 11)
+        .unwrap();
     let expected = result.top1_anchors();
     assert_eq!(expected.len(), 30);
 

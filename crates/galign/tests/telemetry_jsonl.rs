@@ -39,8 +39,11 @@ fn pipeline_emits_wellformed_jsonl() {
         },
         ..GAlignConfig::default()
     };
-    let result = GAlign::new(cfg).align(&g, &t, 7);
+    let result = GAlign::new(cfg).align(&g, &t, 7).unwrap();
     assert!(result.timings.total_secs > 0.0);
+    // Touch the blocked matching driver so the simblock counters below
+    // reflect a real fused reduction, not just the refinement sweep.
+    assert_eq!(result.top1_anchors().len(), 25);
     galign_telemetry::shutdown();
 
     let text = std::fs::read_to_string(&path).expect("read jsonl");
@@ -99,6 +102,9 @@ fn pipeline_emits_wellformed_jsonl() {
         "matrix.spmm.calls",
         "matrix.alloc.elems",
         "adam.steps",
+        "simblock.blocks",
+        "simblock.flops",
+        "simblock.alloc.elems",
     ] {
         let v = counters
             .get(expected)

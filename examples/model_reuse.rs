@@ -26,7 +26,9 @@ fn main() {
         galign_suite::datasets::synth::noisy_pair("snap1", &snapshot1, 0.05, 0.05, &mut rng);
 
     // Train + align snapshot 1, then persist the model.
-    let result = GAlign::new(GAlignConfig::fast()).align(&task1.source, &task1.target, 1);
+    let result = GAlign::new(GAlignConfig::fast())
+        .align(&task1.source, &task1.target, 1)
+        .expect("align snapshot 1");
     let dir = std::env::temp_dir().join("galign-model-reuse");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let model_path = dir.join("model.json");
@@ -53,7 +55,8 @@ fn main() {
         &emb_s,
         &emb_t,
         LayerSelection::uniform(model.num_layers() + 1),
-    );
+    )
+    .expect("forward passes share layer counts");
     let secs = start.elapsed().as_secs_f64();
     let r2 = evaluate(&alignment, task1.truth.pairs(), &[1, 10]);
     println!(

@@ -11,8 +11,14 @@ use galign_suite::metrics::evaluate;
 fn run(variant: AblationVariant, p_s: f64, p_a: f64) -> f64 {
     let base = email(0.1, 77); // ~113-node email network
     let task = noisy_task(&base, "email", p_s, p_a, 13);
-    let config = GAlignConfig::fast().with_variant(variant);
-    let result = GAlign::new(config).align(&task.source, &task.target, 5);
+    let config = GAlignConfig::builder()
+        .fast()
+        .variant(variant)
+        .build()
+        .expect("preset is valid");
+    let result = GAlign::new(config)
+        .align(&task.source, &task.target, 5)
+        .expect("align");
     evaluate(&result.alignment, task.truth.pairs(), &[1])
         .success(1)
         .unwrap_or(0.0)

@@ -32,7 +32,9 @@ fn main() {
         galign_suite::datasets::synth::noisy_pair("proteome", &species_a, 0.08, 0.05, &mut div_rng);
     println!("{}\n", task.summary());
 
-    let galign_result = GAlign::new(GAlignConfig::fast()).align(&task.source, &task.target, 3);
+    let galign_result = GAlign::new(GAlignConfig::fast())
+        .align(&task.source, &task.target, 3)
+        .expect("align proteomes");
     let galign_report = evaluate(&galign_result.alignment, task.truth.pairs(), &[1, 10]);
 
     // IsoRank with a 10 % ortholog seed prior (its usual setting).

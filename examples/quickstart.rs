@@ -30,8 +30,13 @@ fn main() {
     println!("{}", task.summary());
 
     // 3. Align, fully unsupervised.
-    let config = GAlignConfig::fast();
-    let result = GAlign::new(config).align(&task.source, &task.target, 1);
+    let config = GAlignConfig::builder()
+        .fast()
+        .build()
+        .expect("valid preset");
+    let result = GAlign::new(config)
+        .align(&task.source, &task.target, 1)
+        .expect("align");
     println!(
         "training loss: {:.3} -> {:.3} over {} epochs",
         result

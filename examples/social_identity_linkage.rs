@@ -20,7 +20,9 @@ fn main() {
     println!("{}\n", task.summary());
 
     // GAlign: fully unsupervised.
-    let galign_result = GAlign::new(GAlignConfig::fast()).align(&task.source, &task.target, 1);
+    let galign_result = GAlign::new(GAlignConfig::fast())
+        .align(&task.source, &task.target, 1)
+        .expect("align identities");
     let galign_report = evaluate(&galign_result.alignment, task.truth.pairs(), &[1, 10]);
 
     // FINAL: gets a 10 % anchor prior, per the paper's protocol.

@@ -72,10 +72,15 @@ fn toy_movies_align_perfectly_under_galign() {
     use galign_suite::galign::{GAlign, GAlignConfig};
     use galign_suite::metrics::evaluate;
     let task = galign_suite::datasets::toy::toy_movies();
-    let mut cfg = GAlignConfig::fast();
-    cfg.embedding.layer_dims = vec![16, 16];
-    cfg.embedding.epochs = 40;
-    let result = GAlign::new(cfg).align(&task.source, &task.target, 1);
+    let cfg = GAlignConfig::builder()
+        .fast()
+        .layer_dims(vec![16, 16])
+        .epochs(40)
+        .build()
+        .unwrap();
+    let result = GAlign::new(cfg)
+        .align(&task.source, &task.target, 1)
+        .unwrap();
     let report = evaluate(&result.alignment, task.truth.pairs(), &[1]);
     assert!(
         report.success(1).unwrap() >= 0.8,

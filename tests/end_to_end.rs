@@ -25,7 +25,9 @@ fn recovers_pure_permutation() {
     let g = base_graph(1, 60);
     let mut rng = SeededRng::new(2);
     let task = noisy_pair("perm", &g, 0.0, 0.0, &mut rng);
-    let result = GAlign::new(fast_config()).align(&task.source, &task.target, 3);
+    let result = GAlign::new(fast_config())
+        .align(&task.source, &task.target, 3)
+        .unwrap();
     let report = evaluate(&result.alignment, task.truth.pairs(), &[1]);
     assert!(
         report.success(1).unwrap() > 0.95,
@@ -42,7 +44,9 @@ fn tolerates_mild_noise() {
     let g = base_graph(4, 60);
     let mut rng = SeededRng::new(5);
     let task = noisy_pair("noisy", &g, 0.1, 0.1, &mut rng);
-    let result = GAlign::new(fast_config()).align(&task.source, &task.target, 6);
+    let result = GAlign::new(fast_config())
+        .align(&task.source, &task.target, 6)
+        .unwrap();
     let report = evaluate(&result.alignment, task.truth.pairs(), &[1, 10]);
     assert!(
         report.success(10).unwrap() > 0.7,
@@ -59,8 +63,14 @@ fn multi_order_beats_last_layer_only() {
     let mut rng = SeededRng::new(8);
     let task = noisy_pair("abl", &g, 0.1, 0.1, &mut rng);
     let s1 = |variant: AblationVariant| {
-        let cfg = fast_config().with_variant(variant);
-        let result = GAlign::new(cfg).align(&task.source, &task.target, 9);
+        let cfg = GAlignConfig::builder()
+            .fast()
+            .variant(variant)
+            .build()
+            .unwrap();
+        let result = GAlign::new(cfg)
+            .align(&task.source, &task.target, 9)
+            .unwrap();
         evaluate(&result.alignment, task.truth.pairs(), &[1])
             .success(1)
             .unwrap()
@@ -78,7 +88,9 @@ fn multi_order_beats_last_layer_only() {
 #[test]
 fn handles_size_imbalance() {
     let task = galign_suite::datasets::douban(0.08, 11);
-    let result = GAlign::new(fast_config()).align(&task.source, &task.target, 12);
+    let result = GAlign::new(fast_config())
+        .align(&task.source, &task.target, 12)
+        .unwrap();
     let report = evaluate(&result.alignment, task.truth.pairs(), &[1, 10]);
     assert!(
         report.success(10).unwrap() > 0.6,
@@ -94,8 +106,12 @@ fn pipeline_is_deterministic() {
     let g = base_graph(13, 40);
     let mut rng = SeededRng::new(14);
     let task = noisy_pair("det", &g, 0.05, 0.05, &mut rng);
-    let r1 = GAlign::new(fast_config()).align(&task.source, &task.target, 15);
-    let r2 = GAlign::new(fast_config()).align(&task.source, &task.target, 15);
+    let r1 = GAlign::new(fast_config())
+        .align(&task.source, &task.target, 15)
+        .unwrap();
+    let r2 = GAlign::new(fast_config())
+        .align(&task.source, &task.target, 15)
+        .unwrap();
     assert_eq!(r1.top1_anchors(), r2.top1_anchors());
     assert_eq!(r1.train_report.loss_history, r2.train_report.loss_history);
 }

@@ -83,7 +83,7 @@ proptest! {
         ];
         let s = galign_suite::gcn::MultiOrderEmbedding::from_layers(layers_s);
         let t = galign_suite::gcn::MultiOrderEmbedding::from_layers(layers_t);
-        let am = AlignmentMatrix::new(&s, &t, LayerSelection::uniform(2));
+        let am = AlignmentMatrix::new(&s, &t, LayerSelection::uniform(2)).unwrap();
         for v in 0..6 {
             for sc in galign_suite::metrics::ScoreProvider::score_row(&am, v) {
                 prop_assert!(sc.abs() <= 1.0 + 1e-9);
@@ -145,7 +145,8 @@ fn self_alignment_diagonal_dominates_with_random_weights() {
     let g = AttributedGraph::from_edges(20, &edges, attrs);
     let model = GcnModel::new(&mut rng, 8, &[6, 6]);
     let emb = model.forward(&g);
-    let am = AlignmentMatrix::new(&emb, &emb, LayerSelection::uniform(3));
+    let am = AlignmentMatrix::new(&emb, &emb, LayerSelection::uniform(3)).unwrap();
+    #[allow(deprecated)]
     let m: Dense = am.materialize();
     for v in 0..20 {
         let (arg, _) = m.row_argmax(v).unwrap();
