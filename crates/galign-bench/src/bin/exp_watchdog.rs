@@ -1,0 +1,93 @@
+//! Checkpoint overhead of the training watchdog — what the robustness
+//! insurance costs when nothing goes wrong. Compares watchdog-off against
+//! watchdog-on at several `checkpoint_every` settings on a noisy
+//! email-copy task, reporting Success@1 (must be unchanged: checkpoints
+//! are passive on healthy runs) and wall-clock per alignment.
+//!
+//! Regenerate with `cargo run --release -p galign-bench --bin exp_watchdog`.
+
+use galign::GAlignConfig;
+use galign_bench::harness::{fmt4, mean, render_table, CommonArgs, ExperimentOutput};
+use galign_bench::runner::galign_config;
+use galign_datasets::catalog::{email, noisy_task};
+use galign_gcn::WatchdogConfig;
+use galign_metrics::evaluate;
+use std::time::Instant;
+
+/// Mean Success@1 and mean wall-clock seconds over `args.runs` alignments.
+fn run(cfg: &GAlignConfig, args: &CommonArgs) -> (f64, f64) {
+    let mut s1s = Vec::new();
+    let mut secs = Vec::new();
+    for r in 0..args.runs {
+        let base = email(args.scale, args.seed + r as u64);
+        let task = noisy_task(&base, "email", 0.1, 0.1, args.seed + 7 + r as u64);
+        let start = Instant::now();
+        let result = galign::GAlign::new(cfg.clone())
+            .align(&task.source, &task.target, args.seed + 100 * r as u64)
+            .expect("sweep tasks have consistent shapes");
+        secs.push(start.elapsed().as_secs_f64());
+        s1s.push(
+            evaluate(&result.alignment, task.truth.pairs(), &[1])
+                .success(1)
+                .unwrap_or(0.0),
+        );
+    }
+    (mean(&s1s), mean(&secs))
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let base = galign_config(Default::default());
+    let mut output = ExperimentOutput::new("watchdog", &args);
+
+    println!(
+        "\n=== Watchdog checkpoint overhead on noisy email copy (scale {}) ===",
+        args.scale
+    );
+
+    let mut settings: Vec<(String, GAlignConfig)> = Vec::new();
+    let mut off = base.clone();
+    off.embedding.watchdog = None;
+    settings.push(("watchdog off".to_string(), off));
+    for every in [1usize, 5, 10] {
+        let mut cfg = base.clone();
+        cfg.embedding.watchdog = Some(WatchdogConfig {
+            checkpoint_every: every,
+            ..Default::default()
+        });
+        settings.push((format!("checkpoint_every = {every}"), cfg));
+    }
+
+    let mut rows = Vec::new();
+    let mut baseline_secs = None;
+    for (label, cfg) in &settings {
+        let (s1, secs) = run(cfg, &args);
+        let baseline = *baseline_secs.get_or_insert(secs);
+        let overhead = if baseline > 0.0 {
+            (secs / baseline - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            label.clone(),
+            fmt4(s1),
+            format!("{secs:.3}"),
+            format!("{overhead:+.1}%"),
+        ]);
+        output.push(serde_json::json!({
+            "setting": label,
+            "success1": s1,
+            "seconds": secs,
+            "overhead_pct": overhead,
+        }));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Setting", "Success@1", "Seconds", "vs. watchdog off"],
+            &rows
+        )
+    );
+    let path = output.write(&args.out_dir).expect("write results");
+    println!("results written to {}", path.display());
+}

@@ -92,6 +92,7 @@ pub fn galign_config(variant: AblationVariant) -> GAlignConfig {
             p_attribute: train.p_attribute,
             activation: train.activation,
             patience: train.patience,
+            watchdog: train.watchdog,
         },
         theta: None,
         refine: galign::refine::RefineConfig {

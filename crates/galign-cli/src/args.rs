@@ -2,8 +2,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-/// Boolean switches (take no value), with their short aliases.
-const SWITCHES: &[(&str, &str)] = &[("verbose", "-v"), ("quiet", "-q")];
+/// Boolean switches (take no value), with their short aliases. A switch
+/// with no short form repeats its long spelling.
+const SWITCHES: &[(&str, &str)] = &[
+    ("verbose", "-v"),
+    ("quiet", "-q"),
+    ("no-watchdog", "--no-watchdog"),
+];
 
 /// Parsed flags: `--name value` pairs plus boolean switches.
 #[derive(Debug, Clone, Default)]
@@ -117,5 +122,13 @@ mod tests {
         assert!(f.has("verbose"));
         assert!(f.has("quiet"));
         assert_eq!(f.required("out"), "dir");
+    }
+
+    #[test]
+    fn long_only_switch() {
+        let args = vec!["--no-watchdog".to_string()];
+        let f = parse_flags(&args);
+        assert!(f.has("no-watchdog"));
+        assert!(!f.has("verbose"));
     }
 }

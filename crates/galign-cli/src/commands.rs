@@ -2,7 +2,7 @@
 
 use crate::args::Flags;
 use galign::persist::save_model;
-use galign::{GAlign, GAlignConfig, GAlignError};
+use galign::{GAlign, GAlignConfig, GAlignConfigBuilder, GAlignError};
 use galign_baselines::{
     AlignInput, Aligner, Cenalp, DegreeMatch, Final, Ione, IsoRank, Pale, Regal,
 };
@@ -21,6 +21,59 @@ fn to_io(e: GAlignError) -> io::Error {
     match e {
         GAlignError::Io(io) => io,
         other => io::Error::new(io::ErrorKind::InvalidInput, other.to_string()),
+    }
+}
+
+/// Parses an optional numeric flag, keeping the error on the CLI's
+/// `io::Result` plumbing (unlike `Flags::num`, which aborts the process).
+fn parse_num<T: std::str::FromStr>(flags: &Flags, name: &str) -> io::Result<Option<T>> {
+    match flags.optional(name) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("--{name}: cannot parse '{v}'"),
+            )
+        }),
+    }
+}
+
+/// Applies the shared training flags (`--epochs`, `--checkpoint-every`,
+/// `--max-recoveries`, `--no-watchdog`) to a pipeline builder.
+fn apply_training_flags(
+    mut builder: GAlignConfigBuilder,
+    flags: &Flags,
+) -> io::Result<GAlignConfigBuilder> {
+    if let Some(epochs) = parse_num::<usize>(flags, "epochs")? {
+        builder = builder.epochs(epochs);
+    }
+    if let Some(every) = parse_num::<usize>(flags, "checkpoint-every")? {
+        builder = builder.checkpoint_every(every);
+    }
+    if let Some(budget) = parse_num::<usize>(flags, "max-recoveries")? {
+        builder = builder.max_recoveries(budget);
+    }
+    if flags.has("no-watchdog") {
+        builder = builder.watchdog(None);
+    }
+    Ok(builder)
+}
+
+/// Surfaces watchdog activity of a finished run on stderr.
+fn report_train_health(report: &galign_gcn::TrainReport) {
+    match report.health {
+        galign_gcn::TrainHealth::Healthy => {}
+        galign_gcn::TrainHealth::Recovered => galign_telemetry::info!(
+            "align",
+            "watchdog recovered training {} time(s) ({} epoch(s) rolled back)",
+            report.recoveries,
+            report.rollback_epochs
+        ),
+        galign_gcn::TrainHealth::Diverged => galign_telemetry::info!(
+            "align",
+            "training DIVERGED after {} recovery attempt(s); result is the last good checkpoint — treat with suspicion",
+            report.recoveries
+        ),
     }
 }
 
@@ -116,20 +169,12 @@ pub fn align(flags: &Flags) -> CmdResult {
     if method == "galign" {
         // All pipeline knobs pass through the validating builder so a bad
         // flag combination surfaces here, once, as a CLI error.
-        let mut builder = GAlignConfig::builder().fast();
-        if let Some(e) = flags.optional("epochs") {
-            let epochs = e.parse::<usize>().map_err(|_| {
-                io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("--epochs: cannot parse '{e}'"),
-                )
-            })?;
-            builder = builder.epochs(epochs);
-        }
+        let builder = apply_training_flags(GAlignConfig::builder().fast(), flags)?;
         let config = builder.build().map_err(to_io)?;
         let result = GAlign::new(config)
             .align(&source, &target, seed)
             .map_err(to_io)?;
+        report_train_health(&result.train_report);
         anchors = result.top1_anchors();
         if let Some(model_path) = flags.optional("save-model") {
             save_model(&result.model, Path::new(&model_path)).map_err(to_io)?;
@@ -284,7 +329,7 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
     let seed: u64 = flags.num("seed", 1);
     // Route `--theta` through the builder: a wrong-length vector is caught
     // here as a validation error instead of deep inside the pipeline.
-    let mut builder = GAlignConfig::builder().fast();
+    let mut builder = apply_training_flags(GAlignConfig::builder().fast(), flags)?;
     if theta.is_some() {
         builder = builder.theta(theta);
     }
@@ -293,6 +338,7 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
     let result = GAlign::new(config)
         .align(&source, &target, seed)
         .map_err(to_io)?;
+    report_train_health(&result.train_report);
     galign::artifact::export_artifact(&result, &out).map_err(to_io)?;
     let secs = sp.finish();
     if let Some(anchors_path) = flags.optional("anchors") {
@@ -316,13 +362,31 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
 pub fn serve(flags: &Flags) -> CmdResult {
     let artifact_path = flags.required("artifact");
     let addr = flags.or("addr", "127.0.0.1:8080");
-    let artifact = galign_serve::Artifact::read(Path::new(&artifact_path))?;
+    // Crash-safe load: a corrupt artifact is quarantined and the previous
+    // generation (kept by the atomic writer) is served instead.
+    let (artifact, recovered) =
+        galign_serve::Artifact::read_with_fallback(Path::new(&artifact_path))?;
+    if recovered {
+        eprintln!(
+            "warning: {artifact_path} was corrupt (quarantined as .corrupt); \
+             serving the previous generation from {artifact_path}.prev"
+        );
+    }
     let defaults = galign_serve::ServeConfig::default();
     let cfg = galign_serve::ServeConfig {
         workers: flags.num("workers", defaults.workers),
         cache_capacity: flags.num("cache-capacity", defaults.cache_capacity),
         default_k: flags.num("default-k", defaults.default_k),
         max_k: flags.num("max-k", defaults.max_k),
+        request_timeout: std::time::Duration::from_millis(flags.num(
+            "request-timeout-ms",
+            defaults.request_timeout.as_millis() as u64,
+        )),
+        deadline: std::time::Duration::from_millis(
+            flags.num("deadline-ms", defaults.deadline.as_millis() as u64),
+        ),
+        queue_depth: flags.num("queue-depth", defaults.queue_depth),
+        retry_after_secs: flags.num("retry-after-secs", defaults.retry_after_secs),
         ..defaults
     };
     let index = galign_serve::TopkIndex::from_artifact(artifact);

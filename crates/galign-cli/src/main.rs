@@ -74,14 +74,21 @@ fn usage(msg: &str) -> ! {
          \x20 align    --source G.json --target G.json [--method galign|regal|isorank|final|pale|cenalp|ione|degree]\n\
          \x20          [--seeds anchors.json] [--seed N] [--out anchors.json] [--scores scores.json]\n\
          \x20          [--save-model model.json] [--top-k K] [--epochs N]\n\
+         \x20          [--checkpoint-every N] [--max-recoveries N] [--no-watchdog]\n\
          \x20 evaluate --anchors predicted.json --truth truth.json\n\
          \x20 convert  --edges edges.txt [--attrs attrs.csv] [--out graph.json]\n\
          \x20 info     --graph G.json\n\
          \x20 export-artifact --source G.json --target G.json [--seed N] [--theta W,W,..]\n\
-         \x20          [--anchors anchors.json] [--out artifact.bin]\n\
+         \x20          [--anchors anchors.json] [--out artifact.bin] [--epochs N]\n\
+         \x20          [--checkpoint-every N] [--max-recoveries N] [--no-watchdog]\n\
          \x20          | --source-embeddings E.json --target-embeddings E.json [--out artifact.bin]\n\
          \x20 serve    --artifact artifact.bin [--addr HOST:PORT] [--workers N]\n\
-         \x20          [--cache-capacity N] [--default-k K] [--max-k K]\n\n\
+         \x20          [--cache-capacity N] [--default-k K] [--max-k K]\n\
+         \x20          [--request-timeout-ms MS] [--deadline-ms MS] [--queue-depth N] [--retry-after-secs S]\n\n\
+         robustness:\n\
+         \x20 training runs under a divergence watchdog (checkpoint/rollback + LR backoff);\n\
+         \x20 --no-watchdog opts out. serve sheds load past --queue-depth with 503 + Retry-After\n\
+         \x20 and falls back to <artifact>.prev when the artifact file is corrupt.\n\n\
          global flags:\n\
          \x20 -v/--verbose   debug-level progress on stderr\n\
          \x20 -q/--quiet     silence stderr entirely\n\

@@ -9,10 +9,15 @@
 //!   objective (Eq. 10).
 //! * [`train`] — Algorithm 1: the augmented learning loop producing
 //!   multi-order embeddings for both networks.
+//! * [`watchdog`] — divergence watchdog wrapping the training loop:
+//!   NaN/explosion/spike detection with checkpoint rollback and bounded
+//!   learning-rate backoff.
 
 pub mod loss;
 pub mod model;
 pub mod train;
+pub mod watchdog;
 
 pub use model::{GcnModel, MultiOrderEmbedding};
 pub use train::{train_multi_order, TrainConfig, TrainReport};
+pub use watchdog::{TrainHealth, TripReason, Watchdog, WatchdogConfig};

@@ -9,6 +9,7 @@
 
 use crate::loss::combined_loss;
 use crate::model::{Activation, GcnModel, MultiOrderEmbedding};
+use crate::watchdog::{TrainHealth, Watchdog, WatchdogConfig};
 use galign_autograd::{Adam, Tape};
 use galign_graph::{noise, AttributedGraph};
 use galign_matrix::rng::SeededRng;
@@ -39,6 +40,10 @@ pub struct TrainConfig {
     /// Early stopping: abort when the combined loss has not improved for
     /// this many consecutive epochs (`None` = always run all epochs).
     pub patience: Option<usize>,
+    /// Divergence watchdog (checkpoint/rollback/LR-backoff). `None`
+    /// disables all screening and pins the historical behavior where a
+    /// NaN loss silently poisons the rest of the run.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for TrainConfig {
@@ -54,6 +59,7 @@ impl Default for TrainConfig {
             p_attribute: 0.05,
             activation: Activation::Tanh,
             patience: None,
+            watchdog: Some(WatchdogConfig::default()),
         }
     }
 }
@@ -61,8 +67,15 @@ impl Default for TrainConfig {
 /// Training diagnostics.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
-    /// Combined loss per epoch.
+    /// Combined loss of every *applied* epoch (epochs discarded by a
+    /// watchdog rollback are not recorded here).
     pub loss_history: Vec<f64>,
+    /// Watchdog trips that were answered with a rollback + LR backoff.
+    pub recoveries: usize,
+    /// Total epochs of progress discarded across all rollbacks.
+    pub rollback_epochs: usize,
+    /// Terminal health of the run.
+    pub health: TrainHealth,
 }
 
 impl TrainReport {
@@ -130,6 +143,12 @@ pub fn train_multi_order(
     let mut loss_history = Vec::with_capacity(cfg.epochs);
     let mut best_loss = f64::INFINITY;
     let mut epochs_since_best = 0usize;
+    let mut watchdog = cfg.watchdog.clone().map(Watchdog::new);
+    if let Some(w) = watchdog.as_mut() {
+        // Pre-training snapshot so a trip on the very first epochs has
+        // somewhere to roll back to.
+        w.checkpoint(0, model.weights().to_vec(), adam.clone(), f64::INFINITY);
+    }
 
     for epoch in 0..cfg.epochs {
         let epoch_start = std::time::Instant::now();
@@ -158,22 +177,91 @@ pub fn train_multi_order(
             per_graph_losses.push((j, 1.0));
         }
         let total = tape.weighted_sum(&per_graph_losses);
-        let loss = tape.backward(total);
-        loss_history.push(loss);
+        let mut loss = tape.backward(total);
 
-        let grads: Vec<Option<&Dense>> = weight_vars.iter().map(|&v| tape.grad(v)).collect();
-        if galign_telemetry::metrics_enabled() {
-            let grad_norm = grads
+        // Failpoint `gcn.train.loss`: a `trigger(k)` action poisons epoch
+        // k's loss and gradients with NaN, simulating a numerical blow-up
+        // for the fault-injection suite.
+        let mut injected_grads: Option<Vec<Dense>> = None;
+        if let Some(galign_telemetry::failpoint::Action::Trigger(payload)) =
+            galign_telemetry::failpoint::eval("gcn.train.loss")
+        {
+            let at = payload.and_then(|p| p.parse::<usize>().ok()).unwrap_or(0);
+            if epoch == at {
+                loss = f64::NAN;
+                injected_grads = Some(
+                    model
+                        .weight_shapes()
+                        .iter()
+                        .map(|&(r, c)| Dense::filled(r, c, f64::NAN))
+                        .collect(),
+                );
+            }
+        }
+        let grads: Vec<Option<&Dense>> = match &injected_grads {
+            Some(poisoned) => poisoned.iter().map(Some).collect(),
+            None => weight_vars.iter().map(|&v| tape.grad(v)).collect(),
+        };
+
+        let grad_norm = if watchdog.is_some() || galign_telemetry::metrics_enabled() {
+            grads
                 .iter()
                 .filter_map(|g| *g)
                 .flat_map(|g| g.as_slice())
                 .map(|&x| x * x)
                 .sum::<f64>()
-                .sqrt();
+                .sqrt()
+        } else {
+            0.0
+        };
+        if galign_telemetry::metrics_enabled() {
             galign_telemetry::gauge_set("train.loss", loss);
             galign_telemetry::gauge_set("train.lr", adam.lr());
             galign_telemetry::gauge_set("train.grad_norm", grad_norm);
         }
+
+        if let Some(w) = watchdog.as_mut() {
+            if let Some(reason) = w.check(loss, grad_norm) {
+                galign_telemetry::counter_add("train.watchdog.trips", 1);
+                if w.can_recover() {
+                    let backed_off = w.backed_off_lr(adam.lr());
+                    if let Some(ckpt) = w.rollback(epoch) {
+                        model.set_weights(ckpt.weights.clone());
+                        adam = ckpt.adam.clone();
+                    }
+                    adam.set_lr(backed_off);
+                    galign_telemetry::counter_add("train.watchdog.recoveries", 1);
+                    galign_telemetry::info!(
+                        "train",
+                        "watchdog trip at epoch {epoch} ({reason}): rolled back, lr={backed_off:.2e}"
+                    );
+                    continue;
+                }
+                // Recovery budget spent: restore the last good state and
+                // stop rather than keep burning epochs on a diverged run.
+                w.give_up();
+                if let Some(ckpt) = w.last_checkpoint() {
+                    model.set_weights(ckpt.weights.clone());
+                }
+                galign_telemetry::counter_add("train.watchdog.aborts", 1);
+                galign_telemetry::info!(
+                    "train",
+                    "watchdog trip at epoch {epoch} ({reason}): recovery budget spent, aborting"
+                );
+                break;
+            }
+        }
+        loss_history.push(loss);
+
+        // Snapshot *verified* state: these weights just produced a healthy
+        // loss, whereas the step about to be applied has not been screened
+        // yet (a bad step is only observable at the next epoch's loss).
+        if let Some(w) = watchdog.as_mut() {
+            if w.due(epoch) {
+                w.checkpoint(epoch, model.weights().to_vec(), adam.clone(), loss);
+            }
+        }
+
         let mut params = model.weights().to_vec();
         adam.step(&mut params, &grads);
         model.set_weights(params);
@@ -197,13 +285,22 @@ pub fn train_multi_order(
         }
     }
 
+    let (recoveries, rollback_epochs, health) =
+        watchdog.as_ref().map_or((0, 0, TrainHealth::Healthy), |w| {
+            (w.recoveries(), w.rollback_epochs(), w.health())
+        });
     let source_emb = model.forward_with_operator(&prepared[0].laplacian, &prepared[0].attributes);
     let target_emb = model.forward_with_operator(&prepared[1].laplacian, &prepared[1].attributes);
     Trained {
         model,
         source: source_emb,
         target: target_emb,
-        report: TrainReport { loss_history },
+        report: TrainReport {
+            loss_history,
+            recoveries,
+            rollback_epochs,
+            health,
+        },
     }
 }
 
@@ -307,7 +404,90 @@ mod tests {
         };
         let trained = train_multi_order(&s, &t, &cfg, &mut rng);
         assert!(trained.report.loss_history.is_empty());
-        assert!(trained.report.final_loss().is_nan());
+        assert_eq!(trained.report.health, TrainHealth::Healthy);
+        assert_eq!(trained.report.recoveries, 0);
         assert_eq!(trained.source.node_count(), 40);
+    }
+
+    #[test]
+    fn healthy_run_reports_healthy_with_no_recoveries() {
+        let (s, t) = sample_pair(12);
+        let mut rng = SeededRng::new(13);
+        let trained = train_multi_order(&s, &t, &small_cfg(), &mut rng);
+        assert_eq!(trained.report.health, TrainHealth::Healthy);
+        assert_eq!(trained.report.recoveries, 0);
+        assert_eq!(trained.report.rollback_epochs, 0);
+    }
+
+    #[test]
+    fn watchdog_recovers_from_lr_driven_divergence() {
+        let (s, t) = sample_pair(20);
+        let mut rng = SeededRng::new(21);
+        // An absurd learning rate makes the first step catapult the
+        // weights; the watchdog must detect the divergence, roll back to
+        // the verified pre-step snapshot, and back the rate off until the
+        // run stabilises.
+        let cfg = TrainConfig {
+            learning_rate: 50.0,
+            epochs: 20,
+            watchdog: Some(WatchdogConfig {
+                checkpoint_every: 1,
+                max_recoveries: 10,
+                lr_backoff: 0.05,
+                spike_factor: 3.0,
+                ..WatchdogConfig::default()
+            }),
+            ..small_cfg()
+        };
+        let trained = train_multi_order(&s, &t, &cfg, &mut rng);
+        let report = &trained.report;
+        assert!(report.recoveries >= 1, "watchdog never tripped");
+        assert_eq!(report.health, TrainHealth::Recovered, "{report:?}");
+        assert!(
+            report.final_loss().is_finite(),
+            "final loss not finite: {report:?}"
+        );
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn watchdog_recovers_from_injected_nan() {
+        let (s, t) = sample_pair(30);
+        let mut rng = SeededRng::new(31);
+        galign_telemetry::failpoint::cfg_local("gcn.train.loss", "trigger(5)").unwrap();
+        let trained = train_multi_order(&s, &t, &small_cfg(), &mut rng);
+        galign_telemetry::failpoint::clear_local();
+        let report = &trained.report;
+        assert_eq!(report.recoveries, 1, "{report:?}");
+        assert_eq!(report.health, TrainHealth::Recovered);
+        assert!(report.rollback_epochs >= 1);
+        // The poisoned epoch is discarded, every applied epoch is finite.
+        assert_eq!(report.loss_history.len(), 14);
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+        assert!(report.final_loss().is_finite());
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn watchdog_opt_out_pins_nan_poisoning() {
+        // The pre-watchdog trainer let a NaN loss poison every later
+        // epoch; `watchdog: None` deliberately preserves that behavior.
+        let (s, t) = sample_pair(32);
+        let mut rng = SeededRng::new(33);
+        galign_telemetry::failpoint::cfg_local("gcn.train.loss", "trigger(3)").unwrap();
+        let cfg = TrainConfig {
+            watchdog: None,
+            ..small_cfg()
+        };
+        let trained = train_multi_order(&s, &t, &cfg, &mut rng);
+        galign_telemetry::failpoint::clear_local();
+        let report = &trained.report;
+        // The NaN epoch enters the history unchallenged and the NaN
+        // gradients poison the weights (later losses degenerate to 0.0
+        // because NaN embeddings fail every adaptivity comparison).
+        assert!(report.loss_history.iter().any(|l| l.is_nan()), "{report:?}");
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.health, TrainHealth::Healthy);
     }
 }

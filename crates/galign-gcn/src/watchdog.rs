@@ -1,0 +1,418 @@
+//! Training divergence watchdog: detect → roll back → back off → resume.
+//!
+//! GAlign's adaptivity mechanism (§IV-C) makes the *model* robust to graph
+//! perturbation, but the optimisation loop itself can still diverge — a
+//! NaN loss silently poisons every later epoch, and an exploding gradient
+//! can fling the weights far from any useful optimum. The [`Watchdog`]
+//! closes that gap at the systems level:
+//!
+//! 1. every `checkpoint_every` healthy epochs the trainer snapshots the
+//!    model weights **and** the Adam moments into a [`Checkpoint`] (at
+//!    most [`Watchdog::MAX_SNAPSHOTS`] retained, so checkpoint memory is
+//!    bounded by 2× the optimiser state);
+//! 2. each epoch's loss and gradient norm are screened for NaN/Inf,
+//!    gradient-norm explosion and loss-spike divergence;
+//! 3. on a trip, the trainer restores the newest checkpoint, multiplies
+//!    the learning rate by `lr_backoff` (bounded below by `min_lr`), and
+//!    resumes — up to `max_recoveries` times before giving up with
+//!    [`TrainHealth::Diverged`].
+//!
+//! The watchdog holds no reference to the trainer; it is a pure
+//! state-machine over `(epoch, loss, grad_norm)` observations plus a
+//! bounded checkpoint store, which keeps it independently testable.
+
+use galign_autograd::Adam;
+use galign_matrix::Dense;
+
+/// Watchdog tunables. Defaults are deliberately loose: they catch real
+/// divergence (NaN, 1e6-scale gradients, 100x loss spikes) without
+/// tripping on the noisy-but-healthy early epochs of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Snapshot the model + optimiser every this many healthy epochs.
+    pub checkpoint_every: usize,
+    /// Give up (health = [`TrainHealth::Diverged`]) after this many trips.
+    pub max_recoveries: usize,
+    /// Learning-rate multiplier applied on every trip (bounded backoff).
+    pub lr_backoff: f64,
+    /// Floor of the backoff schedule.
+    pub min_lr: f64,
+    /// Trip when `loss > spike_factor * (1 + |best loss|)` (divergence
+    /// spike); `f64::INFINITY` disables the spike detector.
+    pub spike_factor: f64,
+    /// Trip when the global gradient norm exceeds this (explosion);
+    /// `f64::INFINITY` disables the explosion detector.
+    pub grad_norm_limit: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            checkpoint_every: 5,
+            max_recoveries: 3,
+            lr_backoff: 0.5,
+            min_lr: 1e-6,
+            spike_factor: 100.0,
+            grad_norm_limit: 1e6,
+        }
+    }
+}
+
+/// Why the watchdog tripped on an epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TripReason {
+    /// The loss came back NaN or ±Inf.
+    NonFiniteLoss {
+        /// The offending loss value.
+        loss: f64,
+    },
+    /// The global gradient norm exceeded `grad_norm_limit`.
+    GradientExplosion {
+        /// The observed norm.
+        norm: f64,
+    },
+    /// The loss spiked past `spike_factor * (1 + |best|)`.
+    LossSpike {
+        /// The offending loss value.
+        loss: f64,
+        /// Best (lowest) finite loss seen so far.
+        best: f64,
+    },
+}
+
+impl std::fmt::Display for TripReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripReason::NonFiniteLoss { loss } => write!(f, "non-finite loss {loss}"),
+            TripReason::GradientExplosion { norm } => {
+                write!(f, "gradient norm {norm:.3e} exceeds limit")
+            }
+            TripReason::LossSpike { loss, best } => {
+                write!(f, "loss {loss:.3e} spiked past best {best:.3e}")
+            }
+        }
+    }
+}
+
+/// Terminal health of a training run, reported in `TrainReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainHealth {
+    /// No watchdog trip occurred (also reported when the watchdog is off).
+    #[default]
+    Healthy,
+    /// At least one trip occurred and training recovered via rollback.
+    Recovered,
+    /// The recovery budget ran out; the result is the last good state but
+    /// the run should be treated with suspicion.
+    Diverged,
+}
+
+/// A restorable snapshot of the training state: model weights plus the
+/// full Adam state (first/second moments, step count, learning rate).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Epoch the snapshot was taken at (state *entering* that epoch).
+    pub epoch: usize,
+    /// Model weight matrices.
+    pub weights: Vec<Dense>,
+    /// Optimiser state (moments + step counter + lr).
+    pub adam: Adam,
+    /// Loss observed just before the snapshot (`INFINITY` for the initial
+    /// pre-training snapshot).
+    pub loss: f64,
+}
+
+/// The divergence watchdog: health screening plus a bounded checkpoint
+/// ring. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    ring: Vec<Checkpoint>,
+    best_loss: f64,
+    recoveries: usize,
+    rollback_epochs: usize,
+    gave_up: bool,
+}
+
+impl Watchdog {
+    /// Retained checkpoint bound: rollback only ever needs the newest
+    /// snapshot, the one before it insures against a checkpoint taken just
+    /// *before* slow divergence was detected.
+    pub const MAX_SNAPSHOTS: usize = 2;
+
+    /// Creates a watchdog (no checkpoints yet).
+    #[must_use]
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            cfg,
+            ring: Vec::with_capacity(Self::MAX_SNAPSHOTS),
+            best_loss: f64::INFINITY,
+            recoveries: 0,
+            rollback_epochs: 0,
+            gave_up: false,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Trips taken so far.
+    #[must_use]
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Total epochs of progress discarded by rollbacks.
+    #[must_use]
+    pub fn rollback_epochs(&self) -> usize {
+        self.rollback_epochs
+    }
+
+    /// Number of retained checkpoints (≤ [`Self::MAX_SNAPSHOTS`]).
+    #[must_use]
+    pub fn snapshots(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The newest retained checkpoint, if any.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.ring.last()
+    }
+
+    /// Whether the trainer should snapshot after finishing `epoch`
+    /// healthily (the cadence of `checkpoint_every`, which a value of 0
+    /// turns into every epoch).
+    #[must_use]
+    pub fn due(&self, epoch: usize) -> bool {
+        (epoch + 1).is_multiple_of(self.cfg.checkpoint_every.max(1))
+    }
+
+    /// Stores a checkpoint, evicting the oldest beyond
+    /// [`Self::MAX_SNAPSHOTS`].
+    pub fn checkpoint(&mut self, epoch: usize, weights: Vec<Dense>, adam: Adam, loss: f64) {
+        if self.ring.len() == Self::MAX_SNAPSHOTS {
+            self.ring.remove(0);
+        }
+        self.ring.push(Checkpoint {
+            epoch,
+            weights,
+            adam,
+            loss,
+        });
+    }
+
+    /// Screens one epoch's observations. `Some(reason)` means the epoch is
+    /// poisoned and the caller must not apply its gradient step; healthy
+    /// observations update the best-loss reference.
+    pub fn check(&mut self, loss: f64, grad_norm: f64) -> Option<TripReason> {
+        if !loss.is_finite() || grad_norm.is_nan() {
+            return Some(TripReason::NonFiniteLoss { loss });
+        }
+        if grad_norm > self.cfg.grad_norm_limit {
+            return Some(TripReason::GradientExplosion { norm: grad_norm });
+        }
+        if self.best_loss.is_finite() && loss > self.cfg.spike_factor * (1.0 + self.best_loss.abs())
+        {
+            return Some(TripReason::LossSpike {
+                loss,
+                best: self.best_loss,
+            });
+        }
+        self.best_loss = self.best_loss.min(loss);
+        None
+    }
+
+    /// Whether the recovery budget still allows another rollback.
+    #[must_use]
+    pub fn can_recover(&self) -> bool {
+        self.recoveries < self.cfg.max_recoveries
+    }
+
+    /// Consumes one recovery: returns the newest checkpoint to restore and
+    /// accounts the epochs of progress lost relative to `epoch`. Returns
+    /// `None` when no checkpoint exists (the caller then keeps the current
+    /// weights and only backs off the learning rate).
+    pub fn rollback(&mut self, epoch: usize) -> Option<&Checkpoint> {
+        self.recoveries += 1;
+        let ckpt = self.ring.last()?;
+        self.rollback_epochs += epoch.saturating_sub(ckpt.epoch);
+        Some(ckpt)
+    }
+
+    /// Learning rate after one backoff step from `lr`.
+    #[must_use]
+    pub fn backed_off_lr(&self, lr: f64) -> f64 {
+        (lr * self.cfg.lr_backoff).max(self.cfg.min_lr)
+    }
+
+    /// Records that a trip occurred with no recovery budget left; the run
+    /// is terminally [`TrainHealth::Diverged`].
+    pub fn give_up(&mut self) {
+        self.gave_up = true;
+    }
+
+    /// Terminal health for the report.
+    #[must_use]
+    pub fn health(&self) -> TrainHealth {
+        if self.gave_up {
+            TrainHealth::Diverged
+        } else if self.recoveries > 0 {
+            TrainHealth::Recovered
+        } else {
+            TrainHealth::Healthy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dog() -> Watchdog {
+        Watchdog::new(WatchdogConfig::default())
+    }
+
+    fn snapshot(w: &mut Watchdog, epoch: usize) {
+        let adam = Adam::new(0.01, &[(2, 2)]);
+        w.checkpoint(epoch, vec![Dense::zeros(2, 2)], adam, 1.0);
+    }
+
+    #[test]
+    fn healthy_observations_do_not_trip() {
+        let mut w = dog();
+        for (epoch, loss) in [5.0, 4.0, 3.5, 3.6, 3.2].iter().enumerate() {
+            assert_eq!(w.check(*loss, 10.0), None, "epoch {epoch}");
+        }
+        assert_eq!(w.health(), TrainHealth::Healthy);
+        assert_eq!(w.recoveries(), 0);
+    }
+
+    #[test]
+    fn nan_and_inf_losses_trip() {
+        let mut w = dog();
+        assert!(matches!(
+            w.check(f64::NAN, 1.0),
+            Some(TripReason::NonFiniteLoss { .. })
+        ));
+        assert!(matches!(
+            w.check(f64::INFINITY, 1.0),
+            Some(TripReason::NonFiniteLoss { .. })
+        ));
+        // NaN gradients with a finite loss are just as poisonous.
+        assert!(matches!(
+            w.check(1.0, f64::NAN),
+            Some(TripReason::NonFiniteLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn gradient_explosion_trips() {
+        let mut w = dog();
+        assert_eq!(w.check(1.0, 10.0), None);
+        assert!(matches!(
+            w.check(1.0, 1e9),
+            Some(TripReason::GradientExplosion { .. })
+        ));
+    }
+
+    #[test]
+    fn loss_spike_trips_only_after_a_baseline() {
+        let mut w = dog();
+        // First observation can be huge without tripping (no baseline yet).
+        assert_eq!(w.check(1e6, 1.0), None);
+        assert_eq!(w.check(2.0, 1.0), None);
+        let trip = w.check(1e7, 1.0);
+        assert!(
+            matches!(trip, Some(TripReason::LossSpike { .. })),
+            "{trip:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_ring_is_bounded_to_two() {
+        let mut w = dog();
+        for epoch in [5, 10, 15, 20] {
+            snapshot(&mut w, epoch);
+        }
+        assert_eq!(w.snapshots(), Watchdog::MAX_SNAPSHOTS);
+        // Newest is returned by rollback; epochs lost are accounted.
+        let ckpt = w.rollback(23).expect("has checkpoint");
+        assert_eq!(ckpt.epoch, 20);
+        assert_eq!(w.rollback_epochs(), 3);
+        assert_eq!(w.recoveries(), 1);
+    }
+
+    #[test]
+    fn rollback_without_checkpoint_still_counts() {
+        let mut w = dog();
+        assert!(w.rollback(4).is_none());
+        assert_eq!(w.recoveries(), 1);
+        assert_eq!(w.rollback_epochs(), 0);
+    }
+
+    #[test]
+    fn recovery_budget_and_health_transitions() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            max_recoveries: 2,
+            ..WatchdogConfig::default()
+        });
+        assert_eq!(w.health(), TrainHealth::Healthy);
+        snapshot(&mut w, 0);
+        assert!(w.can_recover());
+        w.rollback(1);
+        assert_eq!(w.health(), TrainHealth::Recovered);
+        w.rollback(2);
+        // Budget spent but no further trip: still a recovered run.
+        assert!(!w.can_recover());
+        assert_eq!(w.health(), TrainHealth::Recovered);
+        // A trip with no budget left is terminal.
+        w.give_up();
+        assert_eq!(w.health(), TrainHealth::Diverged);
+    }
+
+    #[test]
+    fn lr_backoff_is_bounded_below() {
+        let w = Watchdog::new(WatchdogConfig {
+            lr_backoff: 0.5,
+            min_lr: 1e-3,
+            ..WatchdogConfig::default()
+        });
+        assert_eq!(w.backed_off_lr(0.01), 5e-3);
+        assert_eq!(w.backed_off_lr(1e-3), 1e-3);
+        assert_eq!(w.backed_off_lr(1e-9), 1e-3);
+    }
+
+    #[test]
+    fn checkpoint_cadence() {
+        let w = Watchdog::new(WatchdogConfig {
+            checkpoint_every: 5,
+            ..WatchdogConfig::default()
+        });
+        let due: Vec<usize> = (0..12).filter(|&e| w.due(e)).collect();
+        assert_eq!(due, vec![4, 9]);
+        // checkpoint_every = 0 degrades to every epoch instead of dividing
+        // by zero.
+        let w0 = Watchdog::new(WatchdogConfig {
+            checkpoint_every: 0,
+            ..WatchdogConfig::default()
+        });
+        assert!((0..3).all(|e| w0.due(e)));
+    }
+
+    #[test]
+    fn spike_detector_can_be_disabled() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            spike_factor: f64::INFINITY,
+            grad_norm_limit: f64::INFINITY,
+            ..WatchdogConfig::default()
+        });
+        assert_eq!(w.check(1.0, 1.0), None);
+        assert_eq!(w.check(1e300, 1e300), None);
+        // NaN still trips — there is no sane reason to disable that.
+        assert!(w.check(f64::NAN, 1.0).is_some());
+    }
+}

@@ -9,13 +9,16 @@
 //!     --addr 127.0.0.1:8080 --requests 2000 --concurrency 8 --k 10 --batch 4
 //! ```
 //!
-//! The node-id range is discovered from `/healthz`. Exits nonzero if any
-//! request fails, so CI can gate on it.
+//! Each thread drives a [`galign_serve::client::Client`], so shed `503`s
+//! (the server's overload protection) are retried with backoff honoring
+//! `Retry-After` rather than counted as failures — the report separates
+//! "requests that eventually succeeded after shedding" from hard
+//! failures. The node-id range is discovered from `/healthz`. Exits
+//! nonzero if any request fails after retries, so CI can gate on it.
 
+use galign_serve::client::{Client, ClientConfig};
 use galign_serve::json::{self, Json};
 use galign_serve::testutil::Xorshift;
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -25,6 +28,7 @@ struct Args {
     k: usize,
     batch: usize,
     seed: u64,
+    max_retries: u32,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +39,7 @@ fn parse_args() -> Args {
         k: 10,
         batch: 1,
         seed: 1,
+        max_retries: 5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,10 +56,13 @@ fn parse_args() -> Args {
             "--k" => args.k = take("k").parse().expect("--k"),
             "--batch" => args.batch = take("batch").parse().expect("--batch"),
             "--seed" => args.seed = take("seed").parse().expect("--seed"),
+            "--max-retries" => {
+                args.max_retries = take("max-retries").parse().expect("--max-retries");
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: loadtest [--addr HOST:PORT] [--requests N] \
-                     [--concurrency C] [--k K] [--batch B] [--seed S]"
+                     [--concurrency C] [--k K] [--batch B] [--seed S] [--max-retries R]"
                 );
                 std::process::exit(2);
             }
@@ -65,32 +73,13 @@ fn parse_args() -> Args {
     args
 }
 
-fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .map_err(|e| e.to_string())?;
-    stream.set_nodelay(true).ok();
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nhost: loadtest\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    )
-    .map_err(|e| format!("write: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("read: {e}"))?;
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("unparseable response: {response:?}"))?;
-    let payload = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, payload))
+fn client_config(max_retries: u32, jitter_seed: u64) -> ClientConfig {
+    ClientConfig {
+        max_retries,
+        io_timeout: Duration::from_secs(30),
+        jitter_seed,
+        ..ClientConfig::default()
+    }
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -105,16 +94,30 @@ fn main() {
     let args = parse_args();
 
     // Discover the queryable node range from the server itself.
-    let (status, health) = request(&args.addr, "GET", "/healthz", "").unwrap_or_else(|e| {
+    let probe = Client::with_config(&args.addr, client_config(args.max_retries, args.seed))
+        .unwrap_or_else(|e| {
+            eprintln!("loadtest: bad address {}: {e}", args.addr);
+            std::process::exit(1);
+        });
+    let health = probe.get("/healthz").unwrap_or_else(|e| {
         eprintln!("loadtest: server unreachable: {e}");
         std::process::exit(1);
     });
-    assert_eq!(status, 200, "healthz returned {status}: {health}");
-    let nodes = json::parse(&health)
+    assert_eq!(
+        health.status,
+        200,
+        "healthz returned {}: {}",
+        health.status,
+        health.body_str()
+    );
+    let nodes = json::parse(&health.body_str())
         .ok()
         .and_then(|h| h.get("source_nodes").and_then(Json::as_usize))
         .unwrap_or_else(|| {
-            eprintln!("loadtest: healthz did not report source_nodes: {health}");
+            eprintln!(
+                "loadtest: healthz did not report source_nodes: {}",
+                health.body_str()
+            );
             std::process::exit(1);
         });
     println!(
@@ -125,21 +128,32 @@ fn main() {
     let per_client = args.requests.div_ceil(args.concurrency);
     let started = Instant::now();
     let mut handles = Vec::new();
-    for client in 0..args.concurrency {
+    for client_id in 0..args.concurrency {
         let addr = args.addr.clone();
-        let (k, batch, seed) = (args.k, args.batch, args.seed);
+        let (k, batch, seed, max_retries) = (args.k, args.batch, args.seed, args.max_retries);
         handles.push(std::thread::spawn(move || {
-            let mut rng = Xorshift::new(seed ^ (client as u64).wrapping_mul(0x9e37));
+            let thread_seed = seed ^ (client_id as u64).wrapping_mul(0x9e37);
+            let client = Client::with_config(&addr, client_config(max_retries, thread_seed))
+                .expect("address already validated");
+            let mut rng = Xorshift::new(thread_seed);
             let mut latencies_ms = Vec::with_capacity(per_client);
             let mut failures = 0usize;
+            let mut retried = 0usize;
+            let mut shed = 0u32;
             for _ in 0..per_client {
                 let ids: Vec<String> = (0..batch).map(|_| rng.below(nodes).to_string()).collect();
                 let body = format!("{{\"nodes\":[{}],\"k\":{k}}}", ids.join(","));
                 let t0 = Instant::now();
-                match request(&addr, "POST", "/v1/align/topk", &body) {
-                    Ok((200, _)) => latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3),
-                    Ok((status, payload)) => {
-                        eprintln!("loadtest: HTTP {status}: {payload}");
+                match client.post_json_with_stats("/v1/align/topk", &body) {
+                    Ok((resp, stats)) if resp.status == 200 => {
+                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        if stats.tries > 1 {
+                            retried += 1;
+                        }
+                        shed += stats.shed;
+                    }
+                    Ok((resp, _)) => {
+                        eprintln!("loadtest: HTTP {}: {}", resp.status, resp.body_str());
                         failures += 1;
                     }
                     Err(e) => {
@@ -148,16 +162,20 @@ fn main() {
                     }
                 }
             }
-            (latencies_ms, failures)
+            (latencies_ms, failures, retried, shed)
         }));
     }
 
     let mut latencies = Vec::new();
     let mut failures = 0;
+    let mut retried = 0;
+    let mut shed = 0u32;
     for h in handles {
-        let (l, f) = h.join().expect("client thread panicked");
+        let (l, f, r, s) = h.join().expect("client thread panicked");
         latencies.extend(l);
         failures += f;
+        retried += r;
+        shed += s;
     }
     let wall = started.elapsed().as_secs_f64();
     latencies.sort_by(f64::total_cmp);
@@ -168,6 +186,7 @@ fn main() {
         latencies.len(),
         latencies.len() as f64 / wall.max(1e-9)
     );
+    println!("loadtest: {retried} requests needed retries; {shed} shed 503 responses absorbed");
     if !latencies.is_empty() {
         let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
         println!(

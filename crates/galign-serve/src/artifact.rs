@@ -346,12 +346,15 @@ impl Artifact {
         Artifact::new(theta, sides, target, flags & FLAG_ROWS_NORMALIZED != 0)
     }
 
-    /// Writes the artifact to `path`.
+    /// Writes the artifact to `path` atomically (tmp file → flush →
+    /// `sync_all` → rename), keeping any previous artifact generation as
+    /// `<name>.prev` for [`Artifact::read_with_fallback`].
     ///
     /// # Errors
-    /// IO failures.
+    /// IO failures; on error the previous contents of `path` survive.
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        galign_telemetry::fsio::atomic_write_keep_prev(path, &self.to_bytes())?;
+        Ok(())
     }
 
     /// Reads and validates an artifact from `path`.
@@ -360,6 +363,56 @@ impl Artifact {
     /// IO failures plus everything [`Artifact::from_bytes`] rejects.
     pub fn read(path: &Path) -> io::Result<Self> {
         Artifact::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Reads an artifact, recovering from corruption: a file that fails
+    /// validation is quarantined as `<name>.corrupt` and the previous
+    /// generation (`<name>.prev`, kept by [`Artifact::write`]) is loaded
+    /// instead. The boolean reports whether the fallback was taken.
+    ///
+    /// # Errors
+    /// OS-level IO failures, or `InvalidData` when both the current and
+    /// previous generations are unreadable (the error message carries both
+    /// failure reasons).
+    pub fn read_with_fallback(path: &Path) -> io::Result<(Self, bool)> {
+        let primary = match Artifact::read(path) {
+            Ok(a) => return Ok((a, false)),
+            Err(e) => e,
+        };
+        let missing = primary.kind() == io::ErrorKind::NotFound;
+        if !missing && primary.kind() != io::ErrorKind::InvalidData {
+            return Err(primary);
+        }
+        let prev = galign_telemetry::fsio::prev_path(path);
+        if missing {
+            // Only a half-finished update (crash between the keep-prev
+            // rename and the final rename) leaves a .prev behind; a
+            // genuinely absent artifact stays a NotFound error.
+            if !prev.exists() {
+                return Err(primary);
+            }
+        } else {
+            galign_telemetry::fsio::quarantine(path)?;
+        }
+        match Artifact::read(&prev) {
+            Ok(a) => {
+                galign_telemetry::counter_add("artifact.recovered_from_prev", 1);
+                galign_telemetry::info!(
+                    "artifact",
+                    "{} was {}; serving previous generation {}",
+                    path.display(),
+                    if missing { "missing" } else { "corrupt" },
+                    prev.display()
+                );
+                Ok((a, true))
+            }
+            Err(fallback) => Err(invalid(format!(
+                "artifact {} unreadable ({primary}); previous \
+                 generation {}: {fallback}",
+                path.display(),
+                prev.display()
+            ))),
+        }
     }
 }
 
@@ -443,6 +496,76 @@ mod tests {
         a.write(&path).unwrap();
         let b = Artifact::read(&path).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_artifact_falls_back_to_previous_generation() {
+        let dir = std::env::temp_dir().join("galign-serve-artifact-fallback");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.galn");
+        let v1 = random_artifact(10, false);
+        let v2 = random_artifact(11, true);
+        v1.write(&path).unwrap();
+        v2.write(&path).unwrap();
+        // Simulate a torn write of the current generation.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 16]).unwrap();
+
+        let (loaded, fell_back) = Artifact::read_with_fallback(&path).unwrap();
+        assert!(fell_back);
+        assert_eq!(loaded, v1);
+        // The corrupt store is never left readable as valid.
+        assert!(!path.exists());
+        assert!(galign_telemetry::fsio::corrupt_path(&path).exists());
+    }
+
+    #[test]
+    fn fallback_without_previous_generation_reports_both_failures() {
+        let dir = std::env::temp_dir().join("galign-serve-artifact-orphan");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("orphan.galn");
+        std::fs::write(&path, b"not an artifact").unwrap();
+        let err = Artifact::read_with_fallback(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("previous generation"), "{err}");
+        assert!(!path.exists(), "corrupt file must be quarantined");
+    }
+
+    #[test]
+    fn fallback_passes_through_healthy_artifacts() {
+        let dir = std::env::temp_dir().join("galign-serve-artifact-healthy");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.galn");
+        let a = random_artifact(12, true);
+        a.write(&path).unwrap();
+        let (loaded, fell_back) = Artifact::read_with_fallback(&path).unwrap();
+        assert!(!fell_back);
+        assert_eq!(loaded, a);
+    }
+
+    #[test]
+    fn missing_current_with_prev_recovers_the_crash_window() {
+        // Crash between the keep-prev rename and the final rename leaves
+        // nothing at `path` and the old generation at `.prev`.
+        let dir = std::env::temp_dir().join("galign-serve-artifact-window");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window.galn");
+        let v1 = random_artifact(9, false);
+        v1.write(&path).unwrap();
+        random_artifact(10, true).write(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let (loaded, fell_back) = Artifact::read_with_fallback(&path).unwrap();
+        assert!(fell_back);
+        assert_eq!(loaded, v1);
+        // A genuinely absent artifact (no .prev either) stays NotFound.
+        let gone = dir.join("never-written.galn");
+        let err = Artifact::read_with_fallback(&gone).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 
     #[test]

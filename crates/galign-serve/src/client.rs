@@ -1,0 +1,400 @@
+//! A minimal std-only HTTP/1.1 client with retry, exponential backoff
+//! and jitter, built for talking to [`crate::server`].
+//!
+//! The server sheds load with `503` + `Retry-After` instead of queueing
+//! unboundedly; a client that hammers straight back defeats that
+//! protection. This client cooperates:
+//!
+//! * transient failures (connect refused/reset, IO errors, `503`) are
+//!   retried up to [`ClientConfig::max_retries`] times;
+//! * the wait between attempts doubles each time (capped at
+//!   [`ClientConfig::max_backoff`]) with deterministic jitter, so a
+//!   thundering herd of shed clients spreads out instead of
+//!   re-synchronising;
+//! * a `Retry-After: N` header (seconds, as the server sends) overrides
+//!   the computed backoff — the server knows its own recovery horizon
+//!   better than the client's schedule does.
+//!
+//! Responses with other statuses (including 4xx/5xx) are returned to the
+//! caller, not retried: a `400` will not become a `200` by asking again.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Retry/backoff tunables.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Retries after the first attempt (total attempts = `max_retries+1`).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout per attempt.
+    pub io_timeout: Duration,
+    /// Seed of the deterministic jitter stream (vary per client thread so
+    /// concurrent clients do not back off in lockstep).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            jitter_seed: 1,
+        }
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a header (name matched case-insensitively).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    #[must_use]
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The server's `Retry-After` hint in seconds, if present and numeric.
+    #[must_use]
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after")?.trim().parse().ok()
+    }
+}
+
+/// Statistics of one logical request (across its retries).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Attempts {
+    /// Attempts made (≥ 1 on success).
+    pub tries: u32,
+    /// How many attempts were answered with a shed `503`.
+    pub shed: u32,
+}
+
+/// The retrying HTTP client.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    jitter: std::cell::Cell<u64>,
+    /// `Retry-After` seconds from the most recent shed response, consumed
+    /// by the next backoff computation.
+    retry_after: std::cell::Cell<Option<u64>>,
+}
+
+impl Client {
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:8080"`) with default
+    /// retry policy.
+    ///
+    /// # Errors
+    /// Address resolution failures.
+    pub fn new(addr: &str) -> io::Result<Self> {
+        Client::with_config(addr, ClientConfig::default())
+    }
+
+    /// Creates a client with an explicit retry policy.
+    ///
+    /// # Errors
+    /// Address resolution failures.
+    pub fn with_config(addr: &str, cfg: ClientConfig) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let jitter = std::cell::Cell::new(cfg.jitter_seed.max(1));
+        Ok(Client {
+            addr,
+            cfg,
+            jitter,
+            retry_after: std::cell::Cell::new(None),
+        })
+    }
+
+    /// `GET path`, with retries. A `503` that survives every retry is
+    /// returned as a response, not an error.
+    ///
+    /// # Errors
+    /// When the last attempt failed at the IO level.
+    pub fn get(&self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, None).map(|(r, _)| r)
+    }
+
+    /// `POST path` with a JSON body, with retries. A `503` that survives
+    /// every retry is returned as a response, not an error.
+    ///
+    /// # Errors
+    /// When the last attempt failed at the IO level.
+    pub fn post_json(&self, path: &str, body: &str) -> io::Result<Response> {
+        self.request("POST", path, Some(body)).map(|(r, _)| r)
+    }
+
+    /// Like [`Client::post_json`] but also reports how many attempts (and
+    /// shed responses) the request took — the loadtest uses this to prove
+    /// that backoff, not luck, recovered the traffic.
+    ///
+    /// # Errors
+    /// When the last attempt failed at the IO level.
+    pub fn post_json_with_stats(&self, path: &str, body: &str) -> io::Result<(Response, Attempts)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(Response, Attempts)> {
+        let mut stats = Attempts::default();
+        // The last outcome: either a 503 response (returned to the caller
+        // if retries run out — it is a real answer, not an IO failure) or
+        // the most recent transport error.
+        let mut last: Option<io::Result<Response>> = None;
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt));
+            }
+            stats.tries += 1;
+            match self.request_once(method, path, body) {
+                Ok(resp) if resp.status == 503 => {
+                    stats.shed += 1;
+                    galign_telemetry::counter_add("client.http.shed_responses", 1);
+                    // Stash the hint where backoff() can see it.
+                    self.retry_after.set(resp.retry_after_secs());
+                    last = Some(Ok(resp));
+                }
+                Ok(resp) => return Ok((resp, stats)),
+                Err(e) => {
+                    galign_telemetry::counter_add("client.http.io_errors", 1);
+                    self.retry_after.set(None);
+                    last = Some(Err(e));
+                }
+            }
+        }
+        match last {
+            Some(Ok(resp)) => Ok((resp, stats)),
+            Some(Err(e)) => Err(e),
+            None => Err(io::Error::other("request failed with no attempts")),
+        }
+    }
+
+    fn request_once(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
+        stream.set_read_timeout(Some(self.cfg.io_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.io_timeout))?;
+        stream.set_nodelay(true).ok();
+        let mut writer = &stream;
+        let body = body.unwrap_or("");
+        write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nhost: galign-client\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        writer.flush()?;
+        read_response(&mut BufReader::new(&stream))
+    }
+
+    /// Next backoff: `Retry-After` if the server sent one (and it is
+    /// positive), else exponential-with-jitter from the attempt number.
+    fn backoff(&self, attempt: u32) -> Duration {
+        if let Some(secs) = self.retry_after.take() {
+            if secs > 0 {
+                return Duration::from_secs(secs);
+            }
+        }
+        let exp = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.cfg.max_backoff);
+        // Half jitter: uniform in [exp/2, exp), so synchronized clients
+        // spread out while still respecting the exponential envelope.
+        let half = exp / 2;
+        half + Duration::from_nanos(self.next_jitter() % (half.as_nanos().max(1) as u64))
+    }
+
+    fn next_jitter(&self) -> u64 {
+        // xorshift64 — deterministic, no external RNG dependency.
+        let mut x = self.jitter.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.set(x);
+        x
+    }
+}
+
+/// Reads and parses one HTTP/1.1 response (status line, headers,
+/// `Content-Length` body or read-to-EOF for `Connection: close`).
+///
+/// # Errors
+/// IO failures or an unparseable response head.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let response = Response {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    let mut body = Vec::new();
+    if let Some(len) = response.header("content-length") {
+        let len: usize = len.parse().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "bad content-length in response")
+        })?;
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(Response { body, ..response })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Artifact, Mat};
+    use crate::server::{ServeConfig, Server};
+    use crate::topk::TopkIndex;
+
+    fn test_server(cfg: ServeConfig) -> crate::server::ServerHandle {
+        let m = Mat::new(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7]).unwrap();
+        let index = TopkIndex::from_artifact(
+            Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap(),
+        );
+        Server::bind("127.0.0.1:0", index, cfg).unwrap().spawn()
+    }
+
+    #[test]
+    fn get_and_post_roundtrip() {
+        let handle = test_server(ServeConfig::default());
+        let client = Client::new(&handle.addr().to_string()).unwrap();
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body_str().contains("\"status\":\"ok\""));
+        let resp = client
+            .post_json("/v1/align/topk", r#"{"nodes":[0],"k":1}"#)
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert!(resp.body_str().contains("\"matches\""));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn non_retryable_statuses_are_returned_not_retried() {
+        let handle = test_server(ServeConfig::default());
+        let client = Client::new(&handle.addr().to_string()).unwrap();
+        let (resp, stats) = client
+            .post_json_with_stats("/v1/align/topk", "not json")
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(stats.tries, 1, "a 400 must not be retried");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connect_failure_is_retried_then_surfaced() {
+        // Bind-then-drop gives a port nothing listens on.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let client = Client::with_config(
+            &format!("127.0.0.1:{port}"),
+            ClientConfig {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+                connect_timeout: Duration::from_millis(200),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let err = client.get("/healthz").unwrap_err();
+        // Three attempts happened (observable only as elapsed backoff);
+        // the final error is the underlying IO failure.
+        assert_ne!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let client = Client::with_config(
+            "127.0.0.1:1",
+            ClientConfig {
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(80),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        for attempt in 1..10 {
+            let b = client.backoff(attempt);
+            assert!(b <= Duration::from_millis(80), "attempt {attempt}: {b:?}");
+            assert!(b >= Duration::from_millis(5), "attempt {attempt}: {b:?}");
+        }
+        // A Retry-After hint overrides the schedule exactly once; a hint
+        // of 0 seconds falls back to the computed schedule.
+        client.retry_after.set(Some(2));
+        assert_eq!(client.backoff(1), Duration::from_secs(2));
+        assert!(client.backoff(1) < Duration::from_secs(1));
+        client.retry_after.set(Some(0));
+        assert!(client.backoff(1) < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn response_parser_handles_headers_and_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\nretry-after: 2\r\ncontent-length: 2\r\n\r\n{}";
+        let resp = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after_secs(), Some(2));
+        assert_eq!(resp.body, b"{}");
+        assert!(read_response(&mut BufReader::new(&b"garbage"[..])).is_err());
+    }
+}

@@ -176,6 +176,32 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Writes a complete `Connection: close` response with caller-supplied
+/// extra headers (e.g. `Retry-After` on a 503).
+///
+/// # Errors
+/// IO failures on the stream.
+pub fn write_response_with_headers(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n")?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
 /// Writes a complete `Connection: close` response.
 ///
 /// # Errors
@@ -186,14 +212,7 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        reason(status),
-        body.len()
-    )?;
-    writer.write_all(body)?;
-    writer.flush()
+    write_response_with_headers(writer, status, content_type, &[], body)
 }
 
 /// Writes a JSON response.
@@ -202,6 +221,25 @@ pub fn write_response(
 /// IO failures on the stream.
 pub fn write_json(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
     write_response(writer, status, "application/json", body.as_bytes())
+}
+
+/// Writes a JSON response with extra headers.
+///
+/// # Errors
+/// IO failures on the stream.
+pub fn write_json_with_headers(
+    writer: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    write_response_with_headers(
+        writer,
+        status,
+        "application/json",
+        extra_headers,
+        body.as_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -287,6 +325,18 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_with_extra_headers() {
+        let mut out = Vec::new();
+        write_json_with_headers(&mut out, 503, &[("retry-after", "2".to_string())], "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        // Extra headers stay inside the head, before the blank line.
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("retry-after"));
     }
 
     #[test]

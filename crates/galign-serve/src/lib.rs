@@ -15,8 +15,12 @@
 //!   kernel — serving and the batch pipeline score through the same code;
 //! * [`cache`] — a sharded in-memory LRU keyed on `(node, k, θ)`;
 //! * [`server`] — a std-only multi-threaded HTTP/1.1 server with a
-//!   bounded worker pool, per-request timeouts and graceful shutdown,
-//!   instrumented through `galign-telemetry`;
+//!   bounded worker pool, per-request timeouts, graceful shutdown, and
+//!   overload protection (a bounded pending queue that sheds excess load
+//!   with `503` + `Retry-After`, plus a cooperative per-request compute
+//!   deadline), instrumented through `galign-telemetry`;
+//! * [`client`] — a std-only HTTP client with retry, exponential backoff
+//!   and jitter that honors `Retry-After`, used by the loadtest example;
 //! * [`http`] / [`json`] — the dependency-free protocol plumbing.
 //!
 //! The HTTP/protocol layers remain dependency-free std code; scoring
@@ -49,6 +53,7 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod client;
 pub mod http;
 pub mod json;
 pub mod server;
@@ -57,5 +62,6 @@ pub mod topk;
 
 pub use artifact::{Artifact, Mat};
 pub use cache::{LruCache, QueryKey, ShardedCache};
+pub use client::{Client, ClientConfig};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use topk::{Hit, QueryError, TopkIndex};

@@ -29,7 +29,7 @@ use crate::json;
 use crate::topk::TopkIndex;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -50,6 +50,15 @@ pub struct ServeConfig {
     pub default_k: usize,
     /// Largest accepted `k` (bounds per-request work and cache entry size).
     pub max_k: usize,
+    /// Bound on connections waiting for a free worker; anything beyond is
+    /// shed with `503` + `Retry-After` instead of queueing unboundedly.
+    pub queue_depth: usize,
+    /// Wall-clock deadline for handling one request, enforced
+    /// cooperatively *inside* the top-k handler (socket timeouts cannot
+    /// bound compute time); exceeding it returns `503`.
+    pub deadline: Duration,
+    /// `Retry-After` value (seconds) attached to every shed/deadline 503.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +70,9 @@ impl Default for ServeConfig {
             cache_shards: 16,
             default_k: 10,
             max_k: 1000,
+            queue_depth: 64,
+            deadline: Duration::from_secs(5),
+            retry_after_secs: 1,
         }
     }
 }
@@ -71,6 +83,22 @@ struct Inner {
     cfg: ServeConfig,
     addr: SocketAddr,
     shutting_down: AtomicBool,
+    /// Connections accepted but not yet picked up by a worker.
+    pending: AtomicU64,
+    /// Requests currently being handled by workers.
+    in_flight: AtomicU64,
+    /// Total connections shed with 503 since startup.
+    shed_total: AtomicU64,
+}
+
+/// Decrements a load counter when the tracked scope ends, whatever exit
+/// path it takes.
+struct CounterGuard<'a>(&'a AtomicU64);
+
+impl Drop for CounterGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A bound (but not yet running) server.
@@ -112,6 +140,9 @@ impl Server {
                 cfg,
                 addr: local,
                 shutting_down: AtomicBool::new(false),
+                pending: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                shed_total: AtomicU64::new(0),
             }),
             listener,
         })
@@ -130,7 +161,8 @@ impl Server {
     /// Fatal listener failures (per-connection errors are absorbed).
     pub fn run(self) -> io::Result<()> {
         let workers = self.inner.cfg.workers.max(1);
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+        let queue_depth = self.inner.cfg.queue_depth.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -139,7 +171,10 @@ impl Server {
             pool.push(std::thread::spawn(move || loop {
                 let stream = rx.lock().expect("worker queue lock").recv();
                 match stream {
-                    Ok(stream) => handle_connection(&inner, stream),
+                    Ok(stream) => {
+                        inner.pending.fetch_sub(1, Ordering::Relaxed);
+                        handle_connection(&inner, stream);
+                    }
                     Err(_) => break, // acceptor dropped the sender: shutdown
                 }
             }));
@@ -150,8 +185,16 @@ impl Server {
             }
             match stream {
                 Ok(stream) => {
-                    if tx.send(stream).is_err() {
-                        break;
+                    // Load shedding: never block the acceptor on a full
+                    // queue — tell the client to back off and come back.
+                    match tx.try_send(stream) {
+                        Ok(()) => {
+                            self.inner.pending.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(mpsc::TrySendError::Full(stream)) => {
+                            shed(&self.inner, &stream);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
                     }
                 }
                 Err(e) => {
@@ -207,15 +250,33 @@ fn begin_shutdown(inner: &Inner) {
     }
 }
 
+/// Refuses a connection the queue has no room for: a fast 503 with
+/// `Retry-After`, written with a short timeout so a slow client cannot
+/// stall the acceptor.
+fn shed(inner: &Inner, stream: &TcpStream) {
+    inner.shed_total.fetch_add(1, Ordering::Relaxed);
+    galign_telemetry::counter_add("serve.http.shed", 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut writer = stream;
+    let _ = http::write_json_with_headers(
+        &mut writer,
+        503,
+        &[("retry-after", inner.cfg.retry_after_secs.to_string())],
+        &error_body("server overloaded, retry later"),
+    );
+}
+
 fn handle_connection(inner: &Inner, stream: TcpStream) {
     let started = Instant::now();
+    inner.in_flight.fetch_add(1, Ordering::Relaxed);
+    let _guard = CounterGuard(&inner.in_flight);
     let _ = stream.set_read_timeout(Some(inner.cfg.request_timeout));
     let _ = stream.set_write_timeout(Some(inner.cfg.request_timeout));
     let mut reader = BufReader::new(&stream);
     let outcome = http::read_request(&mut reader);
     let mut writer = &stream;
     let (status, body) = match outcome {
-        Ok(ReadOutcome::Ok(request)) => route(inner, &request),
+        Ok(ReadOutcome::Ok(request)) => route(inner, &request, started),
         Ok(ReadOutcome::Bad(bad)) => (400, error_body(&bad.0)),
         Ok(ReadOutcome::Closed) => return,
         Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
@@ -226,7 +287,18 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
             return;
         }
     };
-    let _ = http::write_json(&mut writer, status, &body);
+    // Every 503 this server emits means "overloaded, come back later", so
+    // they all carry Retry-After.
+    let _ = if status == 503 {
+        http::write_json_with_headers(
+            &mut writer,
+            status,
+            &[("retry-after", inner.cfg.retry_after_secs.to_string())],
+            &body,
+        )
+    } else {
+        http::write_json(&mut writer, status, &body)
+    };
     if galign_telemetry::metrics_enabled() {
         galign_telemetry::counter_add("serve.http.requests", 1);
         galign_telemetry::counter_add(
@@ -236,6 +308,14 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
                 _ => "serve.http.status.4xx",
             },
             1,
+        );
+        galign_telemetry::gauge_set(
+            "serve.in_flight",
+            inner.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        galign_telemetry::gauge_set(
+            "serve.pending",
+            inner.pending.load(Ordering::Relaxed) as f64,
         );
         galign_telemetry::histogram_record(
             "serve.request.ms",
@@ -248,11 +328,23 @@ fn error_body(msg: &str) -> String {
     format!("{{\"error\":\"{}\"}}", json::escape(msg))
 }
 
-fn route(inner: &Inner, request: &Request) -> (u16, String) {
+fn route(inner: &Inner, request: &Request, started: Instant) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, healthz(inner)),
-        ("POST", "/v1/align/topk") => topk_route(inner, &request.body),
-        ("GET", "/metrics") => (200, galign_telemetry::snapshot_json()),
+        ("POST", "/v1/align/topk") => topk_route(inner, &request.body, started),
+        ("GET", "/metrics") => {
+            // Refresh the load gauges so the snapshot reflects *now*, not
+            // the last completed request.
+            galign_telemetry::gauge_set(
+                "serve.in_flight",
+                inner.in_flight.load(Ordering::Relaxed) as f64,
+            );
+            galign_telemetry::gauge_set(
+                "serve.pending",
+                inner.pending.load(Ordering::Relaxed) as f64,
+            );
+            (200, galign_telemetry::snapshot_json())
+        }
         ("POST", "/v1/admin/shutdown") => {
             galign_telemetry::info!("serve", "shutdown requested via admin endpoint");
             begin_shutdown(inner);
@@ -266,13 +358,24 @@ fn route(inner: &Inner, request: &Request) -> (u16, String) {
 }
 
 fn healthz(inner: &Inner) -> String {
+    let pending = inner.pending.load(Ordering::Relaxed);
+    let in_flight = inner.in_flight.load(Ordering::Relaxed);
+    let shed_total = inner.shed_total.load(Ordering::Relaxed);
+    // Degraded = the pending queue is at least half full: requests are
+    // still served but the next burst will start shedding.
+    let status = if pending.saturating_mul(2) >= inner.cfg.queue_depth.max(1) as u64 {
+        "degraded"
+    } else {
+        "ok"
+    };
     format!(
-        "{{\"status\":\"ok\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{}}}",
+        "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{}}}",
         inner.index.source_nodes(),
         inner.index.target_nodes(),
         inner.index.num_layers(),
         inner.cfg.workers.max(1),
         inner.cache.len(),
+        inner.cfg.queue_depth,
     )
 }
 
@@ -330,8 +433,24 @@ fn parse_topk_body(inner: &Inner, body: &[u8]) -> Result<TopkQuery, String> {
     Ok(TopkQuery { nodes, k, theta })
 }
 
-fn topk_route(inner: &Inner, body: &[u8]) -> (u16, String) {
-    let started = Instant::now();
+/// Cooperative deadline check: socket timeouts cannot bound *compute*
+/// time, so the handler polls this at its expensive boundaries.
+fn past_deadline(inner: &Inner, started: Instant) -> Option<(u16, String)> {
+    if started.elapsed() >= inner.cfg.deadline {
+        galign_telemetry::counter_add("serve.topk.deadline_exceeded", 1);
+        return Some((503, error_body("deadline exceeded, retry later")));
+    }
+    None
+}
+
+fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
+    // Failpoint `serve.topk.stall`: a `delay(ms)` action sleeps here,
+    // simulating a handler stall for the fault-injection suite (which the
+    // deadline check below must then catch).
+    galign_telemetry::failpoint::eval("serve.topk.stall");
+    if let Some(reply) = past_deadline(inner, started) {
+        return reply;
+    }
     let query = match parse_topk_body(inner, body) {
         Ok(q) => q,
         Err(msg) => return (400, error_body(&msg)),
@@ -350,6 +469,12 @@ fn topk_route(inner: &Inner, body: &[u8]) -> (u16, String) {
     }
     let miss_count = miss_positions.len() as u64;
     if !miss_positions.is_empty() {
+        // The batch compute is the expensive part — re-check the deadline
+        // on the way in rather than burning kernel time on a request whose
+        // client has already been promised an answer it can't get in time.
+        if let Some(reply) = past_deadline(inner, started) {
+            return reply;
+        }
         let miss_nodes: Vec<usize> = miss_positions.iter().map(|&i| query.nodes[i]).collect();
         let computed = match inner.index.topk_batch(&miss_nodes, query.k, theta) {
             Ok(c) => c,
@@ -410,20 +535,27 @@ mod tests {
         TopkIndex::from_artifact(Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap())
     }
 
-    fn test_inner() -> Inner {
+    fn test_inner_with(cfg: ServeConfig) -> Inner {
         Inner {
             index: test_index(),
             cache: ShardedCache::new(64, 2),
-            cfg: ServeConfig::default(),
+            cfg,
             addr: "127.0.0.1:0".parse().unwrap(),
             shutting_down: AtomicBool::new(false),
+            pending: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
         }
+    }
+
+    fn test_inner() -> Inner {
+        test_inner_with(ServeConfig::default())
     }
 
     #[test]
     fn topk_route_happy_path_and_cache() {
         let inner = test_inner();
-        let (status, body) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#);
+        let (status, body) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#, Instant::now());
         assert_eq!(status, 200, "{body}");
         let doc = json::parse(&body).unwrap();
         let results = doc.get("results").unwrap().as_arr().unwrap();
@@ -431,7 +563,7 @@ mod tests {
         let first = results[0].get("matches").unwrap().as_arr().unwrap();
         assert_eq!(first[0].get("target").unwrap().as_usize(), Some(0));
         // Second identical request is served from the cache.
-        let (status2, body2) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#);
+        let (status2, body2) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#, Instant::now());
         assert_eq!(status2, 200);
         assert_eq!(body, body2);
         let (hits, misses) = inner.cache.stats();
@@ -451,7 +583,7 @@ mod tests {
             (br#"{"nodes":[0],"theta":[1.0,2.0]}"#, "theta"),
             (br#"{"nodes":[-1]}"#, "non-negative"),
         ] {
-            let (status, msg) = topk_route(&inner, body);
+            let (status, msg) = topk_route(&inner, body, Instant::now());
             assert_eq!(status, 400, "body {body:?} gave {msg}");
             assert!(
                 msg.to_lowercase().contains(&needle.to_lowercase()),
@@ -461,9 +593,41 @@ mod tests {
     }
 
     #[test]
+    fn exceeded_deadline_returns_503() {
+        let inner = test_inner_with(ServeConfig {
+            deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        });
+        let (status, body) = topk_route(&inner, br#"{"nodes":[0]}"#, Instant::now());
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("deadline"), "{body}");
+    }
+
+    #[test]
+    fn healthz_reports_load_and_degrades_when_queue_fills() {
+        let inner = test_inner_with(ServeConfig {
+            queue_depth: 4,
+            ..ServeConfig::default()
+        });
+        inner.in_flight.store(3, Ordering::Relaxed);
+        inner.shed_total.store(7, Ordering::Relaxed);
+        let doc = json::parse(&healthz(&inner)).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("in_flight").unwrap().as_usize(), Some(3));
+        assert_eq!(doc.get("shed_total").unwrap().as_usize(), Some(7));
+        assert_eq!(doc.get("queue_depth").unwrap().as_usize(), Some(4));
+        // Half-full pending queue flips the status to degraded.
+        inner.pending.store(2, Ordering::Relaxed);
+        let doc = json::parse(&healthz(&inner)).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(doc.get("pending").unwrap().as_usize(), Some(2));
+    }
+
+    #[test]
     fn single_node_form_and_theta_override() {
         let inner = test_inner();
-        let (status, body) = topk_route(&inner, br#"{"node":2,"k":1,"theta":[1.0]}"#);
+        let (status, body) =
+            topk_route(&inner, br#"{"node":2,"k":1,"theta":[1.0]}"#, Instant::now());
         assert_eq!(status, 200, "{body}");
         let doc = json::parse(&body).unwrap();
         let matches = doc.get("results").unwrap().as_arr().unwrap()[0]
@@ -484,13 +648,14 @@ mod tests {
             headers: vec![],
             body: br#"{"nodes":[0]}"#.to_vec(),
         };
-        assert_eq!(route(&inner, &req("GET", "/healthz")).0, 200);
-        assert_eq!(route(&inner, &req("GET", "/metrics")).0, 200);
-        assert_eq!(route(&inner, &req("POST", "/v1/align/topk")).0, 200);
-        assert_eq!(route(&inner, &req("GET", "/v1/align/topk")).0, 405);
-        assert_eq!(route(&inner, &req("POST", "/metrics")).0, 405);
-        assert_eq!(route(&inner, &req("GET", "/nope")).0, 404);
-        let health = route(&inner, &req("GET", "/healthz")).1;
+        let now = Instant::now;
+        assert_eq!(route(&inner, &req("GET", "/healthz"), now()).0, 200);
+        assert_eq!(route(&inner, &req("GET", "/metrics"), now()).0, 200);
+        assert_eq!(route(&inner, &req("POST", "/v1/align/topk"), now()).0, 200);
+        assert_eq!(route(&inner, &req("GET", "/v1/align/topk"), now()).0, 405);
+        assert_eq!(route(&inner, &req("POST", "/metrics"), now()).0, 405);
+        assert_eq!(route(&inner, &req("GET", "/nope"), now()).0, 404);
+        let health = route(&inner, &req("GET", "/healthz"), now()).1;
         let doc = json::parse(&health).unwrap();
         assert_eq!(doc.get("source_nodes").unwrap().as_usize(), Some(3));
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));

@@ -1,0 +1,376 @@
+//! Deterministic fault-injection sites ("failpoints").
+//!
+//! A failpoint is a named site in production code where a test (or an
+//! operator, via the `GALIGN_FAILPOINTS` environment variable) can inject
+//! a fault: a panic, a delay, or a site-specific trigger the surrounding
+//! code interprets (e.g. "poison this epoch's loss with NaN", "crash
+//! between tmp-write and rename"). Sites call [`eval`]; with the
+//! `failpoints` cargo feature **disabled** (the default) `eval` is an
+//! `#[inline(always)]` constant `None` and the whole mechanism compiles
+//! to nothing — zero branches on the hot path.
+//!
+//! ## Configuring sites
+//!
+//! Actions are described by a small spec grammar:
+//!
+//! ```text
+//! panic            panic at the site
+//! panic(msg)       panic with a message
+//! delay(ms)        sleep `ms` milliseconds, then continue
+//! trigger          site-specific fault, no payload
+//! trigger(payload) site-specific fault with a payload string
+//! 2*trigger        fire at most twice, then deactivate
+//! ```
+//!
+//! Three configuration layers, highest priority first:
+//!
+//! 1. **thread-local** ([`cfg_local`]) — scoped to the calling thread, the
+//!    right tool for unit tests that run in parallel;
+//! 2. **global** ([`cfg`]) — process-wide, needed when the faulted code
+//!    runs on other threads (e.g. server workers);
+//! 3. **environment** — `GALIGN_FAILPOINTS="site=spec;site2=spec"`, read
+//!    once at first use and merged into the global layer.
+//!
+//! ```
+//! use galign_telemetry::failpoint;
+//! # #[cfg(feature = "failpoints")] {
+//! failpoint::cfg_local("demo.site", "1*trigger(7)").unwrap();
+//! assert_eq!(
+//!     failpoint::eval("demo.site"),
+//!     Some(failpoint::Action::Trigger(Some("7".into())))
+//! );
+//! assert_eq!(failpoint::eval("demo.site"), None); // count exhausted
+//! failpoint::clear_local();
+//! # }
+//! ```
+
+/// A fault to inject at a site.
+///
+/// [`eval`] executes `Panic` and `Delay` itself (the former never
+/// returns); `Trigger` is returned to the call site, which interprets the
+/// optional payload (the trainer reads it as an epoch index, the
+/// persistence layer ignores it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with the given message (a simulated crash).
+    Panic(String),
+    /// Sleep for the given number of milliseconds (a simulated stall),
+    /// then return the action so the site can log it.
+    Delay(u64),
+    /// A site-specific fault with an optional payload.
+    Trigger(Option<String>),
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::Action;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// A configured site: the action plus an optional remaining-fire count.
+    #[derive(Debug, Clone)]
+    struct Site {
+        action: Action,
+        remaining: Option<u32>,
+    }
+
+    fn parse_spec(spec: &str) -> Result<Site, String> {
+        let spec = spec.trim();
+        let (remaining, body) = match spec.split_once('*') {
+            Some((count, rest)) => {
+                let n: u32 = count
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad fire count in {spec:?}"))?;
+                (Some(n), rest.trim())
+            }
+            None => (None, spec),
+        };
+        let (name, payload) = match body.split_once('(') {
+            Some((name, rest)) => {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed '(' in {spec:?}"))?;
+                (name.trim(), Some(inner.to_string()))
+            }
+            None => (body, None),
+        };
+        let action = match name {
+            "panic" => Action::Panic(payload.unwrap_or_else(|| "failpoint panic".into())),
+            "delay" => {
+                let ms = payload
+                    .as_deref()
+                    .unwrap_or("0")
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad delay in {spec:?} (want delay(ms))"))?;
+                Action::Delay(ms)
+            }
+            "trigger" => Action::Trigger(payload),
+            other => return Err(format!("unknown failpoint action {other:?}")),
+        };
+        Ok(Site { action, remaining })
+    }
+
+    type SiteMap = HashMap<String, Site>;
+
+    fn global() -> MutexGuard<'static, SiteMap> {
+        static GLOBAL: OnceLock<Mutex<SiteMap>> = OnceLock::new();
+        let map = GLOBAL.get_or_init(|| {
+            let mut map = SiteMap::new();
+            if let Ok(env) = std::env::var("GALIGN_FAILPOINTS") {
+                for entry in env.split(';').filter(|e| !e.trim().is_empty()) {
+                    match entry.split_once('=') {
+                        Some((site, spec)) => match parse_spec(spec) {
+                            Ok(parsed) => {
+                                map.insert(site.trim().to_string(), parsed);
+                            }
+                            Err(e) => eprintln!("GALIGN_FAILPOINTS: {e}"),
+                        },
+                        None => eprintln!("GALIGN_FAILPOINTS: missing '=' in {entry:?}"),
+                    }
+                }
+            }
+            Mutex::new(map)
+        });
+        map.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<SiteMap> = RefCell::new(SiteMap::new());
+    }
+
+    /// Pops the next action for `site` from a layer, honouring and
+    /// decrementing the remaining-fire count.
+    fn take(map: &mut SiteMap, site: &str) -> Option<Action> {
+        let entry = map.get_mut(site)?;
+        match &mut entry.remaining {
+            None => Some(entry.action.clone()),
+            Some(0) => None,
+            Some(n) => {
+                *n -= 1;
+                Some(entry.action.clone())
+            }
+        }
+    }
+
+    pub fn eval(site: &str) -> Option<Action> {
+        let action = LOCAL
+            .with(|l| take(&mut l.borrow_mut(), site))
+            .or_else(|| take(&mut global(), site))?;
+        crate::counter_add("failpoint.fired", 1);
+        match action {
+            Action::Panic(msg) => panic!("failpoint {site}: {msg}"),
+            Action::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Some(Action::Delay(ms))
+            }
+            trigger => Some(trigger),
+        }
+    }
+
+    pub fn cfg(site: &str, spec: &str) -> Result<(), String> {
+        let parsed = parse_spec(spec)?;
+        global().insert(site.to_string(), parsed);
+        Ok(())
+    }
+
+    pub fn cfg_local(site: &str, spec: &str) -> Result<(), String> {
+        let parsed = parse_spec(spec)?;
+        LOCAL.with(|l| l.borrow_mut().insert(site.to_string(), parsed));
+        Ok(())
+    }
+
+    pub fn remove(site: &str) {
+        global().remove(site);
+        LOCAL.with(|l| l.borrow_mut().remove(site));
+    }
+
+    pub fn clear() {
+        global().clear();
+        clear_local();
+    }
+
+    pub fn clear_local() {
+        LOCAL.with(|l| l.borrow_mut().clear());
+    }
+
+    pub fn scenario_lock() -> MutexGuard<'static, ()> {
+        static SCENARIO: Mutex<()> = Mutex::new(());
+        SCENARIO.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{cfg, cfg_local, clear, clear_local, eval, remove};
+
+#[cfg(feature = "failpoints")]
+/// RAII scope for tests that configure **global** failpoints: serialises
+/// concurrent scenarios behind one process-wide lock and clears every
+/// site (global and thread-local) on drop. Tests that only use
+/// [`cfg_local`] do not need it.
+pub struct Scenario {
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+#[cfg(feature = "failpoints")]
+impl Scenario {
+    /// Acquires the scenario lock and starts from a clean registry.
+    #[must_use]
+    pub fn setup() -> Self {
+        let guard = imp::scenario_lock();
+        imp::clear();
+        Scenario { _guard: guard }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+impl Drop for Scenario {
+    fn drop(&mut self) {
+        imp::clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feature-off stubs: everything inlines to nothing.
+// ---------------------------------------------------------------------------
+
+/// Evaluates the failpoint named `site`. Returns the injected [`Action`]
+/// (with `Panic` already raised and `Delay` already slept), or `None` when
+/// the site is not configured — always `None` when the `failpoints`
+/// feature is off.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn eval(_site: &str) -> Option<Action> {
+    None
+}
+
+/// Configures a site process-wide (no-op without the `failpoints` feature).
+///
+/// # Errors
+/// Malformed spec strings.
+#[cfg(not(feature = "failpoints"))]
+pub fn cfg(_site: &str, _spec: &str) -> Result<(), String> {
+    Ok(())
+}
+
+/// Configures a site for the calling thread only (no-op without the
+/// `failpoints` feature).
+///
+/// # Errors
+/// Malformed spec strings.
+#[cfg(not(feature = "failpoints"))]
+pub fn cfg_local(_site: &str, _spec: &str) -> Result<(), String> {
+    Ok(())
+}
+
+/// Removes one site from every layer.
+#[cfg(not(feature = "failpoints"))]
+pub fn remove(_site: &str) {}
+
+/// Clears every configured site (global and thread-local).
+#[cfg(not(feature = "failpoints"))]
+pub fn clear() {}
+
+/// Clears the calling thread's sites.
+#[cfg(not(feature = "failpoints"))]
+pub fn clear_local() {}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_site_is_none() {
+        assert_eq!(eval("fp.nothing-here"), None);
+    }
+
+    #[test]
+    fn trigger_with_payload_and_count() {
+        cfg_local("fp.count", "2*trigger(abc)").unwrap();
+        assert_eq!(eval("fp.count"), Some(Action::Trigger(Some("abc".into()))));
+        assert_eq!(eval("fp.count"), Some(Action::Trigger(Some("abc".into()))));
+        assert_eq!(eval("fp.count"), None, "count exhausted");
+        clear_local();
+    }
+
+    #[test]
+    fn trigger_without_payload() {
+        cfg_local("fp.bare", "trigger").unwrap();
+        assert_eq!(eval("fp.bare"), Some(Action::Trigger(None)));
+        // Unbounded: keeps firing.
+        assert_eq!(eval("fp.bare"), Some(Action::Trigger(None)));
+        clear_local();
+    }
+
+    #[test]
+    fn delay_sleeps_then_returns() {
+        cfg_local("fp.delay", "1*delay(10)").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(eval("fp.delay"), Some(Action::Delay(10)));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        clear_local();
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        cfg_local("fp.boom", "panic(simulated crash)").unwrap();
+        let err = std::panic::catch_unwind(|| eval("fp.boom")).unwrap_err();
+        clear_local();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(msg.contains("fp.boom"), "{msg}");
+        assert!(msg.contains("simulated crash"), "{msg}");
+    }
+
+    #[test]
+    fn local_layer_shadows_global() {
+        let _s = Scenario::setup();
+        cfg("fp.layered", "trigger(global)").unwrap();
+        cfg_local("fp.layered", "trigger(local)").unwrap();
+        assert_eq!(
+            eval("fp.layered"),
+            Some(Action::Trigger(Some("local".into())))
+        );
+        clear_local();
+        assert_eq!(
+            eval("fp.layered"),
+            Some(Action::Trigger(Some("global".into())))
+        );
+        remove("fp.layered");
+        assert_eq!(eval("fp.layered"), None);
+    }
+
+    #[test]
+    fn global_sites_visible_from_other_threads() {
+        let _s = Scenario::setup();
+        cfg("fp.cross-thread", "trigger").unwrap();
+        let seen = std::thread::spawn(|| eval("fp.cross-thread"))
+            .join()
+            .unwrap();
+        assert_eq!(seen, Some(Action::Trigger(None)));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for spec in ["explode", "trigger(unclosed", "x*trigger", "delay(soon)"] {
+            assert!(cfg_local("fp.bad", spec).is_err(), "accepted {spec:?}");
+        }
+        // A rejected spec must not configure the site.
+        assert_eq!(eval("fp.bad"), None);
+    }
+
+    #[test]
+    fn scenario_clears_on_drop() {
+        {
+            let _s = Scenario::setup();
+            cfg("fp.scoped", "trigger").unwrap();
+            assert!(eval("fp.scoped").is_some());
+        }
+        let _s = Scenario::setup();
+        assert_eq!(eval("fp.scoped"), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Crash-safe file writes and corrupt-file quarantine.
+//!
+//! Every artifact/model/embedding writer in the suite funnels through
+//! [`atomic_write`]: the bytes go to a temporary file *in the same
+//! directory* (so the final rename cannot cross filesystems), are flushed
+//! and `sync_all`-ed, and only then renamed over the destination. A crash
+//! at any point leaves either the old generation or the new one — never a
+//! half-written file readable as valid.
+//!
+//! [`atomic_write_keep_prev`] additionally keeps the previous generation
+//! as `<name>.prev`, giving loaders a fallback when the current file turns
+//! out corrupt (see [`prev_path`] / [`quarantine`]). The window between
+//! the two renames is covered by the `fsio.atomic_write` failpoint, which
+//! the fault-injection suite uses to simulate crashes mid-update.
+
+use crate::failpoint;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Appends `suffix` to the file name of `path` (`a/b.bin` → `a/b.bin.prev`).
+fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The previous-generation sibling of `path` (`<name>.prev`).
+#[must_use]
+pub fn prev_path(path: &Path) -> PathBuf {
+    with_suffix(path, ".prev")
+}
+
+/// The quarantine sibling of `path` (`<name>.corrupt`).
+#[must_use]
+pub fn corrupt_path(path: &Path) -> PathBuf {
+    with_suffix(path, ".corrupt")
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    with_suffix(path, &format!(".tmp.{}.{n}", std::process::id()))
+}
+
+/// Best-effort directory fsync so the rename itself is durable (no-op on
+/// platforms where directories cannot be opened).
+fn sync_dir(path: &Path) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Writes the temporary sibling and durably flushes it.
+fn write_tmp(path: &Path, bytes: &[u8]) -> io::Result<PathBuf> {
+    let tmp = tmp_path(path);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    Ok(tmp)
+}
+
+/// Evaluates the `fsio.atomic_write` failpoint sitting between tmp-write
+/// and rename; a `trigger` action simulates a crash by erroring out with
+/// the temporary file left behind, exactly as a real crash would.
+fn crash_window(tmp: &Path) -> io::Result<()> {
+    if let Some(failpoint::Action::Trigger(_)) = failpoint::eval("fsio.atomic_write") {
+        return Err(io::Error::other(format!(
+            "failpoint fsio.atomic_write: simulated crash before rename \
+             (tmp file {} left behind)",
+            tmp.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Atomically replaces `path` with `bytes`: tmp file in the same
+/// directory → flush → `sync_all` → rename.
+///
+/// # Errors
+/// IO failures at any step; on error the destination is untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = write_tmp(path, bytes)?;
+    crash_window(&tmp)?;
+    std::fs::rename(&tmp, path)?;
+    sync_dir(path);
+    crate::counter_add("fsio.atomic_writes", 1);
+    Ok(())
+}
+
+/// Like [`atomic_write`], but first preserves any existing `path` as
+/// `<name>.prev` (replacing an older `.prev`). Returns whether a previous
+/// generation was kept.
+///
+/// Crash windows: before the first rename the old generation is intact at
+/// `path`; between the renames it is intact at `<name>.prev` (loaders fall
+/// back to it); after the second rename the new generation is live.
+///
+/// # Errors
+/// IO failures at any step.
+pub fn atomic_write_keep_prev(path: &Path, bytes: &[u8]) -> io::Result<bool> {
+    let tmp = write_tmp(path, bytes)?;
+    let kept = path.exists();
+    if kept {
+        std::fs::rename(path, prev_path(path))?;
+    }
+    crash_window(&tmp)?;
+    std::fs::rename(&tmp, path)?;
+    sync_dir(path);
+    crate::counter_add("fsio.atomic_writes", 1);
+    Ok(kept)
+}
+
+/// Moves a file that failed validation out of the way as `<name>.corrupt`
+/// (replacing any previous quarantine), so the next load attempt does not
+/// trip over it again and the evidence survives for inspection.
+///
+/// # Errors
+/// IO failures from the rename (a missing source file is *not* an error —
+/// the goal state "nothing readable at `path`" already holds).
+pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
+    let dest = corrupt_path(path);
+    match std::fs::rename(path, &dest) {
+        Ok(()) => {
+            crate::counter_add("fsio.quarantined", 1);
+            crate::info!("fsio", "quarantined corrupt file as {}", dest.display());
+            Ok(dest)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(dest),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("galign-fsio-test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_roundtrip_and_overwrite() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("data.bin");
+        atomic_write(&path, b"generation-1").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"generation-1");
+        atomic_write(&path, b"generation-2").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"generation-2");
+        // No stray temporary files remain.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn keep_prev_retains_one_generation() {
+        let dir = tmp_dir("keep-prev");
+        let path = dir.join("model.json");
+        assert!(!atomic_write_keep_prev(&path, b"v1").unwrap());
+        assert!(atomic_write_keep_prev(&path, b"v2").unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), b"v2");
+        assert_eq!(std::fs::read(prev_path(&path)).unwrap(), b"v1");
+        // A third write replaces the .prev, never accumulates.
+        assert!(atomic_write_keep_prev(&path, b"v3").unwrap());
+        assert_eq!(std::fs::read(prev_path(&path)).unwrap(), b"v2");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn quarantine_moves_file_aside() {
+        let dir = tmp_dir("quarantine");
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, b"garbage").unwrap();
+        let dest = quarantine(&path).unwrap();
+        assert!(!path.exists());
+        assert_eq!(std::fs::read(&dest).unwrap(), b"garbage");
+        // Quarantining a missing file is not an error.
+        quarantine(&path).unwrap();
+    }
+
+    #[test]
+    fn suffix_paths() {
+        let p = Path::new("/a/b/model.bin");
+        assert_eq!(prev_path(p), Path::new("/a/b/model.bin.prev"));
+        assert_eq!(corrupt_path(p), Path::new("/a/b/model.bin.corrupt"));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn simulated_crash_before_rename_keeps_old_generation() {
+        let dir = tmp_dir("crash");
+        let path = dir.join("store.bin");
+        atomic_write(&path, b"good-old").unwrap();
+
+        crate::failpoint::cfg_local("fsio.atomic_write", "1*trigger").unwrap();
+        let err = atomic_write_keep_prev(&path, b"never-lands").unwrap_err();
+        crate::failpoint::clear_local();
+        assert!(err.to_string().contains("simulated crash"), "{err}");
+
+        // The old generation survived the crash — at `path` or, if the
+        // crash hit between the two renames, at `<name>.prev`.
+        let survivor = if path.exists() {
+            std::fs::read(&path).unwrap()
+        } else {
+            std::fs::read(prev_path(&path)).unwrap()
+        };
+        assert_eq!(survivor, b"good-old");
+
+        // Recovery: the next write goes through cleanly.
+        atomic_write_keep_prev(&path, b"new").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+    }
+}

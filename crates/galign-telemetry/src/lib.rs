@@ -27,6 +27,8 @@
 //! telemetry::info!("pipeline", "refinement done in {secs:.2}s");
 //! ```
 
+pub mod failpoint;
+pub mod fsio;
 pub mod registry;
 pub mod sink;
 pub mod trace;

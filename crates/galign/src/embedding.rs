@@ -2,7 +2,9 @@
 //! `galign-gcn` trainer (Algorithm 1) with the paper's defaults.
 
 use galign_gcn::model::Activation;
-use galign_gcn::{train_multi_order, GcnModel, MultiOrderEmbedding, TrainConfig, TrainReport};
+use galign_gcn::{
+    train_multi_order, GcnModel, MultiOrderEmbedding, TrainConfig, TrainReport, WatchdogConfig,
+};
 use galign_graph::AttributedGraph;
 use galign_matrix::rng::SeededRng;
 
@@ -30,6 +32,9 @@ pub struct EmbeddingConfig {
     pub activation: Activation,
     /// Early-stopping patience (see `TrainConfig::patience`).
     pub patience: Option<usize>,
+    /// Divergence watchdog (checkpoint/rollback on NaN, gradient
+    /// explosion or loss spike); `None` disables supervision entirely.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for EmbeddingConfig {
@@ -46,6 +51,7 @@ impl Default for EmbeddingConfig {
             p_attribute: t.p_attribute,
             activation: t.activation,
             patience: t.patience,
+            watchdog: t.watchdog,
         }
     }
 }
@@ -64,6 +70,7 @@ impl EmbeddingConfig {
             p_attribute: self.p_attribute,
             activation: self.activation,
             patience: self.patience,
+            watchdog: self.watchdog.clone(),
         }
     }
 
@@ -121,6 +128,7 @@ mod tests {
         assert_eq!(t.epochs, 5);
         assert_eq!(t.gamma, 0.5);
         assert_eq!(cfg.num_layers(), 2);
+        assert!(t.watchdog.is_some(), "watchdog is on by default");
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub enum GAlignError {
     /// Persisted data was malformed (bad JSON, wrong version, shapes that
     /// do not chain).
     Format(String),
+    /// A persisted file was corrupt **and** no previous generation could
+    /// be recovered: the broken file has been quarantined as
+    /// `<name>.corrupt` and both failure reasons are preserved.
+    Corrupt {
+        /// The file that failed to load.
+        path: std::path::PathBuf,
+        /// Why the current and previous generations were rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GAlignError {
@@ -69,6 +78,12 @@ impl fmt::Display for GAlignError {
             GAlignError::Matrix(e) => write!(f, "matrix operation failed: {e}"),
             GAlignError::Io(e) => write!(f, "io error: {e}"),
             GAlignError::Format(msg) => write!(f, "malformed data: {msg}"),
+            GAlignError::Corrupt { path, reason } => write!(
+                f,
+                "corrupt file {} (quarantined, no recoverable previous \
+                 generation): {reason}",
+                path.display()
+            ),
         }
     }
 }
@@ -128,6 +143,13 @@ mod tests {
         assert!(GAlignError::Format("bad".into())
             .to_string()
             .contains("bad"));
+        let corrupt = GAlignError::Corrupt {
+            path: "store.bin".into(),
+            reason: "checksum mismatch".into(),
+        };
+        assert!(corrupt.to_string().contains("store.bin"));
+        assert!(corrupt.to_string().contains("quarantined"));
+        assert!(corrupt.to_string().contains("checksum mismatch"));
     }
 
     #[test]

@@ -6,10 +6,22 @@
 //! The format is versioned JSON so older dumps keep loading. Every
 //! fallible surface returns [`GAlignError`] — malformed files are an
 //! error, never a panic.
+//!
+//! ## Crash safety
+//!
+//! All writes go through [`galign_telemetry::fsio::atomic_write_keep_prev`]
+//! (tmp file in the same directory → flush → `sync_all` → rename), so a
+//! crash mid-save never leaves a half-written file at the destination, and
+//! the previous generation survives as `<name>.prev`. The `*_or_prev`
+//! loaders exploit that: when the current file is corrupt they quarantine
+//! it as `<name>.corrupt` and fall back to the previous generation,
+//! returning [`GAlignError::Corrupt`] only when *both* generations are
+//! unreadable.
 
 use crate::error::{GAlignError, Result};
 use galign_gcn::{GcnModel, MultiOrderEmbedding};
 use galign_matrix::Dense;
+use galign_telemetry::fsio;
 use std::path::Path;
 
 /// Current on-disk format version.
@@ -71,7 +83,8 @@ impl MatrixRecord {
     }
 }
 
-/// Saves a trained model as versioned JSON.
+/// Saves a trained model as versioned JSON (atomically; any previous dump
+/// is kept as `<name>.prev`).
 ///
 /// # Errors
 /// IO/serialisation failures.
@@ -81,7 +94,7 @@ pub fn save_model(model: &GcnModel, path: &Path) -> Result<()> {
         input_dim: model.input_dim(),
         weights: model.weights().iter().map(MatrixRecord::from).collect(),
     };
-    std::fs::write(path, serde_json::to_string(&record)?)?;
+    fsio::atomic_write_keep_prev(path, serde_json::to_string(&record)?.as_bytes())?;
     Ok(())
 }
 
@@ -109,7 +122,8 @@ pub fn load_model(path: &Path) -> Result<GcnModel> {
     Ok(GcnModel::from_weights(record.input_dim, weights))
 }
 
-/// Saves multi-order embeddings (all layers) as versioned JSON.
+/// Saves multi-order embeddings (all layers) as versioned JSON
+/// (atomically; any previous dump is kept as `<name>.prev`).
 ///
 /// # Errors
 /// IO/serialisation failures.
@@ -118,7 +132,7 @@ pub fn save_embeddings(emb: &MultiOrderEmbedding, path: &Path) -> Result<()> {
         version: FORMAT_VERSION,
         layers: emb.layers().iter().map(MatrixRecord::from).collect(),
     };
-    std::fs::write(path, serde_json::to_string(&record)?)?;
+    fsio::atomic_write_keep_prev(path, serde_json::to_string(&record)?.as_bytes())?;
     Ok(())
 }
 
@@ -145,6 +159,85 @@ pub fn load_embeddings(path: &Path) -> Result<MultiOrderEmbedding> {
         .map(MatrixRecord::to_dense)
         .collect::<Result<Vec<_>>>()?;
     Ok(MultiOrderEmbedding::from_layers(layers))
+}
+
+/// Whether a load failure means "the bytes at that path are bad" (so a
+/// previous generation is worth trying) rather than "the file is absent or
+/// unreadable at the OS level".
+fn is_corruption(err: &GAlignError) -> bool {
+    matches!(err, GAlignError::Format(_) | GAlignError::Matrix(_))
+}
+
+/// Shared quarantine-and-fall-back protocol of the `*_or_prev` loaders.
+///
+/// Falls back to `<name>.prev` in two states the atomic writer can leave
+/// behind: the current file is corrupt (quarantined first), or it is
+/// *missing* while a `.prev` exists — the crash window between the
+/// keep-prev rename and the final rename.
+fn load_or_prev<T>(path: &Path, load: impl Fn(&Path) -> Result<T>) -> Result<(T, bool)> {
+    let primary = match load(path) {
+        Ok(v) => return Ok((v, false)),
+        Err(e) => e,
+    };
+    let missing =
+        matches!(&primary, GAlignError::Io(e) if e.kind() == std::io::ErrorKind::NotFound);
+    if !missing && !is_corruption(&primary) {
+        return Err(primary);
+    }
+    let prev = fsio::prev_path(path);
+    if missing {
+        if !prev.exists() {
+            // Genuinely absent, not a half-finished update.
+            return Err(primary);
+        }
+    } else {
+        // Move the broken file aside so the next attempt does not trip
+        // over it again and the evidence survives for inspection.
+        fsio::quarantine(path)?;
+    }
+    match load(&prev) {
+        Ok(v) => {
+            galign_telemetry::counter_add("persist.recovered_from_prev", 1);
+            galign_telemetry::info!(
+                "persist",
+                "{} was {}; recovered previous generation {}",
+                path.display(),
+                if missing { "missing" } else { "corrupt" },
+                prev.display()
+            );
+            Ok((v, true))
+        }
+        Err(fallback) => Err(GAlignError::Corrupt {
+            path: path.to_path_buf(),
+            reason: format!(
+                "current generation: {primary}; previous generation \
+                 ({}): {fallback}",
+                prev.display()
+            ),
+        }),
+    }
+}
+
+/// Loads a model, falling back to the `<name>.prev` generation when the
+/// current file is corrupt (which is then quarantined as `<name>.corrupt`).
+/// The boolean reports whether the fallback was taken.
+///
+/// # Errors
+/// OS-level IO failures, or [`GAlignError::Corrupt`] when both the current
+/// and previous generations are unreadable.
+pub fn load_model_or_prev(path: &Path) -> Result<(GcnModel, bool)> {
+    load_or_prev(path, load_model)
+}
+
+/// Loads embeddings, falling back to the `<name>.prev` generation when the
+/// current file is corrupt (which is then quarantined as `<name>.corrupt`).
+/// The boolean reports whether the fallback was taken.
+///
+/// # Errors
+/// OS-level IO failures, or [`GAlignError::Corrupt`] when both the current
+/// and previous generations are unreadable.
+pub fn load_embeddings_or_prev(path: &Path) -> Result<(MultiOrderEmbedding, bool)> {
+    load_or_prev(path, load_embeddings)
 }
 
 #[cfg(test)]
@@ -271,6 +364,92 @@ mod tests {
         )
         .unwrap();
         assert!(load_model(&path).is_err());
+    }
+
+    #[test]
+    fn save_keeps_previous_generation() {
+        let mut rng = SeededRng::new(40);
+        let v1 = GcnModel::new(&mut rng, 4, &[3]);
+        let v2 = GcnModel::new(&mut rng, 4, &[3]);
+        let path = tmp("gen.json");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(fsio::prev_path(&path));
+        save_model(&v1, &path).unwrap();
+        save_model(&v2, &path).unwrap();
+        let current = load_model(&path).unwrap();
+        let previous = load_model(&fsio::prev_path(&path)).unwrap();
+        assert!(current.weights()[0].approx_eq(&v2.weights()[0], 0.0));
+        assert!(previous.weights()[0].approx_eq(&v1.weights()[0], 0.0));
+    }
+
+    #[test]
+    fn corrupt_tail_falls_back_to_prev_and_quarantines() {
+        let mut rng = SeededRng::new(41);
+        let v1 = GcnModel::new(&mut rng, 5, &[4]);
+        let v2 = GcnModel::new(&mut rng, 5, &[4]);
+        let path = tmp("tail.json");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(fsio::prev_path(&path));
+        save_model(&v1, &path).unwrap();
+        save_model(&v2, &path).unwrap();
+        // Simulate a torn write: chop the tail off the current generation.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (loaded, fell_back) = load_model_or_prev(&path).unwrap();
+        assert!(fell_back);
+        // Recovery serves the *previous* generation (v1)…
+        assert!(loaded.weights()[0].approx_eq(&v1.weights()[0], 0.0));
+        // …and the broken file is quarantined, not left readable as valid.
+        assert!(!path.exists());
+        assert!(fsio::corrupt_path(&path).exists());
+    }
+
+    #[test]
+    fn corrupt_with_no_prev_is_a_corrupt_error() {
+        let path = tmp("orphan.json");
+        let _ = std::fs::remove_file(fsio::prev_path(&path));
+        std::fs::write(&path, "{definitely not json").unwrap();
+        let err = load_model_or_prev(&path).unwrap_err();
+        assert!(matches!(err, GAlignError::Corrupt { .. }), "{err:?}");
+        assert!(err.to_string().contains("orphan.json"), "{err}");
+        assert!(!path.exists(), "corrupt file must be quarantined");
+    }
+
+    #[test]
+    fn fallback_loader_passes_through_healthy_files() {
+        let mut rng = SeededRng::new(42);
+        let emb = MultiOrderEmbedding::from_layers(vec![rng.uniform_matrix(3, 2, -1.0, 1.0)]);
+        let path = tmp("healthy-emb.json");
+        save_embeddings(&emb, &path).unwrap();
+        let (loaded, fell_back) = load_embeddings_or_prev(&path).unwrap();
+        assert!(!fell_back);
+        assert!(loaded.layer(0).approx_eq(emb.layer(0), 0.0));
+    }
+
+    #[test]
+    fn fallback_loader_keeps_missing_file_an_io_error() {
+        let err = load_model_or_prev(&tmp("never-written.json")).unwrap_err();
+        assert!(matches!(err, GAlignError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn missing_current_with_prev_recovers_the_crash_window() {
+        // The state a crash between atomic_write_keep_prev's two renames
+        // leaves behind: nothing at `path`, the old generation at `.prev`.
+        let mut rng = SeededRng::new(43);
+        let v1 = GcnModel::new(&mut rng, 4, &[3]);
+        let v2 = GcnModel::new(&mut rng, 4, &[3]);
+        let path = tmp("window.json");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(fsio::prev_path(&path));
+        save_model(&v1, &path).unwrap();
+        save_model(&v2, &path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let (loaded, fell_back) = load_model_or_prev(&path).unwrap();
+        assert!(fell_back);
+        assert!(loaded.weights()[0].approx_eq(&v1.weights()[0], 0.0));
     }
 
     #[test]

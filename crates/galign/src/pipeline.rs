@@ -177,6 +177,38 @@ impl GAlignConfigBuilder {
         self
     }
 
+    /// Divergence watchdog configuration (`None` disables checkpointing,
+    /// rollback and all divergence checks — the pre-watchdog behavior).
+    #[must_use]
+    pub fn watchdog(mut self, watchdog: Option<galign_gcn::WatchdogConfig>) -> Self {
+        self.config.embedding.watchdog = watchdog;
+        self
+    }
+
+    /// Epochs between watchdog checkpoints (re-enables the watchdog if it
+    /// was disabled).
+    #[must_use]
+    pub fn checkpoint_every(mut self, epochs: usize) -> Self {
+        self.config
+            .embedding
+            .watchdog
+            .get_or_insert_with(Default::default)
+            .checkpoint_every = epochs;
+        self
+    }
+
+    /// Watchdog rollback budget before the run is declared diverged
+    /// (re-enables the watchdog if it was disabled).
+    #[must_use]
+    pub fn max_recoveries(mut self, budget: usize) -> Self {
+        self.config
+            .embedding
+            .watchdog
+            .get_or_insert_with(Default::default)
+            .max_recoveries = budget;
+        self
+    }
+
     /// Explicit layer weights θ⁽⁰⁾..θ⁽ᵏ⁾ (`None` = uniform).
     #[must_use]
     pub fn theta(mut self, theta: Option<Vec<f64>>) -> Self {
@@ -231,7 +263,7 @@ impl GAlignConfigBuilder {
         if e.layer_dims.is_empty() {
             return Err(GAlignError::Config("layer_dims must not be empty".into()));
         }
-        if e.layer_dims.iter().any(|&d| d == 0) {
+        if e.layer_dims.contains(&0) {
             return Err(GAlignError::Config(
                 "layer_dims entries must be >= 1".into(),
             ));
@@ -278,6 +310,40 @@ impl GAlignConfigBuilder {
                 "beta must be finite and >= 1, got {}",
                 cfg.refine.beta
             )));
+        }
+        if let Some(w) = &e.watchdog {
+            if w.checkpoint_every == 0 {
+                return Err(GAlignError::Config(
+                    "watchdog checkpoint_every must be >= 1".into(),
+                ));
+            }
+            if !w.lr_backoff.is_finite()
+                || !(0.0..=1.0).contains(&w.lr_backoff)
+                || w.lr_backoff == 0.0
+            {
+                return Err(GAlignError::Config(format!(
+                    "watchdog lr_backoff must be in (0, 1], got {}",
+                    w.lr_backoff
+                )));
+            }
+            if w.min_lr.is_nan() || w.min_lr < 0.0 {
+                return Err(GAlignError::Config(format!(
+                    "watchdog min_lr must be >= 0, got {}",
+                    w.min_lr
+                )));
+            }
+            if w.spike_factor.is_nan() || w.spike_factor <= 1.0 {
+                return Err(GAlignError::Config(format!(
+                    "watchdog spike_factor must be > 1, got {}",
+                    w.spike_factor
+                )));
+            }
+            if w.grad_norm_limit.is_nan() || w.grad_norm_limit <= 0.0 {
+                return Err(GAlignError::Config(format!(
+                    "watchdog grad_norm_limit must be > 0, got {}",
+                    w.grad_norm_limit
+                )));
+            }
         }
         if let Some(theta) = &cfg.theta {
             let want = e.layer_dims.len() + 1;
@@ -617,6 +683,30 @@ mod tests {
             .theta(Some(vec![f64::NAN, 0.5, 0.5]))
             .build()
             .is_err());
+        assert!(GAlignConfig::builder().checkpoint_every(0).build().is_err());
+        let bad = galign_gcn::WatchdogConfig {
+            lr_backoff: 1.5,
+            ..Default::default()
+        };
+        assert!(GAlignConfig::builder().watchdog(Some(bad)).build().is_err());
+    }
+
+    #[test]
+    fn watchdog_knobs_flow_into_the_embedding_config() {
+        let cfg = GAlignConfig::builder()
+            .checkpoint_every(2)
+            .max_recoveries(7)
+            .build()
+            .unwrap();
+        let w = cfg.embedding.watchdog.as_ref().unwrap();
+        assert_eq!(w.checkpoint_every, 2);
+        assert_eq!(w.max_recoveries, 7);
+        // The knobs reach the trainer's config unchanged.
+        let t = cfg.embedding.to_train_config();
+        assert_eq!(t.watchdog.unwrap().max_recoveries, 7);
+        // Opting out survives build().
+        let off = GAlignConfig::builder().watchdog(None).build().unwrap();
+        assert!(off.embedding.watchdog.is_none());
     }
 
     #[test]

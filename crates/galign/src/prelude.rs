@@ -14,4 +14,5 @@ pub use crate::error::{GAlignError, Result};
 pub use crate::pipeline::{
     AblationVariant, GAlign, GAlignConfig, GAlignConfigBuilder, GAlignResult,
 };
+pub use galign_gcn::{TrainHealth, WatchdogConfig};
 pub use galign_matrix::simblock::ScoreProvider;

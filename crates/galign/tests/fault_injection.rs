@@ -1,0 +1,140 @@
+//! End-to-end fault-injection: the deterministic failure scenarios of the
+//! robustness story, driven through the public pipeline + persistence
+//! APIs with `galign-telemetry` failpoints.
+//!
+//! Run with `cargo test -p galign --features failpoints`.
+#![cfg(feature = "failpoints")]
+
+use galign::persist::{load_model_or_prev, save_model};
+use galign::prelude::*;
+use galign_gcn::GcnModel;
+use galign_graph::{generators, AttributedGraph};
+use galign_matrix::rng::SeededRng;
+use galign_metrics::evaluate;
+use galign_telemetry::failpoint;
+
+fn permuted_pair(seed: u64, n: usize) -> (AttributedGraph, AttributedGraph, Vec<(usize, usize)>) {
+    let mut rng = SeededRng::new(seed);
+    let edges = generators::barabasi_albert(&mut rng, n, 3);
+    let attrs = generators::binary_attributes(&mut rng, n, 12, 3);
+    let g = AttributedGraph::from_edges(n, &edges, attrs);
+    let perm = rng.permutation(n);
+    let target = g.permute(&perm);
+    let truth: Vec<(usize, usize)> = (0..n).map(|v| (v, perm[v])).collect();
+    (g, target, truth)
+}
+
+fn test_config() -> GAlignConfig {
+    GAlignConfig::builder()
+        .layer_dims(vec![8, 8])
+        .epochs(12)
+        .num_augments(1)
+        .refine_iterations(3)
+        // Checkpoint every healthy epoch so a rollback loses at most one
+        // epoch of progress — the cheap-insurance end of the knob.
+        .checkpoint_every(1)
+        .build()
+        .unwrap()
+}
+
+/// Scenario 1 (trainer): a NaN loss injected mid-training is detected,
+/// rolled back, and the run finishes with accuracy comparable to an
+/// uninjected run — end-to-end through `GAlign::align`.
+#[test]
+fn nan_at_epoch_k_recovers_and_preserves_accuracy() {
+    let (s, t, truth) = permuted_pair(1, 40);
+
+    let clean = GAlign::new(test_config()).align(&s, &t, 7).unwrap();
+    assert_eq!(clean.train_report.recoveries, 0);
+    assert_eq!(clean.train_report.health, TrainHealth::Healthy);
+    let clean_s1 = evaluate(&clean.alignment, &truth, &[1]).success(1).unwrap();
+
+    // Poison epoch 5's loss (and gradients) with NaN.
+    failpoint::cfg_local("gcn.train.loss", "trigger(5)").unwrap();
+    let injected = GAlign::new(test_config()).align(&s, &t, 7).unwrap();
+    failpoint::clear_local();
+
+    let report = &injected.train_report;
+    assert!(report.recoveries >= 1, "the watchdog must have tripped");
+    assert_eq!(report.health, TrainHealth::Recovered);
+    assert!(
+        report.loss_history.iter().all(|l| l.is_finite()),
+        "the poisoned epoch must not reach the loss history: {:?}",
+        report.loss_history
+    );
+    assert!(report.final_loss().is_finite());
+
+    let s1 = evaluate(&injected.alignment, &truth, &[1])
+        .success(1)
+        .unwrap();
+    assert!(
+        s1 >= clean_s1 - 0.1,
+        "post-recovery Success@1 {s1:.3} fell too far below the clean run's {clean_s1:.3}"
+    );
+}
+
+/// Scenario 2 (persistence): a crash between the atomic writer's tmp-write
+/// and final rename loses no committed generation — the loader falls back
+/// to `<name>.prev` and a later save heals the store.
+#[test]
+fn crash_mid_write_recovers_the_previous_generation() {
+    let dir = std::env::temp_dir().join("galign-fault-injection-crash");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+
+    let mut rng = SeededRng::new(9);
+    let v1 = GcnModel::new(&mut rng, 5, &[4]);
+    let v2 = GcnModel::new(&mut rng, 5, &[4]);
+    let v3 = GcnModel::new(&mut rng, 5, &[4]);
+    save_model(&v1, &path).unwrap();
+    save_model(&v2, &path).unwrap();
+
+    // Crash the third save in the window between the keep-prev rename and
+    // the final rename — the worst spot: nothing live at `path`.
+    failpoint::cfg_local("fsio.atomic_write", "1*trigger").unwrap();
+    let err = save_model(&v3, &path).unwrap_err();
+    failpoint::clear_local();
+    assert!(err.to_string().contains("simulated crash"), "{err}");
+
+    // The last committed generation (v2) is recoverable; the torn update
+    // never becomes readable as valid.
+    let (recovered, fell_back) = load_model_or_prev(&path).unwrap();
+    assert!(fell_back, "the loader must report the fallback");
+    assert!(recovered.weights()[0].approx_eq(&v2.weights()[0], 0.0));
+
+    // The store heals: the next save commits and loads normally.
+    save_model(&v3, &path).unwrap();
+    let (healed, fell_back) = load_model_or_prev(&path).unwrap();
+    assert!(!fell_back);
+    assert!(healed.weights()[0].approx_eq(&v3.weights()[0], 0.0));
+}
+
+/// Opting out of the watchdog pins the historical behavior: the injected
+/// NaN poisons training to the end (this is what the watchdog exists to
+/// prevent), and the pipeline still completes without panicking.
+#[test]
+fn watchdog_opt_out_lets_the_nan_poison_training() {
+    let (s, t, _) = permuted_pair(2, 25);
+    let cfg = GAlignConfigBuilder::from_config(test_config())
+        .watchdog(None)
+        .build()
+        .unwrap();
+
+    failpoint::cfg_local("gcn.train.loss", "trigger(3)").unwrap();
+    let result = GAlign::new(cfg).align(&s, &t, 3).unwrap();
+    failpoint::clear_local();
+
+    let report = &result.train_report;
+    assert_eq!(report.recoveries, 0);
+    assert_eq!(
+        report.health,
+        TrainHealth::Healthy,
+        "no watchdog, no verdict"
+    );
+    assert!(
+        report.loss_history.iter().any(|l| l.is_nan()),
+        "without the watchdog the NaN must reach the loss history: {:?}",
+        report.loss_history
+    );
+}

@@ -9,7 +9,7 @@ use galign::{GAlign, GAlignConfig};
 use galign_graph::{generators, AttributedGraph};
 use galign_matrix::rng::SeededRng;
 use galign_serve::artifact::Artifact;
-use galign_serve::json::{self, Json};
+use galign_serve::json;
 use galign_serve::server::{ServeConfig, Server};
 use galign_serve::topk::TopkIndex;
 use std::io::{Read, Write};
