@@ -301,6 +301,11 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
         Some(t) => Some(parse_theta(&t)?),
         None => None,
     };
+    // Validate --with-index before doing any (potentially long) work.
+    let with_index = match flags.optional("with-index") {
+        Some(b) => Some(parse_backend(&b)?),
+        None => None,
+    };
 
     // Migration mode: JSON embedding dumps in, binary artifact out.
     if let Some(s_emb) = flags.optional("source-embeddings") {
@@ -320,6 +325,10 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
             artifact.target[0].rows(),
             std::fs::metadata(&out)?.len()
         );
+        if let Some(backend) = with_index {
+            let (nodes, bytes) = embed_index(&out, &out, backend)?;
+            println!("embedded {backend} index over {nodes} target nodes (+{bytes} bytes)");
+        }
         return Ok(());
     }
 
@@ -354,6 +363,56 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
         out.display(),
         std::fs::metadata(&out)?.len()
     );
+    if let Some(backend) = with_index {
+        let (nodes, bytes) = embed_index(&out, &out, backend)?;
+        println!("embedded {backend} index over {nodes} target nodes (+{bytes} bytes)");
+    }
+    Ok(())
+}
+
+/// Parses a `--backend`/`--with-index` value into an ANN backend.
+fn parse_backend(name: &str) -> io::Result<galign_serve::topk::Backend> {
+    galign_serve::topk::Backend::from_name(name).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("backend must be 'hnsw' or 'ivf', got '{name}'"),
+        )
+    })
+}
+
+/// Reads the artifact at `path`, builds an ANN index over its target
+/// embedding and writes the artifact back to `out` with the index
+/// embedded (format v2; index-less artifacts stay v1 so old readers keep
+/// working). Returns `(target_nodes, index_bytes)`.
+fn embed_index(
+    path: &Path,
+    out: &Path,
+    backend: galign_serve::topk::Backend,
+) -> io::Result<(usize, usize)> {
+    let artifact = galign_serve::Artifact::read(path)?;
+    let mut index = galign_serve::TopkIndex::from_artifact(artifact.clone());
+    index.build_ann(backend)?;
+    let bytes = index.index_bytes().expect("index was just built");
+    let size = bytes.len();
+    artifact.with_index(bytes).write(out)?;
+    Ok((index.target_nodes(), size))
+}
+
+/// `galign build-index`: embed an ANN index into an existing artifact so
+/// `serve` answers `mode: ann|auto` queries sublinearly without a build
+/// at startup.
+pub fn build_index(flags: &Flags) -> CmdResult {
+    let artifact_path = flags.required("artifact");
+    let out = PathBuf::from(flags.or("out", &artifact_path));
+    let backend = parse_backend(&flags.or("backend", "hnsw"))?;
+    let sp = galign_telemetry::span!("build-index");
+    let (nodes, bytes) = embed_index(Path::new(&artifact_path), &out, backend)?;
+    let secs = sp.finish();
+    println!(
+        "built {backend} index over {nodes} target nodes in {secs:.1}s; \
+         {artifact_path} -> {} (+{bytes} index bytes, format v2)",
+        out.display()
+    );
     Ok(())
 }
 
@@ -372,9 +431,18 @@ pub fn serve(flags: &Flags) -> CmdResult {
              serving the previous generation from {artifact_path}.prev"
         );
     }
+    let mode = flags.or("mode", "auto");
+    let default_mode = galign_serve::EngineMode::from_name(&mode).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("--mode must be 'exact', 'ann' or 'auto', got '{mode}'"),
+        )
+    })?;
     let defaults = galign_serve::ServeConfig::default();
     let cfg = galign_serve::ServeConfig {
         workers: flags.num("workers", defaults.workers),
+        default_mode,
+        ann_threshold: parse_num::<usize>(flags, "ann-threshold")?,
         cache_capacity: flags.num("cache-capacity", defaults.cache_capacity),
         default_k: flags.num("default-k", defaults.default_k),
         max_k: flags.num("max-k", defaults.max_k),
@@ -391,9 +459,12 @@ pub fn serve(flags: &Flags) -> CmdResult {
     };
     let index = galign_serve::TopkIndex::from_artifact(artifact);
     let nodes = index.source_nodes();
+    let ann = index
+        .ann_backend()
+        .map_or_else(|| "none (exact only)".to_string(), |b| b.to_string());
     let server = galign_serve::Server::bind(&addr, index, cfg)?;
     println!(
-        "serving {artifact_path} on http://{} ({nodes} source nodes); \
+        "serving {artifact_path} on http://{} ({nodes} source nodes, mode {mode}, ann index: {ann}); \
          POST /v1/align/topk, GET /healthz, GET /metrics",
         server.local_addr(),
     );

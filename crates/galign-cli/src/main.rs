@@ -7,7 +7,8 @@
 //! galign evaluate --anchors anchors.json --truth data/truth.json
 //! galign info     --graph data/source.json
 //! galign export-artifact --source data/source.json --target data/target.json --out artifact.bin
-//! galign serve    --artifact artifact.bin --addr 127.0.0.1:8080 --workers 4
+//! galign build-index --artifact artifact.bin --backend hnsw
+//! galign serve    --artifact artifact.bin --addr 127.0.0.1:8080 --workers 4 --mode auto
 //! ```
 //!
 //! Graphs, anchors and models are the JSON formats of `galign-graph::io`
@@ -33,6 +34,7 @@ fn main() {
         "convert" => commands::convert(&flags),
         "info" => commands::info(&flags),
         "export-artifact" => commands::export_artifact(&flags),
+        "build-index" => commands::build_index(&flags),
         "serve" => commands::serve(&flags),
         other => usage(&format!("unknown command '{other}'")),
     };
@@ -80,15 +82,22 @@ fn usage(msg: &str) -> ! {
          \x20 info     --graph G.json\n\
          \x20 export-artifact --source G.json --target G.json [--seed N] [--theta W,W,..]\n\
          \x20          [--anchors anchors.json] [--out artifact.bin] [--epochs N]\n\
-         \x20          [--checkpoint-every N] [--max-recoveries N] [--no-watchdog]\n\
+         \x20          [--checkpoint-every N] [--max-recoveries N] [--no-watchdog] [--with-index hnsw|ivf]\n\
          \x20          | --source-embeddings E.json --target-embeddings E.json [--out artifact.bin]\n\
+         \x20 build-index --artifact artifact.bin [--backend hnsw|ivf] [--out artifact.bin]\n\
          \x20 serve    --artifact artifact.bin [--addr HOST:PORT] [--workers N]\n\
-         \x20          [--cache-capacity N] [--default-k K] [--max-k K]\n\
-         \x20          [--request-timeout-ms MS] [--deadline-ms MS] [--queue-depth N] [--retry-after-secs S]\n\n\
+         \x20          [--cache-capacity N] [--default-k K] [--max-k K] [--mode exact|ann|auto]\n\
+         \x20          [--ann-threshold N] [--request-timeout-ms MS] [--deadline-ms MS]\n\
+         \x20          [--queue-depth N] [--retry-after-secs S]\n\n\
          robustness:\n\
          \x20 training runs under a divergence watchdog (checkpoint/rollback + LR backoff);\n\
          \x20 --no-watchdog opts out. serve sheds load past --queue-depth with 503 + Retry-After\n\
          \x20 and falls back to <artifact>.prev when the artifact file is corrupt.\n\n\
+         retrieval engines:\n\
+         \x20 serve answers exactly by default; an embedded ANN index (build-index, or\n\
+         \x20 export-artifact --with-index) enables per-request 'mode': exact | ann | auto.\n\
+         \x20 auto uses ANN above --ann-threshold target nodes; ANN hits are re-ranked\n\
+         \x20 exactly, so returned scores are identical to the exact engine's.\n\n\
          global flags:\n\
          \x20 -v/--verbose   debug-level progress on stderr\n\
          \x20 -q/--quiet     silence stderr entirely\n\

@@ -1,0 +1,471 @@
+//! Layered proximity-graph index (HNSW-style).
+//!
+//! Nodes are inserted one at a time; each draws a geometric level, links
+//! into every layer at or below it, and the graph is navigated greedily
+//! from a single entry point on the top layer down to a beam search on
+//! the base layer. With row-normalised inputs the inner product is a
+//! monotone proxy for angular distance, so the classic construction
+//! carries over with "closer" = "higher dot product" throughout.
+//!
+//! Determinism: levels come from a seeded xorshift stream indexed only by
+//! insertion order; all heaps break score ties toward the smaller node id
+//! (the `select_topk` contract). The same `(vectors, params)` therefore
+//! always builds the same graph, and a serialized + re-attached index
+//! answers queries identically to the freshly built one.
+
+use crate::{
+    dot, record_build, record_search, score, sort_candidates, AnnIndex, Backend, Candidate,
+    IndexError, Result, Rng, Scored, SearchStats, VectorSet,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// HNSW build/search tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HnswParams {
+    /// Max links per node on layers above the base (base layer gets 2·m).
+    pub m: usize,
+    /// Beam width while inserting (recall of the construction phase).
+    pub ef_construction: usize,
+    /// Default beam width while searching; the effective beam is
+    /// `max(ef_search, k)`.
+    pub ef_search: usize,
+    /// Seed of the level-assignment stream.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 128,
+            ef_search: 96,
+            seed: 0x5eed_1d01,
+        }
+    }
+}
+
+/// The layered proximity graph.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    vectors: VectorSet,
+    params: HnswParams,
+    /// Highest layer of each node.
+    levels: Vec<u8>,
+    /// `links[node][layer]` — neighbor ids, layer `0..=levels[node]`.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: u8,
+}
+
+/// Caps the geometric level draw so adversarial RNG streams cannot
+/// allocate unbounded per-node layer vectors.
+const MAX_LEVEL: u8 = 24;
+
+impl HnswIndex {
+    /// Builds the graph over `vectors` (consumed) with `params`.
+    ///
+    /// # Errors
+    /// [`IndexError::Invalid`] when `m < 2` or `ef_construction == 0`.
+    pub fn build(vectors: VectorSet, params: HnswParams) -> Result<Self> {
+        if params.m < 2 {
+            return Err(IndexError::Invalid("hnsw m must be >= 2".into()));
+        }
+        if params.ef_construction == 0 {
+            return Err(IndexError::Invalid(
+                "hnsw ef_construction must be >= 1".into(),
+            ));
+        }
+        let start = Instant::now();
+        let n = vectors.len();
+        let mut rng = Rng::new(params.seed);
+        let mult = 1.0 / (params.m as f64).ln();
+        let mut index = HnswIndex {
+            vectors,
+            params,
+            levels: Vec::with_capacity(n),
+            links: Vec::with_capacity(n),
+            entry: 0,
+            max_level: 0,
+        };
+        let mut stats = SearchStats::default();
+        for i in 0..n {
+            let level = ((-rng.f64_unit().ln() * mult) as u64).min(u64::from(MAX_LEVEL)) as u8;
+            index.insert(i as u32, level, &mut stats);
+        }
+        record_build(Backend::Hnsw, n, stats, start.elapsed().as_secs_f64() * 1e3);
+        Ok(index)
+    }
+
+    /// The build/search parameters in effect.
+    #[must_use]
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// The indexed vectors (used by tests and by serialization checks).
+    #[must_use]
+    pub fn vectors(&self) -> &VectorSet {
+        &self.vectors
+    }
+
+    fn max_links(&self, layer: u8) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    fn insert(&mut self, id: u32, level: u8, stats: &mut SearchStats) {
+        self.levels.push(level);
+        self.links.push((0..=level).map(|_| Vec::new()).collect());
+        if id == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+        let q = self.vectors.row(id as usize).to_vec();
+        let mut ep = self.entry;
+        // Greedy descent through layers above the new node's level.
+        let mut layer = self.max_level;
+        while layer > level {
+            ep = self.greedy(&q, ep, layer, stats);
+            layer -= 1;
+        }
+        // Beam search + connect on every layer the node occupies.
+        let mut layer = level.min(self.max_level);
+        loop {
+            let found = self.search_layer(&q, ep, self.params.ef_construction, layer, stats);
+            let chosen = self.select_neighbors(&q, &found, self.max_links(layer), stats);
+            for &nb in &chosen {
+                self.links[id as usize][layer as usize].push(nb);
+                self.links[nb as usize][layer as usize].push(id);
+                self.shrink(nb, layer, stats);
+            }
+            if let Some(best) = found.first() {
+                ep = best.id;
+            }
+            if layer == 0 {
+                break;
+            }
+            layer -= 1;
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+
+    /// Re-selects a node's neighbor list when it grew past the cap.
+    fn shrink(&mut self, node: u32, layer: u8, stats: &mut SearchStats) {
+        let cap = self.max_links(layer);
+        if self.links[node as usize][layer as usize].len() <= cap {
+            return;
+        }
+        let base = self.vectors.row(node as usize).to_vec();
+        let mut scored: Vec<Scored> = self.links[node as usize][layer as usize]
+            .iter()
+            .map(|&nb| Scored {
+                score: score(&self.vectors, &base, nb as usize, stats),
+                id: nb,
+            })
+            .collect();
+        sort_candidates(&mut scored);
+        let kept = self.select_neighbors(&base, &scored, cap, stats);
+        self.links[node as usize][layer as usize] = kept;
+    }
+
+    /// The HNSW diversity heuristic: walk candidates best-first, keeping
+    /// one only when it is closer to the base point than to every
+    /// already-kept neighbor — this preserves graph connectivity across
+    /// clusters instead of wiring `m` near-duplicates.
+    fn select_neighbors(
+        &self,
+        base: &[f64],
+        cands: &[Scored],
+        m: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<u32> {
+        let _ = base;
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        for c in cands {
+            if chosen.len() >= m {
+                break;
+            }
+            let dominated = chosen.iter().any(|&o| {
+                stats.distance_evals += 1;
+                dot(
+                    self.vectors.row(c.id as usize),
+                    self.vectors.row(o as usize),
+                ) > c.score
+            });
+            if !dominated {
+                chosen.push(c.id);
+            }
+        }
+        // Backfill: a too-aggressive heuristic on clustered data may keep
+        // fewer than m; pad with the best remaining so degree stays high.
+        if chosen.len() < m {
+            for c in cands {
+                if chosen.len() >= m {
+                    break;
+                }
+                if !chosen.contains(&c.id) {
+                    chosen.push(c.id);
+                }
+            }
+        }
+        chosen
+    }
+
+    /// Greedy hill-climb on one layer: follow the best-improving link
+    /// until no neighbor beats the current node.
+    fn greedy(&self, q: &[f64], mut ep: u32, layer: u8, stats: &mut SearchStats) -> u32 {
+        let mut best = score(&self.vectors, q, ep as usize, stats);
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[ep as usize][layer as usize] {
+                let s = score(&self.vectors, q, nb as usize, stats);
+                if s > best {
+                    best = s;
+                    ep = nb;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam (`ef`) search on one layer; returns up to `ef` results sorted
+    /// best-first.
+    fn search_layer(
+        &self,
+        q: &[f64],
+        ep: u32,
+        ef: usize,
+        layer: u8,
+        stats: &mut SearchStats,
+    ) -> Vec<Scored> {
+        let mut visited = vec![false; self.vectors.len()];
+        visited[ep as usize] = true;
+        let s0 = score(&self.vectors, q, ep as usize, stats);
+        // Frontier: best candidate first. Results: worst kept first (so
+        // the beam can evict it in O(log ef)).
+        let mut frontier = BinaryHeap::from([Scored { score: s0, id: ep }]);
+        let mut results: BinaryHeap<Reverse<Scored>> =
+            BinaryHeap::from([Reverse(Scored { score: s0, id: ep })]);
+        while let Some(cand) = frontier.pop() {
+            let worst = results.peek().map_or(f64::NEG_INFINITY, |r| r.0.score);
+            if cand.score < worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.links[cand.id as usize][layer as usize] {
+                if std::mem::replace(&mut visited[nb as usize], true) {
+                    continue;
+                }
+                let s = score(&self.vectors, q, nb as usize, stats);
+                let worst = results.peek().map_or(f64::NEG_INFINITY, |r| r.0.score);
+                if results.len() < ef || s > worst {
+                    let sc = Scored { score: s, id: nb };
+                    frontier.push(sc);
+                    results.push(Reverse(sc));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Scored> = results.into_iter().map(|Reverse(s)| s).collect();
+        sort_candidates(&mut out);
+        out
+    }
+
+    /// Raw search without telemetry (shared by [`AnnIndex::search`] and
+    /// the construction phase's tests).
+    #[must_use]
+    pub fn search_raw(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        if self.vectors.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        debug_assert_eq!(query.len(), self.vectors.dim());
+        let mut ep = self.entry;
+        let mut layer = self.max_level;
+        while layer > 0 {
+            ep = self.greedy(query, ep, layer, stats);
+            layer -= 1;
+        }
+        let ef = self.params.ef_search.max(k);
+        self.search_layer(query, ep, ef, 0, stats)
+            .into_iter()
+            .map(|s| Candidate {
+                id: s.id as usize,
+                approx: s.score,
+            })
+            .collect()
+    }
+
+    pub(crate) fn from_parts(
+        vectors: VectorSet,
+        params: HnswParams,
+        levels: Vec<u8>,
+        links: Vec<Vec<Vec<u32>>>,
+        entry: u32,
+        max_level: u8,
+    ) -> Self {
+        HnswIndex {
+            vectors,
+            params,
+            levels,
+            links,
+            entry,
+            max_level,
+        }
+    }
+
+    pub(crate) fn parts(&self) -> (&[u8], &[Vec<Vec<u32>>], u32, u8) {
+        (&self.levels, &self.links, self.entry, self.max_level)
+    }
+}
+
+impl AnnIndex for HnswIndex {
+    fn backend(&self) -> Backend {
+        Backend::Hnsw
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    fn search(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        let before = stats.distance_evals;
+        let cands = self.search_raw(query, k, stats);
+        record_search(
+            SearchStats {
+                distance_evals: stats.distance_evals - before,
+            },
+            cands.len(),
+        );
+        cands
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        crate::serial::hnsw_to_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_unit_vectors;
+
+    fn brute_topk(vectors: &VectorSet, q: &[f64], k: usize) -> Vec<usize> {
+        let mut scored: Vec<Scored> = (0..vectors.len())
+            .map(|i| Scored {
+                score: dot(q, vectors.row(i)),
+                id: i as u32,
+            })
+            .collect();
+        sort_candidates(&mut scored);
+        scored.truncate(k);
+        scored.into_iter().map(|s| s.id as usize).collect()
+    }
+
+    #[test]
+    fn params_validation() {
+        let v = random_unit_vectors(4, 3, 1);
+        assert!(HnswIndex::build(
+            v.clone(),
+            HnswParams {
+                m: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(HnswIndex::build(
+            v,
+            HnswParams {
+                ef_construction: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_sets() {
+        let empty = VectorSet::new(0, 0, vec![]).unwrap();
+        let idx = HnswIndex::build(empty, HnswParams::default()).unwrap();
+        let mut stats = SearchStats::default();
+        assert!(idx.search_raw(&[], 3, &mut stats).is_empty());
+        let one = random_unit_vectors(1, 4, 2);
+        let q = one.row(0).to_vec();
+        let idx = HnswIndex::build(one, HnswParams::default()).unwrap();
+        let hits = idx.search_raw(&q, 5, &mut stats);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn exact_on_small_sets() {
+        // With ef >= n the beam covers everything: results must equal the
+        // brute-force ranking exactly.
+        let v = random_unit_vectors(60, 8, 3);
+        let idx = HnswIndex::build(
+            v.clone(),
+            HnswParams {
+                ef_search: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut stats = SearchStats::default();
+        for qi in 0..10 {
+            let q = v.row(qi).to_vec();
+            let got: Vec<usize> = idx
+                .search_raw(&q, 5, &mut stats)
+                .into_iter()
+                .take(5)
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(got, brute_topk(&v, &q, 5), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let v = random_unit_vectors(200, 8, 7);
+        let a = HnswIndex::build(v.clone(), HnswParams::default()).unwrap();
+        let b = HnswIndex::build(v, HnswParams::default()).unwrap();
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.entry, b.entry);
+    }
+
+    #[test]
+    fn search_is_sublinear_at_moderate_n() {
+        let v = random_unit_vectors(2000, 16, 11);
+        let idx = HnswIndex::build(v.clone(), HnswParams::default()).unwrap();
+        let mut stats = SearchStats::default();
+        let queries = 20usize;
+        for qi in 0..queries {
+            let q = v.row(qi * 97).to_vec();
+            let hits = idx.search_raw(&q, 10, &mut stats);
+            assert!(!hits.is_empty());
+        }
+        // n=2000 is small enough that the beam covers a sizeable fraction;
+        // the strong (< 0.2·n) contract is asserted at n=10k by exp_index.
+        let mean = stats.distance_evals as f64 / queries as f64;
+        assert!(
+            mean < 0.75 * 2000.0,
+            "mean {mean} distance evals is not sublinear in n=2000"
+        );
+    }
+}

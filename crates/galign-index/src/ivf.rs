@@ -1,0 +1,350 @@
+//! Inverted-file cluster-probe index.
+//!
+//! Build: k-means-lite (a few Lloyd rounds) over the vectors. Because
+//! rows are L2-normalised, assigning to the centroid maximising
+//! `⟨x, c⟩ − ‖c‖²/2` is equivalent to minimising Euclidean distance, so
+//! the whole build runs on the same inner-product kernel as search.
+//!
+//! Search: rank centroids by `⟨q, c⟩`, scan the `nprobe` best cells
+//! exhaustively. Cost per query ≈ `k_clusters + nprobe · n / k_clusters`
+//! distance evaluations — minimised around `k_clusters ≈ √(n·nprobe)`,
+//! which is what [`IvfParams::default_for`] picks.
+
+use crate::{
+    dot, record_build, record_search, score, sort_candidates, AnnIndex, Backend, Candidate,
+    IndexError, Result, Rng, Scored, SearchStats, VectorSet,
+};
+use std::time::Instant;
+
+/// IVF build/search tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of k-means cells.
+    pub clusters: usize,
+    /// Number of cells scanned per query.
+    pub nprobe: usize,
+    /// Lloyd refinement rounds.
+    pub iters: usize,
+    /// Seed for centroid initialisation.
+    pub seed: u64,
+}
+
+impl IvfParams {
+    /// Balanced defaults for a set of `n` vectors: `clusters ≈ √(8n)`
+    /// (so probing 8 cells touches ≈ `√(8n)·√n/√(8n)·8 = 8n/clusters`
+    /// vectors — about the same work as the centroid scan), clamped to
+    /// keep tiny sets exact.
+    #[must_use]
+    pub fn default_for(n: usize) -> Self {
+        let clusters = ((8 * n.max(1)) as f64).sqrt().ceil() as usize;
+        IvfParams {
+            clusters: clusters.clamp(1, n.max(1)),
+            nprobe: 8,
+            iters: 6,
+            seed: 0x5eed_1d02,
+        }
+    }
+}
+
+/// The cluster-probe index.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    vectors: VectorSet,
+    params: IvfParams,
+    /// Row-major `clusters × dim` centroid matrix.
+    centroids: Vec<f64>,
+    /// `lists[c]` — ids assigned to centroid `c`, ascending.
+    lists: Vec<Vec<u32>>,
+}
+
+impl IvfIndex {
+    /// Builds the index over `vectors` (consumed) with `params`.
+    ///
+    /// # Errors
+    /// [`IndexError::Invalid`] when `clusters == 0`, `nprobe == 0`, or
+    /// `clusters > n` for a non-empty set.
+    pub fn build(vectors: VectorSet, params: IvfParams) -> Result<Self> {
+        if params.clusters == 0 || params.nprobe == 0 {
+            return Err(IndexError::Invalid(
+                "ivf clusters and nprobe must be >= 1".into(),
+            ));
+        }
+        if !vectors.is_empty() && params.clusters > vectors.len() {
+            return Err(IndexError::Invalid(format!(
+                "ivf clusters {} exceeds vector count {}",
+                params.clusters,
+                vectors.len()
+            )));
+        }
+        let start = Instant::now();
+        let n = vectors.len();
+        let dim = vectors.dim();
+        let k = params.clusters;
+        let mut stats = SearchStats::default();
+        let mut centroids = vec![0.0; k * dim];
+        let mut assign = vec![0u32; n];
+        if n > 0 {
+            // Seed centroids from distinct vectors (evenly strided with a
+            // random offset — cheap, deterministic, duplicate-free).
+            let mut rng = Rng::new(params.seed);
+            let offset = rng.below(n);
+            for (c, chunk) in centroids.chunks_exact_mut(dim).enumerate() {
+                let src = (offset + c * n / k) % n;
+                chunk.copy_from_slice(vectors.row(src));
+            }
+            for _ in 0..params.iters {
+                // Assignment: argmax ⟨x,c⟩ − ‖c‖²/2 (== nearest centroid).
+                let half_sq: Vec<f64> = centroids
+                    .chunks_exact(dim)
+                    .map(|c| 0.5 * dot(c, c))
+                    .collect();
+                for (i, slot) in assign.iter_mut().enumerate() {
+                    let x = vectors.row(i);
+                    let mut best = f64::NEG_INFINITY;
+                    for (c, centroid) in centroids.chunks_exact(dim).enumerate() {
+                        stats.distance_evals += 1;
+                        let s = dot(x, centroid) - half_sq[c];
+                        if s > best {
+                            best = s;
+                            *slot = c as u32;
+                        }
+                    }
+                }
+                // Update: mean of members; empty cells re-seed from the
+                // stream so no cell is wasted.
+                centroids.fill(0.0);
+                let mut counts = vec![0usize; k];
+                for (i, &c) in assign.iter().enumerate() {
+                    counts[c as usize] += 1;
+                    let base = c as usize * dim;
+                    for (d, v) in vectors.row(i).iter().enumerate() {
+                        centroids[base + d] += v;
+                    }
+                }
+                for (c, count) in counts.iter().enumerate() {
+                    let base = c * dim;
+                    if *count > 0 {
+                        let inv = 1.0 / *count as f64;
+                        for slot in &mut centroids[base..base + dim] {
+                            *slot *= inv;
+                        }
+                    } else {
+                        centroids[base..base + dim].copy_from_slice(vectors.row(rng.below(n)));
+                    }
+                }
+            }
+        }
+        let mut lists = vec![Vec::new(); k];
+        for (i, &c) in assign.iter().enumerate() {
+            lists[c as usize].push(i as u32);
+        }
+        let index = IvfIndex {
+            vectors,
+            params,
+            centroids,
+            lists,
+        };
+        record_build(Backend::Ivf, n, stats, start.elapsed().as_secs_f64() * 1e3);
+        Ok(index)
+    }
+
+    /// The build/search parameters in effect.
+    #[must_use]
+    pub fn params(&self) -> IvfParams {
+        self.params
+    }
+
+    /// The indexed vectors.
+    #[must_use]
+    pub fn vectors(&self) -> &VectorSet {
+        &self.vectors
+    }
+
+    /// Raw search without telemetry.
+    #[must_use]
+    pub fn search_raw(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        if self.vectors.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        debug_assert_eq!(query.len(), self.vectors.dim());
+        let dim = self.vectors.dim();
+        // Rank every centroid by raw inner product with the query (the
+        // −‖c‖²/2 correction only matters for assignment, not probing
+        // order on a fixed query).
+        let mut ranked: Vec<Scored> = self
+            .centroids
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(c, centroid)| {
+                stats.distance_evals += 1;
+                Scored {
+                    score: dot(query, centroid),
+                    id: c as u32,
+                }
+            })
+            .collect();
+        sort_candidates(&mut ranked);
+        let mut hits: Vec<Scored> = Vec::new();
+        for cell in ranked.iter().take(self.params.nprobe) {
+            for &id in &self.lists[cell.id as usize] {
+                hits.push(Scored {
+                    score: score(&self.vectors, query, id as usize, stats),
+                    id,
+                });
+            }
+        }
+        sort_candidates(&mut hits);
+        // Keep a re-rank margin: all probed vectors up to 4k candidates.
+        hits.truncate((4 * k).max(32));
+        hits.into_iter()
+            .map(|s| Candidate {
+                id: s.id as usize,
+                approx: s.score,
+            })
+            .collect()
+    }
+
+    pub(crate) fn from_parts(
+        vectors: VectorSet,
+        params: IvfParams,
+        centroids: Vec<f64>,
+        lists: Vec<Vec<u32>>,
+    ) -> Self {
+        IvfIndex {
+            vectors,
+            params,
+            centroids,
+            lists,
+        }
+    }
+
+    pub(crate) fn parts(&self) -> (&[f64], &[Vec<u32>]) {
+        (&self.centroids, &self.lists)
+    }
+}
+
+impl AnnIndex for IvfIndex {
+    fn backend(&self) -> Backend {
+        Backend::Ivf
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    fn search(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        let before = stats.distance_evals;
+        let cands = self.search_raw(query, k, stats);
+        record_search(
+            SearchStats {
+                distance_evals: stats.distance_evals - before,
+            },
+            cands.len(),
+        );
+        cands
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        crate::serial::ivf_to_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_unit_vectors;
+
+    #[test]
+    fn params_validation() {
+        let v = random_unit_vectors(4, 3, 1);
+        let bad = IvfParams {
+            clusters: 0,
+            nprobe: 8,
+            iters: 2,
+            seed: 1,
+        };
+        assert!(IvfIndex::build(v.clone(), bad).is_err());
+        let too_many = IvfParams {
+            clusters: 9,
+            nprobe: 1,
+            iters: 2,
+            seed: 1,
+        };
+        assert!(IvfIndex::build(v, too_many).is_err());
+    }
+
+    #[test]
+    fn default_params_scale_with_n() {
+        let p = IvfParams::default_for(10_000);
+        assert!(p.clusters >= 64 && p.clusters <= 1024);
+        assert_eq!(IvfParams::default_for(0).clusters, 1);
+        assert_eq!(
+            IvfParams::default_for(3).clusters.min(3),
+            IvfParams::default_for(3).clusters
+        );
+    }
+
+    #[test]
+    fn every_vector_lands_in_exactly_one_list() {
+        let v = random_unit_vectors(300, 8, 5);
+        let idx = IvfIndex::build(v, IvfParams::default_for(300)).unwrap();
+        let mut seen = vec![0usize; 300];
+        for list in &idx.lists {
+            for &id in list {
+                seen[id as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn probe_all_cells_is_exact() {
+        let v = random_unit_vectors(120, 8, 9);
+        let params = IvfParams {
+            clusters: 10,
+            nprobe: 10,
+            iters: 4,
+            seed: 3,
+        };
+        let idx = IvfIndex::build(v.clone(), params).unwrap();
+        let mut stats = SearchStats::default();
+        for qi in 0..8 {
+            let q = v.row(qi * 13).to_vec();
+            let hits = idx.search_raw(&q, 5, &mut stats);
+            // nprobe == clusters scans everything: the best hit must be
+            // the query's own row (score ≈ 1 on unit vectors).
+            assert_eq!(hits[0].id, qi * 13);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let v = random_unit_vectors(250, 8, 13);
+        let p = IvfParams::default_for(250);
+        let a = IvfIndex::build(v.clone(), p).unwrap();
+        let b = IvfIndex::build(v, p).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.lists, b.lists);
+    }
+
+    #[test]
+    fn probing_is_sublinear() {
+        let v = random_unit_vectors(2000, 16, 17);
+        let idx = IvfIndex::build(v.clone(), IvfParams::default_for(2000)).unwrap();
+        let mut stats = SearchStats::default();
+        let queries = 20u32;
+        for qi in 0..queries as usize {
+            let q = v.row(qi * 97).to_vec();
+            assert!(!idx.search_raw(&q, 10, &mut stats).is_empty());
+        }
+        let mean = stats.distance_evals as f64 / f64::from(queries);
+        assert!(
+            mean < 0.5 * 2000.0,
+            "mean {mean} distance evals is not sublinear in n=2000"
+        );
+    }
+}

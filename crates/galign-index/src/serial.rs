@@ -1,0 +1,362 @@
+//! Structure-only index serialization.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "GALNIDX1" (8)  version u32  backend u32
+//! n u64  dim u64  vector-checksum u64      // identity of the build-time vectors
+//! <backend params>  <backend structure>
+//! file-checksum u64                        // FNV-1a of everything above
+//! ```
+//!
+//! Vectors are deliberately **not** stored: the serving artifact already
+//! holds the embedding layers the index was built over, so the loader
+//! re-derives the [`VectorSet`] and this module only verifies (via the
+//! embedded FNV-1a of the raw vector bytes) that the re-attached vectors
+//! are bit-identical to the build-time ones. A graph wired for different
+//! vectors is silently wrong, so any mismatch is [`IndexError::Corrupt`].
+
+use crate::{
+    hnsw::{HnswIndex, HnswParams},
+    ivf::{IvfIndex, IvfParams},
+    AnnIndex, Backend, IndexError, Result, VectorSet,
+};
+
+/// Serialized-index magic.
+pub const MAGIC: [u8; 8] = *b"GALNIDX1";
+
+/// Serialized-index format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over raw bytes (same constants as the artifact store's).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the little-endian bytes of an `f64` slice.
+#[must_use]
+pub fn fnv1a_f64(values: &[f64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn header(backend: Backend, vectors: &VectorSet) -> Self {
+        let mut w = Writer(Vec::new());
+        w.0.extend_from_slice(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(backend.tag());
+        w.u64(vectors.len() as u64);
+        w.u64(vectors.dim() as u64);
+        w.u64(vectors.checksum());
+        w
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn ids(&mut self, ids: &[u32]) {
+        self.u32(ids.len() as u32);
+        for &id in ids {
+            self.u32(id);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a(&self.0);
+        self.u64(checksum);
+        self.0
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| IndexError::Corrupt("truncated index bytes".into()))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn ids(&mut self, max_id: usize) -> Result<Vec<u32>> {
+        let len = self.u32()? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let id = self.u32()?;
+            if id as usize >= max_id {
+                return Err(IndexError::Corrupt(format!(
+                    "node id {id} out of range (n = {max_id})"
+                )));
+            }
+            out.push(id);
+        }
+        Ok(out)
+    }
+}
+
+pub(crate) fn hnsw_to_bytes(index: &HnswIndex) -> Vec<u8> {
+    let mut w = Writer::header(Backend::Hnsw, index.vectors());
+    let p = index.params();
+    w.u64(p.m as u64);
+    w.u64(p.ef_construction as u64);
+    w.u64(p.ef_search as u64);
+    w.u64(p.seed);
+    let (levels, links, entry, max_level) = index.parts();
+    w.u32(entry);
+    w.u32(u32::from(max_level));
+    w.0.extend_from_slice(levels);
+    for per_node in links {
+        for layer in per_node {
+            w.ids(layer);
+        }
+    }
+    w.finish()
+}
+
+pub(crate) fn ivf_to_bytes(index: &IvfIndex) -> Vec<u8> {
+    let mut w = Writer::header(Backend::Ivf, index.vectors());
+    let p = index.params();
+    w.u64(p.clusters as u64);
+    w.u64(p.nprobe as u64);
+    w.u64(p.iters as u64);
+    w.u64(p.seed);
+    let (centroids, lists) = index.parts();
+    for &v in centroids {
+        w.f64(v);
+    }
+    for list in lists {
+        w.ids(list);
+    }
+    w.finish()
+}
+
+/// Deserializes an index and re-attaches `vectors`. See [`crate::load`].
+pub(crate) fn load(bytes: &[u8], vectors: VectorSet) -> Result<Box<dyn AnnIndex>> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(IndexError::Corrupt("index bytes too short".into()));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(IndexError::Corrupt("index checksum mismatch".into()));
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: 0,
+    };
+    if r.take(8)? != MAGIC {
+        return Err(IndexError::Corrupt("bad index magic".into()));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(IndexError::Corrupt(format!(
+            "unsupported index format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let backend = Backend::from_tag(r.u32()?)
+        .ok_or_else(|| IndexError::Corrupt("unknown index backend tag".into()))?;
+    let n = r.u64()? as usize;
+    let dim = r.u64()? as usize;
+    let checksum = r.u64()?;
+    if n != vectors.len() || dim != vectors.dim() {
+        return Err(IndexError::Corrupt(format!(
+            "index was built over {n} x {dim} vectors but {} x {} were supplied",
+            vectors.len(),
+            vectors.dim()
+        )));
+    }
+    if checksum != vectors.checksum() {
+        return Err(IndexError::Corrupt(
+            "supplied vectors differ from the ones the index was built over".into(),
+        ));
+    }
+    match backend {
+        Backend::Hnsw => {
+            let params = HnswParams {
+                m: r.u64()? as usize,
+                ef_construction: r.u64()? as usize,
+                ef_search: r.u64()? as usize,
+                seed: r.u64()?,
+            };
+            let entry = r.u32()?;
+            let max_level = r.u32()?;
+            if max_level > 255 || (n > 0 && entry as usize >= n) {
+                return Err(IndexError::Corrupt("bad hnsw entry point".into()));
+            }
+            let levels = r.take(n)?.to_vec();
+            let mut links = Vec::with_capacity(n);
+            for &level in &levels {
+                let mut per_node = Vec::with_capacity(level as usize + 1);
+                for _ in 0..=level {
+                    per_node.push(r.ids(n)?);
+                }
+                links.push(per_node);
+            }
+            expect_end(&r)?;
+            Ok(Box::new(HnswIndex::from_parts(
+                vectors,
+                params,
+                levels,
+                links,
+                entry,
+                max_level as u8,
+            )))
+        }
+        Backend::Ivf => {
+            let params = IvfParams {
+                clusters: r.u64()? as usize,
+                nprobe: r.u64()? as usize,
+                iters: r.u64()? as usize,
+                seed: r.u64()?,
+            };
+            let mut centroids = Vec::with_capacity(params.clusters * dim);
+            for _ in 0..params.clusters * dim {
+                centroids.push(r.f64()?);
+            }
+            let mut lists = Vec::with_capacity(params.clusters);
+            for _ in 0..params.clusters {
+                lists.push(r.ids(n)?);
+            }
+            expect_end(&r)?;
+            Ok(Box::new(IvfIndex::from_parts(
+                vectors, params, centroids, lists,
+            )))
+        }
+    }
+}
+
+fn expect_end(r: &Reader<'_>) -> Result<()> {
+    if r.pos == r.bytes.len() {
+        Ok(())
+    } else {
+        Err(IndexError::Corrupt(
+            "trailing bytes after index body".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_unit_vectors;
+    use crate::SearchStats;
+
+    fn roundtrip(backend: Backend) -> (Box<dyn AnnIndex>, VectorSet, Vec<u8>) {
+        let v = random_unit_vectors(150, 8, 21);
+        let index: Box<dyn AnnIndex> = match backend {
+            Backend::Hnsw => Box::new(HnswIndex::build(v.clone(), HnswParams::default()).unwrap()),
+            Backend::Ivf => {
+                Box::new(IvfIndex::build(v.clone(), IvfParams::default_for(150)).unwrap())
+            }
+        };
+        let bytes = index.to_bytes();
+        (index, v, bytes)
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        for backend in [Backend::Hnsw, Backend::Ivf] {
+            let (original, v, bytes) = roundtrip(backend);
+            let loaded = crate::load(&bytes, v.clone()).unwrap();
+            assert_eq!(loaded.backend(), backend);
+            assert_eq!(loaded.len(), 150);
+            assert_eq!(loaded.dim(), 8);
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            for qi in 0..10 {
+                let q = v.row(qi * 11).to_vec();
+                let a = original.search(&q, 5, &mut s1);
+                let b = loaded.search(&q, 5, &mut s2);
+                assert_eq!(a.len(), b.len(), "{backend}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.id, y.id);
+                    assert_eq!(x.approx.to_bits(), y.approx.to_bits());
+                }
+            }
+            assert_eq!(s1.distance_evals, s2.distance_evals);
+        }
+    }
+
+    #[test]
+    fn wrong_vectors_are_rejected() {
+        let (_, _, bytes) = roundtrip(Backend::Hnsw);
+        let other = random_unit_vectors(150, 8, 22);
+        let err = crate::load(&bytes, other).err().expect("must reject");
+        assert!(matches!(err, IndexError::Corrupt(_)), "{err}");
+        let short = random_unit_vectors(140, 8, 21);
+        assert!(crate::load(&bytes, short).is_err());
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let (_, v, bytes) = roundtrip(Backend::Ivf);
+        for pos in (0..bytes.len()).step_by(37) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                crate::load(&bad, v.clone()).is_err(),
+                "corruption at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_header_are_rejected() {
+        let (_, v, bytes) = roundtrip(Backend::Hnsw);
+        assert!(crate::load(&bytes[..bytes.len() / 2], v.clone()).is_err());
+        assert!(crate::load(&[], v.clone()).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let tail = wrong_version.len() - 8;
+        let fixed = fnv1a(&wrong_version[..tail]);
+        wrong_version[tail..].copy_from_slice(&fixed.to_le_bytes());
+        let err = crate::load(&wrong_version, v).err().expect("must reject");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Recall floor on a seeded 2k-node fixture (the CI `index` job gate):
+//! both backends must reach recall@10 >= 0.95 against brute force, and
+//! must do so while evaluating well under n distances per query.
+
+use galign_index::{AnnIndex, HnswIndex, HnswParams, IvfIndex, IvfParams, SearchStats, VectorSet};
+
+const N: usize = 2000;
+const DIM: usize = 64;
+const QUERIES: usize = 100;
+const K: usize = 10;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    ((xorshift(state) >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Clustered fixture: CLUSTERS random centers, each row = center + noise,
+/// re-normalised. GCN embeddings concentrate around community centroids,
+/// so this is the representative workload; uniform random vectors at
+/// d=64 have no neighborhood structure for any ANN method to recover.
+const CLUSTERS: usize = 40;
+const NOISE: f64 = 0.25;
+
+fn fixture(seed: u64) -> VectorSet {
+    let mut state = seed | 1;
+    let mut centers = Vec::with_capacity(CLUSTERS * DIM);
+    for _ in 0..CLUSTERS {
+        let row: Vec<f64> = (0..DIM).map(|_| unit(&mut state) * 2.0 - 1.0).collect();
+        let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        centers.extend(row.into_iter().map(|v| v / norm));
+    }
+    let mut data = Vec::with_capacity(N * DIM);
+    for i in 0..N {
+        let c = &centers[(i % CLUSTERS) * DIM..(i % CLUSTERS + 1) * DIM];
+        let row: Vec<f64> = c
+            .iter()
+            .map(|&v| v + NOISE * (unit(&mut state) * 2.0 - 1.0))
+            .collect();
+        let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        data.extend(row.into_iter().map(|v| v / norm));
+    }
+    VectorSet::new(N, DIM, data).unwrap()
+}
+
+fn brute_topk(vectors: &VectorSet, q: &[f64], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = (0..vectors.len())
+        .map(|i| {
+            (
+                q.iter()
+                    .zip(vectors.row(i))
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>(),
+                i,
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+fn recall_of(index: &dyn AnnIndex, vectors: &VectorSet) -> (f64, f64) {
+    let mut state = 0x00dd_5eed_u64;
+    let mut overlap = 0usize;
+    let mut stats = SearchStats::default();
+    for _ in 0..QUERIES {
+        let qi = (xorshift(&mut state) % N as u64) as usize;
+        let q = vectors.row(qi).to_vec();
+        let truth = brute_topk(vectors, &q, K);
+        let got: Vec<usize> = index
+            .search(&q, K, &mut stats)
+            .into_iter()
+            .map(|c| c.id)
+            .collect();
+        overlap += truth.iter().filter(|t| got.contains(t)).count();
+    }
+    let recall = overlap as f64 / (QUERIES * K) as f64;
+    let mean_evals = stats.distance_evals as f64 / QUERIES as f64;
+    (recall, mean_evals)
+}
+
+const SEED: u64 = 0xf1f1_2000;
+
+#[test]
+fn hnsw_recall_at_10_meets_floor() {
+    let v = fixture(SEED);
+    let index = HnswIndex::build(v.clone(), HnswParams::default()).unwrap();
+    let (recall, mean_evals) = recall_of(&index, &v);
+    assert!(recall >= 0.95, "hnsw recall@10 = {recall:.3} < 0.95");
+    assert!(
+        mean_evals < 0.5 * N as f64,
+        "hnsw mean distance evals {mean_evals:.0} not sublinear at n={N}"
+    );
+}
+
+#[test]
+fn ivf_recall_at_10_meets_floor() {
+    let v = fixture(SEED);
+    let index = IvfIndex::build(v.clone(), IvfParams::default_for(N)).unwrap();
+    let (recall, mean_evals) = recall_of(&index, &v);
+    assert!(recall >= 0.95, "ivf recall@10 = {recall:.3} < 0.95");
+    assert!(
+        mean_evals < 0.5 * N as f64,
+        "ivf mean distance evals {mean_evals:.0} not sublinear at n={N}"
+    );
+}

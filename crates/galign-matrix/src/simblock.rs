@@ -239,6 +239,17 @@ impl PartialOrd for Entry {
 
 /// Partial selection: the `k` best scores (clamped to `scores.len()`),
 /// best first, via a size-bounded min-heap (`O(n log k)`).
+///
+/// # Ordering contract
+///
+/// Results are sorted by **descending score**; equal scores order by
+/// **ascending target id**. This tie-break is part of the public
+/// contract, not an implementation accident: every consumer that must
+/// agree with the exact engine result-for-result — `topk_rows` batches,
+/// the serving cache, and the ANN engine's exact re-rank (which feeds a
+/// candidate subset back through this function) — relies on equal-score
+/// results coming back in one canonical order. `total_cmp` extends the
+/// order to NaN scores, so selection is total on any input.
 #[must_use]
 pub fn select_topk(scores: &[f64], k: usize) -> Vec<Hit> {
     let k = k.min(scores.len());
@@ -636,6 +647,30 @@ mod tests {
     }
 
     #[test]
+    fn select_topk_all_ties_return_ascending_ids() {
+        // Regression for the ordering contract: with every score equal,
+        // the heap's eviction order is the only thing deciding which ids
+        // survive and how they sort — they must be 0..k ascending, for
+        // every k, and identical to the brute-force reference. The ANN
+        // re-rank path and the serving cache both assume this canonical
+        // order for equal scores.
+        let scores = vec![0.25f64; 9];
+        for k in 0..=scores.len() + 2 {
+            let hits = select_topk(&scores, k);
+            let want: Vec<usize> = (0..k.min(scores.len())).collect();
+            let got: Vec<usize> = hits.iter().map(|h| h.target).collect();
+            assert_eq!(got, want, "k = {k}");
+            assert!(hits.iter().all(|h| h.score == 0.25));
+            assert_eq!(hits, select_topk_bruteforce(&scores, k), "k = {k}");
+        }
+        // Ties below a distinct maximum: the tied block still orders by
+        // ascending id after the strictly-better hit.
+        let scores = [0.5, 0.9, 0.5, 0.5];
+        let got: Vec<usize> = select_topk(&scores, 3).iter().map(|h| h.target).collect();
+        assert_eq!(got, vec![1, 0, 2]);
+    }
+
+    #[test]
     fn zero_theta_layers_are_skipped() {
         let (source, target, _) = panel_case(5);
         let panel = SimPanel::new(&source, &target, &[0.0, 0.0]).unwrap();
@@ -650,7 +685,7 @@ mod tests {
         // Naive reference: per-row, per-layer scan plus aggregated max.
         let mut g_ref = 0.0;
         for v in 0..23 {
-            let mut agg = vec![0.0f64; 17];
+            let mut agg = [0.0f64; 17];
             for (l, &w) in theta.iter().enumerate() {
                 let sv = source[l].row(v);
                 let mut best = (0usize, f64::NEG_INFINITY);

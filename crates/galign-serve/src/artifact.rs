@@ -12,15 +12,24 @@
 //!
 //! ```text
 //! magic            8 B   b"GALNART1"
-//! format version   4 B   u32, currently 1
+//! format version   4 B   u32, 1 or 2
 //! flags            4 B   u32, bit 0 = rows already L2-normalized
 //! layer count      4 B   u32, layers per side (k+1, incl. attribute layer)
 //! reserved         4 B   u32, zero
 //! theta section    8·L B f64 layer weights, then 8 B FNV-1a of the bytes
 //! source blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
 //! target blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
+//! index section    v2 only: [len u64, len bytes, FNV-1a u64]
 //! file checksum    8 B   FNV-1a of every preceding byte
 //! ```
+//!
+//! Version 2 appends an optional serialized ANN index (an opaque
+//! `galign-index` blob — structure only, the vectors live in the target
+//! blocks above) so `serve` can start in ANN mode without rebuilding the
+//! graph. Writers emit version 1 bytes whenever no index is embedded, so
+//! index-less artifacts remain readable by version-1 readers; version-1
+//! readers reject version-2 artifacts with a clear "newer than this build"
+//! error rather than silently dropping the index.
 //!
 //! Loads validate magic, version (future versions are rejected, never
 //! silently reinterpreted), shape consistency between the two sides, every
@@ -33,8 +42,10 @@ use std::path::Path;
 /// File magic: "GALN ARTifact" plus a format generation digit.
 pub const MAGIC: [u8; 8] = *b"GALNART1";
 
-/// Current on-disk format version. Readers reject anything newer.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version. Readers reject anything newer. Writers
+/// emit version 1 when no ANN index is embedded (see [`Artifact::index`]),
+/// version 2 otherwise.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Flag bit: matrix rows are already L2-normalized (cosine-ready).
 pub const FLAG_ROWS_NORMALIZED: u32 = 1;
@@ -178,6 +189,10 @@ pub struct Artifact {
     /// Whether rows were L2-normalized before export (if not, the query
     /// index normalizes at load time).
     pub rows_normalized: bool,
+    /// Optional serialized ANN index (an opaque `galign-index` blob built
+    /// over the concatenated target layers). `Some` forces format
+    /// version 2 on write; `None` keeps version 1 for old readers.
+    pub index: Option<Vec<u8>>,
 }
 
 impl Artifact {
@@ -223,7 +238,16 @@ impl Artifact {
             source,
             target,
             rows_normalized,
+            index: None,
         })
+    }
+
+    /// Returns the artifact with `index` embedded (written as format
+    /// version 2; see [`Artifact::index`]).
+    #[must_use]
+    pub fn with_index(mut self, index: Vec<u8>) -> Self {
+        self.index = Some(index);
+        self
     }
 
     /// Number of embedding layers per side (k+1).
@@ -244,12 +268,15 @@ impl Artifact {
         self.target[0].rows()
     }
 
-    /// Serializes to the binary format described in the module docs.
+    /// Serializes to the binary format described in the module docs:
+    /// version 1 bytes when no index is embedded (so old readers keep
+    /// working), version 2 otherwise.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
+        let version: u32 = if self.index.is_some() { 2 } else { 1 };
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         let flags = if self.rows_normalized {
             FLAG_ROWS_NORMALIZED
         } else {
@@ -271,6 +298,11 @@ impl Artifact {
             out.extend_from_slice(&data);
             out.extend_from_slice(&fnv1a(&data).to_le_bytes());
         }
+        if let Some(index) = &self.index {
+            out.extend_from_slice(&(index.len() as u64).to_le_bytes());
+            out.extend_from_slice(index);
+            out.extend_from_slice(&fnv1a(index).to_le_bytes());
+        }
         let file_sum = fnv1a(&out);
         out.extend_from_slice(&file_sum.to_le_bytes());
         out
@@ -283,15 +315,26 @@ impl Artifact {
     /// truncation, trailing bytes, checksum mismatches (per section and
     /// whole-file), or shape inconsistencies.
     pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        Artifact::from_bytes_with_max_version(bytes, FORMAT_VERSION)
+    }
+
+    /// [`Artifact::from_bytes`] with an explicit version ceiling — lets
+    /// tests exercise how an old (version-1-only) reader reacts to a
+    /// version-2 artifact without keeping an old binary around.
+    ///
+    /// # Errors
+    /// Same as [`Artifact::from_bytes`], plus rejection of versions above
+    /// `max_version`.
+    pub fn from_bytes_with_max_version(bytes: &[u8], max_version: u32) -> io::Result<Self> {
         let mut r = Reader { bytes, pos: 0 };
         if r.take(8)? != MAGIC {
             return Err(invalid("not a galign artifact (bad magic)"));
         }
         let version = r.u32()?;
-        if version > FORMAT_VERSION {
+        if version > max_version {
             return Err(invalid(format!(
                 "artifact format version {version} is newer than this build \
-                 supports ({FORMAT_VERSION}); upgrade galign-serve"
+                 supports ({max_version}); upgrade galign-serve"
             )));
         }
         if version == 0 {
@@ -332,6 +375,18 @@ impl Artifact {
             }
             sides.push(mat);
         }
+        let index = if version >= 2 {
+            let len = usize::try_from(r.u64()?).map_err(|_| invalid("index length overflow"))?;
+            let data = r.take(len)?.to_vec();
+            if r.u64()? != fnv1a(&data) {
+                return Err(invalid(
+                    "index section checksum mismatch (corrupt artifact)",
+                ));
+            }
+            Some(data)
+        } else {
+            None
+        };
         let file_sum = fnv1a(&bytes[..r.pos]);
         if r.u64()? != file_sum {
             return Err(invalid("file checksum mismatch (corrupt artifact)"));
@@ -343,7 +398,9 @@ impl Artifact {
             )));
         }
         let target = sides.split_off(layers);
-        Artifact::new(theta, sides, target, flags & FLAG_ROWS_NORMALIZED != 0)
+        let mut artifact = Artifact::new(theta, sides, target, flags & FLAG_ROWS_NORMALIZED != 0)?;
+        artifact.index = index;
+        Ok(artifact)
     }
 
     /// Writes the artifact to `path` atomically (tmp file → flush →
@@ -620,6 +677,48 @@ mod tests {
         bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
         let err = Artifact::from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn index_less_artifacts_stay_version_1() {
+        let bytes = random_artifact(20, false).to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        // And are still readable by a version-1-only reader.
+        assert!(Artifact::from_bytes_with_max_version(&bytes, 1).is_ok());
+    }
+
+    #[test]
+    fn embedded_index_roundtrips_as_version_2() {
+        let blob = vec![7u8, 0, 42, 255, 1, 2, 3];
+        let a = random_artifact(21, true).with_index(blob.clone());
+        let bytes = a.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        let b = Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(b.index.as_deref(), Some(blob.as_slice()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn old_reader_rejects_indexed_artifact_gracefully() {
+        // A version-1-only build must refuse a version-2 artifact with the
+        // "newer than this build" message, never misparse it.
+        let bytes = random_artifact(22, false)
+            .with_index(vec![1, 2, 3])
+            .to_bytes();
+        let err = Artifact::from_bytes_with_max_version(&bytes, 1).unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_index_section_is_detected() {
+        let a = random_artifact(23, false).with_index(vec![9; 64]);
+        let bytes = a.to_bytes();
+        // Corrupt a byte inside the index payload (located just before the
+        // trailing index checksum + file checksum).
+        let mut bad = bytes.clone();
+        let pos = bytes.len() - 8 - 8 - 32;
+        bad[pos] ^= 0x01;
+        assert!(Artifact::from_bytes(&bad).is_err());
     }
 
     #[test]

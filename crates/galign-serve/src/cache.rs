@@ -16,6 +16,9 @@ use std::sync::{Arc, Mutex};
 
 /// Identity of one top-k query. θ is stored as raw `f64` bits: bit-exact
 /// equality (the only safe cache equivalence) and hashability for free.
+/// The engine route is part of the key — ANN answers may legitimately
+/// differ from exact ones (missed candidates), so the two must never
+/// share cache entries.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     /// Source node id.
@@ -24,16 +27,28 @@ pub struct QueryKey {
     pub k: usize,
     /// θ override as bit patterns; `None` = artifact default.
     pub theta_bits: Option<Vec<u64>>,
+    /// Whether the query routed to the ANN engine (the *decision*, which
+    /// is deterministic per request — not the per-node fallback outcome,
+    /// which may serve exact results under an ANN key; those are at least
+    /// as accurate, so sharing that direction is sound).
+    pub ann_engine: bool,
 }
 
 impl QueryKey {
-    /// Builds a key from query parameters.
+    /// Builds a key for an exact-engine query.
     #[must_use]
     pub fn new(node: usize, k: usize, theta: Option<&[f64]>) -> Self {
+        QueryKey::with_engine(node, k, theta, false)
+    }
+
+    /// Builds a key carrying the engine-routing decision.
+    #[must_use]
+    pub fn with_engine(node: usize, k: usize, theta: Option<&[f64]>, ann_engine: bool) -> Self {
         QueryKey {
             node,
             k,
             theta_bits: theta.map(|t| t.iter().map(|v| v.to_bits()).collect()),
+            ann_engine,
         }
     }
 }
@@ -339,6 +354,14 @@ mod tests {
         assert_ne!(a, d);
         let e = QueryKey::new(1, 5, Some(&[0.1, 0.25]));
         assert_ne!(a, e);
+    }
+
+    #[test]
+    fn engine_route_is_part_of_the_key() {
+        let exact = QueryKey::new(1, 5, None);
+        let ann = QueryKey::with_engine(1, 5, None, true);
+        assert_ne!(exact, ann, "ANN and exact results must never alias");
+        assert_eq!(exact, QueryKey::with_engine(1, 5, None, false));
     }
 
     #[test]

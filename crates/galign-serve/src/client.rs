@@ -13,7 +13,10 @@
 //!   re-synchronising;
 //! * a `Retry-After: N` header (seconds, as the server sends) overrides
 //!   the computed backoff — the server knows its own recovery horizon
-//!   better than the client's schedule does.
+//!   better than the client's schedule does. Fractional values (`1.5`)
+//!   are honored, oversized values are clamped, and malformed, negative
+//!   or non-finite values are ignored in favor of the computed backoff —
+//!   a proxy-mangled header must not stall or crash the client.
 //!
 //! Responses with other statuses (including 4xx/5xx) are returned to the
 //! caller, not retried: a `400` will not become a `200` by asking again.
@@ -53,6 +56,12 @@ impl Default for ClientConfig {
     }
 }
 
+/// Ceiling honored for a server `Retry-After` hint, in seconds. A shed
+/// server asking a client to come back in more than a minute is
+/// indistinguishable from a corrupted header, so larger hints clamp here
+/// rather than parking the client for hours.
+pub const MAX_RETRY_AFTER_SECS: f64 = 60.0;
+
 /// A parsed HTTP response.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -81,10 +90,20 @@ impl Response {
         String::from_utf8_lossy(&self.body).into_owned()
     }
 
-    /// The server's `Retry-After` hint in seconds, if present and numeric.
+    /// The server's `Retry-After` hint in seconds, if present and sane.
+    ///
+    /// Parsed as `f64` so fractional hints (`"1.5"`) survive; malformed,
+    /// negative, or non-finite values yield `None` (callers fall back to
+    /// their computed backoff) and oversized hints clamp to
+    /// [`MAX_RETRY_AFTER_SECS`] so a mangled header cannot stall a client
+    /// for hours.
     #[must_use]
-    pub fn retry_after_secs(&self) -> Option<u64> {
-        self.header("retry-after")?.trim().parse().ok()
+    pub fn retry_after_secs(&self) -> Option<f64> {
+        let secs: f64 = self.header("retry-after")?.trim().parse().ok()?;
+        if !secs.is_finite() || secs < 0.0 {
+            return None;
+        }
+        Some(secs.min(MAX_RETRY_AFTER_SECS))
     }
 }
 
@@ -104,8 +123,9 @@ pub struct Client {
     cfg: ClientConfig,
     jitter: std::cell::Cell<u64>,
     /// `Retry-After` seconds from the most recent shed response, consumed
-    /// by the next backoff computation.
-    retry_after: std::cell::Cell<Option<u64>>,
+    /// by the next backoff computation. Always finite, non-negative and
+    /// clamped — [`Response::retry_after_secs`] filters hostile values.
+    retry_after: std::cell::Cell<Option<f64>>,
 }
 
 impl Client {
@@ -223,8 +243,10 @@ impl Client {
     /// positive), else exponential-with-jitter from the attempt number.
     fn backoff(&self, attempt: u32) -> Duration {
         if let Some(secs) = self.retry_after.take() {
-            if secs > 0 {
-                return Duration::from_secs(secs);
+            if secs > 0.0 {
+                // Safe: retry_after_secs() guarantees finite, >= 0 and
+                // clamped, so from_secs_f64 cannot panic.
+                return Duration::from_secs_f64(secs);
             }
         }
         let exp = self
@@ -381,11 +403,43 @@ mod tests {
         }
         // A Retry-After hint overrides the schedule exactly once; a hint
         // of 0 seconds falls back to the computed schedule.
-        client.retry_after.set(Some(2));
+        client.retry_after.set(Some(2.0));
         assert_eq!(client.backoff(1), Duration::from_secs(2));
         assert!(client.backoff(1) < Duration::from_secs(1));
-        client.retry_after.set(Some(0));
+        client.retry_after.set(Some(0.0));
         assert!(client.backoff(1) < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retry_after_tolerates_fractional_and_malformed_values() {
+        let parse = |v: &str| {
+            Response {
+                status: 503,
+                headers: vec![("retry-after".to_string(), v.to_string())],
+                body: Vec::new(),
+            }
+            .retry_after_secs()
+        };
+        assert_eq!(parse("2"), Some(2.0));
+        assert_eq!(parse(" 1.5 "), Some(1.5));
+        assert_eq!(parse("0"), Some(0.0));
+        // Malformed or hostile values are ignored: the client falls back
+        // to its computed exponential backoff instead of erroring out.
+        assert_eq!(parse("soon"), None);
+        assert_eq!(parse("-3"), None);
+        assert_eq!(parse("NaN"), None);
+        assert_eq!(parse("inf"), None);
+        assert_eq!(parse(""), None);
+        // Oversized hints clamp rather than stalling the client.
+        assert_eq!(parse("86400"), Some(MAX_RETRY_AFTER_SECS));
+        // A fractional hint drives the actual sleep duration.
+        let client = Client::with_config("127.0.0.1:1", ClientConfig::default()).unwrap();
+        client.retry_after.set(Some(1.5));
+        assert_eq!(client.backoff(1), Duration::from_secs_f64(1.5));
+        // Malformed headers leave no stale hint behind: the next backoff
+        // is the computed one (bounded by max_backoff, far below 1.5s
+        // after the hint was consumed by the previous call).
+        assert!(client.backoff(1) <= client.cfg.max_backoff);
     }
 
     #[test]
@@ -393,7 +447,7 @@ mod tests {
         let raw = b"HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\nretry-after: 2\r\ncontent-length: 2\r\n\r\n{}";
         let resp = read_response(&mut BufReader::new(&raw[..])).unwrap();
         assert_eq!(resp.status, 503);
-        assert_eq!(resp.retry_after_secs(), Some(2));
+        assert_eq!(resp.retry_after_secs(), Some(2.0));
         assert_eq!(resp.body, b"{}");
         assert!(read_response(&mut BufReader::new(&b"garbage"[..])).is_err());
     }

@@ -12,7 +12,13 @@
 //!   (`galign_matrix::simblock`): row-normalized dot-product scoring over
 //!   the θ-weighted layers with heap-based partial selection, parallel
 //!   across the queries of a batch. This crate carries no private scoring
-//!   kernel — serving and the batch pipeline score through the same code;
+//!   kernel — serving and the batch pipeline score through the same code.
+//!   An optional `galign-index` ANN index (HNSW or IVF over the
+//!   concatenated target rows) makes queries sublinear: requests pick an
+//!   engine per query (`exact | ann | auto`), ANN candidates are exactly
+//!   re-ranked through `select_topk` (so scores stay bit-identical to the
+//!   exact engine's), and low-confidence candidate sets fall back to the
+//!   full scan;
 //! * [`cache`] — a sharded in-memory LRU keyed on `(node, k, θ)`;
 //! * [`server`] — a std-only multi-threaded HTTP/1.1 server with a
 //!   bounded worker pool, per-request timeouts, graceful shutdown, and
@@ -64,4 +70,4 @@ pub use artifact::{Artifact, Mat};
 pub use cache::{LruCache, QueryKey, ShardedCache};
 pub use client::{Client, ClientConfig};
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use topk::{Hit, QueryError, TopkIndex};
+pub use topk::{EngineMode, EngineUsed, Hit, QueryError, TopkIndex};

@@ -11,9 +11,13 @@
 //! | GET    | `/metrics`           | telemetry snapshot as JSON             |
 //! | POST   | `/v1/admin/shutdown` | graceful shutdown (SIGTERM-equivalent) |
 //!
-//! Query body: `{"nodes": [0, 3], "k": 5, "theta": [0.2, 0.3, 0.5]}` —
-//! `k` and `theta` optional. Response: one `{"node", "matches": [{"target",
-//! "score"}]}` entry per queried node, best match first.
+//! Query body:
+//! `{"nodes": [0, 3], "k": 5, "theta": [0.2, 0.3, 0.5], "mode": "auto"}` —
+//! `k`, `theta` and `mode` optional. `mode` picks the scoring engine
+//! (`exact | ann | auto`, default from [`ServeConfig::default_mode`]); the
+//! response reports the routing decision in its top-level `"engine"` field.
+//! Response: one `{"node", "matches": [{"target", "score"}]}` entry per
+//! queried node, best match first.
 //!
 //! ## Shutdown
 //!
@@ -26,7 +30,7 @@
 use crate::cache::{QueryKey, ShardedCache};
 use crate::http::{self, ReadOutcome, Request};
 use crate::json;
-use crate::topk::TopkIndex;
+use crate::topk::{EngineMode, TopkIndex};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,6 +63,12 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// `Retry-After` value (seconds) attached to every shed/deadline 503.
     pub retry_after_secs: u64,
+    /// Engine used when a query omits `mode` (`auto` routes to ANN only
+    /// when an index is attached and the target network is at least
+    /// `ann_threshold` nodes).
+    pub default_mode: EngineMode,
+    /// Overrides the index's `auto` switchover point when set.
+    pub ann_threshold: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +83,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             deadline: Duration::from_secs(5),
             retry_after_secs: 1,
+            default_mode: EngineMode::Auto,
+            ann_threshold: None,
         }
     }
 }
@@ -121,17 +133,24 @@ impl Server {
     ///
     /// # Errors
     /// Bind failures.
-    pub fn bind(addr: &str, index: TopkIndex, cfg: ServeConfig) -> io::Result<Server> {
+    pub fn bind(addr: &str, mut index: TopkIndex, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         galign_telemetry::set_metrics_enabled(true);
+        if let Some(threshold) = cfg.ann_threshold {
+            index.set_auto_threshold(threshold);
+        }
         galign_telemetry::info!(
             "serve",
-            "listening on {local} ({} source x {} target nodes, {} layers, {} workers)",
+            "listening on {local} ({} source x {} target nodes, {} layers, {} workers, engine {} / ann index: {})",
             index.source_nodes(),
             index.target_nodes(),
             index.num_layers(),
             cfg.workers.max(1),
+            cfg.default_mode,
+            index
+                .ann_backend()
+                .map_or("none", galign_index::Backend::name),
         );
         Ok(Server {
             inner: Arc::new(Inner {
@@ -187,14 +206,22 @@ impl Server {
                 Ok(stream) => {
                     // Load shedding: never block the acceptor on a full
                     // queue — tell the client to back off and come back.
+                    // The increment happens *before* try_send: a worker
+                    // may pop the stream (and decrement) the instant the
+                    // send lands, and incrementing afterwards would let
+                    // the counter underflow to u64::MAX, which /healthz
+                    // would read as a saturated queue.
+                    self.inner.pending.fetch_add(1, Ordering::Relaxed);
                     match tx.try_send(stream) {
-                        Ok(()) => {
-                            self.inner.pending.fetch_add(1, Ordering::Relaxed);
-                        }
+                        Ok(()) => {}
                         Err(mpsc::TrySendError::Full(stream)) => {
+                            self.inner.pending.fetch_sub(1, Ordering::Relaxed);
                             shed(&self.inner, &stream);
                         }
-                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            self.inner.pending.fetch_sub(1, Ordering::Relaxed);
+                            break;
+                        }
                     }
                 }
                 Err(e) => {
@@ -343,6 +370,17 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> (u16, String) {
                 "serve.pending",
                 inner.pending.load(Ordering::Relaxed) as f64,
             );
+            // Index engine state: whether an ANN index is attached and the
+            // `auto` switchover point. Candidate-set sizes arrive as the
+            // `index.search.candidates` histogram from galign-index.
+            galign_telemetry::gauge_set(
+                "serve.index.ann_attached",
+                if inner.index.has_ann() { 1.0 } else { 0.0 },
+            );
+            galign_telemetry::gauge_set(
+                "serve.index.auto_threshold",
+                inner.index.auto_threshold() as f64,
+            );
             (200, galign_telemetry::snapshot_json())
         }
         ("POST", "/v1/admin/shutdown") => {
@@ -362,20 +400,27 @@ fn healthz(inner: &Inner) -> String {
     let in_flight = inner.in_flight.load(Ordering::Relaxed);
     let shed_total = inner.shed_total.load(Ordering::Relaxed);
     // Degraded = the pending queue is at least half full: requests are
-    // still served but the next burst will start shedding.
+    // still served but the next burst will start shedding. An absent ANN
+    // index is NOT degraded — exact-only serving is a fully correct mode,
+    // just linear-time; the `index` field says which it is.
     let status = if pending.saturating_mul(2) >= inner.cfg.queue_depth.max(1) as u64 {
         "degraded"
     } else {
         "ok"
     };
     format!(
-        "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{}}}",
+        "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{},\"index\":\"{}\",\"mode\":\"{}\"}}",
         inner.index.source_nodes(),
         inner.index.target_nodes(),
         inner.index.num_layers(),
         inner.cfg.workers.max(1),
         inner.cache.len(),
         inner.cfg.queue_depth,
+        inner
+            .index
+            .ann_backend()
+            .map_or("none", galign_index::Backend::name),
+        inner.cfg.default_mode,
     )
 }
 
@@ -384,6 +429,7 @@ struct TopkQuery {
     nodes: Vec<usize>,
     k: usize,
     theta: Option<Vec<f64>>,
+    mode: EngineMode,
 }
 
 fn parse_topk_body(inner: &Inner, body: &[u8]) -> Result<TopkQuery, String> {
@@ -430,7 +476,19 @@ fn parse_topk_body(inner: &Inner, body: &[u8]) -> Result<TopkQuery, String> {
                 .collect::<Result<Vec<_>, _>>()?,
         ),
     };
-    Ok(TopkQuery { nodes, k, theta })
+    let mode = match doc.get("mode") {
+        None => inner.cfg.default_mode,
+        Some(v) => v
+            .as_str()
+            .and_then(EngineMode::from_name)
+            .ok_or("\"mode\" must be \"exact\", \"ann\" or \"auto\"")?,
+    };
+    Ok(TopkQuery {
+        nodes,
+        k,
+        theta,
+        mode,
+    })
 }
 
 /// Cooperative deadline check: socket timeouts cannot bound *compute*
@@ -456,13 +514,20 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
         Err(msg) => return (400, error_body(&msg)),
     };
     let theta = query.theta.as_deref();
+    // The engine-routing decision is deterministic per request (mode +
+    // index presence + auto threshold), so it can key the cache; ANN and
+    // exact results must never alias each other.
+    let ann_routed = inner.index.would_use_ann(query.mode);
 
     // Serve each node from the cache where possible; batch-compute the
     // misses through the parallel kernel.
     let mut results = vec![None; query.nodes.len()];
     let mut miss_positions = Vec::new();
     for (i, &node) in query.nodes.iter().enumerate() {
-        match inner.cache.get(&QueryKey::new(node, query.k, theta)) {
+        match inner
+            .cache
+            .get(&QueryKey::with_engine(node, query.k, theta, ann_routed))
+        {
             Some(hits) => results[i] = Some(hits),
             None => miss_positions.push(i),
         }
@@ -476,21 +541,26 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
             return reply;
         }
         let miss_nodes: Vec<usize> = miss_positions.iter().map(|&i| query.nodes[i]).collect();
-        let computed = match inner.index.topk_batch(&miss_nodes, query.k, theta) {
-            Ok(c) => c,
-            Err(e) => return (400, error_body(&e.to_string())),
-        };
-        for (&i, hits) in miss_positions.iter().zip(computed) {
+        let computed =
+            match inner
+                .index
+                .topk_batch_with_mode(&miss_nodes, query.k, theta, query.mode)
+            {
+                Ok(c) => c,
+                Err(e) => return (400, error_body(&e.to_string())),
+            };
+        for (&i, (hits, _engine)) in miss_positions.iter().zip(computed) {
             let hits = Arc::new(hits);
             inner.cache.insert(
-                QueryKey::new(query.nodes[i], query.k, theta),
+                QueryKey::with_engine(query.nodes[i], query.k, theta, ann_routed),
                 Arc::clone(&hits),
             );
             results[i] = Some(hits);
         }
     }
 
-    let mut out = format!("{{\"k\":{},\"results\":[", query.k);
+    let engine = if ann_routed { "ann" } else { "exact" };
+    let mut out = format!("{{\"k\":{},\"engine\":\"{engine}\",\"results\":[", query.k);
     for (i, (node, hits)) in query.nodes.iter().zip(&results).enumerate() {
         let hits = hits.as_ref().expect("every slot filled");
         if i > 0 {
@@ -518,6 +588,14 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
         galign_telemetry::counter_add(
             "serve.topk.cache_hits",
             query.nodes.len() as u64 - miss_count,
+        );
+        galign_telemetry::counter_add(
+            if ann_routed {
+                "serve.topk.engine.ann"
+            } else {
+                "serve.topk.engine.exact"
+            },
+            1,
         );
         galign_telemetry::gauge_set("serve.cache.entries", inner.cache.len() as f64);
         galign_telemetry::histogram_record("serve.topk.ms", started.elapsed().as_secs_f64() * 1e3);
@@ -637,6 +715,71 @@ mod tests {
             .unwrap();
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].get("target").unwrap().as_usize(), Some(2));
+    }
+
+    #[test]
+    fn mode_field_routes_and_reports_engine() {
+        let inner = test_inner();
+        // No ANN index attached: every mode serves exact, 200, engine
+        // "exact" — absence of the index is degraded-capability, not error.
+        for mode in ["exact", "ann", "auto"] {
+            let body = format!("{{\"nodes\":[0],\"k\":1,\"mode\":\"{mode}\"}}");
+            let (status, out) = topk_route(&inner, body.as_bytes(), Instant::now());
+            assert_eq!(status, 200, "{out}");
+            let doc = json::parse(&out).unwrap();
+            assert_eq!(doc.get("engine").unwrap().as_str(), Some("exact"));
+        }
+        let (status, out) = topk_route(&inner, br#"{"nodes":[0],"mode":"warp"}"#, Instant::now());
+        assert_eq!(status, 400);
+        assert!(out.contains("mode"), "{out}");
+    }
+
+    #[test]
+    fn ann_engine_reported_and_cached_separately() {
+        let mut index = test_index();
+        index.build_ann(crate::topk::Backend::Ivf).unwrap();
+        index.set_auto_threshold(1);
+        let mut inner = test_inner();
+        inner.index = index;
+        let (status, out) = topk_route(
+            &inner,
+            br#"{"nodes":[0],"k":2,"mode":"ann"}"#,
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{out}");
+        let doc = json::parse(&out).unwrap();
+        assert_eq!(doc.get("engine").unwrap().as_str(), Some("ann"));
+        // An exact request for the same node must miss the ANN entry.
+        let (_, out2) = topk_route(
+            &inner,
+            br#"{"nodes":[0],"k":2,"mode":"exact"}"#,
+            Instant::now(),
+        );
+        let doc2 = json::parse(&out2).unwrap();
+        assert_eq!(doc2.get("engine").unwrap().as_str(), Some("exact"));
+        let (hits, misses) = inner.cache.stats();
+        assert_eq!((hits, misses), (0, 2), "engines must not share entries");
+        // Tiny n: ANN+re-rank and exact agree bit-for-bit.
+        assert_eq!(
+            doc.get("results").unwrap().as_arr().unwrap().len(),
+            doc2.get("results").unwrap().as_arr().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn healthz_reports_index_state_and_stays_ok_without_ann() {
+        let inner = test_inner();
+        let doc = json::parse(&healthz(&inner)).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("index").unwrap().as_str(), Some("none"));
+        let mut with_ann = test_inner();
+        with_ann
+            .index
+            .build_ann(crate::topk::Backend::Hnsw)
+            .unwrap();
+        let doc = json::parse(&healthz(&with_ann)).unwrap();
+        assert_eq!(doc.get("index").unwrap().as_str(), Some("hnsw"));
+        assert_eq!(doc.get("mode").unwrap().as_str(), Some("auto"));
     }
 
     #[test]

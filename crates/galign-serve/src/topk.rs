@@ -12,11 +12,88 @@
 //! workers via [`galign_matrix::simblock::topk_rows`].
 
 use crate::artifact::{Artifact, Mat};
+pub use galign_index::Backend;
+use galign_index::{AnnIndex, SearchStats, VectorSet};
+use galign_matrix::dense::dot;
 use galign_matrix::simblock::{self, ScoreProvider, SimPanel};
 use galign_matrix::Dense;
 use std::fmt;
+use std::io;
 
 pub use galign_matrix::simblock::{select_topk, select_topk_bruteforce, Hit};
+
+/// Engine selection requested by a query (the HTTP `mode` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Always scan every target node (the PR-3 blocked panel path).
+    Exact,
+    /// Use the ANN index when one is attached (falls back to exact when
+    /// it is not, or when a candidate set looks low-confidence).
+    Ann,
+    /// Use ANN only when an index is attached **and** the target network
+    /// is at least [`TopkIndex::auto_threshold`] nodes — below that the
+    /// exact scan is already fast and bit-exactness is free.
+    #[default]
+    Auto,
+}
+
+impl EngineMode {
+    /// Parses the HTTP spelling (`"exact"` / `"ann"` / `"auto"`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<EngineMode> {
+        match name {
+            "exact" => Some(EngineMode::Exact),
+            "ann" => Some(EngineMode::Ann),
+            "auto" => Some(EngineMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// The HTTP spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::Exact => "exact",
+            EngineMode::Ann => "ann",
+            EngineMode::Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which engine actually answered a query (reported in responses and
+/// telemetry; `Ann` still means ANN candidates exactly re-ranked through
+/// `select_topk`, so scores are bit-identical to the exact engine's for
+/// every hit both return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineUsed {
+    /// Full exact scan.
+    Exact,
+    /// ANN candidate generation + exact re-rank.
+    Ann,
+}
+
+impl EngineUsed {
+    /// The HTTP spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineUsed::Exact => "exact",
+            EngineUsed::Ann => "ann",
+        }
+    }
+}
+
+impl fmt::Display for EngineUsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A rejected query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,19 +140,39 @@ fn mat_to_dense(m: Mat) -> Dense {
     Dense::from_vec(rows, cols, m.into_vec()).expect("artifact matrices are shape-consistent")
 }
 
+/// Target-node count at which `mode: auto` switches from the exact scan
+/// to the ANN engine (overridable per index).
+pub const DEFAULT_AUTO_THRESHOLD: usize = 4096;
+
 /// An in-memory query index over a loaded [`Artifact`]: normalized
-/// multi-order embeddings of both networks plus the default θ.
-#[derive(Debug)]
+/// multi-order embeddings of both networks, the default θ, and an
+/// optional ANN index over the concatenated target rows.
 pub struct TopkIndex {
     source: Vec<Dense>,
     target: Vec<Dense>,
     theta: Vec<f64>,
+    ann: Option<Box<dyn AnnIndex>>,
+    auto_threshold: usize,
+}
+
+impl fmt::Debug for TopkIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TopkIndex")
+            .field("source_nodes", &self.source_nodes())
+            .field("target_nodes", &self.target_nodes())
+            .field("layers", &self.theta.len())
+            .field("ann", &self.ann.as_ref().map(|a| a.backend()))
+            .field("auto_threshold", &self.auto_threshold)
+            .finish()
+    }
 }
 
 impl TopkIndex {
     /// Builds the index, row-normalizing the embeddings unless the
     /// artifact says they already are (so that every layer contributes
-    /// cosine similarities).
+    /// cosine similarities). An ANN index embedded in the artifact is
+    /// re-attached; if its blob fails validation the server degrades to
+    /// exact-only mode (with a warning) rather than refusing to start.
     #[must_use]
     pub fn from_artifact(artifact: Artifact) -> Self {
         let Artifact {
@@ -83,6 +180,7 @@ impl TopkIndex {
             source,
             target,
             rows_normalized,
+            index,
         } = artifact;
         let convert = |mats: Vec<Mat>| -> Vec<Dense> {
             mats.into_iter()
@@ -96,11 +194,22 @@ impl TopkIndex {
                 })
                 .collect()
         };
-        TopkIndex {
+        let mut idx = TopkIndex {
             source: convert(source),
             target: convert(target),
             theta,
+            ann: None,
+            auto_threshold: DEFAULT_AUTO_THRESHOLD,
+        };
+        if let Some(bytes) = index {
+            if let Err(e) = idx.attach_index_bytes(&bytes) {
+                galign_telemetry::info!(
+                    "topk",
+                    "embedded ANN index rejected ({e}); serving exact-only"
+                );
+            }
         }
+        idx
     }
 
     /// Source-network node count.
@@ -125,6 +234,177 @@ impl TopkIndex {
     #[must_use]
     pub fn default_theta(&self) -> &[f64] {
         &self.theta
+    }
+
+    /// Whether an ANN index is attached.
+    #[must_use]
+    pub fn has_ann(&self) -> bool {
+        self.ann.is_some()
+    }
+
+    /// Backend of the attached ANN index, if any.
+    #[must_use]
+    pub fn ann_backend(&self) -> Option<Backend> {
+        self.ann.as_ref().map(|a| a.backend())
+    }
+
+    /// The `mode: auto` switchover point (target nodes).
+    #[must_use]
+    pub fn auto_threshold(&self) -> usize {
+        self.auto_threshold
+    }
+
+    /// Overrides the `mode: auto` switchover point.
+    pub fn set_auto_threshold(&mut self, nodes: usize) {
+        self.auto_threshold = nodes;
+    }
+
+    /// The concatenated target rows the ANN index is built over: one
+    /// `Σ_l dim_l` vector per target node, layers in index order,
+    /// **unscaled** — θ multiplies the query side only (see
+    /// [`TopkIndex::query_vector`]), so per-query θ overrides need no
+    /// index rebuild. Rows are L2-normalised per layer, so every
+    /// concatenated vector has the same norm (√L up to zero rows) and
+    /// inner-product order equals cosine order.
+    #[must_use]
+    pub fn target_vector_set(&self) -> VectorSet {
+        let n = self.target_nodes();
+        let dim: usize = self.target.iter().map(Dense::cols).sum();
+        let mut data = Vec::with_capacity(n * dim);
+        for u in 0..n {
+            for layer in &self.target {
+                data.extend_from_slice(layer.row(u));
+            }
+        }
+        VectorSet::new(n, dim, data).expect("layer shapes validated at load")
+    }
+
+    /// The ANN query vector of a source node under `theta`: the θ-scaled
+    /// concatenation of its per-layer rows, so that
+    /// `⟨query, target⟩ = Σ_l θ_l ⟨s_l, t_l⟩` — the exact serving score.
+    #[must_use]
+    pub fn query_vector(&self, node: usize, theta: &[f64]) -> Vec<f64> {
+        let dim: usize = self.source.iter().map(Dense::cols).sum();
+        let mut q = Vec::with_capacity(dim);
+        for (layer, &w) in self.source.iter().zip(theta) {
+            q.extend(layer.row(node).iter().map(|&v| w * v));
+        }
+        q
+    }
+
+    /// Builds an ANN index over the target vectors with the backend's
+    /// default parameters and attaches it.
+    ///
+    /// # Errors
+    /// `InvalidData` when the backend rejects the build inputs.
+    pub fn build_ann(&mut self, backend: Backend) -> io::Result<()> {
+        let vectors = self.target_vector_set();
+        let n = vectors.len();
+        let built: Box<dyn AnnIndex> = match backend {
+            Backend::Hnsw => Box::new(
+                galign_index::HnswIndex::build(vectors, galign_index::HnswParams::default())
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            ),
+            Backend::Ivf => Box::new(
+                galign_index::IvfIndex::build(vectors, galign_index::IvfParams::default_for(n))
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            ),
+        };
+        self.ann = Some(built);
+        Ok(())
+    }
+
+    /// Deserializes a `galign-index` blob (e.g. the artifact's embedded
+    /// index section) and attaches it, verifying that it was built over
+    /// exactly this index's target vectors.
+    ///
+    /// # Errors
+    /// `InvalidData` when the blob is corrupt or was built over different
+    /// vectors.
+    pub fn attach_index_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let ann = galign_index::load(bytes, self.target_vector_set())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.ann = Some(ann);
+        Ok(())
+    }
+
+    /// Serializes the attached ANN index (for embedding into an artifact).
+    #[must_use]
+    pub fn index_bytes(&self) -> Option<Vec<u8>> {
+        self.ann.as_ref().map(|a| a.to_bytes())
+    }
+
+    /// Whether a query under `mode` would route to the ANN engine (before
+    /// any low-confidence fallback). Deterministic per request, so cache
+    /// keys can depend on it.
+    #[must_use]
+    pub fn would_use_ann(&self, mode: EngineMode) -> bool {
+        self.pick_ann(mode).is_some()
+    }
+
+    fn pick_ann(&self, mode: EngineMode) -> Option<&dyn AnnIndex> {
+        let ann = self.ann.as_deref()?;
+        match mode {
+            EngineMode::Exact => None,
+            EngineMode::Ann => Some(ann),
+            EngineMode::Auto => (self.target_nodes() >= self.auto_threshold).then_some(ann),
+        }
+    }
+
+    /// Exact serving score of one (source, target) pair — the same FP
+    /// operations in the same order as `SimPanel::score_block` (zero
+    /// init, then `+= θ_l·dot` per layer in index order, skipping
+    /// zero-weight layers), so re-ranked ANN scores are bit-identical to
+    /// the exact engine's.
+    fn exact_score(&self, v: usize, u: usize, theta: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (l, &w) in theta.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            acc += w * dot(self.source[l].row(v), self.target[l].row(u));
+        }
+        acc
+    }
+
+    /// ANN candidates + exact re-rank for one node. `None` means the
+    /// candidate set was low-confidence (fewer candidates than requested
+    /// hits) and the caller should fall back to the exact scan.
+    fn ann_topk(
+        &self,
+        ann: &dyn AnnIndex,
+        node: usize,
+        k: usize,
+        theta: &[f64],
+    ) -> Option<Vec<Hit>> {
+        let q = self.query_vector(node, theta);
+        let mut stats = SearchStats::default();
+        let cands = ann.search(&q, k, &mut stats);
+        if cands.len() < k.min(self.target_nodes()) {
+            if galign_telemetry::metrics_enabled() {
+                galign_telemetry::counter_add("serve.index.fallbacks", 1);
+            }
+            return None;
+        }
+        // Re-rank in ascending-candidate-id order so select_topk's tie
+        // contract (descending score, then ascending index) maps straight
+        // back to ascending target id — identical to the exact engine.
+        let mut ids: Vec<usize> = cands.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let scores: Vec<f64> = ids
+            .iter()
+            .map(|&u| self.exact_score(node, u, theta))
+            .collect();
+        Some(
+            select_topk(&scores, k)
+                .into_iter()
+                .map(|h| Hit {
+                    target: ids[h.target],
+                    score: h.score,
+                })
+                .collect(),
+        )
     }
 
     fn check(&self, nodes: &[usize], k: usize, theta: Option<&[f64]>) -> Result<(), QueryError> {
@@ -190,6 +470,65 @@ impl TopkIndex {
         self.check(nodes, k, theta)?;
         let panel = self.panel(theta.unwrap_or(&self.theta));
         Ok(simblock::topk_rows(&panel, nodes, k))
+    }
+
+    /// [`TopkIndex::topk`] with explicit engine selection; reports which
+    /// engine actually answered (ANN falls back to exact when no index is
+    /// attached or the candidate set is low-confidence).
+    ///
+    /// # Errors
+    /// Same as [`TopkIndex::topk`].
+    pub fn topk_with_mode(
+        &self,
+        node: usize,
+        k: usize,
+        theta: Option<&[f64]>,
+        mode: EngineMode,
+    ) -> Result<(Vec<Hit>, EngineUsed), QueryError> {
+        self.check(&[node], k, theta)?;
+        let th = theta.unwrap_or(&self.theta);
+        if let Some(ann) = self.pick_ann(mode) {
+            if let Some(hits) = self.ann_topk(ann, node, k, th) {
+                return Ok((hits, EngineUsed::Ann));
+            }
+        }
+        let panel = self.panel(th);
+        Ok((select_topk(&panel.score_row(node), k), EngineUsed::Exact))
+    }
+
+    /// [`TopkIndex::topk_batch`] with explicit engine selection. Each
+    /// query reports its own engine, because a low-confidence ANN
+    /// candidate set falls back to exact per node.
+    ///
+    /// # Errors
+    /// Same as [`TopkIndex::topk_batch`] — the whole batch is rejected
+    /// before any scoring happens.
+    pub fn topk_batch_with_mode(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        theta: Option<&[f64]>,
+        mode: EngineMode,
+    ) -> Result<Vec<(Vec<Hit>, EngineUsed)>, QueryError> {
+        self.check(nodes, k, theta)?;
+        let th = theta.unwrap_or(&self.theta);
+        let Some(ann) = self.pick_ann(mode) else {
+            let panel = self.panel(th);
+            return Ok(simblock::topk_rows(&panel, nodes, k)
+                .into_iter()
+                .map(|hits| (hits, EngineUsed::Exact))
+                .collect());
+        };
+        Ok(nodes
+            .iter()
+            .map(|&node| match self.ann_topk(ann, node, k, th) {
+                Some(hits) => (hits, EngineUsed::Ann),
+                None => {
+                    let panel = self.panel(th);
+                    (select_topk(&panel.score_row(node), k), EngineUsed::Exact)
+                }
+            })
+            .collect())
     }
 }
 
@@ -269,6 +608,118 @@ mod tests {
         for (i, &n) in nodes.iter().enumerate() {
             assert_eq!(batch[i], idx.topk(n, 3, None).unwrap());
         }
+    }
+
+    #[test]
+    fn engine_mode_parsing() {
+        assert_eq!(EngineMode::from_name("exact"), Some(EngineMode::Exact));
+        assert_eq!(EngineMode::from_name("ann"), Some(EngineMode::Ann));
+        assert_eq!(EngineMode::from_name("auto"), Some(EngineMode::Auto));
+        assert_eq!(EngineMode::from_name("fast"), None);
+        assert_eq!(EngineMode::default(), EngineMode::Auto);
+        assert_eq!(EngineUsed::Ann.name(), "ann");
+    }
+
+    #[test]
+    fn ann_mode_without_index_serves_exact() {
+        let idx = tiny_index();
+        assert!(!idx.has_ann());
+        let (hits, engine) = idx.topk_with_mode(0, 2, None, EngineMode::Ann).unwrap();
+        assert_eq!(engine, EngineUsed::Exact);
+        assert_eq!(hits, idx.topk(0, 2, None).unwrap());
+    }
+
+    #[test]
+    fn ann_rerank_is_bit_identical_to_exact() {
+        let mut idx = tiny_index();
+        idx.build_ann(Backend::Ivf).unwrap();
+        assert_eq!(idx.ann_backend(), Some(Backend::Ivf));
+        for node in 0..4 {
+            let exact = idx.topk(node, 4, None).unwrap();
+            let (ann, engine) = idx.topk_with_mode(node, 4, None, EngineMode::Ann).unwrap();
+            assert_eq!(engine, EngineUsed::Ann);
+            // Tiny n: the candidate set covers everything, so hits AND
+            // bit-level scores must agree exactly.
+            assert_eq!(ann.len(), exact.len());
+            for (a, e) in ann.iter().zip(&exact) {
+                assert_eq!(a.target, e.target);
+                assert_eq!(a.score.to_bits(), e.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_mode_respects_threshold() {
+        let mut idx = tiny_index();
+        idx.build_ann(Backend::Hnsw).unwrap();
+        // Default threshold (4096) far exceeds 4 target nodes: exact.
+        assert!(!idx.would_use_ann(EngineMode::Auto));
+        let (_, engine) = idx.topk_with_mode(0, 2, None, EngineMode::Auto).unwrap();
+        assert_eq!(engine, EngineUsed::Exact);
+        idx.set_auto_threshold(1);
+        assert!(idx.would_use_ann(EngineMode::Auto));
+        let (_, engine) = idx.topk_with_mode(0, 2, None, EngineMode::Auto).unwrap();
+        assert_eq!(engine, EngineUsed::Ann);
+        // Exact mode never routes to ANN.
+        assert!(!idx.would_use_ann(EngineMode::Exact));
+    }
+
+    #[test]
+    fn theta_override_works_through_ann() {
+        let mut idx = tiny_index();
+        idx.build_ann(Backend::Ivf).unwrap();
+        idx.set_auto_threshold(1);
+        // θ scales the query vector only, so overrides need no rebuild.
+        let exact = idx.topk(1, 3, Some(&[1.0, 0.0])).unwrap();
+        let (ann, _) = idx
+            .topk_with_mode(1, 3, Some(&[1.0, 0.0]), EngineMode::Ann)
+            .unwrap();
+        for (a, e) in ann.iter().zip(&exact) {
+            assert_eq!(a.target, e.target);
+            assert_eq!(a.score.to_bits(), e.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_with_mode_matches_single_queries() {
+        let mut idx = tiny_index();
+        idx.build_ann(Backend::Ivf).unwrap();
+        idx.set_auto_threshold(1);
+        let nodes = [3, 0, 2];
+        let batch = idx
+            .topk_batch_with_mode(&nodes, 2, None, EngineMode::Auto)
+            .unwrap();
+        for (i, &n) in nodes.iter().enumerate() {
+            let (hits, engine) = idx.topk_with_mode(n, 2, None, EngineMode::Auto).unwrap();
+            assert_eq!(batch[i].0, hits);
+            assert_eq!(batch[i].1, engine);
+        }
+    }
+
+    #[test]
+    fn index_bytes_roundtrip_through_artifact() {
+        let mut idx = tiny_index();
+        idx.build_ann(Backend::Hnsw).unwrap();
+        let blob = idx.index_bytes().unwrap();
+        let mut fresh = tiny_index();
+        fresh.attach_index_bytes(&blob).unwrap();
+        assert_eq!(fresh.ann_backend(), Some(Backend::Hnsw));
+        // A blob from different vectors is rejected and leaves the index
+        // without an ANN attachment.
+        let mut other = {
+            let data = vec![0.0, 1.0, 1.0, 0.0, 0.8, 0.6, 0.5, -1.0];
+            let m = Mat::new(4, 2, data).unwrap();
+            let artifact = Artifact::new(
+                vec![0.5, 0.5],
+                vec![m.clone(), m.clone()],
+                vec![m.clone(), m],
+                false,
+            )
+            .unwrap();
+            TopkIndex::from_artifact(artifact)
+        };
+        assert!(other.attach_index_bytes(&blob).is_err());
+        assert!(!other.has_ann());
     }
 
     #[test]

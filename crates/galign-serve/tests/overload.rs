@@ -75,7 +75,7 @@ fn saturated_queue_sheds_503_with_retry_after() {
                 shed += 1;
                 assert_eq!(
                     resp.retry_after_secs(),
-                    Some(7),
+                    Some(7.0),
                     "shed 503 must carry the configured Retry-After: {}",
                     resp.body_str()
                 );
@@ -170,7 +170,7 @@ fn stalled_handler_hits_the_deadline_and_returns_503() {
     assert!(resp.body_str().contains("deadline"), "{}", resp.body_str());
     assert_eq!(
         resp.retry_after_secs(),
-        Some(3),
+        Some(3.0),
         "deadline 503s carry Retry-After like shed ones"
     );
     handle.shutdown().unwrap();
