@@ -455,6 +455,9 @@ pub fn serve(flags: &Flags) -> CmdResult {
         ),
         queue_depth: flags.num("queue-depth", defaults.queue_depth),
         retry_after_secs: flags.num("retry-after-secs", defaults.retry_after_secs),
+        flight_recorder_size: flags.num("flight-recorder-size", defaults.flight_recorder_size),
+        access_log: flags.optional("access-log").map(PathBuf::from),
+        flight_dump: flags.optional("flight-dump").map(PathBuf::from),
         ..defaults
     };
     let index = galign_serve::TopkIndex::from_artifact(artifact);
@@ -465,7 +468,7 @@ pub fn serve(flags: &Flags) -> CmdResult {
     let server = galign_serve::Server::bind(&addr, index, cfg)?;
     println!(
         "serving {artifact_path} on http://{} ({nodes} source nodes, mode {mode}, ann index: {ann}); \
-         POST /v1/align/topk, GET /healthz, GET /metrics",
+         POST /v1/align/topk, GET /healthz, GET /metrics, GET /v1/debug/requests",
         server.local_addr(),
     );
     server.run()

@@ -88,11 +88,18 @@ fn usage(msg: &str) -> ! {
          \x20 serve    --artifact artifact.bin [--addr HOST:PORT] [--workers N]\n\
          \x20          [--cache-capacity N] [--default-k K] [--max-k K] [--mode exact|ann|auto]\n\
          \x20          [--ann-threshold N] [--request-timeout-ms MS] [--deadline-ms MS]\n\
-         \x20          [--queue-depth N] [--retry-after-secs S]\n\n\
+         \x20          [--queue-depth N] [--retry-after-secs S] [--access-log PATH]\n\
+         \x20          [--flight-recorder-size N] [--flight-dump PATH]\n\n\
          robustness:\n\
          \x20 training runs under a divergence watchdog (checkpoint/rollback + LR backoff);\n\
          \x20 --no-watchdog opts out. serve sheds load past --queue-depth with 503 + Retry-After\n\
          \x20 and falls back to <artifact>.prev when the artifact file is corrupt.\n\n\
+         observability:\n\
+         \x20 every request carries an x-galign-trace-id (inbound header honored, echoed in\n\
+         \x20 the response); GET /metrics?format=prometheus exposes Prometheus text format;\n\
+         \x20 GET /v1/debug/requests dumps the in-memory flight recorder (last requests +\n\
+         \x20 slowest, frozen while /healthz reports degraded). --access-log writes one\n\
+         \x20 JSONL line per request; --flight-dump writes the recorder on shutdown.\n\n\
          retrieval engines:\n\
          \x20 serve answers exactly by default; an embedded ANN index (build-index, or\n\
          \x20 export-artifact --with-index) enables per-request 'mode': exact | ann | auto.\n\

@@ -231,6 +231,14 @@ pub fn train_multi_order(
                     }
                     adam.set_lr(backed_off);
                     galign_telemetry::counter_add("train.watchdog.recoveries", 1);
+                    galign_telemetry::flight::record_incident(
+                        "gcn.watchdog.rollback",
+                        vec![
+                            ("epoch".to_string(), epoch.to_string()),
+                            ("reason".to_string(), reason.to_string()),
+                            ("lr".to_string(), format!("{backed_off:.3e}")),
+                        ],
+                    );
                     galign_telemetry::info!(
                         "train",
                         "watchdog trip at epoch {epoch} ({reason}): rolled back, lr={backed_off:.2e}"
@@ -244,6 +252,13 @@ pub fn train_multi_order(
                     model.set_weights(ckpt.weights.clone());
                 }
                 galign_telemetry::counter_add("train.watchdog.aborts", 1);
+                galign_telemetry::flight::record_incident(
+                    "gcn.watchdog.abort",
+                    vec![
+                        ("epoch".to_string(), epoch.to_string()),
+                        ("reason".to_string(), reason.to_string()),
+                    ],
+                );
                 galign_telemetry::info!(
                     "train",
                     "watchdog trip at epoch {epoch} ({reason}): recovery budget spent, aborting"

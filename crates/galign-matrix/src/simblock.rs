@@ -368,9 +368,19 @@ pub fn topk(provider: &dyn ScoreProvider, k: usize) -> Vec<Vec<Hit>> {
 
 /// Top-k for an arbitrary (possibly repeated, unordered) set of source
 /// rows — the serving batch shape. Parallel across the queried rows.
+///
+/// The caller's trace context (if any) is explicitly carried into the
+/// rayon workers, so per-row `rows_scored` annotations land on the
+/// request's trace even though thread-locals do not cross pool threads.
 pub fn topk_rows(provider: &dyn ScoreProvider, rows: &[usize], k: usize) -> Vec<Vec<Hit>> {
+    let trace = galign_telemetry::PropagationHandle::capture();
     rows.par_iter()
-        .map(|&v| select_topk(&provider.score_row(v), k))
+        .map(|&v| {
+            trace.scope(|| {
+                galign_telemetry::context::annotate("rows_scored", 1);
+                select_topk(&provider.score_row(v), k)
+            })
+        })
         .collect()
 }
 

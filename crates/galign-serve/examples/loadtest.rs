@@ -15,9 +15,16 @@
 //! "requests that eventually succeeded after shedding" from hard
 //! failures. The node-id range is discovered from `/healthz`. Exits
 //! nonzero if any request fails after retries, so CI can gate on it.
+//!
+//! Every request carries an `x-galign-trace-id` header and the response
+//! echo is verified (a mismatch counts as a failure) — so a loadtest run
+//! doubles as an end-to-end check of trace propagation. `--untraced`
+//! omits the header entirely, for A/B measurements of the propagation
+//! overhead against the same server.
 
 use galign_serve::client::{Client, ClientConfig};
 use galign_serve::json::{self, Json};
+use galign_serve::server::TRACE_HEADER;
 use galign_serve::testutil::Xorshift;
 use std::time::{Duration, Instant};
 
@@ -29,6 +36,7 @@ struct Args {
     batch: usize,
     seed: u64,
     max_retries: u32,
+    untraced: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +48,7 @@ fn parse_args() -> Args {
         batch: 1,
         seed: 1,
         max_retries: 5,
+        untraced: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,10 +68,12 @@ fn parse_args() -> Args {
             "--max-retries" => {
                 args.max_retries = take("max-retries").parse().expect("--max-retries");
             }
+            "--untraced" => args.untraced = true,
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: loadtest [--addr HOST:PORT] [--requests N] \
-                     [--concurrency C] [--k K] [--batch B] [--seed S] [--max-retries R]"
+                     [--concurrency C] [--k K] [--batch B] [--seed S] [--max-retries R] \
+                     [--untraced]"
                 );
                 std::process::exit(2);
             }
@@ -73,11 +84,12 @@ fn parse_args() -> Args {
     args
 }
 
-fn client_config(max_retries: u32, jitter_seed: u64) -> ClientConfig {
+fn client_config(max_retries: u32, jitter_seed: u64, untraced: bool) -> ClientConfig {
     ClientConfig {
         max_retries,
         io_timeout: Duration::from_secs(30),
         jitter_seed,
+        trace_header: !untraced,
         ..ClientConfig::default()
     }
 }
@@ -94,11 +106,14 @@ fn main() {
     let args = parse_args();
 
     // Discover the queryable node range from the server itself.
-    let probe = Client::with_config(&args.addr, client_config(args.max_retries, args.seed))
-        .unwrap_or_else(|e| {
-            eprintln!("loadtest: bad address {}: {e}", args.addr);
-            std::process::exit(1);
-        });
+    let probe = Client::with_config(
+        &args.addr,
+        client_config(args.max_retries, args.seed, args.untraced),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("loadtest: bad address {}: {e}", args.addr);
+        std::process::exit(1);
+    });
     let health = probe.get("/healthz").unwrap_or_else(|e| {
         eprintln!("loadtest: server unreachable: {e}");
         std::process::exit(1);
@@ -121,8 +136,14 @@ fn main() {
             std::process::exit(1);
         });
     println!(
-        "loadtest: {} requests x {} clients against {} ({} source nodes, k={}, batch={})",
-        args.requests, args.concurrency, args.addr, nodes, args.k, args.batch
+        "loadtest: {} requests x {} clients against {} ({} source nodes, k={}, batch={}{})",
+        args.requests,
+        args.concurrency,
+        args.addr,
+        nodes,
+        args.k,
+        args.batch,
+        if args.untraced { ", untraced" } else { "" }
     );
 
     let per_client = args.requests.div_ceil(args.concurrency);
@@ -131,10 +152,12 @@ fn main() {
     for client_id in 0..args.concurrency {
         let addr = args.addr.clone();
         let (k, batch, seed, max_retries) = (args.k, args.batch, args.seed, args.max_retries);
+        let untraced = args.untraced;
         handles.push(std::thread::spawn(move || {
             let thread_seed = seed ^ (client_id as u64).wrapping_mul(0x9e37);
-            let client = Client::with_config(&addr, client_config(max_retries, thread_seed))
-                .expect("address already validated");
+            let client =
+                Client::with_config(&addr, client_config(max_retries, thread_seed, untraced))
+                    .expect("address already validated");
             let mut rng = Xorshift::new(thread_seed);
             let mut latencies_ms = Vec::with_capacity(per_client);
             let mut failures = 0usize;
@@ -144,15 +167,28 @@ fn main() {
                 let ids: Vec<String> = (0..batch).map(|_| rng.below(nodes).to_string()).collect();
                 let body = format!("{{\"nodes\":[{}],\"k\":{k}}}", ids.join(","));
                 let t0 = Instant::now();
-                match client.post_json_with_stats("/v1/align/topk", &body) {
-                    Ok((resp, stats)) if resp.status == 200 => {
+                match client.post_json_traced("/v1/align/topk", &body) {
+                    Ok((resp, stats, trace_id)) if resp.status == 200 => {
+                        // Every 200 must echo the trace id the client sent
+                        // (unless we deliberately sent none).
+                        if !untraced
+                            && resp.header(TRACE_HEADER) != Some(trace_id.to_hex().as_str())
+                        {
+                            eprintln!(
+                                "loadtest: trace echo mismatch: sent {}, got {:?}",
+                                trace_id.to_hex(),
+                                resp.header(TRACE_HEADER)
+                            );
+                            failures += 1;
+                            continue;
+                        }
                         latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                         if stats.tries > 1 {
                             retried += 1;
                         }
                         shed += stats.shed;
                     }
-                    Ok((resp, _)) => {
+                    Ok((resp, _, _)) => {
                         eprintln!("loadtest: HTTP {}: {}", resp.status, resp.body_str());
                         failures += 1;
                     }
@@ -187,6 +223,9 @@ fn main() {
         latencies.len() as f64 / wall.max(1e-9)
     );
     println!("loadtest: {retried} requests needed retries; {shed} shed 503 responses absorbed");
+    if !args.untraced {
+        println!("loadtest: trace-id echo verified on every 200 response");
+    }
     if !latencies.is_empty() {
         let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
         println!(

@@ -20,10 +20,21 @@
 //!
 //! Responses with other statuses (including 4xx/5xx) are returned to the
 //! caller, not retried: a `400` will not become a `200` by asking again.
+//!
+//! Every logical request carries one trace id in the
+//! [`crate::server::TRACE_HEADER`] header — reused from the calling
+//! thread's installed [`galign_telemetry::TraceContext`] when there is
+//! one, freshly generated otherwise — and that **same** id is re-sent on
+//! every retry attempt, so a request that was shed twice and then served
+//! shows up as one trace on the server, not three.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use galign_telemetry::TraceId;
+
+use crate::server::TRACE_HEADER;
 
 /// Retry/backoff tunables.
 #[derive(Debug, Clone)]
@@ -41,6 +52,11 @@ pub struct ClientConfig {
     /// Seed of the deterministic jitter stream (vary per client thread so
     /// concurrent clients do not back off in lockstep).
     pub jitter_seed: u64,
+    /// Whether to send the `x-galign-trace-id` header (on by default).
+    /// Disabling it makes the server assign its own ids — useful for A/B
+    /// measurements of the propagation machinery (see the loadtest's
+    /// `--untraced` flag).
+    pub trace_header: bool,
 }
 
 impl Default for ClientConfig {
@@ -52,6 +68,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(2),
             io_timeout: Duration::from_secs(10),
             jitter_seed: 1,
+            trace_header: true,
         }
     }
 }
@@ -162,7 +179,7 @@ impl Client {
     /// # Errors
     /// When the last attempt failed at the IO level.
     pub fn get(&self, path: &str) -> io::Result<Response> {
-        self.request("GET", path, None).map(|(r, _)| r)
+        self.request("GET", path, None).map(|(r, _, _)| r)
     }
 
     /// `POST path` with a JSON body, with retries. A `503` that survives
@@ -171,7 +188,7 @@ impl Client {
     /// # Errors
     /// When the last attempt failed at the IO level.
     pub fn post_json(&self, path: &str, body: &str) -> io::Result<Response> {
-        self.request("POST", path, Some(body)).map(|(r, _)| r)
+        self.request("POST", path, Some(body)).map(|(r, _, _)| r)
     }
 
     /// Like [`Client::post_json`] but also reports how many attempts (and
@@ -182,6 +199,21 @@ impl Client {
     /// When the last attempt failed at the IO level.
     pub fn post_json_with_stats(&self, path: &str, body: &str) -> io::Result<(Response, Attempts)> {
         self.request("POST", path, Some(body))
+            .map(|(r, a, _)| (r, a))
+    }
+
+    /// Like [`Client::post_json_with_stats`] but also reports the trace
+    /// id the request carried, so callers can correlate the response with
+    /// the server's access log and flight recorder.
+    ///
+    /// # Errors
+    /// When the last attempt failed at the IO level.
+    pub fn post_json_traced(
+        &self,
+        path: &str,
+        body: &str,
+    ) -> io::Result<(Response, Attempts, TraceId)> {
+        self.request("POST", path, Some(body))
     }
 
     fn request(
@@ -189,7 +221,12 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> io::Result<(Response, Attempts)> {
+    ) -> io::Result<(Response, Attempts, TraceId)> {
+        // One id per *logical* request: resolved before the retry loop so
+        // every attempt — including the ones a shedding server rejects —
+        // lands in the same server-side trace.
+        let trace_id =
+            galign_telemetry::context::current_trace_id().unwrap_or_else(TraceId::generate);
         let mut stats = Attempts::default();
         // The last outcome: either a 503 response (returned to the caller
         // if retries run out — it is a real answer, not an IO failure) or
@@ -200,7 +237,7 @@ impl Client {
                 std::thread::sleep(self.backoff(attempt));
             }
             stats.tries += 1;
-            match self.request_once(method, path, body) {
+            match self.request_once(method, path, body, trace_id) {
                 Ok(resp) if resp.status == 503 => {
                     stats.shed += 1;
                     galign_telemetry::counter_add("client.http.shed_responses", 1);
@@ -208,7 +245,7 @@ impl Client {
                     self.retry_after.set(resp.retry_after_secs());
                     last = Some(Ok(resp));
                 }
-                Ok(resp) => return Ok((resp, stats)),
+                Ok(resp) => return Ok((resp, stats, trace_id)),
                 Err(e) => {
                     galign_telemetry::counter_add("client.http.io_errors", 1);
                     self.retry_after.set(None);
@@ -217,22 +254,33 @@ impl Client {
             }
         }
         match last {
-            Some(Ok(resp)) => Ok((resp, stats)),
+            Some(Ok(resp)) => Ok((resp, stats, trace_id)),
             Some(Err(e)) => Err(e),
             None => Err(io::Error::other("request failed with no attempts")),
         }
     }
 
-    fn request_once(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        trace_id: TraceId,
+    ) -> io::Result<Response> {
         let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
         stream.set_read_timeout(Some(self.cfg.io_timeout))?;
         stream.set_write_timeout(Some(self.cfg.io_timeout))?;
         stream.set_nodelay(true).ok();
         let mut writer = &stream;
         let body = body.unwrap_or("");
+        let trace_line = if self.cfg.trace_header {
+            format!("{TRACE_HEADER}: {}\r\n", trace_id.to_hex())
+        } else {
+            String::new()
+        };
         write!(
             writer,
-            "{method} {path} HTTP/1.1\r\nhost: galign-client\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nhost: galign-client\r\n{trace_line}content-length: {}\r\nconnection: close\r\n\r\n{body}",
             body.len()
         )?;
         writer.flush()?;
@@ -346,6 +394,28 @@ mod tests {
             .unwrap();
         assert_eq!(resp.status, 200, "{}", resp.body_str());
         assert!(resp.body_str().contains("\"matches\""));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn trace_id_is_sent_and_echoed() {
+        let handle = test_server(ServeConfig::default());
+        let client = Client::new(&handle.addr().to_string()).unwrap();
+        // Client-generated id comes back in the response header.
+        let (resp, _, trace_id) = client
+            .post_json_traced("/v1/align/topk", r#"{"nodes":[0],"k":1}"#)
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert_eq!(resp.header(TRACE_HEADER), Some(trace_id.to_hex().as_str()));
+        // An ambient TraceContext on the calling thread wins over a fresh
+        // generation, so in-process callers correlate their own spans.
+        let ctx = galign_telemetry::TraceContext::root(TraceId::generate());
+        let _guard = ctx.enter();
+        let (resp, _, trace_id) = client
+            .post_json_traced("/v1/align/topk", r#"{"nodes":[0],"k":1}"#)
+            .unwrap();
+        assert_eq!(trace_id, ctx.trace_id());
+        assert_eq!(resp.header(TRACE_HEADER), Some(trace_id.to_hex().as_str()));
         handle.shutdown().unwrap();
     }
 

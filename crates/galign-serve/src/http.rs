@@ -21,6 +21,9 @@ pub struct Request {
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// Raw query string (text after `?`, without the `?`); empty when the
+    /// URI had none.
+    pub query: String,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was given).
@@ -36,6 +39,18 @@ impl Request {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter (`?format=prometheus` →
+    /// `query_param("format") == Some("prometheus")`). A bare key with no
+    /// `=` yields an empty value. No percent-decoding — the parameters the
+    /// API accepts are plain tokens.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key && !k.is_empty()).then_some(v)
+        })
     }
 }
 
@@ -108,7 +123,10 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
             "unsupported protocol {version}"
         ))));
     }
-    let path = uri.split('?').next().unwrap_or(uri).to_string();
+    let (path, query) = match uri.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (uri.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -133,6 +151,7 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     let mut request = Request {
         method: method.to_ascii_uppercase(),
         path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -259,9 +278,21 @@ mod tests {
         let r = parse_ok("GET /healthz?probe=1 HTTP/1.1\r\nHost: x\r\nX-Trace: 7\r\n\r\n");
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz");
+        assert_eq!(r.query, "probe=1");
         assert_eq!(r.header("host"), Some("x"));
         assert_eq!(r.header("X-TRACE"), Some("7"));
         assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let r = parse_ok("GET /metrics?format=prometheus&debug HTTP/1.1\r\n\r\n");
+        assert_eq!(r.query_param("format"), Some("prometheus"));
+        assert_eq!(r.query_param("debug"), Some(""));
+        assert_eq!(r.query_param("missing"), None);
+        let bare = parse_ok("GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("format"), None);
     }
 
     #[test]

@@ -8,8 +8,22 @@
 //! |--------|----------------------|----------------------------------------|
 //! | POST   | `/v1/align/topk`     | top-k alignment query (JSON body)      |
 //! | GET    | `/healthz`           | liveness + artifact shape              |
-//! | GET    | `/metrics`           | telemetry snapshot as JSON             |
+//! | GET    | `/metrics`           | telemetry snapshot as JSON; add        |
+//! |        |                      | `?format=prometheus` for exposition    |
+//! | GET    | `/v1/debug/requests` | flight recorder (recent + slowest)     |
 //! | POST   | `/v1/admin/shutdown` | graceful shutdown (SIGTERM-equivalent) |
+//!
+//! ## Tracing
+//!
+//! Every request is handled under a [`TraceContext`]: the server honors an
+//! inbound `x-galign-trace-id` header (32 hex digits; unusable values get
+//! a fresh id) and echoes the resolved id back on **every** response, so a
+//! client can correlate its attempt with the server's access log, span
+//! JSONL and flight recorder. Handler stages (`parse`, `cache_lookup`,
+//! `engine_select`, `ann_search`, `exact_rerank`, `serialize`) record
+//! timed span events against the id; completed traces land in the global
+//! flight recorder and, when [`ServeConfig::access_log`] is set, as one
+//! JSONL access-log line per request.
 //!
 //! Query body:
 //! `{"nodes": [0, 3], "k": 5, "theta": [0.2, 0.3, 0.5], "mode": "auto"}` —
@@ -31,13 +45,19 @@ use crate::cache::{QueryKey, ShardedCache};
 use crate::http::{self, ReadOutcome, Request};
 use crate::json;
 use crate::topk::{EngineMode, TopkIndex};
-use std::io::{self, BufReader};
+use galign_telemetry::context::{self, TraceContext, TraceId};
+use galign_telemetry::flight::{self, FlightRecorder, RecordKind, TraceRecord};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Trace-id header honored on requests and echoed on responses.
+pub const TRACE_HEADER: &str = "x-galign-trace-id";
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -69,6 +89,19 @@ pub struct ServeConfig {
     pub default_mode: EngineMode,
     /// Overrides the index's `auto` switchover point when set.
     pub ann_threshold: Option<usize>,
+    /// Flight-recorder ring capacity (completed traces retained for
+    /// `GET /v1/debug/requests`). Applied to the process-global recorder
+    /// on bind; first configurator wins.
+    pub flight_recorder_size: usize,
+    /// Slowest-K reservoir size of the flight recorder.
+    pub flight_slowest_k: usize,
+    /// When set, every request appends one JSONL access-log line here
+    /// (trace id, route, engine, cache counts, deadline remaining,
+    /// status, µs latency).
+    pub access_log: Option<PathBuf>,
+    /// When set, the flight recorder is dumped here as JSONL on graceful
+    /// shutdown.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +118,10 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             default_mode: EngineMode::Auto,
             ann_threshold: None,
+            flight_recorder_size: flight::DEFAULT_CAPACITY,
+            flight_slowest_k: flight::DEFAULT_SLOWEST_K,
+            access_log: None,
+            flight_dump: None,
         }
     }
 }
@@ -101,6 +138,14 @@ struct Inner {
     in_flight: AtomicU64,
     /// Total connections shed with 503 since startup.
     shed_total: AtomicU64,
+    /// Completed-trace ring serving `/v1/debug/requests`.
+    flight: &'static FlightRecorder,
+    /// Whether the last `/healthz` evaluation reported degraded — the
+    /// ok→degraded transition freezes the flight recorder so the traces
+    /// *leading up to* the incident survive the incident's retry storm.
+    health_degraded: AtomicBool,
+    /// JSONL access-log writer, when configured.
+    access_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
 }
 
 /// Decrements a load counter when the tracked scope ends, whatever exit
@@ -140,6 +185,13 @@ impl Server {
         if let Some(threshold) = cfg.ann_threshold {
             index.set_auto_threshold(threshold);
         }
+        flight::configure(cfg.flight_recorder_size, cfg.flight_slowest_k);
+        let access_log = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
+                path,
+            )?))),
+            None => None,
+        };
         galign_telemetry::info!(
             "serve",
             "listening on {local} ({} source x {} target nodes, {} layers, {} workers, engine {} / ann index: {})",
@@ -162,6 +214,9 @@ impl Server {
                 pending: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
                 shed_total: AtomicU64::new(0),
+                flight: flight::global(),
+                health_degraded: AtomicBool::new(false),
+                access_log,
             }),
             listener,
         })
@@ -233,6 +288,32 @@ impl Server {
         for worker in pool {
             let _ = worker.join();
         }
+        if let Some(path) = &self.inner.cfg.flight_dump {
+            match std::fs::File::create(path) {
+                Ok(file) => {
+                    let mut w = std::io::BufWriter::new(file);
+                    if let Err(e) = self.inner.flight.dump_jsonl(&mut w) {
+                        galign_telemetry::info!("serve", "flight-recorder dump failed: {e}");
+                    } else {
+                        galign_telemetry::info!(
+                            "serve",
+                            "flight recorder dumped to {}",
+                            path.display()
+                        );
+                    }
+                }
+                Err(e) => {
+                    galign_telemetry::info!(
+                        "serve",
+                        "cannot create flight dump {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        if let Some(log) = &self.inner.access_log {
+            let _ = log.lock().expect("access log lock").flush();
+        }
         galign_telemetry::info!("serve", "shut down cleanly");
         Ok(())
     }
@@ -293,6 +374,26 @@ fn shed(inner: &Inner, stream: &TcpStream) {
     );
 }
 
+/// One routed response: status, content type, body, and which scoring
+/// engine produced it (empty for non-query routes).
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    engine: &'static str,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            body,
+            engine: "",
+        }
+    }
+}
+
 fn handle_connection(inner: &Inner, stream: TcpStream) {
     let started = Instant::now();
     inner.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -302,34 +403,56 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
     let mut reader = BufReader::new(&stream);
     let outcome = http::read_request(&mut reader);
     let mut writer = &stream;
-    let (status, body) = match outcome {
-        Ok(ReadOutcome::Ok(request)) => route(inner, &request, started),
-        Ok(ReadOutcome::Bad(bad)) => (400, error_body(&bad.0)),
-        Ok(ReadOutcome::Closed) => return,
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            (408, error_body("request timed out"))
+    // Every response carries a trace id: the client's (when it sent a
+    // usable one) or a fresh assignment. Unparseable requests still get
+    // an id so their access-log lines are greppable.
+    let (reply, trace, request) = match outcome {
+        Ok(ReadOutcome::Ok(request)) => {
+            let trace_id = request
+                .header(TRACE_HEADER)
+                .and_then(TraceId::parse_hex)
+                .unwrap_or_else(TraceId::generate);
+            let ctx = TraceContext::root(trace_id);
+            let reply = {
+                let _span_scope = ctx.enter();
+                route(inner, &request, started)
+            };
+            (reply, ctx, Some(request))
         }
+        Ok(ReadOutcome::Bad(bad)) => (
+            Reply::json(400, error_body(&bad.0)),
+            TraceContext::root(TraceId::generate()),
+            None,
+        ),
+        Ok(ReadOutcome::Closed) => return,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => (
+            Reply::json(408, error_body("request timed out")),
+            TraceContext::root(TraceId::generate()),
+            None,
+        ),
         Err(e) => {
             galign_telemetry::debug!("serve", "connection error: {e}");
             return;
         }
     };
+    let trace_id = trace.trace_id();
     // Every 503 this server emits means "overloaded, come back later", so
     // they all carry Retry-After.
-    let _ = if status == 503 {
-        http::write_json_with_headers(
-            &mut writer,
-            status,
-            &[("retry-after", inner.cfg.retry_after_secs.to_string())],
-            &body,
-        )
-    } else {
-        http::write_json(&mut writer, status, &body)
-    };
+    let mut extra_headers = vec![(TRACE_HEADER, trace_id.to_hex())];
+    if reply.status == 503 {
+        extra_headers.push(("retry-after", inner.cfg.retry_after_secs.to_string()));
+    }
+    let _ = http::write_response_with_headers(
+        &mut writer,
+        reply.status,
+        reply.content_type,
+        &extra_headers,
+        reply.body.as_bytes(),
+    );
     if galign_telemetry::metrics_enabled() {
         galign_telemetry::counter_add("serve.http.requests", 1);
         galign_telemetry::counter_add(
-            match status {
+            match reply.status {
                 200 => "serve.http.status.2xx",
                 500..=599 => "serve.http.status.5xx",
                 _ => "serve.http.status.4xx",
@@ -349,17 +472,77 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
             started.elapsed().as_secs_f64() * 1e3,
         );
     }
+    finish_trace(inner, &trace, request.as_ref(), &reply, started);
+}
+
+/// Completes a request's observability tail: one flight-recorder entry
+/// and (when configured) one access-log JSONL line, both carrying the
+/// trace id echoed in the response header.
+fn finish_trace(
+    inner: &Inner,
+    trace: &TraceContext,
+    request: Option<&Request>,
+    reply: &Reply,
+    started: Instant,
+) {
+    let (events, notes) = trace.take_events();
+    let total_us = started.elapsed().as_micros() as u64;
+    let (method, path) = match request {
+        Some(r) => (r.method.as_str(), r.path.as_str()),
+        None => ("-", "-"),
+    };
+    let deadline_remaining_us = inner
+        .cfg
+        .deadline
+        .saturating_sub(started.elapsed())
+        .as_micros() as u64;
+    if let Some(log) = &inner.access_log {
+        let mut line = format!(
+            "{{\"ms\":{},\"trace\":\"{}\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\"engine\":\"{}\",\"us\":{total_us},\"deadline_remaining_us\":{deadline_remaining_us}",
+            galign_telemetry::sink::json_f64(galign_telemetry::clock_ms()),
+            trace.trace_id(),
+            json::escape(method),
+            json::escape(path),
+            reply.status,
+            reply.engine,
+        );
+        for (key, value) in &notes {
+            line.push_str(&format!(",\"{}\":{value}", json::escape(key)));
+        }
+        line.push('}');
+        let mut w = log.lock().expect("access log lock");
+        let _ = writeln!(w, "{line}");
+    }
+    inner.flight.record(TraceRecord {
+        trace_id: trace.trace_id(),
+        kind: RecordKind::Request,
+        name: format!("{method} {path}"),
+        status: reply.status,
+        engine: reply.engine.to_string(),
+        end_ms: galign_telemetry::clock_ms(),
+        total_us,
+        events,
+        notes,
+        fields: Vec::new(),
+    });
 }
 
 fn error_body(msg: &str) -> String {
     format!("{{\"error\":\"{}\"}}", json::escape(msg))
 }
 
-fn route(inner: &Inner, request: &Request, started: Instant) -> (u16, String) {
+fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, healthz(inner)),
-        ("POST", "/v1/align/topk") => topk_route(inner, &request.body, started),
+        ("GET", "/healthz") => {
+            galign_telemetry::counter_add("serve.route.healthz", 1);
+            Reply::json(200, healthz(inner))
+        }
+        ("POST", "/v1/align/topk") => {
+            galign_telemetry::counter_add("serve.route.topk", 1);
+            topk_route(inner, &request.body, started)
+        }
         ("GET", "/metrics") => {
+            galign_telemetry::counter_add("serve.route.metrics", 1);
             // Refresh the load gauges so the snapshot reflects *now*, not
             // the last completed request.
             galign_telemetry::gauge_set(
@@ -381,17 +564,31 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> (u16, String) {
                 "serve.index.auto_threshold",
                 inner.index.auto_threshold() as f64,
             );
-            (200, galign_telemetry::snapshot_json())
+            if request.query_param("format") == Some("prometheus") {
+                Reply {
+                    status: 200,
+                    content_type: galign_telemetry::prom::CONTENT_TYPE,
+                    body: galign_telemetry::prom::render(&galign_telemetry::snapshot()),
+                    engine: "",
+                }
+            } else {
+                Reply::json(200, galign_telemetry::snapshot_json())
+            }
+        }
+        ("GET", "/v1/debug/requests") => {
+            galign_telemetry::counter_add("serve.route.debug_requests", 1);
+            Reply::json(200, inner.flight.to_json())
         }
         ("POST", "/v1/admin/shutdown") => {
             galign_telemetry::info!("serve", "shutdown requested via admin endpoint");
             begin_shutdown(inner);
-            (200, "{\"status\":\"shutting-down\"}".to_string())
+            Reply::json(200, "{\"status\":\"shutting-down\"}".to_string())
         }
-        ("GET" | "HEAD", "/v1/align/topk") | ("POST", "/healthz" | "/metrics") => {
-            (405, error_body("wrong method for this path"))
+        ("GET" | "HEAD", "/v1/align/topk")
+        | ("POST", "/healthz" | "/metrics" | "/v1/debug/requests") => {
+            Reply::json(405, error_body("wrong method for this path"))
         }
-        _ => (404, error_body("no such endpoint")),
+        _ => Reply::json(404, error_body("no such endpoint")),
     }
 }
 
@@ -403,11 +600,32 @@ fn healthz(inner: &Inner) -> String {
     // still served but the next burst will start shedding. An absent ANN
     // index is NOT degraded — exact-only serving is a fully correct mode,
     // just linear-time; the `index` field says which it is.
-    let status = if pending.saturating_mul(2) >= inner.cfg.queue_depth.max(1) as u64 {
-        "degraded"
-    } else {
-        "ok"
-    };
+    let degraded = pending.saturating_mul(2) >= inner.cfg.queue_depth.max(1) as u64;
+    let status = if degraded { "degraded" } else { "ok" };
+    // Health transitions drive the flight recorder: flipping to degraded
+    // freezes it (preserving the window of traces that *led into* the
+    // incident), recovering thaws it. Both transitions are logged as
+    // incidents so the timeline shows when and why the window froze.
+    if degraded != inner.health_degraded.swap(degraded, Ordering::AcqRel) {
+        if degraded {
+            // The incident marker goes in *before* the freeze so it is the
+            // newest record inside the preserved window.
+            flight::record_incident(
+                "serve.health.degraded",
+                vec![("pending".to_string(), pending.to_string())],
+            );
+            if inner.flight.freeze() {
+                galign_telemetry::info!(
+                    "serve",
+                    "health degraded (pending {pending}): flight recorder frozen"
+                );
+            }
+        } else {
+            inner.flight.unfreeze();
+            flight::record_incident("serve.health.recovered", Vec::new());
+            galign_telemetry::info!("serve", "health recovered: flight recorder thawed");
+        }
+    }
     format!(
         "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{},\"index\":\"{}\",\"mode\":\"{}\"}}",
         inner.index.source_nodes(),
@@ -493,15 +711,18 @@ fn parse_topk_body(inner: &Inner, body: &[u8]) -> Result<TopkQuery, String> {
 
 /// Cooperative deadline check: socket timeouts cannot bound *compute*
 /// time, so the handler polls this at its expensive boundaries.
-fn past_deadline(inner: &Inner, started: Instant) -> Option<(u16, String)> {
+fn past_deadline(inner: &Inner, started: Instant) -> Option<Reply> {
     if started.elapsed() >= inner.cfg.deadline {
         galign_telemetry::counter_add("serve.topk.deadline_exceeded", 1);
-        return Some((503, error_body("deadline exceeded, retry later")));
+        return Some(Reply::json(
+            503,
+            error_body("deadline exceeded, retry later"),
+        ));
     }
     None
 }
 
-fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
+fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> Reply {
     // Failpoint `serve.topk.stall`: a `delay(ms)` action sleeps here,
     // simulating a handler stall for the fault-injection suite (which the
     // deadline check below must then catch).
@@ -509,18 +730,24 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
     if let Some(reply) = past_deadline(inner, started) {
         return reply;
     }
+    let st = context::stage("parse");
     let query = match parse_topk_body(inner, body) {
         Ok(q) => q,
-        Err(msg) => return (400, error_body(&msg)),
+        Err(msg) => return Reply::json(400, error_body(&msg)),
     };
+    st.finish_with(vec![("nodes", query.nodes.len().to_string())]);
     let theta = query.theta.as_deref();
     // The engine-routing decision is deterministic per request (mode +
     // index presence + auto threshold), so it can key the cache; ANN and
     // exact results must never alias each other.
+    let st = context::stage("engine_select");
     let ann_routed = inner.index.would_use_ann(query.mode);
+    let engine = if ann_routed { "ann" } else { "exact" };
+    st.finish_with(vec![("engine", engine.to_string())]);
 
     // Serve each node from the cache where possible; batch-compute the
     // misses through the parallel kernel.
+    let st = context::stage("cache_lookup");
     let mut results = vec![None; query.nodes.len()];
     let mut miss_positions = Vec::new();
     for (i, &node) in query.nodes.iter().enumerate() {
@@ -533,6 +760,13 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
         }
     }
     let miss_count = miss_positions.len() as u64;
+    let hit_count = query.nodes.len() as u64 - miss_count;
+    st.finish_with(vec![
+        ("hits", hit_count.to_string()),
+        ("misses", miss_count.to_string()),
+    ]);
+    context::annotate("cache_hits", hit_count);
+    context::annotate("cache_misses", miss_count);
     if !miss_positions.is_empty() {
         // The batch compute is the expensive part — re-check the deadline
         // on the way in rather than burning kernel time on a request whose
@@ -547,7 +781,7 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
                 .topk_batch_with_mode(&miss_nodes, query.k, theta, query.mode)
             {
                 Ok(c) => c,
-                Err(e) => return (400, error_body(&e.to_string())),
+                Err(e) => return Reply::json(400, error_body(&e.to_string())),
             };
         for (&i, (hits, _engine)) in miss_positions.iter().zip(computed) {
             let hits = Arc::new(hits);
@@ -559,7 +793,7 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
         }
     }
 
-    let engine = if ann_routed { "ann" } else { "exact" };
+    let st = context::stage("serialize");
     let mut out = format!("{{\"k\":{},\"engine\":\"{engine}\",\"results\":[", query.k);
     for (i, (node, hits)) in query.nodes.iter().zip(&results).enumerate() {
         let hits = hits.as_ref().expect("every slot filled");
@@ -580,6 +814,7 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
         out.push_str("]}");
     }
     out.push_str("]}");
+    st.finish_with(vec![("bytes", out.len().to_string())]);
 
     if galign_telemetry::metrics_enabled() {
         galign_telemetry::counter_add("serve.topk.requests", 1);
@@ -600,7 +835,12 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
         galign_telemetry::gauge_set("serve.cache.entries", inner.cache.len() as f64);
         galign_telemetry::histogram_record("serve.topk.ms", started.elapsed().as_secs_f64() * 1e3);
     }
-    (200, out)
+    Reply {
+        status: 200,
+        content_type: "application/json",
+        body: out,
+        engine,
+    }
 }
 
 #[cfg(test)]
@@ -623,6 +863,11 @@ mod tests {
             pending: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             shed_total: AtomicU64::new(0),
+            // A private recorder per test Inner: freeze/thaw tests must
+            // not interfere with the process-global one.
+            flight: Box::leak(Box::new(FlightRecorder::new(32, 4))),
+            health_degraded: AtomicBool::new(false),
+            access_log: None,
         }
     }
 
@@ -630,10 +875,16 @@ mod tests {
         test_inner_with(ServeConfig::default())
     }
 
+    /// `(status, body)` view of a route reply, for assertion brevity.
+    fn topk_route2(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
+        let r = topk_route(inner, body, started);
+        (r.status, r.body)
+    }
+
     #[test]
     fn topk_route_happy_path_and_cache() {
         let inner = test_inner();
-        let (status, body) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#, Instant::now());
+        let (status, body) = topk_route2(&inner, br#"{"nodes":[0,1],"k":2}"#, Instant::now());
         assert_eq!(status, 200, "{body}");
         let doc = json::parse(&body).unwrap();
         let results = doc.get("results").unwrap().as_arr().unwrap();
@@ -641,7 +892,7 @@ mod tests {
         let first = results[0].get("matches").unwrap().as_arr().unwrap();
         assert_eq!(first[0].get("target").unwrap().as_usize(), Some(0));
         // Second identical request is served from the cache.
-        let (status2, body2) = topk_route(&inner, br#"{"nodes":[0,1],"k":2}"#, Instant::now());
+        let (status2, body2) = topk_route2(&inner, br#"{"nodes":[0,1],"k":2}"#, Instant::now());
         assert_eq!(status2, 200);
         assert_eq!(body, body2);
         let (hits, misses) = inner.cache.stats();
@@ -661,7 +912,7 @@ mod tests {
             (br#"{"nodes":[0],"theta":[1.0,2.0]}"#, "theta"),
             (br#"{"nodes":[-1]}"#, "non-negative"),
         ] {
-            let (status, msg) = topk_route(&inner, body, Instant::now());
+            let (status, msg) = topk_route2(&inner, body, Instant::now());
             assert_eq!(status, 400, "body {body:?} gave {msg}");
             assert!(
                 msg.to_lowercase().contains(&needle.to_lowercase()),
@@ -676,7 +927,7 @@ mod tests {
             deadline: Duration::ZERO,
             ..ServeConfig::default()
         });
-        let (status, body) = topk_route(&inner, br#"{"nodes":[0]}"#, Instant::now());
+        let (status, body) = topk_route2(&inner, br#"{"nodes":[0]}"#, Instant::now());
         assert_eq!(status, 503, "{body}");
         assert!(body.contains("deadline"), "{body}");
     }
@@ -705,7 +956,7 @@ mod tests {
     fn single_node_form_and_theta_override() {
         let inner = test_inner();
         let (status, body) =
-            topk_route(&inner, br#"{"node":2,"k":1,"theta":[1.0]}"#, Instant::now());
+            topk_route2(&inner, br#"{"node":2,"k":1,"theta":[1.0]}"#, Instant::now());
         assert_eq!(status, 200, "{body}");
         let doc = json::parse(&body).unwrap();
         let matches = doc.get("results").unwrap().as_arr().unwrap()[0]
@@ -724,12 +975,12 @@ mod tests {
         // "exact" — absence of the index is degraded-capability, not error.
         for mode in ["exact", "ann", "auto"] {
             let body = format!("{{\"nodes\":[0],\"k\":1,\"mode\":\"{mode}\"}}");
-            let (status, out) = topk_route(&inner, body.as_bytes(), Instant::now());
+            let (status, out) = topk_route2(&inner, body.as_bytes(), Instant::now());
             assert_eq!(status, 200, "{out}");
             let doc = json::parse(&out).unwrap();
             assert_eq!(doc.get("engine").unwrap().as_str(), Some("exact"));
         }
-        let (status, out) = topk_route(&inner, br#"{"nodes":[0],"mode":"warp"}"#, Instant::now());
+        let (status, out) = topk_route2(&inner, br#"{"nodes":[0],"mode":"warp"}"#, Instant::now());
         assert_eq!(status, 400);
         assert!(out.contains("mode"), "{out}");
     }
@@ -741,7 +992,7 @@ mod tests {
         index.set_auto_threshold(1);
         let mut inner = test_inner();
         inner.index = index;
-        let (status, out) = topk_route(
+        let (status, out) = topk_route2(
             &inner,
             br#"{"nodes":[0],"k":2,"mode":"ann"}"#,
             Instant::now(),
@@ -750,7 +1001,7 @@ mod tests {
         let doc = json::parse(&out).unwrap();
         assert_eq!(doc.get("engine").unwrap().as_str(), Some("ann"));
         // An exact request for the same node must miss the ANN entry.
-        let (_, out2) = topk_route(
+        let (_, out2) = topk_route2(
             &inner,
             br#"{"nodes":[0],"k":2,"mode":"exact"}"#,
             Instant::now(),
@@ -788,19 +1039,86 @@ mod tests {
         let req = |method: &str, path: &str| Request {
             method: method.into(),
             path: path.into(),
+            query: String::new(),
             headers: vec![],
             body: br#"{"nodes":[0]}"#.to_vec(),
         };
         let now = Instant::now;
-        assert_eq!(route(&inner, &req("GET", "/healthz"), now()).0, 200);
-        assert_eq!(route(&inner, &req("GET", "/metrics"), now()).0, 200);
-        assert_eq!(route(&inner, &req("POST", "/v1/align/topk"), now()).0, 200);
-        assert_eq!(route(&inner, &req("GET", "/v1/align/topk"), now()).0, 405);
-        assert_eq!(route(&inner, &req("POST", "/metrics"), now()).0, 405);
-        assert_eq!(route(&inner, &req("GET", "/nope"), now()).0, 404);
-        let health = route(&inner, &req("GET", "/healthz"), now()).1;
+        assert_eq!(route(&inner, &req("GET", "/healthz"), now()).status, 200);
+        assert_eq!(route(&inner, &req("GET", "/metrics"), now()).status, 200);
+        assert_eq!(
+            route(&inner, &req("POST", "/v1/align/topk"), now()).status,
+            200
+        );
+        assert_eq!(
+            route(&inner, &req("GET", "/v1/align/topk"), now()).status,
+            405
+        );
+        assert_eq!(route(&inner, &req("POST", "/metrics"), now()).status, 405);
+        assert_eq!(
+            route(&inner, &req("POST", "/v1/debug/requests"), now()).status,
+            405
+        );
+        assert_eq!(
+            route(&inner, &req("GET", "/v1/debug/requests"), now()).status,
+            200
+        );
+        assert_eq!(route(&inner, &req("GET", "/nope"), now()).status, 404);
+        let health = route(&inner, &req("GET", "/healthz"), now()).body;
         let doc = json::parse(&health).unwrap();
         assert_eq!(doc.get("source_nodes").unwrap().as_usize(), Some(3));
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn prometheus_format_renders_and_validates() {
+        let inner = test_inner();
+        galign_telemetry::counter_add("serve.route.metrics", 1);
+        let req = Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: "format=prometheus".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        let reply = route(&inner, &req, Instant::now());
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.content_type, galign_telemetry::prom::CONTENT_TYPE);
+        galign_telemetry::prom::validate_exposition(&reply.body).expect("valid exposition");
+    }
+
+    #[test]
+    fn flight_recorder_captures_routed_requests() {
+        let inner = test_inner();
+        let trace = galign_telemetry::TraceContext::root(galign_telemetry::TraceId::generate());
+        let trace_id = trace.trace_id();
+        let request = Request {
+            method: "POST".into(),
+            path: "/v1/align/topk".into(),
+            query: String::new(),
+            headers: vec![],
+            body: br#"{"nodes":[0],"k":1}"#.to_vec(),
+        };
+        let started = Instant::now();
+        let reply = {
+            let _guard = trace.enter();
+            route(&inner, &request, started)
+        };
+        assert_eq!(reply.status, 200);
+        finish_trace(&inner, &trace, Some(&request), &reply, started);
+        let rec = inner
+            .flight
+            .find(trace_id)
+            .expect("flight recorder holds the trace");
+        assert_eq!(rec.status, 200);
+        assert_eq!(rec.name, "POST /v1/align/topk");
+        assert!(
+            rec.events.iter().any(|e| e.name == "parse"),
+            "expected a parse stage span, got {:?}",
+            rec.events.iter().map(|e| e.name).collect::<Vec<_>>()
+        );
+        // The debug endpoint serves the same record.
+        let dump = inner.flight.to_json();
+        assert!(dump.contains(&trace_id.to_hex()));
     }
 }

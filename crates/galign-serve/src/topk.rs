@@ -17,6 +17,7 @@ use galign_index::{AnnIndex, SearchStats, VectorSet};
 use galign_matrix::dense::dot;
 use galign_matrix::simblock::{self, ScoreProvider, SimPanel};
 use galign_matrix::Dense;
+use galign_telemetry::context;
 use std::fmt;
 use std::io;
 
@@ -379,7 +380,14 @@ impl TopkIndex {
     ) -> Option<Vec<Hit>> {
         let q = self.query_vector(node, theta);
         let mut stats = SearchStats::default();
+        let st = context::stage("ann_search");
         let cands = ann.search(&q, k, &mut stats);
+        st.finish_with(vec![
+            ("candidates", cands.len().to_string()),
+            ("distance_evals", stats.distance_evals.to_string()),
+        ]);
+        context::annotate("ann_candidates", cands.len() as u64);
+        context::annotate("distance_evals", stats.distance_evals);
         if cands.len() < k.min(self.target_nodes()) {
             if galign_telemetry::metrics_enabled() {
                 galign_telemetry::counter_add("serve.index.fallbacks", 1);
@@ -389,6 +397,7 @@ impl TopkIndex {
         // Re-rank in ascending-candidate-id order so select_topk's tie
         // contract (descending score, then ascending index) maps straight
         // back to ascending target id — identical to the exact engine.
+        let st = context::stage("exact_rerank");
         let mut ids: Vec<usize> = cands.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -396,6 +405,8 @@ impl TopkIndex {
             .iter()
             .map(|&u| self.exact_score(node, u, theta))
             .collect();
+        st.finish_with(vec![("evals", ids.len().to_string())]);
+        context::annotate("distance_evals", ids.len() as u64);
         Some(
             select_topk(&scores, k)
                 .into_iter()
@@ -493,7 +504,11 @@ impl TopkIndex {
             }
         }
         let panel = self.panel(th);
-        Ok((select_topk(&panel.score_row(node), k), EngineUsed::Exact))
+        let st = context::stage("exact_scan");
+        let hits = select_topk(&panel.score_row(node), k);
+        st.finish_with(vec![("rows", "1".to_string())]);
+        context::annotate("distance_evals", self.target_nodes() as u64);
+        Ok((hits, EngineUsed::Exact))
     }
 
     /// [`TopkIndex::topk_batch`] with explicit engine selection. Each
@@ -514,7 +529,11 @@ impl TopkIndex {
         let th = theta.unwrap_or(&self.theta);
         let Some(ann) = self.pick_ann(mode) else {
             let panel = self.panel(th);
-            return Ok(simblock::topk_rows(&panel, nodes, k)
+            let st = context::stage("exact_scan");
+            let rows = simblock::topk_rows(&panel, nodes, k);
+            st.finish_with(vec![("rows", nodes.len().to_string())]);
+            context::annotate("distance_evals", (nodes.len() * self.target_nodes()) as u64);
+            return Ok(rows
                 .into_iter()
                 .map(|hits| (hits, EngineUsed::Exact))
                 .collect());
@@ -525,7 +544,11 @@ impl TopkIndex {
                 Some(hits) => (hits, EngineUsed::Ann),
                 None => {
                     let panel = self.panel(th);
-                    (select_topk(&panel.score_row(node), k), EngineUsed::Exact)
+                    let st = context::stage("exact_scan");
+                    let hits = select_topk(&panel.score_row(node), k);
+                    st.finish_with(vec![("rows", "1".to_string())]);
+                    context::annotate("distance_evals", self.target_nodes() as u64);
+                    (hits, EngineUsed::Exact)
                 }
             })
             .collect())

@@ -1,0 +1,44 @@
+//! Strict Prometheus text-exposition checker for CI.
+//!
+//! Reads an exposition body from the file given as the first argument
+//! (or stdin) and runs it through
+//! [`galign_telemetry::prom::validate_exposition`]: `# HELP`/`# TYPE`
+//! present and well-ordered, no duplicate series, histogram buckets
+//! cumulative and monotone, `+Inf` consistent with `_count`. Exits
+//! nonzero with a diagnostic on the first violation.
+//!
+//! ```text
+//! curl -s 'http://host/metrics?format=prometheus' | \
+//!     cargo run -p galign-telemetry --example promcheck
+//! ```
+
+use std::io::Read;
+
+fn main() {
+    let body = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("promcheck: cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("promcheck: cannot read stdin: {e}");
+                    std::process::exit(2);
+                });
+            buf
+        }
+    };
+    match galign_telemetry::prom::validate_exposition(&body) {
+        Ok(stats) => println!(
+            "promcheck: ok ({} families, {} samples)",
+            stats.families, stats.samples
+        ),
+        Err(e) => {
+            eprintln!("promcheck: INVALID exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}

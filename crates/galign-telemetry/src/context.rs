@@ -1,0 +1,578 @@
+//! Request-scoped tracing context: 128-bit trace ids, parent/child span
+//! ids, a thread-local current context, and explicit propagation handles
+//! for work that hops threads (rayon panel workers, server worker pools).
+//!
+//! A [`TraceContext`] ties everything one request does — across retries,
+//! worker threads and engine stages — to a single [`TraceId`]. The server
+//! assigns (or accepts) one id per request, installs the context on the
+//! handling thread with [`TraceContext::enter`], and every stage records a
+//! timed [`SpanEvent`] against it with [`stage`]. Code that fans out onto
+//! other threads captures a [`PropagationHandle`] first and wraps the
+//! worker closure in [`PropagationHandle::scope`], so events recorded on
+//! the worker land in the same request timeline.
+//!
+//! ```
+//! use galign_telemetry::context::{self, TraceContext, TraceId};
+//!
+//! let ctx = TraceContext::root(TraceId::generate());
+//! let _guard = ctx.enter();
+//! let st = context::stage("parse");
+//! // ... do the work ...
+//! st.finish();
+//! context::annotate("rows_scored", 3);
+//! let (events, notes) = ctx.take_events();
+//! assert_eq!(events[0].name, "parse");
+//! assert_eq!(notes, vec![("rows_scored".to_string(), 3)]);
+//! ```
+//!
+//! Everything here is cheap when no context is installed: [`stage`] and
+//! [`annotate`] check one thread-local `Option` and return.
+
+use crate::trace::thread_id;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A 128-bit trace id, rendered as 32 lowercase hex digits. Zero is
+/// reserved as "no trace" and never generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+/// Monotonic per-process source of span ids and trace-id entropy.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// splitmix64 — the finalizer alone is a solid bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Generates a fresh id: a process-unique counter mixed with the
+    /// monotonic clock and the calling thread's id, so concurrent
+    /// processes (and restarts) do not collide in practice. Never zero.
+    #[must_use]
+    pub fn generate() -> TraceId {
+        let seq = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        crate::init_clock();
+        let nanos = (crate::clock_elapsed_nanos() as u64).wrapping_add(seq);
+        let hi = mix64(seq ^ 0xa5a5_5a5a_0f0f_f0f0) ^ mix64(thread_id());
+        let lo = mix64(nanos) ^ mix64(seq.rotate_left(32));
+        let id = ((hi as u128) << 64) | lo as u128;
+        if id == 0 {
+            TraceId(1)
+        } else {
+            TraceId(id)
+        }
+    }
+
+    /// Renders the id as 32 lowercase hex digits.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a hex trace id (1–32 hex digits, case-insensitive).
+    /// Returns `None` for empty, oversized, non-hex or all-zero input —
+    /// callers treat an unusable inbound id as "assign a fresh one".
+    #[must_use]
+    pub fn parse_hex(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 32 {
+            return None;
+        }
+        let v = u128::from_str_radix(s, 16).ok()?;
+        if v == 0 {
+            None
+        } else {
+            Some(TraceId(v))
+        }
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A span id, unique within the process. Zero is reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    fn fresh() -> SpanId {
+        SpanId(NEXT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// One timed stage recorded against a trace: `name` ran for `dur_us`
+/// starting `start_us` after the context was created, on thread `thread`.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Stage name (`parse`, `cache_lookup`, `ann_search`, ...).
+    pub name: &'static str,
+    /// This event's span id.
+    pub span: SpanId,
+    /// The enclosing span at record time, if any.
+    pub parent: Option<SpanId>,
+    /// Microseconds from context creation to stage start.
+    pub start_us: u64,
+    /// Stage duration in microseconds.
+    pub dur_us: u64,
+    /// Stable id of the recording thread.
+    pub thread: u64,
+    /// Free-form `(key, value)` annotations.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl SpanEvent {
+    /// Renders the event as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut fields = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                fields.push(',');
+            }
+            fields.push_str(&format!(
+                "\"{}\":\"{}\"",
+                crate::sink::escape_json(k),
+                crate::sink::escape_json(v)
+            ));
+        }
+        fields.push('}');
+        format!(
+            "{{\"name\":\"{}\",\"span\":{},\"parent\":{},\"start_us\":{},\"us\":{},\"thread\":{},\"fields\":{fields}}}",
+            crate::sink::escape_json(self.name),
+            self.span.0,
+            self.parent.map_or("null".to_string(), |p| p.0.to_string()),
+            self.start_us,
+            self.dur_us,
+            self.thread,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    events: Vec<SpanEvent>,
+    notes: BTreeMap<&'static str, u64>,
+}
+
+/// Bound on buffered events per trace: a runaway instrumentation loop
+/// must not balloon request memory. Overflow is counted, not stored.
+const MAX_EVENTS_PER_TRACE: usize = 256;
+
+/// Shared event buffer of one trace; threads append through their
+/// installed [`TraceContext`].
+#[derive(Debug)]
+pub struct SpanCollector {
+    origin: Instant,
+    inner: Mutex<CollectorInner>,
+    overflow: AtomicU64,
+}
+
+impl SpanCollector {
+    fn new() -> Arc<SpanCollector> {
+        Arc::new(SpanCollector {
+            origin: Instant::now(),
+            inner: Mutex::new(CollectorInner::default()),
+            overflow: AtomicU64::new(0),
+        })
+    }
+
+    fn push(&self, event: SpanEvent) {
+        let mut inner = self.inner.lock().expect("collector lock");
+        if inner.events.len() >= MAX_EVENTS_PER_TRACE {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        inner.events.push(event);
+    }
+
+    fn annotate(&self, key: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("collector lock");
+        *inner.notes.entry(key).or_insert(0) += delta;
+    }
+
+    /// Events dropped because the per-trace buffer was full.
+    fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+}
+
+/// The identity and event buffer of one trace, as seen by one scope:
+/// which trace, which span is current, and where events go. Cloning is
+/// cheap (an `Arc` bump) and shares the buffer.
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    trace_id: TraceId,
+    span_id: SpanId,
+    parent: Option<SpanId>,
+    collector: Arc<SpanCollector>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+impl TraceContext {
+    /// Starts a new trace under `trace_id` with a fresh root span and a
+    /// fresh event buffer.
+    #[must_use]
+    pub fn root(trace_id: TraceId) -> TraceContext {
+        TraceContext {
+            trace_id,
+            span_id: SpanId::fresh(),
+            parent: None,
+            collector: SpanCollector::new(),
+        }
+    }
+
+    /// A child context: same trace and buffer, fresh span id, parented to
+    /// this context's span.
+    #[must_use]
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: SpanId::fresh(),
+            parent: Some(self.span_id),
+            collector: Arc::clone(&self.collector),
+        }
+    }
+
+    /// The trace id.
+    #[must_use]
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
+    }
+
+    /// The current span id.
+    #[must_use]
+    pub fn span_id(&self) -> SpanId {
+        self.span_id
+    }
+
+    /// The span this context was parented under, if it is a child.
+    #[must_use]
+    pub fn parent_span(&self) -> Option<SpanId> {
+        self.parent
+    }
+
+    /// Installs this context as the thread's current one until the guard
+    /// drops (contexts nest: the previous one is restored).
+    #[must_use]
+    pub fn enter(&self) -> ContextGuard {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        ContextGuard { _private: () }
+    }
+
+    /// Microseconds elapsed since this trace's context was created.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.collector.origin.elapsed().as_micros() as u64
+    }
+
+    /// Drains the recorded events and annotations (oldest first). The
+    /// request owner calls this exactly once, at completion.
+    #[must_use]
+    pub fn take_events(&self) -> (Vec<SpanEvent>, Vec<(String, u64)>) {
+        let mut inner = self.collector.inner.lock().expect("collector lock");
+        let events = std::mem::take(&mut inner.events);
+        let mut notes: Vec<(String, u64)> = std::mem::take(&mut inner.notes)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let dropped = self.collector.overflow();
+        if dropped > 0 {
+            notes.push(("events_dropped".to_string(), dropped));
+        }
+        (events, notes)
+    }
+}
+
+/// Restores the previous thread-local context on drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    _private: (),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The calling thread's current context, if one is installed.
+#[must_use]
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// The current trace id, if a context is installed.
+#[must_use]
+pub fn current_trace_id() -> Option<TraceId> {
+    CURRENT.with(|c| c.borrow().last().map(|ctx| ctx.trace_id))
+}
+
+/// A `Send + Clone` capture of the current context (or of an explicit
+/// one), for installing it on another thread — the explicit propagation
+/// step rayon workers need, since thread-locals do not follow closures
+/// into a thread pool.
+#[derive(Debug, Clone)]
+pub struct PropagationHandle {
+    ctx: Option<TraceContext>,
+}
+
+impl PropagationHandle {
+    /// Captures the calling thread's current context (possibly none —
+    /// the handle is then a no-op and `scope` just runs the closure).
+    #[must_use]
+    pub fn capture() -> PropagationHandle {
+        PropagationHandle { ctx: current() }
+    }
+
+    /// Runs `f` with the captured context installed on the calling
+    /// thread (the worker), restoring the worker's previous state after.
+    pub fn scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.ctx {
+            Some(ctx) => {
+                let _guard = ctx.enter();
+                f()
+            }
+            None => f(),
+        }
+    }
+
+    /// Whether a context was actually captured.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.ctx.is_some()
+    }
+}
+
+/// A running stage timer, recorded against the current trace on finish.
+/// When no context is installed at start, the whole thing is a no-op
+/// (one thread-local read) — instrumented kernels stay cheap outside a
+/// traced request.
+#[derive(Debug)]
+pub struct StageTimer {
+    name: &'static str,
+    ctx: Option<TraceContext>,
+    start_us: u64,
+    started: Instant,
+}
+
+/// Opens a stage timer named `name` against the current context.
+#[must_use]
+pub fn stage(name: &'static str) -> StageTimer {
+    let ctx = current();
+    let start_us = ctx.as_ref().map_or(0, TraceContext::elapsed_us);
+    StageTimer {
+        name,
+        ctx,
+        start_us,
+        started: Instant::now(),
+    }
+}
+
+impl StageTimer {
+    /// Closes the stage with no extra fields; returns its duration in µs.
+    pub fn finish(self) -> u64 {
+        self.finish_with(Vec::new())
+    }
+
+    /// Closes the stage, attaching `(key, value)` fields to the event;
+    /// returns its duration in µs.
+    pub fn finish_with(self, fields: Vec<(&'static str, String)>) -> u64 {
+        let dur_us = self.started.elapsed().as_micros() as u64;
+        if let Some(ctx) = self.ctx {
+            let event = SpanEvent {
+                name: self.name,
+                span: SpanId::fresh(),
+                parent: Some(ctx.span_id),
+                start_us: self.start_us,
+                dur_us,
+                thread: thread_id(),
+                fields,
+            };
+            emit_jsonl(&ctx, &event);
+            ctx.collector.push(event);
+        }
+        dur_us
+    }
+}
+
+/// Adds `delta` to the named per-trace annotation counter (e.g. rows
+/// scored, ANN distance evaluations). No-op without a current context.
+pub fn annotate(key: &'static str, delta: u64) {
+    if let Some(ctx) = current() {
+        ctx.collector.annotate(key, delta);
+    }
+}
+
+/// Writes one `tspan` JSONL record for a finished stage, if a sink is
+/// attached — so offline traces carry the same trace ids as the flight
+/// recorder and access log.
+fn emit_jsonl(ctx: &TraceContext, event: &SpanEvent) {
+    crate::write_jsonl_record(|seq, ms| {
+        format!(
+            "{{\"type\":\"tspan\",\"seq\":{seq},\"ms\":{},\"trace\":\"{}\",\"span\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"us\":{},\"thread\":{}}}",
+            crate::sink::json_f64(ms),
+            ctx.trace_id,
+            event.span.0,
+            event.parent.map_or("null".to_string(), |p| p.0.to_string()),
+            crate::sink::escape_json(event.name),
+            event.start_us,
+            event.dur_us,
+            event.thread,
+        )
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_roundtrip_and_rejects() {
+        let id = TraceId::generate();
+        assert_ne!(id.0, 0);
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(TraceId::parse_hex(&hex), Some(id));
+        assert_eq!(TraceId::parse_hex(&hex.to_uppercase()), Some(id));
+        assert_eq!(TraceId::parse_hex("ab"), Some(TraceId(0xab)));
+        assert_eq!(TraceId::parse_hex(""), None);
+        assert_eq!(TraceId::parse_hex("zz"), None);
+        assert_eq!(TraceId::parse_hex(&"0".repeat(32)), None);
+        assert_eq!(TraceId::parse_hex(&"f".repeat(33)), None);
+    }
+
+    #[test]
+    fn generated_ids_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(TraceId::generate()), "trace id collision");
+        }
+    }
+
+    #[test]
+    fn stages_record_against_current_context() {
+        let ctx = TraceContext::root(TraceId::generate());
+        {
+            let _g = ctx.enter();
+            let st = stage("parse");
+            let us = st.finish_with(vec![("bytes", "12".to_string())]);
+            let _ = us;
+            annotate("rows", 2);
+            annotate("rows", 3);
+        }
+        // Outside the guard, stage/annotate are no-ops.
+        stage("ignored").finish();
+        annotate("rows", 100);
+        let (events, notes) = ctx.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "parse");
+        assert_eq!(events[0].parent, Some(ctx.span_id()));
+        assert_eq!(events[0].fields, vec![("bytes", "12".to_string())]);
+        assert_eq!(notes, vec![("rows".to_string(), 5)]);
+    }
+
+    #[test]
+    fn contexts_nest_and_restore() {
+        assert!(current().is_none());
+        let outer = TraceContext::root(TraceId::generate());
+        let _g1 = outer.enter();
+        assert_eq!(current_trace_id(), Some(outer.trace_id()));
+        {
+            let inner = outer.child();
+            let _g2 = inner.enter();
+            assert_eq!(current().unwrap().span_id(), inner.span_id());
+            stage("inner_stage").finish();
+        }
+        assert_eq!(current().unwrap().span_id(), outer.span_id());
+        let (events, _) = outer.take_events();
+        assert_eq!(events.len(), 1);
+        assert_ne!(events[0].parent, Some(outer.span_id()));
+    }
+
+    #[test]
+    fn propagation_handle_carries_context_across_threads() {
+        let ctx = TraceContext::root(TraceId::generate());
+        let _g = ctx.enter();
+        let handle = PropagationHandle::capture();
+        assert!(handle.is_active());
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    h.scope(|| {
+                        assert!(current().is_some(), "context must follow the handle");
+                        stage("worker").finish();
+                        annotate("worker_units", i + 1);
+                    });
+                    assert!(current().is_none(), "scope must not leak");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let (events, notes) = ctx.take_events();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.name == "worker"));
+        assert_eq!(notes, vec![("worker_units".to_string(), 1 + 2 + 3 + 4)]);
+        // Worker thread ids differ from this thread's.
+        assert!(events.iter().all(|e| e.thread != crate::trace::thread_id()));
+    }
+
+    #[test]
+    fn inactive_handle_is_noop() {
+        assert!(current().is_none());
+        let handle = PropagationHandle::capture();
+        assert!(!handle.is_active());
+        assert_eq!(handle.scope(|| 7), 7);
+    }
+
+    #[test]
+    fn event_buffer_is_bounded() {
+        let ctx = TraceContext::root(TraceId::generate());
+        let _g = ctx.enter();
+        for _ in 0..(MAX_EVENTS_PER_TRACE + 10) {
+            stage("spin").finish();
+        }
+        let (events, notes) = ctx.take_events();
+        assert_eq!(events.len(), MAX_EVENTS_PER_TRACE);
+        assert_eq!(notes, vec![("events_dropped".to_string(), 10)]);
+    }
+
+    #[test]
+    fn span_event_json_shape() {
+        let e = SpanEvent {
+            name: "cache_lookup",
+            span: SpanId(7),
+            parent: Some(SpanId(3)),
+            start_us: 10,
+            dur_us: 42,
+            thread: 1,
+            fields: vec![("hits", "2".to_string())],
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"name\":\"cache_lookup\""));
+        assert!(json.contains("\"span\":7"));
+        assert!(json.contains("\"parent\":3"));
+        assert!(json.contains("\"us\":42"));
+        assert!(json.contains("\"hits\":\"2\""));
+        let root = SpanEvent { parent: None, ..e };
+        assert!(root.to_json().contains("\"parent\":null"));
+    }
+}

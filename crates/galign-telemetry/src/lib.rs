@@ -27,13 +27,18 @@
 //! telemetry::info!("pipeline", "refinement done in {secs:.2}s");
 //! ```
 
+pub mod context;
 pub mod failpoint;
+pub mod flight;
 pub mod fsio;
+pub mod prom;
 pub mod registry;
 pub mod sink;
 pub mod trace;
 
-pub use registry::{HistogramSummary, MetricsSnapshot, Registry};
+pub use context::{PropagationHandle, TraceContext, TraceId};
+pub use flight::FlightRecorder;
+pub use registry::{HistogramBuckets, HistogramSummary, MetricsSnapshot, Registry};
 pub use sink::Level;
 pub use trace::Span;
 
@@ -72,6 +77,22 @@ pub fn init_clock() {
 
 fn elapsed_ms() -> f64 {
     CLOCK.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+}
+
+/// Milliseconds on the process-relative telemetry clock — the same epoch
+/// as every JSONL record's `ms` field, so external timestamps (access
+/// logs, flight-recorder entries) line up with the span stream.
+pub fn clock_ms() -> f64 {
+    elapsed_ms()
+}
+
+pub(crate) fn clock_elapsed_ms() -> f64 {
+    elapsed_ms()
+}
+
+/// Nanoseconds on the process-relative telemetry clock.
+pub(crate) fn clock_elapsed_nanos() -> u128 {
+    CLOCK.get_or_init(Instant::now).elapsed().as_nanos()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,553 @@
+//! Prometheus text exposition (format version 0.0.4) over the metrics
+//! registry, plus a strict parser used by tests and the CI smoke job to
+//! validate what `/metrics?format=prometheus` actually serves.
+//!
+//! The registry keys metrics by dotted names; this module renders them
+//! under a `galign_` prefix with dots flattened to underscores, and
+//! re-folds a small fixed table of per-engine / per-status / per-span
+//! name families into proper Prometheus labels:
+//!
+//! | registry name                | exposition series                                   |
+//! |------------------------------|-----------------------------------------------------|
+//! | `serve.topk.engine.ann`      | `galign_serve_topk_engine_requests_total{engine="ann"}` |
+//! | `serve.http.status.2xx`      | `galign_serve_http_responses_total{status="2xx"}`   |
+//! | `serve.route.healthz`        | `galign_serve_requests_total{route="healthz"}`      |
+//! | `span.refine.secs` (hist)    | `galign_span_seconds{span="refine"}` histogram      |
+//!
+//! The label table is part of the cardinality contract: every label value
+//! comes from a registry name, and the registry bounds its name set (see
+//! `registry::MAX_SERIES`), so a scrape can never allocate proportionally
+//! to traffic.
+
+use crate::registry::{HistogramBuckets, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Content-Type to serve exposition-format bodies under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Counter-name prefixes folded into labeled families:
+/// `(registry prefix, family name, label key)`. The suffix after the
+/// prefix becomes the label value.
+const COUNTER_LABEL_FAMILIES: &[(&str, &str, &str)] = &[
+    (
+        "serve.topk.engine.",
+        "galign_serve_topk_engine_requests_total",
+        "engine",
+    ),
+    (
+        "serve.http.status.",
+        "galign_serve_http_responses_total",
+        "status",
+    ),
+    ("serve.route.", "galign_serve_requests_total", "route"),
+];
+
+/// Sanitizes one dotted registry name into a Prometheus metric name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("galign_");
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || (c == ':' && i > 0) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `(family, label)` for a counter/gauge name: either a table match or
+/// the sanitized name with no label.
+fn family_of(name: &str, total_suffix: bool) -> (String, Option<(String, String)>) {
+    for (prefix, family, key) in COUNTER_LABEL_FAMILIES {
+        if let Some(value) = name.strip_prefix(prefix) {
+            if !value.is_empty() && !value.contains('.') {
+                return (
+                    (*family).to_string(),
+                    Some(((*key).to_string(), value.to_string())),
+                );
+            }
+        }
+    }
+    let mut family = sanitize(name);
+    if total_suffix && !family.ends_with("_total") {
+        family.push_str("_total");
+    }
+    (family, None)
+}
+
+/// `(family, label)` for a histogram name: `span.<name>.secs` histograms
+/// fold into one `galign_span_seconds{span="<name>"}` family.
+fn histogram_family_of(name: &str) -> (String, Option<(String, String)>) {
+    if let Some(stage) = name
+        .strip_prefix("span.")
+        .and_then(|rest| rest.strip_suffix(".secs"))
+    {
+        if !stage.is_empty() {
+            return (
+                "galign_span_seconds".to_string(),
+                Some(("span".to_string(), stage.to_string())),
+            );
+        }
+    }
+    (sanitize(name), None)
+}
+
+fn label_str(label: &Option<(String, String)>) -> String {
+    match label {
+        Some((k, v)) => format!("{{{k}=\"{}\"}}", escape_label(v)),
+        None => String::new(),
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[derive(Default)]
+struct Family {
+    kind: &'static str,
+    /// Rendered sample lines, keyed by label string for dedup+ordering.
+    lines: Vec<String>,
+}
+
+/// Renders a metrics snapshot in Prometheus text exposition format.
+/// Families are emitted in name order, each with `# HELP` and `# TYPE`
+/// exactly once; histogram families get cumulative `_bucket` series plus
+/// `_sum` and `_count`.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+
+    for (name, value) in &snapshot.counters {
+        let (family, label) = family_of(name, true);
+        let entry = families.entry(family.clone()).or_default();
+        entry.kind = "counter";
+        entry
+            .lines
+            .push(format!("{family}{} {value}", label_str(&label)));
+    }
+    for (name, value) in &snapshot.gauges {
+        let (family, label) = family_of(name, false);
+        let entry = families.entry(family.clone()).or_default();
+        entry.kind = "gauge";
+        entry.lines.push(format!(
+            "{family}{} {}",
+            label_str(&label),
+            fmt_value(*value)
+        ));
+    }
+    for (name, b) in &snapshot.buckets {
+        let (family, label) = histogram_family_of(name);
+        let entry = families.entry(family.clone()).or_default();
+        entry.kind = "histogram";
+        entry.lines.extend(histogram_lines(&family, label, b));
+    }
+
+    let mut out = String::new();
+    for (name, family) in &families {
+        let _ = writeln!(out, "# HELP {name} galign telemetry metric {name}");
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+        for line in &family.lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+/// The cumulative `_bucket`/`_sum`/`_count` lines of one histogram.
+fn histogram_lines(
+    family: &str,
+    label: Option<(String, String)>,
+    b: &HistogramBuckets,
+) -> Vec<String> {
+    let mut lines = Vec::with_capacity(b.bounds.len() + 3);
+    let mut cumulative = 0u64;
+    for (i, bound) in b.bounds.iter().enumerate() {
+        cumulative += b.counts[i];
+        lines.push(format!(
+            "{family}_bucket{} {cumulative}",
+            bucket_label(&label, &fmt_value(*bound))
+        ));
+    }
+    // The +Inf bucket equals the lifetime count by construction.
+    lines.push(format!(
+        "{family}_bucket{} {}",
+        bucket_label(&label, "+Inf"),
+        b.count
+    ));
+    lines.push(format!(
+        "{family}_sum{} {}",
+        label_str(&label),
+        fmt_value(b.sum)
+    ));
+    lines.push(format!("{family}_count{} {}", label_str(&label), b.count));
+    lines
+}
+
+fn bucket_label(label: &Option<(String, String)>, le: &str) -> String {
+    match label {
+        Some((k, v)) => format!("{{{k}=\"{}\",le=\"{le}\"}}", escape_label(v)),
+        None => format!("{{le=\"{le}\"}}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict exposition-format validation
+// ---------------------------------------------------------------------------
+
+/// Summary of a validated exposition body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Metric families seen (`# TYPE` lines).
+    pub families: usize,
+    /// Sample lines seen.
+    pub samples: usize,
+}
+
+/// Strictly validates a text-exposition body: every family has `# HELP`
+/// and `# TYPE` before its samples, no duplicate series (name + label
+/// set), histogram `_bucket` series are monotone in `le` order with the
+/// `+Inf` bucket equal to `_count`, and every sample value parses.
+///
+/// # Errors
+/// A human-readable description of the first violation.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut helped: BTreeMap<String, bool> = BTreeMap::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_series: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // family+labels -> (le values in order, counts, count_value)
+    let mut buckets: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    let mut inf_buckets: BTreeMap<String, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stats = ExpositionStats::default();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| Err(format!("line {}: {msg}: {line:?}", ln + 1));
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if name.is_empty() {
+                return err("HELP without a metric name".to_string());
+            }
+            if helped.insert(name.to_string(), true).is_some() {
+                return err(format!("duplicate HELP for {name}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                return err("malformed TYPE line".to_string());
+            };
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return err(format!("unknown metric type {kind}"));
+            }
+            if !helped.contains_key(name) {
+                return err(format!("TYPE before HELP for {name}"));
+            }
+            if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                return err(format!("duplicate TYPE for {name}"));
+            }
+            stats.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        // Sample line: name{labels}? value [timestamp]
+        let (series, value_part) = match line.find([' ', '\t']) {
+            Some(i) if !line[..i].is_empty() => (&line[..i], line[i + 1..].trim()),
+            _ => return err("malformed sample line".to_string()),
+        };
+        let value_txt = value_part.split_whitespace().next().unwrap_or("");
+        let value = parse_prom_value(value_txt)
+            .ok_or_else(|| format!("line {}: bad value {value_txt:?}: {line:?}", ln + 1))?;
+        let (name, labels) = match series.find('{') {
+            Some(i) => {
+                if !series.ends_with('}') {
+                    return err("unterminated label set".to_string());
+                }
+                (&series[..i], &series[i + 1..series.len() - 1])
+            }
+            None => (series, ""),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
+            return err(format!("invalid metric name {name:?}"));
+        }
+        // The declaring family: histograms declare the base name.
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| {
+                name.strip_suffix(s)
+                    .filter(|b| typed.get(*b).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(name);
+        let Some(kind) = typed.get(base) else {
+            return err(format!("sample for undeclared family {base}"));
+        };
+        if !seen_series.insert(series.to_string()) {
+            return err(format!("duplicate series {series}"));
+        }
+        stats.samples += 1;
+
+        if kind == "histogram" && name.ends_with("_bucket") {
+            let mut le: Option<&str> = None;
+            let mut other_labels: Vec<&str> = Vec::new();
+            for pair in split_labels(labels) {
+                match pair.split_once('=') {
+                    Some(("le", v)) => le = Some(v.trim_matches('"')),
+                    Some(_) => other_labels.push(pair),
+                    None => return err(format!("malformed label {pair:?}")),
+                }
+            }
+            let Some(le) = le else {
+                return err("histogram bucket without le label".to_string());
+            };
+            let key = format!("{base}{{{}}}", other_labels.join(","));
+            let count = value as u64;
+            if le == "+Inf" {
+                inf_buckets.insert(key, count);
+            } else {
+                let bound = parse_prom_value(le)
+                    .ok_or_else(|| format!("line {}: bad le {le:?}", ln + 1))?;
+                buckets.entry(key).or_default().push((bound, count));
+            }
+        } else if kind == "histogram" && name.ends_with("_count") {
+            let key = format!("{base}{{{labels}}}");
+            counts.insert(key, value as u64);
+        }
+    }
+
+    for (key, series) in &buckets {
+        let mut last_bound = f64::NEG_INFINITY;
+        let mut last_count = 0u64;
+        for &(bound, count) in series {
+            if bound <= last_bound {
+                return Err(format!("{key}: bucket bounds not increasing at le={bound}"));
+            }
+            if count < last_count {
+                return Err(format!(
+                    "{key}: bucket counts not monotone at le={bound} ({count} < {last_count})"
+                ));
+            }
+            last_bound = bound;
+            last_count = count;
+        }
+        let Some(&inf) = inf_buckets.get(key) else {
+            return Err(format!("{key}: histogram without a +Inf bucket"));
+        };
+        if inf < last_count {
+            return Err(format!(
+                "{key}: +Inf bucket below the largest finite bucket"
+            ));
+        }
+        if let Some(&count) = counts.get(key) {
+            if count != inf {
+                return Err(format!("{key}: _count {count} != +Inf bucket {inf}"));
+            }
+        }
+    }
+    for name in typed.keys() {
+        if !helped.contains_key(name) {
+            return Err(format!("{name}: TYPE without HELP"));
+        }
+    }
+    Ok(stats)
+}
+
+/// Splits a label body on commas that are outside quoted values.
+fn split_labels(labels: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut prev_backslash = false;
+    for (i, c) in labels.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                if i > start {
+                    out.push(&labels[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if start < labels.len() {
+        out.push(&labels[start..]);
+    }
+    out
+}
+
+fn parse_prom_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_add("serve.http.requests", 10);
+        r.counter_add("serve.topk.engine.ann", 3);
+        r.counter_add("serve.topk.engine.exact", 7);
+        r.counter_add("serve.http.status.2xx", 9);
+        r.counter_add("serve.route.topk", 5);
+        r.gauge_set("serve.in_flight", 2.0);
+        for v in [0.4, 0.9, 3.0, 120.0] {
+            r.histogram_record("serve.request.ms", v);
+        }
+        r.histogram_record("span.refine.secs", 0.02);
+        r
+    }
+
+    #[test]
+    fn render_produces_valid_exposition() {
+        let text = render(&sample_registry().snapshot());
+        let stats = validate_exposition(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(stats.families >= 6, "{stats:?}\n{text}");
+        assert!(text.contains("# TYPE galign_serve_http_requests_total counter"));
+        assert!(text.contains("galign_serve_topk_engine_requests_total{engine=\"ann\"} 3"));
+        assert!(text.contains("galign_serve_topk_engine_requests_total{engine=\"exact\"} 7"));
+        assert!(text.contains("galign_serve_http_responses_total{status=\"2xx\"} 9"));
+        assert!(text.contains("galign_serve_requests_total{route=\"topk\"} 5"));
+        assert!(text.contains("# TYPE galign_serve_in_flight gauge"));
+        assert!(text.contains("# TYPE galign_serve_request_ms histogram"));
+        assert!(text.contains("galign_serve_request_ms_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("galign_serve_request_ms_count 4"));
+        assert!(text.contains("galign_span_seconds_bucket{span=\"refine\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn bucket_counts_are_cumulative_and_monotone() {
+        let r = Registry::new();
+        for v in [0.5, 1.5, 1.5, 900.0, 1e9] {
+            r.histogram_record("lat.ms", v);
+        }
+        let text = render(&r.snapshot());
+        validate_exposition(&text).unwrap();
+        // The +Inf bucket carries every sample, including the 1e9 outlier
+        // beyond the largest finite bound.
+        assert!(
+            text.contains("galign_lat_ms_bucket{le=\"+Inf\"} 5"),
+            "{text}"
+        );
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "{line}");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn one_type_line_per_labeled_family() {
+        let text = render(&sample_registry().snapshot());
+        let type_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE galign_serve_topk_engine_requests_total"))
+            .collect();
+        assert_eq!(type_lines.len(), 1, "{type_lines:?}");
+    }
+
+    #[test]
+    fn families_with_window_count_mismatch_still_validate() {
+        // A histogram whose sample window wrapped: lifetime count exceeds
+        // the window, buckets stay lifetime-cumulative and consistent.
+        let r = Registry::new();
+        for i in 0..10_000 {
+            r.histogram_record("big.ms", (i % 100) as f64);
+        }
+        let text = render(&r.snapshot());
+        validate_exposition(&text).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            text.contains("galign_big_ms_bucket{le=\"+Inf\"} 10000"),
+            "{text}"
+        );
+        assert!(text.contains("galign_big_ms_count 10000"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_bodies() {
+        for (body, needle) in [
+            ("galign_x_total 1\n", "undeclared"),
+            (
+                "# HELP m h\n# TYPE m counter\nm 1\nm 1\n",
+                "duplicate series",
+            ),
+            ("# TYPE m counter\nm 1\n", "TYPE before HELP"),
+            (
+                "# HELP m h\n# TYPE m counter\n# TYPE m counter\n",
+                "duplicate TYPE",
+            ),
+            ("# HELP m h\n# TYPE m counter\nm notanumber\n", "bad value"),
+            (
+                "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\nm_bucket{le=\"+Inf\"} 5\n",
+                "not monotone",
+            ),
+            (
+                "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 2\n",
+                "+Inf",
+            ),
+            (
+                "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 2\nm_bucket{le=\"+Inf\"} 4\nm_count 3\n",
+                "_count",
+            ),
+        ] {
+            let err = validate_exposition(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "body {body:?}: error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitize_and_labels() {
+        assert_eq!(sanitize("a.b-c"), "galign_a_b_c");
+        assert_eq!(
+            family_of("serve.topk.engine.ann", true).1,
+            Some(("engine".to_string(), "ann".to_string()))
+        );
+        // A dotted suffix does not label-fold (it is not a leaf value).
+        assert!(family_of("serve.topk.engine.ann.extra", true).1.is_none());
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -7,6 +7,7 @@
 //! before touching the global registry at all).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Aggregate description of one histogram's samples.
@@ -28,6 +29,25 @@ pub struct HistogramSummary {
     pub p99: f64,
 }
 
+/// Lifetime cumulative-bucket view of one histogram, as Prometheus wants
+/// it: per-bucket counts over the fixed [`BUCKET_BOUNDS`] bounds plus a
+/// lifetime sum and count. Unlike [`HistogramSummary`] (which describes
+/// the bounded sample window), buckets never lose precision to window
+/// wraparound — they are incremented at record time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramBuckets {
+    /// Upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts, same length as `bounds`.
+    /// Samples above the largest bound only appear in `count` (the
+    /// implicit `+Inf` bucket).
+    pub counts: Vec<u64>,
+    /// Lifetime sum of all recorded samples.
+    pub sum: f64,
+    /// Lifetime number of recorded samples.
+    pub count: u64,
+}
+
 /// Point-in-time copy of every metric in a registry, ordered by name.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
@@ -37,6 +57,8 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram name → summary statistics.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Histogram name → lifetime cumulative buckets (Prometheus view).
+    pub buckets: Vec<(String, HistogramBuckets)>,
 }
 
 impl MetricsSnapshot {
@@ -98,10 +120,33 @@ impl MetricsSnapshot {
 /// `count` stays lifetime-accurate.
 const MAX_HISTOGRAM_SAMPLES: usize = 8192;
 
-/// One histogram: a bounded ring of recent samples plus a lifetime count.
+/// Cap on distinct series names per metric kind.
+///
+/// Every metric name is a label in disguise (engine, route, status class,
+/// span name), and a scrape copies the whole map — so the name set must be
+/// bounded by *code*, never by traffic. All in-tree names are static
+/// strings from a small fixed vocabulary; this cap is the enforcement
+/// backstop for a bug that interpolates per-request data (node ids, trace
+/// ids) into a metric name. Past the cap, new names are dropped and
+/// counted in [`Registry::dropped_series`] instead of allocating.
+pub const MAX_SERIES: usize = 512;
+
+/// Upper bounds for the fixed exponential bucket layout shared by every
+/// histogram: a 1–2.5–5 ladder from 1µs to 1000 (covering both
+/// seconds-scale span durations and µs/ms-scale latencies). Samples above
+/// the last bound land only in the implicit `+Inf` bucket.
+pub const BUCKET_BOUNDS: [f64; 28] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+];
+
+/// One histogram: a bounded ring of recent samples (for percentiles) plus
+/// lifetime bucket counts and sum (for Prometheus exposition).
 #[derive(Debug, Default)]
 struct Histogram {
     total: u64,
+    sum: f64,
+    bucket_counts: Vec<u64>,
     samples: Vec<f64>,
     head: usize,
 }
@@ -109,11 +154,31 @@ struct Histogram {
 impl Histogram {
     fn record(&mut self, value: f64) {
         self.total += 1;
+        self.sum += value;
+        if self.bucket_counts.is_empty() {
+            self.bucket_counts = vec![0; BUCKET_BOUNDS.len()];
+        }
+        if let Some(i) = BUCKET_BOUNDS.iter().position(|&b| value <= b) {
+            self.bucket_counts[i] += 1;
+        }
         if self.samples.len() < MAX_HISTOGRAM_SAMPLES {
             self.samples.push(value);
         } else {
             self.samples[self.head] = value;
             self.head = (self.head + 1) % MAX_HISTOGRAM_SAMPLES;
+        }
+    }
+
+    fn buckets(&self) -> HistogramBuckets {
+        HistogramBuckets {
+            bounds: BUCKET_BOUNDS.to_vec(),
+            counts: if self.bucket_counts.is_empty() {
+                vec![0; BUCKET_BOUNDS.len()]
+            } else {
+                self.bucket_counts.clone()
+            },
+            sum: self.sum,
+            count: self.total,
         }
     }
 }
@@ -125,6 +190,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    dropped_series: AtomicU64,
 }
 
 impl Registry {
@@ -134,17 +200,26 @@ impl Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            dropped_series: AtomicU64::new(0),
         }
+    }
+
+    /// Number of metric updates dropped because a map was at
+    /// [`MAX_SERIES`] and the name was new. Nonzero means some caller is
+    /// interpolating unbounded data into metric names — a bug.
+    pub fn dropped_series(&self) -> u64 {
+        self.dropped_series.load(Ordering::Relaxed)
     }
 
     /// Adds `delta` to the named counter (creating it at zero).
     pub fn counter_add(&self, name: &str, delta: u64) {
         let mut c = self.counters.lock().expect("counter lock");
-        match c.get_mut(name) {
-            Some(v) => *v = v.saturating_add(delta),
-            None => {
-                c.insert(name.to_string(), delta);
-            }
+        if let Some(v) = c.get_mut(name) {
+            *v = v.saturating_add(delta);
+        } else if c.len() < MAX_SERIES {
+            c.insert(name.to_string(), delta);
+        } else {
+            self.dropped_series.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -160,10 +235,14 @@ impl Registry {
 
     /// Sets the named gauge to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.gauges
-            .lock()
-            .expect("gauge lock")
-            .insert(name.to_string(), value);
+        let mut g = self.gauges.lock().expect("gauge lock");
+        if let Some(v) = g.get_mut(name) {
+            *v = value;
+        } else if g.len() < MAX_SERIES {
+            g.insert(name.to_string(), value);
+        } else {
+            self.dropped_series.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Last value set on the named gauge.
@@ -175,12 +254,14 @@ impl Registry {
     /// only the most recent [`MAX_HISTOGRAM_SAMPLES`] samples back the
     /// percentiles, so recording is safe on unbounded serving workloads.
     pub fn histogram_record(&self, name: &str, value: f64) {
-        self.histograms
-            .lock()
-            .expect("histogram lock")
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
+        let mut h = self.histograms.lock().expect("histogram lock");
+        if let Some(hist) = h.get_mut(name) {
+            hist.record(value);
+        } else if h.len() < MAX_SERIES {
+            h.entry(name.to_string()).or_default().record(value);
+        } else {
+            self.dropped_series.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Summary of the named histogram (`None` when empty or unknown).
@@ -192,15 +273,25 @@ impl Registry {
             .and_then(summarize)
     }
 
-    /// Copies every metric out of the registry.
+    /// Copies every metric out of the registry. When any updates were
+    /// dropped by the [`MAX_SERIES`] cap, a synthetic
+    /// `telemetry.series_dropped` counter makes that visible on scrapes.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
+        let mut counters: Vec<(String, u64)> = self
             .counters
             .lock()
             .expect("counter lock")
             .iter()
             .map(|(k, &v)| (k.clone(), v))
             .collect();
+        let dropped = self.dropped_series();
+        if dropped > 0 {
+            let name = "telemetry.series_dropped".to_string();
+            let at = counters
+                .binary_search_by(|(k, _)| k.cmp(&name))
+                .unwrap_or_else(|i| i);
+            counters.insert(at, (name, dropped));
+        }
         let gauges = self
             .gauges
             .lock()
@@ -208,17 +299,24 @@ impl Registry {
             .iter()
             .map(|(k, &v)| (k.clone(), v))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .expect("histogram lock")
-            .iter()
-            .filter_map(|(k, h)| summarize(h).map(|s| (k.clone(), s)))
-            .collect();
+        let (histograms, buckets) = {
+            let h = self.histograms.lock().expect("histogram lock");
+            let summaries = h
+                .iter()
+                .filter_map(|(k, h)| summarize(h).map(|s| (k.clone(), s)))
+                .collect();
+            let buckets = h
+                .iter()
+                .filter(|(_, h)| h.total > 0)
+                .map(|(k, h)| (k.clone(), h.buckets()))
+                .collect();
+            (summaries, buckets)
+        };
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            buckets,
         }
     }
 
@@ -227,6 +325,7 @@ impl Registry {
         self.counters.lock().expect("counter lock").clear();
         self.gauges.lock().expect("gauge lock").clear();
         self.histograms.lock().expect("histogram lock").clear();
+        self.dropped_series.store(0, Ordering::Relaxed);
     }
 }
 
@@ -357,6 +456,82 @@ mod tests {
         // Non-finite gauges serialise as null, keeping the JSON valid.
         r.gauge_set("bad", f64::NAN);
         assert!(r.snapshot().to_json().contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn percentiles_exact_after_wraparound() {
+        let r = Registry::new();
+        // Overfill by 3x with a monotone sequence; after wraparound the
+        // window holds exactly the last MAX_HISTOGRAM_SAMPLES values, so
+        // nearest-rank percentiles have closed-form expected values.
+        let n = 3 * MAX_HISTOGRAM_SAMPLES + 17; // deliberately not a multiple
+        for i in 0..n {
+            r.histogram_record("lat", i as f64);
+        }
+        let h = r.histogram_summary("lat").unwrap();
+        let lo = (n - MAX_HISTOGRAM_SAMPLES) as f64;
+        let m = MAX_HISTOGRAM_SAMPLES as f64;
+        assert_eq!(h.count, n);
+        assert_eq!(h.min, lo);
+        assert_eq!(h.max, (n - 1) as f64);
+        // Window is lo..lo+m with unit spacing: nearest-rank percentile q
+        // is lo + round(q/100 * (m-1)).
+        for (q, got) in [(50.0, h.p50), (90.0, h.p90), (99.0, h.p99)] {
+            let want = lo + (q / 100.0 * (m - 1.0)).round();
+            assert_eq!(got, want, "p{q} after wraparound");
+        }
+        // Buckets are lifetime-accurate regardless of the window: every
+        // one of the n samples landed somewhere (here all above the last
+        // bound except 0..=1000).
+        let snap = r.snapshot();
+        let (_, b) = &snap.buckets[0];
+        assert_eq!(b.count, n as u64);
+        let finite: u64 = b.counts.iter().sum();
+        assert_eq!(finite, 1001); // samples 0.0..=1000.0 fit a finite bucket
+        assert_eq!(b.sum, (0..n).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn bucket_counts_follow_bounds() {
+        let r = Registry::new();
+        for v in [0.5e-6, 1e-6, 2e-6, 999.0, 5e9] {
+            r.histogram_record("lat", v);
+        }
+        let snap = r.snapshot();
+        let (name, b) = &snap.buckets[0];
+        assert_eq!(name, "lat");
+        assert_eq!(b.bounds.len(), BUCKET_BOUNDS.len());
+        assert_eq!(b.counts[0], 2); // 0.5e-6 and 1e-6 both <= 1e-6
+        assert_eq!(b.counts[1], 1); // 2e-6 <= 2.5e-6
+        assert_eq!(*b.counts.last().unwrap(), 1); // 999 <= 1000
+        assert_eq!(b.count, 5); // 5e9 only in the implicit +Inf bucket
+        let finite: u64 = b.counts.iter().sum();
+        assert_eq!(finite, 4);
+    }
+
+    #[test]
+    fn series_cardinality_is_bounded() {
+        let r = Registry::new();
+        // Simulate a bug interpolating per-request ids into metric names.
+        for i in 0..(2 * MAX_SERIES) {
+            r.counter_add(&format!("bad.trace.{i}"), 1);
+            r.gauge_set(&format!("bad.gauge.{i}"), i as f64);
+            r.histogram_record(&format!("bad.hist.{i}"), i as f64);
+        }
+        let snap = r.snapshot();
+        assert!(snap.counters.len() <= MAX_SERIES + 1); // + synthetic dropped counter
+        assert!(snap.gauges.len() <= MAX_SERIES);
+        assert!(snap.histograms.len() <= MAX_SERIES);
+        assert_eq!(r.dropped_series(), 3 * MAX_SERIES as u64);
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(k, v)| k == "telemetry.series_dropped" && *v == 3 * MAX_SERIES as u64));
+        // Existing names keep updating at the cap.
+        r.counter_add("bad.trace.0", 5);
+        assert_eq!(r.counter_value("bad.trace.0"), 6);
+        r.reset();
+        assert_eq!(r.dropped_series(), 0);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! drop).
 
 use crate::sink::{fields_human, fields_json, stderr_line, Level};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 thread_local! {
@@ -25,14 +26,29 @@ fn pop(depth: usize) {
     SPAN_STACK.with(|s| s.borrow_mut().truncate(depth));
 }
 
-/// Numeric id of the current thread (parsed from its debug representation).
+/// Source of process-unique thread ids; 0 is never handed out so a raw
+/// `Cell::new(0)` unambiguously means "not yet assigned".
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Stable numeric id of the current thread: assigned from a process-wide
+/// counter on first use and cached in a thread-local. Unlike
+/// `std::thread::ThreadId` (whose `Debug` output this used to parse —
+/// brittle across rustc versions), the value is guaranteed small, dense
+/// and stable for the thread's lifetime.
 pub(crate) fn thread_id() -> u64 {
-    let repr = format!("{:?}", std::thread::current().id());
-    repr.chars()
-        .filter(char::is_ascii_digit)
-        .collect::<String>()
-        .parse()
-        .unwrap_or(0)
+    THREAD_ID.with(|id| {
+        let v = id.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        id.set(v);
+        v
+    })
 }
 
 /// A timed scope. Always measures wall-clock (so callers can rely on
@@ -128,5 +144,32 @@ impl Drop for Span {
             let secs = self.elapsed_secs();
             self.close(secs);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids_are_stable_nonzero_and_distinct() {
+        let mine = thread_id();
+        assert_ne!(mine, 0);
+        assert_eq!(thread_id(), mine, "id is cached per thread");
+        let others: Vec<u64> = (0..8)
+            .map(|_| std::thread::spawn(|| (thread_id(), thread_id())))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| {
+                let (a, b) = h.join().unwrap();
+                assert_eq!(a, b, "stable within the thread");
+                a
+            })
+            .collect();
+        let mut all = others.clone();
+        all.push(mine);
+        let distinct: std::collections::HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), all.len(), "ids are process-unique: {all:?}");
+        assert!(all.iter().all(|&id| id != 0));
     }
 }

@@ -78,6 +78,16 @@ fn pipeline_emits_wellformed_jsonl() {
             "event" => {
                 assert!(obj["message"].is_string());
             }
+            "tspan" => {
+                // Request-scoped stage spans (serving path). The batch
+                // pipeline emits none unless a trace context is active,
+                // but any that appear must be well-formed.
+                let trace = obj["trace"].as_str().expect("tspan trace id");
+                assert!(galign_telemetry::TraceId::parse_hex(trace).is_some());
+                assert!(obj["span"].is_number(), "line {i} missing span id");
+                assert!(obj["name"].is_string(), "line {i} missing stage name");
+                assert!(obj["us"].as_u64().is_some(), "line {i} missing duration");
+            }
             other => panic!("line {i}: unexpected record type '{other}'"),
         }
     }
