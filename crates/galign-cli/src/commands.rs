@@ -458,6 +458,11 @@ pub fn serve(flags: &Flags) -> CmdResult {
         flight_recorder_size: flags.num("flight-recorder-size", defaults.flight_recorder_size),
         access_log: flags.optional("access-log").map(PathBuf::from),
         flight_dump: flags.optional("flight-dump").map(PathBuf::from),
+        generation_pointer: flags.optional("generation-pointer").map(PathBuf::from),
+        generation_poll: std::time::Duration::from_millis(flags.num(
+            "generation-poll-ms",
+            defaults.generation_poll.as_millis() as u64,
+        )),
         ..defaults
     };
     let index = galign_serve::TopkIndex::from_artifact(artifact);
@@ -472,6 +477,101 @@ pub fn serve(flags: &Flags) -> CmdResult {
         server.local_addr(),
     );
     server.run()
+}
+
+/// `galign shard-export`: split a serving artifact into contiguous
+/// target-id range shards, one artifact file per shard, each carrying a
+/// shard manifest tying it back to the parent.
+pub fn shard_export(flags: &Flags) -> CmdResult {
+    let artifact_path = flags.required("artifact");
+    let num_shards = flags.num::<usize>("shards", 0);
+    if num_shards == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "--shards must be a positive shard count",
+        ));
+    }
+    let out_dir = PathBuf::from(flags.or("out-dir", "shards"));
+    let replicas = match flags.optional("replicas") {
+        Some(spec) => {
+            let groups = galign_router::parse_replica_spec(&spec)?;
+            if groups.len() != num_shards {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "--replicas lists {} shard groups but --shards is {num_shards}",
+                        groups.len()
+                    ),
+                ));
+            }
+            Some(groups)
+        }
+        None => None,
+    };
+    let artifact = galign_serve::Artifact::read(Path::new(&artifact_path))?;
+    let sp = galign_telemetry::span!("shard-export");
+    let paths =
+        galign::artifact::export_shards(&artifact, num_shards, replicas.as_deref(), &out_dir)
+            .map_err(to_io)?;
+    let secs = sp.finish();
+    println!(
+        "split {artifact_path} ({} target rows, checksum {:016x}) into {num_shards} shards in {secs:.1}s:",
+        artifact.target_nodes(),
+        artifact.target_checksum(),
+    );
+    for path in &paths {
+        let shard = galign::artifact::load_shard(path).map_err(to_io)?;
+        let m = shard.manifest.expect("export writes a manifest");
+        println!(
+            "  shard {}: targets [{}, {}) -> {}",
+            m.shard_id,
+            m.start,
+            m.end,
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// `galign route`: scatter-gather router over a shard fleet. Discovers
+/// the topology by probing every replica's `/healthz`, then serves
+/// merged top-k answers that are bit-identical to a single node holding
+/// the full artifact.
+pub fn route(flags: &Flags) -> CmdResult {
+    let spec = flags.required("shards");
+    let addr = flags.or("addr", "127.0.0.1:8090");
+    let groups = galign_router::parse_replica_spec(&spec)?;
+    let defaults = galign_router::RouterConfig::default();
+    let cfg = galign_router::RouterConfig {
+        workers: flags.num("workers", defaults.workers),
+        default_k: flags.num("default-k", defaults.default_k),
+        max_k: flags.num("max-k", defaults.max_k),
+        queue_depth: flags.num("queue-depth", defaults.queue_depth),
+        retry_after_secs: flags.num("retry-after-secs", defaults.retry_after_secs),
+        request_timeout: std::time::Duration::from_millis(flags.num(
+            "request-timeout-ms",
+            defaults.request_timeout.as_millis() as u64,
+        )),
+        client: galign_serve::ClientConfig {
+            max_retries: flags.num("hop-retries", defaults.client.max_retries),
+            io_timeout: std::time::Duration::from_millis(flags.num(
+                "hop-timeout-ms",
+                defaults.client.io_timeout.as_millis() as u64,
+            )),
+            ..defaults.client
+        },
+        ..defaults
+    };
+    let topology = galign_router::Topology::discover(&groups, &cfg.client)?;
+    let num_shards = topology.shards.len();
+    let targets = topology.parent_targets;
+    let router = galign_router::Router::bind(&addr, topology, cfg)?;
+    println!(
+        "routing on http://{} ({num_shards} shards over {targets} target nodes); \
+         POST /v1/align/topk, GET /healthz, GET /metrics, GET /v1/debug/requests",
+        router.local_addr(),
+    );
+    router.run()
 }
 
 /// `galign info`: prints basic statistics of a graph file.

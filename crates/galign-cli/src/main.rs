@@ -36,6 +36,8 @@ fn main() {
         "export-artifact" => commands::export_artifact(&flags),
         "build-index" => commands::build_index(&flags),
         "serve" => commands::serve(&flags),
+        "shard-export" => commands::shard_export(&flags),
+        "route" => commands::route(&flags),
         other => usage(&format!("unknown command '{other}'")),
     };
     galign_telemetry::shutdown();
@@ -89,7 +91,20 @@ fn usage(msg: &str) -> ! {
          \x20          [--cache-capacity N] [--default-k K] [--max-k K] [--mode exact|ann|auto]\n\
          \x20          [--ann-threshold N] [--request-timeout-ms MS] [--deadline-ms MS]\n\
          \x20          [--queue-depth N] [--retry-after-secs S] [--access-log PATH]\n\
-         \x20          [--flight-recorder-size N] [--flight-dump PATH]\n\n\
+         \x20          [--flight-recorder-size N] [--flight-dump PATH]\n\
+         \x20          [--generation-pointer PATH] [--generation-poll-ms MS]\n\
+         \x20 shard-export --artifact artifact.bin --shards N [--out-dir DIR]\n\
+         \x20          [--replicas \"h:p,h:p;h:p\"]   (';' separates shards, ',' replicas)\n\
+         \x20 route    --shards \"h:p,h:p;h:p\" [--addr HOST:PORT] [--workers N]\n\
+         \x20          [--default-k K] [--max-k K] [--queue-depth N] [--retry-after-secs S]\n\
+         \x20          [--request-timeout-ms MS] [--hop-retries N] [--hop-timeout-ms MS]\n\n\
+         sharded serving:\n\
+         \x20 shard-export splits an artifact into contiguous target-id ranges (one manifest-\n\
+         \x20 carrying artifact per shard); serve each shard (replicate freely), then route\n\
+         \x20 fans top-k out to one healthy replica per shard and merges bit-identically to a\n\
+         \x20 single full-artifact node. A shard with no healthy replica degrades loudly:\n\
+         \x20 'partial': true in answers, degraded on /healthz. serve --generation-pointer\n\
+         \x20 watches a file naming the current artifact and hot-swaps without dropping requests.\n\n\
          robustness:\n\
          \x20 training runs under a divergence watchdog (checkpoint/rollback + LR backoff);\n\
          \x20 --no-watchdog opts out. serve sheds load past --queue-depth with 503 + Retry-After\n\

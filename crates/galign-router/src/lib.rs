@@ -1,0 +1,55 @@
+//! # galign-router: sharded scatter-gather serving tier
+//!
+//! Routes top-k alignment queries across a fleet of `galign-serve`
+//! shard nodes and merges the per-shard answers so the routed response
+//! is **bit-identical** to what a single node holding the full
+//! embedding matrix would return.
+//!
+//! ```text
+//!                         ┌──────────────┐
+//!        client ───────▶  │ galign-route │  one trace id spans it all
+//!                         └──────┬───────┘
+//!               scatter ┌────────┼────────┐ gather
+//!                       ▼        ▼        ▼
+//!                   shard 0   shard 1   shard 2     (id ranges tile
+//!                   [0,400)  [400,800) [800,1200)    the target set)
+//!                   r0  r1    r0  r1    r0  r1      (replicas per shard)
+//! ```
+//!
+//! ## Why this is exact
+//!
+//! Alignment scores are per-(source, target) pairs: slicing the target
+//! matrix into row ranges changes no score bits. Every shard runs the
+//! same `select_topk` tie contract (score descending, ties by ascending
+//! id) over its local rows; the router re-runs that contract over the
+//! union of shard candidates with global ids restored. Since the true
+//! global top-k of each node is contained in the union of per-shard
+//! top-ks, and ascending-global-id candidate order makes the tie rule
+//! coincide shard-side and router-side, the merge reproduces the
+//! single-node answer byte for byte ([`scatter`] has the full
+//! argument).
+//!
+//! ## Module map
+//!
+//! | module       | role                                              |
+//! |--------------|---------------------------------------------------|
+//! | [`topology`] | shard/replica discovery from `/healthz` manifests |
+//! | [`scatter`]  | fan-out, failover, exact merge, rendering         |
+//! | [`server`]   | the router's own HTTP front                       |
+//!
+//! ## Degradation contract
+//!
+//! A shard with no reachable replica never produces a silently wrong
+//! answer: the routed response stays `200` but carries
+//! `"partial": true`, and the router's `/healthz` flips to `degraded`
+//! until a replica recovers. Replica health is advisory — unhealthy
+//! replicas are ordered last, not excluded, so the fleet heals without
+//! an operator.
+
+pub mod scatter;
+pub mod server;
+pub mod topology;
+
+pub use scatter::{parse_routed_query, scatter_gather, RoutedQuery, RoutedReply};
+pub use server::{Router, RouterConfig, RouterHandle};
+pub use topology::{parse_replica_spec, Replica, Shard, ShardIdentity, Topology};

@@ -1,0 +1,415 @@
+//! Shard topology: which replicas serve which contiguous slice of the
+//! target network, discovered and validated by probing each replica's
+//! `/healthz`.
+//!
+//! The topology is *configuration-light*: the operator only lists replica
+//! addresses grouped by shard. Everything else — each shard's id range,
+//! the parent artifact's checksum, the query-side shape — comes from the
+//! shard nodes themselves, and discovery refuses to build a topology
+//! whose shards disagree (mixed parents) or whose ranges do not tile the
+//! parent's target ids exactly. A router can therefore never be
+//! mis-wired into silently answering from half a network.
+//!
+//! Replica health lives here too, as advisory `AtomicBool`s shared by
+//! every router worker: scatter marks a replica unhealthy when it fails
+//! and healthy when it answers, and replica selection merely *orders*
+//! candidates by health — an unhealthy replica is still tried as a last
+//! resort, which is how a recovered node heals without a control plane.
+
+use galign_serve::client::{Client, ClientConfig};
+use galign_serve::json;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Identity of one shard: its slice of the parent's target ids plus the
+/// parent fingerprint, as advertised on `/healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// Position in the split (`0..num_shards`).
+    pub shard_id: usize,
+    /// Total shards in the split.
+    pub num_shards: usize,
+    /// First parent target id served (inclusive).
+    pub start: usize,
+    /// One past the last parent target id served.
+    pub end: usize,
+    /// Target rows of the parent artifact.
+    pub parent_targets: usize,
+    /// Parent fingerprint as 16 lowercase hex digits (empty for an
+    /// unsharded node standing in as the single "shard").
+    pub parent_checksum: String,
+}
+
+/// One replica address plus its advisory health flag.
+#[derive(Debug)]
+pub struct Replica {
+    /// Address as configured (e.g. `"127.0.0.1:7001"`).
+    pub addr: String,
+    healthy: AtomicBool,
+}
+
+impl Replica {
+    fn new(addr: String) -> Replica {
+        Replica {
+            addr,
+            healthy: AtomicBool::new(true),
+        }
+    }
+
+    /// Last-known health (advisory: selection order, not eligibility).
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Records the outcome of the most recent attempt against this
+    /// replica.
+    pub fn set_healthy(&self, healthy: bool) {
+        self.healthy.store(healthy, Ordering::Relaxed);
+    }
+}
+
+/// One shard: its identity and its replica set.
+#[derive(Debug)]
+pub struct Shard {
+    /// The id-range identity every replica of this shard agreed on.
+    pub identity: ShardIdentity,
+    /// Replicas serving this shard.
+    pub replicas: Vec<Replica>,
+}
+
+impl Shard {
+    /// Number of replicas currently marked healthy.
+    pub fn healthy_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| r.is_healthy()).count()
+    }
+}
+
+/// A validated shard topology: shards ordered by `shard_id`, tiling
+/// `0..parent_targets` contiguously, all from the same parent artifact.
+#[derive(Debug)]
+pub struct Topology {
+    /// Shards in `shard_id` order.
+    pub shards: Vec<Shard>,
+    /// Target rows of the parent artifact (= sum of shard ranges).
+    pub parent_targets: usize,
+    /// Source (query) nodes every shard serves.
+    pub source_nodes: usize,
+    /// Embedding layers per node.
+    pub layers: usize,
+}
+
+/// What one `/healthz` probe told us about a replica.
+struct Probe {
+    identity: Option<ShardIdentity>,
+    source_nodes: usize,
+    target_nodes: usize,
+    layers: usize,
+}
+
+fn probe_replica(addr: &str, cfg: &ClientConfig) -> io::Result<Probe> {
+    let client = Client::with_config(addr, cfg.clone())?;
+    let resp = client.get("/healthz")?;
+    if resp.status != 200 {
+        return Err(io::Error::other(format!(
+            "{addr}: /healthz returned {}",
+            resp.status
+        )));
+    }
+    let body = resp.body_str();
+    let doc = json::parse(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{addr}: {e}")))?;
+    let usize_field = |name: &str| {
+        doc.get(name).and_then(|v| v.as_usize()).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{addr}: /healthz lacks \"{name}\""),
+            )
+        })
+    };
+    let (source_nodes, target_nodes, layers) = (
+        usize_field("source_nodes")?,
+        usize_field("target_nodes")?,
+        usize_field("layers")?,
+    );
+    let identity = match doc.get("shard") {
+        None => None,
+        Some(shard) => {
+            let field = |name: &str| {
+                shard.get(name).and_then(|v| v.as_usize()).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{addr}: shard block lacks \"{name}\""),
+                    )
+                })
+            };
+            Some(ShardIdentity {
+                shard_id: field("shard_id")?,
+                num_shards: field("num_shards")?,
+                start: field("start")?,
+                end: field("end")?,
+                parent_targets: field("parent_targets")?,
+                parent_checksum: shard
+                    .get("parent_checksum")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+            })
+        }
+    };
+    Ok(Probe {
+        identity,
+        source_nodes,
+        target_nodes,
+        layers,
+    })
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Topology {
+    /// Discovers and validates the topology behind `groups`: one replica
+    /// address list per shard. Every *reachable* replica is probed and
+    /// must agree with its group; replicas that cannot be reached now are
+    /// kept (marked unhealthy) so they can heal later, but each group
+    /// needs at least one reachable member to establish its identity.
+    ///
+    /// A single group of unsharded (plain-artifact) nodes is accepted as
+    /// a one-shard topology covering the whole target network.
+    ///
+    /// # Errors
+    /// Unreachable groups, disagreeing replicas, mixed parents, and
+    /// ranges that do not tile `0..parent_targets` exactly.
+    pub fn discover(groups: &[Vec<String>], cfg: &ClientConfig) -> io::Result<Topology> {
+        if groups.is_empty() || groups.iter().any(Vec::is_empty) {
+            return Err(invalid(
+                "topology needs at least one shard, each with at least one replica".to_string(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(groups.len());
+        let mut shape: Option<(usize, usize)> = None; // (source_nodes, layers)
+        for (group_idx, group) in groups.iter().enumerate() {
+            let mut established: Option<ShardIdentity> = None;
+            let mut replicas = Vec::with_capacity(group.len());
+            for addr in group {
+                let replica = Replica::new(addr.clone());
+                match probe_replica(addr, cfg) {
+                    Ok(probe) => {
+                        let identity = probe.identity.unwrap_or_else(|| ShardIdentity {
+                            shard_id: 0,
+                            num_shards: 1,
+                            start: 0,
+                            end: probe.target_nodes,
+                            parent_targets: probe.target_nodes,
+                            parent_checksum: String::new(),
+                        });
+                        match &established {
+                            None => established = Some(identity),
+                            Some(first) if *first == identity => {}
+                            Some(first) => {
+                                return Err(invalid(format!(
+                                    "shard group {group_idx}: {addr} serves {identity:?} but \
+                                     {} serves {first:?}",
+                                    group[0]
+                                )));
+                            }
+                        }
+                        match shape {
+                            None => shape = Some((probe.source_nodes, probe.layers)),
+                            Some(s) if s == (probe.source_nodes, probe.layers) => {}
+                            Some(s) => {
+                                return Err(invalid(format!(
+                                    "{addr}: shape {:?} differs from {s:?}",
+                                    (probe.source_nodes, probe.layers)
+                                )));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        galign_telemetry::info!(
+                            "router",
+                            "replica {addr} unreachable at discovery ({e}); keeping it unhealthy"
+                        );
+                        replica.set_healthy(false);
+                    }
+                }
+                replicas.push(replica);
+            }
+            let identity = established.ok_or_else(|| {
+                io::Error::other(format!(
+                    "shard group {group_idx}: no reachable replica to establish identity"
+                ))
+            })?;
+            shards.push(Shard { identity, replicas });
+        }
+        let (source_nodes, layers) = shape.expect("at least one probe succeeded");
+        shards.sort_by_key(|s| s.identity.shard_id);
+        Topology::validate(&shards)?;
+        let parent_targets = shards[0].identity.parent_targets;
+        Ok(Topology {
+            shards,
+            parent_targets,
+            source_nodes,
+            layers,
+        })
+    }
+
+    /// The structural invariants: one group per shard id, one parent,
+    /// contiguous full coverage.
+    fn validate(shards: &[Shard]) -> io::Result<()> {
+        let first = &shards[0].identity;
+        let mut expected_start = 0usize;
+        for (i, shard) in shards.iter().enumerate() {
+            let id = &shard.identity;
+            if id.num_shards != shards.len() {
+                return Err(invalid(format!(
+                    "shard {}: artifact was split into {} shards but {} groups are configured",
+                    id.shard_id,
+                    id.num_shards,
+                    shards.len()
+                )));
+            }
+            if id.shard_id != i {
+                return Err(invalid(format!(
+                    "shard ids are not exactly 0..{} (got duplicate or missing id {})",
+                    shards.len(),
+                    id.shard_id
+                )));
+            }
+            if (id.parent_targets, id.parent_checksum.as_str())
+                != (first.parent_targets, first.parent_checksum.as_str())
+            {
+                return Err(invalid(format!(
+                    "shard {} comes from a different parent artifact than shard 0",
+                    id.shard_id
+                )));
+            }
+            if id.start != expected_start {
+                return Err(invalid(format!(
+                    "shard {} starts at {} but coverage reached {expected_start}: \
+                     ranges must tile the parent contiguously",
+                    id.shard_id, id.start
+                )));
+            }
+            if id.end < id.start {
+                return Err(invalid(format!("shard {}: inverted range", id.shard_id)));
+            }
+            expected_start = id.end;
+        }
+        if expected_start != first.parent_targets {
+            return Err(invalid(format!(
+                "shards cover targets 0..{expected_start} but the parent has {}",
+                first.parent_targets
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether every shard has at least one healthy replica.
+    pub fn fully_healthy(&self) -> bool {
+        self.shards.iter().all(|s| s.healthy_replicas() > 0)
+    }
+}
+
+/// Parses a replica-set spec: shards separated by `;`, replicas within a
+/// shard by `,` — e.g. `"127.0.0.1:7001,127.0.0.1:7002;127.0.0.1:7003"`.
+///
+/// # Errors
+/// Empty shards or replicas.
+pub fn parse_replica_spec(spec: &str) -> io::Result<Vec<Vec<String>>> {
+    let groups: Vec<Vec<String>> = spec
+        .split(';')
+        .map(|group| {
+            group
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .collect();
+    if groups.is_empty() || groups.iter().any(Vec::is_empty) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("bad replica spec {spec:?}: want \"addr,addr;addr,addr\""),
+        ));
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(id: usize, n: usize, start: usize, end: usize, parent: usize) -> Shard {
+        Shard {
+            identity: ShardIdentity {
+                shard_id: id,
+                num_shards: n,
+                start,
+                end,
+                parent_targets: parent,
+                parent_checksum: "00000000deadbeef".to_string(),
+            },
+            replicas: vec![Replica::new("127.0.0.1:1".to_string())],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_contiguous_tiling() {
+        let shards = vec![
+            shard(0, 3, 0, 4, 9),
+            shard(1, 3, 4, 7, 9),
+            shard(2, 3, 7, 9, 9),
+        ];
+        Topology::validate(&shards).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_gaps_overlaps_and_mixed_parents() {
+        // Gap between 4 and 5.
+        let gap = vec![shard(0, 2, 0, 4, 9), shard(1, 2, 5, 9, 9)];
+        assert!(Topology::validate(&gap).is_err());
+        // Overlap.
+        let overlap = vec![shard(0, 2, 0, 5, 9), shard(1, 2, 4, 9, 9)];
+        assert!(Topology::validate(&overlap).is_err());
+        // Incomplete coverage.
+        let short = vec![shard(0, 2, 0, 4, 9), shard(1, 2, 4, 8, 9)];
+        assert!(Topology::validate(&short).is_err());
+        // Wrong group count vs num_shards.
+        let count = vec![shard(0, 3, 0, 4, 9), shard(1, 3, 4, 9, 9)];
+        assert!(Topology::validate(&count).is_err());
+        // Mixed parents.
+        let mut mixed = vec![shard(0, 2, 0, 4, 9), shard(1, 2, 4, 9, 9)];
+        mixed[1].identity.parent_checksum = "ffffffffffffffff".to_string();
+        assert!(Topology::validate(&mixed).is_err());
+        // Duplicate shard ids.
+        let dup = vec![shard(0, 2, 0, 4, 9), shard(0, 2, 4, 9, 9)];
+        assert!(Topology::validate(&dup).is_err());
+    }
+
+    #[test]
+    fn replica_spec_parses_groups() {
+        let groups = parse_replica_spec("a:1,b:2;c:3").unwrap();
+        assert_eq!(
+            groups,
+            vec![
+                vec!["a:1".to_string(), "b:2".to_string()],
+                vec!["c:3".to_string()]
+            ]
+        );
+        assert!(parse_replica_spec("").is_err());
+        assert!(parse_replica_spec("a:1;;b:2").is_err());
+    }
+
+    #[test]
+    fn health_flags_order_but_never_exclude() {
+        let s = shard(0, 1, 0, 9, 9);
+        assert_eq!(s.healthy_replicas(), 1);
+        s.replicas[0].set_healthy(false);
+        assert_eq!(s.healthy_replicas(), 0);
+        s.replicas[0].set_healthy(true);
+        assert!(s.replicas[0].is_healthy());
+    }
+}

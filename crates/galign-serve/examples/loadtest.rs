@@ -21,6 +21,12 @@
 //! doubles as an end-to-end check of trace propagation. `--untraced`
 //! omits the header entirely, for A/B measurements of the propagation
 //! overhead against the same server.
+//!
+//! Works unchanged against a `galign route` scatter-gather router (its
+//! `/healthz` reports the same `source_nodes`). `--router` asserts the
+//! probed endpoint really is a router (role check) so A/B runs cannot
+//! silently hit the wrong tier; `--targets N` overrides the discovered
+//! node-id range when the query mix should not come from `/healthz`.
 
 use galign_serve::client::{Client, ClientConfig};
 use galign_serve::json::{self, Json};
@@ -37,6 +43,8 @@ struct Args {
     seed: u64,
     max_retries: u32,
     untraced: bool,
+    router: bool,
+    targets: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +57,8 @@ fn parse_args() -> Args {
         seed: 1,
         max_retries: 5,
         untraced: false,
+        router: false,
+        targets: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,11 +79,13 @@ fn parse_args() -> Args {
                 args.max_retries = take("max-retries").parse().expect("--max-retries");
             }
             "--untraced" => args.untraced = true,
+            "--router" => args.router = true,
+            "--targets" => args.targets = Some(take("targets").parse().expect("--targets")),
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: loadtest [--addr HOST:PORT] [--requests N] \
                      [--concurrency C] [--k K] [--batch B] [--seed S] [--max-retries R] \
-                     [--untraced]"
+                     [--untraced] [--router] [--targets N]"
                 );
                 std::process::exit(2);
             }
@@ -125,21 +137,41 @@ fn main() {
         health.status,
         health.body_str()
     );
-    let nodes = json::parse(&health.body_str())
-        .ok()
-        .and_then(|h| h.get("source_nodes").and_then(Json::as_usize))
-        .unwrap_or_else(|| {
-            eprintln!(
-                "loadtest: healthz did not report source_nodes: {}",
-                health.body_str()
-            );
-            std::process::exit(1);
-        });
+    let doc = json::parse(&health.body_str()).ok();
+    let role = doc
+        .as_ref()
+        .and_then(|h| h.get("role").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| "serve".to_string());
+    if args.router && role != "router" {
+        eprintln!(
+            "loadtest: --router given but {} reports role '{role}'",
+            args.addr
+        );
+        std::process::exit(1);
+    }
+    let shards = doc
+        .as_ref()
+        .and_then(|h| h.get("num_shards").and_then(Json::as_usize));
+    // --targets overrides the discovered node-id range (queries draw
+    // source ids below it), e.g. to replay a single-node id mix against
+    // a router fronting a differently sized fixture.
+    let nodes = args.targets.or_else(|| {
+        doc.as_ref()
+            .and_then(|h| h.get("source_nodes").and_then(Json::as_usize))
+    });
+    let nodes = nodes.unwrap_or_else(|| {
+        eprintln!(
+            "loadtest: healthz did not report source_nodes (pass --targets N): {}",
+            health.body_str()
+        );
+        std::process::exit(1);
+    });
     println!(
-        "loadtest: {} requests x {} clients against {} ({} source nodes, k={}, batch={}{})",
+        "loadtest: {} requests x {} clients against {} ({role}{}, {} source nodes, k={}, batch={}{})",
         args.requests,
         args.concurrency,
         args.addr,
+        shards.map_or(String::new(), |s| format!(", {s} shards")),
         nodes,
         args.k,
         args.batch,

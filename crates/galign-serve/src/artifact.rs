@@ -12,24 +12,35 @@
 //!
 //! ```text
 //! magic            8 B   b"GALNART1"
-//! format version   4 B   u32, 1 or 2
+//! format version   4 B   u32, 1, 2 or 3
 //! flags            4 B   u32, bit 0 = rows already L2-normalized
 //! layer count      4 B   u32, layers per side (k+1, incl. attribute layer)
 //! reserved         4 B   u32, zero
 //! theta section    8·L B f64 layer weights, then 8 B FNV-1a of the bytes
 //! source blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
 //! target blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
-//! index section    v2 only: [len u64, len bytes, FNV-1a u64]
+//! index section    v2+:  [len u64, len bytes, FNV-1a u64]
+//! shard manifest   v3:   [shard_id u32, num_shards u32, start u64,
+//!                         end u64, parent_targets u64, parent_checksum
+//!                         u64, replica count u32, replicas (len u32 +
+//!                         utf8 bytes each), FNV-1a u64 of the section]
 //! file checksum    8 B   FNV-1a of every preceding byte
 //! ```
 //!
 //! Version 2 appends an optional serialized ANN index (an opaque
 //! `galign-index` blob — structure only, the vectors live in the target
 //! blocks above) so `serve` can start in ANN mode without rebuilding the
-//! graph. Writers emit version 1 bytes whenever no index is embedded, so
-//! index-less artifacts remain readable by version-1 readers; version-1
-//! readers reject version-2 artifacts with a clear "newer than this build"
-//! error rather than silently dropping the index.
+//! graph. Version 3 appends a [`ShardManifest`]: the file is one shard of
+//! a row-partitioned parent artifact, carrying the contiguous global
+//! target-id range `[start, end)`, the replica set that serves it, and
+//! `parent_checksum` — the FNV-1a of the *parent's* concatenated target
+//! layers ([`Artifact::target_checksum`]) — so an assembled shard set can
+//! prove it reconstitutes the exact parent it was split from. Writers
+//! always emit the lowest version that can represent the artifact (1 with
+//! neither section, 2 with an index only, 3 with a manifest), so plain
+//! artifacts remain readable by old readers; old readers reject newer
+//! files with a clear "newer than this build" error rather than silently
+//! dropping a section.
 //!
 //! Loads validate magic, version (future versions are rejected, never
 //! silently reinterpreted), shape consistency between the two sides, every
@@ -43,23 +54,35 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"GALNART1";
 
 /// Current on-disk format version. Readers reject anything newer. Writers
-/// emit version 1 when no ANN index is embedded (see [`Artifact::index`]),
-/// version 2 otherwise.
-pub const FORMAT_VERSION: u32 = 2;
+/// emit the lowest version that represents the artifact: 1 with neither
+/// optional section, 2 with an ANN index (see [`Artifact::index`]), 3 with
+/// a shard manifest (see [`Artifact::manifest`]).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Flag bit: matrix rows are already L2-normalized (cosine-ready).
 pub const FLAG_ROWS_NORMALIZED: u32 = 1;
 
-/// FNV-1a 64-bit hash — the format's checksum primitive (fast, std-only,
-/// good avalanche for corruption detection; not cryptographic).
+/// FNV-1a 64-bit offset basis (the running-hash seed for
+/// [`fnv1a_extend`]).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a 64-bit hash, so checksums can be
+/// streamed across several buffers without concatenating them
+/// (`fnv1a(b) == fnv1a_extend(FNV_OFFSET, b)`).
 #[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// FNV-1a 64-bit hash — the format's checksum primitive (fast, std-only,
+/// good avalanche for corruption detection; not cryptographic).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -162,6 +185,25 @@ impl Mat {
         self.data
     }
 
+    /// A new matrix holding rows `[start, end)` of this one, bit-for-bit
+    /// (used by shard splitting — no renormalization, no reordering).
+    ///
+    /// # Errors
+    /// When the range is inverted or runs past the row count.
+    pub fn slice_rows(&self, start: usize, end: usize) -> io::Result<Mat> {
+        if start > end || end > self.rows {
+            return Err(invalid(format!(
+                "row slice {start}..{end} out of bounds for {} rows",
+                self.rows
+            )));
+        }
+        Ok(Mat {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        })
+    }
+
     /// Divides every row by its L2 norm (zero rows are left untouched).
     pub fn normalize_rows(&mut self) {
         for i in 0..self.rows {
@@ -173,6 +215,117 @@ impl Mat {
                 }
             }
         }
+    }
+}
+
+/// Placement metadata of one shard artifact: which contiguous slice of
+/// the parent's target rows this file carries, how many siblings exist,
+/// and the checksum tying the set back to the parent it was split from.
+///
+/// A shard artifact is a *standard* artifact on the data path — full
+/// source side, full θ, target rows `[start, end)` — so an unmodified
+/// `galign-serve` node serves it directly; only the router interprets the
+/// manifest (translating shard-local target ids to global ones by adding
+/// `start`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// This shard's position in the split, `0..num_shards`.
+    pub shard_id: u32,
+    /// Total shards the parent was split into.
+    pub num_shards: u32,
+    /// First global target id held by this shard (inclusive).
+    pub start: u64,
+    /// One past the last global target id held (exclusive); the shard's
+    /// target matrices have `end - start` rows.
+    pub end: u64,
+    /// Target-node count of the parent artifact (`end` of the last shard).
+    pub parent_targets: u64,
+    /// [`Artifact::target_checksum`] of the parent — FNV-1a over the
+    /// parent's concatenated target-layer bytes in layer order, so an
+    /// assembled shard set can prove bit-exact reconstruction without the
+    /// parent file.
+    pub parent_checksum: u64,
+    /// Advisory replica endpoints (`host:port`) that serve this shard;
+    /// the router may override them with a live topology probe.
+    pub replicas: Vec<String>,
+}
+
+impl ShardManifest {
+    /// Serializes the manifest section body (checksum appended by the
+    /// artifact writer).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.shard_id.to_le_bytes());
+        out.extend_from_slice(&self.num_shards.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.end.to_le_bytes());
+        out.extend_from_slice(&self.parent_targets.to_le_bytes());
+        out.extend_from_slice(&self.parent_checksum.to_le_bytes());
+        out.extend_from_slice(&(self.replicas.len() as u32).to_le_bytes());
+        for r in &self.replicas {
+            out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+            out.extend_from_slice(r.as_bytes());
+        }
+        out
+    }
+
+    /// Internal-consistency checks plus agreement with the shard's own
+    /// target row count.
+    ///
+    /// # Errors
+    /// `InvalidData` when the id range is inverted, runs past
+    /// `parent_targets`, disagrees with `target_rows`, or `shard_id` is
+    /// not below `num_shards`.
+    pub fn validate(&self, target_rows: usize) -> io::Result<()> {
+        if self.num_shards == 0 || self.shard_id >= self.num_shards {
+            return Err(invalid(format!(
+                "shard id {} not below shard count {}",
+                self.shard_id, self.num_shards
+            )));
+        }
+        if self.start > self.end || self.end > self.parent_targets {
+            return Err(invalid(format!(
+                "shard range {}..{} invalid for parent of {} targets",
+                self.start, self.end, self.parent_targets
+            )));
+        }
+        if self.end - self.start != target_rows as u64 {
+            return Err(invalid(format!(
+                "shard range {}..{} disagrees with {target_rows} target rows",
+                self.start, self.end
+            )));
+        }
+        Ok(())
+    }
+
+    fn parse(r: &mut Reader<'_>) -> io::Result<ShardManifest> {
+        let shard_id = r.u32()?;
+        let num_shards = r.u32()?;
+        let start = r.u64()?;
+        let end = r.u64()?;
+        let parent_targets = r.u64()?;
+        let parent_checksum = r.u64()?;
+        let count = r.u32()? as usize;
+        let mut replicas = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            replicas.push(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| invalid("shard replica address is not UTF-8"))?
+                    .to_string(),
+            );
+        }
+        Ok(ShardManifest {
+            shard_id,
+            num_shards,
+            start,
+            end,
+            parent_targets,
+            parent_checksum,
+            replicas,
+        })
     }
 }
 
@@ -193,6 +346,10 @@ pub struct Artifact {
     /// over the concatenated target layers). `Some` forces format
     /// version 2 on write; `None` keeps version 1 for old readers.
     pub index: Option<Vec<u8>>,
+    /// Optional shard-placement metadata: `Some` marks this artifact as
+    /// one row-partition of a parent (forcing format version 3 on write);
+    /// `None` is a whole artifact.
+    pub manifest: Option<ShardManifest>,
 }
 
 impl Artifact {
@@ -239,6 +396,7 @@ impl Artifact {
             target,
             rows_normalized,
             index: None,
+            manifest: None,
         })
     }
 
@@ -248,6 +406,18 @@ impl Artifact {
     pub fn with_index(mut self, index: Vec<u8>) -> Self {
         self.index = Some(index);
         self
+    }
+
+    /// Returns the artifact with a shard manifest attached (written as
+    /// format version 3; see [`Artifact::manifest`]).
+    ///
+    /// # Errors
+    /// When the manifest disagrees with this artifact's target row count
+    /// or is internally inconsistent ([`ShardManifest::validate`]).
+    pub fn with_manifest(mut self, manifest: ShardManifest) -> io::Result<Self> {
+        manifest.validate(self.target_nodes())?;
+        self.manifest = Some(manifest);
+        Ok(self)
     }
 
     /// Number of embedding layers per side (k+1).
@@ -268,12 +438,210 @@ impl Artifact {
         self.target[0].rows()
     }
 
-    /// Serializes to the binary format described in the module docs:
-    /// version 1 bytes when no index is embedded (so old readers keep
-    /// working), version 2 otherwise.
+    /// FNV-1a over the concatenated little-endian bytes of every target
+    /// layer, in layer order — the identity a [`ShardManifest`] records as
+    /// `parent_checksum`. It covers exactly the data a split partitions
+    /// (target rows), so it is reconstructible from an assembled shard set
+    /// regardless of flags, θ, or per-shard ANN indexes.
+    #[must_use]
+    pub fn target_checksum(&self) -> u64 {
+        let mut hash = FNV_OFFSET;
+        for layer in &self.target {
+            hash = fnv1a_extend(hash, &layer.to_le_bytes());
+        }
+        hash
+    }
+
+    /// Splits the target side into `num_shards` contiguous row ranges,
+    /// producing one shard artifact per range: full source side and θ
+    /// (every shard can score every query node), target rows
+    /// `[start, end)`, and a [`ShardManifest`] tying the shard back to
+    /// this parent. Row counts differ by at most one (the first
+    /// `targets % num_shards` shards get the extra row). `replica_sets`,
+    /// when given, must have one entry per shard and is recorded as the
+    /// advisory replica list. Embedded ANN indexes are **not** inherited —
+    /// a shard needs an index over its own rows (build one per shard with
+    /// `TopkIndex::build_ann` after loading).
+    ///
+    /// # Errors
+    /// When `num_shards` is zero, exceeds the target-node count, or
+    /// `replica_sets` has the wrong length.
+    pub fn split(
+        &self,
+        num_shards: usize,
+        replica_sets: Option<&[Vec<String>]>,
+    ) -> io::Result<Vec<Artifact>> {
+        let targets = self.target_nodes();
+        if num_shards == 0 || num_shards > targets {
+            return Err(invalid(format!(
+                "cannot split {targets} target rows into {num_shards} shards"
+            )));
+        }
+        if let Some(sets) = replica_sets {
+            if sets.len() != num_shards {
+                return Err(invalid(format!(
+                    "{} replica sets for {num_shards} shards",
+                    sets.len()
+                )));
+            }
+        }
+        let parent_checksum = self.target_checksum();
+        let base = targets / num_shards;
+        let extra = targets % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut start = 0usize;
+        for shard_id in 0..num_shards {
+            let rows = base + usize::from(shard_id < extra);
+            let end = start + rows;
+            let target: Vec<Mat> = self
+                .target
+                .iter()
+                .map(|m| m.slice_rows(start, end))
+                .collect::<io::Result<_>>()?;
+            let shard = Artifact::new(
+                self.theta.clone(),
+                self.source.clone(),
+                target,
+                self.rows_normalized,
+            )?
+            .with_manifest(ShardManifest {
+                shard_id: shard_id as u32,
+                num_shards: num_shards as u32,
+                start: start as u64,
+                end: end as u64,
+                parent_targets: targets as u64,
+                parent_checksum,
+                replicas: replica_sets.map_or_else(Vec::new, |s| s[shard_id].clone()),
+            })?;
+            shards.push(shard);
+            start = end;
+        }
+        Ok(shards)
+    }
+
+    /// Reassembles a complete artifact from a full shard set (any order)
+    /// and verifies it: the shards must form one consistent split
+    /// (matching `num_shards`, `parent_targets`, `parent_checksum`, θ,
+    /// flags and source side; contiguous ranges covering
+    /// `0..parent_targets` exactly) and the stitched target layers must
+    /// hash back to the recorded `parent_checksum` — a mismatch means the
+    /// set does not reconstruct the parent bit-for-bit and is rejected,
+    /// never returned silently wrong.
+    ///
+    /// # Errors
+    /// `InvalidData` naming the first inconsistency found.
+    pub fn assemble_shards(shards: &[Artifact]) -> io::Result<Artifact> {
+        let first = shards
+            .first()
+            .ok_or_else(|| invalid("cannot assemble zero shards"))?;
+        let head = first
+            .manifest
+            .as_ref()
+            .ok_or_else(|| invalid("artifact has no shard manifest"))?;
+        if shards.len() != head.num_shards as usize {
+            return Err(invalid(format!(
+                "{} shards supplied but the manifest says the split has {}",
+                shards.len(),
+                head.num_shards
+            )));
+        }
+        let mut ordered: Vec<&Artifact> = Vec::with_capacity(shards.len());
+        let mut by_id: Vec<Option<&Artifact>> = vec![None; shards.len()];
+        for shard in shards {
+            let m = shard
+                .manifest
+                .as_ref()
+                .ok_or_else(|| invalid("artifact has no shard manifest"))?;
+            m.validate(shard.target_nodes())?;
+            if m.num_shards != head.num_shards
+                || m.parent_targets != head.parent_targets
+                || m.parent_checksum != head.parent_checksum
+            {
+                return Err(invalid(format!(
+                    "shard {} belongs to a different split than shard {}",
+                    m.shard_id, head.shard_id
+                )));
+            }
+            if shard.theta != first.theta
+                || shard.rows_normalized != first.rows_normalized
+                || shard.source != first.source
+            {
+                return Err(invalid(format!(
+                    "shard {} disagrees with shard {} on theta/flags/source",
+                    m.shard_id, head.shard_id
+                )));
+            }
+            let slot = &mut by_id[m.shard_id as usize];
+            if slot.is_some() {
+                return Err(invalid(format!("duplicate shard id {}", m.shard_id)));
+            }
+            *slot = Some(shard);
+        }
+        let mut expect_start = 0u64;
+        for (id, slot) in by_id.iter().enumerate() {
+            let shard = slot.ok_or_else(|| invalid(format!("missing shard id {id}")))?;
+            let m = shard.manifest.as_ref().expect("checked above");
+            if m.start != expect_start {
+                return Err(invalid(format!(
+                    "shard {id} starts at {} but the previous shard ends at {expect_start} \
+                     (ranges must tile 0..{} contiguously)",
+                    m.start, head.parent_targets
+                )));
+            }
+            expect_start = m.end;
+            ordered.push(shard);
+        }
+        if expect_start != head.parent_targets {
+            return Err(invalid(format!(
+                "shard ranges cover 0..{expect_start} but the parent has {} targets",
+                head.parent_targets
+            )));
+        }
+        let layers = first.num_layers();
+        let mut target = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let cols = first.target[l].cols();
+            let mut data = Vec::new();
+            for shard in &ordered {
+                if shard.target[l].cols() != cols {
+                    return Err(invalid(format!(
+                        "shard target layer {l} dimension mismatch"
+                    )));
+                }
+                data.extend_from_slice(shard.target[l].as_slice());
+            }
+            target.push(Mat::new(head.parent_targets as usize, cols, data)?);
+        }
+        let assembled = Artifact::new(
+            first.theta.clone(),
+            first.source.clone(),
+            target,
+            first.rows_normalized,
+        )?;
+        if assembled.target_checksum() != head.parent_checksum {
+            return Err(invalid(format!(
+                "assembled shards hash to {:#018x} but the manifest records parent \
+                 checksum {:#018x} (corrupt or mismatched shard set)",
+                assembled.target_checksum(),
+                head.parent_checksum
+            )));
+        }
+        Ok(assembled)
+    }
+
+    /// Serializes to the binary format described in the module docs,
+    /// emitting the lowest version that represents the artifact: 1 with
+    /// neither optional section (so old readers keep working), 2 with an
+    /// ANN index, 3 with a shard manifest.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let version: u32 = if self.index.is_some() { 2 } else { 1 };
+        let version: u32 = if self.manifest.is_some() {
+            3
+        } else if self.index.is_some() {
+            2
+        } else {
+            1
+        };
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&version.to_le_bytes());
@@ -298,10 +666,18 @@ impl Artifact {
             out.extend_from_slice(&data);
             out.extend_from_slice(&fnv1a(&data).to_le_bytes());
         }
-        if let Some(index) = &self.index {
+        if version >= 2 {
+            // The index section is unconditional from v2 on; in v3 an
+            // index-less shard writes an empty section (length 0).
+            let index = self.index.as_deref().unwrap_or(&[]);
             out.extend_from_slice(&(index.len() as u64).to_le_bytes());
             out.extend_from_slice(index);
             out.extend_from_slice(&fnv1a(index).to_le_bytes());
+        }
+        if let Some(manifest) = &self.manifest {
+            let section = manifest.to_bytes();
+            out.extend_from_slice(&section);
+            out.extend_from_slice(&fnv1a(&section).to_le_bytes());
         }
         let file_sum = fnv1a(&out);
         out.extend_from_slice(&file_sum.to_le_bytes());
@@ -383,7 +759,26 @@ impl Artifact {
                     "index section checksum mismatch (corrupt artifact)",
                 ));
             }
-            Some(data)
+            // v3 writes the section unconditionally; empty means "no
+            // index". A v2 file only has the section when an index exists.
+            if version >= 3 && data.is_empty() {
+                None
+            } else {
+                Some(data)
+            }
+        } else {
+            None
+        };
+        let manifest = if version >= 3 {
+            let section_start = r.pos;
+            let manifest = ShardManifest::parse(&mut r)?;
+            let section_sum = fnv1a(&bytes[section_start..r.pos]);
+            if r.u64()? != section_sum {
+                return Err(invalid(
+                    "shard manifest checksum mismatch (corrupt artifact)",
+                ));
+            }
+            Some(manifest)
         } else {
             None
         };
@@ -399,7 +794,11 @@ impl Artifact {
         }
         let target = sides.split_off(layers);
         let mut artifact = Artifact::new(theta, sides, target, flags & FLAG_ROWS_NORMALIZED != 0)?;
+        if let Some(m) = &manifest {
+            m.validate(artifact.target_nodes())?;
+        }
         artifact.index = index;
+        artifact.manifest = manifest;
         Ok(artifact)
     }
 
@@ -781,5 +1180,166 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        // Streaming in pieces equals hashing the concatenation.
+        assert_eq!(fnv1a_extend(fnv1a(b"foo"), b"bar"), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn slice_rows_is_bit_exact_and_bounds_checked() {
+        let m = Mat::new(4, 2, (0..8).map(|v| v as f64 * 0.5 - 1.0).collect()).unwrap();
+        let s = m.slice_rows(1, 3).unwrap();
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), m.row(1));
+        assert_eq!(s.row(1), m.row(2));
+        assert_eq!(s.to_le_bytes(), m.to_le_bytes()[16..48].to_vec());
+        assert!(m.slice_rows(3, 2).is_err());
+        assert!(m.slice_rows(0, 5).is_err());
+        assert_eq!(m.slice_rows(2, 2).unwrap().rows(), 0);
+    }
+
+    #[test]
+    fn split_tiles_targets_and_preserves_bits() {
+        let a = random_artifact(30, false);
+        // 9 target rows into 4 shards: 3+2+2+2.
+        let shards = a.split(4, None).unwrap();
+        assert_eq!(shards.len(), 4);
+        let mut start = 0u64;
+        for (i, s) in shards.iter().enumerate() {
+            let m = s.manifest.as_ref().unwrap();
+            assert_eq!(m.shard_id, i as u32);
+            assert_eq!(m.num_shards, 4);
+            assert_eq!(m.start, start);
+            assert_eq!(m.parent_targets, 9);
+            assert_eq!(m.parent_checksum, a.target_checksum());
+            assert_eq!(s.target_nodes() as u64, m.end - m.start);
+            assert_eq!(s.target_nodes(), if i == 0 { 3 } else { 2 });
+            // Full source side and θ ride along bit-for-bit.
+            assert_eq!(s.source, a.source);
+            assert_eq!(s.theta, a.theta);
+            for (l, layer) in s.target.iter().enumerate() {
+                for r in 0..layer.rows() {
+                    assert_eq!(layer.row(r), a.target[l].row(m.start as usize + r));
+                }
+            }
+            start = m.end;
+        }
+        assert_eq!(start, 9);
+        assert!(a.split(0, None).is_err());
+        assert!(a.split(10, None).is_err());
+        assert!(a.split(2, Some(&[vec!["x:1".into()]])).is_err());
+    }
+
+    #[test]
+    fn assemble_roundtrips_and_rejects_corruption() {
+        let a = random_artifact(31, true);
+        let shards = a.split(3, None).unwrap();
+        // Any order reassembles to the exact parent.
+        let shuffled = vec![shards[2].clone(), shards[0].clone(), shards[1].clone()];
+        let back = Artifact::assemble_shards(&shuffled).unwrap();
+        assert_eq!(back, a);
+        // A missing shard is rejected.
+        assert!(Artifact::assemble_shards(&shards[..2]).is_err());
+        // A duplicated shard is rejected.
+        let dup = vec![shards[0].clone(), shards[0].clone(), shards[1].clone()];
+        assert!(Artifact::assemble_shards(&dup).is_err());
+        // A tampered parent checksum is rejected as corrupt.
+        let mut forged = shards.clone();
+        for s in &mut forged {
+            s.manifest.as_mut().unwrap().parent_checksum ^= 1;
+        }
+        let err = Artifact::assemble_shards(&forged).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Tampered target data (consistent manifests) is also caught.
+        let mut flipped = shards.clone();
+        let bytes = flipped[1].target[0].to_le_bytes();
+        let mut data: Vec<f64> = flipped[1].target[0].as_slice().to_vec();
+        data[0] += 1.0;
+        flipped[1].target[0] = Mat::new(
+            flipped[1].target[0].rows(),
+            flipped[1].target[0].cols(),
+            data,
+        )
+        .unwrap();
+        assert_ne!(bytes, flipped[1].target[0].to_le_bytes());
+        assert!(Artifact::assemble_shards(&flipped).is_err());
+    }
+
+    #[test]
+    fn shard_artifact_roundtrips_as_version_3() {
+        let a = random_artifact(32, false);
+        let shard = a
+            .split(2, Some(&[vec!["h1:1".into()], vec!["h2:2".into()]]))
+            .unwrap()[1]
+            .clone();
+        let bytes = shard.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 3);
+        let back = Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back, shard);
+        assert_eq!(back.manifest.as_ref().unwrap().replicas, vec!["h2:2"]);
+        // With an index embedded the file stays v3 and carries both
+        // sections.
+        let indexed = shard.clone().with_index(vec![5, 6, 7]);
+        let indexed_bytes = indexed.to_bytes();
+        assert_eq!(
+            u32::from_le_bytes(indexed_bytes[8..12].try_into().unwrap()),
+            3
+        );
+        let back = Artifact::from_bytes(&indexed_bytes).unwrap();
+        assert_eq!(back.index.as_deref(), Some(&[5u8, 6, 7][..]));
+        assert_eq!(back.manifest, shard.manifest);
+        // Old readers reject v3 files with the "newer" message.
+        for ceiling in [1, 2] {
+            let err = Artifact::from_bytes_with_max_version(&bytes, ceiling).unwrap_err();
+            assert!(err.to_string().contains("newer"), "{err}");
+        }
+        // Single-byte corruption anywhere in a v3 file is still detected.
+        for pos in (0..bytes.len()).step_by(89) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                Artifact::from_bytes(&bad).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_validation_rejects_inconsistencies() {
+        let a = random_artifact(33, false);
+        let good = ShardManifest {
+            shard_id: 0,
+            num_shards: 1,
+            start: 0,
+            end: 9,
+            parent_targets: 9,
+            parent_checksum: a.target_checksum(),
+            replicas: vec![],
+        };
+        assert!(a.clone().with_manifest(good.clone()).is_ok());
+        for bad in [
+            ShardManifest {
+                shard_id: 1,
+                ..good.clone()
+            },
+            ShardManifest {
+                num_shards: 0,
+                ..good.clone()
+            },
+            ShardManifest {
+                end: 8,
+                ..good.clone()
+            },
+            ShardManifest {
+                start: 5,
+                ..good.clone()
+            },
+            ShardManifest {
+                parent_targets: 8,
+                ..good.clone()
+            },
+        ] {
+            assert!(a.clone().with_manifest(bad).is_err());
+        }
     }
 }

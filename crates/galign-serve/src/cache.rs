@@ -32,6 +32,11 @@ pub struct QueryKey {
     /// which may serve exact results under an ANN key; those are at least
     /// as accurate, so sharing that direction is sound).
     pub ann_engine: bool,
+    /// Artifact generation the entry was computed against. Hot swaps
+    /// clear the cache *and* bump this: a request pinned to the old
+    /// generation that finishes after the clear re-inserts under its old
+    /// generation and can never poison post-swap lookups.
+    pub generation: u64,
 }
 
 impl QueryKey {
@@ -44,11 +49,25 @@ impl QueryKey {
     /// Builds a key carrying the engine-routing decision.
     #[must_use]
     pub fn with_engine(node: usize, k: usize, theta: Option<&[f64]>, ann_engine: bool) -> Self {
+        QueryKey::with_generation(node, k, theta, ann_engine, 0)
+    }
+
+    /// Builds a key carrying the engine decision and the artifact
+    /// generation it was computed against.
+    #[must_use]
+    pub fn with_generation(
+        node: usize,
+        k: usize,
+        theta: Option<&[f64]>,
+        ann_engine: bool,
+        generation: u64,
+    ) -> Self {
         QueryKey {
             node,
             k,
             theta_bits: theta.map(|t| t.iter().map(|v| v.to_bits()).collect()),
             ann_engine,
+            generation,
         }
     }
 }
@@ -85,6 +104,12 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             tail: NIL,
             capacity,
         }
+    }
+
+    /// The configured entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Current number of cached entries.
@@ -251,6 +276,17 @@ impl ShardedCache {
             .insert(key, value);
     }
 
+    /// Drops every cached entry (hit/miss counters survive). Used when
+    /// the artifact generation is hot-swapped: entries computed against
+    /// the old index must never answer queries against the new one.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("cache shard lock");
+            let capacity = guard.capacity();
+            *guard = LruCache::new(capacity);
+        }
+    }
+
     /// Total cached entries across shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -378,6 +414,22 @@ mod tests {
         assert_eq!(got[0].target, 3);
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sharded_clear_empties_every_shard_but_keeps_capacity() {
+        let cache = ShardedCache::new(8, 4);
+        for node in 0..8 {
+            cache.insert(key(node), Arc::new(vec![]));
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        // Still usable at the same capacity after clearing.
+        for node in 0..8 {
+            cache.insert(key(node), Arc::new(vec![]));
+        }
+        assert!(!cache.is_empty() && cache.len() <= 8);
     }
 
     #[test]

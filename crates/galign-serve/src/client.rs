@@ -21,6 +21,18 @@
 //! Responses with other statuses (including 4xx/5xx) are returned to the
 //! caller, not retried: a `400` will not become a `200` by asking again.
 //!
+//! ## Connection reuse
+//!
+//! By default ([`ClientConfig::keep_alive`]) the client sends
+//! `connection: keep-alive` and pools the socket after each completed
+//! response, so sequential requests to the same target reuse one TCP
+//! connection instead of paying a fresh handshake each time — the
+//! router's scatter fan-out sends one request per shard per query and
+//! rides this pool. A pooled socket the server has since closed (idle
+//! timeout, restart) fails fast on reuse and is transparently replaced
+//! with one fresh connection *without* consuming a retry attempt.
+//! [`Client::pool_stats`] reports connects vs reuses.
+//!
 //! Every logical request carries one trace id in the
 //! [`crate::server::TRACE_HEADER`] header — reused from the calling
 //! thread's installed [`galign_telemetry::TraceContext`] when there is
@@ -57,6 +69,10 @@ pub struct ClientConfig {
     /// measurements of the propagation machinery (see the loadtest's
     /// `--untraced` flag).
     pub trace_header: bool,
+    /// Whether to request `connection: keep-alive` and pool the socket
+    /// between sequential requests (on by default). Off restores the
+    /// historical one-connection-per-request behavior.
+    pub keep_alive: bool,
 }
 
 impl Default for ClientConfig {
@@ -69,8 +85,22 @@ impl Default for ClientConfig {
             io_timeout: Duration::from_secs(10),
             jitter_seed: 1,
             trace_header: true,
+            keep_alive: true,
         }
     }
+}
+
+/// Idle sockets kept per client. One is enough for a strictly sequential
+/// caller; a small headroom absorbs recycle/pop races cheaply.
+const POOL_LIMIT: usize = 4;
+
+/// Connection-pool counters of one client (see [`Client::pool_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh TCP connections established.
+    pub connects: u64,
+    /// Requests served over a pooled (reused) socket.
+    pub reuses: u64,
 }
 
 /// Ceiling honored for a server `Retry-After` hint, in seconds. A shed
@@ -143,6 +173,12 @@ pub struct Client {
     /// by the next backoff computation. Always finite, non-negative and
     /// clamped — [`Response::retry_after_secs`] filters hostile values.
     retry_after: std::cell::Cell<Option<f64>>,
+    /// Idle keep-alive sockets ready for reuse (capped at [`POOL_LIMIT`]).
+    /// `RefCell`, not a mutex: `Client` is deliberately `!Sync` (the
+    /// jitter cells already are), so one thread owns the pool.
+    pool: std::cell::RefCell<Vec<TcpStream>>,
+    pool_connects: std::cell::Cell<u64>,
+    pool_reuses: std::cell::Cell<u64>,
 }
 
 impl Client {
@@ -170,7 +206,20 @@ impl Client {
             cfg,
             jitter,
             retry_after: std::cell::Cell::new(None),
+            pool: std::cell::RefCell::new(Vec::new()),
+            pool_connects: std::cell::Cell::new(0),
+            pool_reuses: std::cell::Cell::new(0),
         })
+    }
+
+    /// Connection-pool counters: fresh connects vs requests served over a
+    /// reused socket.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            connects: self.pool_connects.get(),
+            reuses: self.pool_reuses.get(),
+        }
     }
 
     /// `GET path`, with retries. A `503` that survives every retry is
@@ -267,24 +316,79 @@ impl Client {
         body: Option<&str>,
         trace_id: TraceId,
     ) -> io::Result<Response> {
+        // Try a pooled socket first. The server may have closed it since
+        // (idle timeout, restart, shutdown), which only surfaces on use —
+        // that failure is a property of the *stale socket*, not of the
+        // request, so it is repaired with one fresh connection here and
+        // never charged against the caller's retry budget.
+        if self.cfg.keep_alive {
+            let pooled = self.pool.borrow_mut().pop();
+            if let Some(stream) = pooled {
+                if let Ok(resp) = self.send_on(&stream, method, path, body, trace_id) {
+                    self.pool_reuses.set(self.pool_reuses.get() + 1);
+                    galign_telemetry::counter_add("client.http.pool.reuses", 1);
+                    self.recycle(stream, &resp);
+                    return Ok(resp);
+                }
+                galign_telemetry::counter_add("client.http.pool.stale_drops", 1);
+            }
+        }
         let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
         stream.set_read_timeout(Some(self.cfg.io_timeout))?;
         stream.set_write_timeout(Some(self.cfg.io_timeout))?;
         stream.set_nodelay(true).ok();
-        let mut writer = &stream;
+        self.pool_connects.set(self.pool_connects.get() + 1);
+        galign_telemetry::counter_add("client.http.pool.connects", 1);
+        let resp = self.send_on(&stream, method, path, body, trace_id)?;
+        self.recycle(stream, &resp);
+        Ok(resp)
+    }
+
+    /// Writes one request on `stream` and reads the response. The socket
+    /// is left positioned after the response body (content-length framed),
+    /// so a keep-alive connection is immediately reusable.
+    fn send_on(
+        &self,
+        stream: &TcpStream,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        trace_id: TraceId,
+    ) -> io::Result<Response> {
+        let mut writer = stream;
         let body = body.unwrap_or("");
         let trace_line = if self.cfg.trace_header {
             format!("{TRACE_HEADER}: {}\r\n", trace_id.to_hex())
         } else {
             String::new()
         };
+        let connection = if self.cfg.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
         write!(
             writer,
-            "{method} {path} HTTP/1.1\r\nhost: galign-client\r\n{trace_line}content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nhost: galign-client\r\n{trace_line}content-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
             body.len()
         )?;
         writer.flush()?;
-        read_response(&mut BufReader::new(&stream))
+        read_response(&mut BufReader::new(stream))
+    }
+
+    /// Returns `stream` to the pool when both sides agreed to keep it
+    /// alive and the response was content-length framed (a read-to-EOF
+    /// body consumed the connection by definition).
+    fn recycle(&self, stream: TcpStream, resp: &Response) {
+        let server_keeps = resp
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+        if self.cfg.keep_alive && server_keeps && resp.header("content-length").is_some() {
+            let mut pool = self.pool.borrow_mut();
+            if pool.len() < POOL_LIMIT {
+                pool.push(stream);
+            }
+        }
     }
 
     /// Next backoff: `Retry-After` if the server sent one (and it is
@@ -510,6 +614,78 @@ mod tests {
         // is the computed one (bounded by max_backoff, far below 1.5s
         // after the hint was consumed by the previous call).
         assert!(client.backoff(1) <= client.cfg.max_backoff);
+    }
+
+    #[test]
+    fn sequential_requests_share_one_socket() {
+        let handle = test_server(ServeConfig::default());
+        let client = Client::new(&handle.addr().to_string()).unwrap();
+        assert_eq!(client.pool_stats(), PoolStats::default());
+        for _ in 0..3 {
+            let resp = client
+                .post_json("/v1/align/topk", r#"{"nodes":[0],"k":1}"#)
+                .unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body_str());
+        }
+        // One TCP connect, then every subsequent request reused it.
+        let stats = client.pool_stats();
+        assert_eq!(stats.connects, 1, "{stats:?}");
+        assert_eq!(stats.reuses, 2, "{stats:?}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_off_connects_per_request() {
+        let handle = test_server(ServeConfig::default());
+        let client = Client::with_config(
+            &handle.addr().to_string(),
+            ClientConfig {
+                keep_alive: false,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..2 {
+            assert_eq!(client.get("/healthz").unwrap().status, 200);
+        }
+        let stats = client.pool_stats();
+        assert_eq!(stats.connects, 2, "{stats:?}");
+        assert_eq!(stats.reuses, 0, "{stats:?}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stale_pooled_socket_is_replaced_without_burning_a_retry() {
+        // Plant a socket whose peer is already gone in the pool — the
+        // moral equivalent of a server that idle-timed-out or restarted
+        // under us. With max_retries: 0 there is no retry budget to hide
+        // behind: the client must detect the stale socket on reuse and
+        // repair with one fresh connect, invisibly to the caller.
+        let handle = test_server(ServeConfig::default());
+        let client = Client::with_config(
+            &handle.addr().to_string(),
+            ClientConfig {
+                max_retries: 0,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let dead = {
+            let graveyard = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let stream = TcpStream::connect(graveyard.local_addr().unwrap()).unwrap();
+            drop(graveyard.accept().unwrap());
+            stream
+        };
+        client.pool.borrow_mut().push(dead);
+        let (resp, attempts) = client
+            .post_json_with_stats("/v1/align/topk", r#"{"nodes":[0],"k":1}"#)
+            .unwrap_or_else(|e| panic!("stale socket should be repaired transparently: {e}"));
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert_eq!(attempts.tries, 1, "repair must not consume a retry");
+        let stats = client.pool_stats();
+        assert_eq!(stats.connects, 1, "{stats:?}");
+        assert_eq!(stats.reuses, 0, "{stats:?}");
+        handle.shutdown().unwrap();
     }
 
     #[test]

@@ -41,6 +41,19 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Whether the client opted into connection reuse with an explicit
+    /// `connection: keep-alive` header. Deliberately opt-in (HTTP/1.1
+    /// defaults to persistent, but this server historically closed every
+    /// connection): clients that do not send the header keep the exact
+    /// one-request-per-connection behavior they were built against.
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection").is_some_and(|v| {
+            v.split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case("keep-alive"))
+        })
+    }
+
     /// First value of a query parameter (`?format=prometheus` →
     /// `query_param("format") == Some("prometheus")`). A bare key with no
     /// `=` yields an empty value. No percent-decoding — the parameters the
@@ -195,6 +208,38 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Writes a complete response with caller-supplied extra headers (e.g.
+/// `Retry-After` on a 503) and an explicit connection disposition:
+/// `keep_alive` echoes `connection: keep-alive` (the server will read
+/// another request off this stream), otherwise `connection: close`.
+/// Bodies are always `content-length`-framed, so keep-alive responses
+/// are self-delimiting.
+///
+/// # Errors
+/// IO failures on the stream.
+pub fn write_response_with_options(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n")?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
 /// Writes a complete `Connection: close` response with caller-supplied
 /// extra headers (e.g. `Retry-After` on a 503).
 ///
@@ -207,18 +252,7 @@ pub fn write_response_with_headers(
     extra_headers: &[(&str, String)],
     body: &[u8],
 ) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
-        reason(status),
-        body.len()
-    )?;
-    for (name, value) in extra_headers {
-        write!(writer, "{name}: {value}\r\n")?;
-    }
-    write!(writer, "\r\n")?;
-    writer.write_all(body)?;
-    writer.flush()
+    write_response_with_options(writer, status, content_type, extra_headers, body, false)
 }
 
 /// Writes a complete `Connection: close` response.
@@ -368,6 +402,21 @@ mod tests {
         // Extra headers stay inside the head, before the blank line.
         let head = text.split("\r\n\r\n").next().unwrap();
         assert!(head.contains("retry-after"));
+    }
+
+    #[test]
+    fn keep_alive_negotiation_and_wire_format() {
+        let r = parse_ok("POST /x HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(r.wants_keep_alive());
+        let r = parse_ok("POST /x HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(!r.wants_keep_alive());
+        let r = parse_ok("POST /x HTTP/1.1\r\n\r\n");
+        assert!(!r.wants_keep_alive(), "reuse must be opt-in");
+        let mut out = Vec::new();
+        write_response_with_options(&mut out, 200, "application/json", &[], b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
     }
 
     #[test]

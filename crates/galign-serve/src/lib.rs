@@ -24,9 +24,16 @@
 //!   bounded worker pool, per-request timeouts, graceful shutdown, and
 //!   overload protection (a bounded pending queue that sheds excess load
 //!   with `503` + `Retry-After`, plus a cooperative per-request compute
-//!   deadline), instrumented through `galign-telemetry`;
+//!   deadline), opt-in keep-alive connection reuse, and hot artifact swap
+//!   (admin endpoint or generation-pointer file; in-flight requests are
+//!   pinned to the generation they started on), instrumented through
+//!   `galign-telemetry`. Artifacts carrying a shard manifest (see
+//!   [`artifact::ShardManifest`]) serve a contiguous slice of the target
+//!   network and advertise it on `/healthz` for `galign-router`'s
+//!   scatter-gather tier;
 //! * [`client`] — a std-only HTTP client with retry, exponential backoff
-//!   and jitter that honors `Retry-After`, used by the loadtest example;
+//!   and jitter that honors `Retry-After`, plus per-target keep-alive
+//!   connection pooling, used by the loadtest example and the router;
 //! * [`http`] / [`json`] — the dependency-free protocol plumbing.
 //!
 //! The HTTP/protocol layers remain dependency-free std code; scoring
@@ -66,8 +73,8 @@ pub mod server;
 pub mod testutil;
 pub mod topk;
 
-pub use artifact::{Artifact, Mat};
+pub use artifact::{Artifact, Mat, ShardManifest};
 pub use cache::{LruCache, QueryKey, ShardedCache};
-pub use client::{Client, ClientConfig};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use client::{Client, ClientConfig, PoolStats};
+pub use server::{ServeConfig, Server, ServerHandle, GENERATION_HEADER};
 pub use topk::{EngineMode, EngineUsed, Hit, QueryError, TopkIndex};

@@ -12,6 +12,37 @@
 //! |        |                      | `?format=prometheus` for exposition    |
 //! | GET    | `/v1/debug/requests` | flight recorder (recent + slowest)     |
 //! | POST   | `/v1/admin/shutdown` | graceful shutdown (SIGTERM-equivalent) |
+//! | POST   | `/v1/admin/swap`     | hot-swap the serving artifact          |
+//!
+//! ## Hot artifact swap
+//!
+//! The serving index lives behind a generation slot: each request clones
+//! one `Arc<Generation>` up front and uses it end to end, so a swap
+//! arriving mid-request never mixes old and new data — in-flight requests
+//! finish on the generation they started with and report it in the
+//! `x-galign-generation` response header. Swaps arrive two ways: `POST
+//! /v1/admin/swap` with `{"artifact": "/path"}`, or a *generation pointer
+//! file* ([`ServeConfig::generation_pointer`]) whose content names the
+//! current artifact path; a watcher thread polls it and swaps when the
+//! content changes (writers should update it atomically via
+//! write-temp-then-rename). Every swap clears the top-k cache — cached
+//! hits must never outlive the artifact that produced them. A shard node
+//! (artifact with a shard manifest) refuses a swap that would change its
+//! id-range identity: replacing the *data* of shard 2/4 is routine,
+//! silently becoming a different shard is corruption.
+//!
+//! ## Connection reuse
+//!
+//! A client sending `connection: keep-alive` may issue sequential
+//! requests on one socket. The worker only lingers on an idle connection
+//! while no other connection is waiting for a worker
+//! ([`Inner::pending`] is zero) and at most
+//! [`ServeConfig::keep_alive_idle`] — under contention the server closes
+//! after responding and behaves exactly like the historical
+//! one-request-per-connection server, so keep-alive can starve nobody.
+//! Idle timeouts close the socket silently (writing an unsolicited `408`
+//! onto a pooled connection could be mistaken for the response to the
+//! *next* request).
 //!
 //! ## Tracing
 //!
@@ -52,12 +83,18 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Trace-id header honored on requests and echoed on responses.
 pub const TRACE_HEADER: &str = "x-galign-trace-id";
+
+/// Response header reporting the artifact generation a request was served
+/// from. Starts at 1 for the artifact the server booted with and bumps on
+/// every hot swap; a request spanning a swap reports the generation it
+/// actually used.
+pub const GENERATION_HEADER: &str = "x-galign-generation";
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -102,6 +139,17 @@ pub struct ServeConfig {
     /// When set, the flight recorder is dumped here as JSONL on graceful
     /// shutdown.
     pub flight_dump: Option<PathBuf>,
+    /// Generation pointer file: when set, a watcher thread polls it and
+    /// hot-swaps the serving artifact to the path the file names whenever
+    /// its content changes. The content present at startup is treated as
+    /// already applied.
+    pub generation_pointer: Option<PathBuf>,
+    /// How often the generation pointer is polled.
+    pub generation_poll: Duration,
+    /// How long a worker lingers on an idle keep-alive connection waiting
+    /// for the next request — and only while no other connection is
+    /// queued for a worker.
+    pub keep_alive_idle: Duration,
 }
 
 impl Default for ServeConfig {
@@ -122,12 +170,29 @@ impl Default for ServeConfig {
             flight_slowest_k: flight::DEFAULT_SLOWEST_K,
             access_log: None,
             flight_dump: None,
+            generation_pointer: None,
+            generation_poll: Duration::from_millis(200),
+            keep_alive_idle: Duration::from_millis(250),
         }
     }
 }
 
+/// One immutable serving generation: the index plus its sequence number.
+/// Requests clone the `Arc` once and never observe a mix of generations.
+pub struct Generation {
+    /// The query index of this generation.
+    pub index: TopkIndex,
+    /// 1 for the boot artifact, +1 per hot swap.
+    pub number: u64,
+}
+
+/// Wraps a boot index as generation 1 in its swap slot.
+fn generation_slot(index: TopkIndex) -> RwLock<Arc<Generation>> {
+    RwLock::new(Arc::new(Generation { index, number: 1 }))
+}
+
 struct Inner {
-    index: TopkIndex,
+    index: RwLock<Arc<Generation>>,
     cache: ShardedCache,
     cfg: ServeConfig,
     addr: SocketAddr,
@@ -146,6 +211,52 @@ struct Inner {
     health_degraded: AtomicBool,
     /// JSONL access-log writer, when configured.
     access_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+}
+
+impl Inner {
+    /// The current serving generation. One cheap clone per request pins
+    /// that request to a consistent index while swaps proceed.
+    fn generation(&self) -> Arc<Generation> {
+        Arc::clone(&self.index.read().expect("generation lock"))
+    }
+}
+
+/// Installs `index` as the next generation: applies the configured `auto`
+/// threshold, swaps the slot, clears the top-k cache (cached hits must
+/// never outlive their artifact) and returns the new generation number.
+fn install_index(inner: &Inner, mut index: TopkIndex) -> u64 {
+    if let Some(threshold) = inner.cfg.ann_threshold {
+        index.set_auto_threshold(threshold);
+    }
+    let number = {
+        let mut slot = inner.index.write().expect("generation lock");
+        let number = slot.number + 1;
+        *slot = Arc::new(Generation { index, number });
+        number
+    };
+    inner.cache.clear();
+    galign_telemetry::counter_add("serve.swap.total", 1);
+    galign_telemetry::gauge_set("serve.generation", number as f64);
+    flight::record_incident(
+        "serve.generation.swapped",
+        vec![("generation".to_string(), number.to_string())],
+    );
+    number
+}
+
+/// Validates that `next` keeps the shard identity of `current`: a shard
+/// node may receive new *data* for its slice, never a different slice.
+fn shard_identity_ok(current: &TopkIndex, next: &TopkIndex) -> Result<(), String> {
+    match (current.shard_manifest(), next.shard_manifest()) {
+        (None, None) => Ok(()),
+        (Some(a), Some(b))
+            if (a.shard_id, a.num_shards, a.start, a.end)
+                == (b.shard_id, b.num_shards, b.start, b.end) =>
+        {
+            Ok(())
+        }
+        _ => Err("artifact would change this node's shard identity (id range)".to_string()),
+    }
 }
 
 /// Decrements a load counter when the tracked scope ends, whatever exit
@@ -207,7 +318,7 @@ impl Server {
         Ok(Server {
             inner: Arc::new(Inner {
                 cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
-                index,
+                index: generation_slot(index),
                 cfg,
                 addr: local,
                 shutting_down: AtomicBool::new(false),
@@ -236,6 +347,10 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let workers = self.inner.cfg.workers.max(1);
         let queue_depth = self.inner.cfg.queue_depth.max(1);
+        let watcher = self.inner.cfg.generation_pointer.clone().map(|pointer| {
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || watch_generation_pointer(&inner, &pointer))
+        });
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::with_capacity(workers);
@@ -287,6 +402,9 @@ impl Server {
         drop(tx);
         for worker in pool {
             let _ = worker.join();
+        }
+        if let Some(watcher) = watcher {
+            let _ = watcher.join();
         }
         if let Some(path) = &self.inner.cfg.flight_dump {
             match std::fs::File::create(path) {
@@ -350,6 +468,61 @@ impl ServerHandle {
     }
 }
 
+/// Loads the artifact at `path` and installs it as the next generation,
+/// refusing artifacts that would change a shard node's identity.
+fn swap_from_path(inner: &Inner, path: &str) -> Result<u64, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let artifact =
+        crate::artifact::Artifact::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let next = TopkIndex::from_artifact(artifact);
+    shard_identity_ok(&inner.generation().index, &next)?;
+    Ok(install_index(inner, next))
+}
+
+/// Polls the generation pointer file until shutdown, hot-swapping to the
+/// artifact it names whenever its content changes. A failed swap is
+/// logged and counted, and that content is remembered so a broken pointer
+/// does not retry in a hot loop — the next *change* triggers again.
+fn watch_generation_pointer(inner: &Inner, pointer: &std::path::Path) {
+    let read_pointer = || {
+        std::fs::read_to_string(pointer)
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+    };
+    // Startup content is the artifact the server already booted with.
+    let mut seen = read_pointer();
+    let mut waited = Duration::ZERO;
+    let slice = Duration::from_millis(25);
+    while !inner.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(slice);
+        waited += slice;
+        if waited < inner.cfg.generation_poll {
+            continue;
+        }
+        waited = Duration::ZERO;
+        let Some(content) = read_pointer() else {
+            continue;
+        };
+        if seen.as_ref() == Some(&content) {
+            continue;
+        }
+        match swap_from_path(inner, &content) {
+            Ok(number) => {
+                galign_telemetry::info!(
+                    "serve",
+                    "generation pointer swap: {content} is now generation {number}"
+                );
+            }
+            Err(msg) => {
+                galign_telemetry::counter_add("serve.swap.errors", 1);
+                galign_telemetry::info!("serve", "generation pointer swap failed: {msg}");
+            }
+        }
+        seen = Some(content);
+    }
+}
+
 /// Flips the shutdown flag and wakes the acceptor.
 fn begin_shutdown(inner: &Inner) {
     if !inner.shutting_down.swap(true, Ordering::SeqCst) {
@@ -381,6 +554,10 @@ struct Reply {
     content_type: &'static str,
     body: String,
     engine: &'static str,
+    /// Generation the reply was computed against (0 = not yet stamped;
+    /// `route` stamps every reply, error paths fall back to the current
+    /// generation at write time).
+    generation: u64,
 }
 
 impl Reply {
@@ -390,23 +567,73 @@ impl Reply {
             content_type: "application/json",
             body,
             engine: "",
+            generation: 0,
         }
     }
 }
 
+/// What to do with the connection after one request.
+enum ConnectionFate {
+    KeepAlive,
+    Close,
+}
+
 fn handle_connection(inner: &Inner, stream: TcpStream) {
+    // Responses are written as several small buffers (status line,
+    // headers, body); without TCP_NODELAY the tail write can sit behind
+    // Nagle waiting on the peer's delayed ACK (~40 ms per request).
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(inner.cfg.request_timeout));
+    let mut reader = BufReader::new(&stream);
+    let mut served = 0u64;
+    loop {
+        let _ = stream.set_read_timeout(Some(inner.cfg.request_timeout));
+        match serve_one(inner, &stream, &mut reader, served) {
+            ConnectionFate::KeepAlive => served += 1,
+            ConnectionFate::Close => return,
+        }
+        // Fairness gate: lingering on an idle keep-alive connection is a
+        // luxury for quiet servers. The moment another connection waits
+        // for a worker, close and free this one — the client's pool
+        // repairs the dropped socket transparently.
+        if inner.pending.load(Ordering::Relaxed) > 0 {
+            return;
+        }
+        if reader.buffer().is_empty() {
+            // Wait (briefly) for the next request's first byte without
+            // starting a read the request parser would then own.
+            let idle = inner.cfg.keep_alive_idle.max(Duration::from_millis(1));
+            let _ = stream.set_read_timeout(Some(idle));
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Ok(n) if n > 0 => {}
+                // Closed (0), idle timeout, or error: close silently. An
+                // unsolicited 408 here could be read by the client as the
+                // response to its *next* pooled request.
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Reads and answers one request on an accepted connection. `served`
+/// counts requests already answered on this connection (a reused
+/// keep-alive socket behaves slightly differently on read timeout).
+fn serve_one(
+    inner: &Inner,
+    stream: &TcpStream,
+    reader: &mut BufReader<&TcpStream>,
+    served: u64,
+) -> ConnectionFate {
     let started = Instant::now();
     inner.in_flight.fetch_add(1, Ordering::Relaxed);
     let _guard = CounterGuard(&inner.in_flight);
-    let _ = stream.set_read_timeout(Some(inner.cfg.request_timeout));
-    let _ = stream.set_write_timeout(Some(inner.cfg.request_timeout));
-    let mut reader = BufReader::new(&stream);
-    let outcome = http::read_request(&mut reader);
-    let mut writer = &stream;
+    let outcome = http::read_request(reader);
+    let mut writer = stream;
     // Every response carries a trace id: the client's (when it sent a
     // usable one) or a fresh assignment. Unparseable requests still get
     // an id so their access-log lines are greppable.
-    let (reply, trace, request) = match outcome {
+    let (reply, trace, request, keep) = match outcome {
         Ok(ReadOutcome::Ok(request)) => {
             let trace_id = request
                 .header(TRACE_HEADER)
@@ -417,37 +644,60 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
                 let _span_scope = ctx.enter();
                 route(inner, &request, started)
             };
-            (reply, ctx, Some(request))
+            // Keep-alive is honored only while not shutting down — a
+            // draining server must not invite follow-up requests.
+            let keep = request.wants_keep_alive() && !inner.shutting_down.load(Ordering::SeqCst);
+            (reply, ctx, Some(request), keep)
         }
         Ok(ReadOutcome::Bad(bad)) => (
             Reply::json(400, error_body(&bad.0)),
             TraceContext::root(TraceId::generate()),
             None,
+            false,
         ),
-        Ok(ReadOutcome::Closed) => return,
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => (
-            Reply::json(408, error_body("request timed out")),
-            TraceContext::root(TraceId::generate()),
-            None,
-        ),
+        Ok(ReadOutcome::Closed) => return ConnectionFate::Close,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            if served > 0 {
+                // Idle reused connection: close without writing.
+                return ConnectionFate::Close;
+            }
+            (
+                Reply::json(408, error_body("request timed out")),
+                TraceContext::root(TraceId::generate()),
+                None,
+                false,
+            )
+        }
         Err(e) => {
             galign_telemetry::debug!("serve", "connection error: {e}");
-            return;
+            return ConnectionFate::Close;
         }
     };
+    if served > 0 {
+        galign_telemetry::counter_add("serve.http.keepalive.reused", 1);
+    }
     let trace_id = trace.trace_id();
+    let generation = if reply.generation == 0 {
+        inner.generation().number
+    } else {
+        reply.generation
+    };
     // Every 503 this server emits means "overloaded, come back later", so
     // they all carry Retry-After.
-    let mut extra_headers = vec![(TRACE_HEADER, trace_id.to_hex())];
+    let mut extra_headers = vec![
+        (TRACE_HEADER, trace_id.to_hex()),
+        (GENERATION_HEADER, generation.to_string()),
+    ];
     if reply.status == 503 {
         extra_headers.push(("retry-after", inner.cfg.retry_after_secs.to_string()));
     }
-    let _ = http::write_response_with_headers(
+    let _ = http::write_response_with_options(
         &mut writer,
         reply.status,
         reply.content_type,
         &extra_headers,
         reply.body.as_bytes(),
+        keep,
     );
     if galign_telemetry::metrics_enabled() {
         galign_telemetry::counter_add("serve.http.requests", 1);
@@ -473,6 +723,11 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
         );
     }
     finish_trace(inner, &trace, request.as_ref(), &reply, started);
+    if keep {
+        ConnectionFate::KeepAlive
+    } else {
+        ConnectionFate::Close
+    }
 }
 
 /// Completes a request's observability tail: one flight-recorder entry
@@ -532,14 +787,18 @@ fn error_body(msg: &str) -> String {
 }
 
 fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
-    match (request.method.as_str(), request.path.as_str()) {
+    // One generation per request: everything below reads `generation`,
+    // never the swap slot, so a concurrent hot swap cannot hand a request
+    // a mix of old and new data.
+    let generation = inner.generation();
+    let mut reply = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             galign_telemetry::counter_add("serve.route.healthz", 1);
-            Reply::json(200, healthz(inner))
+            Reply::json(200, healthz(inner, &generation))
         }
         ("POST", "/v1/align/topk") => {
             galign_telemetry::counter_add("serve.route.topk", 1);
-            topk_route(inner, &request.body, started)
+            topk_route(inner, &generation, &request.body, started)
         }
         ("GET", "/metrics") => {
             galign_telemetry::counter_add("serve.route.metrics", 1);
@@ -558,11 +817,11 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
             // `index.search.candidates` histogram from galign-index.
             galign_telemetry::gauge_set(
                 "serve.index.ann_attached",
-                if inner.index.has_ann() { 1.0 } else { 0.0 },
+                if generation.index.has_ann() { 1.0 } else { 0.0 },
             );
             galign_telemetry::gauge_set(
                 "serve.index.auto_threshold",
-                inner.index.auto_threshold() as f64,
+                generation.index.auto_threshold() as f64,
             );
             if request.query_param("format") == Some("prometheus") {
                 Reply {
@@ -570,6 +829,7 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
                     content_type: galign_telemetry::prom::CONTENT_TYPE,
                     body: galign_telemetry::prom::render(&galign_telemetry::snapshot()),
                     engine: "",
+                    generation: 0,
                 }
             } else {
                 Reply::json(200, galign_telemetry::snapshot_json())
@@ -584,15 +844,57 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
             begin_shutdown(inner);
             Reply::json(200, "{\"status\":\"shutting-down\"}".to_string())
         }
+        ("POST", "/v1/admin/swap") => {
+            galign_telemetry::counter_add("serve.route.swap", 1);
+            swap_route(inner, &request.body)
+        }
         ("GET" | "HEAD", "/v1/align/topk")
-        | ("POST", "/healthz" | "/metrics" | "/v1/debug/requests") => {
+        | ("POST", "/healthz" | "/metrics" | "/v1/debug/requests")
+        | ("GET", "/v1/admin/swap" | "/v1/admin/shutdown") => {
             Reply::json(405, error_body("wrong method for this path"))
         }
         _ => Reply::json(404, error_body("no such endpoint")),
+    };
+    if reply.generation == 0 {
+        reply.generation = generation.number;
+    }
+    reply
+}
+
+/// `POST /v1/admin/swap` with `{"artifact": "/path"}`: loads the artifact
+/// and installs it as the next generation.
+fn swap_route(inner: &Inner, body: &[u8]) -> Reply {
+    let parse = || -> Result<String, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        doc.get("artifact")
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| "body needs \"artifact\" (path string)".to_string())
+    };
+    let path = match parse() {
+        Ok(p) => p,
+        Err(msg) => return Reply::json(400, error_body(&msg)),
+    };
+    match swap_from_path(inner, &path) {
+        Ok(number) => {
+            galign_telemetry::info!("serve", "admin swap: {path} is now generation {number}");
+            let mut reply = Reply::json(
+                200,
+                format!("{{\"status\":\"swapped\",\"generation\":{number}}}"),
+            );
+            // Stamp the *new* generation: the caller's next query sees it.
+            reply.generation = number;
+            reply
+        }
+        Err(msg) => {
+            galign_telemetry::counter_add("serve.swap.errors", 1);
+            Reply::json(400, error_body(&msg))
+        }
     }
 }
 
-fn healthz(inner: &Inner) -> String {
+fn healthz(inner: &Inner, generation: &Generation) -> String {
     let pending = inner.pending.load(Ordering::Relaxed);
     let in_flight = inner.in_flight.load(Ordering::Relaxed);
     let shed_total = inner.shed_total.load(Ordering::Relaxed);
@@ -626,19 +928,30 @@ fn healthz(inner: &Inner) -> String {
             galign_telemetry::info!("serve", "health recovered: flight recorder thawed");
         }
     }
+    // Shard nodes advertise their slice so a router can discover the
+    // topology by probing /healthz. The parent checksum is hex — u64
+    // values can exceed what a float-backed JSON reader keeps exact.
+    let shard = match generation.index.shard_manifest() {
+        Some(m) => format!(
+            ",\"shard\":{{\"shard_id\":{},\"num_shards\":{},\"start\":{},\"end\":{},\"parent_targets\":{},\"parent_checksum\":\"{:016x}\"}}",
+            m.shard_id, m.num_shards, m.start, m.end, m.parent_targets, m.parent_checksum,
+        ),
+        None => String::new(),
+    };
     format!(
-        "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{},\"index\":\"{}\",\"mode\":\"{}\"}}",
-        inner.index.source_nodes(),
-        inner.index.target_nodes(),
-        inner.index.num_layers(),
+        "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{},\"index\":\"{}\",\"mode\":\"{}\",\"generation\":{}{shard}}}",
+        generation.index.source_nodes(),
+        generation.index.target_nodes(),
+        generation.index.num_layers(),
         inner.cfg.workers.max(1),
         inner.cache.len(),
         inner.cfg.queue_depth,
-        inner
+        generation
             .index
             .ann_backend()
             .map_or("none", galign_index::Backend::name),
         inner.cfg.default_mode,
+        generation.number,
     )
 }
 
@@ -722,7 +1035,8 @@ fn past_deadline(inner: &Inner, started: Instant) -> Option<Reply> {
     None
 }
 
-fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> Reply {
+fn topk_route(inner: &Inner, generation: &Generation, body: &[u8], started: Instant) -> Reply {
+    let index = &generation.index;
     // Failpoint `serve.topk.stall`: a `delay(ms)` action sleeps here,
     // simulating a handler stall for the fault-injection suite (which the
     // deadline check below must then catch).
@@ -741,7 +1055,7 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> Reply {
     // index presence + auto threshold), so it can key the cache; ANN and
     // exact results must never alias each other.
     let st = context::stage("engine_select");
-    let ann_routed = inner.index.would_use_ann(query.mode);
+    let ann_routed = index.would_use_ann(query.mode);
     let engine = if ann_routed { "ann" } else { "exact" };
     st.finish_with(vec![("engine", engine.to_string())]);
 
@@ -751,10 +1065,13 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> Reply {
     let mut results = vec![None; query.nodes.len()];
     let mut miss_positions = Vec::new();
     for (i, &node) in query.nodes.iter().enumerate() {
-        match inner
-            .cache
-            .get(&QueryKey::with_engine(node, query.k, theta, ann_routed))
-        {
+        match inner.cache.get(&QueryKey::with_generation(
+            node,
+            query.k,
+            theta,
+            ann_routed,
+            generation.number,
+        )) {
             Some(hits) => results[i] = Some(hits),
             None => miss_positions.push(i),
         }
@@ -775,18 +1092,20 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> Reply {
             return reply;
         }
         let miss_nodes: Vec<usize> = miss_positions.iter().map(|&i| query.nodes[i]).collect();
-        let computed =
-            match inner
-                .index
-                .topk_batch_with_mode(&miss_nodes, query.k, theta, query.mode)
-            {
-                Ok(c) => c,
-                Err(e) => return Reply::json(400, error_body(&e.to_string())),
-            };
+        let computed = match index.topk_batch_with_mode(&miss_nodes, query.k, theta, query.mode) {
+            Ok(c) => c,
+            Err(e) => return Reply::json(400, error_body(&e.to_string())),
+        };
         for (&i, (hits, _engine)) in miss_positions.iter().zip(computed) {
             let hits = Arc::new(hits);
             inner.cache.insert(
-                QueryKey::with_engine(query.nodes[i], query.k, theta, ann_routed),
+                QueryKey::with_generation(
+                    query.nodes[i],
+                    query.k,
+                    theta,
+                    ann_routed,
+                    generation.number,
+                ),
                 Arc::clone(&hits),
             );
             results[i] = Some(hits);
@@ -840,6 +1159,7 @@ fn topk_route(inner: &Inner, body: &[u8], started: Instant) -> Reply {
         content_type: "application/json",
         body: out,
         engine,
+        generation: generation.number,
     }
 }
 
@@ -855,7 +1175,7 @@ mod tests {
 
     fn test_inner_with(cfg: ServeConfig) -> Inner {
         Inner {
-            index: test_index(),
+            index: generation_slot(test_index()),
             cache: ShardedCache::new(64, 2),
             cfg,
             addr: "127.0.0.1:0".parse().unwrap(),
@@ -877,8 +1197,14 @@ mod tests {
 
     /// `(status, body)` view of a route reply, for assertion brevity.
     fn topk_route2(inner: &Inner, body: &[u8], started: Instant) -> (u16, String) {
-        let r = topk_route(inner, body, started);
+        let generation = inner.generation();
+        let r = topk_route(inner, &generation, body, started);
         (r.status, r.body)
+    }
+
+    /// Current-generation healthz body, for assertion brevity.
+    fn healthz2(inner: &Inner) -> String {
+        healthz(inner, &inner.generation())
     }
 
     #[test]
@@ -940,14 +1266,14 @@ mod tests {
         });
         inner.in_flight.store(3, Ordering::Relaxed);
         inner.shed_total.store(7, Ordering::Relaxed);
-        let doc = json::parse(&healthz(&inner)).unwrap();
+        let doc = json::parse(&healthz2(&inner)).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(doc.get("in_flight").unwrap().as_usize(), Some(3));
         assert_eq!(doc.get("shed_total").unwrap().as_usize(), Some(7));
         assert_eq!(doc.get("queue_depth").unwrap().as_usize(), Some(4));
         // Half-full pending queue flips the status to degraded.
         inner.pending.store(2, Ordering::Relaxed);
-        let doc = json::parse(&healthz(&inner)).unwrap();
+        let doc = json::parse(&healthz2(&inner)).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("degraded"));
         assert_eq!(doc.get("pending").unwrap().as_usize(), Some(2));
     }
@@ -990,8 +1316,8 @@ mod tests {
         let mut index = test_index();
         index.build_ann(crate::topk::Backend::Ivf).unwrap();
         index.set_auto_threshold(1);
-        let mut inner = test_inner();
-        inner.index = index;
+        let inner = test_inner();
+        install_index(&inner, index);
         let (status, out) = topk_route2(
             &inner,
             br#"{"nodes":[0],"k":2,"mode":"ann"}"#,
@@ -1020,15 +1346,14 @@ mod tests {
     #[test]
     fn healthz_reports_index_state_and_stays_ok_without_ann() {
         let inner = test_inner();
-        let doc = json::parse(&healthz(&inner)).unwrap();
+        let doc = json::parse(&healthz2(&inner)).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(doc.get("index").unwrap().as_str(), Some("none"));
-        let mut with_ann = test_inner();
-        with_ann
-            .index
-            .build_ann(crate::topk::Backend::Hnsw)
-            .unwrap();
-        let doc = json::parse(&healthz(&with_ann)).unwrap();
+        let with_ann = test_inner();
+        let mut index = test_index();
+        index.build_ann(crate::topk::Backend::Hnsw).unwrap();
+        install_index(&with_ann, index);
+        let doc = json::parse(&healthz2(&with_ann)).unwrap();
         assert_eq!(doc.get("index").unwrap().as_str(), Some("hnsw"));
         assert_eq!(doc.get("mode").unwrap().as_str(), Some("auto"));
     }
@@ -1063,11 +1388,103 @@ mod tests {
             route(&inner, &req("GET", "/v1/debug/requests"), now()).status,
             200
         );
+        assert_eq!(
+            route(&inner, &req("GET", "/v1/admin/swap"), now()).status,
+            405
+        );
         assert_eq!(route(&inner, &req("GET", "/nope"), now()).status, 404);
         let health = route(&inner, &req("GET", "/healthz"), now()).body;
         let doc = json::parse(&health).unwrap();
         assert_eq!(doc.get("source_nodes").unwrap().as_usize(), Some(3));
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn swap_installs_next_generation_and_clears_cache() {
+        let inner = test_inner();
+        let (status, body) = topk_route2(&inner, br#"{"nodes":[0],"k":2}"#, Instant::now());
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(inner.cache.len(), 1);
+        assert_eq!(inner.generation().number, 1);
+        // Write a fresh (different-data) artifact and swap to it.
+        let m = Mat::new(3, 2, vec![0.0, 1.0, 1.0, 0.0, 0.5, 0.5]).unwrap();
+        let artifact = Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap();
+        let dir = std::env::temp_dir().join("galign-serve-swap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.galign");
+        std::fs::write(&path, artifact.to_bytes()).unwrap();
+        let body = format!("{{\"artifact\":\"{}\"}}", path.display());
+        let reply = swap_route(&inner, body.as_bytes());
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"generation\":2"), "{}", reply.body);
+        assert_eq!(inner.generation().number, 2);
+        assert_eq!(inner.cache.len(), 0, "swap must clear cached hits");
+        let doc = json::parse(&healthz2(&inner)).unwrap();
+        assert_eq!(doc.get("generation").unwrap().as_usize(), Some(2));
+        // Bad bodies and unreadable paths are 400s, not crashes.
+        assert_eq!(swap_route(&inner, b"{}").status, 400);
+        assert_eq!(
+            swap_route(&inner, br#"{"artifact":"/no/such/file"}"#).status,
+            400
+        );
+        assert_eq!(inner.generation().number, 2, "failed swaps install nothing");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn request_pinned_to_old_generation_cannot_poison_the_cache() {
+        let inner = test_inner();
+        // Pin a generation, then let a swap land "mid-request".
+        let pinned = inner.generation();
+        install_index(&inner, test_index());
+        assert_eq!(inner.generation().number, 2);
+        // The pinned request finishes and inserts under its own (old)
+        // generation key...
+        let reply = topk_route(&inner, &pinned, br#"{"nodes":[0],"k":2}"#, Instant::now());
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.generation, 1, "reply reports the generation it used");
+        // ...so a post-swap request misses it and recomputes.
+        let (hits_before, _) = inner.cache.stats();
+        let reply2 = topk_route2(&inner, br#"{"nodes":[0],"k":2}"#, Instant::now());
+        assert_eq!(reply2.0, 200);
+        let (hits_after, misses) = inner.cache.stats();
+        assert_eq!(hits_after, hits_before, "stale entry must not be served");
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn shard_identity_guard_blocks_range_changes() {
+        let m = Mat::new(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7]).unwrap();
+        let parent = Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap();
+        let shards = parent.split(2, None).unwrap();
+        let idx = |a: &Artifact| TopkIndex::from_artifact(a.clone());
+        // Same slice, fresh data: allowed. Different slice or shard/plain
+        // mixing: refused.
+        assert!(shard_identity_ok(&idx(&shards[0]), &idx(&shards[0])).is_ok());
+        assert!(shard_identity_ok(&idx(&shards[0]), &idx(&shards[1])).is_err());
+        assert!(shard_identity_ok(&idx(&shards[0]), &idx(&parent)).is_err());
+        assert!(shard_identity_ok(&idx(&parent), &idx(&shards[0])).is_err());
+        assert!(shard_identity_ok(&idx(&parent), &idx(&parent)).is_ok());
+    }
+
+    #[test]
+    fn healthz_advertises_shard_manifest() {
+        let m = Mat::new(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7]).unwrap();
+        let parent = Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap();
+        let checksum = parent.target_checksum();
+        let shard = parent.split(3, None).unwrap().remove(1);
+        let inner = test_inner();
+        install_index(&inner, TopkIndex::from_artifact(shard));
+        let doc = json::parse(&healthz2(&inner)).unwrap();
+        let shard = doc.get("shard").expect("shard block");
+        assert_eq!(shard.get("shard_id").unwrap().as_usize(), Some(1));
+        assert_eq!(shard.get("num_shards").unwrap().as_usize(), Some(3));
+        assert_eq!(shard.get("start").unwrap().as_usize(), Some(1));
+        assert_eq!(shard.get("end").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            shard.get("parent_checksum").unwrap().as_str(),
+            Some(format!("{checksum:016x}").as_str())
+        );
     }
 
     #[test]

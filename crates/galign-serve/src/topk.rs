@@ -11,7 +11,7 @@
 //! selection (`O(n log k)`), and query batches fan out across rayon
 //! workers via [`galign_matrix::simblock::topk_rows`].
 
-use crate::artifact::{Artifact, Mat};
+use crate::artifact::{Artifact, Mat, ShardManifest};
 pub use galign_index::Backend;
 use galign_index::{AnnIndex, SearchStats, VectorSet};
 use galign_matrix::dense::dot;
@@ -154,6 +154,7 @@ pub struct TopkIndex {
     theta: Vec<f64>,
     ann: Option<Box<dyn AnnIndex>>,
     auto_threshold: usize,
+    shard: Option<ShardManifest>,
 }
 
 impl fmt::Debug for TopkIndex {
@@ -182,6 +183,7 @@ impl TopkIndex {
             target,
             rows_normalized,
             index,
+            manifest,
         } = artifact;
         let convert = |mats: Vec<Mat>| -> Vec<Dense> {
             mats.into_iter()
@@ -201,6 +203,7 @@ impl TopkIndex {
             theta,
             ann: None,
             auto_threshold: DEFAULT_AUTO_THRESHOLD,
+            shard: manifest,
         };
         if let Some(bytes) = index {
             if let Err(e) = idx.attach_index_bytes(&bytes) {
@@ -235,6 +238,16 @@ impl TopkIndex {
     #[must_use]
     pub fn default_theta(&self) -> &[f64] {
         &self.theta
+    }
+
+    /// Shard placement metadata, when this index was loaded from a shard
+    /// artifact (target rows are the global id range
+    /// `[manifest.start, manifest.end)` of the split parent). The data
+    /// path ignores it — shard-local target ids are what queries see; the
+    /// router translates them back to global ids.
+    #[must_use]
+    pub fn shard_manifest(&self) -> Option<&ShardManifest> {
+        self.shard.as_ref()
     }
 
     /// Whether an ANN index is attached.

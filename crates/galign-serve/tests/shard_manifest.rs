@@ -1,0 +1,202 @@
+//! Shard-manifest round trips across the full on-disk version matrix.
+//!
+//! Writers emit the lowest format version that represents the artifact
+//! (1 plain, 2 with an ANN index blob, 3 with a shard manifest), and
+//! the v3 reader must keep loading all of them. The manifest itself
+//! must survive write → read bit-exactly, a full shard set must
+//! reassemble to the parent's exact bytes, and a `parent_checksum`
+//! mismatch must be rejected — never stitched into a silently wrong
+//! artifact.
+
+use galign_serve::artifact::{Artifact, Mat, ShardManifest};
+use std::path::PathBuf;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn signed_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+fn fixture(seed: u64, targets: usize) -> Artifact {
+    // `2n + 1` keeps the state nonzero without collapsing adjacent seeds.
+    let mut rng = Rng(seed.wrapping_mul(2) + 1);
+    let mk = |n: usize, d: usize, rng: &mut Rng| {
+        Mat::new(n, d, (0..n * d).map(|_| rng.signed_unit()).collect()).unwrap()
+    };
+    let source = vec![mk(4, 3, &mut rng), mk(4, 2, &mut rng)];
+    let target = vec![mk(targets, 3, &mut rng), mk(targets, 2, &mut rng)];
+    Artifact::new(vec![0.7, 0.3], source, target, false).unwrap()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("galign-shard-manifest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn wire_version(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[8..12].try_into().unwrap())
+}
+
+#[test]
+fn writers_emit_the_lowest_representable_version() {
+    let plain = fixture(1, 10);
+    assert_eq!(wire_version(&plain.to_bytes()), 1, "plain artifact is v1");
+
+    let with_index = fixture(1, 10).with_index(vec![1, 2, 3, 4]);
+    assert_eq!(wire_version(&with_index.to_bytes()), 2, "index forces v2");
+
+    let shard = fixture(1, 10).split(2, None).unwrap().remove(0);
+    assert_eq!(wire_version(&shard.to_bytes()), 3, "manifest forces v3");
+}
+
+#[test]
+fn every_version_round_trips_through_the_v3_reader() {
+    for (name, artifact) in [
+        ("v1", fixture(5, 9)),
+        ("v2", fixture(5, 9).with_index(vec![9, 8, 7])),
+        ("v3", fixture(5, 9).split(3, None).unwrap().remove(1)),
+    ] {
+        let path = tmp(&format!("roundtrip-{name}.galign"));
+        artifact.write(&path).unwrap();
+        let back = Artifact::read(&path).unwrap();
+        assert_eq!(artifact, back, "{name} round trip");
+    }
+}
+
+#[test]
+fn manifest_fields_survive_write_read_exactly() {
+    let parent = fixture(6, 11);
+    let replicas = vec![
+        vec!["10.0.0.1:9000".to_string(), "10.0.0.2:9000".to_string()],
+        vec!["10.0.0.3:9000".to_string()],
+    ];
+    let shards = parent.split(2, Some(&replicas)).unwrap();
+    for (i, shard) in shards.iter().enumerate() {
+        let path = tmp(&format!("manifest-{i}.galign"));
+        shard.write(&path).unwrap();
+        let m = Artifact::read(&path).unwrap().manifest.unwrap();
+        let orig = shard.manifest.as_ref().unwrap();
+        assert_eq!(&m, orig);
+        assert_eq!(m.shard_id as usize, i);
+        assert_eq!(m.num_shards, 2);
+        assert_eq!(m.parent_targets, 11);
+        assert_eq!(m.parent_checksum, parent.target_checksum());
+        assert_eq!(m.replicas, replicas[i]);
+    }
+    // Uneven split of 11: [0, 6) then [6, 11).
+    let m0 = shards[0].manifest.as_ref().unwrap();
+    let m1 = shards[1].manifest.as_ref().unwrap();
+    assert_eq!((m0.start, m0.end), (0, 6));
+    assert_eq!((m1.start, m1.end), (6, 11));
+}
+
+#[test]
+fn full_shard_set_reassembles_to_the_parent_bytes() {
+    let parent = fixture(7, 13);
+    let mut shards = parent.split(4, None).unwrap();
+    // Any order is accepted.
+    shards.reverse();
+    let back = Artifact::assemble_shards(&shards).unwrap();
+    assert_eq!(back.to_bytes(), parent.to_bytes());
+}
+
+#[test]
+fn parent_checksum_mismatch_is_rejected() {
+    let parent = fixture(8, 8);
+    let mut shards = parent.split(2, None).unwrap();
+    // Forge shard 1: same geometry, different parent data — only the
+    // checksum can catch it.
+    let other = fixture(9, 8);
+    let mut forged = other.split(2, None).unwrap().remove(1);
+    let m = forged.manifest.as_mut().unwrap();
+    assert_ne!(
+        m.parent_checksum,
+        parent.target_checksum(),
+        "fixtures must differ"
+    );
+    shards[1] = forged;
+    let err = Artifact::assemble_shards(&shards).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Even with a *matching* recorded checksum, stitched bytes that do
+    // not hash back to it are rejected: tamper with the recorded value
+    // on both shards so they agree with each other but not the data.
+    let mut lying = parent.split(2, None).unwrap();
+    for shard in &mut lying {
+        shard.manifest.as_mut().unwrap().parent_checksum ^= 0xdead_beef;
+    }
+    // with_manifest re-validation is bypassed by direct field access, so
+    // rebuild through the public API to keep the artifacts well-formed.
+    let err = Artifact::assemble_shards(&lying).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("checksum"), "{err}");
+}
+
+#[test]
+fn incomplete_or_overlapping_sets_are_rejected() {
+    let parent = fixture(10, 12);
+    let shards = parent.split(3, None).unwrap();
+    // Missing a shard.
+    let err = Artifact::assemble_shards(&shards[..2]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // Duplicate shard standing in for a missing one.
+    let dup = vec![shards[0].clone(), shards[1].clone(), shards[1].clone()];
+    let err = Artifact::assemble_shards(&dup).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // A plain artifact in the set.
+    let mixed = vec![shards[0].clone(), shards[1].clone(), fixture(10, 4)];
+    let err = Artifact::assemble_shards(&mixed).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn manifest_validation_rejects_inconsistent_geometry() {
+    // start past end
+    assert!(ShardManifest {
+        shard_id: 0,
+        num_shards: 1,
+        start: 6,
+        end: 5,
+        parent_targets: 10,
+        parent_checksum: 0,
+        replicas: Vec::new(),
+    }
+    .validate(0)
+    .is_err());
+    // shard_id out of range
+    assert!(ShardManifest {
+        shard_id: 3,
+        num_shards: 2,
+        start: 0,
+        end: 5,
+        parent_targets: 10,
+        parent_checksum: 0,
+        replicas: Vec::new(),
+    }
+    .validate(5)
+    .is_err());
+    // row count disagrees with the range
+    assert!(ShardManifest {
+        shard_id: 0,
+        num_shards: 2,
+        start: 0,
+        end: 5,
+        parent_targets: 10,
+        parent_checksum: 0,
+        replicas: Vec::new(),
+    }
+    .validate(4)
+    .is_err());
+}

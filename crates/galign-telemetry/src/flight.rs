@@ -26,6 +26,10 @@ pub enum RecordKind {
     Request,
     /// An out-of-band incident (watchdog rollback, recovery, abort).
     Incident,
+    /// One upstream hop of a scatter-gather request: the router records
+    /// each per-shard fan-out leg under the same trace id as the routed
+    /// request it belongs to.
+    Hop,
 }
 
 impl RecordKind {
@@ -35,6 +39,7 @@ impl RecordKind {
         match self {
             RecordKind::Request => "request",
             RecordKind::Incident => "incident",
+            RecordKind::Hop => "hop",
         }
     }
 }

@@ -23,7 +23,7 @@ use crate::pipeline::GAlignResult;
 use galign_gcn::MultiOrderEmbedding;
 use galign_matrix::Dense;
 use galign_serve::artifact::{Artifact, Mat};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 fn dense_to_mat(d: &Dense) -> Result<Mat> {
     Ok(Mat::new(d.rows(), d.cols(), d.as_slice().to_vec())?)
@@ -62,6 +62,66 @@ pub fn artifact_from_result(result: &GAlignResult) -> Result<Artifact> {
 pub fn export_artifact(result: &GAlignResult, path: &Path) -> Result<()> {
     artifact_from_result(result)?.write(path)?;
     Ok(())
+}
+
+/// Splits `artifact` into `num_shards` shard artifacts (contiguous
+/// target-id ranges, each carrying a shard manifest) and writes them to
+/// `out_dir` as `shard-0000.galign`, `shard-0001.galign`, ….
+///
+/// `replica_sets`, when given, records one advisory replica list per
+/// shard in the manifests (one entry per shard required).
+///
+/// # Errors
+/// Invalid split parameters or IO failures.
+pub fn export_shards(
+    artifact: &Artifact,
+    num_shards: usize,
+    replica_sets: Option<&[Vec<String>]>,
+    out_dir: &Path,
+) -> Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(out_dir)?;
+    let shards = artifact.split(num_shards, replica_sets)?;
+    let mut paths = Vec::with_capacity(shards.len());
+    for (i, shard) in shards.iter().enumerate() {
+        let path = out_dir.join(format!("shard-{i:04}.galign"));
+        shard.write(&path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Loads one shard artifact, mapping any decode failure to
+/// [`GAlignError::Corrupt`] naming the file.
+///
+/// # Errors
+/// [`GAlignError::Io`] when the file cannot be read at all;
+/// [`GAlignError::Corrupt`] when it reads but does not decode as a valid
+/// artifact.
+pub fn load_shard(path: &Path) -> Result<Artifact> {
+    let bytes = std::fs::read(path)?;
+    Artifact::from_bytes(&bytes).map_err(|e| GAlignError::Corrupt {
+        path: path.to_path_buf(),
+        reason: e.to_string(),
+    })
+}
+
+/// Loads a full shard set and reassembles the parent artifact,
+/// verifying the stitched target layers hash back to the recorded
+/// `parent_checksum`.
+///
+/// A set that fails verification — mixed parents, missing or
+/// overlapping ranges, or a checksum mismatch — is rejected with
+/// [`GAlignError::Corrupt`], never returned silently wrong.
+///
+/// # Errors
+/// [`GAlignError::Io`] on unreadable files; [`GAlignError::Corrupt`] on
+/// any decode or consistency failure.
+pub fn assemble_shard_files(paths: &[PathBuf]) -> Result<Artifact> {
+    let shards: Vec<Artifact> = paths.iter().map(|p| load_shard(p)).collect::<Result<_>>()?;
+    Artifact::assemble_shards(&shards).map_err(|e| GAlignError::Corrupt {
+        path: paths.first().cloned().unwrap_or_default(),
+        reason: e.to_string(),
+    })
 }
 
 /// Migrates a pair of JSON embedding dumps ([`persist::save_embeddings`])
@@ -181,6 +241,71 @@ mod tests {
             bin_bytes * 2 < json_bytes,
             "binary {bin_bytes}B vs JSON {json_bytes}B"
         );
+    }
+
+    #[test]
+    fn shard_export_round_trips_through_assembly() {
+        let mut rng = SeededRng::new(11);
+        let source = random_embedding(&mut rng, 5, &[4, 3]);
+        let target = random_embedding(&mut rng, 11, &[4, 3]);
+        let alignment = AlignmentMatrix::new(&source, &target, LayerSelection::uniform(2)).unwrap();
+        let artifact = artifact_from_alignment(&alignment).unwrap();
+        let dir = tmp("shard-roundtrip");
+        let replicas = vec![
+            vec!["127.0.0.1:7001".to_string(), "127.0.0.1:7002".to_string()],
+            vec!["127.0.0.1:7003".to_string()],
+            vec![],
+        ];
+        let paths = export_shards(&artifact, 3, Some(&replicas), &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        // Uneven split of 11 rows: 4 + 4 + 3.
+        let rows: Vec<usize> = paths
+            .iter()
+            .map(|p| load_shard(p).unwrap().target_nodes())
+            .collect();
+        assert_eq!(rows, vec![4, 4, 3]);
+        let manifest0 = load_shard(&paths[0]).unwrap().manifest.unwrap();
+        assert_eq!(manifest0.replicas, replicas[0]);
+        assert_eq!(manifest0.parent_checksum, artifact.target_checksum());
+        let back = assemble_shard_files(&paths).unwrap();
+        assert_eq!(back.to_bytes(), artifact.to_bytes());
+    }
+
+    #[test]
+    fn mixed_parents_are_rejected_as_corrupt() {
+        let mut rng = SeededRng::new(12);
+        let source = random_embedding(&mut rng, 4, &[3]);
+        let target_a = random_embedding(&mut rng, 8, &[3]);
+        let target_b = random_embedding(&mut rng, 8, &[3]);
+        let mk = |target: &MultiOrderEmbedding, dir: &str| {
+            let alignment =
+                AlignmentMatrix::new(&source, target, LayerSelection::uniform(1)).unwrap();
+            let artifact = artifact_from_alignment(&alignment).unwrap();
+            export_shards(&artifact, 2, None, &tmp(dir)).unwrap()
+        };
+        let a = mk(&target_a, "mixed-a");
+        let b = mk(&target_b, "mixed-b");
+        // Shard 0 of parent A + shard 1 of parent B: different
+        // parent_checksum values must be rejected, not stitched.
+        let err = assemble_shard_files(&[a[0].clone(), b[1].clone()]).unwrap_err();
+        assert!(matches!(err, GAlignError::Corrupt { .. }), "{err:?}");
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn truncated_shard_file_is_corrupt_not_io() {
+        let mut rng = SeededRng::new(13);
+        let source = random_embedding(&mut rng, 3, &[2]);
+        let target = random_embedding(&mut rng, 6, &[2]);
+        let alignment = AlignmentMatrix::new(&source, &target, LayerSelection::uniform(1)).unwrap();
+        let artifact = artifact_from_alignment(&alignment).unwrap();
+        let paths = export_shards(&artifact, 2, None, &tmp("truncated")).unwrap();
+        let bytes = std::fs::read(&paths[0]).unwrap();
+        std::fs::write(&paths[0], &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_shard(&paths[0]).unwrap_err();
+        assert!(matches!(err, GAlignError::Corrupt { .. }), "{err:?}");
+        let missing = load_shard(&tmp("truncated").join("nope.galign")).unwrap_err();
+        assert!(matches!(missing, GAlignError::Io(_)), "{missing:?}");
     }
 
     #[test]

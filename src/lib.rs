@@ -10,5 +10,6 @@ pub use galign_gcn as gcn;
 pub use galign_graph as graph;
 pub use galign_matrix as matrix;
 pub use galign_metrics as metrics;
+pub use galign_router as router;
 pub use galign_serve as serve;
 pub use galign_viz as viz;
