@@ -438,33 +438,45 @@ pub fn serve(flags: &Flags) -> CmdResult {
             format!("--mode must be 'exact', 'ann' or 'auto', got '{mode}'"),
         )
     })?;
-    let defaults = galign_serve::ServeConfig::default();
-    let cfg = galign_serve::ServeConfig {
-        workers: flags.num("workers", defaults.workers),
-        default_mode,
-        ann_threshold: parse_num::<usize>(flags, "ann-threshold")?,
-        cache_capacity: flags.num("cache-capacity", defaults.cache_capacity),
-        default_k: flags.num("default-k", defaults.default_k),
-        max_k: flags.num("max-k", defaults.max_k),
-        request_timeout: std::time::Duration::from_millis(flags.num(
+    let defaults = galign_serve::ServerConfig::default();
+    let mut builder = galign_serve::ServerConfig::builder()
+        .workers(flags.num("workers", defaults.workers))
+        .default_mode(default_mode)
+        .cache_capacity(flags.num("cache-capacity", defaults.cache_capacity))
+        .default_k(flags.num("default-k", defaults.default_k))
+        .max_k(flags.num("max-k", defaults.max_k))
+        .request_timeout(std::time::Duration::from_millis(flags.num(
             "request-timeout-ms",
             defaults.request_timeout.as_millis() as u64,
-        )),
-        deadline: std::time::Duration::from_millis(
+        )))
+        .deadline(std::time::Duration::from_millis(
             flags.num("deadline-ms", defaults.deadline.as_millis() as u64),
-        ),
-        queue_depth: flags.num("queue-depth", defaults.queue_depth),
-        retry_after_secs: flags.num("retry-after-secs", defaults.retry_after_secs),
-        flight_recorder_size: flags.num("flight-recorder-size", defaults.flight_recorder_size),
-        access_log: flags.optional("access-log").map(PathBuf::from),
-        flight_dump: flags.optional("flight-dump").map(PathBuf::from),
-        generation_pointer: flags.optional("generation-pointer").map(PathBuf::from),
-        generation_poll: std::time::Duration::from_millis(flags.num(
+        ))
+        .queue_depth(flags.num("queue-depth", defaults.queue_depth))
+        .retry_after_secs(flags.num("retry-after-secs", defaults.retry_after_secs))
+        .flight_recorder_size(flags.num("flight-recorder-size", defaults.flight_recorder_size))
+        .generation_poll(std::time::Duration::from_millis(flags.num(
             "generation-poll-ms",
             defaults.generation_poll.as_millis() as u64,
-        )),
-        ..defaults
-    };
+        )))
+        .batch_window(std::time::Duration::from_micros(
+            flags.num("batch-window-us", defaults.batch_window.as_micros() as u64),
+        ))
+        .batch_cap(flags.num("batch-cap", defaults.batch_cap))
+        .max_connections(flags.num("max-connections", defaults.max_connections));
+    if let Some(threshold) = parse_num::<usize>(flags, "ann-threshold")? {
+        builder = builder.ann_threshold(threshold);
+    }
+    if let Some(path) = flags.optional("access-log") {
+        builder = builder.access_log(path);
+    }
+    if let Some(path) = flags.optional("flight-dump") {
+        builder = builder.flight_dump(path);
+    }
+    if let Some(path) = flags.optional("generation-pointer") {
+        builder = builder.generation_pointer(path);
+    }
+    let cfg = builder.build();
     let index = galign_serve::TopkIndex::from_artifact(artifact);
     let nodes = index.source_nodes();
     let ann = index
@@ -473,7 +485,7 @@ pub fn serve(flags: &Flags) -> CmdResult {
     let server = galign_serve::Server::bind(&addr, index, cfg)?;
     println!(
         "serving {artifact_path} on http://{} ({nodes} source nodes, mode {mode}, ann index: {ann}); \
-         POST /v1/align/topk, GET /healthz, GET /metrics, GET /v1/debug/requests",
+         POST /v1/align/topk, POST /v2/align/topk, GET /healthz, GET /metrics, GET /v1/debug/requests",
         server.local_addr(),
     );
     server.run()
@@ -568,7 +580,8 @@ pub fn route(flags: &Flags) -> CmdResult {
     let router = galign_router::Router::bind(&addr, topology, cfg)?;
     println!(
         "routing on http://{} ({num_shards} shards over {targets} target nodes); \
-         POST /v1/align/topk, GET /healthz, GET /metrics, GET /v1/debug/requests",
+         POST /v1/align/topk, POST /v2/align/topk, GET /healthz, GET /metrics, \
+         GET /v1/debug/requests",
         router.local_addr(),
     );
     router.run()

@@ -93,6 +93,7 @@ fn usage(msg: &str) -> ! {
          \x20          [--queue-depth N] [--retry-after-secs S] [--access-log PATH]\n\
          \x20          [--flight-recorder-size N] [--flight-dump PATH]\n\
          \x20          [--generation-pointer PATH] [--generation-poll-ms MS]\n\
+         \x20          [--batch-window-us US] [--batch-cap N] [--max-connections N]\n\
          \x20 shard-export --artifact artifact.bin --shards N [--out-dir DIR]\n\
          \x20          [--replicas \"h:p,h:p;h:p\"]   (';' separates shards, ',' replicas)\n\
          \x20 route    --shards \"h:p,h:p;h:p\" [--addr HOST:PORT] [--workers N]\n\
@@ -115,6 +116,11 @@ fn usage(msg: &str) -> ! {
          \x20 GET /v1/debug/requests dumps the in-memory flight recorder (last requests +\n\
          \x20 slowest, frozen while /healthz reports degraded). --access-log writes one\n\
          \x20 JSONL line per request; --flight-dump writes the recorder on shutdown.\n\n\
+         batched serving:\n\
+         \x20 POST /v2/align/topk takes {{\"queries\": [...]}} with per-query k/theta/mode and\n\
+         \x20 answers each slot independently. Concurrent queries coalesce for up to\n\
+         \x20 --batch-window-us (or --batch-cap jobs) into one blocked GEMM, bit-identical\n\
+         \x20 to sequential scoring; /v1 rides the same path as a batch of one.\n\n\
          retrieval engines:\n\
          \x20 serve answers exactly by default; an embedded ANN index (build-index, or\n\
          \x20 export-artifact --with-index) enables per-request 'mode': exact | ann | auto.\n\

@@ -203,6 +203,122 @@ impl ScoreProvider for SimPanel<'_> {
     }
 }
 
+/// A *gathered* query-block panel: an arbitrary (possibly repeated,
+/// unordered) set of source rows copied into one contiguous per-layer
+/// stack and scored against the full target panel — the coalesced
+/// serving-batch shape, where concurrent queries from many connections
+/// execute as a single query-block × node-panel GEMM sweep instead of
+/// one memory-bound row scan each.
+///
+/// Row `i` of the gathered panel is source node `rows[i]`; since
+/// [`ScoreProvider::score_block`] accumulates each row independently
+/// (layer-by-layer in index order, zero-weight layers skipped), a
+/// gathered block scores **bit-identically** to scoring each row through
+/// [`SimPanel`] on its own — the property the serving tier's batched
+/// v2 path is tested against.
+#[derive(Debug, Clone)]
+pub struct GatheredPanel<'a> {
+    gathered: Vec<Dense>,
+    target: &'a [Dense],
+    theta: &'a [f64],
+    block_rows: usize,
+}
+
+impl<'a> GatheredPanel<'a> {
+    /// Gathers `rows` of the source stack into a contiguous query block.
+    ///
+    /// # Errors
+    /// Everything [`SimPanel::new`] rejects, plus
+    /// [`MatrixError::InvalidInput`] for an out-of-range row.
+    pub fn new(
+        source: &[Dense],
+        target: &'a [Dense],
+        theta: &'a [f64],
+        rows: &[usize],
+    ) -> Result<Self> {
+        // Same shape validation as the contiguous panel.
+        SimPanel::new(source, target, theta)?;
+        let n = source[0].rows();
+        if let Some(&bad) = rows.iter().find(|&&v| v >= n) {
+            return Err(MatrixError::InvalidInput(format!(
+                "gathered row {bad} out of range (source has {n} rows)"
+            )));
+        }
+        let gathered = source
+            .iter()
+            .map(|layer| {
+                let mut data = Vec::with_capacity(rows.len() * layer.cols());
+                for &v in rows {
+                    data.extend_from_slice(layer.row(v));
+                }
+                Dense::from_vec(rows.len(), layer.cols(), data)
+                    .expect("gathered rows keep the layer dimension")
+            })
+            .collect();
+        Ok(GatheredPanel {
+            gathered,
+            target,
+            theta,
+            block_rows: DEFAULT_BLOCK_ROWS,
+        })
+    }
+
+    /// Overrides the rows-per-block (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_block_rows(mut self, rows: usize) -> Self {
+        self.block_rows = rows.max(1);
+        self
+    }
+}
+
+impl ScoreProvider for GatheredPanel<'_> {
+    fn num_sources(&self) -> usize {
+        self.gathered[0].rows()
+    }
+
+    fn num_targets(&self) -> usize {
+        self.target[0].rows()
+    }
+
+    fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    fn score_block(&self, rows: Range<usize>, out: &mut [f64]) {
+        // Identical accumulation order to `SimPanel::score_block`; the
+        // gathered rows hold the same bytes as the original source rows,
+        // so per-row results are bit-identical.
+        let n_t = self.num_targets();
+        debug_assert!(rows.end <= self.num_sources());
+        debug_assert_eq!(out.len(), rows.len() * n_t);
+        out.fill(0.0);
+        if galign_telemetry::metrics_enabled() {
+            let d: usize = self
+                .theta
+                .iter()
+                .zip(&self.gathered)
+                .filter(|(&w, _)| w != 0.0)
+                .map(|(_, l)| l.cols())
+                .sum();
+            galign_telemetry::counter_add("simblock.flops", (2 * rows.len() * n_t * d) as u64);
+        }
+        for (l, &w) in self.theta.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let s = &self.gathered[l];
+            let t = &self.target[l];
+            for (i, v) in rows.clone().enumerate() {
+                let sv = s.row(v);
+                let out_row = &mut out[i * n_t..(i + 1) * n_t];
+                for (u, o) in out_row.iter_mut().enumerate() {
+                    *o += w * dot(sv, t.row(u));
+                }
+            }
+        }
+    }
+}
+
 /// One scored alignment candidate (moved here from `galign-serve` so every
 /// consumer shares the selection kernels).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -382,6 +498,41 @@ pub fn topk_rows(provider: &dyn ScoreProvider, rows: &[usize], k: usize) -> Vec<
             })
         })
         .collect()
+}
+
+/// Fused top-k over **every** provider row with a per-row `k` — the
+/// coalesced serving-batch reduction: one query-block × target-panel GEMM
+/// sweep ([`map_blocks`], rayon-parallel across blocks) followed by
+/// per-row bounded-heap selection with that row's own `k`. Pairs with
+/// [`GatheredPanel`], whose row `i` is query `i` of the batch.
+///
+/// The caller's trace context (if any) is carried into the rayon workers
+/// so per-row `rows_scored` annotations land on the batch's trace.
+///
+/// # Panics
+/// When `ks.len() != provider.num_sources()` — one `k` per provider row.
+pub fn topk_rows_per_k(provider: &dyn ScoreProvider, ks: &[usize]) -> Vec<Vec<Hit>> {
+    assert_eq!(
+        ks.len(),
+        provider.num_sources(),
+        "one k per provider row required"
+    );
+    let n_t = provider.num_targets();
+    let trace = galign_telemetry::PropagationHandle::capture();
+    map_blocks(provider, |rows, buf| {
+        trace.scope(|| {
+            rows.clone()
+                .enumerate()
+                .map(|(i, v)| {
+                    galign_telemetry::context::annotate("rows_scored", 1);
+                    select_topk(&buf[i * n_t..(i + 1) * n_t], ks[v])
+                })
+                .collect::<Vec<_>>()
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Fused greedy objective `g(S) = Σ_v max_u S(v, u)` (Algorithm 2's
@@ -642,6 +793,49 @@ mod tests {
         let batch = topk_rows(&panel, &rows, 4);
         for (i, &v) in rows.iter().enumerate() {
             assert_eq!(batch[i], select_topk(&panel.score_row(v), 4));
+        }
+    }
+
+    #[test]
+    fn gathered_panel_is_bit_identical_to_per_row_scoring() {
+        let (source, target, theta) = panel_case(7);
+        let panel = SimPanel::new(&source, &target, &theta).unwrap();
+        // Repeated, unordered rows — the coalesced-batch shape.
+        let rows = [5usize, 0, 22, 5, 13, 13, 1];
+        for block in [1usize, 3, 64] {
+            let gathered = GatheredPanel::new(&source, &target, &theta, &rows)
+                .unwrap()
+                .with_block_rows(block);
+            assert_eq!(gathered.num_sources(), rows.len());
+            for (i, &v) in rows.iter().enumerate() {
+                let got = gathered.score_row(i);
+                let want = panel.score_row(v);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "block={block} row={v}");
+                }
+            }
+        }
+        assert!(GatheredPanel::new(&source, &target, &theta, &[99]).is_err());
+    }
+
+    #[test]
+    fn topk_rows_per_k_matches_single_row_selection() {
+        let (source, target, theta) = panel_case(8);
+        let panel = SimPanel::new(&source, &target, &theta).unwrap();
+        let rows = [3usize, 3, 0, 22, 11];
+        let ks = [1usize, 4, 2, 17, 40];
+        let gathered = GatheredPanel::new(&source, &target, &theta, &rows)
+            .unwrap()
+            .with_block_rows(2);
+        let batch = topk_rows_per_k(&gathered, &ks);
+        assert_eq!(batch.len(), rows.len());
+        for (i, (&v, &k)) in rows.iter().zip(&ks).enumerate() {
+            let want = select_topk(&panel.score_row(v), k);
+            assert_eq!(batch[i].len(), want.len());
+            for (a, b) in batch[i].iter().zip(&want) {
+                assert_eq!(a.target, b.target);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
         }
     }
 

@@ -1,7 +1,13 @@
 //! The scatter-gather core: fan a top-k query out to one replica per
 //! shard, merge the per-shard heaps through the shared `select_topk` tie
 //! contract, and render a response byte-identical to what a single
-//! unsharded `galign-serve` node would have produced.
+//! unsharded `galign-serve` node would have produced. Both wire shapes
+//! route through here: `/v1/align/topk` (one query) and `/v2/align/topk`
+//! (a `queries` batch, merged slot by slot).
+//!
+//! Parsing and rendering go through `galign_serve::api` — the same typed
+//! schema the shard servers use — so the router cannot drift from the
+//! fleet's validation rules or serialization bytes.
 //!
 //! ## Why the merge is exact
 //!
@@ -25,16 +31,22 @@
 //! A shard whose every replica fails yields a response with
 //! `"partial": true` inserted after the `"engine"` field and the missing
 //! shard's candidates absent — a *labelled* under-answer, never a silent
-//! wrong one. Replicas are tried healthy-first, with unhealthy ones kept
-//! as a last resort so a recovered node heals the rotation organically.
+//! wrong one. (In a `/v2` batch the marker lands inside every answered
+//! slot.) Replicas are tried healthy-first, with unhealthy ones kept as a
+//! last resort so a recovered node heals the rotation organically.
 
 use crate::topology::{Shard, Topology};
 use galign_matrix::simblock::select_topk;
+use galign_serve::api::{
+    self, BatchRequest, Hit, NodeResult, QueryOutcome, RequestDefaults, TopkRequest, TopkResponse,
+};
 use galign_serve::client::Client;
 use galign_serve::json;
+use galign_serve::topk::EngineMode;
 use galign_telemetry::context::{self, PropagationHandle};
 use galign_telemetry::failpoint::{self, Action};
 use galign_telemetry::flight::{FlightRecorder, RecordKind, TraceRecord};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One merged match (global target id + exact score).
@@ -46,13 +58,25 @@ pub struct Match {
     pub score: f64,
 }
 
-/// What querying one shard produced.
-enum ShardOutcome {
-    /// Per-query-node matches, already translated to global target ids.
-    Answer {
-        engine: String,
-        per_node: Vec<Vec<Match>>,
-    },
+/// One shard's answer to a single query: per-query-node matches already
+/// translated to global target ids, plus the engine it used.
+struct ShardAnswer {
+    engine: String,
+    per_node: Vec<Vec<Match>>,
+}
+
+/// One shard's answer to one slot of a `/v2` batch. A slot can fail on
+/// its own (a per-query validation error) without failing its siblings.
+struct SlotAnswer {
+    engine: String,
+    per_node: Vec<Vec<Match>>,
+}
+
+/// What querying one shard produced, generic over the answer payload
+/// (`ShardAnswer` for `/v1`, per-slot outcomes for `/v2`).
+enum ShardOutcome<T> {
+    /// A parsed, validated answer.
+    Answer(T),
     /// The shard rejected the request as malformed — deterministic across
     /// shards, so the first one is returned to the caller verbatim.
     ClientError { status: u16, body: String },
@@ -74,7 +98,7 @@ pub struct RoutedReply {
     pub engine: String,
 }
 
-/// Parses the routed query just enough to merge: node count and `k`.
+/// The merge-relevant projection of a routed query: node count and `k`.
 /// The *body bytes are forwarded to the shards verbatim* — the router
 /// never re-serializes θ or anything else, so nothing can drift.
 pub struct RoutedQuery {
@@ -84,9 +108,19 @@ pub struct RoutedQuery {
     pub k: usize,
 }
 
-/// Mirrors the shard servers' body validation closely enough to merge.
-/// `default_k`/`max_k` must match the shard fleet's configuration for the
-/// `"k"` field of the routed response to agree with a single node's.
+/// The [`RequestDefaults`] a router applies; must match the shard fleet's
+/// configuration for routed responses to agree with a single node's.
+fn defaults(default_k: usize, max_k: usize) -> RequestDefaults {
+    RequestDefaults {
+        default_k,
+        max_k,
+        default_mode: EngineMode::Auto,
+    }
+}
+
+/// Parses a routed `/v1` query through the shared server-side rules
+/// ([`TopkRequest::from_body`]), so the router rejects exactly what a
+/// shard would, with the same message.
 ///
 /// # Errors
 /// A human-readable message, rendered as the router's own `400`.
@@ -95,37 +129,59 @@ pub fn parse_routed_query(
     default_k: usize,
     max_k: usize,
 ) -> Result<RoutedQuery, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let doc = json::parse(text).map_err(|e| e.to_string())?;
-    let nodes: Vec<usize> = match (doc.get("nodes"), doc.get("node")) {
-        (Some(arr), _) => arr
-            .as_arr()
-            .ok_or("\"nodes\" must be an array of node ids")?
-            .iter()
-            .map(|v| {
-                v.as_usize()
-                    .ok_or("\"nodes\" entries must be non-negative integers")
-            })
-            .collect::<Result<_, _>>()?,
-        (None, Some(one)) => vec![one
-            .as_usize()
-            .ok_or("\"node\" must be a non-negative integer")?],
-        (None, None) => return Err("body needs \"nodes\" (array) or \"node\" (integer)".into()),
-    };
-    if nodes.is_empty() {
-        return Err("\"nodes\" must not be empty".into());
+    let req = TopkRequest::from_body(body, &defaults(default_k, max_k))?;
+    Ok(RoutedQuery {
+        nodes: req.nodes,
+        k: req.k,
+    })
+}
+
+/// Parses a routed `/v2` batch envelope through the shared rules
+/// ([`BatchRequest::from_body`]). Per-query failures stay in their slot;
+/// only envelope-level problems error here.
+///
+/// # Errors
+/// Envelope-level problems, rendered as the router's own `400`.
+pub fn parse_routed_batch(
+    body: &[u8],
+    default_k: usize,
+    max_k: usize,
+) -> Result<BatchRequest, String> {
+    BatchRequest::from_body(body, &defaults(default_k, max_k))
+}
+
+/// Validates one response document against the shard's identity and
+/// translates shard-local target ids to global ids.
+fn translate_response(
+    resp: &TopkResponse,
+    start: usize,
+    rows: usize,
+    expected_nodes: usize,
+) -> Result<Vec<Vec<Match>>, String> {
+    if resp.results.len() != expected_nodes {
+        return Err(format!(
+            "shard answered {} nodes, expected {expected_nodes}",
+            resp.results.len()
+        ));
     }
-    let k = match doc.get("k") {
-        None => default_k,
-        Some(v) => v
-            .as_usize()
-            .filter(|&k| k >= 1)
-            .ok_or("\"k\" must be an integer >= 1")?,
-    };
-    if k > max_k {
-        return Err(format!("\"k\" exceeds the server limit of {max_k}"));
+    let mut per_node = Vec::with_capacity(resp.results.len());
+    for entry in &resp.results {
+        let mut out = Vec::with_capacity(entry.matches.len());
+        for hit in entry.matches.iter() {
+            if hit.target >= rows {
+                return Err(format!(
+                    "shard-local target {} out of range for {rows} rows",
+                    hit.target
+                ));
+            }
+            out.push(Match {
+                target: start + hit.target,
+                score: hit.score,
+            });
+        }
+        per_node.push(out);
     }
-    Ok(RoutedQuery { nodes, k })
+    Ok(per_node)
 }
 
 /// Parses one shard's `/v1/align/topk` response body into global-id
@@ -134,53 +190,58 @@ fn parse_shard_response(
     body: &str,
     shard: &Shard,
     expected_nodes: usize,
-) -> Result<(String, Vec<Vec<Match>>), String> {
+) -> Result<ShardAnswer, String> {
+    let resp = TopkResponse::from_body(body.as_bytes())?;
+    let rows = shard.identity.end - shard.identity.start;
+    let per_node = translate_response(&resp, shard.identity.start, rows, expected_nodes)?;
+    Ok(ShardAnswer {
+        engine: resp.engine,
+        per_node,
+    })
+}
+
+/// Parses one shard's `/v2/align/topk` response envelope into per-slot
+/// outcomes. Slots the router itself failed to parse keep the router's
+/// own (identical, since the validation code is shared) error message;
+/// answered slots are validated and translated like `/v1` responses. Any
+/// structural mismatch fails the whole hop.
+fn parse_shard_batch_response(
+    body: &str,
+    shard: &Shard,
+    batch: &BatchRequest,
+) -> Result<Vec<Result<SlotAnswer, String>>, String> {
     let doc = json::parse(body).map_err(|e| format!("unparseable shard response: {e}"))?;
-    let engine = doc
-        .get("engine")
-        .and_then(|v| v.as_str())
-        .ok_or("shard response lacks \"engine\"")?
-        .to_string();
-    let results = doc
-        .get("results")
-        .and_then(|v| v.as_arr())
-        .ok_or("shard response lacks \"results\"")?;
-    if results.len() != expected_nodes {
+    let outcomes = api::parse_batch_response(&doc)?;
+    if outcomes.len() != batch.queries.len() {
         return Err(format!(
-            "shard answered {} nodes, expected {expected_nodes}",
-            results.len()
+            "shard answered {} queries, expected {}",
+            outcomes.len(),
+            batch.queries.len()
         ));
     }
-    let rows = shard.identity.end - shard.identity.start;
-    let mut per_node = Vec::with_capacity(results.len());
-    for entry in results {
-        let matches = entry
-            .get("matches")
-            .and_then(|v| v.as_arr())
-            .ok_or("result entry lacks \"matches\"")?;
-        let mut out = Vec::with_capacity(matches.len());
-        for m in matches {
-            let target = m
-                .get("target")
-                .and_then(|v| v.as_usize())
-                .ok_or("match lacks \"target\"")?;
-            if target >= rows {
-                return Err(format!(
-                    "shard-local target {target} out of range for {rows} rows"
-                ));
+    let start = shard.identity.start;
+    let rows = shard.identity.end - start;
+    batch
+        .queries
+        .iter()
+        .zip(outcomes)
+        .map(|(query, outcome)| match (query, outcome) {
+            // The router's own parse failure is deterministic and uses
+            // the exact validation code the shard ran; keep ours.
+            (Err(msg), _) => Ok(Err(msg.clone())),
+            // The shard rejected a query the router accepted (mismatched
+            // fleet config, e.g. a lower max_k): a deterministic per-slot
+            // rejection, forwarded as that slot's error.
+            (Ok(_), Err(msg)) => Ok(Err(msg)),
+            (Ok(q), Ok(resp)) => {
+                let per_node = translate_response(&resp, start, rows, q.nodes.len())?;
+                Ok(Ok(SlotAnswer {
+                    engine: resp.engine,
+                    per_node,
+                }))
             }
-            let score = m
-                .get("score")
-                .and_then(|v| v.as_f64())
-                .ok_or("match lacks \"score\"")?;
-            out.push(Match {
-                target: shard.identity.start + target,
-                score,
-            });
-        }
-        per_node.push(out);
-    }
-    Ok((engine, per_node))
+        })
+        .collect()
 }
 
 /// Merges per-shard candidate lists for one query node through the
@@ -202,14 +263,16 @@ pub fn merge_topk(candidates: &mut [Match], k: usize) -> Vec<Match> {
 }
 
 /// Queries one shard, trying replicas healthy-first and failing over on
-/// transport errors and 5xx. Returns the first definitive outcome.
-fn query_shard(
+/// transport errors, 5xx, and 200s that fail `parse`. Returns the first
+/// definitive outcome.
+fn query_shard<T>(
     shard: &Shard,
     clients: &[Client],
+    path: &str,
     body: &str,
-    expected_nodes: usize,
     recorder: &FlightRecorder,
-) -> ShardOutcome {
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> ShardOutcome<T> {
     let mut order: Vec<usize> = (0..shard.replicas.len()).collect();
     // Healthy-first, stable: config order is the tie-break, unhealthy
     // replicas stay reachable as a last resort (that retry is how they
@@ -234,7 +297,7 @@ fn query_shard(
             }
         }
         let hop_started = Instant::now();
-        let outcome = client.post_json("/v1/align/topk", body);
+        let outcome = client.post_json(path, body);
         let hop_us = hop_started.elapsed().as_micros() as u64;
         galign_telemetry::histogram_record("router.hop.ms", hop_us as f64 / 1e3);
         galign_telemetry::counter_add(&format!("router.shard{shard_label}.hops"), 1);
@@ -244,30 +307,28 @@ fn query_shard(
         };
         record_hop(recorder, shard_label, &replica.addr, status, hop_us);
         match outcome {
-            Ok(resp) if resp.status == 200 => {
-                match parse_shard_response(&resp.body_str(), shard, expected_nodes) {
-                    Ok((engine, per_node)) => {
-                        replica.set_healthy(true);
-                        if tried > 1 {
-                            galign_telemetry::counter_add(
-                                &format!("router.shard{shard_label}.failovers"),
-                                1,
-                            );
-                        }
-                        return ShardOutcome::Answer { engine, per_node };
-                    }
-                    Err(msg) => {
-                        // A 200 we cannot trust is a failed hop, not an
-                        // answer.
-                        galign_telemetry::info!(
-                            "router",
-                            "shard {shard_label} replica {}: {msg}",
-                            replica.addr
+            Ok(resp) if resp.status == 200 => match parse(&resp.body_str()) {
+                Ok(answer) => {
+                    replica.set_healthy(true);
+                    if tried > 1 {
+                        galign_telemetry::counter_add(
+                            &format!("router.shard{shard_label}.failovers"),
+                            1,
                         );
-                        replica.set_healthy(false);
                     }
+                    return ShardOutcome::Answer(answer);
                 }
-            }
+                Err(msg) => {
+                    // A 200 we cannot trust is a failed hop, not an
+                    // answer.
+                    galign_telemetry::info!(
+                        "router",
+                        "shard {shard_label} replica {}: {msg}",
+                        replica.addr
+                    );
+                    replica.set_healthy(false);
+                }
+            },
             Ok(resp) if (400..500).contains(&resp.status) => {
                 // The replica is alive and the request itself is bad —
                 // deterministic across the fleet, so no failover.
@@ -302,11 +363,49 @@ fn record_hop(recorder: &FlightRecorder, shard_id: usize, addr: &str, status: u1
     });
 }
 
+/// Fans one query-per-shard out on scoped threads, one replica set per
+/// thread (`Client` pools sockets behind a `RefCell`, so it is `Send` but
+/// not `Sync` — each shard's clients are handed over exclusively), and
+/// gathers the outcomes in shard order. Trace context propagates into
+/// every hop via a captured [`PropagationHandle`].
+fn fan_out<T: Send>(
+    topology: &Topology,
+    clients: &mut [Vec<Client>],
+    query: impl Fn(&Shard, &[Client]) -> ShardOutcome<T> + Sync,
+) -> Vec<ShardOutcome<T>> {
+    let handle = PropagationHandle::capture();
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = topology
+            .shards
+            .iter()
+            .zip(clients.iter_mut())
+            .map(|(shard, shard_clients)| {
+                let shard_clients: &mut Vec<Client> = shard_clients;
+                let handle = &handle;
+                let query = &query;
+                scope.spawn(move || handle.scope(|| query(shard, shard_clients)))
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().unwrap_or(ShardOutcome::Unavailable))
+            .collect()
+    })
+}
+
+/// `exact` when empty, the common label when all shards agree, `mixed`
+/// otherwise.
+fn combine_engines(engines: &[&str]) -> String {
+    match engines.split_first() {
+        None => "exact".to_string(),
+        Some((first, rest)) if rest.iter().all(|e| e == first) => (*first).to_string(),
+        _ => "mixed".to_string(),
+    }
+}
+
 /// Scatters `body` (forwarded verbatim) to one replica per shard, gathers
 /// and merges. `clients` is indexed `[shard][replica]`, aligned with
-/// `topology.shards`. Each shard's client set is handed to its scatter
-/// thread exclusively (`Client` pools sockets behind a `RefCell`, so it
-/// is `Send` but not `Sync`).
+/// `topology.shards`.
 pub fn scatter_gather(
     topology: &Topology,
     clients: &mut [Vec<Client>],
@@ -315,26 +414,16 @@ pub fn scatter_gather(
     recorder: &FlightRecorder,
 ) -> RoutedReply {
     let st = context::stage("scatter");
-    let handle = PropagationHandle::capture();
     let expected = query.nodes.len();
-    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
-        let joins: Vec<_> = topology
-            .shards
-            .iter()
-            .zip(clients.iter_mut())
-            .map(|(shard, shard_clients)| {
-                let shard_clients: &mut [Client] = shard_clients;
-                let handle = &handle;
-                let recorder: &FlightRecorder = recorder;
-                scope.spawn(move || {
-                    handle.scope(|| query_shard(shard, shard_clients, body, expected, recorder))
-                })
-            })
-            .collect();
-        joins
-            .into_iter()
-            .map(|j| j.join().unwrap_or(ShardOutcome::Unavailable))
-            .collect()
+    let outcomes = fan_out(topology, clients, |shard, shard_clients| {
+        query_shard(
+            shard,
+            shard_clients,
+            "/v1/align/topk",
+            body,
+            recorder,
+            |b| parse_shard_response(b, shard, expected),
+        )
     });
     st.finish();
 
@@ -354,26 +443,24 @@ pub fn scatter_gather(
     let st = context::stage("merge");
     let mut partial = false;
     let mut engines: Vec<&str> = Vec::new();
-    let mut answers: Vec<&Vec<Vec<Match>>> = Vec::new();
+    let mut answers: Vec<&ShardAnswer> = Vec::new();
     for outcome in &outcomes {
         match outcome {
-            ShardOutcome::Answer { engine, per_node } => {
-                engines.push(engine.as_str());
-                answers.push(per_node);
+            ShardOutcome::Answer(answer) => {
+                engines.push(answer.engine.as_str());
+                answers.push(answer);
             }
             ShardOutcome::Unavailable => partial = true,
             ShardOutcome::ClientError { .. } => unreachable!("handled above"),
         }
     }
-    let engine = match engines.split_first() {
-        None => "exact".to_string(),
-        Some((first, rest)) if rest.iter().all(|e| e == first) => (*first).to_string(),
-        _ => "mixed".to_string(),
-    };
+    let engine = combine_engines(&engines);
     let merged: Vec<Vec<Match>> = (0..expected)
         .map(|i| {
-            let mut candidates: Vec<Match> =
-                answers.iter().flat_map(|a| a[i].iter().copied()).collect();
+            let mut candidates: Vec<Match> = answers
+                .iter()
+                .flat_map(|a| a.per_node[i].iter().copied())
+                .collect();
             merge_topk(&mut candidates, query.k)
         })
         .collect();
@@ -393,8 +480,129 @@ pub fn scatter_gather(
     }
 }
 
-/// Renders the routed response in exactly the shard servers' format, with
-/// `"partial":true,` inserted after the engine field only when degraded.
+/// Scatters a `/v2` batch envelope (forwarded verbatim) to one replica
+/// per shard and merges slot by slot: per-query validation errors keep
+/// their slot, answered slots merge exactly like `/v1` queries, and a
+/// shard blackout stamps `"partial":true` into every answered slot.
+pub fn scatter_gather_batch(
+    topology: &Topology,
+    clients: &mut [Vec<Client>],
+    body: &str,
+    batch: &BatchRequest,
+    recorder: &FlightRecorder,
+) -> RoutedReply {
+    let st = context::stage("scatter");
+    let outcomes = fan_out(topology, clients, |shard, shard_clients| {
+        query_shard(
+            shard,
+            shard_clients,
+            "/v2/align/topk",
+            body,
+            recorder,
+            |b| parse_shard_batch_response(b, shard, batch),
+        )
+    });
+    st.finish();
+
+    for outcome in &outcomes {
+        if let ShardOutcome::ClientError { status, body } = outcome {
+            return RoutedReply {
+                status: *status,
+                body: body.clone(),
+                partial: false,
+                engine: String::new(),
+            };
+        }
+    }
+
+    let st = context::stage("merge");
+    let mut partial = false;
+    let mut answers: Vec<&Vec<Result<SlotAnswer, String>>> = Vec::new();
+    for outcome in &outcomes {
+        match outcome {
+            ShardOutcome::Answer(slots) => answers.push(slots),
+            ShardOutcome::Unavailable => partial = true,
+            ShardOutcome::ClientError { .. } => unreachable!("handled above"),
+        }
+    }
+    let mut reply_engines: Vec<String> = Vec::new();
+    let slots: Vec<QueryOutcome> = batch
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, query)| {
+            let q = match query {
+                // The router's parse failure for this slot is what every
+                // shard reported too (same shared validation code).
+                Err(msg) => return Err(msg.clone()),
+                Ok(q) => q,
+            };
+            let mut engines: Vec<&str> = Vec::new();
+            let mut slot_answers: Vec<&SlotAnswer> = Vec::new();
+            for shard_slots in &answers {
+                match &shard_slots[i] {
+                    Ok(answer) => {
+                        engines.push(answer.engine.as_str());
+                        slot_answers.push(answer);
+                    }
+                    // A shard-side deterministic rejection of this slot.
+                    Err(msg) => return Err(msg.clone()),
+                }
+            }
+            let engine = combine_engines(&engines);
+            reply_engines.push(engine.clone());
+            let results = q
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(ni, &node)| {
+                    let mut candidates: Vec<Match> = slot_answers
+                        .iter()
+                        .flat_map(|a| a.per_node[ni].iter().copied())
+                        .collect();
+                    let merged = merge_topk(&mut candidates, q.k);
+                    NodeResult {
+                        node,
+                        matches: Arc::new(
+                            merged
+                                .into_iter()
+                                .map(|m| Hit {
+                                    target: m.target,
+                                    score: m.score,
+                                })
+                                .collect(),
+                        ),
+                    }
+                })
+                .collect();
+            Ok(TopkResponse {
+                k: q.k,
+                engine,
+                partial,
+                results,
+            })
+        })
+        .collect();
+    st.finish();
+
+    if partial {
+        galign_telemetry::counter_add("router.scatter.partial", 1);
+    }
+    let engine = combine_engines(&reply_engines.iter().map(String::as_str).collect::<Vec<_>>());
+    let st = context::stage("serialize");
+    let body = api::render_batch(&slots);
+    st.finish_with(vec![("bytes", body.len().to_string())]);
+    RoutedReply {
+        status: 200,
+        body,
+        partial,
+        engine,
+    }
+}
+
+/// Renders the routed response in exactly the shard servers' format (via
+/// the shared [`TopkResponse::render`]), with `"partial":true,` inserted
+/// after the engine field only when degraded.
 fn render_response(
     nodes: &[usize],
     merged: &[Vec<Match>],
@@ -402,27 +610,28 @@ fn render_response(
     engine: &str,
     partial: bool,
 ) -> String {
-    let partial_field = if partial { "\"partial\":true," } else { "" };
-    let mut out = format!("{{\"k\":{k},\"engine\":\"{engine}\",{partial_field}\"results\":[");
-    for (i, (node, matches)) in nodes.iter().zip(merged).enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("{{\"node\":{node},\"matches\":["));
-        for (j, m) in matches.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"target\":{},\"score\":{}}}",
-                m.target,
-                json::fmt_f64(m.score)
-            ));
-        }
-        out.push_str("]}");
+    TopkResponse {
+        k,
+        engine: engine.to_string(),
+        partial,
+        results: nodes
+            .iter()
+            .zip(merged)
+            .map(|(&node, matches)| NodeResult {
+                node,
+                matches: Arc::new(
+                    matches
+                        .iter()
+                        .map(|m| Hit {
+                            target: m.target,
+                            score: m.score,
+                        })
+                        .collect(),
+                ),
+            })
+            .collect(),
     }
-    out.push_str("]}");
-    out
+    .render()
 }
 
 #[cfg(test)]
@@ -473,6 +682,42 @@ mod tests {
         assert!(parse_routed_query(br#"{"nodes":[]}"#, 10, 100).is_err());
         assert!(parse_routed_query(br#"{"nodes":[0],"k":0}"#, 10, 100).is_err());
         assert!(parse_routed_query(br#"{"nodes":[0],"k":101}"#, 10, 100).is_err());
+    }
+
+    #[test]
+    fn parse_routed_batch_isolates_slot_errors() {
+        let batch =
+            parse_routed_batch(br#"{"queries":[{"node":1},{"nodes":[],"k":2}]}"#, 10, 100).unwrap();
+        assert_eq!(batch.queries.len(), 2);
+        assert!(batch.queries[0].is_ok());
+        assert!(batch.queries[1].as_ref().unwrap_err().contains("empty"));
+        // Envelope-level problems fail the whole request.
+        assert!(parse_routed_batch(br#"{"node":1}"#, 10, 100)
+            .unwrap_err()
+            .contains("queries"));
+    }
+
+    #[test]
+    fn translate_rejects_out_of_range_and_wrong_arity() {
+        let resp = TopkResponse::from_body(
+            br#"{"k":1,"engine":"exact","results":[{"node":0,"matches":[{"target":3,"score":0.5}]}]}"#,
+        )
+        .unwrap();
+        // Shard [10, 14): local id 3 is the last valid row → global 13.
+        let per_node = translate_response(&resp, 10, 4, 1).unwrap();
+        assert_eq!(
+            per_node,
+            vec![vec![Match {
+                target: 13,
+                score: 0.5
+            }]]
+        );
+        assert!(translate_response(&resp, 10, 3, 1)
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(translate_response(&resp, 10, 4, 2)
+            .unwrap_err()
+            .contains("expected 2"));
     }
 
     #[test]

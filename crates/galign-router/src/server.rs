@@ -7,6 +7,7 @@
 //! | method | path                 | purpose                                 |
 //! |--------|----------------------|-----------------------------------------|
 //! | POST   | `/v1/align/topk`     | routed top-k (body forwarded to shards) |
+//! | POST   | `/v2/align/topk`     | routed batch top-k, merged slot by slot |
 //! | GET    | `/healthz`           | router + per-shard replica health       |
 //! | GET    | `/metrics`           | telemetry snapshot (JSON / Prometheus)  |
 //! | GET    | `/v1/debug/requests` | flight recorder (requests + hops)       |
@@ -23,11 +24,13 @@
 //! `"partial": true`. Keep-alive follows the shard servers' contract
 //! (opt-in, fairness-gated idle linger).
 
-use crate::scatter::{parse_routed_query, scatter_gather, RoutedReply};
+use crate::scatter::{
+    parse_routed_batch, parse_routed_query, scatter_gather, scatter_gather_batch, RoutedReply,
+};
 use crate::topology::Topology;
+use galign_serve::api::error_body;
 use galign_serve::client::{Client, ClientConfig};
 use galign_serve::http::{self, ReadOutcome, Request};
-use galign_serve::json;
 use galign_telemetry::context::{self, TraceContext, TraceId};
 use galign_telemetry::flight::{self, FlightRecorder, RecordKind, TraceRecord};
 use std::io::{self, BufReader};
@@ -289,10 +292,6 @@ fn shed(inner: &Inner, stream: &TcpStream) {
     );
 }
 
-fn error_body(msg: &str) -> String {
-    format!("{{\"error\":\"{}\"}}", json::escape(msg))
-}
-
 struct Reply {
     status: u16,
     content_type: &'static str,
@@ -457,6 +456,10 @@ fn route(
             galign_telemetry::counter_add("router.route.topk", 1);
             topk_route(inner, clients, &request.body)
         }
+        ("POST", "/v2/align/topk") => {
+            galign_telemetry::counter_add("router.route.topk_v2", 1);
+            topk_batch_route(inner, clients, &request.body)
+        }
         ("GET", "/healthz") => {
             galign_telemetry::counter_add("router.route.healthz", 1);
             Reply::json(200, healthz(inner))
@@ -483,7 +486,7 @@ fn route(
             begin_shutdown(inner);
             Reply::json(200, "{\"status\":\"shutting-down\"}".to_string())
         }
-        ("GET" | "HEAD", "/v1/align/topk")
+        ("GET" | "HEAD", "/v1/align/topk" | "/v2/align/topk")
         | ("POST", "/healthz" | "/metrics" | "/v1/debug/requests")
         | ("GET", "/v1/admin/shutdown") => {
             Reply::json(405, error_body("wrong method for this path"))
@@ -508,6 +511,32 @@ fn topk_route(inner: &Inner, clients: &mut [Vec<Client>], body: &[u8]) -> Reply 
         partial,
         engine,
     } = scatter_gather(&inner.topology, clients, &body, &query, inner.flight);
+    if partial {
+        galign_telemetry::counter_add("router.topk.partial", 1);
+    }
+    Reply {
+        status,
+        content_type: "application/json",
+        body,
+        engine,
+    }
+}
+
+fn topk_batch_route(inner: &Inner, clients: &mut [Vec<Client>], body: &[u8]) -> Reply {
+    let st = context::stage("parse");
+    let batch = match parse_routed_batch(body, inner.cfg.default_k, inner.cfg.max_k) {
+        Ok(b) => b,
+        Err(msg) => return Reply::json(400, error_body(&msg)),
+    };
+    st.finish_with(vec![("queries", batch.queries.len().to_string())]);
+    // As on /v1, the envelope is forwarded verbatim.
+    let body = String::from_utf8_lossy(body).into_owned();
+    let RoutedReply {
+        status,
+        body,
+        partial,
+        engine,
+    } = scatter_gather_batch(&inner.topology, clients, &body, &batch, inner.flight);
     if partial {
         galign_telemetry::counter_add("router.topk.partial", 1);
     }

@@ -216,6 +216,44 @@ fn routed_topk_is_byte_identical_across_shard_splits() {
 }
 
 #[test]
+fn routed_v2_batches_are_byte_identical_to_single_node() {
+    let rows = 11;
+    let artifact = tie_heavy_artifact(rows);
+    let single = start_single(&artifact);
+    for num_shards in [1usize, 3] {
+        let (fleet, groups) = start_fleet(&artifact, num_shards, 1, false);
+        let router = start_router(&groups);
+        // Mixed batch: defaults, ties across shard boundaries, per-query
+        // θ, k beyond every shard's rows, and two per-slot rejections
+        // (bad k, out-of-range node) that must come back as slot errors,
+        // not whole-request failures.
+        let envelope = format!(
+            "{{\"queries\": [\
+             {{\"nodes\": [0, 1, 2], \"k\": 4}}, \
+             {{\"node\": 3}}, \
+             {{\"nodes\": [4, 0], \"k\": {}, \"theta\": [1.0]}}, \
+             {{\"nodes\": [1], \"k\": 0}}, \
+             {{\"node\": 9, \"k\": 2}}]}}",
+            rows + 5
+        );
+        let (s1, b1) = send(single.addr(), "POST", "/v2/align/topk", Some(&envelope));
+        let (s2, b2) = send(router.addr(), "POST", "/v2/align/topk", Some(&envelope));
+        assert_eq!(s1, 200, "single: {b1}");
+        assert_eq!(s2, 200, "routed ({num_shards} shards): {b2}");
+        assert_eq!(b1, b2, "{num_shards} shards: routed v2 bytes drifted");
+        // Envelope-level failures keep status parity too.
+        for bad in ["{", r#"{"nodes": [0]}"#, r#"{"queries": []}"#] {
+            let (s1, _) = send(single.addr(), "POST", "/v2/align/topk", Some(bad));
+            let (s2, _) = send(router.addr(), "POST", "/v2/align/topk", Some(bad));
+            assert_eq!(s1, s2, "status parity for {bad}");
+        }
+        router.shutdown().expect("router shutdown");
+        shutdown_all(fleet);
+    }
+    single.shutdown().expect("single shutdown");
+}
+
+#[test]
 fn routed_ann_hits_carry_exact_score_bits() {
     let artifact = random_artifact(41, 7, 60, &[5, 3]);
     // Ground truth: the exact kernel's score for every (node, target).

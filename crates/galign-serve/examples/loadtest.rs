@@ -27,7 +27,16 @@
 //! probed endpoint really is a router (role check) so A/B runs cannot
 //! silently hit the wrong tier; `--targets N` overrides the discovered
 //! node-id range when the query mix should not come from `/healthz`.
+//!
+//! `--queries Q` switches to `POST /v2/align/topk`, packing Q independent
+//! queries (each of `--batch` nodes) into one envelope per request; every
+//! slot of the response is verified. `--open-loop RPS` replaces the
+//! closed per-client loop with a fixed aggregate arrival rate: requests
+//! fire on schedule regardless of completions and latency is measured
+//! from the *scheduled* send time, so queueing delay under overload shows
+//! up in the percentiles instead of silently throttling the offered load.
 
+use galign_serve::api::{self, BatchRequest, TopkRequest};
 use galign_serve::client::{Client, ClientConfig};
 use galign_serve::json::{self, Json};
 use galign_serve::server::TRACE_HEADER;
@@ -40,6 +49,8 @@ struct Args {
     concurrency: usize,
     k: usize,
     batch: usize,
+    queries: usize,
+    open_loop: Option<f64>,
     seed: u64,
     max_retries: u32,
     untraced: bool,
@@ -54,6 +65,8 @@ fn parse_args() -> Args {
         concurrency: 8,
         k: 10,
         batch: 1,
+        queries: 0,
+        open_loop: None,
         seed: 1,
         max_retries: 5,
         untraced: false,
@@ -74,6 +87,10 @@ fn parse_args() -> Args {
             }
             "--k" => args.k = take("k").parse().expect("--k"),
             "--batch" => args.batch = take("batch").parse().expect("--batch"),
+            "--queries" => args.queries = take("queries").parse().expect("--queries"),
+            "--open-loop" => {
+                args.open_loop = Some(take("open-loop").parse().expect("--open-loop"));
+            }
             "--seed" => args.seed = take("seed").parse().expect("--seed"),
             "--max-retries" => {
                 args.max_retries = take("max-retries").parse().expect("--max-retries");
@@ -84,8 +101,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: loadtest [--addr HOST:PORT] [--requests N] \
-                     [--concurrency C] [--k K] [--batch B] [--seed S] [--max-retries R] \
-                     [--untraced] [--router] [--targets N]"
+                     [--concurrency C] [--k K] [--batch B] [--queries Q] [--open-loop RPS] \
+                     [--seed S] [--max-retries R] [--untraced] [--router] [--targets N]"
                 );
                 std::process::exit(2);
             }
@@ -167,7 +184,7 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "loadtest: {} requests x {} clients against {} ({role}{}, {} source nodes, k={}, batch={}{})",
+        "loadtest: {} requests x {} clients against {} ({role}{}, {} source nodes, k={}, batch={}{}{}{})",
         args.requests,
         args.concurrency,
         args.addr,
@@ -175,15 +192,33 @@ fn main() {
         nodes,
         args.k,
         args.batch,
+        if args.queries > 0 {
+            format!(", v2 x{} queries", args.queries)
+        } else {
+            String::new()
+        },
+        args.open_loop
+            .map_or(String::new(), |r| format!(", open-loop {r:.0} req/s")),
         if args.untraced { ", untraced" } else { "" }
     );
 
     let per_client = args.requests.div_ceil(args.concurrency);
+    // Open loop: each of C clients fires every C/RPS seconds, offering an
+    // aggregate RPS independent of how fast responses come back.
+    let interval = args
+        .open_loop
+        .map(|rps| Duration::from_secs_f64(args.concurrency as f64 / rps.max(1e-9)));
     let started = Instant::now();
     let mut handles = Vec::new();
     for client_id in 0..args.concurrency {
         let addr = args.addr.clone();
-        let (k, batch, seed, max_retries) = (args.k, args.batch, args.seed, args.max_retries);
+        let (k, batch, queries, seed, max_retries) = (
+            args.k,
+            args.batch,
+            args.queries,
+            args.seed,
+            args.max_retries,
+        );
         let untraced = args.untraced;
         handles.push(std::thread::spawn(move || {
             let thread_seed = seed ^ (client_id as u64).wrapping_mul(0x9e37);
@@ -195,11 +230,36 @@ fn main() {
             let mut failures = 0usize;
             let mut retried = 0usize;
             let mut shed = 0u32;
-            for _ in 0..per_client {
-                let ids: Vec<String> = (0..batch).map(|_| rng.below(nodes).to_string()).collect();
-                let body = format!("{{\"nodes\":[{}],\"k\":{k}}}", ids.join(","));
-                let t0 = Instant::now();
-                match client.post_json_traced("/v1/align/topk", &body) {
+            let path = if queries > 0 {
+                "/v2/align/topk"
+            } else {
+                "/v1/align/topk"
+            };
+            let schedule_base = Instant::now();
+            for i in 0..per_client {
+                let mut one_query =
+                    || TopkRequest::new((0..batch).map(|_| rng.below(nodes)).collect(), k);
+                let body = if queries > 0 {
+                    let qs: Vec<TopkRequest> = (0..queries).map(|_| one_query()).collect();
+                    BatchRequest::to_json(&qs)
+                } else {
+                    one_query().to_json()
+                };
+                let t0 = match interval {
+                    // Closed loop: send as soon as the last answer landed.
+                    None => Instant::now(),
+                    // Open loop: send on schedule; latency counts from the
+                    // scheduled instant so queueing delay is visible.
+                    Some(interval) => {
+                        let due = schedule_base + interval * i as u32;
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        due
+                    }
+                };
+                match client.post_json_traced(path, &body) {
                     Ok((resp, stats, trace_id)) if resp.status == 200 => {
                         // Every 200 must echo the trace id the client sent
                         // (unless we deliberately sent none).
@@ -213,6 +273,23 @@ fn main() {
                             );
                             failures += 1;
                             continue;
+                        }
+                        // In v2 mode every slot must answer: a per-query
+                        // error inside a 200 envelope is still a failure.
+                        if queries > 0 {
+                            let slots = json::parse(&resp.body_str())
+                                .ok()
+                                .and_then(|doc| api::parse_batch_response(&doc).ok());
+                            match slots {
+                                Some(slots)
+                                    if slots.len() == queries
+                                        && slots.iter().all(Result::is_ok) => {}
+                                _ => {
+                                    eprintln!("loadtest: bad v2 envelope: {}", resp.body_str());
+                                    failures += 1;
+                                    continue;
+                                }
+                            }
                         }
                         latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                         if stats.tries > 1 {
@@ -250,9 +327,17 @@ fn main() {
 
     let total = latencies.len() + failures;
     println!(
-        "loadtest: {} ok / {failures} failed in {wall:.2}s  ({:.0} req/s)",
+        "loadtest: {} ok / {failures} failed in {wall:.2}s  ({:.0} req/s{})",
         latencies.len(),
-        latencies.len() as f64 / wall.max(1e-9)
+        latencies.len() as f64 / wall.max(1e-9),
+        if args.queries > 0 {
+            format!(
+                ", {:.0} queries/s",
+                (latencies.len() * args.queries) as f64 / wall.max(1e-9)
+            )
+        } else {
+            String::new()
+        }
     );
     println!("loadtest: {retried} requests needed retries; {shed} shed 503 responses absorbed");
     if !args.untraced {

@@ -1,0 +1,403 @@
+//! Readiness polling for the event-loop server.
+//!
+//! The serving crate is std-only, so there is no `mio` to lean on: on
+//! Linux this module drives epoll directly through raw syscalls
+//! (`epoll_create1` / `epoll_ctl` / `epoll_pwait` via inline asm — the
+//! container toolchain has no libc crate either), level-triggered, with
+//! one `u64` token per registration. Everything the server registers is a
+//! non-blocking socket, so the contract handlers rely on is small: a
+//! readiness event means "try the operation; `WouldBlock` means not
+//! actually ready" — which also makes the non-Linux fallback (a bounded
+//! sleep that reports every registration ready) merely slower, never
+//! wrong.
+//!
+//! The [`wake_pair`] helper builds the loop's waker: a loopback TCP pair
+//! whose read half lives in the poller under a reserved token and whose
+//! write half worker threads poke one byte at to interrupt a blocking
+//! [`Poller::poll`] (completion queues have no fd of their own).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// One readiness event. `readable`/`writable` are hints, not guarantees:
+/// error and hang-up conditions set both so the owning state machine
+/// observes the failure on its next non-blocking operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration's token.
+    pub token: u64,
+    /// Reading will make progress (data, EOF, or an error to collect).
+    pub readable: bool,
+    /// Writing will make progress (or fail fast).
+    pub writable: bool,
+}
+
+/// The raw fd of a socket, as the poller's registration key. On non-unix
+/// targets this returns a dummy — the fallback poller keys registrations
+/// by token only.
+#[cfg(unix)]
+pub fn fd_of(source: &impl std::os::unix::io::AsRawFd) -> i32 {
+    source.as_raw_fd()
+}
+
+/// Non-unix stub of [`fd_of`]; the fallback poller ignores fds.
+#[cfg(not(unix))]
+pub fn fd_of<T>(_source: &T) -> i32 {
+    0
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i64 = 0x8_0000;
+    const EPOLL_CTL_ADD: i64 = 1;
+    const EPOLL_CTL_DEL: i64 = 2;
+    const EPOLL_CTL_MOD: i64 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLPRI: u32 = 0x002;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EINTR: i64 = 4;
+    const MAX_EVENTS: usize = 256;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const CLOSE: i64 = 3;
+        pub const EPOLL_CTL: i64 = 233;
+        pub const EPOLL_PWAIT: i64 = 281;
+        pub const EPOLL_CREATE1: i64 = 291;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: i64 = 20;
+        pub const EPOLL_CTL: i64 = 21;
+        pub const EPOLL_PWAIT: i64 = 22;
+        pub const CLOSE: i64 = 57;
+    }
+
+    /// `struct epoll_event`; packed on x86_64 (the kernel ABI there has
+    /// no padding between the 32-bit mask and the 64-bit payload).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x8") nr,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Level-triggered epoll instance.
+    pub struct Poller {
+        epfd: i64,
+    }
+
+    // The epoll fd is used from the event-loop thread only, but handing
+    // the Poller to the thread that runs the loop requires Send.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = check(unsafe { syscall(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0) })?;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i64, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            let ev = EpollEvent {
+                events,
+                data: token,
+            };
+            check(unsafe {
+                syscall(
+                    nr::EPOLL_CTL,
+                    self.epfd,
+                    op,
+                    i64::from(fd),
+                    std::ptr::addr_of!(ev) as i64,
+                    0,
+                )
+            })
+            .map(|_| ())
+        }
+
+        fn interest(readable: bool, writable: bool) -> u32 {
+            (if readable { EPOLLIN | EPOLLPRI } else { 0 }) | (if writable { EPOLLOUT } else { 0 })
+        }
+
+        pub fn register(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::interest(readable, writable), token)
+        }
+
+        pub fn reregister(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::interest(readable, writable), token)
+        }
+
+        pub fn deregister(&self, fd: i32, _token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn poll(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let timeout_ms: i64 = match timeout {
+                None => -1,
+                // Round up so a 200µs deadline never busy-spins at 0ms.
+                Some(d) => i64::try_from(d.as_millis().max(1).min(i64::MAX as u128))
+                    .unwrap_or(i64::MAX)
+                    .min(i64::from(i32::MAX)),
+            };
+            let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let n = loop {
+                let ret = unsafe {
+                    syscall(
+                        nr::EPOLL_PWAIT,
+                        self.epfd,
+                        events.as_mut_ptr() as i64,
+                        MAX_EVENTS as i64,
+                        timeout_ms,
+                        0, // null sigmask: plain epoll_wait semantics
+                    )
+                };
+                if ret == -EINTR {
+                    continue;
+                }
+                break check(ret)?;
+            };
+            for ev in &events[..n as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = { ev.events };
+                let token = { ev.data };
+                let failed = bits & (EPOLLERR | EPOLLHUP) != 0;
+                out.push(Event {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLPRI) != 0 || failed,
+                    writable: bits & EPOLLOUT != 0 || failed,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            let _ = unsafe { syscall(nr::CLOSE, self.epfd, 0, 0, 0, 0) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Portable fallback: tracks registrations and, after a bounded
+    /// sleep, reports every one of them ready per its interests. Sockets
+    /// are non-blocking, so spurious readiness costs a `WouldBlock` and
+    /// nothing else; the price is latency granularity, not correctness.
+    pub struct Poller {
+        registered: Mutex<Vec<(u64, bool, bool)>>,
+    }
+
+    const SLICE: Duration = Duration::from_millis(5);
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn register(
+            &self,
+            _fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut reg = self.registered.lock().expect("poller lock");
+            reg.retain(|&(t, _, _)| t != token);
+            reg.push((token, readable, writable));
+            Ok(())
+        }
+
+        pub fn reregister(
+            &self,
+            fd: i32,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.register(fd, token, readable, writable)
+        }
+
+        pub fn deregister(&self, _fd: i32, token: u64) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("poller lock")
+                .retain(|&(t, _, _)| t != token);
+            Ok(())
+        }
+
+        pub fn poll(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            std::thread::sleep(timeout.unwrap_or(SLICE).min(SLICE));
+            for &(token, readable, writable) in self.registered.lock().expect("poller lock").iter()
+            {
+                if readable || writable {
+                    out.push(Event {
+                        token,
+                        readable,
+                        writable,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use sys::Poller;
+
+/// Builds the event loop's waker: a connected loopback TCP pair
+/// `(tx, rx)`. The caller registers `rx` (non-blocking) in the poller
+/// under a reserved token; any thread holding a clone of `tx` calls
+/// [`wake`] to interrupt a blocking poll.
+pub fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+/// Pokes the waker's write half. Failures are ignored: the loop also
+/// wakes on its next timeout, so a wake is an optimization, never a
+/// correctness requirement.
+pub fn wake(tx: &TcpStream) {
+    let _ = (&mut &*tx).write(&[1u8]);
+}
+
+/// Drains every pending wake byte from the waker's read half.
+pub fn drain_wakes(rx: &TcpStream) {
+    let mut sink = [0u8; 64];
+    while matches!((&mut &*rx).read(&mut sink), Ok(n) if n > 0) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn readable_event_surfaces_with_its_token() {
+        let poller = Poller::new().unwrap();
+        let (tx, rx) = wake_pair().unwrap();
+        poller.register(fd_of(&rx), 42, true, false).unwrap();
+        // Nothing written yet: a short poll may time out (Linux) or spin
+        // (fallback); either way no *data* is readable on Linux.
+        wake(&tx);
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while events.is_empty() && Instant::now() < deadline {
+            poller
+                .poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+        }
+        assert!(
+            events.iter().any(|e| e.token == 42 && e.readable),
+            "expected readable token 42, got {events:?}"
+        );
+        drain_wakes(&rx);
+        poller.deregister(fd_of(&rx), 42).unwrap();
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        let poller = Poller::new().unwrap();
+        let (tx, _rx) = wake_pair().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        // A fresh socket with empty send buffer is immediately writable.
+        poller.register(fd_of(&tx), 7, false, true).unwrap();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while events.is_empty() && Instant::now() < deadline {
+            poller
+                .poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+        }
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+        // Flip interest to read-only: no further writable-only events on
+        // Linux (the fallback may still report per its stored interests).
+        poller.reregister(fd_of(&tx), 7, true, false).unwrap();
+        poller.deregister(fd_of(&tx), 7).unwrap();
+    }
+
+    #[test]
+    fn empty_poll_times_out_quickly() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let started = Instant::now();
+        poller
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -193,6 +193,122 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     Ok(ReadOutcome::Ok(request))
 }
 
+/// Outcome of an incremental parse attempt over a connection's buffered
+/// bytes (the event loop's non-blocking read path).
+#[derive(Debug)]
+pub enum Parsed {
+    /// Not enough bytes buffered yet — keep reading.
+    Partial,
+    /// One complete request; the first `consumed` buffered bytes belong
+    /// to it (the remainder is the start of a pipelined next request).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// The buffered bytes can never become a valid request; respond 400
+    /// and close.
+    Bad(BadRequest),
+}
+
+/// Attempts to parse one request from buffered bytes without consuming
+/// them: the caller drains `consumed` bytes on [`Parsed::Complete`].
+/// Produces the same requests — and the same error strings — as the
+/// blocking [`read_request`], but never blocks: missing bytes yield
+/// [`Parsed::Partial`].
+#[must_use]
+pub fn try_parse(buf: &[u8]) -> Parsed {
+    // Tolerate (bounded) empty lines before the request line, as RFC 9112
+    // suggests; robust against clients that end the previous request's
+    // body with a stray CRLF.
+    let mut start = 0;
+    while buf[start..].starts_with(b"\r\n") {
+        start += 2;
+    }
+    while buf[start..].starts_with(b"\n") {
+        start += 1;
+    }
+    // Find the end of the head: the first empty line.
+    let mut lines: Vec<&[u8]> = Vec::new();
+    let mut head_end = None;
+    let mut line_start = start;
+    for (i, &b) in buf.iter().enumerate().skip(start) {
+        if b != b'\n' {
+            continue;
+        }
+        let mut line = &buf[line_start..i];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        line_start = i + 1;
+        if line.is_empty() {
+            head_end = Some(i + 1);
+            break;
+        }
+        lines.push(line);
+    }
+    let Some(head_end) = head_end else {
+        if buf.len() - start > MAX_HEAD_BYTES {
+            return Parsed::Bad(BadRequest("request head too large".into()));
+        }
+        return Parsed::Partial;
+    };
+    if head_end - start > MAX_HEAD_BYTES {
+        return Parsed::Bad(BadRequest("request head too large".into()));
+    }
+    let Some((request_line, header_lines)) = lines.split_first() else {
+        return Parsed::Bad(BadRequest("malformed request line: \"\"".into()));
+    };
+    let request_line = String::from_utf8_lossy(request_line).into_owned();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(uri), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Parsed::Bad(BadRequest(format!(
+            "malformed request line: {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Parsed::Bad(BadRequest(format!("unsupported protocol {version}")));
+    }
+    let (path, query) = match uri.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (uri.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for raw in header_lines {
+        let l = String::from_utf8_lossy(raw);
+        let Some((name, value)) = l.split_once(':') else {
+            return Parsed::Bad(BadRequest(format!("malformed header {l:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    let mut consumed = head_end;
+    if let Some(len) = request.header("content-length") {
+        let Ok(len) = len.parse::<usize>() else {
+            return Parsed::Bad(BadRequest(format!("bad content-length {len:?}")));
+        };
+        if len > MAX_BODY_BYTES {
+            return Parsed::Bad(BadRequest(format!(
+                "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )));
+        }
+        if buf.len() - head_end < len {
+            return Parsed::Partial;
+        }
+        request.body = buf[head_end..head_end + len].to_vec();
+        consumed = head_end + len;
+    }
+    Parsed::Complete { request, consumed }
+}
+
 /// Standard reason phrase for the status codes the server emits.
 #[must_use]
 pub fn reason(status: u16) -> &'static str {
@@ -417,6 +533,86 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
+    }
+
+    #[test]
+    fn try_parse_incremental_byte_by_byte() {
+        // Feed a complete request one byte at a time: every prefix must be
+        // Partial, the full buffer Complete with exact consumption, and
+        // trailing pipelined bytes must be left alone.
+        let raw = b"POST /v1/align/topk HTTP/1.1\r\ncontent-length: 11\r\nX-Trace: 7\r\n\r\n{\"nodes\":1}";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(try_parse(&raw[..cut]), Parsed::Partial),
+                "prefix of {cut} bytes should be Partial"
+            );
+        }
+        let mut with_tail = raw.to_vec();
+        with_tail.extend_from_slice(b"GET /healthz");
+        match try_parse(&with_tail) {
+            Parsed::Complete { request, consumed } => {
+                assert_eq!(consumed, raw.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/v1/align/topk");
+                assert_eq!(request.header("x-trace"), Some("7"));
+                assert_eq!(request.body, b"{\"nodes\":1}");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_matches_blocking_reader() {
+        let raw = "GET /metrics?format=prometheus HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let incremental = match try_parse(raw.as_bytes()) {
+            Parsed::Complete { request, consumed } => {
+                assert_eq!(consumed, raw.len());
+                request
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        };
+        let blocking = parse_ok(raw);
+        assert_eq!(incremental.method, blocking.method);
+        assert_eq!(incremental.path, blocking.path);
+        assert_eq!(incremental.query, blocking.query);
+        assert_eq!(incremental.headers, blocking.headers);
+        assert!(incremental.wants_keep_alive());
+        // Leading CRLFs (stray bytes after a previous body) are skipped.
+        let padded = format!("\r\n\r\n{raw}");
+        match try_parse(padded.as_bytes()) {
+            Parsed::Complete { consumed, .. } => assert_eq!(consumed, padded.len()),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_rejects_what_the_blocking_reader_rejects() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x SPDY/9\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+        ] {
+            assert!(
+                matches!(try_parse(raw), Parsed::Bad(_)),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+        // An unterminated head stays Partial until it exceeds the limit.
+        let flood = vec![b'a'; MAX_HEAD_BYTES + 2];
+        assert!(matches!(try_parse(&flood), Parsed::Bad(_)));
+        let body_bomb = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(try_parse(body_bomb.as_bytes()), Parsed::Bad(_)));
+        // A declared-but-unsent body is Partial (more bytes may come),
+        // unlike the blocking reader where EOF makes it Bad.
+        assert!(matches!(
+            try_parse(b"POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nab"),
+            Parsed::Partial
+        ));
     }
 
     #[test]

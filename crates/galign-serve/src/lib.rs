@@ -20,13 +20,23 @@
 //!   exact engine's), and low-confidence candidate sets fall back to the
 //!   full scan;
 //! * [`cache`] — a sharded in-memory LRU keyed on `(node, k, θ)`;
-//! * [`server`] — a std-only multi-threaded HTTP/1.1 server with a
-//!   bounded worker pool, per-request timeouts, graceful shutdown, and
-//!   overload protection (a bounded pending queue that sheds excess load
-//!   with `503` + `Retry-After`, plus a cooperative per-request compute
-//!   deadline), opt-in keep-alive connection reuse, and hot artifact swap
-//!   (admin endpoint or generation-pointer file; in-flight requests are
-//!   pinned to the generation they started on), instrumented through
+//! * [`api`] — the typed wire schema shared by server, client, router
+//!   and loadtest: [`api::TopkRequest`], [`api::BatchRequest`] (the
+//!   `POST /v2/align/topk` envelope), [`api::TopkResponse`] and the
+//!   error body, with byte-exact render/parse round-trips;
+//! * [`server`] — a std-only HTTP/1.1 server built on a single-threaded
+//!   readiness event loop ([`evloop`]: raw epoll on Linux, a portable
+//!   fallback elsewhere) with non-blocking accept/read/write
+//!   state machines, so slow clients cost an entry in a map rather than
+//!   a thread. Top-k queries coalesce: concurrent requests wait up to a
+//!   bounded batch window and execute as one grouped query-block ×
+//!   node-panel GEMM on a worker pool, bit-identical to sequential
+//!   scoring. Overload protection (a bounded job queue that sheds excess
+//!   load with `503` + `Retry-After`, plus a cooperative per-request
+//!   compute deadline), keep-alive connection reuse (with pipelining),
+//!   graceful shutdown, and hot artifact swap (admin endpoint or
+//!   generation-pointer file; in-flight requests are pinned to the
+//!   generation they started on), instrumented through
 //!   `galign-telemetry`. Artifacts carrying a shard manifest (see
 //!   [`artifact::ShardManifest`]) serve a contiguous slice of the target
 //!   network and advertise it on `/healthz` for `galign-router`'s
@@ -64,17 +74,23 @@
 //! handle.shutdown().unwrap();
 //! ```
 
+pub mod api;
 pub mod artifact;
+mod batch;
 pub mod cache;
 pub mod client;
+pub mod evloop;
 pub mod http;
 pub mod json;
 pub mod server;
 pub mod testutil;
 pub mod topk;
 
+pub use api::{BatchRequest, TopkRequest, TopkResponse};
 pub use artifact::{Artifact, Mat, ShardManifest};
 pub use cache::{LruCache, QueryKey, ShardedCache};
 pub use client::{Client, ClientConfig, PoolStats};
-pub use server::{ServeConfig, Server, ServerHandle, GENERATION_HEADER};
+pub use server::{
+    ServeConfig, Server, ServerConfig, ServerConfigBuilder, ServerHandle, GENERATION_HEADER,
+};
 pub use topk::{EngineMode, EngineUsed, Hit, QueryError, TopkIndex};

@@ -1,18 +1,39 @@
-//! The alignment query server: a bounded worker pool over a
-//! `TcpListener`, routing to the top-k kernel through the sharded cache,
-//! instrumented with `galign-telemetry` counters and latency histograms.
+//! The alignment query server: a single-threaded epoll/kqueue-style
+//! readiness event loop feeding a coalescing batch scheduler, routing
+//! top-k queries through the sharded cache and the gathered panel
+//! kernels, instrumented with `galign-telemetry` counters and latency
+//! histograms.
 //!
 //! ## Endpoints
 //!
 //! | method | path                 | purpose                                |
 //! |--------|----------------------|----------------------------------------|
-//! | POST   | `/v1/align/topk`     | top-k alignment query (JSON body)      |
+//! | POST   | `/v1/align/topk`     | single top-k alignment query (JSON)    |
+//! | POST   | `/v2/align/topk`     | batched queries (`{"queries":[...]}`)  |
 //! | GET    | `/healthz`           | liveness + artifact shape              |
 //! | GET    | `/metrics`           | telemetry snapshot as JSON; add        |
 //! |        |                      | `?format=prometheus` for exposition    |
 //! | GET    | `/v1/debug/requests` | flight recorder (recent + slowest)     |
 //! | POST   | `/v1/admin/shutdown` | graceful shutdown (SIGTERM-equivalent) |
 //! | POST   | `/v1/admin/swap`     | hot-swap the serving artifact          |
+//!
+//! ## Event loop + coalescing
+//!
+//! One thread owns every socket: a non-blocking listener and all
+//! connections are registered with a readiness [`Poller`]
+//! (epoll on Linux) and driven through per-connection read/parse/write
+//! state machines — a slow client costs one idle `Conn` entry, never a
+//! thread. Top-k requests do not execute inline: they are enqueued as
+//! jobs on the batch module's coalescer, where concurrent queries wait up to
+//! [`ServerConfig::batch_window`] (or until [`ServerConfig::batch_cap`]
+//! jobs are queued) and then execute as ONE flush on a worker thread:
+//! all cache misses across the flush are grouped by (generation, engine,
+//! theta) and computed as a single query-block × node-panel GEMM via the
+//! gathered kernels, then demultiplexed back to their connections.
+//! Batched execution is bit-identical to sequential scoring — grouping
+//! changes *which* GEMM computes a row, never the reduction order within
+//! it. Arrivals beyond [`ServerConfig::queue_depth`] are shed with `503`
+//! + `Retry-After`.
 //!
 //! ## Hot artifact swap
 //!
@@ -22,7 +43,7 @@
 //! finish on the generation they started with and report it in the
 //! `x-galign-generation` response header. Swaps arrive two ways: `POST
 //! /v1/admin/swap` with `{"artifact": "/path"}`, or a *generation pointer
-//! file* ([`ServeConfig::generation_pointer`]) whose content names the
+//! file* ([`ServerConfig::generation_pointer`]) whose content names the
 //! current artifact path; a watcher thread polls it and swaps when the
 //! content changes (writers should update it atomically via
 //! write-temp-then-rename). Every swap clears the top-k cache — cached
@@ -33,16 +54,14 @@
 //!
 //! ## Connection reuse
 //!
-//! A client sending `connection: keep-alive` may issue sequential
-//! requests on one socket. The worker only lingers on an idle connection
-//! while no other connection is waiting for a worker
-//! ([`Inner::pending`] is zero) and at most
-//! [`ServeConfig::keep_alive_idle`] — under contention the server closes
-//! after responding and behaves exactly like the historical
-//! one-request-per-connection server, so keep-alive can starve nobody.
-//! Idle timeouts close the socket silently (writing an unsolicited `408`
-//! onto a pooled connection could be mistaken for the response to the
-//! *next* request).
+//! A client sending `connection: keep-alive` may issue sequential (or
+//! pipelined) requests on one socket. Under the event loop an idle
+//! keep-alive connection costs no thread, so there is no fairness gate:
+//! the connection stays open up to [`ServerConfig::keep_alive_idle`]
+//! between requests and is closed silently on idle timeout (writing an
+//! unsolicited `408` onto a pooled connection could be mistaken for the
+//! response to the *next* request). A connection whose *first* request
+//! never completes within [`ServerConfig::request_timeout`] gets a `408`.
 //!
 //! ## Tracing
 //!
@@ -52,33 +71,41 @@
 //! client can correlate its attempt with the server's access log, span
 //! JSONL and flight recorder. Handler stages (`parse`, `cache_lookup`,
 //! `engine_select`, `ann_search`, `exact_rerank`, `serialize`) record
-//! timed span events against the id; completed traces land in the global
-//! flight recorder and, when [`ServeConfig::access_log`] is set, as one
-//! JSONL access-log line per request.
+//! timed span events against the id — the context is captured as a
+//! [`PropagationHandle`] at dispatch, so stages recorded on a worker
+//! thread land in the request's trace across the thread hop. Completed
+//! traces land in the global flight recorder and, when
+//! [`ServerConfig::access_log`] is set, as one JSONL access-log line per
+//! request.
 //!
-//! Query body:
+//! Query body (v1):
 //! `{"nodes": [0, 3], "k": 5, "theta": [0.2, 0.3, 0.5], "mode": "auto"}` —
 //! `k`, `theta` and `mode` optional. `mode` picks the scoring engine
-//! (`exact | ann | auto`, default from [`ServeConfig::default_mode`]); the
-//! response reports the routing decision in its top-level `"engine"` field.
-//! Response: one `{"node", "matches": [{"target", "score"}]}` entry per
-//! queried node, best match first.
+//! (`exact | ann | auto`, default from [`ServerConfig::default_mode`]);
+//! the response reports the routing decision in its top-level `"engine"`
+//! field. v2 wraps any number of such objects:
+//! `{"queries": [{...}, {...}]}` → `{"results": [<v1 body>, ...]}`, with
+//! per-query errors isolated as `{"error": "..."}` entries. See
+//! [`crate::api`] for the typed request/response structs.
 //!
 //! ## Shutdown
 //!
 //! `POST /v1/admin/shutdown` (or [`ServerHandle::shutdown`]) flips an
-//! atomic flag and nudges the acceptor awake with a loopback connection;
-//! the acceptor stops taking connections, the request channel drains, and
-//! every worker joins before [`Server::run`] returns — in-flight requests
-//! finish, new ones are refused.
+//! atomic flag and nudges the event loop awake with a loopback
+//! connection; the loop stops accepting, closes idle connections, drains
+//! the coalescer (queued jobs complete and their responses are written),
+//! and every worker joins before [`Server::run`] returns.
 
-use crate::cache::{QueryKey, ShardedCache};
-use crate::http::{self, ReadOutcome, Request};
+use crate::batch::{self, Coalescer, Completion, Job};
+use crate::cache::ShardedCache;
+use crate::evloop::{self, Event, Poller};
+use crate::http::{self, Parsed, Request};
 use crate::json;
 use crate::topk::{EngineMode, TopkIndex};
-use galign_telemetry::context::{self, TraceContext, TraceId};
+use galign_telemetry::context::{PropagationHandle, TraceContext, TraceId};
 use galign_telemetry::flight::{self, FlightRecorder, RecordKind, TraceRecord};
-use std::io::{self, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -96,12 +123,14 @@ pub const TRACE_HEADER: &str = "x-galign-trace-id";
 /// actually used.
 pub const GENERATION_HEADER: &str = "x-galign-generation";
 
-/// Server tunables.
+/// Server tunables. Construct via [`ServerConfig::builder`] (preferred)
+/// or a struct literal over [`Default`].
 #[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Worker threads handling requests.
+pub struct ServerConfig {
+    /// Worker threads executing coalesced top-k flushes.
     pub workers: usize,
-    /// Per-request socket read/write timeout.
+    /// Deadline for one request to arrive / one response to drain on a
+    /// connection (the event loop's per-connection progress timeout).
     pub request_timeout: Duration,
     /// Total top-k cache entries across shards (0 disables caching).
     pub cache_capacity: usize,
@@ -111,12 +140,12 @@ pub struct ServeConfig {
     pub default_k: usize,
     /// Largest accepted `k` (bounds per-request work and cache entry size).
     pub max_k: usize,
-    /// Bound on connections waiting for a free worker; anything beyond is
-    /// shed with `503` + `Retry-After` instead of queueing unboundedly.
+    /// Bound on jobs waiting in the coalescer; anything beyond is shed
+    /// with `503` + `Retry-After` instead of queueing unboundedly.
     pub queue_depth: usize,
     /// Wall-clock deadline for handling one request, enforced
-    /// cooperatively *inside* the top-k handler (socket timeouts cannot
-    /// bound compute time); exceeding it returns `503`.
+    /// cooperatively on the worker (socket timeouts cannot bound compute
+    /// or queue time); exceeding it returns `503`.
     pub deadline: Duration,
     /// `Retry-After` value (seconds) attached to every shed/deadline 503.
     pub retry_after_secs: u64,
@@ -146,15 +175,29 @@ pub struct ServeConfig {
     pub generation_pointer: Option<PathBuf>,
     /// How often the generation pointer is polled.
     pub generation_poll: Duration,
-    /// How long a worker lingers on an idle keep-alive connection waiting
-    /// for the next request — and only while no other connection is
-    /// queued for a worker.
+    /// How long an idle keep-alive connection is held open waiting for
+    /// its next request.
     pub keep_alive_idle: Duration,
+    /// How long a queued top-k job may wait for flush-mates before the
+    /// coalescer flushes anyway (latency cost of batching, paid only
+    /// under concurrency — a lone job on an idle server waits the full
+    /// window, which is why the default is microseconds).
+    pub batch_window: Duration,
+    /// Most jobs executed in one coalesced flush.
+    pub batch_cap: usize,
+    /// Most concurrently open connections; accepts beyond this are shed
+    /// with `503`.
+    pub max_connections: usize,
 }
 
-impl Default for ServeConfig {
+/// Former name of [`ServerConfig`], kept so existing struct literals and
+/// signatures keep compiling.
+#[doc(hidden)]
+pub type ServeConfig = ServerConfig;
+
+impl Default for ServerConfig {
     fn default() -> Self {
-        ServeConfig {
+        ServerConfig {
             workers: 4,
             request_timeout: Duration::from_secs(10),
             cache_capacity: 4096,
@@ -173,7 +216,154 @@ impl Default for ServeConfig {
             generation_pointer: None,
             generation_poll: Duration::from_millis(200),
             keep_alive_idle: Duration::from_millis(250),
+            batch_window: Duration::from_micros(200),
+            batch_cap: 64,
+            max_connections: 1024,
         }
+    }
+}
+
+impl ServerConfig {
+    /// A fluent builder over the defaults.
+    #[must_use]
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: ServerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`]: each setter overrides one default.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+macro_rules! builder_field {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.cfg.$name = value;
+            self
+        }
+    };
+}
+
+macro_rules! builder_path {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(mut self, path: impl Into<PathBuf>) -> Self {
+            self.cfg.$name = Some(path.into());
+            self
+        }
+    };
+}
+
+impl ServerConfigBuilder {
+    builder_field!(
+        /// Worker threads executing coalesced flushes.
+        workers: usize
+    );
+    builder_field!(
+        /// Per-connection progress timeout.
+        request_timeout: Duration
+    );
+    builder_field!(
+        /// Total top-k cache entries across shards.
+        cache_capacity: usize
+    );
+    builder_field!(
+        /// Cache shard count.
+        cache_shards: usize
+    );
+    builder_field!(
+        /// `k` used when a query omits it.
+        default_k: usize
+    );
+    builder_field!(
+        /// Largest accepted `k`.
+        max_k: usize
+    );
+    builder_field!(
+        /// Coalescer queue bound before shedding.
+        queue_depth: usize
+    );
+    builder_field!(
+        /// Cooperative per-request deadline.
+        deadline: Duration
+    );
+    builder_field!(
+        /// `Retry-After` seconds on 503s.
+        retry_after_secs: u64
+    );
+    builder_field!(
+        /// Engine when a query omits `mode`.
+        default_mode: EngineMode
+    );
+    builder_field!(
+        /// Flight-recorder ring capacity.
+        flight_recorder_size: usize
+    );
+    builder_field!(
+        /// Flight-recorder slowest-K reservoir size.
+        flight_slowest_k: usize
+    );
+    builder_field!(
+        /// Generation-pointer poll interval.
+        generation_poll: Duration
+    );
+    builder_field!(
+        /// Idle keep-alive connection lifetime.
+        keep_alive_idle: Duration
+    );
+    builder_field!(
+        /// Coalescing window for queued top-k jobs.
+        batch_window: Duration
+    );
+    builder_field!(
+        /// Most jobs per coalesced flush.
+        batch_cap: usize
+    );
+    builder_field!(
+        /// Most concurrently open connections.
+        max_connections: usize
+    );
+    builder_path!(
+        /// JSONL access log destination.
+        access_log
+    );
+    builder_path!(
+        /// Flight-recorder shutdown dump destination.
+        flight_dump
+    );
+    builder_path!(
+        /// Generation pointer file to watch for hot swaps.
+        generation_pointer
+    );
+
+    /// Overrides the index's `auto` ANN switchover point.
+    #[must_use]
+    pub fn ann_threshold(mut self, nodes: usize) -> Self {
+        self.cfg.ann_threshold = Some(nodes);
+        self
+    }
+
+    /// The finished configuration.
+    #[must_use]
+    pub fn build(self) -> ServerConfig {
+        self.cfg
+    }
+
+    /// Builds the configuration and binds a server with it — the common
+    /// terminal step (`addr` as in [`Server::bind`], port 0 for
+    /// ephemeral).
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn bind(self, addr: &str, index: TopkIndex) -> io::Result<Server> {
+        Server::bind(addr, index, self.build())
     }
 }
 
@@ -191,32 +381,32 @@ fn generation_slot(index: TopkIndex) -> RwLock<Arc<Generation>> {
     RwLock::new(Arc::new(Generation { index, number: 1 }))
 }
 
-struct Inner {
-    index: RwLock<Arc<Generation>>,
-    cache: ShardedCache,
-    cfg: ServeConfig,
-    addr: SocketAddr,
-    shutting_down: AtomicBool,
-    /// Connections accepted but not yet picked up by a worker.
-    pending: AtomicU64,
-    /// Requests currently being handled by workers.
-    in_flight: AtomicU64,
-    /// Total connections shed with 503 since startup.
-    shed_total: AtomicU64,
+pub(crate) struct Inner {
+    pub(crate) index: RwLock<Arc<Generation>>,
+    pub(crate) cache: ShardedCache,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutting_down: AtomicBool,
+    /// Top-k jobs queued in the coalescer, waiting for a flush.
+    pub(crate) pending: AtomicU64,
+    /// Requests currently being handled (dispatched or routing inline).
+    pub(crate) in_flight: AtomicU64,
+    /// Total requests/connections shed with 503 since startup.
+    pub(crate) shed_total: AtomicU64,
     /// Completed-trace ring serving `/v1/debug/requests`.
-    flight: &'static FlightRecorder,
+    pub(crate) flight: &'static FlightRecorder,
     /// Whether the last `/healthz` evaluation reported degraded — the
     /// ok→degraded transition freezes the flight recorder so the traces
     /// *leading up to* the incident survive the incident's retry storm.
-    health_degraded: AtomicBool,
+    pub(crate) health_degraded: AtomicBool,
     /// JSONL access-log writer, when configured.
-    access_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    pub(crate) access_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
 }
 
 impl Inner {
     /// The current serving generation. One cheap clone per request pins
     /// that request to a consistent index while swaps proceed.
-    fn generation(&self) -> Arc<Generation> {
+    pub(crate) fn generation(&self) -> Arc<Generation> {
         Arc::clone(&self.index.read().expect("generation lock"))
     }
 }
@@ -259,16 +449,6 @@ fn shard_identity_ok(current: &TopkIndex, next: &TopkIndex) -> Result<(), String
     }
 }
 
-/// Decrements a load counter when the tracked scope ends, whatever exit
-/// path it takes.
-struct CounterGuard<'a>(&'a AtomicU64);
-
-impl Drop for CounterGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
 /// A bound (but not yet running) server.
 pub struct Server {
     inner: Arc<Inner>,
@@ -289,7 +469,7 @@ impl Server {
     ///
     /// # Errors
     /// Bind failures.
-    pub fn bind(addr: &str, mut index: TopkIndex, cfg: ServeConfig) -> io::Result<Server> {
+    pub fn bind(addr: &str, mut index: TopkIndex, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         galign_telemetry::set_metrics_enabled(true);
@@ -339,78 +519,83 @@ impl Server {
         self.inner.addr
     }
 
-    /// Runs the accept loop on the calling thread until graceful
+    /// Runs the event loop on the calling thread until graceful
     /// shutdown; all workers have joined when this returns.
     ///
     /// # Errors
-    /// Fatal listener failures (per-connection errors are absorbed).
+    /// Fatal listener/poller failures (per-connection errors are
+    /// absorbed).
     pub fn run(self) -> io::Result<()> {
-        let workers = self.inner.cfg.workers.max(1);
-        let queue_depth = self.inner.cfg.queue_depth.max(1);
-        let watcher = self.inner.cfg.generation_pointer.clone().map(|pointer| {
-            let inner = Arc::clone(&self.inner);
+        let inner = Arc::clone(&self.inner);
+        let watcher = inner.cfg.generation_pointer.clone().map(|pointer| {
+            let inner = Arc::clone(&inner);
             std::thread::spawn(move || watch_generation_pointer(&inner, &pointer))
         });
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
+        let co = Arc::new(Coalescer::new(
+            inner.cfg.batch_window,
+            inner.cfg.batch_cap,
+            inner.cfg.queue_depth,
+        ));
+        let (wake_tx, wake_rx) = evloop::wake_pair()?;
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let workers = inner.cfg.workers.max(1);
         let mut pool = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let rx = Arc::clone(&rx);
-            let inner = Arc::clone(&self.inner);
-            pool.push(std::thread::spawn(move || loop {
-                let stream = rx.lock().expect("worker queue lock").recv();
-                match stream {
-                    Ok(stream) => {
-                        inner.pending.fetch_sub(1, Ordering::Relaxed);
-                        handle_connection(&inner, stream);
+            let co = Arc::clone(&co);
+            let inner = Arc::clone(&inner);
+            let done_tx = done_tx.clone();
+            let wake_tx = wake_tx.try_clone()?;
+            pool.push(std::thread::spawn(move || {
+                // One iteration = one coalesced flush: every queued job in
+                // the batch is planned, executed as grouped panel GEMMs
+                // and completed before the next take.
+                while let Some(jobs) = co.take_batch() {
+                    inner
+                        .pending
+                        .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+                    let mut sent = false;
+                    for done in batch::process_jobs(&inner, jobs) {
+                        sent |= done_tx.send(done).is_ok();
                     }
-                    Err(_) => break, // acceptor dropped the sender: shutdown
+                    if sent {
+                        evloop::wake(&wake_tx);
+                    }
                 }
             }));
         }
-        for stream in self.listener.incoming() {
-            if self.inner.shutting_down.load(Ordering::SeqCst) {
-                break; // the waking connection (if any) is dropped unserved
-            }
-            match stream {
-                Ok(stream) => {
-                    // Load shedding: never block the acceptor on a full
-                    // queue — tell the client to back off and come back.
-                    // The increment happens *before* try_send: a worker
-                    // may pop the stream (and decrement) the instant the
-                    // send lands, and incrementing afterwards would let
-                    // the counter underflow to u64::MAX, which /healthz
-                    // would read as a saturated queue.
-                    self.inner.pending.fetch_add(1, Ordering::Relaxed);
-                    match tx.try_send(stream) {
-                        Ok(()) => {}
-                        Err(mpsc::TrySendError::Full(stream)) => {
-                            self.inner.pending.fetch_sub(1, Ordering::Relaxed);
-                            shed(&self.inner, &stream);
-                        }
-                        Err(mpsc::TrySendError::Disconnected(_)) => {
-                            self.inner.pending.fetch_sub(1, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                }
-                Err(e) => {
-                    galign_telemetry::debug!("serve", "accept error: {e}");
-                }
-            }
-        }
-        drop(tx);
+        drop(done_tx);
+        self.listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(evloop::fd_of(&self.listener), LISTENER, true, false)?;
+        poller.register(evloop::fd_of(&wake_rx), WAKER, true, false)?;
+        let mut el = EventLoop {
+            inner: Arc::clone(&inner),
+            poller,
+            listener: self.listener,
+            wake_rx,
+            co: Arc::clone(&co),
+            done_rx,
+            conns: HashMap::new(),
+            reqs: HashMap::new(),
+            next_token: FIRST_CONN,
+            draining: false,
+        };
+        let result = el.run_loop();
+        // Drop the loop (listener and every socket close) before joining
+        // workers: the bound port is released the moment `run` can return.
+        drop(el);
+        co.close();
         for worker in pool {
             let _ = worker.join();
         }
         if let Some(watcher) = watcher {
             let _ = watcher.join();
         }
-        if let Some(path) = &self.inner.cfg.flight_dump {
+        if let Some(path) = &inner.cfg.flight_dump {
             match std::fs::File::create(path) {
                 Ok(file) => {
                     let mut w = std::io::BufWriter::new(file);
-                    if let Err(e) = self.inner.flight.dump_jsonl(&mut w) {
+                    if let Err(e) = inner.flight.dump_jsonl(&mut w) {
                         galign_telemetry::info!("serve", "flight-recorder dump failed: {e}");
                     } else {
                         galign_telemetry::info!(
@@ -429,11 +614,11 @@ impl Server {
                 }
             }
         }
-        if let Some(log) = &self.inner.access_log {
+        if let Some(log) = &inner.access_log {
             let _ = log.lock().expect("access log lock").flush();
         }
         galign_telemetry::info!("serve", "shut down cleanly");
-        Ok(())
+        result
     }
 
     /// Runs the server on a background thread, returning a handle for
@@ -454,7 +639,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests graceful shutdown and waits for the accept loop and all
+    /// Requests graceful shutdown and waits for the event loop and all
     /// workers to finish.
     ///
     /// # Errors
@@ -523,17 +708,18 @@ fn watch_generation_pointer(inner: &Inner, pointer: &std::path::Path) {
     }
 }
 
-/// Flips the shutdown flag and wakes the acceptor.
+/// Flips the shutdown flag and wakes the event loop.
 fn begin_shutdown(inner: &Inner) {
     if !inner.shutting_down.swap(true, Ordering::SeqCst) {
-        // A throwaway loopback connection unblocks `accept`.
+        // A throwaway loopback connection makes the listener readable,
+        // which wakes the poller even when no client traffic arrives.
         let _ = TcpStream::connect_timeout(&inner.addr, Duration::from_secs(1));
     }
 }
 
-/// Refuses a connection the queue has no room for: a fast 503 with
+/// Refuses a connection outright (connection cap): a fast 503 with
 /// `Retry-After`, written with a short timeout so a slow client cannot
-/// stall the acceptor.
+/// stall the loop.
 fn shed(inner: &Inner, stream: &TcpStream) {
     inner.shed_total.fetch_add(1, Ordering::Relaxed);
     galign_telemetry::counter_add("serve.http.shed", 1);
@@ -549,19 +735,19 @@ fn shed(inner: &Inner, stream: &TcpStream) {
 
 /// One routed response: status, content type, body, and which scoring
 /// engine produced it (empty for non-query routes).
-struct Reply {
-    status: u16,
-    content_type: &'static str,
-    body: String,
-    engine: &'static str,
+pub(crate) struct Reply {
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: String,
+    pub(crate) engine: &'static str,
     /// Generation the reply was computed against (0 = not yet stamped;
     /// `route` stamps every reply, error paths fall back to the current
     /// generation at write time).
-    generation: u64,
+    pub(crate) generation: u64,
 }
 
 impl Reply {
-    fn json(status: u16, body: String) -> Reply {
+    pub(crate) fn json(status: u16, body: String) -> Reply {
         Reply {
             status,
             content_type: "application/json",
@@ -572,180 +758,586 @@ impl Reply {
     }
 }
 
-/// What to do with the connection after one request.
-enum ConnectionFate {
-    KeepAlive,
-    Close,
+/// Poller token of the listening socket.
+const LISTENER: u64 = 0;
+/// Poller token of the worker-wakeup socket.
+const WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN: u64 = 2;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConnState {
+    /// Accumulating request bytes (or idle between keep-alive requests).
+    Reading,
+    /// A top-k job is queued/executing; the socket is deregistered until
+    /// its completion arrives (level-triggered pollers would otherwise
+    /// spin on a half-closed peer).
+    Dispatched,
+    /// Draining a rendered response to the socket.
+    Writing,
 }
 
-fn handle_connection(inner: &Inner, stream: TcpStream) {
-    // Responses are written as several small buffers (status line,
-    // headers, body); without TCP_NODELAY the tail write can sit behind
-    // Nagle waiting on the peer's delayed ACK (~40 ms per request).
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(inner.cfg.request_timeout));
-    let mut reader = BufReader::new(&stream);
-    let mut served = 0u64;
-    loop {
-        let _ = stream.set_read_timeout(Some(inner.cfg.request_timeout));
-        match serve_one(inner, &stream, &mut reader, served) {
-            ConnectionFate::KeepAlive => served += 1,
-            ConnectionFate::Close => return,
+/// Per-connection state machine entry.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a parsed request.
+    buf: Vec<u8>,
+    /// Rendered response bytes being written.
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    /// Whether to return to `Reading` (vs close) once `out` drains.
+    keep_after_write: bool,
+    /// Requests already answered on this connection.
+    served: u64,
+    /// Progress deadline; meaning depends on state (first-request /
+    /// keep-alive idle / write drain). Dispatched connections have none —
+    /// the worker-side request deadline is authoritative there.
+    deadline: Instant,
+    /// Peer sent EOF (half-open: it may still read our response).
+    read_closed: bool,
+    /// Whether the fd is currently registered with the poller.
+    registered: bool,
+    /// Last (readable, writable) interest registered.
+    interest: (bool, bool),
+}
+
+/// Per-dispatched-request state the loop keeps while a job is away on a
+/// worker, keyed by connection token. Kept separate from [`Conn`] so a
+/// completion for a since-closed connection still runs its counters and
+/// trace tail.
+struct ReqState {
+    ctx: TraceContext,
+    started: Instant,
+    method: String,
+    path: String,
+    keep: bool,
+}
+
+/// Applies an interest change, tracking registration so level-triggered
+/// pollers only see fds the loop actually wants events for.
+fn set_interest(poller: &Poller, conn: &mut Conn, token: u64, readable: bool, writable: bool) {
+    let fd = evloop::fd_of(&conn.stream);
+    if !readable && !writable {
+        if conn.registered {
+            let _ = poller.deregister(fd, token);
+            conn.registered = false;
         }
-        // Fairness gate: lingering on an idle keep-alive connection is a
-        // luxury for quiet servers. The moment another connection waits
-        // for a worker, close and free this one — the client's pool
-        // repairs the dropped socket transparently.
-        if inner.pending.load(Ordering::Relaxed) > 0 {
+    } else if conn.registered {
+        if conn.interest != (readable, writable) {
+            let _ = poller.reregister(fd, token, readable, writable);
+        }
+    } else {
+        let _ = poller.register(fd, token, readable, writable);
+        conn.registered = true;
+    }
+    conn.interest = (readable, writable);
+}
+
+/// What `try_advance` decided while holding the connection borrow.
+enum Step {
+    /// Nothing actionable buffered; keep waiting.
+    Idle,
+    /// Connection is finished (EOF with nothing pending).
+    Close,
+    /// The buffered bytes can never parse; 400 and close.
+    Bad(String),
+    /// One complete request was consumed from the buffer.
+    Req(Box<Request>),
+}
+
+/// The single-threaded readiness loop owning every socket.
+struct EventLoop {
+    inner: Arc<Inner>,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    co: Arc<Coalescer>,
+    done_rx: mpsc::Receiver<Completion>,
+    conns: HashMap<u64, Conn>,
+    reqs: HashMap<u64, ReqState>,
+    next_token: u64,
+    draining: bool,
+}
+
+impl EventLoop {
+    fn run_loop(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if !self.draining && self.inner.shutting_down.load(Ordering::SeqCst) {
+                // Enter draining exactly once: refuse new work, close
+                // idle/reading connections, let queued jobs and pending
+                // writes finish.
+                self.draining = true;
+                self.co.close();
+                let reading: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| c.state == ConnState::Reading)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for token in reading {
+                    self.close_conn(token);
+                }
+            }
+            if self.draining && self.conns.is_empty() && self.reqs.is_empty() {
+                return Ok(());
+            }
+            let now = Instant::now();
+            let mut timeout = Duration::from_millis(500);
+            for c in self.conns.values() {
+                if c.state != ConnState::Dispatched {
+                    timeout = timeout.min(c.deadline.saturating_duration_since(now));
+                }
+            }
+            self.poller.poll(&mut events, Some(timeout))?;
+            for ev in events.drain(..) {
+                match ev.token {
+                    LISTENER => self.accept_ready(),
+                    WAKER => evloop::drain_wakes(&self.wake_rx),
+                    token => self.conn_event(token, &ev),
+                }
+            }
+            while let Ok(done) = self.done_rx.try_recv() {
+                let rs = self.reqs.remove(&done.token);
+                self.inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+                if let Some(rs) = rs {
+                    self.respond(done.token, done.reply, &rs);
+                }
+            }
+            self.check_timeouts();
+        }
+    }
+
+    /// Accepts everything the backlog holds (edge-agnostic: the listener
+    /// is polled level-triggered, but draining it now saves wakeups).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining || self.inner.shutting_down.load(Ordering::SeqCst) {
+                        // Shutdown nudge, or a client racing the drain.
+                        drop(stream);
+                        continue;
+                    }
+                    if self.conns.len() >= self.inner.cfg.max_connections {
+                        shed(&self.inner, &stream);
+                        continue;
+                    }
+                    let _ = stream.set_nonblocking(true);
+                    // Responses render as one buffer, but without
+                    // TCP_NODELAY a short tail write can still sit behind
+                    // Nagle waiting on the peer's delayed ACK.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let mut conn = Conn {
+                        stream,
+                        buf: Vec::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        state: ConnState::Reading,
+                        keep_after_write: false,
+                        served: 0,
+                        deadline: Instant::now() + self.inner.cfg.request_timeout,
+                        read_closed: false,
+                        registered: false,
+                        interest: (false, false),
+                    };
+                    set_interest(&self.poller, &mut conn, token, true, false);
+                    self.conns.insert(token, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    galign_telemetry::debug!("serve", "accept error: {e}");
+                    break;
+                }
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: &Event) {
+        let state = match self.conns.get(&token) {
+            Some(c) => c.state,
+            None => return,
+        };
+        match state {
+            ConnState::Reading if ev.readable => self.on_readable(token),
+            // Error/hangup conditions surface as readable+writable; the
+            // write attempt observes the failure and closes.
+            ConnState::Writing if ev.writable || ev.readable => self.advance_write(token),
+            _ => {}
+        }
+    }
+
+    /// Drains the socket into the connection buffer, then tries to parse.
+    fn on_readable(&mut self, token: u64) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        conn.deadline = Instant::now() + self.inner.cfg.request_timeout;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_conn(token);
             return;
         }
-        if reader.buffer().is_empty() {
-            // Wait (briefly) for the next request's first byte without
-            // starting a read the request parser would then own.
-            let idle = inner.cfg.keep_alive_idle.max(Duration::from_millis(1));
-            let _ = stream.set_read_timeout(Some(idle));
-            let mut probe = [0u8; 1];
-            match stream.peek(&mut probe) {
-                Ok(n) if n > 0 => {}
-                // Closed (0), idle timeout, or error: close silently. An
-                // unsolicited 408 here could be read by the client as the
-                // response to its *next* pooled request.
-                _ => return,
-            }
-        }
+        self.try_advance(token);
     }
-}
 
-/// Reads and answers one request on an accepted connection. `served`
-/// counts requests already answered on this connection (a reused
-/// keep-alive socket behaves slightly differently on read timeout).
-fn serve_one(
-    inner: &Inner,
-    stream: &TcpStream,
-    reader: &mut BufReader<&TcpStream>,
-    served: u64,
-) -> ConnectionFate {
-    let started = Instant::now();
-    inner.in_flight.fetch_add(1, Ordering::Relaxed);
-    let _guard = CounterGuard(&inner.in_flight);
-    let outcome = http::read_request(reader);
-    let mut writer = stream;
-    // Every response carries a trace id: the client's (when it sent a
-    // usable one) or a fresh assignment. Unparseable requests still get
-    // an id so their access-log lines are greppable.
-    let (reply, trace, request, keep) = match outcome {
-        Ok(ReadOutcome::Ok(request)) => {
-            let trace_id = request
-                .header(TRACE_HEADER)
-                .and_then(TraceId::parse_hex)
-                .unwrap_or_else(TraceId::generate);
-            let ctx = TraceContext::root(trace_id);
-            let reply = {
-                let _span_scope = ctx.enter();
-                route(inner, &request, started)
+    /// Attempts to parse and dispatch one request from buffered bytes.
+    fn try_advance(&mut self, token: u64) {
+        let step = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
             };
-            // Keep-alive is honored only while not shutting down — a
-            // draining server must not invite follow-up requests.
-            let keep = request.wants_keep_alive() && !inner.shutting_down.load(Ordering::SeqCst);
-            (reply, ctx, Some(request), keep)
-        }
-        Ok(ReadOutcome::Bad(bad)) => (
-            Reply::json(400, error_body(&bad.0)),
-            TraceContext::root(TraceId::generate()),
-            None,
-            false,
-        ),
-        Ok(ReadOutcome::Closed) => return ConnectionFate::Close,
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            if served > 0 {
-                // Idle reused connection: close without writing.
-                return ConnectionFate::Close;
+            if conn.state != ConnState::Reading {
+                return;
             }
-            (
-                Reply::json(408, error_body("request timed out")),
-                TraceContext::root(TraceId::generate()),
-                None,
-                false,
-            )
+            if conn.buf.is_empty() {
+                if conn.read_closed {
+                    Step::Close
+                } else {
+                    Step::Idle
+                }
+            } else {
+                match http::try_parse(&conn.buf) {
+                    Parsed::Partial => {
+                        if conn.read_closed {
+                            // The request can never complete; there is
+                            // nothing sensible to answer on a half line.
+                            Step::Close
+                        } else {
+                            Step::Idle
+                        }
+                    }
+                    Parsed::Bad(bad) => Step::Bad(bad.0),
+                    Parsed::Complete { request, consumed } => {
+                        conn.buf.drain(..consumed);
+                        Step::Req(Box::new(request))
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Idle => {}
+            Step::Close => self.close_conn(token),
+            Step::Bad(msg) => {
+                // Unparseable requests still get a trace id so their
+                // access-log lines are greppable.
+                let rs = ReqState {
+                    ctx: TraceContext::root(TraceId::generate()),
+                    started: Instant::now(),
+                    method: "-".to_string(),
+                    path: "-".to_string(),
+                    keep: false,
+                };
+                self.respond(token, Reply::json(400, error_body(&msg)), &rs);
+            }
+            Step::Req(request) => self.handle_request(token, *request),
         }
-        Err(e) => {
-            galign_telemetry::debug!("serve", "connection error: {e}");
-            return ConnectionFate::Close;
+    }
+
+    /// Dispatches one parsed request: top-k queries join the coalescer,
+    /// everything else routes inline (those handlers are cheap).
+    fn handle_request(&mut self, token: u64, request: Request) {
+        let started = Instant::now();
+        let trace_id = request
+            .header(TRACE_HEADER)
+            .and_then(TraceId::parse_hex)
+            .unwrap_or_else(TraceId::generate);
+        let ctx = TraceContext::root(trace_id);
+        // Keep-alive is honored only while not shutting down — a
+        // draining server must not invite follow-up requests.
+        let keep = request.wants_keep_alive()
+            && !self.draining
+            && !self.inner.shutting_down.load(Ordering::SeqCst);
+        let rs = ReqState {
+            ctx,
+            started,
+            method: request.method.clone(),
+            path: request.path.clone(),
+            keep,
+        };
+        let v2 = request.path == "/v2/align/topk";
+        let is_topk = request.method == "POST" && (v2 || request.path == "/v1/align/topk");
+        if !is_topk {
+            self.inner.in_flight.fetch_add(1, Ordering::Relaxed);
+            let reply = {
+                let _scope = rs.ctx.enter();
+                route(&self.inner, &request, started)
+            };
+            self.inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+            self.respond(token, reply, &rs);
+            return;
         }
-    };
-    if served > 0 {
-        galign_telemetry::counter_add("serve.http.keepalive.reused", 1);
-    }
-    let trace_id = trace.trace_id();
-    let generation = if reply.generation == 0 {
-        inner.generation().number
-    } else {
-        reply.generation
-    };
-    // Every 503 this server emits means "overloaded, come back later", so
-    // they all carry Retry-After.
-    let mut extra_headers = vec![
-        (TRACE_HEADER, trace_id.to_hex()),
-        (GENERATION_HEADER, generation.to_string()),
-    ];
-    if reply.status == 503 {
-        extra_headers.push(("retry-after", inner.cfg.retry_after_secs.to_string()));
-    }
-    let _ = http::write_response_with_options(
-        &mut writer,
-        reply.status,
-        reply.content_type,
-        &extra_headers,
-        reply.body.as_bytes(),
-        keep,
-    );
-    if galign_telemetry::metrics_enabled() {
-        galign_telemetry::counter_add("serve.http.requests", 1);
         galign_telemetry::counter_add(
-            match reply.status {
-                200 => "serve.http.status.2xx",
-                500..=599 => "serve.http.status.5xx",
-                _ => "serve.http.status.4xx",
+            if v2 {
+                "serve.route.topk_v2"
+            } else {
+                "serve.route.topk"
             },
             1,
         );
-        galign_telemetry::gauge_set(
-            "serve.in_flight",
-            inner.in_flight.load(Ordering::Relaxed) as f64,
+        self.inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        // Capture the trace context *under* this request's context so
+        // worker-side stages land in this trace across the thread hop.
+        let handle = {
+            let _scope = rs.ctx.enter();
+            PropagationHandle::capture()
+        };
+        let job = Job::new(
+            token,
+            request.body,
+            v2,
+            handle,
+            self.inner.generation(),
+            started,
         );
-        galign_telemetry::gauge_set(
-            "serve.pending",
-            inner.pending.load(Ordering::Relaxed) as f64,
-        );
-        galign_telemetry::histogram_record(
-            "serve.request.ms",
-            started.elapsed().as_secs_f64() * 1e3,
-        );
+        // Increment before enqueue: a worker may flush (and decrement)
+        // the instant the job lands, and incrementing afterwards would
+        // let the counter underflow, which /healthz would read as a
+        // saturated queue.
+        self.inner.pending.fetch_add(1, Ordering::Relaxed);
+        match self.co.enqueue(job) {
+            Ok(()) => {
+                self.reqs.insert(token, rs);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Dispatched;
+                    set_interest(&self.poller, conn, token, false, false);
+                }
+            }
+            Err(_refused) => {
+                self.inner.pending.fetch_sub(1, Ordering::Relaxed);
+                self.inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+                self.inner.shed_total.fetch_add(1, Ordering::Relaxed);
+                galign_telemetry::counter_add("serve.http.shed", 1);
+                let rs = ReqState { keep: false, ..rs };
+                self.respond(
+                    token,
+                    Reply::json(503, error_body("server overloaded, retry later")),
+                    &rs,
+                );
+            }
+        }
     }
-    finish_trace(inner, &trace, request.as_ref(), &reply, started);
-    if keep {
-        ConnectionFate::KeepAlive
-    } else {
-        ConnectionFate::Close
+
+    /// Renders a reply onto the connection, runs the request's metrics
+    /// and trace tail, and starts draining the bytes. Works (minus the
+    /// write) even when the connection has since closed.
+    fn respond(&mut self, token: u64, mut reply: Reply, rs: &ReqState) {
+        if reply.generation == 0 {
+            reply.generation = self.inner.generation().number;
+        }
+        let mut extra_headers = vec![
+            (TRACE_HEADER, rs.ctx.trace_id().to_hex()),
+            (GENERATION_HEADER, reply.generation.to_string()),
+        ];
+        // Every 503 this server emits means "overloaded, come back
+        // later", so they all carry Retry-After.
+        if reply.status == 503 {
+            extra_headers.push(("retry-after", self.inner.cfg.retry_after_secs.to_string()));
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.served > 0 {
+                galign_telemetry::counter_add("serve.http.keepalive.reused", 1);
+            }
+            let mut out = Vec::with_capacity(reply.body.len() + 256);
+            let _ = http::write_response_with_options(
+                &mut out,
+                reply.status,
+                reply.content_type,
+                &extra_headers,
+                reply.body.as_bytes(),
+                rs.keep,
+            );
+            conn.out = out;
+            conn.out_pos = 0;
+            conn.state = ConnState::Writing;
+            conn.keep_after_write = rs.keep;
+            conn.deadline = Instant::now() + self.inner.cfg.request_timeout;
+        }
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("serve.http.requests", 1);
+            galign_telemetry::counter_add(
+                match reply.status {
+                    200 => "serve.http.status.2xx",
+                    500..=599 => "serve.http.status.5xx",
+                    _ => "serve.http.status.4xx",
+                },
+                1,
+            );
+            galign_telemetry::gauge_set(
+                "serve.in_flight",
+                self.inner.in_flight.load(Ordering::Relaxed) as f64,
+            );
+            galign_telemetry::gauge_set(
+                "serve.pending",
+                self.inner.pending.load(Ordering::Relaxed) as f64,
+            );
+            galign_telemetry::histogram_record(
+                "serve.request.ms",
+                rs.started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        finish_trace(
+            &self.inner,
+            &rs.ctx,
+            &rs.method,
+            &rs.path,
+            &reply,
+            rs.started,
+        );
+        self.advance_write(token);
+    }
+
+    /// Pushes pending response bytes; on completion either re-arms the
+    /// connection for its next request or closes it.
+    fn advance_write(&mut self, token: u64) {
+        enum After {
+            None,
+            Close,
+            Pipeline,
+        }
+        let after = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.state != ConnState::Writing {
+                return;
+            }
+            let mut after = After::None;
+            loop {
+                if conn.out_pos >= conn.out.len() {
+                    conn.out.clear();
+                    conn.out_pos = 0;
+                    if !conn.keep_after_write || conn.read_closed || self.draining {
+                        after = After::Close;
+                    } else {
+                        conn.state = ConnState::Reading;
+                        conn.served += 1;
+                        set_interest(&self.poller, conn, token, true, false);
+                        if conn.buf.is_empty() {
+                            conn.deadline = Instant::now()
+                                + self.inner.cfg.keep_alive_idle.max(Duration::from_millis(1));
+                        } else {
+                            // Pipelined bytes already buffered: treat them
+                            // as an in-progress request, not idle time.
+                            conn.deadline = Instant::now() + self.inner.cfg.request_timeout;
+                            after = After::Pipeline;
+                        }
+                    }
+                    break;
+                }
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        after = After::Close;
+                        break;
+                    }
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        set_interest(&self.poller, conn, token, false, true);
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        after = After::Close;
+                        break;
+                    }
+                }
+            }
+            after
+        };
+        match after {
+            After::None => {}
+            After::Close => self.close_conn(token),
+            After::Pipeline => self.try_advance(token),
+        }
+    }
+
+    /// Enforces per-connection progress deadlines. Dispatched
+    /// connections are exempt — the worker-side request deadline decides
+    /// their fate.
+    fn check_timeouts(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<(u64, bool)> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.state != ConnState::Dispatched && now >= c.deadline)
+            .map(|(&t, c)| {
+                // A fresh connection whose first request never arrived
+                // gets a 408; an idle keep-alive connection (or a stalled
+                // response drain) closes silently — an unsolicited 408
+                // could be read as the response to the next pooled
+                // request.
+                let first_request_stalled =
+                    c.state == ConnState::Reading && c.served == 0 && !c.read_closed;
+                (t, first_request_stalled)
+            })
+            .collect();
+        for (token, timed_out) in expired {
+            if timed_out {
+                let rs = ReqState {
+                    ctx: TraceContext::root(TraceId::generate()),
+                    started: now,
+                    method: "-".to_string(),
+                    path: "-".to_string(),
+                    keep: false,
+                };
+                self.respond(
+                    token,
+                    Reply::json(408, error_body("request timed out")),
+                    &rs,
+                );
+            } else {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.registered {
+                let _ = self.poller.deregister(evloop::fd_of(&conn.stream), token);
+            }
+        }
     }
 }
 
 /// Completes a request's observability tail: one flight-recorder entry
 /// and (when configured) one access-log JSONL line, both carrying the
-/// trace id echoed in the response header.
+/// trace id echoed in the response header. `method`/`path` are `"-"` for
+/// requests that never parsed.
 fn finish_trace(
     inner: &Inner,
     trace: &TraceContext,
-    request: Option<&Request>,
+    method: &str,
+    path: &str,
     reply: &Reply,
     started: Instant,
 ) {
     let (events, notes) = trace.take_events();
     let total_us = started.elapsed().as_micros() as u64;
-    let (method, path) = match request {
-        Some(r) => (r.method.as_str(), r.path.as_str()),
-        None => ("-", "-"),
-    };
     let deadline_remaining_us = inner
         .cfg
         .deadline
@@ -782,7 +1374,7 @@ fn finish_trace(
     });
 }
 
-fn error_body(msg: &str) -> String {
+pub(crate) fn error_body(msg: &str) -> String {
     format!("{{\"error\":\"{}\"}}", json::escape(msg))
 }
 
@@ -799,6 +1391,10 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
         ("POST", "/v1/align/topk") => {
             galign_telemetry::counter_add("serve.route.topk", 1);
             topk_route(inner, &generation, &request.body, started)
+        }
+        ("POST", "/v2/align/topk") => {
+            galign_telemetry::counter_add("serve.route.topk_v2", 1);
+            batch::run_single(inner, &generation, &request.body, started, true)
         }
         ("GET", "/metrics") => {
             galign_telemetry::counter_add("serve.route.metrics", 1);
@@ -848,7 +1444,7 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
             galign_telemetry::counter_add("serve.route.swap", 1);
             swap_route(inner, &request.body)
         }
-        ("GET" | "HEAD", "/v1/align/topk")
+        ("GET" | "HEAD", "/v1/align/topk" | "/v2/align/topk")
         | ("POST", "/healthz" | "/metrics" | "/v1/debug/requests")
         | ("GET", "/v1/admin/swap" | "/v1/admin/shutdown") => {
             Reply::json(405, error_body("wrong method for this path"))
@@ -859,6 +1455,12 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
         reply.generation = generation.number;
     }
     reply
+}
+
+/// `POST /v1/align/topk`: the single-query path, served through the same
+/// planning/execution code as a coalesced batch of one.
+fn topk_route(inner: &Inner, generation: &Arc<Generation>, body: &[u8], started: Instant) -> Reply {
+    batch::run_single(inner, generation, body, started, false)
 }
 
 /// `POST /v1/admin/swap` with `{"artifact": "/path"}`: loads the artifact
@@ -955,211 +1557,32 @@ fn healthz(inner: &Inner, generation: &Generation) -> String {
     )
 }
 
-/// Parsed `/v1/align/topk` request body.
-struct TopkQuery {
-    nodes: Vec<usize>,
-    k: usize,
-    theta: Option<Vec<f64>>,
-    mode: EngineMode,
+/// The 3×2 single-layer index most server/batch unit tests run against.
+#[cfg(test)]
+pub(crate) fn test_index() -> TopkIndex {
+    use crate::artifact::{Artifact, Mat};
+    let m = Mat::new(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7]).unwrap();
+    TopkIndex::from_artifact(Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap())
 }
 
-fn parse_topk_body(inner: &Inner, body: &[u8]) -> Result<TopkQuery, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let doc = json::parse(text).map_err(|e| e.to_string())?;
-    let nodes: Vec<usize> = match (doc.get("nodes"), doc.get("node")) {
-        (Some(arr), _) => arr
-            .as_arr()
-            .ok_or("\"nodes\" must be an array of node ids")?
-            .iter()
-            .map(|v| {
-                v.as_usize()
-                    .ok_or("\"nodes\" entries must be non-negative integers")
-            })
-            .collect::<Result<_, _>>()?,
-        (None, Some(one)) => vec![one
-            .as_usize()
-            .ok_or("\"node\" must be a non-negative integer")?],
-        (None, None) => return Err("body needs \"nodes\" (array) or \"node\" (integer)".into()),
-    };
-    if nodes.is_empty() {
-        return Err("\"nodes\" must not be empty".into());
-    }
-    let k = match doc.get("k") {
-        None => inner.cfg.default_k,
-        Some(v) => v
-            .as_usize()
-            .filter(|&k| k >= 1)
-            .ok_or("\"k\" must be an integer >= 1")?,
-    };
-    if k > inner.cfg.max_k {
-        return Err(format!(
-            "\"k\" exceeds the server limit of {}",
-            inner.cfg.max_k
-        ));
-    }
-    let theta = match doc.get("theta") {
-        None => None,
-        Some(v) => Some(
-            v.as_arr()
-                .ok_or("\"theta\" must be an array of numbers")?
-                .iter()
-                .map(|w| w.as_f64().ok_or("\"theta\" entries must be numbers"))
-                .collect::<Result<Vec<_>, _>>()?,
-        ),
-    };
-    let mode = match doc.get("mode") {
-        None => inner.cfg.default_mode,
-        Some(v) => v
-            .as_str()
-            .and_then(EngineMode::from_name)
-            .ok_or("\"mode\" must be \"exact\", \"ann\" or \"auto\"")?,
-    };
-    Ok(TopkQuery {
-        nodes,
-        k,
-        theta,
-        mode,
-    })
-}
-
-/// Cooperative deadline check: socket timeouts cannot bound *compute*
-/// time, so the handler polls this at its expensive boundaries.
-fn past_deadline(inner: &Inner, started: Instant) -> Option<Reply> {
-    if started.elapsed() >= inner.cfg.deadline {
-        galign_telemetry::counter_add("serve.topk.deadline_exceeded", 1);
-        return Some(Reply::json(
-            503,
-            error_body("deadline exceeded, retry later"),
-        ));
-    }
-    None
-}
-
-fn topk_route(inner: &Inner, generation: &Generation, body: &[u8], started: Instant) -> Reply {
-    let index = &generation.index;
-    // Failpoint `serve.topk.stall`: a `delay(ms)` action sleeps here,
-    // simulating a handler stall for the fault-injection suite (which the
-    // deadline check below must then catch).
-    galign_telemetry::failpoint::eval("serve.topk.stall");
-    if let Some(reply) = past_deadline(inner, started) {
-        return reply;
-    }
-    let st = context::stage("parse");
-    let query = match parse_topk_body(inner, body) {
-        Ok(q) => q,
-        Err(msg) => return Reply::json(400, error_body(&msg)),
-    };
-    st.finish_with(vec![("nodes", query.nodes.len().to_string())]);
-    let theta = query.theta.as_deref();
-    // The engine-routing decision is deterministic per request (mode +
-    // index presence + auto threshold), so it can key the cache; ANN and
-    // exact results must never alias each other.
-    let st = context::stage("engine_select");
-    let ann_routed = index.would_use_ann(query.mode);
-    let engine = if ann_routed { "ann" } else { "exact" };
-    st.finish_with(vec![("engine", engine.to_string())]);
-
-    // Serve each node from the cache where possible; batch-compute the
-    // misses through the parallel kernel.
-    let st = context::stage("cache_lookup");
-    let mut results = vec![None; query.nodes.len()];
-    let mut miss_positions = Vec::new();
-    for (i, &node) in query.nodes.iter().enumerate() {
-        match inner.cache.get(&QueryKey::with_generation(
-            node,
-            query.k,
-            theta,
-            ann_routed,
-            generation.number,
-        )) {
-            Some(hits) => results[i] = Some(hits),
-            None => miss_positions.push(i),
-        }
-    }
-    let miss_count = miss_positions.len() as u64;
-    let hit_count = query.nodes.len() as u64 - miss_count;
-    st.finish_with(vec![
-        ("hits", hit_count.to_string()),
-        ("misses", miss_count.to_string()),
-    ]);
-    context::annotate("cache_hits", hit_count);
-    context::annotate("cache_misses", miss_count);
-    if !miss_positions.is_empty() {
-        // The batch compute is the expensive part — re-check the deadline
-        // on the way in rather than burning kernel time on a request whose
-        // client has already been promised an answer it can't get in time.
-        if let Some(reply) = past_deadline(inner, started) {
-            return reply;
-        }
-        let miss_nodes: Vec<usize> = miss_positions.iter().map(|&i| query.nodes[i]).collect();
-        let computed = match index.topk_batch_with_mode(&miss_nodes, query.k, theta, query.mode) {
-            Ok(c) => c,
-            Err(e) => return Reply::json(400, error_body(&e.to_string())),
-        };
-        for (&i, (hits, _engine)) in miss_positions.iter().zip(computed) {
-            let hits = Arc::new(hits);
-            inner.cache.insert(
-                QueryKey::with_generation(
-                    query.nodes[i],
-                    query.k,
-                    theta,
-                    ann_routed,
-                    generation.number,
-                ),
-                Arc::clone(&hits),
-            );
-            results[i] = Some(hits);
-        }
-    }
-
-    let st = context::stage("serialize");
-    let mut out = format!("{{\"k\":{},\"engine\":\"{engine}\",\"results\":[", query.k);
-    for (i, (node, hits)) in query.nodes.iter().zip(&results).enumerate() {
-        let hits = hits.as_ref().expect("every slot filled");
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("{{\"node\":{node},\"matches\":["));
-        for (j, hit) in hits.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"target\":{},\"score\":{}}}",
-                hit.target,
-                json::fmt_f64(hit.score)
-            ));
-        }
-        out.push_str("]}");
-    }
-    out.push_str("]}");
-    st.finish_with(vec![("bytes", out.len().to_string())]);
-
-    if galign_telemetry::metrics_enabled() {
-        galign_telemetry::counter_add("serve.topk.requests", 1);
-        galign_telemetry::counter_add("serve.topk.nodes", query.nodes.len() as u64);
-        galign_telemetry::counter_add("serve.topk.cache_misses", miss_count);
-        galign_telemetry::counter_add(
-            "serve.topk.cache_hits",
-            query.nodes.len() as u64 - miss_count,
-        );
-        galign_telemetry::counter_add(
-            if ann_routed {
-                "serve.topk.engine.ann"
-            } else {
-                "serve.topk.engine.exact"
-            },
-            1,
-        );
-        galign_telemetry::gauge_set("serve.cache.entries", inner.cache.len() as f64);
-        galign_telemetry::histogram_record("serve.topk.ms", started.elapsed().as_secs_f64() * 1e3);
-    }
-    Reply {
-        status: 200,
-        content_type: "application/json",
-        body: out,
-        engine,
-        generation: generation.number,
+/// An [`Inner`] over [`test_index`] without any sockets, for unit tests
+/// here and in [`crate::batch`].
+#[cfg(test)]
+pub(crate) fn test_inner_with(cfg: ServerConfig) -> Inner {
+    Inner {
+        index: generation_slot(test_index()),
+        cache: ShardedCache::new(64, 2),
+        cfg,
+        addr: "127.0.0.1:0".parse().unwrap(),
+        shutting_down: AtomicBool::new(false),
+        pending: AtomicU64::new(0),
+        in_flight: AtomicU64::new(0),
+        shed_total: AtomicU64::new(0),
+        // A private recorder per test Inner: freeze/thaw tests must
+        // not interfere with the process-global one.
+        flight: Box::leak(Box::new(FlightRecorder::new(32, 4))),
+        health_degraded: AtomicBool::new(false),
+        access_log: None,
     }
 }
 
@@ -1168,31 +1591,8 @@ mod tests {
     use super::*;
     use crate::artifact::{Artifact, Mat};
 
-    fn test_index() -> TopkIndex {
-        let m = Mat::new(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7]).unwrap();
-        TopkIndex::from_artifact(Artifact::new(vec![1.0], vec![m.clone()], vec![m], false).unwrap())
-    }
-
-    fn test_inner_with(cfg: ServeConfig) -> Inner {
-        Inner {
-            index: generation_slot(test_index()),
-            cache: ShardedCache::new(64, 2),
-            cfg,
-            addr: "127.0.0.1:0".parse().unwrap(),
-            shutting_down: AtomicBool::new(false),
-            pending: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-            shed_total: AtomicU64::new(0),
-            // A private recorder per test Inner: freeze/thaw tests must
-            // not interfere with the process-global one.
-            flight: Box::leak(Box::new(FlightRecorder::new(32, 4))),
-            health_degraded: AtomicBool::new(false),
-            access_log: None,
-        }
-    }
-
     fn test_inner() -> Inner {
-        test_inner_with(ServeConfig::default())
+        test_inner_with(ServerConfig::default())
     }
 
     /// `(status, body)` view of a route reply, for assertion brevity.
@@ -1249,9 +1649,9 @@ mod tests {
 
     #[test]
     fn exceeded_deadline_returns_503() {
-        let inner = test_inner_with(ServeConfig {
+        let inner = test_inner_with(ServerConfig {
             deadline: Duration::ZERO,
-            ..ServeConfig::default()
+            ..ServerConfig::default()
         });
         let (status, body) = topk_route2(&inner, br#"{"nodes":[0]}"#, Instant::now());
         assert_eq!(status, 503, "{body}");
@@ -1260,9 +1660,9 @@ mod tests {
 
     #[test]
     fn healthz_reports_load_and_degrades_when_queue_fills() {
-        let inner = test_inner_with(ServeConfig {
+        let inner = test_inner_with(ServerConfig {
             queue_depth: 4,
-            ..ServeConfig::default()
+            ..ServerConfig::default()
         });
         inner.in_flight.store(3, Ordering::Relaxed);
         inner.shed_total.store(7, Ordering::Relaxed);
@@ -1379,6 +1779,10 @@ mod tests {
             route(&inner, &req("GET", "/v1/align/topk"), now()).status,
             405
         );
+        assert_eq!(
+            route(&inner, &req("GET", "/v2/align/topk"), now()).status,
+            405
+        );
         assert_eq!(route(&inner, &req("POST", "/metrics"), now()).status, 405);
         assert_eq!(
             route(&inner, &req("POST", "/v1/debug/requests"), now()).status,
@@ -1393,6 +1797,13 @@ mod tests {
             405
         );
         assert_eq!(route(&inner, &req("GET", "/nope"), now()).status, 404);
+        // v2 takes the batch envelope, not a bare query object.
+        let mut v2 = req("POST", "/v2/align/topk");
+        assert_eq!(route(&inner, &v2, now()).status, 400);
+        v2.body = br#"{"queries":[{"nodes":[0]}]}"#.to_vec();
+        let reply = route(&inner, &v2, now());
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.starts_with("{\"results\":["), "{}", reply.body);
         let health = route(&inner, &req("GET", "/healthz"), now()).body;
         let doc = json::parse(&health).unwrap();
         assert_eq!(doc.get("source_nodes").unwrap().as_usize(), Some(3));
@@ -1522,7 +1933,7 @@ mod tests {
             route(&inner, &request, started)
         };
         assert_eq!(reply.status, 200);
-        finish_trace(&inner, &trace, Some(&request), &reply, started);
+        finish_trace(&inner, &trace, "POST", "/v1/align/topk", &reply, started);
         let rec = inner
             .flight
             .find(trace_id)
@@ -1537,5 +1948,70 @@ mod tests {
         // The debug endpoint serves the same record.
         let dump = inner.flight.to_json();
         assert!(dump.contains(&trace_id.to_hex()));
+    }
+
+    #[test]
+    fn builder_overrides_defaults_and_old_name_still_compiles() {
+        let cfg = ServerConfig::builder()
+            .workers(2)
+            .max_k(50)
+            .deadline(Duration::from_secs(1))
+            .batch_window(Duration::from_millis(1))
+            .batch_cap(8)
+            .max_connections(99)
+            .ann_threshold(12)
+            .generation_pointer("/tmp/galign-pointer")
+            .build();
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.max_k, 50);
+        assert_eq!(cfg.batch_cap, 8);
+        assert_eq!(cfg.max_connections, 99);
+        assert_eq!(cfg.ann_threshold, Some(12));
+        assert_eq!(
+            cfg.generation_pointer.as_deref(),
+            Some(std::path::Path::new("/tmp/galign-pointer"))
+        );
+        // Unset fields keep their defaults.
+        assert_eq!(cfg.default_k, ServerConfig::default().default_k);
+        // The historical type name is an alias, not a fork.
+        let legacy: ServeConfig = cfg;
+        assert_eq!(legacy.workers, 2);
+    }
+
+    #[test]
+    fn v2_route_isolates_per_query_errors_and_matches_v1_bodies() {
+        let inner = test_inner();
+        let generation = inner.generation();
+        let reply = batch::run_single(
+            &inner,
+            &generation,
+            br#"{"queries":[{"nodes":[0,1],"k":2},{"nodes":[99],"k":1}]}"#,
+            Instant::now(),
+            true,
+        );
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = json::parse(&reply.body).unwrap();
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].get("error").is_none());
+        assert!(
+            results[1]
+                .get("error")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .contains("out of range"),
+            "{}",
+            reply.body
+        );
+        // The good slot is byte-identical to the v1 answer for the same
+        // query (rendered through the same TopkResponse path).
+        let (status, v1) = topk_route2(&inner, br#"{"nodes":[0,1],"k":2}"#, Instant::now());
+        assert_eq!(status, 200);
+        let needle = format!("{{\"results\":[{v1},");
+        assert!(
+            reply.body.starts_with(&needle),
+            "v2 slot should embed the v1 body:\n{}\nvs\n{v1}",
+            reply.body
+        );
     }
 }

@@ -15,7 +15,7 @@ use crate::artifact::{Artifact, Mat, ShardManifest};
 pub use galign_index::Backend;
 use galign_index::{AnnIndex, SearchStats, VectorSet};
 use galign_matrix::dense::dot;
-use galign_matrix::simblock::{self, ScoreProvider, SimPanel};
+use galign_matrix::simblock::{self, GatheredPanel, ScoreProvider, SimPanel};
 use galign_matrix::Dense;
 use galign_telemetry::context;
 use std::fmt;
@@ -144,6 +144,17 @@ fn mat_to_dense(m: Mat) -> Dense {
 /// Target-node count at which `mode: auto` switches from the exact scan
 /// to the ANN engine (overridable per index).
 pub const DEFAULT_AUTO_THRESHOLD: usize = 4096;
+
+/// One query of a coalesced batch: a source node with its own `k`. All
+/// queries of a batch share one θ and one engine routing decision — the
+/// batch scheduler groups by those before calling the gathered kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowQuery {
+    /// Source-network node id.
+    pub node: usize,
+    /// Hits requested for this query.
+    pub k: usize,
+}
 
 /// An in-memory query index over a loaded [`Artifact`]: normalized
 /// multi-order embeddings of both networks, the default θ, and an
@@ -431,6 +442,23 @@ impl TopkIndex {
         )
     }
 
+    /// Validates a query without running it — the same checks (and the
+    /// same error wording) every query path applies before scoring. The
+    /// batch scheduler validates up front so a grouped gathered compute
+    /// can never fail mid-flush.
+    ///
+    /// # Errors
+    /// [`QueryError`] on an out-of-range node, `k == 0`, or a θ override
+    /// of the wrong length.
+    pub fn validate(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        theta: Option<&[f64]>,
+    ) -> Result<(), QueryError> {
+        self.check(nodes, k, theta)
+    }
+
     fn check(&self, nodes: &[usize], k: usize, theta: Option<&[f64]>) -> Result<(), QueryError> {
         if k == 0 {
             return Err(QueryError::ZeroK);
@@ -564,6 +592,178 @@ impl TopkIndex {
                     (hits, EngineUsed::Exact)
                 }
             })
+            .collect())
+    }
+
+    fn check_queries(
+        &self,
+        queries: &[RowQuery],
+        theta: Option<&[f64]>,
+    ) -> Result<Vec<usize>, QueryError> {
+        let nodes: Vec<usize> = queries.iter().map(|q| q.node).collect();
+        if queries.iter().any(|q| q.k == 0) {
+            return Err(QueryError::ZeroK);
+        }
+        self.check(&nodes, 1, theta)?;
+        Ok(nodes)
+    }
+
+    /// Coalesced exact top-k: the whole batch is gathered into one
+    /// query-block × target-panel GEMM sweep
+    /// ([`galign_matrix::simblock::GatheredPanel`]) with per-query `k`
+    /// selection. Bit-identical to calling [`TopkIndex::topk`] per query.
+    ///
+    /// # Errors
+    /// [`QueryError`] if any node is out of range, any `k == 0`, or the θ
+    /// override has the wrong length — the whole batch is rejected before
+    /// any scoring happens.
+    pub fn topk_gathered(
+        &self,
+        queries: &[RowQuery],
+        theta: Option<&[f64]>,
+    ) -> Result<Vec<Vec<Hit>>, QueryError> {
+        let nodes = self.check_queries(queries, theta)?;
+        let th = theta.unwrap_or(&self.theta);
+        Ok(self.gathered_exact(queries, &nodes, th))
+    }
+
+    fn gathered_exact(&self, queries: &[RowQuery], nodes: &[usize], th: &[f64]) -> Vec<Vec<Hit>> {
+        let panel = GatheredPanel::new(&self.source, &self.target, th, nodes)
+            .expect("queries validated before gathering");
+        let ks: Vec<usize> = queries.iter().map(|q| q.k).collect();
+        let st = context::stage("exact_scan");
+        let rows = simblock::topk_rows_per_k(&panel, &ks);
+        st.finish_with(vec![("rows", nodes.len().to_string())]);
+        context::annotate("distance_evals", (nodes.len() * self.target_nodes()) as u64);
+        rows
+    }
+
+    /// Coalesced top-k with engine selection: the batched counterpart of
+    /// [`TopkIndex::topk_batch_with_mode`], bit-identical to it query for
+    /// query. On the ANN path every query keeps its *own* candidate set
+    /// (searches are per-query, exactly as in the sequential path), but
+    /// the exact re-rank is batched: the union of all candidate ids
+    /// ([`galign_index::union_candidate_ids`]) is gathered once into a
+    /// contiguous per-layer block and every query re-ranks its candidates
+    /// inside that block. Low-confidence candidate sets fall back to the
+    /// exact engine, pooled into one gathered GEMM sweep.
+    ///
+    /// # Errors
+    /// Same as [`TopkIndex::topk_gathered`].
+    pub fn topk_gathered_with_mode(
+        &self,
+        queries: &[RowQuery],
+        theta: Option<&[f64]>,
+        mode: EngineMode,
+    ) -> Result<Vec<(Vec<Hit>, EngineUsed)>, QueryError> {
+        let nodes = self.check_queries(queries, theta)?;
+        let th = theta.unwrap_or(&self.theta);
+        let Some(ann) = self.pick_ann(mode) else {
+            return Ok(self
+                .gathered_exact(queries, &nodes, th)
+                .into_iter()
+                .map(|hits| (hits, EngineUsed::Exact))
+                .collect());
+        };
+        // Per-query candidate generation: identical searches (and thus
+        // identical candidate sets) to the sequential path.
+        let st = context::stage("ann_search");
+        let mut confident: Vec<(usize, Vec<galign_index::Candidate>)> = Vec::new();
+        let mut fallback: Vec<usize> = Vec::new();
+        let mut total_cands = 0u64;
+        let mut total_evals = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            let qv = self.query_vector(q.node, th);
+            let mut stats = SearchStats::default();
+            let cands = ann.search(&qv, q.k, &mut stats);
+            total_cands += cands.len() as u64;
+            total_evals += stats.distance_evals;
+            if cands.len() < q.k.min(self.target_nodes()) {
+                if galign_telemetry::metrics_enabled() {
+                    galign_telemetry::counter_add("serve.index.fallbacks", 1);
+                }
+                fallback.push(i);
+            } else {
+                confident.push((i, cands));
+            }
+        }
+        st.finish_with(vec![
+            ("queries", queries.len().to_string()),
+            ("candidates", total_cands.to_string()),
+            ("distance_evals", total_evals.to_string()),
+        ]);
+        context::annotate("ann_candidates", total_cands);
+        context::annotate("distance_evals", total_evals);
+
+        let mut out: Vec<Option<(Vec<Hit>, EngineUsed)>> = vec![None; queries.len()];
+        if !confident.is_empty() {
+            // Shared-candidate batched re-rank: gather the union's target
+            // rows once (cache locality for every query in the batch), then
+            // score each query only against its own candidates — selection
+            // stays restricted per query, so results match the sequential
+            // re-rank bit for bit.
+            let union: Vec<usize> = galign_index::union_candidate_ids(
+                &confident.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>(),
+            );
+            let gathered: Vec<Dense> = self
+                .target
+                .iter()
+                .map(|layer| {
+                    let mut data = Vec::with_capacity(union.len() * layer.cols());
+                    for &u in &union {
+                        data.extend_from_slice(layer.row(u));
+                    }
+                    Dense::from_vec(union.len(), layer.cols(), data)
+                        .expect("gathered candidate rows keep the layer dimension")
+                })
+                .collect();
+            let st = context::stage("exact_rerank");
+            let mut evals = 0u64;
+            for (i, cands) in confident {
+                let node = queries[i].node;
+                // Ascending-id order so select_topk's tie contract maps
+                // straight back to target ids — identical to ann_topk.
+                let mut ids: Vec<usize> = cands.iter().map(|c| c.id).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                let scores: Vec<f64> = ids
+                    .iter()
+                    .map(|&u| {
+                        let pos = union.binary_search(&u).expect("candidate in union");
+                        let mut acc = 0.0;
+                        for (l, &w) in th.iter().enumerate() {
+                            if w == 0.0 {
+                                continue;
+                            }
+                            acc += w * dot(self.source[l].row(node), gathered[l].row(pos));
+                        }
+                        acc
+                    })
+                    .collect();
+                evals += ids.len() as u64;
+                let hits = select_topk(&scores, queries[i].k)
+                    .into_iter()
+                    .map(|h| Hit {
+                        target: ids[h.target],
+                        score: h.score,
+                    })
+                    .collect();
+                out[i] = Some((hits, EngineUsed::Ann));
+            }
+            st.finish_with(vec![("evals", evals.to_string())]);
+            context::annotate("distance_evals", evals);
+        }
+        if !fallback.is_empty() {
+            let fb_queries: Vec<RowQuery> = fallback.iter().map(|&i| queries[i]).collect();
+            let fb_nodes: Vec<usize> = fb_queries.iter().map(|q| q.node).collect();
+            let hits = self.gathered_exact(&fb_queries, &fb_nodes, th);
+            for (&i, h) in fallback.iter().zip(hits) {
+                out[i] = Some((h, EngineUsed::Exact));
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|slot| slot.expect("every query answered"))
             .collect())
     }
 }
@@ -756,6 +956,92 @@ mod tests {
         };
         assert!(other.attach_index_bytes(&blob).is_err());
         assert!(!other.has_ann());
+    }
+
+    #[test]
+    fn gathered_exact_is_bit_identical_to_sequential() {
+        let idx = tiny_index();
+        // Repeats, ties (nodes 0/1 are orthogonal basis rows), mixed k.
+        let queries = [
+            RowQuery { node: 3, k: 1 },
+            RowQuery { node: 0, k: 4 },
+            RowQuery { node: 2, k: 2 },
+            RowQuery { node: 0, k: 2 },
+            RowQuery { node: 1, k: 100 },
+        ];
+        let batch = idx.topk_gathered(&queries, None).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (got, q) in batch.iter().zip(&queries) {
+            let want = idx.topk(q.node, q.k, None).unwrap();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.target, w.target);
+                assert_eq!(g.score.to_bits(), w.score.to_bits());
+            }
+        }
+        // θ overrides flow through unchanged.
+        let th = [1.0, 0.0];
+        let batch = idx.topk_gathered(&queries, Some(&th)).unwrap();
+        for (got, q) in batch.iter().zip(&queries) {
+            let want = idx.topk(q.node, q.k, Some(&th)).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.target, w.target);
+                assert_eq!(g.score.to_bits(), w.score.to_bits());
+            }
+        }
+        // Whole batch rejected on any bad query.
+        assert_eq!(
+            idx.topk_gathered(&[RowQuery { node: 0, k: 0 }], None)
+                .unwrap_err(),
+            QueryError::ZeroK
+        );
+        assert_eq!(
+            idx.topk_gathered(&[RowQuery { node: 9, k: 1 }], None)
+                .unwrap_err(),
+            QueryError::NodeOutOfRange { node: 9, nodes: 4 }
+        );
+    }
+
+    #[test]
+    fn gathered_with_mode_matches_sequential_per_engine() {
+        let mut idx = tiny_index();
+        idx.build_ann(Backend::Ivf).unwrap();
+        idx.set_auto_threshold(1);
+        let queries = [
+            RowQuery { node: 3, k: 2 },
+            // k > target count: the per-query search comes back clamped,
+            // which is still >= k.min(target_nodes) so it stays on ANN —
+            // same decision the sequential path makes.
+            RowQuery { node: 0, k: 9 },
+            RowQuery { node: 2, k: 4 },
+            RowQuery { node: 3, k: 1 },
+        ];
+        for mode in [EngineMode::Exact, EngineMode::Ann, EngineMode::Auto] {
+            let batch = idx.topk_gathered_with_mode(&queries, None, mode).unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                let (hits, engine) = idx.topk_with_mode(q.node, q.k, None, mode).unwrap();
+                assert_eq!(batch[i].1, engine, "engine for query {i} under {mode}");
+                assert_eq!(batch[i].0.len(), hits.len());
+                for (g, w) in batch[i].0.iter().zip(&hits) {
+                    assert_eq!(g.target, w.target);
+                    assert_eq!(g.score.to_bits(), w.score.to_bits());
+                }
+            }
+        }
+        // θ override through the gathered ANN re-rank.
+        let th = [0.0, 1.0];
+        let batch = idx
+            .topk_gathered_with_mode(&queries, Some(&th), EngineMode::Ann)
+            .unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let (hits, _) = idx
+                .topk_with_mode(q.node, q.k, Some(&th), EngineMode::Ann)
+                .unwrap();
+            for (g, w) in batch[i].0.iter().zip(&hits) {
+                assert_eq!(g.target, w.target);
+                assert_eq!(g.score.to_bits(), w.score.to_bits());
+            }
+        }
     }
 
     #[test]

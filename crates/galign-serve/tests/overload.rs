@@ -175,3 +175,51 @@ fn stalled_handler_hits_the_deadline_and_returns_503() {
     );
     handle.shutdown().unwrap();
 }
+
+#[test]
+fn requests_coalesced_behind_a_stalled_flush_keep_their_deadline() {
+    let _scenario = failpoint::Scenario::setup();
+    failpoint::cfg("serve.topk.stall", "delay(200)").unwrap();
+
+    let handle = test_server(ServeConfig {
+        workers: 1,
+        deadline: Duration::from_millis(60),
+        retry_after_secs: 4,
+        batch_window: Duration::from_micros(200),
+        batch_cap: 64,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // A concurrent burst against one worker: the first flush stalls
+    // 200ms, so jobs coalescing behind it cross the 60ms deadline while
+    // *queued*, not computing. Flush-time deadline enforcement must turn
+    // every one into a labelled 503 — never a hung connection or a
+    // silently late answer — because the coalescing window composes with
+    // the deadline instead of resetting it.
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                one_shot_client(&addr)
+                    .post_json("/v1/align/topk", r#"{"nodes":[1],"k":1}"#)
+                    .unwrap()
+            })
+        })
+        .collect();
+    for t in threads {
+        let resp = t.join().unwrap();
+        assert_eq!(resp.status, 503, "{}", resp.body_str());
+        assert!(resp.body_str().contains("deadline"), "{}", resp.body_str());
+        assert_eq!(resp.retry_after_secs(), Some(4.0));
+    }
+
+    // Once the stall clears, the very same query answers normally.
+    failpoint::remove("serve.topk.stall");
+    let resp = one_shot_client(&addr)
+        .post_json("/v1/align/topk", r#"{"nodes":[1],"k":1}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    handle.shutdown().unwrap();
+}
