@@ -219,9 +219,12 @@ pub enum Parsed {
 /// [`Parsed::Partial`].
 #[must_use]
 pub fn try_parse(buf: &[u8]) -> Parsed {
-    // Tolerate (bounded) empty lines before the request line, as RFC 9112
-    // suggests; robust against clients that end the previous request's
-    // body with a stray CRLF.
+    // Tolerate empty lines before the request line, as RFC 9112 suggests;
+    // robust against clients that end the previous request's body with a
+    // stray CRLF. Skipped prelude bytes still count against
+    // `MAX_HEAD_BYTES` (the size checks below use absolute offsets): a
+    // client streaming nothing but CRLFs hits the head limit instead of
+    // staying `Partial` while the caller's buffer grows without bound.
     let mut start = 0;
     while buf[start..].starts_with(b"\r\n") {
         start += 2;
@@ -249,12 +252,12 @@ pub fn try_parse(buf: &[u8]) -> Parsed {
         lines.push(line);
     }
     let Some(head_end) = head_end else {
-        if buf.len() - start > MAX_HEAD_BYTES {
+        if buf.len() > MAX_HEAD_BYTES {
             return Parsed::Bad(BadRequest("request head too large".into()));
         }
         return Parsed::Partial;
     };
-    if head_end - start > MAX_HEAD_BYTES {
+    if head_end > MAX_HEAD_BYTES {
         return Parsed::Bad(BadRequest("request head too large".into()));
     }
     let Some((request_line, header_lines)) = lines.split_first() else {
@@ -613,6 +616,27 @@ mod tests {
             try_parse(b"POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nab"),
             Parsed::Partial
         ));
+    }
+
+    #[test]
+    fn crlf_prelude_counts_against_the_head_limit() {
+        // A client streaming nothing but blank lines must hit the head
+        // limit — staying Partial forever would let the caller's buffer
+        // grow without bound.
+        let flood = b"\r\n".repeat(MAX_HEAD_BYTES / 2 + 1);
+        assert!(matches!(try_parse(&flood), Parsed::Bad(_)));
+        let lf_flood = vec![b'\n'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(try_parse(&lf_flood), Parsed::Bad(_)));
+        // A modest prelude before a real request still parses, consuming
+        // the blank lines along with the head.
+        let padded = format!("{}GET / HTTP/1.1\r\n\r\n", "\r\n".repeat(8));
+        match try_parse(padded.as_bytes()) {
+            Parsed::Complete { consumed, request } => {
+                assert_eq!(consumed, padded.len());
+                assert_eq!(request.path, "/");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
     }
 
     #[test]

@@ -46,7 +46,10 @@
 //! file* ([`ServerConfig::generation_pointer`]) whose content names the
 //! current artifact path; a watcher thread polls it and swaps when the
 //! content changes (writers should update it atomically via
-//! write-temp-then-rename). Every swap clears the top-k cache — cached
+//! write-temp-then-rename). Either way the artifact is read and
+//! deserialized *off* the event loop (the watcher thread, or a
+//! short-lived thread per admin swap): loading a large artifact must not
+//! stall serving. Every swap clears the top-k cache — cached
 //! hits must never outlive the artifact that produced them. A shard node
 //! (artifact with a shard manifest) refuses a swap that would change its
 //! id-range identity: replacing the *data* of shard 2/4 is routine,
@@ -62,6 +65,11 @@
 //! unsolicited `408` onto a pooled connection could be mistaken for the
 //! response to the *next* request). A connection whose *first* request
 //! never completes within [`ServerConfig::request_timeout`] gets a `408`.
+//! Each request's window is anchored once — at accept for the first, at
+//! its first byte for keep-alive follow-ups — and subsequent reads never
+//! extend it, so a slow-loris trickle cannot hold a connection open past
+//! the timeout; buffered-but-unparsed bytes are additionally capped at
+//! one maximal request's worth per connection.
 //!
 //! ## Tracing
 //!
@@ -548,13 +556,42 @@ impl Server {
             pool.push(std::thread::spawn(move || {
                 // One iteration = one coalesced flush: every queued job in
                 // the batch is planned, executed as grouped panel GEMMs
-                // and completed before the next take.
+                // and completed before the next take. The flush runs under
+                // `catch_unwind`: a panic must not kill the worker with
+                // its jobs' connections parked in `Dispatched` (exempt
+                // from loop timeouts, so they would hang forever and pin
+                // graceful shutdown) — every job still gets exactly one
+                // completion, a 500.
                 while let Some(jobs) = co.take_batch() {
                     inner
                         .pending
                         .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+                    let tokens: Vec<u64> = jobs.iter().map(|j| j.token).collect();
+                    let completions = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || batch::process_jobs(&inner, jobs),
+                    ))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        galign_telemetry::counter_add("serve.batch.panics", 1);
+                        galign_telemetry::info!(
+                            "serve",
+                            "batch flush panicked ({} jobs 500ed): {msg}",
+                            tokens.len()
+                        );
+                        tokens
+                            .iter()
+                            .map(|&token| Completion {
+                                token,
+                                reply: Reply::json(500, error_body("internal server error")),
+                            })
+                            .collect()
+                    });
                     let mut sent = false;
-                    for done in batch::process_jobs(&inner, jobs) {
+                    for done in completions {
                         sent |= done_tx.send(done).is_ok();
                     }
                     if sent {
@@ -563,7 +600,6 @@ impl Server {
                 }
             }));
         }
-        drop(done_tx);
         self.listener.set_nonblocking(true)?;
         let poller = Poller::new()?;
         poller.register(evloop::fd_of(&self.listener), LISTENER, true, false)?;
@@ -575,6 +611,11 @@ impl Server {
             wake_rx,
             co: Arc::clone(&co),
             done_rx,
+            // The loop keeps a sender + waker of its own: slow off-loop
+            // work it spawns itself (admin artifact swaps) completes
+            // through the same channel as worker flushes.
+            done_tx,
+            wake_tx,
             conns: HashMap::new(),
             reqs: HashMap::new(),
             next_token: FIRST_CONN,
@@ -717,20 +758,24 @@ fn begin_shutdown(inner: &Inner) {
     }
 }
 
-/// Refuses a connection outright (connection cap): a fast 503 with
-/// `Retry-After`, written with a short timeout so a slow client cannot
-/// stall the loop.
+/// Refuses a connection outright (connection cap): a best-effort 503
+/// with `Retry-After` — rendered to one buffer, pushed with a single
+/// non-blocking write. A peer whose socket cannot take the bytes right
+/// now just sees the close; a blocking (even timed) write here would run
+/// on the event-loop thread, where a burst of slow over-cap clients
+/// could stall the whole loop serially.
 fn shed(inner: &Inner, stream: &TcpStream) {
     inner.shed_total.fetch_add(1, Ordering::Relaxed);
     galign_telemetry::counter_add("serve.http.shed", 1);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let mut writer = stream;
+    let _ = stream.set_nonblocking(true);
+    let mut out = Vec::with_capacity(256);
     let _ = http::write_json_with_headers(
-        &mut writer,
+        &mut out,
         503,
         &[("retry-after", inner.cfg.retry_after_secs.to_string())],
         &error_body("server overloaded, retry later"),
     );
+    let _ = (&mut &*stream).write(&out);
 }
 
 /// One routed response: status, content type, body, and which scoring
@@ -757,6 +802,13 @@ impl Reply {
         }
     }
 }
+
+/// Cap on bytes buffered per connection awaiting parse. One maximal
+/// request (head + body at their limits) always fits, so `try_parse`
+/// over a full buffer yields `Complete` or `Bad`, never `Partial`;
+/// reading simply pauses at the cap until a parsed request drains the
+/// buffer. Bounds event-loop memory to `max_connections ×` this.
+const MAX_BUFFERED_BYTES: usize = http::MAX_HEAD_BYTES + http::MAX_BODY_BYTES;
 
 /// Poller token of the listening socket.
 const LISTENER: u64 = 0;
@@ -854,6 +906,8 @@ struct EventLoop {
     wake_rx: TcpStream,
     co: Arc<Coalescer>,
     done_rx: mpsc::Receiver<Completion>,
+    done_tx: mpsc::Sender<Completion>,
+    wake_tx: TcpStream,
     conns: HashMap<u64, Conn>,
     reqs: HashMap<u64, ReqState>,
     next_token: u64,
@@ -978,8 +1032,19 @@ impl EventLoop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
+            let was_idle = conn.buf.is_empty();
+            let mut progressed = false;
             let mut chunk = [0u8; 16 * 1024];
             loop {
+                // Hard cap on buffered bytes. One maximal request always
+                // fits (head + body ≤ the cap, so `try_parse` at the cap
+                // is Complete or Bad, never Partial); a pipelining client
+                // past the cap just waits — the poller is level-triggered,
+                // so reading resumes once a parsed request drains the
+                // buffer.
+                if conn.buf.len() >= MAX_BUFFERED_BYTES {
+                    break;
+                }
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => {
                         conn.read_closed = true;
@@ -987,7 +1052,7 @@ impl EventLoop {
                     }
                     Ok(n) => {
                         conn.buf.extend_from_slice(&chunk[..n]);
-                        conn.deadline = Instant::now() + self.inner.cfg.request_timeout;
+                        progressed = true;
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -996,6 +1061,15 @@ impl EventLoop {
                         break;
                     }
                 }
+            }
+            // A request's progress window anchors at its FIRST byte: the
+            // byte that wakes an idle keep-alive connection converts the
+            // idle deadline into a request deadline, and later reads never
+            // extend it — a slow-loris trickle cannot hold the connection
+            // past `request_timeout`. The first request's window is
+            // anchored at accept (set in `accept_ready`).
+            if was_idle && progressed && conn.served > 0 {
+                conn.deadline = Instant::now() + self.inner.cfg.request_timeout;
             }
         }
         if dead {
@@ -1081,6 +1155,10 @@ impl EventLoop {
         };
         let v2 = request.path == "/v2/align/topk";
         let is_topk = request.method == "POST" && (v2 || request.path == "/v1/align/topk");
+        if request.method == "POST" && request.path == "/v1/admin/swap" {
+            self.dispatch_swap(token, &request, rs);
+            return;
+        }
         if !is_topk {
             self.inner.in_flight.fetch_add(1, Ordering::Relaxed);
             let reply = {
@@ -1140,6 +1218,37 @@ impl EventLoop {
                 );
             }
         }
+    }
+
+    /// `POST /v1/admin/swap` runs off the loop: loading an artifact means
+    /// reading and deserializing a potentially large file, which inline
+    /// would stall every connection (reads, writes, accepts, timeouts)
+    /// for the full load. The connection parks as `Dispatched` — exactly
+    /// like a coalesced top-k job — and a short-lived thread performs the
+    /// load and sends the reply back through the completion channel.
+    /// Swaps are rare admin operations, so a thread per swap is fine.
+    fn dispatch_swap(&mut self, token: u64, request: &Request, rs: ReqState) {
+        galign_telemetry::counter_add("serve.route.swap", 1);
+        self.inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.reqs.insert(token, rs);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.state = ConnState::Dispatched;
+            set_interest(&self.poller, conn, token, false, false);
+        }
+        let inner = Arc::clone(&self.inner);
+        let done_tx = self.done_tx.clone();
+        let wake_tx = self.wake_tx.try_clone().ok();
+        let body = request.body.clone();
+        std::thread::spawn(move || {
+            let reply =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| swap_route(&inner, &body)))
+                    .unwrap_or_else(|_| Reply::json(500, error_body("internal server error")));
+            if done_tx.send(Completion { token, reply }).is_ok() {
+                if let Some(wake_tx) = &wake_tx {
+                    evloop::wake(wake_tx);
+                }
+            }
+        });
     }
 
     /// Renders a reply onto the connection, runs the request's metrics
@@ -1440,6 +1549,9 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
             begin_shutdown(inner);
             Reply::json(200, "{\"status\":\"shutting-down\"}".to_string())
         }
+        // The event loop never routes swaps here — `dispatch_swap`
+        // intercepts them so the artifact load runs off the loop. This
+        // arm serves direct `route()` callers (tests).
         ("POST", "/v1/admin/swap") => {
             galign_telemetry::counter_add("serve.route.swap", 1);
             swap_route(inner, &request.body)

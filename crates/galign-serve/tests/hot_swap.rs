@@ -181,6 +181,71 @@ fn pointer_swap_under_load_drops_nothing_and_is_atomic_per_request() {
     handle.shutdown().expect("clean shutdown");
 }
 
+/// One `POST /v1/admin/swap`; returns (status, body).
+fn admin_swap(addr: SocketAddr, artifact_path: &Path) -> (u16, String) {
+    let body = format!("{{\"artifact\":\"{}\"}}", artifact_path.display());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /v1/admin/swap HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write swap request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"));
+    let (_, resp_body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("headerless response: {response:?}"));
+    (status, resp_body.to_string())
+}
+
+#[test]
+fn admin_swap_over_http_installs_the_next_generation() {
+    // The admin swap loads the artifact on its own thread (the event
+    // loop parks the connection as dispatched, exactly like a top-k
+    // job): this exercises that full round trip over live HTTP.
+    let a = artifact(41);
+    let b = artifact(42);
+    let expected_b = expected_body(&b);
+    let b_path = tmp("admin-swap-b.galign");
+    b.write(&b_path).unwrap();
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        TopkIndex::from_artifact(a.clone()),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let (status, body) = admin_swap(addr, &b_path);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":2"), "{body}");
+    let (status, generation, body) = query(addr);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(generation, 2, "queries after the swap serve the new data");
+    assert_eq!(body, expected_b);
+
+    // A failed swap reports 400 through the same dispatched path and
+    // leaves the installed generation alone.
+    let (status, body) = admin_swap(addr, Path::new("/no/such/artifact"));
+    assert_eq!(status, 400, "{body}");
+    let (_, generation, _) = query(addr);
+    assert_eq!(generation, 2, "failed swaps install nothing");
+    handle.shutdown().expect("clean shutdown");
+}
+
 #[test]
 fn pointer_garbage_is_surfaced_but_never_fatal() {
     let a = artifact(31);

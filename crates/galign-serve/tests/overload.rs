@@ -177,6 +177,36 @@ fn stalled_handler_hits_the_deadline_and_returns_503() {
 }
 
 #[test]
+fn worker_panic_returns_500_per_job_and_does_not_kill_the_worker() {
+    let _scenario = failpoint::Scenario::setup();
+    failpoint::cfg("serve.topk.stall", "1*panic(simulated flush crash)").unwrap();
+
+    let handle = test_server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // The panicking flush must still complete its jobs — a labelled 500,
+    // not a connection parked in Dispatched forever (those are exempt
+    // from event-loop timeouts, so a lost completion would hang the
+    // client AND graceful shutdown).
+    let resp = one_shot_client(&addr)
+        .post_json("/v1/align/topk", r#"{"nodes":[0],"k":1}"#)
+        .unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body_str());
+
+    // The lone worker survived the panic: the same query now computes.
+    let resp = one_shot_client(&addr)
+        .post_json("/v1/align/topk", r#"{"nodes":[0],"k":1}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    // Shutdown drains cleanly — nothing leaked in reqs/in_flight.
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn requests_coalesced_behind_a_stalled_flush_keep_their_deadline() {
     let _scenario = failpoint::Scenario::setup();
     failpoint::cfg("serve.topk.stall", "delay(200)").unwrap();

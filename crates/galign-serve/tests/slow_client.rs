@@ -189,6 +189,59 @@ fn stalled_first_request_times_out_with_408() {
 }
 
 #[test]
+fn slow_loris_trickle_cannot_extend_the_request_deadline() {
+    let handle = start(ServeConfig {
+        request_timeout: Duration::from_millis(250),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let stream = connect(addr);
+    let mut writer = stream.try_clone().unwrap();
+    let t0 = Instant::now();
+    // A header that never finishes, one byte every 15ms: steady progress
+    // that would defeat a per-read deadline reset. The window is anchored
+    // at accept, so the 408 must arrive around request_timeout no matter
+    // how long the trickle could keep going.
+    let trickler = std::thread::spawn(move || {
+        let head = b"POST /v1/align/topk HTTP/1.1\r\nx-pad: ";
+        for &b in head.iter().chain(std::iter::repeat(&b'a')).take(400) {
+            if writer.write_all(&[b]).is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    });
+    let mut reader = BufReader::new(stream);
+    let (status, body) = read_response(&mut reader);
+    assert_eq!(status, 408, "{body}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "408 took {:?}: reads are extending the deadline again",
+        t0.elapsed()
+    );
+    trickler.join().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn blank_line_flood_is_rejected_not_buffered_forever() {
+    let handle = start(ServeConfig::default());
+    let addr = handle.addr();
+
+    let mut stream = connect(addr);
+    // Pure CRLFs never form a request head; past the head limit the
+    // server must answer 400 instead of holding a growing Partial buffer.
+    let flood = b"\r\n".repeat(20 * 1024);
+    let _ = stream.write_all(&flood); // server may close mid-flood
+    let mut reader = BufReader::new(stream);
+    let (status, body) = read_response(&mut reader);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("head too large"), "{body}");
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn pipelined_requests_are_answered_in_order() {
     let handle = start(ServeConfig::default());
     let addr = handle.addr();
