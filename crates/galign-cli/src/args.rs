@@ -8,6 +8,8 @@ const SWITCHES: &[(&str, &str)] = &[
     ("verbose", "-v"),
     ("quiet", "-q"),
     ("no-watchdog", "--no-watchdog"),
+    ("no-hedge", "--no-hedge"),
+    ("no-adaptive-hedge", "--no-adaptive-hedge"),
 ];
 
 /// Parsed flags: `--name value` pairs plus boolean switches.

@@ -550,23 +550,56 @@ pub fn shard_export(flags: &Flags) -> CmdResult {
 /// merged top-k answers that are bit-identical to a single node holding
 /// the full artifact.
 pub fn route(flags: &Flags) -> CmdResult {
+    use std::time::Duration;
     let spec = flags.required("shards");
     let addr = flags.or("addr", "127.0.0.1:8090");
     let groups = galign_router::parse_replica_spec(&spec)?;
     let defaults = galign_router::RouterConfig::default();
+    // Hedging: --no-hedge disables the second request entirely;
+    // --hedge-after-ms sets the static trip point, which observed hop
+    // p99 replaces once enough samples accrue unless --no-adaptive-hedge.
+    let hedge_after = if flags.has("no-hedge") {
+        None
+    } else {
+        Some(Duration::from_millis(flags.num(
+            "hedge-after-ms",
+            defaults.hedge_after.map_or(50, |d| d.as_millis() as u64),
+        )))
+    };
+    // --reprobe-interval-ms 0 turns the background heal loop off.
+    let reprobe_ms = flags.num(
+        "reprobe-interval-ms",
+        defaults
+            .reprobe_interval
+            .map_or(0, |d| d.as_millis() as u64),
+    );
     let cfg = galign_router::RouterConfig {
         workers: flags.num("workers", defaults.workers),
         default_k: flags.num("default-k", defaults.default_k),
         max_k: flags.num("max-k", defaults.max_k),
         queue_depth: flags.num("queue-depth", defaults.queue_depth),
         retry_after_secs: flags.num("retry-after-secs", defaults.retry_after_secs),
-        request_timeout: std::time::Duration::from_millis(flags.num(
+        request_timeout: Duration::from_millis(flags.num(
             "request-timeout-ms",
             defaults.request_timeout.as_millis() as u64,
         )),
+        hedge_after,
+        hedge_adaptive: !flags.has("no-adaptive-hedge"),
+        hedge_budget_ratio: flags.num("hedge-budget-ratio", defaults.hedge_budget_ratio),
+        breaker: galign_router::BreakerConfig {
+            failure_threshold: flags.num("breaker-threshold", defaults.breaker.failure_threshold),
+            cooldown: Duration::from_millis(flags.num(
+                "breaker-cooldown-ms",
+                defaults.breaker.cooldown.as_millis() as u64,
+            )),
+        },
+        reprobe_interval: (reprobe_ms > 0).then(|| Duration::from_millis(reprobe_ms)),
         client: galign_serve::ClientConfig {
             max_retries: flags.num("hop-retries", defaults.client.max_retries),
-            io_timeout: std::time::Duration::from_millis(flags.num(
+            // A hop past --hop-timeout-ms counts as a replica failure:
+            // it feeds that replica's circuit breaker alongside connect
+            // and transport errors.
+            io_timeout: Duration::from_millis(flags.num(
                 "hop-timeout-ms",
                 defaults.client.io_timeout.as_millis() as u64,
             )),

@@ -98,7 +98,10 @@ fn usage(msg: &str) -> ! {
          \x20          [--replicas \"h:p,h:p;h:p\"]   (';' separates shards, ',' replicas)\n\
          \x20 route    --shards \"h:p,h:p;h:p\" [--addr HOST:PORT] [--workers N]\n\
          \x20          [--default-k K] [--max-k K] [--queue-depth N] [--retry-after-secs S]\n\
-         \x20          [--request-timeout-ms MS] [--hop-retries N] [--hop-timeout-ms MS]\n\n\
+         \x20          [--request-timeout-ms MS] [--hop-retries N] [--hop-timeout-ms MS]\n\
+         \x20          [--hedge-after-ms MS] [--no-hedge] [--no-adaptive-hedge]\n\
+         \x20          [--hedge-budget-ratio R] [--breaker-threshold N]\n\
+         \x20          [--breaker-cooldown-ms MS] [--reprobe-interval-ms MS]\n\n\
          sharded serving:\n\
          \x20 shard-export splits an artifact into contiguous target-id ranges (one manifest-\n\
          \x20 carrying artifact per shard); serve each shard (replicate freely), then route\n\
@@ -109,7 +112,13 @@ fn usage(msg: &str) -> ! {
          robustness:\n\
          \x20 training runs under a divergence watchdog (checkpoint/rollback + LR backoff);\n\
          \x20 --no-watchdog opts out. serve sheds load past --queue-depth with 503 + Retry-After\n\
-         \x20 and falls back to <artifact>.prev when the artifact file is corrupt.\n\n\
+         \x20 and falls back to <artifact>.prev when the artifact file is corrupt.\n\
+         \x20 route wraps every replica in a circuit breaker (a hop failing or exceeding\n\
+         \x20 --hop-timeout-ms counts against it; --breaker-threshold straight failures trip\n\
+         \x20 it, a background probe every --reprobe-interval-ms heals it), hedges slow\n\
+         \x20 shard hops after --hedge-after-ms (observed p99 once warm; --no-adaptive-hedge\n\
+         \x20 pins the static value; spend capped at --hedge-budget-ratio of traffic), and\n\
+         \x20 stamps x-galign-deadline-ms on every hop so doomed shard work is shed there.\n\n\
          observability:\n\
          \x20 every request carries an x-galign-trace-id (inbound header honored, echoed in\n\
          \x20 the response); GET /metrics?format=prometheus exposes Prometheus text format;\n\

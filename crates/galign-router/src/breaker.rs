@@ -1,0 +1,333 @@
+//! Per-replica circuit breakers: the eligibility gate for replica
+//! selection, replacing the old advisory health bool.
+//!
+//! A breaker moves through the classic three states:
+//!
+//! ```text
+//! Closed ──(threshold consecutive failures)──▶ Open
+//! Open ──(cooldown elapses, one caller wins the probe)──▶ HalfOpen
+//! HalfOpen ──probe succeeds──▶ Closed      HalfOpen ──probe fails──▶ Open
+//! ```
+//!
+//! *Closed* replicas are eligible for traffic. *Open* replicas are
+//! **skipped** — not merely deprioritised — so a browning-out node stops
+//! eating a timeout per request the moment it trips. After
+//! [`BreakerConfig::cooldown`] one caller (live traffic or the router's
+//! background re-probe loop) wins the single *HalfOpen* probe slot via
+//! [`CircuitBreaker::try_acquire`]; everyone else keeps skipping until
+//! the probe's outcome either closes the breaker or re-opens it for
+//! another cooldown.
+//!
+//! Failures are *consecutive*: any success resets the count, so a
+//! replica that answers between hiccups never trips. A hop timeout, a
+//! connect failure, a 5xx and an unparseable 200 all count as failures —
+//! a breaker sees exactly what scatter's failover logic sees.
+//!
+//! Every transition bumps a `router.breaker.*` counter
+//! (`opened` / `half_opened` / `closed`), so open/half-open/close cycles
+//! and recovery time are observable on `/metrics` in both JSON and
+//! Prometheus form.
+//!
+//! Tunables live in atomics so a bound router can apply its
+//! [`crate::server::RouterConfig`] to breakers created earlier at
+//! topology discovery, without tearing the state they already hold.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Breaker tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker (minimum 1).
+    pub failure_threshold: u32,
+    /// How long a tripped breaker stays open before granting one
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The breaker's current position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Eligible for traffic.
+    Closed,
+    /// Tripped: skipped by selection until the cooldown elapses.
+    Open,
+    /// One probe is in flight; everyone else keeps skipping.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lowercase label, as reported on the router's `/healthz`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// One replica's circuit breaker. All methods take `&self`: state lives
+/// in atomics shared by every router worker, attempt thread and the
+/// background re-probe loop.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: AtomicU8,
+    /// Consecutive failures since the last success.
+    failures: AtomicU32,
+    /// Millis since `epoch` at which the breaker last opened.
+    opened_at_ms: AtomicU64,
+    threshold: AtomicU32,
+    cooldown_ms: AtomicU64,
+    epoch: Instant,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            state: AtomicU8::new(CLOSED),
+            failures: AtomicU32::new(0),
+            opened_at_ms: AtomicU64::new(0),
+            threshold: AtomicU32::new(cfg.failure_threshold.max(1)),
+            cooldown_ms: AtomicU64::new(cfg.cooldown.as_millis() as u64),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Re-applies tunables without touching breaker state — how
+    /// `Router::bind` imposes its `RouterConfig` on breakers that were
+    /// created during topology discovery.
+    pub fn configure(&self, cfg: BreakerConfig) {
+        self.threshold
+            .store(cfg.failure_threshold.max(1), Ordering::Relaxed);
+        self.cooldown_ms
+            .store(cfg.cooldown.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Current state (the half-open probe slot counts as `HalfOpen` until
+    /// its outcome is recorded).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            OPEN => BreakerState::Open,
+            HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Consecutive failures recorded since the last success.
+    #[must_use]
+    pub fn consecutive_failures(&self) -> u32 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Whether this breaker is open and its cooldown has elapsed — i.e.
+    /// the re-probe loop should spend a health probe on it.
+    #[must_use]
+    pub fn probe_due(&self) -> bool {
+        self.state.load(Ordering::Acquire) == OPEN
+            && self
+                .now_ms()
+                .saturating_sub(self.opened_at_ms.load(Ordering::Relaxed))
+                >= self.cooldown_ms.load(Ordering::Relaxed)
+    }
+
+    /// Asks for permission to send one request to this replica.
+    ///
+    /// Closed grants immediately. Open grants only once the cooldown has
+    /// elapsed, and then to exactly one caller (the CAS winner becomes
+    /// the half-open probe). Half-open refuses: a probe is already out.
+    pub fn try_acquire(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED => true,
+            HALF_OPEN => false,
+            _ => {
+                if !self.probe_due() {
+                    return false;
+                }
+                let won = self
+                    .state
+                    .compare_exchange(OPEN, HALF_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+                if won {
+                    galign_telemetry::counter_add("router.breaker.half_opened", 1);
+                }
+                won
+            }
+        }
+    }
+
+    /// Claims the half-open probe slot *regardless of cooldown* — the
+    /// scatter path's last resort when every replica of a shard is
+    /// tripped: one forced probe beats a guaranteed `"partial":true`.
+    /// Returns `false` if a probe is already in flight.
+    pub fn force_probe(&self) -> bool {
+        let won = self
+            .state
+            .compare_exchange(OPEN, HALF_OPEN, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if won {
+            galign_telemetry::counter_add("router.breaker.half_opened", 1);
+        }
+        won
+    }
+
+    /// Records a successful request: resets the failure streak and
+    /// closes the breaker from any state.
+    pub fn record_success(&self) {
+        self.failures.store(0, Ordering::Relaxed);
+        if self.state.swap(CLOSED, Ordering::AcqRel) != CLOSED {
+            galign_telemetry::counter_add("router.breaker.closed", 1);
+        }
+    }
+
+    /// Records a failed request. A half-open probe failure re-opens
+    /// immediately; a closed breaker trips once the consecutive streak
+    /// reaches the threshold. Failures reported against an already-open
+    /// breaker (a hedged loser finishing late) do **not** re-stamp the
+    /// cooldown — stragglers must not keep a breaker open forever.
+    pub fn record_failure(&self) {
+        let failures = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.state.load(Ordering::Acquire) {
+            HALF_OPEN => self.trip(HALF_OPEN),
+            CLOSED if failures >= self.threshold.load(Ordering::Relaxed) => self.trip(CLOSED),
+            _ => {}
+        }
+    }
+
+    /// Trips the breaker immediately (used when discovery finds a
+    /// replica unreachable: it starts open and heals via re-probe).
+    pub fn force_open(&self) {
+        self.failures
+            .store(self.threshold.load(Ordering::Relaxed), Ordering::Relaxed);
+        let state = self.state.load(Ordering::Acquire);
+        if state != OPEN {
+            self.trip(state);
+        }
+    }
+
+    fn trip(&self, from: u8) {
+        if self
+            .state
+            .compare_exchange(from, OPEN, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.opened_at_ms.store(self.now_ms(), Ordering::Relaxed);
+            galign_telemetry::counter_add("router.breaker.opened", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = breaker(3, 60_000);
+        for _ in 0..2 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success resets the streak: two more failures must not trip.
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(), "open + cold: no traffic");
+    }
+
+    #[test]
+    fn half_open_grants_exactly_one_probe() {
+        let b = breaker(1, 10);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(), "cooldown not elapsed");
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.probe_due());
+        assert!(b.try_acquire(), "cooldown elapsed: probe granted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.try_acquire(), "single probe slot");
+        // Probe success closes; probe failure re-opens for a new cooldown.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let b = breaker(1, 10);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(), "fresh cooldown after failed probe");
+    }
+
+    #[test]
+    fn straggler_failures_do_not_extend_an_open_breaker() {
+        let b = breaker(1, 30);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(15));
+        // A hedged loser reporting late must not re-stamp the cooldown.
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.probe_due(), "cooldown anchored at the original trip");
+    }
+
+    #[test]
+    fn force_open_and_force_probe() {
+        let b = breaker(5, 60_000);
+        b.force_open();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(), "cooldown applies to forced opens too");
+        assert!(b.force_probe(), "all-tripped fallback bypasses cooldown");
+        assert!(!b.force_probe(), "still a single probe slot");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn configure_keeps_state() {
+        let b = breaker(3, 60_000);
+        b.record_failure();
+        b.record_failure();
+        b.configure(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(1),
+        });
+        assert_eq!(b.state(), BreakerState::Closed, "configure is not a reset");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "new threshold applies");
+    }
+}

@@ -42,14 +42,22 @@
 //! A shard with no reachable replica never produces a silently wrong
 //! answer: the routed response stays `200` but carries
 //! `"partial": true`, and the router's `/healthz` flips to `degraded`
-//! until a replica recovers. Replica health is advisory — unhealthy
-//! replicas are ordered last, not excluded, so the fleet heals without
-//! an operator.
+//! until a replica recovers. Eligibility is governed by per-replica
+//! [circuit breakers](breaker): a replica that keeps failing is skipped
+//! outright until a half-open probe (live traffic or the background
+//! re-probe loop) heals it, while the advisory last-outcome flag keeps
+//! ordering candidates and feeding `/healthz`. Slow replicas are covered
+//! by [hedged requests](scatter): after a hedge delay derived from the
+//! observed `router.hop.ms` histogram, the hop is raced against the next
+//! replica and the first complete response wins — safe, because replicas
+//! of a shard are bit-identical.
 
+pub mod breaker;
 pub mod scatter;
 pub mod server;
 pub mod topology;
 
-pub use scatter::{parse_routed_query, scatter_gather, RoutedQuery, RoutedReply};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use scatter::{parse_routed_query, scatter_gather, HedgePolicy, RoutedQuery, RoutedReply};
 pub use server::{Router, RouterConfig, RouterHandle};
-pub use topology::{parse_replica_spec, Replica, Shard, ShardIdentity, Topology};
+pub use topology::{parse_replica_spec, Replica, ReplicaHealth, Shard, ShardIdentity, Topology};

@@ -32,22 +32,42 @@
 //! `"partial": true` inserted after the `"engine"` field and the missing
 //! shard's candidates absent — a *labelled* under-answer, never a silent
 //! wrong one. (In a `/v2` batch the marker lands inside every answered
-//! slot.) Replicas are tried healthy-first, with unhealthy ones kept as a
-//! last resort so a recovered node heals the rotation organically.
+//! slot.) Candidate order is advisory-healthy-first; *eligibility* is
+//! each replica's circuit breaker ([`crate::breaker`]): tripped replicas
+//! are skipped outright until a half-open probe heals them, with one
+//! forced probe as the last resort when a shard's every breaker is open.
+//!
+//! ## Hedging
+//!
+//! A slow replica is raced, not waited out: once the primary attempt has
+//! been in flight longer than the hedge delay ([`HedgePolicy`] — the
+//! observed `router.hop.ms` p99 when enough samples exist, else the
+//! static fallback), the same request is fired at the next eligible
+//! replica and the **first complete response wins**. Hedging is safe
+//! precisely because of the bit-identity contract above: replicas of a
+//! shard serve the same artifact and the full response path is
+//! deterministic, so either racer returns the same bytes. Cancellation
+//! is by abandonment — attempts run on detached threads, the loser's
+//! response is dropped on the floor, and its outcome still feeds the
+//! replica's breaker. Hedges spend from a shared token budget (earned as
+//! a fraction of normal traffic) so a fleet-wide brownout cannot turn
+//! hedging into a request doubler.
 
-use crate::topology::{Shard, Topology};
+use crate::topology::{ReplicaHealth, Shard, Topology};
 use galign_matrix::simblock::select_topk;
 use galign_serve::api::{
     self, BatchRequest, Hit, NodeResult, QueryOutcome, RequestDefaults, TopkRequest, TopkResponse,
 };
-use galign_serve::client::Client;
+use galign_serve::client::{Client, ClientConfig, Response};
 use galign_serve::json;
 use galign_serve::topk::EngineMode;
 use galign_telemetry::context::{self, PropagationHandle};
 use galign_telemetry::failpoint::{self, Action};
 use galign_telemetry::flight::{FlightRecorder, RecordKind, TraceRecord};
-use std::sync::Arc;
-use std::time::Instant;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One merged match (global target id + exact score).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +126,129 @@ pub struct RoutedQuery {
     pub nodes: Vec<usize>,
     /// Effective k after defaulting.
     pub k: usize,
+}
+
+/// Minimum samples in `router.hop.ms` before the adaptive hedge delay
+/// trusts the histogram over the static fallback.
+const ADAPTIVE_MIN_SAMPLES: usize = 64;
+/// Clamp range of the adaptive hedge delay.
+const ADAPTIVE_MIN_DELAY: Duration = Duration::from_millis(1);
+const ADAPTIVE_MAX_DELAY: Duration = Duration::from_secs(2);
+
+/// Shared token budget metering hedge attempts: hedges may consume about
+/// `ratio` of normal hop traffic, with `cap` tokens of burst headroom.
+/// Balances are stored as milli-tokens in one atomic shared by every
+/// router worker.
+#[derive(Debug)]
+struct HedgeBudget {
+    milli: AtomicU64,
+    earn_milli: u64,
+    cap_milli: u64,
+}
+
+impl HedgeBudget {
+    fn new(ratio: f64, cap: f64) -> HedgeBudget {
+        let earn_milli = (ratio.max(0.0) * 1000.0) as u64;
+        let cap_milli = (cap.max(0.0) * 1000.0) as u64;
+        HedgeBudget {
+            milli: AtomicU64::new(cap_milli),
+            earn_milli,
+            cap_milli,
+        }
+    }
+
+    /// `ratio <= 0` disables metering (every hedge granted).
+    fn unmetered(&self) -> bool {
+        self.earn_milli == 0
+    }
+
+    /// Earns the per-shard-query fraction of a token.
+    fn earn(&self) {
+        if self.unmetered() {
+            return;
+        }
+        let _ = self
+            .milli
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
+                Some((b + self.earn_milli).min(self.cap_milli))
+            });
+    }
+
+    /// Spends one token if available.
+    fn try_charge(&self) -> bool {
+        if self.unmetered() {
+            return true;
+        }
+        self.milli
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
+                if b >= 1000 {
+                    Some(b - 1000)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+}
+
+/// When and whether to hedge a shard hop, plus the client configuration
+/// hedge attempts fall back to when a replica's pooled client is busy.
+#[derive(Debug)]
+pub struct HedgePolicy {
+    /// Static hedge delay; `None` disables hedging entirely.
+    pub after: Option<Duration>,
+    /// Derive the delay from the observed `router.hop.ms` p99 once
+    /// [`ADAPTIVE_MIN_SAMPLES`] samples exist (clamped to
+    /// `[1ms, 2s]`). Note the feedback is *stabilising*: a browning-out
+    /// fleet inflates the p99, which hedges later and sheds hedge load
+    /// exactly when the fleet can least afford extra requests.
+    pub adaptive: bool,
+    /// Config for clients built by attempt threads (fresh-connection
+    /// fallback and the background re-probe loop share it).
+    pub client: ClientConfig,
+    budget: HedgeBudget,
+}
+
+impl HedgePolicy {
+    /// A policy hedging after `after` (statically), optionally adapting
+    /// to the observed hop histogram, metered by a `ratio`-of-traffic
+    /// token budget with `cap` burst headroom.
+    #[must_use]
+    pub fn new(
+        after: Option<Duration>,
+        adaptive: bool,
+        ratio: f64,
+        cap: f64,
+        client: ClientConfig,
+    ) -> HedgePolicy {
+        HedgePolicy {
+            after,
+            adaptive,
+            client,
+            budget: HedgeBudget::new(ratio, cap),
+        }
+    }
+
+    /// A policy that never hedges (single-attempt hops, as before).
+    #[must_use]
+    pub fn disabled(client: ClientConfig) -> HedgePolicy {
+        HedgePolicy::new(None, false, 0.0, 0.0, client)
+    }
+
+    /// The hedge delay to use right now: observed p99 when adaptive and
+    /// warmed up, else the static fallback. `None` = no hedging.
+    fn delay(&self) -> Option<Duration> {
+        let fallback = self.after?;
+        if self.adaptive {
+            if let Some(s) = galign_telemetry::histogram_summary("router.hop.ms") {
+                if s.count >= ADAPTIVE_MIN_SAMPLES && s.p99.is_finite() && s.p99 >= 0.0 {
+                    let p99 = Duration::from_micros((s.p99 * 1000.0) as u64);
+                    return Some(p99.clamp(ADAPTIVE_MIN_DELAY, ADAPTIVE_MAX_DELAY));
+                }
+            }
+        }
+        Some(fallback)
+    }
 }
 
 /// The [`RequestDefaults`] a router applies; must match the shard fleet's
@@ -262,55 +405,283 @@ pub fn merge_topk(candidates: &mut [Match], k: usize) -> Vec<Match> {
         .collect()
 }
 
-/// Queries one shard, trying replicas healthy-first and failing over on
-/// transport errors, 5xx, and 200s that fail `parse`. Returns the first
-/// definitive outcome.
-fn query_shard<T>(
-    shard: &Shard,
-    clients: &[Client],
-    path: &str,
-    body: &str,
-    recorder: &FlightRecorder,
-    parse: impl Fn(&str) -> Result<T, String>,
-) -> ShardOutcome<T> {
-    let mut order: Vec<usize> = (0..shard.replicas.len()).collect();
-    // Healthy-first, stable: config order is the tie-break, unhealthy
-    // replicas stay reachable as a last resort (that retry is how they
-    // heal).
-    order.sort_by_key(|&i| !shard.replicas[i].is_healthy());
-    let shard_label = shard.identity.shard_id;
-    let mut tried = 0u64;
-    for idx in order {
-        let replica = &shard.replicas[idx];
-        let client = &clients[idx];
-        tried += 1;
-        // Failpoint `router.scatter`: a `trigger` action fails this hop
-        // before it is sent (simulated replica blackout); `delay(ms)`
-        // stalls it. Used by the replica-kill suite. Only the first
-        // choice per shard query is eligible, so one trigger charge
-        // exercises failover rather than blacking out the whole shard.
-        if tried == 1 {
-            if let Some(Action::Trigger(_)) = failpoint::eval("router.scatter") {
-                replica.set_healthy(false);
-                galign_telemetry::counter_add("router.hop.failpoint_faults", 1);
+/// What one detached attempt thread reports back to its shard thread.
+struct AttemptReport {
+    /// Index into `shard.replicas`.
+    replica_idx: usize,
+    /// Launch sequence number within this shard query (0 = primary).
+    attempt_no: usize,
+    /// Whether this attempt was a hedge.
+    hedge: bool,
+    result: io::Result<Response>,
+}
+
+/// Fires one attempt on a detached thread. Detached, not scoped: a
+/// hedged loser may still be mid-read when the shard thread returns the
+/// winner's answer, and nobody should wait for it. The thread reports
+/// through `tx`; if the shard thread is already gone (abandonment — our
+/// cancellation), it records the transport-level outcome against the
+/// replica's breaker itself, so late evidence still counts.
+#[allow(clippy::too_many_arguments)]
+fn spawn_attempt(
+    health: Arc<ReplicaHealth>,
+    addr: String,
+    client: Arc<Mutex<Client>>,
+    cfg: ClientConfig,
+    path: &'static str,
+    body: Arc<str>,
+    deadline: Option<Instant>,
+    shard_label: usize,
+    replica_idx: usize,
+    attempt_no: usize,
+    hedge: bool,
+    tx: mpsc::Sender<AttemptReport>,
+    handle: PropagationHandle,
+    recorder: &'static FlightRecorder,
+) {
+    std::thread::spawn(move || {
+        handle.scope(|| {
+            if attempt_no == 0 {
+                // Failpoint `router.hop.slow`: `delay(ms)` stalls the
+                // *primary* attempt only — a deterministic slow replica
+                // for the chaos suite, leaving hedges at full speed.
+                let _ = failpoint::eval("router.hop.slow");
+            }
+            let hop_started = Instant::now();
+            let result = match client.try_lock() {
+                Ok(pooled) => pooled.post_json_with_deadline(path, &body, deadline),
+                // Pooled client busy (e.g. a prior attempt to this
+                // replica is still draining): one fresh connection
+                // rather than queueing behind it.
+                Err(_) => Client::with_config(&addr, cfg)
+                    .and_then(|fresh| fresh.post_json_with_deadline(path, &body, deadline)),
+            };
+            let hop_us = hop_started.elapsed().as_micros() as u64;
+            galign_telemetry::histogram_record("router.hop.ms", hop_us as f64 / 1e3);
+            galign_telemetry::counter_add(&format!("router.shard{shard_label}.hops"), 1);
+            let status = match &result {
+                Ok(resp) => resp.status,
+                Err(_) => 0,
+            };
+            record_hop(recorder, shard_label, &addr, status, hop_us);
+            if !matches!(&result, Ok(resp) if resp.status < 500) {
+                galign_telemetry::counter_add("router.hop.failures", 1);
+            }
+            let report = AttemptReport {
+                replica_idx,
+                attempt_no,
+                hedge,
+                result,
+            };
+            if let Err(mpsc::SendError(report)) = tx.send(report) {
+                // Abandoned loser: any response proves the replica alive
+                // at the transport level (even a 200 nobody will parse);
+                // errors and 5xx feed the failure streak.
+                match &report.result {
+                    Ok(resp) if resp.status < 500 => health.record_success(),
+                    _ => health.record_failure(),
+                }
+            }
+        });
+    });
+}
+
+/// The per-shard replica race: candidate ordering, breaker-gated launch,
+/// and attempt bookkeeping for one shard query.
+struct ShardRace<'a> {
+    shard: &'a Shard,
+    clients: &'a [Arc<Mutex<Client>>],
+    /// Candidate order: advisory-healthy-first, config order as the
+    /// stable tie-break.
+    order: Vec<usize>,
+    /// Cursor into `order` (next candidate to consider).
+    pos: usize,
+    /// Attempts launched so far.
+    launched: usize,
+    /// Attempts launched and not yet reported.
+    in_flight: usize,
+    path: &'static str,
+    body: Arc<str>,
+    deadline: Option<Instant>,
+    cfg: ClientConfig,
+    shard_label: usize,
+    tx: mpsc::Sender<AttemptReport>,
+    handle: PropagationHandle,
+    recorder: &'static FlightRecorder,
+}
+
+impl ShardRace<'_> {
+    /// Launches the next candidate whose breaker admits traffic.
+    /// Tripped replicas are *skipped*, not deprioritised. Returns
+    /// whether an attempt went out.
+    fn launch(&mut self, hedge: bool) -> bool {
+        while self.pos < self.order.len() {
+            let idx = self.order[self.pos];
+            self.pos += 1;
+            let replica = &self.shard.replicas[idx];
+            // Failpoint `router.scatter`: a `trigger` action fails this
+            // hop before it is sent (simulated replica blackout). Only
+            // the first choice per shard query is eligible, so one
+            // trigger charge exercises failover rather than blacking out
+            // the whole shard.
+            if self.pos == 1 {
+                if let Some(Action::Trigger(_)) = failpoint::eval("router.scatter") {
+                    replica.record_failure();
+                    galign_telemetry::counter_add("router.hop.failpoint_faults", 1);
+                    continue;
+                }
+            }
+            if !replica.breaker().try_acquire() {
+                galign_telemetry::counter_add("router.breaker.skipped", 1);
                 continue;
             }
+            self.spawn(idx, hedge);
+            return true;
         }
-        let hop_started = Instant::now();
-        let outcome = client.post_json(path, body);
-        let hop_us = hop_started.elapsed().as_micros() as u64;
-        galign_telemetry::histogram_record("router.hop.ms", hop_us as f64 / 1e3);
-        galign_telemetry::counter_add(&format!("router.shard{shard_label}.hops"), 1);
-        let status = match &outcome {
-            Ok(resp) => resp.status,
-            Err(_) => 0,
+        false
+    }
+
+    /// Last resort when every replica's breaker refused: force one
+    /// half-open probe (cooldown ignored) — a probe that might answer
+    /// beats a guaranteed `"partial":true`. Refused only when another
+    /// worker's probe is already in flight on every replica.
+    fn force_launch(&mut self) -> bool {
+        for i in 0..self.order.len() {
+            let idx = self.order[i];
+            if self.shard.replicas[idx].breaker().force_probe() {
+                self.spawn(idx, false);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn spawn(&mut self, idx: usize, hedge: bool) {
+        let replica = &self.shard.replicas[idx];
+        spawn_attempt(
+            replica.health(),
+            replica.addr.clone(),
+            Arc::clone(&self.clients[idx]),
+            self.cfg.clone(),
+            self.path,
+            Arc::clone(&self.body),
+            self.deadline,
+            self.shard_label,
+            idx,
+            self.launched,
+            hedge,
+            self.tx.clone(),
+            self.handle.clone(),
+            self.recorder,
+        );
+        self.launched += 1;
+        self.in_flight += 1;
+    }
+}
+
+/// Queries one shard: candidates ordered advisory-healthy-first, gated
+/// by their circuit breakers, raced via hedging when the primary is
+/// slow, failing over on transport errors, 5xx, and 200s that fail
+/// `parse`. Returns the first definitive outcome.
+#[allow(clippy::too_many_arguments)]
+fn query_shard<T>(
+    shard: &Shard,
+    clients: &[Arc<Mutex<Client>>],
+    path: &'static str,
+    body: &str,
+    policy: &HedgePolicy,
+    deadline: Option<Instant>,
+    recorder: &'static FlightRecorder,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> ShardOutcome<T> {
+    let shard_label = shard.identity.shard_id;
+    let mut order: Vec<usize> = (0..shard.replicas.len()).collect();
+    order.sort_by_key(|&i| !shard.replicas[i].is_healthy());
+    policy.budget.earn();
+    let hedge_delay = policy.delay();
+    let (tx, rx) = mpsc::channel();
+    let mut race = ShardRace {
+        shard,
+        clients,
+        order,
+        pos: 0,
+        launched: 0,
+        in_flight: 0,
+        path,
+        body: Arc::from(body),
+        deadline,
+        cfg: policy.client.clone(),
+        shard_label,
+        tx,
+        handle: PropagationHandle::capture(),
+        recorder,
+    };
+    // Backstop wait so a pathologically lost attempt (thread killed
+    // mid-request) cannot wedge the shard thread. Generously above the
+    // worst case of one attempt's full retry schedule.
+    let backstop =
+        (policy.client.connect_timeout + policy.client.io_timeout + policy.client.max_backoff)
+            * (policy.client.max_retries + 1)
+            + Duration::from_secs(5);
+
+    if !race.launch(false) && !race.force_launch() {
+        galign_telemetry::counter_add(&format!("router.shard{shard_label}.unavailable"), 1);
+        return ShardOutcome::Unavailable;
+    }
+    // Whether the hedge timer has fired (it arms at most once per shard
+    // query) and whether a hedge attempt actually went out.
+    let mut hedge_fired = false;
+    let mut hedge_launched = false;
+    loop {
+        if race.in_flight == 0 {
+            // Everything reported and failed so far: move down the
+            // candidate list sequentially.
+            if race.launch(false) {
+                continue;
+            }
+            break;
+        }
+        let report = if !hedge_fired && hedge_delay.is_some() {
+            match rx.recv_timeout(hedge_delay.unwrap_or_default()) {
+                Ok(report) => report,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // The primary is slow: race it against the next
+                    // eligible replica, if the hedge budget allows.
+                    hedge_fired = true;
+                    if policy.budget.try_charge() {
+                        if race.launch(true) {
+                            hedge_launched = true;
+                            galign_telemetry::counter_add("router.hedge.fired", 1);
+                        }
+                    } else {
+                        galign_telemetry::counter_add("router.hedge.budget_exhausted", 1);
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv_timeout(backstop) {
+                Ok(report) => report,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    race.in_flight -= 1;
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
         };
-        record_hop(recorder, shard_label, &replica.addr, status, hop_us);
-        match outcome {
+        race.in_flight -= 1;
+        let replica = &shard.replicas[report.replica_idx];
+        match report.result {
             Ok(resp) if resp.status == 200 => match parse(&resp.body_str()) {
                 Ok(answer) => {
-                    replica.set_healthy(true);
-                    if tried > 1 {
+                    replica.record_success();
+                    if report.hedge {
+                        galign_telemetry::counter_add("router.hedge.wins", 1);
+                    } else if hedge_launched {
+                        galign_telemetry::counter_add("router.hedge.losses", 1);
+                    }
+                    if report.attempt_no > 0 {
                         galign_telemetry::counter_add(
                             &format!("router.shard{shard_label}.failovers"),
                             1,
@@ -326,23 +697,24 @@ fn query_shard<T>(
                         "shard {shard_label} replica {}: {msg}",
                         replica.addr
                     );
-                    replica.set_healthy(false);
+                    replica.record_failure();
                 }
             },
             Ok(resp) if (400..500).contains(&resp.status) => {
                 // The replica is alive and the request itself is bad —
                 // deterministic across the fleet, so no failover.
-                replica.set_healthy(true);
+                replica.record_success();
                 return ShardOutcome::ClientError {
                     status: resp.status,
                     body: resp.body_str(),
                 };
             }
             Ok(_) | Err(_) => {
-                replica.set_healthy(false);
-                galign_telemetry::counter_add("router.hop.failures", 1);
+                replica.record_failure();
             }
         }
+        // A failure with a racer still out: wait for the racer before
+        // widening the blast radius with more attempts.
     }
     galign_telemetry::counter_add(&format!("router.shard{shard_label}.unavailable"), 1);
     ShardOutcome::Unavailable
@@ -363,24 +735,27 @@ fn record_hop(recorder: &FlightRecorder, shard_id: usize, addr: &str, status: u1
     });
 }
 
-/// Fans one query-per-shard out on scoped threads, one replica set per
-/// thread (`Client` pools sockets behind a `RefCell`, so it is `Send` but
-/// not `Sync` — each shard's clients are handed over exclusively), and
-/// gathers the outcomes in shard order. Trace context propagates into
-/// every hop via a captured [`PropagationHandle`].
+/// Fans one query-per-shard out on scoped threads and gathers the
+/// outcomes in shard order. Clients are `Arc<Mutex<_>>` per replica:
+/// `Client` pools sockets behind a `RefCell` (deliberately `!Sync`), and
+/// the mutex hands each attempt exclusive use while letting detached
+/// hedge threads share ownership. Shard threads never block on a hedged
+/// loser (attempts are detached), so the scope always joins promptly.
+/// Trace context propagates into every hop via a captured
+/// [`PropagationHandle`].
 fn fan_out<T: Send>(
     topology: &Topology,
-    clients: &mut [Vec<Client>],
-    query: impl Fn(&Shard, &[Client]) -> ShardOutcome<T> + Sync,
+    clients: &[Vec<Arc<Mutex<Client>>>],
+    query: impl Fn(&Shard, &[Arc<Mutex<Client>>]) -> ShardOutcome<T> + Sync,
 ) -> Vec<ShardOutcome<T>> {
     let handle = PropagationHandle::capture();
     std::thread::scope(|scope| {
         let joins: Vec<_> = topology
             .shards
             .iter()
-            .zip(clients.iter_mut())
+            .zip(clients.iter())
             .map(|(shard, shard_clients)| {
-                let shard_clients: &mut Vec<Client> = shard_clients;
+                let shard_clients: &[Arc<Mutex<Client>>] = shard_clients;
                 let handle = &handle;
                 let query = &query;
                 scope.spawn(move || handle.scope(|| query(shard, shard_clients)))
@@ -405,13 +780,18 @@ fn combine_engines(engines: &[&str]) -> String {
 
 /// Scatters `body` (forwarded verbatim) to one replica per shard, gathers
 /// and merges. `clients` is indexed `[shard][replica]`, aligned with
-/// `topology.shards`.
+/// `topology.shards`. `deadline` is the end of the routed request's
+/// budget: every hop stamps the remaining time into
+/// `x-galign-deadline-ms` so shards can shed work the router would throw
+/// away anyway.
 pub fn scatter_gather(
     topology: &Topology,
-    clients: &mut [Vec<Client>],
+    clients: &[Vec<Arc<Mutex<Client>>>],
     body: &str,
     query: &RoutedQuery,
-    recorder: &FlightRecorder,
+    policy: &HedgePolicy,
+    deadline: Option<Instant>,
+    recorder: &'static FlightRecorder,
 ) -> RoutedReply {
     let st = context::stage("scatter");
     let expected = query.nodes.len();
@@ -421,6 +801,8 @@ pub fn scatter_gather(
             shard_clients,
             "/v1/align/topk",
             body,
+            policy,
+            deadline,
             recorder,
             |b| parse_shard_response(b, shard, expected),
         )
@@ -486,10 +868,12 @@ pub fn scatter_gather(
 /// shard blackout stamps `"partial":true` into every answered slot.
 pub fn scatter_gather_batch(
     topology: &Topology,
-    clients: &mut [Vec<Client>],
+    clients: &[Vec<Arc<Mutex<Client>>>],
     body: &str,
     batch: &BatchRequest,
-    recorder: &FlightRecorder,
+    policy: &HedgePolicy,
+    deadline: Option<Instant>,
+    recorder: &'static FlightRecorder,
 ) -> RoutedReply {
     let st = context::stage("scatter");
     let outcomes = fan_out(topology, clients, |shard, shard_clients| {
@@ -498,6 +882,8 @@ pub fn scatter_gather_batch(
             shard_clients,
             "/v2/align/topk",
             body,
+            policy,
+            deadline,
             recorder,
             |b| parse_shard_batch_response(b, shard, batch),
         )

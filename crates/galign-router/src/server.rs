@@ -21,11 +21,20 @@
 //!
 //! Health: `/healthz` reports `degraded` while any shard has zero
 //! healthy replicas — the state in which answers carry
-//! `"partial": true`. Keep-alive follows the shard servers' contract
-//! (opt-in, fairness-gated idle linger).
+//! `"partial": true` — and lists every replica's circuit-breaker state.
+//! Keep-alive follows the shard servers' contract (opt-in,
+//! fairness-gated idle linger).
+//!
+//! Tail tolerance: every routed hop runs under the [`RouterConfig`]'s
+//! hedge policy (slow hops race the next replica), replica eligibility
+//! is breaker-gated, a background loop re-probes tripped replicas every
+//! [`RouterConfig::reprobe_interval`], and each hop carries the routed
+//! request's remaining deadline budget so shards shed doomed work.
 
+use crate::breaker::BreakerConfig;
 use crate::scatter::{
-    parse_routed_batch, parse_routed_query, scatter_gather, scatter_gather_batch, RoutedReply,
+    parse_routed_batch, parse_routed_query, scatter_gather, scatter_gather_batch, HedgePolicy,
+    RoutedReply,
 };
 use crate::topology::Topology;
 use galign_serve::api::error_body;
@@ -67,6 +76,23 @@ pub struct RouterConfig {
     /// replicas multiplies with this client's own retries; keep
     /// `max_retries` small for fast failover.
     pub client: ClientConfig,
+    /// Static hedge delay: how long a shard hop may be in flight before
+    /// it is raced against the next replica. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Derive the hedge delay from the observed `router.hop.ms` p99 once
+    /// the histogram has warmed up, using `hedge_after` as the cold
+    /// fallback.
+    pub hedge_adaptive: bool,
+    /// Fraction of hop traffic that may be hedges (token-bucket earn
+    /// rate; `<= 0` removes the meter).
+    pub hedge_budget_ratio: f64,
+    /// Hedge token-bucket burst ceiling (and initial balance).
+    pub hedge_budget_cap: f64,
+    /// Per-replica circuit-breaker tunables.
+    pub breaker: BreakerConfig,
+    /// How often the background loop re-probes tripped replicas; `None`
+    /// leaves healing to live traffic alone.
+    pub reprobe_interval: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -83,6 +109,12 @@ impl Default for RouterConfig {
                 max_retries: 1,
                 ..ClientConfig::default()
             },
+            hedge_after: Some(Duration::from_millis(50)),
+            hedge_adaptive: true,
+            hedge_budget_ratio: 0.1,
+            hedge_budget_cap: 10.0,
+            breaker: BreakerConfig::default(),
+            reprobe_interval: Some(Duration::from_millis(500)),
         }
     }
 }
@@ -90,6 +122,7 @@ impl Default for RouterConfig {
 struct Inner {
     topology: Topology,
     cfg: RouterConfig,
+    policy: HedgePolicy,
     addr: SocketAddr,
     shutting_down: AtomicBool,
     pending: AtomicU64,
@@ -146,10 +179,21 @@ impl Router {
                 .sum::<usize>(),
             cfg.workers.max(1),
         );
+        // The topology's breakers were created at discovery with default
+        // tunables; impose this router's configuration on them.
+        topology.configure_breakers(cfg.breaker);
+        let policy = HedgePolicy::new(
+            cfg.hedge_after,
+            cfg.hedge_adaptive,
+            cfg.hedge_budget_ratio,
+            cfg.hedge_budget_cap,
+            cfg.client.clone(),
+        );
         Ok(Router {
             inner: Arc::new(Inner {
                 topology,
                 cfg,
+                policy,
                 addr: local,
                 shutting_down: AtomicBool::new(false),
                 pending: AtomicU64::new(0),
@@ -177,15 +221,17 @@ impl Router {
         let queue_depth = self.inner.cfg.queue_depth.max(1);
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let mut pool = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        let mut pool = Vec::with_capacity(workers + 1);
+        for seed in 0..workers {
             let rx = Arc::clone(&rx);
             let inner = Arc::clone(&self.inner);
             pool.push(std::thread::spawn(move || {
-                // Per-worker clients, [shard][replica]: `Client` is
+                // Per-worker clients, [shard][replica]. `Client` is
                 // deliberately single-threaded (pooled socket + jitter
-                // cells), so each worker owns a full set.
-                let mut clients: Vec<Vec<Client>> = inner
+                // cells); the mutex hands each attempt exclusive use while
+                // letting detached hedge threads share ownership. Jitter
+                // seeds vary per worker so backoffs do not march in step.
+                let clients: Vec<Vec<Arc<Mutex<Client>>>> = inner
                     .topology
                     .shards
                     .iter()
@@ -193,8 +239,14 @@ impl Router {
                         s.replicas
                             .iter()
                             .map(|r| {
-                                Client::with_config(&r.addr, inner.cfg.client.clone())
-                                    .expect("replica address resolved at bind")
+                                let cfg = ClientConfig {
+                                    jitter_seed: inner.cfg.client.jitter_seed + seed as u64,
+                                    ..inner.cfg.client.clone()
+                                };
+                                Arc::new(Mutex::new(
+                                    Client::with_config(&r.addr, cfg)
+                                        .expect("replica address resolved at bind"),
+                                ))
                             })
                             .collect()
                     })
@@ -204,9 +256,32 @@ impl Router {
                     match stream {
                         Ok(stream) => {
                             inner.pending.fetch_sub(1, Ordering::Relaxed);
-                            handle_connection(&inner, &mut clients, stream);
+                            handle_connection(&inner, &clients, stream);
                         }
                         Err(_) => break,
+                    }
+                }
+            }));
+        }
+        if let Some(interval) = self.inner.cfg.reprobe_interval {
+            let inner = Arc::clone(&self.inner);
+            pool.push(std::thread::spawn(move || {
+                // Background re-probe loop: heals tripped replicas even
+                // when no live traffic would retry them. Probes are
+                // single-shot (no client retries) — the breaker's own
+                // cadence is the retry policy.
+                let probe_cfg = ClientConfig {
+                    max_retries: 0,
+                    ..inner.cfg.client.clone()
+                };
+                let tick = Duration::from_millis(50).min(interval.max(Duration::from_millis(1)));
+                let mut since_probe = Duration::ZERO;
+                while !inner.shutting_down.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    since_probe += tick;
+                    if since_probe >= interval {
+                        since_probe = Duration::ZERO;
+                        inner.topology.reprobe(&probe_cfg);
                     }
                 }
             }));
@@ -315,7 +390,7 @@ enum ConnectionFate {
     Close,
 }
 
-fn handle_connection(inner: &Inner, clients: &mut [Vec<Client>], stream: TcpStream) {
+fn handle_connection(inner: &Inner, clients: &[Vec<Arc<Mutex<Client>>>], stream: TcpStream) {
     // Same Nagle opt-out as the shard servers: header and body land in
     // separate writes, and a routed response otherwise eats a delayed-ACK
     // stall per hop.
@@ -346,7 +421,7 @@ fn handle_connection(inner: &Inner, clients: &mut [Vec<Client>], stream: TcpStre
 
 fn serve_one(
     inner: &Inner,
-    clients: &mut [Vec<Client>],
+    clients: &[Vec<Arc<Mutex<Client>>>],
     stream: &TcpStream,
     reader: &mut BufReader<&TcpStream>,
     served: u64,
@@ -447,18 +522,21 @@ fn serve_one(
 
 fn route(
     inner: &Inner,
-    clients: &mut [Vec<Client>],
+    clients: &[Vec<Arc<Mutex<Client>>>],
     request: &Request,
-    _started: Instant,
+    started: Instant,
 ) -> Reply {
+    // The routed request's deadline: hops propagate whatever budget is
+    // left of it, so shards can shed work the router will time out on.
+    let deadline = started + inner.cfg.request_timeout;
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/align/topk") => {
             galign_telemetry::counter_add("router.route.topk", 1);
-            topk_route(inner, clients, &request.body)
+            topk_route(inner, clients, &request.body, deadline)
         }
         ("POST", "/v2/align/topk") => {
             galign_telemetry::counter_add("router.route.topk_v2", 1);
-            topk_batch_route(inner, clients, &request.body)
+            topk_batch_route(inner, clients, &request.body, deadline)
         }
         ("GET", "/healthz") => {
             galign_telemetry::counter_add("router.route.healthz", 1);
@@ -495,7 +573,12 @@ fn route(
     }
 }
 
-fn topk_route(inner: &Inner, clients: &mut [Vec<Client>], body: &[u8]) -> Reply {
+fn topk_route(
+    inner: &Inner,
+    clients: &[Vec<Arc<Mutex<Client>>>],
+    body: &[u8],
+    deadline: Instant,
+) -> Reply {
     let st = context::stage("parse");
     let query = match parse_routed_query(body, inner.cfg.default_k, inner.cfg.max_k) {
         Ok(q) => q,
@@ -510,7 +593,15 @@ fn topk_route(inner: &Inner, clients: &mut [Vec<Client>], body: &[u8]) -> Reply 
         body,
         partial,
         engine,
-    } = scatter_gather(&inner.topology, clients, &body, &query, inner.flight);
+    } = scatter_gather(
+        &inner.topology,
+        clients,
+        &body,
+        &query,
+        &inner.policy,
+        Some(deadline),
+        inner.flight,
+    );
     if partial {
         galign_telemetry::counter_add("router.topk.partial", 1);
     }
@@ -522,7 +613,12 @@ fn topk_route(inner: &Inner, clients: &mut [Vec<Client>], body: &[u8]) -> Reply 
     }
 }
 
-fn topk_batch_route(inner: &Inner, clients: &mut [Vec<Client>], body: &[u8]) -> Reply {
+fn topk_batch_route(
+    inner: &Inner,
+    clients: &[Vec<Arc<Mutex<Client>>>],
+    body: &[u8],
+    deadline: Instant,
+) -> Reply {
     let st = context::stage("parse");
     let batch = match parse_routed_batch(body, inner.cfg.default_k, inner.cfg.max_k) {
         Ok(b) => b,
@@ -536,7 +632,15 @@ fn topk_batch_route(inner: &Inner, clients: &mut [Vec<Client>], body: &[u8]) -> 
         body,
         partial,
         engine,
-    } = scatter_gather_batch(&inner.topology, clients, &body, &batch, inner.flight);
+    } = scatter_gather_batch(
+        &inner.topology,
+        clients,
+        &body,
+        &batch,
+        &inner.policy,
+        Some(deadline),
+        inner.flight,
+    );
     if partial {
         galign_telemetry::counter_add("router.topk.partial", 1);
     }
@@ -559,8 +663,14 @@ fn healthz(inner: &Inner) -> String {
         if i > 0 {
             shards.push(',');
         }
+        let breakers = shard
+            .replicas
+            .iter()
+            .map(|r| format!("\"{}\"", r.breaker().state().as_str()))
+            .collect::<Vec<_>>()
+            .join(",");
         shards.push_str(&format!(
-            "{{\"shard_id\":{},\"start\":{},\"end\":{},\"replicas\":{},\"healthy\":{}}}",
+            "{{\"shard_id\":{},\"start\":{},\"end\":{},\"replicas\":{},\"healthy\":{},\"breakers\":[{breakers}]}}",
             shard.identity.shard_id,
             shard.identity.start,
             shard.identity.end,

@@ -10,16 +10,21 @@
 //! parent's target ids exactly. A router can therefore never be
 //! mis-wired into silently answering from half a network.
 //!
-//! Replica health lives here too, as advisory `AtomicBool`s shared by
-//! every router worker: scatter marks a replica unhealthy when it fails
-//! and healthy when it answers, and replica selection merely *orders*
-//! candidates by health — an unhealthy replica is still tried as a last
-//! resort, which is how a recovered node heals without a control plane.
+//! Replica health lives here too, in two layers shared by every router
+//! worker. The advisory `last_ok` bool records the outcome of the most
+//! recent attempt and only *orders* candidates (and feeds `/healthz`'s
+//! degraded signal). Eligibility is decided by each replica's
+//! [`CircuitBreaker`]: a tripped replica is **skipped** by selection
+//! until its cooldown grants a half-open probe, driven either by live
+//! traffic or by the router's background [`Topology::reprobe`] loop —
+//! which is how a recovered node heals without a control plane.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use galign_serve::client::{Client, ClientConfig};
 use galign_serve::json;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Identity of one shard: its slice of the parent's target ids plus the
 /// parent fingerprint, as advertised on `/healthz`.
@@ -40,31 +45,103 @@ pub struct ShardIdentity {
     pub parent_checksum: String,
 }
 
-/// One replica address plus its advisory health flag.
+/// One replica's shared health state: the advisory last-outcome flag
+/// plus the circuit breaker. Lives behind an `Arc` so detached
+/// hedge-attempt threads can report outcomes even after their shard's
+/// scatter call has already returned with the other replica's answer.
+#[derive(Debug)]
+pub struct ReplicaHealth {
+    last_ok: AtomicBool,
+    breaker: CircuitBreaker,
+}
+
+impl ReplicaHealth {
+    fn new() -> ReplicaHealth {
+        ReplicaHealth {
+            last_ok: AtomicBool::new(true),
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
+        }
+    }
+
+    /// Last-known health (advisory: selection order and the `/healthz`
+    /// degraded signal, not eligibility).
+    pub fn is_healthy(&self) -> bool {
+        self.last_ok.load(Ordering::Relaxed)
+    }
+
+    /// The eligibility gate.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Records a successful request: flips the advisory flag to healthy
+    /// and closes the breaker.
+    pub fn record_success(&self) {
+        self.last_ok.store(true, Ordering::Relaxed);
+        self.breaker.record_success();
+    }
+
+    /// Records a failed request (hop timeout, connect failure, 5xx or
+    /// unparseable 200): flips the advisory flag and feeds the breaker's
+    /// consecutive-failure streak.
+    pub fn record_failure(&self) {
+        self.last_ok.store(false, Ordering::Relaxed);
+        self.breaker.record_failure();
+    }
+
+    /// Marks a replica found unreachable at discovery: unhealthy *and*
+    /// tripped, so it only takes traffic again once a probe heals it.
+    pub fn mark_unreachable(&self) {
+        self.last_ok.store(false, Ordering::Relaxed);
+        self.breaker.force_open();
+    }
+}
+
+/// One replica address plus its shared health state.
 #[derive(Debug)]
 pub struct Replica {
     /// Address as configured (e.g. `"127.0.0.1:7001"`).
     pub addr: String,
-    healthy: AtomicBool,
+    health: Arc<ReplicaHealth>,
 }
 
 impl Replica {
     fn new(addr: String) -> Replica {
         Replica {
             addr,
-            healthy: AtomicBool::new(true),
+            health: Arc::new(ReplicaHealth::new()),
         }
+    }
+
+    /// A handle to this replica's health state, cloneable into detached
+    /// attempt threads.
+    pub fn health(&self) -> Arc<ReplicaHealth> {
+        Arc::clone(&self.health)
     }
 
     /// Last-known health (advisory: selection order, not eligibility).
     pub fn is_healthy(&self) -> bool {
-        self.healthy.load(Ordering::Relaxed)
+        self.health.is_healthy()
     }
 
-    /// Records the outcome of the most recent attempt against this
-    /// replica.
-    pub fn set_healthy(&self, healthy: bool) {
-        self.healthy.store(healthy, Ordering::Relaxed);
+    /// This replica's circuit breaker (the eligibility gate).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        self.health.breaker()
+    }
+
+    /// See [`ReplicaHealth::record_success`].
+    pub fn record_success(&self) {
+        self.health.record_success();
+    }
+
+    /// See [`ReplicaHealth::record_failure`].
+    pub fn record_failure(&self) {
+        self.health.record_failure();
+    }
+
+    /// See [`ReplicaHealth::mark_unreachable`].
+    pub fn mark_unreachable(&self) {
+        self.health.mark_unreachable();
     }
 }
 
@@ -229,9 +306,10 @@ impl Topology {
                     Err(e) => {
                         galign_telemetry::info!(
                             "router",
-                            "replica {addr} unreachable at discovery ({e}); keeping it unhealthy"
+                            "replica {addr} unreachable at discovery ({e}); keeping it \
+                             tripped until a probe heals it"
                         );
-                        replica.set_healthy(false);
+                        replica.mark_unreachable();
                     }
                 }
                 replicas.push(replica);
@@ -309,6 +387,59 @@ impl Topology {
     /// Whether every shard has at least one healthy replica.
     pub fn fully_healthy(&self) -> bool {
         self.shards.iter().all(|s| s.healthy_replicas() > 0)
+    }
+
+    /// Re-applies breaker tunables to every replica (how `Router::bind`
+    /// imposes its `RouterConfig` on a topology discovered earlier).
+    pub fn configure_breakers(&self, cfg: BreakerConfig) {
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                replica.breaker().configure(cfg);
+            }
+        }
+    }
+
+    /// One pass of the background health re-probe loop: every replica
+    /// whose breaker is open and past its cooldown gets one `/healthz`
+    /// probe (claiming the half-open slot, so live traffic and the loop
+    /// never double-probe). A `200` heals the replica; anything else
+    /// re-opens it for another cooldown. Returns how many replicas
+    /// healed; bumps `router.reprobe.probes` / `router.reprobe.healed`.
+    pub fn reprobe(&self, cfg: &ClientConfig) -> usize {
+        let mut healed = 0;
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                if !replica.breaker().probe_due() || !replica.breaker().try_acquire() {
+                    continue;
+                }
+                galign_telemetry::counter_add("router.reprobe.probes", 1);
+                let ok = Client::with_config(&replica.addr, cfg.clone())
+                    .and_then(|client| client.get("/healthz"))
+                    .map(|resp| resp.status == 200)
+                    .unwrap_or(false);
+                if ok {
+                    replica.record_success();
+                    healed += 1;
+                    galign_telemetry::counter_add("router.reprobe.healed", 1);
+                    galign_telemetry::info!(
+                        "router",
+                        "replica {} healed by background re-probe",
+                        replica.addr
+                    );
+                } else {
+                    replica.record_failure();
+                }
+            }
+        }
+        healed
+    }
+
+    /// Breaker states of every replica, shard by shard (for `/healthz`).
+    pub fn breaker_states(&self) -> Vec<Vec<BreakerState>> {
+        self.shards
+            .iter()
+            .map(|s| s.replicas.iter().map(|r| r.breaker().state()).collect())
+            .collect()
     }
 }
 
@@ -404,12 +535,73 @@ mod tests {
     }
 
     #[test]
-    fn health_flags_order_but_never_exclude() {
+    fn advisory_health_tracks_last_outcome_only() {
         let s = shard(0, 1, 0, 9, 9);
         assert_eq!(s.healthy_replicas(), 1);
-        s.replicas[0].set_healthy(false);
+        // A single failure flips the advisory flag (so /healthz degrades
+        // loudly) without tripping the default threshold-3 breaker.
+        s.replicas[0].record_failure();
         assert_eq!(s.healthy_replicas(), 0);
-        s.replicas[0].set_healthy(true);
+        assert_eq!(s.replicas[0].breaker().state(), BreakerState::Closed);
+        s.replicas[0].record_success();
         assert!(s.replicas[0].is_healthy());
+    }
+
+    #[test]
+    fn unreachable_at_discovery_starts_tripped() {
+        let s = shard(0, 1, 0, 9, 9);
+        s.replicas[0].mark_unreachable();
+        assert!(!s.replicas[0].is_healthy());
+        assert_eq!(s.replicas[0].breaker().state(), BreakerState::Open);
+        assert!(!s.replicas[0].breaker().try_acquire());
+    }
+
+    /// The heal path: a tripped replica whose cooldown has elapsed is
+    /// probed by `Topology::reprobe` and closes on a 200 `/healthz`.
+    #[test]
+    fn reprobe_heals_a_tripped_replica() {
+        use std::io::{Read as _, Write as _};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = conn.read(&mut buf);
+            let body = "{}";
+            let _ = write!(
+                conn,
+                "HTTP/1.1 200 OK\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        });
+
+        let topo = Topology {
+            shards: vec![Shard {
+                identity: ShardIdentity {
+                    shard_id: 0,
+                    num_shards: 1,
+                    start: 0,
+                    end: 9,
+                    parent_targets: 9,
+                    parent_checksum: String::new(),
+                },
+                replicas: vec![Replica::new(addr)],
+            }],
+            parent_targets: 9,
+            source_nodes: 4,
+            layers: 1,
+        };
+        let replica = &topo.shards[0].replicas[0];
+        replica.mark_unreachable();
+        topo.configure_breakers(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: std::time::Duration::from_millis(100),
+        });
+        assert_eq!(topo.reprobe(&ClientConfig::default()), 0, "still cooling");
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        assert_eq!(topo.reprobe(&ClientConfig::default()), 1);
+        assert!(replica.is_healthy());
+        assert_eq!(replica.breaker().state(), BreakerState::Closed);
+        server.join().unwrap();
     }
 }

@@ -129,14 +129,30 @@ fn start_fleet(
 }
 
 fn start_router(groups: &[Vec<String>]) -> RouterHandle {
+    start_router_with(groups, RouterConfig::default())
+}
+
+fn start_router_with(groups: &[Vec<String>], cfg: RouterConfig) -> RouterHandle {
     let client = ClientConfig {
         max_retries: 1,
         ..ClientConfig::default()
     };
     let topology = Topology::discover(groups, &client).expect("discover topology");
-    Router::bind("127.0.0.1:0", topology, RouterConfig::default())
+    Router::bind("127.0.0.1:0", topology, cfg)
         .expect("bind router")
         .spawn()
+}
+
+/// The most aggressive hedge policy expressible: every shard hop races
+/// two replicas from the first instant, unmetered. Byte-identity must be
+/// indifferent to which racer wins.
+fn hedge_everything() -> RouterConfig {
+    RouterConfig {
+        hedge_after: Some(Duration::ZERO),
+        hedge_adaptive: false,
+        hedge_budget_ratio: 0.0, // <= 0 removes the meter
+        ..RouterConfig::default()
+    }
 }
 
 fn send(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
@@ -302,6 +318,37 @@ fn routed_ann_hits_carry_exact_score_bits() {
     shutdown_all(fleet);
 }
 
+/// Hedging is a *race*: with the hedge delay at zero every shard query
+/// fires at both replicas and whichever finishes first is the answer.
+/// Since replicas of a shard serve the same artifact and the response
+/// path is deterministic, the winner must not be observable — routed
+/// bytes stay identical to the single node's no matter who wins, across
+/// repeated rounds so both orderings actually occur.
+#[test]
+fn hedged_races_are_byte_identical_whichever_replica_wins() {
+    let rows = 11;
+    let artifact = tie_heavy_artifact(rows);
+    let single = start_single(&artifact);
+    let (fleet, groups) = start_fleet(&artifact, 2, 2, false);
+    let router = start_router_with(&groups, hedge_everything());
+    let queries = [
+        r#"{"nodes": [0, 1, 2, 3, 4], "k": 3}"#.to_string(),
+        format!("{{\"nodes\": [4, 0, 3], \"k\": {rows}}}"),
+        r#"{"nodes": [2, 3], "k": 5, "theta": [1.0]}"#.to_string(),
+    ];
+    for round in 0..10 {
+        for body in &queries {
+            let (s1, b1) = send(single.addr(), "POST", "/v1/align/topk", Some(body));
+            let (s2, b2) = send(router.addr(), "POST", "/v1/align/topk", Some(body));
+            assert_eq!((s1, s2), (200, 200), "round {round}: {b1} / {b2}");
+            assert_eq!(b1, b2, "round {round}: hedged race changed the bytes");
+        }
+    }
+    router.shutdown().expect("router shutdown");
+    shutdown_all(fleet);
+    single.shutdown().expect("single shutdown");
+}
+
 #[test]
 fn router_healthz_reports_topology() {
     let artifact = tie_heavy_artifact(9);
@@ -346,6 +393,32 @@ proptest! {
         let (s2, b2) = send(router.addr(), "POST", "/v1/align/topk", Some(&body));
         prop_assert_eq!(s1, 200, "single: {}", b1);
         prop_assert_eq!(s2, 200, "routed: {}", b2);
+        prop_assert_eq!(b1, b2, "seed {} target {} shards {}", seed, target, num_shards);
+        router.shutdown().expect("router shutdown");
+        shutdown_all(fleet);
+        single.shutdown().expect("single shutdown");
+    }
+
+    /// The hedged variant of the property: two replicas per shard, the
+    /// hedge fired on every hop. Whichever replica wins each race, the
+    /// routed bytes must equal the single node's.
+    #[test]
+    fn hedged_routed_matches_single_node_for_random_splits(
+        seed in 1u64..1000,
+        target in 6usize..12,
+        num_shards in 1usize..3,
+        k in 1usize..9,
+    ) {
+        let num_shards = num_shards.min(target);
+        let artifact = random_artifact(seed, 4, target, &[3, 2]);
+        let single = start_single(&artifact);
+        let (fleet, groups) = start_fleet(&artifact, num_shards, 2, false);
+        let router = start_router_with(&groups, hedge_everything());
+        let body = format!("{{\"nodes\": [0, 1, 2, 3], \"k\": {k}}}");
+        let (s1, b1) = send(single.addr(), "POST", "/v1/align/topk", Some(&body));
+        let (s2, b2) = send(router.addr(), "POST", "/v1/align/topk", Some(&body));
+        prop_assert_eq!(s1, 200, "single: {}", b1);
+        prop_assert_eq!(s2, 200, "hedged routed: {}", b2);
         prop_assert_eq!(b1, b2, "seed {} target {} shards {}", seed, target, num_shards);
         router.shutdown().expect("router shutdown");
         shutdown_all(fleet);

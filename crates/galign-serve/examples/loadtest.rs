@@ -35,12 +35,20 @@
 //! fire on schedule regardless of completions and latency is measured
 //! from the *scheduled* send time, so queueing delay under overload shows
 //! up in the percentiles instead of silently throttling the offered load.
+//!
+//! `--chaos-summary` snapshots the target's `/metrics` counters around
+//! the run and prints the movement of every tail-tolerance counter —
+//! hedges fired/won, breakers opened/closed/skipped, re-probe heals,
+//! partial answers, deadline sheds — plus this process's own
+//! retry-budget spend, so a brownout run reports not just percentiles
+//! but *which* defense absorbed the fault.
 
 use galign_serve::api::{self, BatchRequest, TopkRequest};
 use galign_serve::client::{Client, ClientConfig};
 use galign_serve::json::{self, Json};
 use galign_serve::server::TRACE_HEADER;
 use galign_serve::testutil::Xorshift;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -56,6 +64,7 @@ struct Args {
     untraced: bool,
     router: bool,
     targets: Option<usize>,
+    chaos_summary: bool,
 }
 
 fn parse_args() -> Args {
@@ -72,6 +81,7 @@ fn parse_args() -> Args {
         untraced: false,
         router: false,
         targets: None,
+        chaos_summary: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,11 +108,13 @@ fn parse_args() -> Args {
             "--untraced" => args.untraced = true,
             "--router" => args.router = true,
             "--targets" => args.targets = Some(take("targets").parse().expect("--targets")),
+            "--chaos-summary" => args.chaos_summary = true,
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: loadtest [--addr HOST:PORT] [--requests N] \
                      [--concurrency C] [--k K] [--batch B] [--queries Q] [--open-loop RPS] \
-                     [--seed S] [--max-retries R] [--untraced] [--router] [--targets N]"
+                     [--seed S] [--max-retries R] [--untraced] [--router] [--targets N] \
+                     [--chaos-summary]"
                 );
                 std::process::exit(2);
             }
@@ -129,6 +141,64 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let idx = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Tail-tolerance counters worth diffing across a chaos run: the target's
+/// hedging, circuit-breaker, re-probe, partial-answer, and deadline-shed
+/// activity, plus the load generator's own retry-budget spend.
+const CHAOS_PREFIXES: &[&str] = &[
+    "router.hedge.",
+    "router.breaker.",
+    "router.reprobe.",
+    "router.scatter.partial",
+    "router.topk.partial",
+    "serve.topk.deadline",
+];
+
+const CHAOS_LOCAL: &[&str] = &[
+    "client.retry_budget.exhausted",
+    "client.http.shed_responses",
+    "client.http.io_errors",
+];
+
+/// Snapshot of the target's `/metrics` counters (remote) and this
+/// process's client-side counters (local).
+fn chaos_snapshot(probe: &Client) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Ok(resp) = probe.get("/metrics") {
+        if let Ok(doc) = json::parse(&resp.body_str()) {
+            if let Some(counters) = doc.get("counters").and_then(Json::as_obj) {
+                for (name, value) in counters {
+                    if CHAOS_PREFIXES.iter().any(|p| name.starts_with(p)) {
+                        out.insert(name.clone(), value.as_f64().unwrap_or(0.0));
+                    }
+                }
+            }
+        }
+    }
+    for name in CHAOS_LOCAL {
+        out.insert(
+            format!("local {name}"),
+            galign_telemetry::counter_value(name) as f64,
+        );
+    }
+    out
+}
+
+/// Prints the counter movement between two snapshots; zero-delta rows are
+/// elided so a calm run prints a single line.
+fn print_chaos_summary(before: &BTreeMap<String, f64>, after: &BTreeMap<String, f64>) {
+    let mut moved = false;
+    for (name, end) in after {
+        let delta = end - before.get(name).copied().unwrap_or(0.0);
+        if delta > 0.0 {
+            println!("chaos: {name} +{delta:.0}");
+            moved = true;
+        }
+    }
+    if !moved {
+        println!("chaos: no hedge/breaker/reprobe/deadline counter moved during the run");
+    }
 }
 
 fn main() {
@@ -201,6 +271,8 @@ fn main() {
             .map_or(String::new(), |r| format!(", open-loop {r:.0} req/s")),
         if args.untraced { ", untraced" } else { "" }
     );
+
+    let chaos_before = args.chaos_summary.then(|| chaos_snapshot(&probe));
 
     let per_client = args.requests.div_ceil(args.concurrency);
     // Open loop: each of C clients fires every C/RPS seconds, offering an
@@ -352,6 +424,9 @@ fn main() {
             percentile(&latencies, 99.0),
             latencies.last().copied().unwrap_or(f64::NAN)
         );
+    }
+    if let Some(before) = chaos_before {
+        print_chaos_summary(&before, &chaos_snapshot(&probe));
     }
     if failures > 0 || total == 0 {
         std::process::exit(1);

@@ -59,6 +59,10 @@ pub(crate) struct Job {
     pub generation: Arc<Generation>,
     /// When the request was read (deadline anchor).
     pub started: Instant,
+    /// This request's deadline budget from `started`: the server config
+    /// deadline, clamped down to the remaining budget the caller
+    /// advertised via the `x-galign-deadline-ms` header.
+    pub deadline: Duration,
     /// When the job entered the queue (batch-window anchor; stamped by
     /// [`Coalescer::enqueue`]).
     enqueued: Instant,
@@ -72,6 +76,7 @@ impl Job {
         handle: PropagationHandle,
         generation: Arc<Generation>,
         started: Instant,
+        deadline: Duration,
     ) -> Job {
         Job {
             token,
@@ -80,6 +85,7 @@ impl Job {
             handle,
             generation,
             started,
+            deadline,
             enqueued: started,
         }
     }
@@ -326,7 +332,7 @@ fn plan_job(inner: &Inner, job: Job) -> JobPlan {
             queries: Vec::new(),
         }
     };
-    if job.started.elapsed() >= inner.cfg.deadline {
+    if job.started.elapsed() >= job.deadline {
         return deadline_reply(job);
     }
     let handle = job.handle.clone();
@@ -422,7 +428,7 @@ fn plan_job(inner: &Inner, job: Job) -> JobPlan {
         // deadline on the way in rather than burning kernel time on a
         // request whose client was already promised an answer it can't
         // get in time.
-        if any_miss && job.started.elapsed() >= inner.cfg.deadline {
+        if any_miss && job.started.elapsed() >= job.deadline {
             return deadline_reply(job);
         }
         JobPlan {
@@ -596,6 +602,7 @@ pub(crate) fn run_single(
         PropagationHandle::capture(),
         Arc::clone(generation),
         started,
+        inner.cfg.deadline,
     );
     process_jobs(inner, vec![job])
         .pop()
@@ -617,6 +624,7 @@ mod tests {
             PropagationHandle::capture(),
             inner.generation(),
             Instant::now(),
+            inner.cfg.deadline,
         )
     }
 

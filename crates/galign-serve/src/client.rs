@@ -42,11 +42,11 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use galign_telemetry::TraceId;
 
-use crate::server::TRACE_HEADER;
+use crate::server::{DEADLINE_HEADER, TRACE_HEADER};
 
 /// Retry/backoff tunables.
 #[derive(Debug, Clone)]
@@ -73,6 +73,16 @@ pub struct ClientConfig {
     /// between sequential requests (on by default). Off restores the
     /// historical one-connection-per-request behavior.
     pub keep_alive: bool,
+    /// Retry-budget earn rate: tokens earned per logical request, i.e.
+    /// the fraction of traffic that may be *extra* attempts (IO-error
+    /// retries). `0.1` caps retry amplification near 10% — a brownout
+    /// cannot snowball into a retry storm. `<= 0` disables the budget
+    /// (unlimited retries, the historical behavior). Server-paced `503`
+    /// retries are exempt: they already honor `Retry-After`.
+    pub retry_budget_ratio: f64,
+    /// Retry-budget token ceiling (burst headroom). Also the initial
+    /// balance, so short bursts right after startup can still retry.
+    pub retry_budget_cap: f64,
 }
 
 impl Default for ClientConfig {
@@ -86,6 +96,8 @@ impl Default for ClientConfig {
             jitter_seed: 1,
             trace_header: true,
             keep_alive: true,
+            retry_budget_ratio: 0.1,
+            retry_budget_cap: 10.0,
         }
     }
 }
@@ -179,6 +191,8 @@ pub struct Client {
     pool: std::cell::RefCell<Vec<TcpStream>>,
     pool_connects: std::cell::Cell<u64>,
     pool_reuses: std::cell::Cell<u64>,
+    /// Retry-budget token balance (see [`ClientConfig::retry_budget_ratio`]).
+    budget: std::cell::Cell<f64>,
 }
 
 impl Client {
@@ -201,6 +215,7 @@ impl Client {
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
         let jitter = std::cell::Cell::new(cfg.jitter_seed.max(1));
+        let budget = std::cell::Cell::new(cfg.retry_budget_cap.max(0.0));
         Ok(Client {
             addr,
             cfg,
@@ -209,7 +224,41 @@ impl Client {
             pool: std::cell::RefCell::new(Vec::new()),
             pool_connects: std::cell::Cell::new(0),
             pool_reuses: std::cell::Cell::new(0),
+            budget,
         })
+    }
+
+    /// Remaining retry-budget tokens (diagnostics/tests).
+    #[must_use]
+    pub fn retry_budget(&self) -> f64 {
+        self.budget.get()
+    }
+
+    /// Spends one retry-budget token if available. Refusals bump
+    /// `client.retry_budget.exhausted`. Always grants when the budget is
+    /// disabled (`retry_budget_ratio <= 0`).
+    fn try_charge_retry(&self) -> bool {
+        if self.cfg.retry_budget_ratio <= 0.0 {
+            return true;
+        }
+        let balance = self.budget.get();
+        if balance >= 1.0 {
+            self.budget.set(balance - 1.0);
+            true
+        } else {
+            galign_telemetry::counter_add("client.retry_budget.exhausted", 1);
+            false
+        }
+    }
+
+    /// Earns the per-request fraction of a token, capped at the burst
+    /// ceiling.
+    fn earn_retry_budget(&self) {
+        if self.cfg.retry_budget_ratio > 0.0 {
+            self.budget.set(
+                (self.budget.get() + self.cfg.retry_budget_ratio).min(self.cfg.retry_budget_cap),
+            );
+        }
     }
 
     /// Connection-pool counters: fresh connects vs requests served over a
@@ -228,7 +277,7 @@ impl Client {
     /// # Errors
     /// When the last attempt failed at the IO level.
     pub fn get(&self, path: &str) -> io::Result<Response> {
-        self.request("GET", path, None).map(|(r, _, _)| r)
+        self.request("GET", path, None, None).map(|(r, _, _)| r)
     }
 
     /// `POST path` with a JSON body, with retries. A `503` that survives
@@ -237,7 +286,8 @@ impl Client {
     /// # Errors
     /// When the last attempt failed at the IO level.
     pub fn post_json(&self, path: &str, body: &str) -> io::Result<Response> {
-        self.request("POST", path, Some(body)).map(|(r, _, _)| r)
+        self.request("POST", path, Some(body), None)
+            .map(|(r, _, _)| r)
     }
 
     /// Like [`Client::post_json`] but also reports how many attempts (and
@@ -247,7 +297,7 @@ impl Client {
     /// # Errors
     /// When the last attempt failed at the IO level.
     pub fn post_json_with_stats(&self, path: &str, body: &str) -> io::Result<(Response, Attempts)> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), None)
             .map(|(r, a, _)| (r, a))
     }
 
@@ -262,7 +312,27 @@ impl Client {
         path: &str,
         body: &str,
     ) -> io::Result<(Response, Attempts, TraceId)> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), None)
+    }
+
+    /// Like [`Client::post_json`], but propagates `deadline` downstream:
+    /// every attempt stamps the *remaining* budget (milliseconds) into
+    /// the [`DEADLINE_HEADER`] so the server can shed work it cannot
+    /// finish in time, per-attempt socket timeouts shrink to the
+    /// remaining budget, and the retry loop stops once the deadline has
+    /// passed instead of sleeping through it.
+    ///
+    /// # Errors
+    /// `TimedOut` when the deadline expires before any attempt produced
+    /// a response; otherwise as [`Client::post_json`].
+    pub fn post_json_with_deadline(
+        &self,
+        path: &str,
+        body: &str,
+        deadline: Option<Instant>,
+    ) -> io::Result<Response> {
+        self.request("POST", path, Some(body), deadline)
+            .map(|(r, _, _)| r)
     }
 
     fn request(
@@ -270,12 +340,14 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
+        deadline: Option<Instant>,
     ) -> io::Result<(Response, Attempts, TraceId)> {
         // One id per *logical* request: resolved before the retry loop so
         // every attempt — including the ones a shedding server rejects —
         // lands in the same server-side trace.
         let trace_id =
             galign_telemetry::context::current_trace_id().unwrap_or_else(TraceId::generate);
+        self.earn_retry_budget();
         let mut stats = Attempts::default();
         // The last outcome: either a 503 response (returned to the caller
         // if retries run out — it is a real answer, not an IO failure) or
@@ -283,10 +355,22 @@ impl Client {
         let mut last: Option<io::Result<Response>> = None;
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
+                // Retrying an IO error is *speculative* extra load — it
+                // spends a retry-budget token so a brownout cannot amplify
+                // into a retry storm. Retrying a shed 503 is exempt: the
+                // server itself paced that retry via Retry-After.
+                if matches!(last, Some(Err(_))) && !self.try_charge_retry() {
+                    break;
+                }
                 std::thread::sleep(self.backoff(attempt));
             }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
             stats.tries += 1;
-            match self.request_once(method, path, body, trace_id) {
+            match self.request_once(method, path, body, trace_id, deadline) {
                 Ok(resp) if resp.status == 503 => {
                     stats.shed += 1;
                     galign_telemetry::counter_add("client.http.shed_responses", 1);
@@ -305,7 +389,26 @@ impl Client {
         match last {
             Some(Ok(resp)) => Ok((resp, stats, trace_id)),
             Some(Err(e)) => Err(e),
-            None => Err(io::Error::other("request failed with no attempts")),
+            None => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "deadline expired before any attempt",
+            )),
+        }
+    }
+
+    /// Read/write timeout for one attempt: the configured `io_timeout`,
+    /// shrunk to the remaining deadline budget so an attempt never blocks
+    /// past the point where its answer became useless.
+    fn attempt_timeout(&self, deadline: Option<Instant>) -> io::Result<Duration> {
+        match deadline {
+            None => Ok(self.cfg.io_timeout),
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "deadline expired"));
+                }
+                Ok(self.cfg.io_timeout.min(remaining))
+            }
         }
     }
 
@@ -315,7 +418,9 @@ impl Client {
         path: &str,
         body: Option<&str>,
         trace_id: TraceId,
+        deadline: Option<Instant>,
     ) -> io::Result<Response> {
+        let timeout = self.attempt_timeout(deadline)?;
         // Try a pooled socket first. The server may have closed it since
         // (idle timeout, restart, shutdown), which only surfaces on use —
         // that failure is a property of the *stale socket*, not of the
@@ -324,7 +429,9 @@ impl Client {
         if self.cfg.keep_alive {
             let pooled = self.pool.borrow_mut().pop();
             if let Some(stream) = pooled {
-                if let Ok(resp) = self.send_on(&stream, method, path, body, trace_id) {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                if let Ok(resp) = self.send_on(&stream, method, path, body, trace_id, deadline) {
                     self.pool_reuses.set(self.pool_reuses.get() + 1);
                     galign_telemetry::counter_add("client.http.pool.reuses", 1);
                     self.recycle(stream, &resp);
@@ -334,12 +441,12 @@ impl Client {
             }
         }
         let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
-        stream.set_read_timeout(Some(self.cfg.io_timeout))?;
-        stream.set_write_timeout(Some(self.cfg.io_timeout))?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true).ok();
         self.pool_connects.set(self.pool_connects.get() + 1);
         galign_telemetry::counter_add("client.http.pool.connects", 1);
-        let resp = self.send_on(&stream, method, path, body, trace_id)?;
+        let resp = self.send_on(&stream, method, path, body, trace_id, deadline)?;
         self.recycle(stream, &resp);
         Ok(resp)
     }
@@ -354,6 +461,7 @@ impl Client {
         path: &str,
         body: Option<&str>,
         trace_id: TraceId,
+        deadline: Option<Instant>,
     ) -> io::Result<Response> {
         let mut writer = stream;
         let body = body.unwrap_or("");
@@ -362,6 +470,18 @@ impl Client {
         } else {
             String::new()
         };
+        // The remaining budget is computed per *attempt*, so a retry
+        // advertises less than the attempt before it did.
+        let deadline_line = match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "deadline expired"));
+                }
+                format!("{DEADLINE_HEADER}: {}\r\n", remaining.as_millis())
+            }
+            None => String::new(),
+        };
         let connection = if self.cfg.keep_alive {
             "keep-alive"
         } else {
@@ -369,7 +489,7 @@ impl Client {
         };
         write!(
             writer,
-            "{method} {path} HTTP/1.1\r\nhost: galign-client\r\n{trace_line}content-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nhost: galign-client\r\n{trace_line}{deadline_line}content-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
             body.len()
         )?;
         writer.flush()?;

@@ -74,6 +74,15 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Object members in document order, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure with byte position.

@@ -125,6 +125,13 @@ use std::time::{Duration, Instant};
 /// Trace-id header honored on requests and echoed on responses.
 pub const TRACE_HEADER: &str = "x-galign-trace-id";
 
+/// Remaining-deadline header stamped by upstream callers: the number of
+/// milliseconds of client budget left when the request was sent. The
+/// server clamps its own per-request deadline to this remaining budget,
+/// so a coalesced job whose caller has already given up is shed with a
+/// `503` instead of burning kernel time on a doomed reply.
+pub const DEADLINE_HEADER: &str = "x-galign-deadline-ms";
+
 /// Response header reporting the artifact generation a request was served
 /// from. Starts at 1 for the artifact the server booted with and bumps on
 /// every hot swap; a request spanning a swap reports the generation it
@@ -567,29 +574,30 @@ impl Server {
                         .pending
                         .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
                     let tokens: Vec<u64> = jobs.iter().map(|j| j.token).collect();
-                    let completions = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || batch::process_jobs(&inner, jobs),
-                    ))
-                    .unwrap_or_else(|panic| {
-                        let msg = panic
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".to_string());
-                        galign_telemetry::counter_add("serve.batch.panics", 1);
-                        galign_telemetry::info!(
-                            "serve",
-                            "batch flush panicked ({} jobs 500ed): {msg}",
-                            tokens.len()
-                        );
-                        tokens
-                            .iter()
-                            .map(|&token| Completion {
-                                token,
-                                reply: Reply::json(500, error_body("internal server error")),
-                            })
-                            .collect()
-                    });
+                    let completions =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            batch::process_jobs(&inner, jobs)
+                        }))
+                        .unwrap_or_else(|panic| {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            galign_telemetry::counter_add("serve.batch.panics", 1);
+                            galign_telemetry::info!(
+                                "serve",
+                                "batch flush panicked ({} jobs 500ed): {msg}",
+                                tokens.len()
+                            );
+                            tokens
+                                .iter()
+                                .map(|&token| Completion {
+                                    token,
+                                    reply: Reply::json(500, error_body("internal server error")),
+                                })
+                                .collect()
+                        });
                     let mut sent = false;
                     for done in completions {
                         sent |= done_tx.send(done).is_ok();
@@ -1184,6 +1192,23 @@ impl EventLoop {
             let _scope = rs.ctx.enter();
             PropagationHandle::capture()
         };
+        // Clamp this request's deadline to the remaining budget the
+        // caller advertised, if any: a hop that arrives with 40ms of
+        // client patience left must not sit in the coalescer for the
+        // server's full default deadline.
+        let deadline = match request
+            .header(DEADLINE_HEADER)
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            Some(budget_ms) => {
+                let budget = Duration::from_millis(budget_ms);
+                if budget < self.inner.cfg.deadline {
+                    galign_telemetry::counter_add("serve.topk.deadline_clamped", 1);
+                }
+                budget.min(self.inner.cfg.deadline)
+            }
+            None => self.inner.cfg.deadline,
+        };
         let job = Job::new(
             token,
             request.body,
@@ -1191,6 +1216,7 @@ impl EventLoop {
             handle,
             self.inner.generation(),
             started,
+            deadline,
         );
         // Increment before enqueue: a worker may flush (and decrement)
         // the instant the job lands, and incrementing afterwards would
@@ -1240,9 +1266,10 @@ impl EventLoop {
         let wake_tx = self.wake_tx.try_clone().ok();
         let body = request.body.clone();
         std::thread::spawn(move || {
-            let reply =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| swap_route(&inner, &body)))
-                    .unwrap_or_else(|_| Reply::json(500, error_body("internal server error")));
+            let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                swap_route(&inner, &body)
+            }))
+            .unwrap_or_else(|_| Reply::json(500, error_body("internal server error")));
             if done_tx.send(Completion { token, reply }).is_ok() {
                 if let Some(wake_tx) = &wake_tx {
                     evloop::wake(wake_tx);
