@@ -10,6 +10,7 @@ const SWITCHES: &[(&str, &str)] = &[
     ("no-watchdog", "--no-watchdog"),
     ("no-hedge", "--no-hedge"),
     ("no-adaptive-hedge", "--no-adaptive-hedge"),
+    ("keep-f64", "--keep-f64"),
 ];
 
 /// Parsed flags: `--name value` pairs plus boolean switches.

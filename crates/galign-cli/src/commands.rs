@@ -325,6 +325,7 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
             artifact.target[0].rows(),
             std::fs::metadata(&out)?.len()
         );
+        apply_quant_flag(flags, &out)?;
         if let Some(backend) = with_index {
             let (nodes, bytes) = embed_index(&out, &out, backend)?;
             println!("embedded {backend} index over {nodes} target nodes (+{bytes} bytes)");
@@ -363,10 +364,86 @@ pub fn export_artifact(flags: &Flags) -> CmdResult {
         out.display(),
         std::fs::metadata(&out)?.len()
     );
+    apply_quant_flag(flags, &out)?;
     if let Some(backend) = with_index {
         let (nodes, bytes) = embed_index(&out, &out, backend)?;
         println!("embedded {backend} index over {nodes} target nodes (+{bytes} bytes)");
     }
+    Ok(())
+}
+
+/// Applies `--quant` (plus optional `--keep-f64`) to the artifact at
+/// `out`, rewriting it in place. Runs *before* `--with-index` so the ANN
+/// index is built over exactly the rows a quantized artifact serves.
+fn apply_quant_flag(flags: &Flags, out: &Path) -> CmdResult {
+    let Some(q) = flags.optional("quant") else {
+        return Ok(());
+    };
+    let mode = parse_quant(&q)?;
+    if mode == galign_serve::QuantMode::Off {
+        return Ok(());
+    }
+    let keep_f64 = flags.has("keep-f64");
+    let (before, after) = quantize_file(out, out, mode, keep_f64)?;
+    println!(
+        "quantized artifact ({mode}, f64 {}): {before} -> {after} bytes",
+        if keep_f64 { "kept" } else { "replaced" }
+    );
+    Ok(())
+}
+
+/// Parses a `--quant`/`--mode` precision value (`off | int8 | f16`).
+fn parse_quant(name: &str) -> io::Result<galign_serve::QuantMode> {
+    galign_serve::QuantMode::from_name(name).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("quant mode must be 'off', 'int8' or 'f16', got '{name}'"),
+        )
+    })
+}
+
+/// Reads the artifact at `path`, attaches quantized panels in the given
+/// encoding and writes the result to `out`. Without `keep_f64` the
+/// quantized encoding becomes the file's *primary* row storage (the f64
+/// blocks are dropped and rows are reconstructed deterministically at
+/// load — the ≥3.5× size win); with it the panels ride along as a scan-
+/// acceleration sidecar. Returns `(bytes_before, bytes_after)`.
+fn quantize_file(
+    path: &Path,
+    out: &Path,
+    mode: galign_serve::QuantMode,
+    keep_f64: bool,
+) -> io::Result<(u64, u64)> {
+    let encoding = mode.panel_mode().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "quant mode must be 'int8' or 'f16' to quantize an artifact",
+        )
+    })?;
+    let before = std::fs::metadata(path)?.len();
+    let artifact = galign_serve::Artifact::read(path)?;
+    artifact.with_quant(encoding, keep_f64)?.write(out)?;
+    Ok((before, std::fs::metadata(out)?.len()))
+}
+
+/// `galign quantize-artifact`: attach int8/f16 panels to an existing
+/// artifact. By default the quantized encoding replaces the f64 blocks in
+/// the file; `--keep-f64` keeps them and adds the panels as a sidecar.
+/// Served top-k results are bit-identical either way.
+pub fn quantize_artifact(flags: &Flags) -> CmdResult {
+    let artifact_path = flags.required("artifact");
+    let out = PathBuf::from(flags.or("out", &artifact_path));
+    let mode = parse_quant(&flags.or("mode", "int8"))?;
+    let keep_f64 = flags.has("keep-f64");
+    let sp = galign_telemetry::span!("quantize-artifact");
+    let (before, after) = quantize_file(Path::new(&artifact_path), &out, mode, keep_f64)?;
+    let secs = sp.finish();
+    println!(
+        "quantized {artifact_path} -> {} ({mode}, f64 {}) in {secs:.1}s: {before} -> {after} bytes ({:.2}x)",
+        out.display(),
+        if keep_f64 { "kept" } else { "replaced" },
+        before as f64 / after as f64,
+    );
     Ok(())
 }
 
@@ -438,10 +515,12 @@ pub fn serve(flags: &Flags) -> CmdResult {
             format!("--mode must be 'exact', 'ann' or 'auto', got '{mode}'"),
         )
     })?;
+    let quant = parse_quant(&flags.or("quant", "off"))?;
     let defaults = galign_serve::ServerConfig::default();
     let mut builder = galign_serve::ServerConfig::builder()
         .workers(flags.num("workers", defaults.workers))
         .default_mode(default_mode)
+        .quant(quant)
         .cache_capacity(flags.num("cache-capacity", defaults.cache_capacity))
         .default_k(flags.num("default-k", defaults.default_k))
         .max_k(flags.num("max-k", defaults.max_k))
@@ -482,9 +561,13 @@ pub fn serve(flags: &Flags) -> CmdResult {
     let ann = index
         .ann_backend()
         .map_or_else(|| "none (exact only)".to_string(), |b| b.to_string());
+    let quant_served = index
+        .quant_available()
+        .map_or_else(|| "none".to_string(), |m| m.to_string());
     let server = galign_serve::Server::bind(&addr, index, cfg)?;
     println!(
-        "serving {artifact_path} on http://{} ({nodes} source nodes, mode {mode}, ann index: {ann}); \
+        "serving {artifact_path} on http://{} ({nodes} source nodes, mode {mode}, quant {quant} \
+         (panels: {quant_served}), ann index: {ann}); \
          POST /v1/align/topk, POST /v2/align/topk, GET /healthz, GET /metrics, GET /v1/debug/requests",
         server.local_addr(),
     );

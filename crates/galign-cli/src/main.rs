@@ -8,7 +8,8 @@
 //! galign info     --graph data/source.json
 //! galign export-artifact --source data/source.json --target data/target.json --out artifact.bin
 //! galign build-index --artifact artifact.bin --backend hnsw
-//! galign serve    --artifact artifact.bin --addr 127.0.0.1:8080 --workers 4 --mode auto
+//! galign quantize-artifact --artifact artifact.bin --mode int8
+//! galign serve    --artifact artifact.bin --addr 127.0.0.1:8080 --workers 4 --mode auto --quant int8
 //! ```
 //!
 //! Graphs, anchors and models are the JSON formats of `galign-graph::io`
@@ -35,6 +36,7 @@ fn main() {
         "info" => commands::info(&flags),
         "export-artifact" => commands::export_artifact(&flags),
         "build-index" => commands::build_index(&flags),
+        "quantize-artifact" => commands::quantize_artifact(&flags),
         "serve" => commands::serve(&flags),
         "shard-export" => commands::shard_export(&flags),
         "route" => commands::route(&flags),
@@ -85,10 +87,13 @@ fn usage(msg: &str) -> ! {
          \x20 export-artifact --source G.json --target G.json [--seed N] [--theta W,W,..]\n\
          \x20          [--anchors anchors.json] [--out artifact.bin] [--epochs N]\n\
          \x20          [--checkpoint-every N] [--max-recoveries N] [--no-watchdog] [--with-index hnsw|ivf]\n\
+         \x20          [--quant int8|f16 [--keep-f64]]\n\
          \x20          | --source-embeddings E.json --target-embeddings E.json [--out artifact.bin]\n\
          \x20 build-index --artifact artifact.bin [--backend hnsw|ivf] [--out artifact.bin]\n\
+         \x20 quantize-artifact --artifact artifact.bin [--mode int8|f16] [--keep-f64] [--out artifact.bin]\n\
          \x20 serve    --artifact artifact.bin [--addr HOST:PORT] [--workers N]\n\
          \x20          [--cache-capacity N] [--default-k K] [--max-k K] [--mode exact|ann|auto]\n\
+         \x20          [--quant off|int8|f16]\n\
          \x20          [--ann-threshold N] [--request-timeout-ms MS] [--deadline-ms MS]\n\
          \x20          [--queue-depth N] [--retry-after-secs S] [--access-log PATH]\n\
          \x20          [--flight-recorder-size N] [--flight-dump PATH]\n\
@@ -135,6 +140,13 @@ fn usage(msg: &str) -> ! {
          \x20 export-artifact --with-index) enables per-request 'mode': exact | ann | auto.\n\
          \x20 auto uses ANN above --ann-threshold target nodes; ANN hits are re-ranked\n\
          \x20 exactly, so returned scores are identical to the exact engine's.\n\n\
+         quantized serving:\n\
+         \x20 quantize-artifact (or export-artifact --quant) attaches int8/f16 panels; by\n\
+         \x20 default they replace the f64 blocks in the file (>=3.5x smaller, rows are\n\
+         \x20 reconstructed at load), --keep-f64 keeps both. serve --quant (or a per-request\n\
+         \x20 'quant' field) routes first-pass scans over the panels with a certified error\n\
+         \x20 margin, then re-ranks exactly in f64 — responses are byte-identical to f64\n\
+         \x20 scans; only the memory footprint and traffic change.\n\n\
          global flags:\n\
          \x20 -v/--verbose   debug-level progress on stderr\n\
          \x20 -q/--quiet     silence stderr entirely\n\

@@ -15,10 +15,12 @@
 
 use crate::{
     dot, record_build, record_search, score, sort_candidates, AnnIndex, Backend, Candidate,
-    IndexError, Result, Rng, Scored, SearchStats, VectorSet,
+    IndexError, QueryScorer, Result, Rng, Scored, SearchStats, VectorSet,
 };
+use galign_quant::QuantizedPanel;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// HNSW build/search tunables.
@@ -57,6 +59,10 @@ pub struct HnswIndex {
     links: Vec<Vec<Vec<u32>>>,
     entry: u32,
     max_level: u8,
+    /// Optional quantized view of `vectors` for cheap traversal
+    /// ([`AnnIndex::search_quant`]); never serialized, re-attached like the
+    /// vectors themselves.
+    quant: Option<Arc<QuantizedPanel>>,
 }
 
 /// Caps the geometric level draw so adversarial RNG streams cannot
@@ -88,6 +94,7 @@ impl HnswIndex {
             links: Vec::with_capacity(n),
             entry: 0,
             max_level: 0,
+            quant: None,
         };
         let mut stats = SearchStats::default();
         for i in 0..n {
@@ -127,17 +134,18 @@ impl HnswIndex {
             return;
         }
         let q = self.vectors.row(id as usize).to_vec();
+        let scorer = QueryScorer::Exact(&q);
         let mut ep = self.entry;
         // Greedy descent through layers above the new node's level.
         let mut layer = self.max_level;
         while layer > level {
-            ep = self.greedy(&q, ep, layer, stats);
+            ep = self.greedy(&scorer, ep, layer, stats);
             layer -= 1;
         }
         // Beam search + connect on every layer the node occupies.
         let mut layer = level.min(self.max_level);
         loop {
-            let found = self.search_layer(&q, ep, self.params.ef_construction, layer, stats);
+            let found = self.search_layer(&scorer, ep, self.params.ef_construction, layer, stats);
             let chosen = self.select_neighbors(&q, &found, self.max_links(layer), stats);
             for &nb in &chosen {
                 self.links[id as usize][layer as usize].push(nb);
@@ -222,12 +230,12 @@ impl HnswIndex {
 
     /// Greedy hill-climb on one layer: follow the best-improving link
     /// until no neighbor beats the current node.
-    fn greedy(&self, q: &[f64], mut ep: u32, layer: u8, stats: &mut SearchStats) -> u32 {
-        let mut best = score(&self.vectors, q, ep as usize, stats);
+    fn greedy(&self, q: &QueryScorer<'_>, mut ep: u32, layer: u8, stats: &mut SearchStats) -> u32 {
+        let mut best = q.score(&self.vectors, ep as usize, stats);
         loop {
             let mut improved = false;
             for &nb in &self.links[ep as usize][layer as usize] {
-                let s = score(&self.vectors, q, nb as usize, stats);
+                let s = q.score(&self.vectors, nb as usize, stats);
                 if s > best {
                     best = s;
                     ep = nb;
@@ -244,7 +252,7 @@ impl HnswIndex {
     /// best-first.
     fn search_layer(
         &self,
-        q: &[f64],
+        q: &QueryScorer<'_>,
         ep: u32,
         ef: usize,
         layer: u8,
@@ -252,7 +260,7 @@ impl HnswIndex {
     ) -> Vec<Scored> {
         let mut visited = vec![false; self.vectors.len()];
         visited[ep as usize] = true;
-        let s0 = score(&self.vectors, q, ep as usize, stats);
+        let s0 = q.score(&self.vectors, ep as usize, stats);
         // Frontier: best candidate first. Results: worst kept first (so
         // the beam can evict it in O(log ef)).
         let mut frontier = BinaryHeap::from([Scored { score: s0, id: ep }]);
@@ -267,7 +275,7 @@ impl HnswIndex {
                 if std::mem::replace(&mut visited[nb as usize], true) {
                     continue;
                 }
-                let s = score(&self.vectors, q, nb as usize, stats);
+                let s = q.score(&self.vectors, nb as usize, stats);
                 let worst = results.peek().map_or(f64::NEG_INFINITY, |r| r.0.score);
                 if results.len() < ef || s > worst {
                     let sc = Scored { score: s, id: nb };
@@ -288,18 +296,30 @@ impl HnswIndex {
     /// the construction phase's tests).
     #[must_use]
     pub fn search_raw(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        self.search_raw_scored(&QueryScorer::Exact(query), k, stats)
+    }
+
+    /// The traversal shared by exact and quantized searches: greedy descent
+    /// through the upper layers, then the base-layer beam, all scored
+    /// through `scorer`.
+    fn search_raw_scored(
+        &self,
+        scorer: &QueryScorer<'_>,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Candidate> {
         if self.vectors.is_empty() || k == 0 {
             return Vec::new();
         }
-        debug_assert_eq!(query.len(), self.vectors.dim());
+        debug_assert_eq!(scorer.raw().len(), self.vectors.dim());
         let mut ep = self.entry;
         let mut layer = self.max_level;
         while layer > 0 {
-            ep = self.greedy(query, ep, layer, stats);
+            ep = self.greedy(scorer, ep, layer, stats);
             layer -= 1;
         }
         let ef = self.params.ef_search.max(k);
-        self.search_layer(query, ep, ef, 0, stats)
+        self.search_layer(scorer, ep, ef, 0, stats)
             .into_iter()
             .map(|s| Candidate {
                 id: s.id as usize,
@@ -323,6 +343,7 @@ impl HnswIndex {
             links,
             entry,
             max_level,
+            quant: None,
         }
     }
 
@@ -350,6 +371,49 @@ impl AnnIndex for HnswIndex {
         record_search(
             SearchStats {
                 distance_evals: stats.distance_evals - before,
+            },
+            cands.len(),
+        );
+        cands
+    }
+
+    fn attach_quant(&mut self, panel: Arc<QuantizedPanel>) -> Result<()> {
+        if panel.len() != self.vectors.len() || panel.dim() != self.vectors.dim() {
+            return Err(IndexError::Invalid(format!(
+                "quantized panel is {}×{}, index is {}×{}",
+                panel.len(),
+                panel.dim(),
+                self.vectors.len(),
+                self.vectors.dim()
+            )));
+        }
+        self.quant = Some(panel);
+        Ok(())
+    }
+
+    fn quant_attached(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    fn search_quant(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        let Some(panel) = &self.quant else {
+            return self.search(query, k, stats);
+        };
+        let Ok(qq) = panel.quantize_query(query) else {
+            return self.search(query, k, stats);
+        };
+        let before = stats.distance_evals;
+        let scorer = QueryScorer::Quant {
+            raw: query,
+            panel,
+            query: qq,
+        };
+        let cands = self.search_raw_scored(&scorer, k, stats);
+        let evals = stats.distance_evals - before;
+        galign_quant::record_scan(evals, cands.len() as u64);
+        record_search(
+            SearchStats {
+                distance_evals: evals,
             },
             cands.len(),
         );
@@ -447,6 +511,52 @@ mod tests {
         assert_eq!(a.levels, b.levels);
         assert_eq!(a.links, b.links);
         assert_eq!(a.entry, b.entry);
+    }
+
+    fn quant_of(v: &VectorSet, mode: galign_quant::QuantMode) -> Arc<QuantizedPanel> {
+        let rows: Vec<&[f64]> = (0..v.len()).map(|i| v.row(i)).collect();
+        Arc::new(QuantizedPanel::encode(mode, v.dim(), rows).unwrap())
+    }
+
+    #[test]
+    fn quantized_traversal_keeps_recall_and_falls_back_cleanly() {
+        let v = random_unit_vectors(300, 8, 21);
+        let mut idx = HnswIndex::build(v.clone(), HnswParams::default()).unwrap();
+        let mut stats = SearchStats::default();
+        // No panel attached: search_quant must be the exact search.
+        assert!(!idx.quant_attached());
+        let q = v.row(7).to_vec();
+        assert_eq!(
+            idx.search(&q, 10, &mut stats),
+            idx.search_quant(&q, 10, &mut stats)
+        );
+        for mode in [galign_quant::QuantMode::Int8, galign_quant::QuantMode::F16] {
+            idx.attach_quant(quant_of(&v, mode)).unwrap();
+            assert!(idx.quant_attached());
+            let (mut hit, mut total) = (0usize, 0usize);
+            for qi in 0..20 {
+                let q = v.row(qi * 13).to_vec();
+                let truth = brute_topk(&v, &q, 10);
+                let cands: Vec<usize> = idx
+                    .search_quant(&q, 10, &mut stats)
+                    .into_iter()
+                    .map(|c| c.id)
+                    .collect();
+                total += truth.len();
+                hit += truth.iter().filter(|t| cands.contains(t)).count();
+            }
+            let recall = hit as f64 / total as f64;
+            assert!(recall >= 0.9, "{} traversal recall {recall}", mode.name());
+        }
+        // Shape mismatches are rejected.
+        let wrong = random_unit_vectors(300, 4, 22);
+        assert!(idx
+            .attach_quant(quant_of(&wrong, galign_quant::QuantMode::Int8))
+            .is_err());
+        let short = random_unit_vectors(5, 8, 23);
+        assert!(idx
+            .attach_quant(quant_of(&short, galign_quant::QuantMode::Int8))
+            .is_err());
     }
 
     #[test]

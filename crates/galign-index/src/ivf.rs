@@ -11,9 +11,11 @@
 //! which is what [`IvfParams::default_for`] picks.
 
 use crate::{
-    dot, record_build, record_search, score, sort_candidates, AnnIndex, Backend, Candidate,
-    IndexError, Result, Rng, Scored, SearchStats, VectorSet,
+    dot, record_build, record_search, sort_candidates, AnnIndex, Backend, Candidate, IndexError,
+    QueryScorer, Result, Rng, Scored, SearchStats, VectorSet,
 };
+use galign_quant::QuantizedPanel;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// IVF build/search tunables.
@@ -55,6 +57,10 @@ pub struct IvfIndex {
     centroids: Vec<f64>,
     /// `lists[c]` — ids assigned to centroid `c`, ascending.
     lists: Vec<Vec<u32>>,
+    /// Optional quantized view of `vectors` for cheap cell scans
+    /// ([`AnnIndex::search_quant`]); never serialized, re-attached like the
+    /// vectors themselves.
+    quant: Option<Arc<QuantizedPanel>>,
 }
 
 impl IvfIndex {
@@ -143,6 +149,7 @@ impl IvfIndex {
             params,
             centroids,
             lists,
+            quant: None,
         };
         record_build(Backend::Ivf, n, stats, start.elapsed().as_secs_f64() * 1e3);
         Ok(index)
@@ -163,9 +170,23 @@ impl IvfIndex {
     /// Raw search without telemetry.
     #[must_use]
     pub fn search_raw(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        self.search_raw_scored(&QueryScorer::Exact(query), k, stats)
+    }
+
+    /// The probe shared by exact and quantized searches. Centroid ranking
+    /// always uses the raw f64 query (centroids are means, not indexed
+    /// rows, so there is nothing quantized to score them against); only
+    /// the per-cell row scans go through `scorer`.
+    fn search_raw_scored(
+        &self,
+        scorer: &QueryScorer<'_>,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Candidate> {
         if self.vectors.is_empty() || k == 0 {
             return Vec::new();
         }
+        let query = scorer.raw();
         debug_assert_eq!(query.len(), self.vectors.dim());
         let dim = self.vectors.dim();
         // Rank every centroid by raw inner product with the query (the
@@ -188,7 +209,7 @@ impl IvfIndex {
         for cell in ranked.iter().take(self.params.nprobe) {
             for &id in &self.lists[cell.id as usize] {
                 hits.push(Scored {
-                    score: score(&self.vectors, query, id as usize, stats),
+                    score: scorer.score(&self.vectors, id as usize, stats),
                     id,
                 });
             }
@@ -215,6 +236,7 @@ impl IvfIndex {
             params,
             centroids,
             lists,
+            quant: None,
         }
     }
 
@@ -242,6 +264,49 @@ impl AnnIndex for IvfIndex {
         record_search(
             SearchStats {
                 distance_evals: stats.distance_evals - before,
+            },
+            cands.len(),
+        );
+        cands
+    }
+
+    fn attach_quant(&mut self, panel: Arc<QuantizedPanel>) -> Result<()> {
+        if panel.len() != self.vectors.len() || panel.dim() != self.vectors.dim() {
+            return Err(IndexError::Invalid(format!(
+                "quantized panel is {}×{}, index is {}×{}",
+                panel.len(),
+                panel.dim(),
+                self.vectors.len(),
+                self.vectors.dim()
+            )));
+        }
+        self.quant = Some(panel);
+        Ok(())
+    }
+
+    fn quant_attached(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    fn search_quant(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        let Some(panel) = &self.quant else {
+            return self.search(query, k, stats);
+        };
+        let Ok(qq) = panel.quantize_query(query) else {
+            return self.search(query, k, stats);
+        };
+        let before = stats.distance_evals;
+        let scorer = QueryScorer::Quant {
+            raw: query,
+            panel,
+            query: qq,
+        };
+        let cands = self.search_raw_scored(&scorer, k, stats);
+        let evals = stats.distance_evals - before;
+        galign_quant::record_scan(evals, cands.len() as u64);
+        record_search(
+            SearchStats {
+                distance_evals: evals,
             },
             cands.len(),
         );
@@ -329,6 +394,56 @@ mod tests {
         let b = IvfIndex::build(v, p).unwrap();
         assert_eq!(a.centroids, b.centroids);
         assert_eq!(a.lists, b.lists);
+    }
+
+    #[test]
+    fn quantized_probe_keeps_recall_and_falls_back_cleanly() {
+        let v = random_unit_vectors(300, 8, 31);
+        let mut idx = IvfIndex::build(v.clone(), IvfParams::default_for(300)).unwrap();
+        let mut stats = SearchStats::default();
+        assert!(!idx.quant_attached());
+        let q = v.row(3).to_vec();
+        assert_eq!(
+            idx.search(&q, 10, &mut stats),
+            idx.search_quant(&q, 10, &mut stats)
+        );
+        let brute_topk = |q: &[f64], k: usize| -> Vec<usize> {
+            let mut scored: Vec<Scored> = (0..v.len())
+                .map(|i| Scored {
+                    score: dot(q, v.row(i)),
+                    id: i as u32,
+                })
+                .collect();
+            sort_candidates(&mut scored);
+            scored.truncate(k);
+            scored.into_iter().map(|s| s.id as usize).collect()
+        };
+        for mode in [galign_quant::QuantMode::Int8, galign_quant::QuantMode::F16] {
+            let rows: Vec<&[f64]> = (0..v.len()).map(|i| v.row(i)).collect();
+            let panel = Arc::new(QuantizedPanel::encode(mode, v.dim(), rows).unwrap());
+            idx.attach_quant(panel).unwrap();
+            assert!(idx.quant_attached());
+            let (mut hit, mut total) = (0usize, 0usize);
+            for qi in 0..20 {
+                let q = v.row(qi * 13).to_vec();
+                let truth = brute_topk(&q, 10);
+                let cands: Vec<usize> = idx
+                    .search_quant(&q, 10, &mut stats)
+                    .into_iter()
+                    .map(|c| c.id)
+                    .collect();
+                total += truth.len();
+                hit += truth.iter().filter(|t| cands.contains(t)).count();
+            }
+            let recall = hit as f64 / total as f64;
+            assert!(recall >= 0.85, "{} probe recall {recall}", mode.name());
+        }
+        let wrong = random_unit_vectors(300, 4, 32);
+        let rows: Vec<&[f64]> = (0..wrong.len()).map(|i| wrong.row(i)).collect();
+        let bad = Arc::new(
+            QuantizedPanel::encode(galign_quant::QuantMode::Int8, wrong.dim(), rows).unwrap(),
+        );
+        assert!(idx.attach_quant(bad).is_err());
     }
 
     #[test]

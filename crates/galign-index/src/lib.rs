@@ -240,6 +240,45 @@ pub(crate) fn score(vectors: &VectorSet, q: &[f64], i: usize, stats: &mut Search
     dot(q, vectors.row(i))
 }
 
+/// How a traversal scores the query against stored rows: against the f64
+/// vectors (exact inner products) or against an attached quantized panel
+/// (~8× cheaper in bytes for int8). Traversal ordering is heuristic either
+/// way — callers re-rank candidates exactly — so swapping the scorer
+/// changes which candidates surface, never the correctness contract.
+pub(crate) enum QueryScorer<'a> {
+    /// Full-precision scoring against the [`VectorSet`] rows.
+    Exact(&'a [f64]),
+    /// First-pass scoring against a quantized panel; `raw` stays available
+    /// for the parts of traversal that keep f64 math (IVF centroid
+    /// ranking).
+    Quant {
+        raw: &'a [f64],
+        panel: &'a galign_quant::QuantizedPanel,
+        query: galign_quant::QuantizedQuery,
+    },
+}
+
+impl QueryScorer<'_> {
+    /// The raw f64 query.
+    pub(crate) fn raw(&self) -> &[f64] {
+        match self {
+            QueryScorer::Exact(q) => q,
+            QueryScorer::Quant { raw, .. } => raw,
+        }
+    }
+
+    /// Scores the query against row `i`, counting one distance evaluation.
+    pub(crate) fn score(&self, vectors: &VectorSet, i: usize, stats: &mut SearchStats) -> f64 {
+        match self {
+            QueryScorer::Exact(q) => score(vectors, q, i, stats),
+            QueryScorer::Quant { panel, query, .. } => {
+                stats.distance_evals += 1;
+                panel.approx_dot(query, i)
+            }
+        }
+    }
+}
+
 /// Plain sequential dot product (both backends and the checksum share it).
 #[inline]
 #[must_use]
@@ -273,6 +312,38 @@ pub trait AnnIndex: Send + Sync {
     /// callers must re-rank and truncate. `stats` accumulates the
     /// distance evaluations spent.
     fn search(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate>;
+
+    /// Attaches a quantized panel over the same rows so traversal can walk
+    /// quantized memory instead of the f64 vectors (see
+    /// [`AnnIndex::search_quant`]). The panel must cover exactly this
+    /// index's vectors (`len() × dim()`); panels are *not* serialized with
+    /// the structure — callers re-attach after [`load`], the same way
+    /// vectors are re-attached.
+    ///
+    /// # Errors
+    /// [`IndexError::Invalid`] when the panel shape disagrees with the
+    /// indexed vectors, or when the backend does not support quantized
+    /// traversal (the default).
+    fn attach_quant(&mut self, panel: std::sync::Arc<galign_quant::QuantizedPanel>) -> Result<()> {
+        let _ = panel;
+        Err(IndexError::Invalid(
+            "backend does not support quantized traversal".into(),
+        ))
+    }
+
+    /// True when a quantized panel is attached.
+    fn quant_attached(&self) -> bool {
+        false
+    }
+
+    /// Like [`AnnIndex::search`], but traversal scores candidates against
+    /// the attached quantized panel when one is present (falling back to
+    /// the exact search when none is attached or the query cannot be
+    /// quantized). Candidate *selection* may differ from the exact-scored
+    /// traversal; the exact re-rank contract downstream is unchanged.
+    fn search_quant(&self, query: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Candidate> {
+        self.search(query, k, stats)
+    }
 
     /// Serializes the index *structure* (not the vectors) with the
     /// checksum of the vectors it was built over. See [`load`].

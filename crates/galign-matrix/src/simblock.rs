@@ -27,6 +27,7 @@
 
 use crate::dense::{dot, Dense};
 use crate::error::{MatrixError, Result};
+use galign_quant::{certified_shortlist, QuantizedPanel};
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -155,6 +156,134 @@ impl<'a> SimPanel<'a> {
     pub fn with_block_rows(mut self, rows: usize) -> Self {
         self.block_rows = rows.max(1);
         self
+    }
+
+    /// The θ-weighted concatenated query row for source `v`: layer `l`'s
+    /// embedding scaled by `theta[l]`, layers concatenated in index order.
+    /// Its f64 dot with a concatenated (unscaled) target row equals the
+    /// panel score in real arithmetic, which is what the quantized first
+    /// pass approximates.
+    #[must_use]
+    pub fn weighted_query(&self, v: usize) -> Vec<f64> {
+        let dim: usize = self.source.iter().map(Dense::cols).sum();
+        let mut out = Vec::with_capacity(dim);
+        for (l, &w) in self.theta.iter().enumerate() {
+            out.extend(self.source[l].row(v).iter().map(|&x| w * x));
+        }
+        out
+    }
+
+    fn validate_quant(&self, quant: &QuantizedPanel) -> Result<()> {
+        let dim: usize = self.target.iter().map(Dense::cols).sum();
+        if quant.len() != self.num_targets() || quant.dim() != dim {
+            return Err(MatrixError::InvalidInput(format!(
+                "quantized panel is {}×{}, target panel is {}×{dim}",
+                quant.len(),
+                quant.dim(),
+                self.num_targets()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Exact scores of source `v` against an id-ordered candidate subset,
+    /// with the same per-element operation order as
+    /// [`ScoreProvider::score_block`] (zero-init, layer-by-layer in index
+    /// order, zero-weight layers skipped) so re-ranked scores carry the
+    /// exact scan's bits.
+    fn exact_scores_for(&self, v: usize, candidates: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0; candidates.len()];
+        for (l, &w) in self.theta.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let sv = self.source[l].row(v);
+            let t = &self.target[l];
+            for (o, &u) in out.iter_mut().zip(candidates) {
+                *o += w * dot(sv, t.row(u));
+            }
+        }
+        out
+    }
+
+    fn topk_row_quantized_validated(&self, quant: &QuantizedPanel, v: usize, k: usize) -> Vec<Hit> {
+        let n_t = self.num_targets();
+        let query = self.weighted_query(v);
+        let Ok(q) = quant.quantize_query(&query) else {
+            // Unquantizable query (non-finite components): serve the plain
+            // exact scan, which is trivially bit-identical to itself.
+            return select_topk(&self.score_row(v), k);
+        };
+        let mut approx = vec![0.0; n_t];
+        let mut margins = vec![0.0; n_t];
+        for u in 0..n_t {
+            approx[u] = quant.approx_dot(&q, u);
+            margins[u] = quant.margin(&q, u);
+        }
+        // Certified superset of the exact top-k, ascending by id; exact
+        // re-rank + select_topk then reproduces the full scan bit for bit
+        // (compact indices preserve id order, so the ascending-id
+        // tie-break carries through the remap).
+        let shortlist = certified_shortlist(&approx, &margins, k.min(n_t));
+        galign_quant::record_scan(n_t as u64, shortlist.len() as u64);
+        let scores = self.exact_scores_for(v, &shortlist);
+        select_topk(&scores, k)
+            .into_iter()
+            .map(|h| Hit {
+                target: shortlist[h.target],
+                score: h.score,
+            })
+            .collect()
+    }
+
+    /// Top-k for source `v` via a quantized first pass: scores every
+    /// target through `quant`'s approximate kernel, shortlists the
+    /// certified candidates, and re-ranks them through the exact f64
+    /// kernel. Returns **bit-identical** hits to
+    /// `select_topk(&self.score_row(v), k)` — the quantized pass only
+    /// decides which rows the exact kernel touches.
+    ///
+    /// `quant` must cover the concatenated target rows of this panel
+    /// (`num_targets()` rows of Σ layer-dims components).
+    ///
+    /// # Errors
+    /// [`MatrixError::InvalidInput`] when the quantized panel's shape does
+    /// not match the target panel.
+    pub fn topk_row_quantized(
+        &self,
+        quant: &QuantizedPanel,
+        v: usize,
+        k: usize,
+    ) -> Result<Vec<Hit>> {
+        self.validate_quant(quant)?;
+        Ok(self.topk_row_quantized_validated(quant, v, k))
+    }
+
+    /// Quantized-first-pass top-k for an arbitrary set of source rows —
+    /// the serving batch shape, parallel across the queried rows like
+    /// [`topk_rows`]. Bit-identical to the exact per-row scan; the
+    /// caller's trace context is carried into the rayon workers.
+    ///
+    /// # Errors
+    /// [`MatrixError::InvalidInput`] when the quantized panel's shape does
+    /// not match the target panel.
+    pub fn topk_rows_quantized(
+        &self,
+        quant: &QuantizedPanel,
+        rows: &[usize],
+        k: usize,
+    ) -> Result<Vec<Vec<Hit>>> {
+        self.validate_quant(quant)?;
+        let trace = galign_telemetry::PropagationHandle::capture();
+        Ok(rows
+            .par_iter()
+            .map(|&v| {
+                trace.scope(|| {
+                    galign_telemetry::context::annotate("rows_scored", 1);
+                    self.topk_row_quantized_validated(quant, v, k)
+                })
+            })
+            .collect())
     }
 }
 
@@ -711,6 +840,100 @@ mod tests {
         let source = random_stack(&mut rng, 23, &dims);
         let target = random_stack(&mut rng, 17, &dims);
         (source, target, vec![0.6, 0.4])
+    }
+
+    fn quant_panel(target: &[Dense], mode: galign_quant::QuantMode) -> QuantizedPanel {
+        let n = target[0].rows();
+        let dim: usize = target.iter().map(Dense::cols).sum();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|u| {
+                let mut r = Vec::with_capacity(dim);
+                for t in target {
+                    r.extend_from_slice(t.row(u));
+                }
+                r
+            })
+            .collect();
+        QuantizedPanel::encode(mode, dim, &rows).unwrap()
+    }
+
+    fn assert_hits_bitwise(exact: &[Hit], fast: &[Hit], ctx: &str) {
+        assert_eq!(exact.len(), fast.len(), "{ctx}: lengths");
+        for (e, f) in exact.iter().zip(fast) {
+            assert_eq!(e.target, f.target, "{ctx}: targets");
+            assert_eq!(e.score.to_bits(), f.score.to_bits(), "{ctx}: score bits");
+        }
+    }
+
+    #[test]
+    fn quantized_topk_is_bit_identical_to_exact_scan() {
+        let (source, target, theta) = panel_case(11);
+        let panel = SimPanel::new(&source, &target, &theta).unwrap();
+        for mode in [galign_quant::QuantMode::Int8, galign_quant::QuantMode::F16] {
+            let quant = quant_panel(&target, mode);
+            for k in [1usize, 3, 17, 40] {
+                for v in 0..23 {
+                    let exact = select_topk(&panel.score_row(v), k);
+                    let fast = panel.topk_row_quantized(&quant, v, k).unwrap();
+                    assert_hits_bitwise(&exact, &fast, &format!("{} k={k} v={v}", mode.name()));
+                }
+                let rows = [0usize, 5, 5, 22];
+                let batch = panel.topk_rows_quantized(&quant, &rows, k).unwrap();
+                for (&v, hits) in rows.iter().zip(&batch) {
+                    let exact = select_topk(&panel.score_row(v), k);
+                    assert_hits_bitwise(
+                        &exact,
+                        hits,
+                        &format!("{} batch k={k} v={v}", mode.name()),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_topk_handles_exact_ties_and_zero_weights() {
+        let mut rng = SeededRng::new(29);
+        let dims = [4usize, 3];
+        let source = random_stack(&mut rng, 6, &dims);
+        // 12 targets built from only 4 distinct row patterns → many scores
+        // tie exactly; the tie-break (ascending target id) must survive the
+        // quantized shortlist + re-rank remap.
+        let distinct = random_stack(&mut rng, 4, &dims);
+        let target: Vec<Dense> = distinct
+            .iter()
+            .map(|layer| {
+                let rows: Vec<Vec<f64>> = (0..12).map(|u| layer.row(u % 4).to_vec()).collect();
+                Dense::from_rows(&rows).unwrap()
+            })
+            .collect();
+        for theta in [vec![0.5, 0.5], vec![1.0, 0.0], vec![0.0, -0.3]] {
+            let panel = SimPanel::new(&source, &target, &theta).unwrap();
+            for mode in [galign_quant::QuantMode::Int8, galign_quant::QuantMode::F16] {
+                let quant = quant_panel(&target, mode);
+                for k in [1usize, 2, 5, 12, 30] {
+                    for v in 0..6 {
+                        let exact = select_topk(&panel.score_row(v), k);
+                        let fast = panel.topk_row_quantized(&quant, v, k).unwrap();
+                        assert_hits_bitwise(
+                            &exact,
+                            &fast,
+                            &format!("{} θ={theta:?} k={k} v={v}", mode.name()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_topk_rejects_mismatched_panels() {
+        let (source, target, theta) = panel_case(13);
+        let panel = SimPanel::new(&source, &target, &theta).unwrap();
+        // A panel over only the first layer has the wrong dim.
+        let short = quant_panel(&target[..1], galign_quant::QuantMode::Int8);
+        assert!(panel.topk_row_quantized(&short, 0, 3).is_err());
+        assert!(panel.topk_rows_quantized(&short, &[0, 1], 3).is_err());
     }
 
     #[test]

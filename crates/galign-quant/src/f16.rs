@@ -1,0 +1,190 @@
+//! Bit-level IEEE 754 binary16 conversion, hand-rolled on `u16`.
+//!
+//! The quantizer stores half-precision components as raw `u16` bit
+//! patterns; this module converts them to and from `f64` without any
+//! external half-float dependency. `f64 → f16` rounds to nearest, ties to
+//! even — the same rounding every IEEE conversion instruction performs —
+//! and `f16 → f64` is exact (every binary16 value is representable in
+//! binary64), so a decode → re-encode round trip preserves bits for every
+//! non-NaN pattern (NaNs collapse to one canonical quiet NaN).
+
+/// Canonical quiet-NaN bit pattern emitted for any NaN input.
+pub const F16_NAN: u16 = 0x7e00;
+
+/// Positive-infinity bit pattern (`0x7c00`).
+pub const F16_INFINITY: u16 = 0x7c00;
+
+/// Largest finite binary16 value (65504, bit pattern `0x7bff`).
+pub const F16_MAX: f64 = 65504.0;
+
+/// Converts an `f64` to binary16 bits, rounding to nearest (ties to
+/// even). Values whose rounded magnitude exceeds [`F16_MAX`] become
+/// signed infinity; magnitudes below half the smallest subnormal
+/// (2⁻²⁵) become signed zero; NaN becomes [`F16_NAN`].
+#[must_use]
+pub fn f64_to_f16_bits(x: f64) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 48) & 0x8000) as u16;
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & 0x000f_ffff_ffff_ffff;
+    if exp == 0x7ff {
+        // Infinity or NaN.
+        return if frac == 0 {
+            sign | F16_INFINITY
+        } else {
+            F16_NAN
+        };
+    }
+    if exp == 0 {
+        // f64 subnormals are below 2⁻¹⁰²² — far under half of f16's
+        // smallest subnormal, so they all round to signed zero.
+        return sign;
+    }
+    let e = exp - 1023; // unbiased exponent of a normal f64
+    if e > 15 {
+        // Magnitude ≥ 2¹⁶ > 65504: overflows past the largest finite f16.
+        return sign | F16_INFINITY;
+    }
+    // 53-bit significand with the implicit leading one made explicit.
+    let sig = (1u64 << 52) | frac;
+    // How many low bits to round away: 42 leaves the 10-bit f16 mantissa
+    // plus its implicit bit for a normal result; subnormal results (e
+    // below -14) shift further, losing one mantissa bit per step.
+    let shift = if e >= -14 { 42 } else { 42 + (-14 - e) };
+    if shift >= 64 {
+        return sign; // Rounds to zero well below the subnormal range.
+    }
+    let shift = shift as u32;
+    let base = sig >> shift;
+    let rem = sig & ((1u64 << shift) - 1);
+    let half = 1u64 << (shift - 1);
+    let round_up = rem > half || (rem == half && base & 1 == 1);
+    let rounded = base + u64::from(round_up);
+    // `rounded` holds the implicit bit (bit 10) for normal results; a
+    // carry out of the mantissa bumps the exponent, possibly to infinity
+    // (65504 < |x| < 65520 rounds to 65504; |x| ≥ 65520 rounds to inf).
+    if e >= -14 {
+        let mut h_exp = (e + 15) as u16;
+        let mut mant = rounded;
+        if mant >= 1 << 11 {
+            mant >>= 1;
+            h_exp += 1;
+        }
+        if h_exp >= 31 {
+            return sign | F16_INFINITY;
+        }
+        sign | (h_exp << 10) | ((mant & 0x3ff) as u16)
+    } else {
+        // Subnormal result: no implicit bit; a carry into bit 10 promotes
+        // the value to the smallest normal, which the encoding below
+        // produces naturally (mantissa 1024 ≡ exponent 1, mantissa 0).
+        sign | (rounded as u16)
+    }
+}
+
+/// Converts binary16 bits to the exactly-equal `f64` value.
+#[must_use]
+pub fn f16_bits_to_f64(h: u16) -> f64 {
+    let sign = if h & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = (h >> 10) & 0x1f;
+    let frac = f64::from(h & 0x3ff);
+    match exp {
+        0 => sign * frac * 2f64.powi(-24),
+        31 => {
+            if frac == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        e => sign * (1.0 + frac / 1024.0) * 2f64.powi(i32::from(e) - 15),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        for (x, bits) in [
+            (0.0, 0x0000u16),
+            (1.0, 0x3c00),
+            (-2.0, 0xc000),
+            (0.5, 0x3800),
+            (65504.0, 0x7bff),
+            (2f64.powi(-14), 0x0400), // smallest normal
+            (2f64.powi(-24), 0x0001), // smallest subnormal
+            (f64::INFINITY, F16_INFINITY),
+            (f64::NEG_INFINITY, 0xfc00),
+            (-0.0, 0x8000),
+        ] {
+            assert_eq!(f64_to_f16_bits(x), bits, "encode {x}");
+        }
+        assert_eq!(f64_to_f16_bits(f64::NAN), F16_NAN);
+        assert!(f16_bits_to_f64(F16_NAN).is_nan());
+        assert_eq!(f16_bits_to_f64(0x3c00), 1.0);
+        assert_eq!(f16_bits_to_f64(0x7bff), 65504.0);
+        assert_eq!(f16_bits_to_f64(0x0001), 2f64.powi(-24));
+    }
+
+    #[test]
+    fn overflow_and_underflow_edges() {
+        // 65504 is the largest finite value; 65520 is the round-to-even
+        // midpoint and ties to infinity's side (even mantissa overflow).
+        assert_eq!(f64_to_f16_bits(65519.999), 0x7bff);
+        assert_eq!(f64_to_f16_bits(65520.0), F16_INFINITY);
+        assert_eq!(f64_to_f16_bits(1e10), F16_INFINITY);
+        assert_eq!(f64_to_f16_bits(-1e10), 0xfc00);
+        // 2⁻²⁵ is exactly halfway between 0 and the smallest subnormal:
+        // ties-to-even keeps zero; anything above it rounds up.
+        assert_eq!(f64_to_f16_bits(2f64.powi(-25)), 0x0000);
+        assert_eq!(f64_to_f16_bits(2f64.powi(-25) * 1.5), 0x0001);
+        assert_eq!(f64_to_f16_bits(2f64.powi(-26)), 0x0000);
+        assert_eq!(f64_to_f16_bits(f64::MIN_POSITIVE), 0x0000);
+        assert_eq!(f64_to_f16_bits(-f64::MIN_POSITIVE), 0x8000);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2⁻¹¹ sits exactly between 1.0 and the next f16 (1 + 2⁻¹⁰):
+        // the even mantissa (0) wins.
+        assert_eq!(f64_to_f16_bits(1.0 + 2f64.powi(-11)), 0x3c00);
+        // 1 + 3·2⁻¹¹ sits between 1 + 2⁻¹⁰ and 1 + 2⁻⁹: rounds to the
+        // even mantissa 2.
+        assert_eq!(f64_to_f16_bits(1.0 + 3.0 * 2f64.powi(-11)), 0x3c02);
+        // Just above/below a midpoint resolves by magnitude, not parity.
+        assert_eq!(
+            f64_to_f16_bits(1.0 + 2f64.powi(-11) + 2f64.powi(-20)),
+            0x3c01
+        );
+    }
+
+    #[test]
+    fn every_f16_round_trips_exactly() {
+        // Decode → re-encode must preserve all 63488 non-NaN patterns
+        // bit for bit (NaNs collapse to the canonical quiet NaN).
+        for h in 0..=u16::MAX {
+            let x = f16_bits_to_f64(h);
+            if x.is_nan() {
+                assert_eq!(f64_to_f16_bits(x), F16_NAN);
+            } else {
+                assert_eq!(f64_to_f16_bits(x), h, "pattern {h:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_error_is_bounded() {
+        // Relative error ≤ 2⁻¹¹ for normal-range inputs (|x| ∈ [2⁻¹⁴, 65504]).
+        let mut x = 2f64.powi(-14);
+        while x < 65000.0 {
+            let back = f16_bits_to_f64(f64_to_f16_bits(x));
+            assert!(
+                (back - x).abs() <= x.abs() * 2f64.powi(-11),
+                "error too large at {x}"
+            );
+            x *= 1.37;
+        }
+    }
+}

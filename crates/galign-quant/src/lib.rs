@@ -1,0 +1,1115 @@
+//! Scalar quantization for alignment embedding panels.
+//!
+//! `galign-quant` compresses the per-layer-L2-normalised, concatenated
+//! multi-order embedding rows that every serving component scans:
+//!
+//! * **int8** — per-row symmetric scalar quantization (`scale =
+//!   max|x| / 127`, components rounded into `[-127, 127]`), 8× smaller
+//!   than f64, scored with a blocked i32-accumulate integer dot kernel.
+//! * **f16** — bit-level IEEE binary16 (hand-rolled `f64 ↔ u16`
+//!   conversion in [`mod@f16`], no external half-float dependency) over
+//!   rows rescaled into `[-1, 1]`, 4× smaller than f64.
+//!
+//! The crate is std-only and depends on telemetry alone, mirroring
+//! `galign-index`. Quantized scores are *first-pass only*: alongside each
+//! approximate dot product, [`QuantizedPanel::margin`] returns a certified
+//! error bound, and [`certified_shortlist`] uses those bounds to select
+//! every candidate that could possibly reach the exact top-k. Re-ranking
+//! that shortlist through the exact f64 kernel therefore reproduces the
+//! full-precision scan bit for bit — the contract the serving layer
+//! property-tests.
+//!
+//! Telemetry: encoding records `quant.encode.rows` and
+//! `quant.encode.bytes_saved`; scans record `quant.scan.queries`,
+//! `quant.scan.first_pass_evals`, and `quant.scan.shortlisted` via
+//! [`record_scan`].
+
+pub mod f16;
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Errors reported by quantization routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The request itself is unserviceable (bad shape, non-finite input).
+    Invalid(String),
+    /// Serialized panel bytes failed structural validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::Invalid(msg) => write!(f, "invalid quantization input: {msg}"),
+            QuantError::Corrupt(msg) => write!(f, "corrupt quantized panel: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Quantized component encoding carried by a [`QuantizedPanel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Per-row symmetric int8: one byte per component plus a row scale.
+    Int8,
+    /// IEEE binary16 bits over rows rescaled into `[-1, 1]`.
+    F16,
+}
+
+impl QuantMode {
+    /// Stable serialization tag (0 is reserved so a zeroed byte never
+    /// parses as a valid mode).
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            QuantMode::Int8 => 1,
+            QuantMode::F16 => 2,
+        }
+    }
+
+    /// Inverse of [`QuantMode::tag`].
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(QuantMode::Int8),
+            2 => Some(QuantMode::F16),
+            _ => None,
+        }
+    }
+
+    /// Lower-case mode name used by CLI flags and request fields.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantMode::Int8 => "int8",
+            QuantMode::F16 => "f16",
+        }
+    }
+
+    /// Parses a mode name as accepted by `--quant`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "int8" => Some(QuantMode::Int8),
+            "f16" => Some(QuantMode::F16),
+            _ => None,
+        }
+    }
+
+    /// Storage bytes per component.
+    #[must_use]
+    pub fn bytes_per_component(self) -> usize {
+        match self {
+            QuantMode::Int8 => 1,
+            QuantMode::F16 => 2,
+        }
+    }
+}
+
+/// int8 kernel block length: `127² · 8192 ≈ 1.3e8` keeps a fully
+/// adversarial block's partial sum inside `i32` before widening to `i64`.
+const I8_BLOCK: usize = 8192;
+
+/// Per-term relative slack applied in [`QuantizedPanel::margin`] to absorb
+/// every floating-point rounding the exact and approximate kernels can
+/// accumulate per dimension. `4e-15` is ~36× the worst-case `γ₁`
+/// contribution of one fused accumulate at f64 precision (`2⁻⁵² ≈
+/// 2.2e-16`), and the `+16` constant term covers the query-construction
+/// and final rescale roundings that do not scale with `dim`.
+const FP_SLACK: f64 = 4e-15;
+
+fn f16_decode_table() -> &'static [f64] {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| (0..=u16::MAX).map(f16::f16_bits_to_f64).collect())
+}
+
+/// A query vector quantized against a specific panel's mode, carrying the
+/// certification terms (`norm`, `err`) needed for score margins.
+#[derive(Debug, Clone)]
+pub struct QuantizedQuery {
+    scale: f64,
+    norm: f64,
+    err: f64,
+    data: QueryData,
+}
+
+#[derive(Debug, Clone)]
+enum QueryData {
+    Int8(Vec<i8>),
+    /// f16 query components pre-decoded to f64 so panel scans pay the
+    /// table lookup only on the row side.
+    F16(Vec<f64>),
+}
+
+impl QuantizedQuery {
+    /// Number of components.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match &self.data {
+            QueryData::Int8(v) => v.len(),
+            QueryData::F16(v) => v.len(),
+        }
+    }
+
+    /// L2 norm of the raw (pre-quantization) query.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// L2 norm of the quantization residual `raw - dequantized`.
+    #[must_use]
+    pub fn err(&self) -> f64 {
+        self.err
+    }
+}
+
+/// A row-major block of quantized embedding rows with per-row scale
+/// factors and certification metadata.
+///
+/// For every row `i` the panel stores:
+///
+/// * `scales[i]` — the symmetric per-row scale factor,
+/// * `norms[i]` — the L2 norm of the row the *exact* kernel scores (the
+///   canonical row),
+/// * `errs[i]` — the L2 norm of `canonical − dequantized`, i.e. how far
+///   this panel's reconstruction sits from the canonical row. Quant-primary
+///   artifacts rebase the panel so this is exactly zero
+///   ([`QuantizedPanel::rebase_on_dequantized`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPanel {
+    mode: QuantMode,
+    n: usize,
+    dim: usize,
+    scales: Vec<f64>,
+    norms: Vec<f64>,
+    errs: Vec<f64>,
+    data: Vec<u8>,
+}
+
+impl QuantizedPanel {
+    /// Quantizes `rows` (each of length `dim`) under `mode`.
+    ///
+    /// Rejects non-finite components and shape mismatches. Records
+    /// `quant.encode.rows` / `quant.encode.bytes_saved` telemetry.
+    pub fn encode<I, R>(mode: QuantMode, dim: usize, rows: I) -> Result<Self, QuantError>
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f64]>,
+    {
+        if dim == 0 {
+            return Err(QuantError::Invalid("dim must be positive".to_string()));
+        }
+        let mut panel = QuantizedPanel {
+            mode,
+            n: 0,
+            dim,
+            scales: Vec::new(),
+            norms: Vec::new(),
+            errs: Vec::new(),
+            data: Vec::new(),
+        };
+        for (i, row) in rows.into_iter().enumerate() {
+            let row = row.as_ref();
+            if row.len() != dim {
+                return Err(QuantError::Invalid(format!(
+                    "row {i} has {} components, panel dim is {dim}",
+                    row.len()
+                )));
+            }
+            let (scale, norm, err) = encode_row(mode, row, &mut panel.data)?;
+            panel.scales.push(scale);
+            panel.norms.push(norm);
+            panel.errs.push(err);
+            panel.n += 1;
+        }
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("quant.encode.rows", panel.n as u64);
+            let saved = panel.f64_bytes().saturating_sub(panel.data.len());
+            galign_telemetry::counter_add("quant.encode.bytes_saved", saved as u64);
+        }
+        Ok(panel)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the panel holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Components per row.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Component encoding.
+    #[must_use]
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// Bytes this panel keeps resident (component data plus per-row
+    /// metadata).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() + 24 * self.n
+    }
+
+    /// Bytes the same rows occupy at full f64 precision.
+    #[must_use]
+    pub fn f64_bytes(&self) -> usize {
+        self.n * self.dim * 8
+    }
+
+    /// Per-row scale factor.
+    #[must_use]
+    pub fn scale(&self, i: usize) -> f64 {
+        self.scales[i]
+    }
+
+    /// Writes the dequantized row `i` into `out` (length `dim`). The
+    /// reconstruction is deterministic: quant-primary artifacts rely on
+    /// every reader producing identical f64 rows from identical bytes.
+    pub fn dequantize_row(&self, i: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "output buffer length");
+        let scale = self.scales[i];
+        match self.mode {
+            QuantMode::Int8 => {
+                let row = &self.data[i * self.dim..(i + 1) * self.dim];
+                for (o, b) in out.iter_mut().zip(row) {
+                    *o = f64::from(*b as i8) * scale;
+                }
+            }
+            QuantMode::F16 => {
+                let table = f16_decode_table();
+                let row = &self.data[i * self.dim * 2..(i + 1) * self.dim * 2];
+                for (o, b) in out.iter_mut().zip(row.chunks_exact(2)) {
+                    *o = table[u16::from_le_bytes([b[0], b[1]]) as usize] * scale;
+                }
+            }
+        }
+    }
+
+    /// Dequantizes every row into one contiguous `n × dim` buffer.
+    #[must_use]
+    pub fn dequantize_all(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n * self.dim];
+        for i in 0..self.n {
+            self.dequantize_row(i, &mut out[i * self.dim..(i + 1) * self.dim]);
+        }
+        out
+    }
+
+    /// Declares the dequantized rows canonical: recomputes `norms` over
+    /// the reconstructed rows and zeroes `errs`.
+    ///
+    /// Quant-primary artifacts store only the quantized panel and
+    /// reconstruct their f64 rows from it, so the panel's reconstruction
+    /// *is* the row the exact kernel scores — the row-side quantization
+    /// error is zero by definition.
+    pub fn rebase_on_dequantized(&mut self) {
+        let mut buf = vec![0.0; self.dim];
+        for i in 0..self.n {
+            self.dequantize_row(i, &mut buf);
+            self.norms[i] = buf.iter().map(|x| x * x).sum::<f64>().sqrt();
+            self.errs[i] = 0.0;
+        }
+    }
+
+    /// Quantizes a raw query vector under this panel's mode, computing the
+    /// certification terms used by [`QuantizedPanel::margin`]. Fails on
+    /// shape mismatch or non-finite components (callers fall back to the
+    /// exact scan).
+    pub fn quantize_query(&self, raw: &[f64]) -> Result<QuantizedQuery, QuantError> {
+        if raw.len() != self.dim {
+            return Err(QuantError::Invalid(format!(
+                "query has {} components, panel dim is {}",
+                raw.len(),
+                self.dim
+            )));
+        }
+        if raw.iter().any(|x| !x.is_finite()) {
+            return Err(QuantError::Invalid(
+                "query has non-finite components".to_string(),
+            ));
+        }
+        let norm = raw.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let amax = raw.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        match self.mode {
+            QuantMode::Int8 => {
+                let scale = amax / 127.0;
+                let mut q = Vec::with_capacity(self.dim);
+                let mut err_sq = 0.0;
+                for &x in raw {
+                    let v = if scale == 0.0 {
+                        0i8
+                    } else {
+                        (x / scale).round().clamp(-127.0, 127.0) as i8
+                    };
+                    let d = x - f64::from(v) * scale;
+                    err_sq += d * d;
+                    q.push(v);
+                }
+                Ok(QuantizedQuery {
+                    scale,
+                    norm,
+                    err: err_sq.sqrt(),
+                    data: QueryData::Int8(q),
+                })
+            }
+            QuantMode::F16 => {
+                let scale = amax;
+                let mut q = Vec::with_capacity(self.dim);
+                let mut err_sq = 0.0;
+                for &x in raw {
+                    let y = if scale == 0.0 {
+                        0.0
+                    } else {
+                        f16::f16_bits_to_f64(f16::f64_to_f16_bits(x / scale))
+                    };
+                    let d = x - y * scale;
+                    err_sq += d * d;
+                    q.push(y);
+                }
+                Ok(QuantizedQuery {
+                    scale,
+                    norm,
+                    err: err_sq.sqrt(),
+                    data: QueryData::F16(q),
+                })
+            }
+        }
+    }
+
+    /// First-pass approximate dot product between `query` and row `i`.
+    ///
+    /// int8 accumulates integer products in `i32` blocks of `I8_BLOCK`
+    /// components, widening to `i64` across blocks, and applies the scale
+    /// product once at the end; f16 accumulates pre-decoded f64 values.
+    #[must_use]
+    pub fn approx_dot(&self, query: &QuantizedQuery, i: usize) -> f64 {
+        debug_assert_eq!(query.dim(), self.dim, "query dim");
+        match (&query.data, self.mode) {
+            (QueryData::Int8(q), QuantMode::Int8) => {
+                let row = &self.data[i * self.dim..(i + 1) * self.dim];
+                let mut total: i64 = 0;
+                for (qc, rc) in q.chunks(I8_BLOCK).zip(row.chunks(I8_BLOCK)) {
+                    let mut acc: i32 = 0;
+                    for (a, b) in qc.iter().zip(rc) {
+                        acc += i32::from(*a) * i32::from(*b as i8);
+                    }
+                    total += i64::from(acc);
+                }
+                (total as f64) * (self.scales[i] * query.scale)
+            }
+            (QueryData::F16(q), QuantMode::F16) => {
+                let table = f16_decode_table();
+                let row = &self.data[i * self.dim * 2..(i + 1) * self.dim * 2];
+                let mut acc = 0.0;
+                for (a, b) in q.iter().zip(row.chunks_exact(2)) {
+                    acc += a * table[u16::from_le_bytes([b[0], b[1]]) as usize];
+                }
+                acc * (self.scales[i] * query.scale)
+            }
+            _ => panic!("query mode does not match panel mode"),
+        }
+    }
+
+    /// Certified bound on `|exact_score − approx_dot|` for row `i`: the
+    /// exact f64 score of the canonical row against the raw query is
+    /// guaranteed to lie within `margin` of [`QuantizedPanel::approx_dot`].
+    ///
+    /// The bound combines the Cauchy–Schwarz quantization terms
+    /// (`query.err · ‖row‖` and `‖query‖ · errs[i]`) with an fp-summation
+    /// slack of `FP_SLACK` per dimension covering the rounding of both
+    /// the exact kernel and the approximate one, plus `f64::MIN_POSITIVE`
+    /// so the margin is never exactly zero.
+    #[must_use]
+    pub fn margin(&self, query: &QuantizedQuery, i: usize) -> f64 {
+        let nt = self.norms[i] + self.errs[i];
+        let nq = query.norm + query.err;
+        query.err * nt
+            + nq * self.errs[i]
+            + (self.dim as f64 + 16.0) * FP_SLACK * nq * nt
+            + f64::MIN_POSITIVE
+    }
+
+    /// Copies rows `[start, end)` into a new panel, bit-exactly: rows are
+    /// independent, so shard splitting commutes with quantization.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Self, QuantError> {
+        if start > end || end > self.n {
+            return Err(QuantError::Invalid(format!(
+                "row range {start}..{end} out of bounds for {} rows",
+                self.n
+            )));
+        }
+        let bpc = self.mode.bytes_per_component();
+        Ok(QuantizedPanel {
+            mode: self.mode,
+            n: end - start,
+            dim: self.dim,
+            scales: self.scales[start..end].to_vec(),
+            norms: self.norms[start..end].to_vec(),
+            errs: self.errs[start..end].to_vec(),
+            data: self.data[start * self.dim * bpc..end * self.dim * bpc].to_vec(),
+        })
+    }
+
+    /// Stitches row-contiguous parts back into one panel (inverse of
+    /// [`QuantizedPanel::slice_rows`] over a tiling). All parts must agree
+    /// on mode and dim.
+    pub fn concat(parts: &[QuantizedPanel]) -> Result<Self, QuantError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| QuantError::Invalid("no panels to concatenate".to_string()))?;
+        let mut out = QuantizedPanel {
+            mode: first.mode,
+            n: 0,
+            dim: first.dim,
+            scales: Vec::new(),
+            norms: Vec::new(),
+            errs: Vec::new(),
+            data: Vec::new(),
+        };
+        for (i, p) in parts.iter().enumerate() {
+            if p.mode != out.mode || p.dim != out.dim {
+                return Err(QuantError::Invalid(format!(
+                    "panel {i} is {}/dim {}, expected {}/dim {}",
+                    p.mode.name(),
+                    p.dim,
+                    out.mode.name(),
+                    out.dim
+                )));
+            }
+            out.n += p.n;
+            out.scales.extend_from_slice(&p.scales);
+            out.norms.extend_from_slice(&p.norms);
+            out.errs.extend_from_slice(&p.errs);
+            out.data.extend_from_slice(&p.data);
+        }
+        Ok(out)
+    }
+
+    /// Serializes the panel: mode tag, row/dim counts, per-row metadata,
+    /// then component data. Integrity is the embedding format's job (the
+    /// artifact checksums the whole section); this layout is validated
+    /// structurally by [`QuantizedPanel::from_bytes`].
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17 + 24 * self.n + self.data.len());
+        out.push(self.mode.tag());
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        for v in self.scales.iter().chain(&self.norms).chain(&self.errs) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses and strictly validates panel bytes: exact length, known mode
+    /// tag, finite non-negative metadata, every int8 component in
+    /// `[-127, 127]`, every f16 component finite with magnitude ≤ 1, and
+    /// zero-scale rows all-zero.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, QuantError> {
+        if bytes.len() < 17 {
+            return Err(QuantError::Corrupt("panel header truncated".to_string()));
+        }
+        let mode = QuantMode::from_tag(bytes[0])
+            .ok_or_else(|| QuantError::Corrupt(format!("unknown mode tag {}", bytes[0])))?;
+        let n = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")) as usize;
+        let dim = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes")) as usize;
+        if dim == 0 {
+            return Err(QuantError::Corrupt("panel dim is zero".to_string()));
+        }
+        let data_len = n
+            .checked_mul(dim)
+            .and_then(|c| c.checked_mul(mode.bytes_per_component()))
+            .ok_or_else(|| QuantError::Corrupt("panel shape overflows".to_string()))?;
+        let meta_len = n
+            .checked_mul(24)
+            .and_then(|m| m.checked_add(17))
+            .and_then(|m| m.checked_add(data_len))
+            .ok_or_else(|| QuantError::Corrupt("panel shape overflows".to_string()))?;
+        if bytes.len() != meta_len {
+            return Err(QuantError::Corrupt(format!(
+                "panel length {} does not match declared shape ({meta_len} expected)",
+                bytes.len()
+            )));
+        }
+        let read_f64s = |off: usize| -> Result<Vec<f64>, QuantError> {
+            let mut v = Vec::with_capacity(n);
+            for i in 0..n {
+                let s = off + i * 8;
+                let x = f64::from_le_bytes(bytes[s..s + 8].try_into().expect("8 bytes"));
+                if !x.is_finite() || x < 0.0 {
+                    return Err(QuantError::Corrupt(format!(
+                        "row metadata at offset {s} is not finite and non-negative"
+                    )));
+                }
+                v.push(x);
+            }
+            Ok(v)
+        };
+        let scales = read_f64s(17)?;
+        let norms = read_f64s(17 + 8 * n)?;
+        let errs = read_f64s(17 + 16 * n)?;
+        let data = bytes[17 + 24 * n..].to_vec();
+        let table = f16_decode_table();
+        for i in 0..n {
+            let bpc = mode.bytes_per_component();
+            let row = &data[i * dim * bpc..(i + 1) * dim * bpc];
+            match mode {
+                QuantMode::Int8 => {
+                    for (j, b) in row.iter().enumerate() {
+                        let q = *b as i8;
+                        if q == i8::MIN {
+                            return Err(QuantError::Corrupt(format!(
+                                "row {i} component {j} is -128, outside the symmetric range"
+                            )));
+                        }
+                        if scales[i] == 0.0 && q != 0 {
+                            return Err(QuantError::Corrupt(format!(
+                                "row {i} has zero scale but non-zero component {j}"
+                            )));
+                        }
+                    }
+                }
+                QuantMode::F16 => {
+                    for (j, b) in row.chunks_exact(2).enumerate() {
+                        let y = table[u16::from_le_bytes([b[0], b[1]]) as usize];
+                        if !y.is_finite() || y.abs() > 1.0 {
+                            return Err(QuantError::Corrupt(format!(
+                                "row {i} component {j} decodes outside [-1, 1]"
+                            )));
+                        }
+                        if scales[i] == 0.0 && y != 0.0 {
+                            return Err(QuantError::Corrupt(format!(
+                                "row {i} has zero scale but non-zero component {j}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(QuantizedPanel {
+            mode,
+            n,
+            dim,
+            scales,
+            norms,
+            errs,
+            data,
+        })
+    }
+}
+
+fn encode_row(
+    mode: QuantMode,
+    row: &[f64],
+    data: &mut Vec<u8>,
+) -> Result<(f64, f64, f64), QuantError> {
+    if row.iter().any(|x| !x.is_finite()) {
+        return Err(QuantError::Invalid(
+            "row has non-finite components".to_string(),
+        ));
+    }
+    let norm = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let amax = row.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    let mut err_sq = 0.0;
+    let scale = match mode {
+        QuantMode::Int8 => {
+            let scale = amax / 127.0;
+            for &x in row {
+                let q = if scale == 0.0 {
+                    0i8
+                } else {
+                    (x / scale).round().clamp(-127.0, 127.0) as i8
+                };
+                let d = x - f64::from(q) * scale;
+                err_sq += d * d;
+                data.push(q as u8);
+            }
+            scale
+        }
+        QuantMode::F16 => {
+            let scale = amax;
+            for &x in row {
+                let bits = if scale == 0.0 {
+                    0u16
+                } else {
+                    f16::f64_to_f16_bits(x / scale)
+                };
+                let d = x - f16::f16_bits_to_f64(bits) * scale;
+                err_sq += d * d;
+                data.extend_from_slice(&bits.to_le_bytes());
+            }
+            scale
+        }
+    };
+    Ok((scale, norm, err_sq.sqrt()))
+}
+
+/// Selects every candidate whose certified score interval can reach the
+/// exact top-`k`, returned in ascending index order.
+///
+/// Given approximate scores `approx` and their certified bounds `margins`
+/// (exact score ∈ `[approx − margin, approx + margin]`), computes `τ`, the
+/// k-th largest lower bound, and keeps indices whose upper bound reaches
+/// `τ`. Every true top-`k` member `u` satisfies `exact(u) ≥ exact₍k₎ ≥ τ`
+/// and `approx(u) + margin(u) ≥ exact(u)`, so the shortlist is a certified
+/// superset of the exact top-`k` under *any* tie-break — re-ranking it
+/// through the exact kernel reproduces the full scan bit for bit.
+#[must_use]
+pub fn certified_shortlist(approx: &[f64], margins: &[f64], k: usize) -> Vec<usize> {
+    let n = approx.len();
+    assert_eq!(margins.len(), n, "margins length");
+    if k == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut lowers: Vec<f64> = approx.iter().zip(margins).map(|(a, m)| a - m).collect();
+    let (_, kth, _) = lowers.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    let tau = *kth;
+    (0..n).filter(|&u| approx[u] + margins[u] >= tau).collect()
+}
+
+/// Records one quantized first-pass scan: `first_pass_evals` approximate
+/// dot products narrowed to `shortlisted` exact re-rank candidates.
+pub fn record_scan(first_pass_evals: u64, shortlisted: u64) {
+    if galign_telemetry::metrics_enabled() {
+        galign_telemetry::counter_add("quant.scan.queries", 1);
+        galign_telemetry::counter_add("quant.scan.first_pass_evals", first_pass_evals);
+        galign_telemetry::counter_add("quant.scan.shortlisted", shortlisted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* — deterministic, dependency-free test randomness.
+    struct Rng(u64);
+
+    impl Rng {
+        fn new(seed: u64) -> Self {
+            Rng(seed.max(1))
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        fn symmetric(&mut self) -> f64 {
+            self.unit() * 2.0 - 1.0
+        }
+    }
+
+    fn random_rows(rng: &mut Rng, n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                let row: Vec<f64> = (0..dim).map(|_| rng.symmetric()).collect();
+                let norm = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    row.iter().map(|x| x / norm).collect()
+                } else {
+                    row
+                }
+            })
+            .collect()
+    }
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn mode_names_and_tags_round_trip() {
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            assert_eq!(QuantMode::from_tag(mode.tag()), Some(mode));
+            assert_eq!(QuantMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(QuantMode::from_tag(0), None);
+        assert_eq!(QuantMode::from_tag(3), None);
+        assert_eq!(QuantMode::from_name("off"), None);
+        assert_eq!(QuantMode::from_name("pq"), None);
+    }
+
+    #[test]
+    fn per_component_error_is_bounded_by_half_scale() {
+        let mut rng = Rng::new(7);
+        let rows = random_rows(&mut rng, 40, 24);
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let panel = QuantizedPanel::encode(mode, 24, &rows).expect("encode");
+            let mut buf = vec![0.0; 24];
+            for (i, row) in rows.iter().enumerate() {
+                panel.dequantize_row(i, &mut buf);
+                let scale = panel.scale(i);
+                for (x, y) in row.iter().zip(&buf) {
+                    // round() puts int8 within scale/2 exactly in real
+                    // arithmetic; allow a few ulps of fp slop. f16 is far
+                    // tighter (relative 2⁻¹¹ of the row max).
+                    assert!(
+                        (x - y).abs() <= scale * 0.5 * (1.0 + 1e-9) + 1e-300,
+                        "{} row {i}: |{x} - {y}| > {scale}/2",
+                        mode.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margins_certify_the_exact_score() {
+        let mut rng = Rng::new(42);
+        let dim = 24;
+        let rows = random_rows(&mut rng, 60, dim);
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let panel = QuantizedPanel::encode(mode, dim, &rows).expect("encode");
+            for _ in 0..20 {
+                let query: Vec<f64> = (0..dim).map(|_| rng.symmetric()).collect();
+                let q = panel.quantize_query(&query).expect("quantize query");
+                for (i, row) in rows.iter().enumerate() {
+                    let exact = dot(&query, row);
+                    let approx = panel.approx_dot(&q, i);
+                    let margin = panel.margin(&q, i);
+                    assert!(
+                        (exact - approx).abs() <= margin,
+                        "{} row {i}: |{exact} - {approx}| > {margin}",
+                        mode.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margins_certify_after_rebase() {
+        // Quant-primary contract: the canonical rows ARE the dequantized
+        // rows, errs are zero, and the margin must still cover the exact
+        // score of those canonical rows (query-side error remains).
+        let mut rng = Rng::new(9);
+        let dim = 16;
+        let rows = random_rows(&mut rng, 50, dim);
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let mut panel = QuantizedPanel::encode(mode, dim, &rows).expect("encode");
+            panel.rebase_on_dequantized();
+            let canonical = panel.dequantize_all();
+            for _ in 0..20 {
+                let query: Vec<f64> = (0..dim).map(|_| rng.symmetric()).collect();
+                let q = panel.quantize_query(&query).expect("quantize query");
+                for i in 0..panel.len() {
+                    let exact = dot(&query, &canonical[i * dim..(i + 1) * dim]);
+                    let approx = panel.approx_dot(&q, i);
+                    let margin = panel.margin(&q, i);
+                    assert!(
+                        (exact - approx).abs() <= margin,
+                        "{} row {i}: |{exact} - {approx}| > {margin}",
+                        mode.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_dequantized_dot() {
+        // Exercise multiple i32 blocks: dim > I8_BLOCK.
+        let dim = I8_BLOCK + 513;
+        let mut rng = Rng::new(3);
+        let row: Vec<f64> = (0..dim).map(|_| rng.symmetric()).collect();
+        let query: Vec<f64> = (0..dim).map(|_| rng.symmetric()).collect();
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let panel = QuantizedPanel::encode(mode, dim, [&row]).expect("encode");
+            let q = panel.quantize_query(&query).expect("quantize query");
+            let mut deq_row = vec![0.0; dim];
+            panel.dequantize_row(0, &mut deq_row);
+            let mut deq_query = vec![0.0; dim];
+            match &q.data {
+                QueryData::Int8(v) => {
+                    for (o, c) in deq_query.iter_mut().zip(v) {
+                        *o = f64::from(*c) * q.scale;
+                    }
+                }
+                QueryData::F16(v) => {
+                    for (o, c) in deq_query.iter_mut().zip(v) {
+                        *o = c * q.scale;
+                    }
+                }
+            }
+            let naive = dot(&deq_query, &deq_row);
+            let approx = panel.approx_dot(&q, 0);
+            assert!(
+                (naive - approx).abs() <= 1e-9 * naive.abs().max(1.0),
+                "{}: kernel {approx} vs naive {naive}",
+                mode.name()
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_full_magnitude_rows_do_not_overflow_blocks() {
+        // Every component at ±max magnitude across two full blocks: the
+        // worst case for the i32 accumulator.
+        let dim = 2 * I8_BLOCK;
+        let row: Vec<f64> = (0..dim)
+            .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let panel = QuantizedPanel::encode(QuantMode::Int8, dim, [&row]).expect("encode");
+        let q = panel.quantize_query(&row).expect("quantize query");
+        let approx = panel.approx_dot(&q, 0);
+        let expected = dim as f64; // ⟨row, row⟩ with unit components
+        assert!(
+            (approx - expected).abs() <= 1e-9 * expected,
+            "{approx} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn certified_shortlist_is_a_superset_of_the_exact_topk() {
+        let mut rng = Rng::new(11);
+        let dim = 12;
+        // Duplicate rows force exact ties — the shortlist must still cover
+        // every index that could appear in the top-k under any tie-break.
+        let mut rows = random_rows(&mut rng, 30, dim);
+        for i in 0..10 {
+            let dup = rows[i].clone();
+            rows.push(dup);
+        }
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let mut panel = QuantizedPanel::encode(mode, dim, &rows).expect("encode");
+            panel.rebase_on_dequantized();
+            let canonical = panel.dequantize_all();
+            for k in [1, 3, 7, rows.len(), rows.len() + 5] {
+                for _ in 0..10 {
+                    let query: Vec<f64> = (0..dim).map(|_| rng.symmetric()).collect();
+                    let q = panel.quantize_query(&query).expect("quantize query");
+                    let n = panel.len();
+                    let approx: Vec<f64> = (0..n).map(|i| panel.approx_dot(&q, i)).collect();
+                    let margins: Vec<f64> = (0..n).map(|i| panel.margin(&q, i)).collect();
+                    let shortlist = certified_shortlist(&approx, &margins, k);
+                    assert!(shortlist.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+                    let exact: Vec<f64> = (0..n)
+                        .map(|i| dot(&query, &canonical[i * dim..(i + 1) * dim]))
+                        .collect();
+                    let mut sorted = exact.clone();
+                    sorted.sort_by(|a, b| b.total_cmp(a));
+                    let kth = sorted[k.min(n) - 1];
+                    for (u, &s) in exact.iter().enumerate() {
+                        if s >= kth {
+                            assert!(
+                                shortlist.binary_search(&u).is_ok(),
+                                "{} k={k}: row {u} (score {s} ≥ kth {kth}) missing",
+                                mode.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certified_shortlist_edge_cases() {
+        assert!(certified_shortlist(&[1.0, 2.0], &[0.1, 0.1], 0).is_empty());
+        assert_eq!(certified_shortlist(&[1.0, 2.0], &[0.1, 0.1], 2), vec![0, 1]);
+        assert_eq!(certified_shortlist(&[1.0, 2.0], &[0.1, 0.1], 9), vec![0, 1]);
+        assert!(certified_shortlist(&[], &[], 4).is_empty());
+        // Clear separation with tiny margins keeps the shortlist tight.
+        let approx = [0.9, 0.1, 0.5, 0.95];
+        let margins = [1e-6; 4];
+        assert_eq!(certified_shortlist(&approx, &margins, 2), vec![0, 3]);
+    }
+
+    #[test]
+    fn zero_rows_and_zero_queries_are_exact() {
+        let rows = [vec![0.0; 8], vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]];
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let panel = QuantizedPanel::encode(mode, 8, &rows).expect("encode");
+            assert_eq!(panel.scale(0), 0.0);
+            let q = panel.quantize_query(&[0.0; 8]).expect("zero query");
+            assert_eq!(q.norm(), 0.0);
+            assert_eq!(q.err(), 0.0);
+            assert_eq!(panel.approx_dot(&q, 0), 0.0);
+            assert_eq!(panel.approx_dot(&q, 1), 0.0);
+            let mut buf = vec![1.0; 8];
+            panel.dequantize_row(0, &mut buf);
+            assert!(buf.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn encode_rejects_bad_input() {
+        assert!(matches!(
+            QuantizedPanel::encode(QuantMode::Int8, 0, Vec::<Vec<f64>>::new()),
+            Err(QuantError::Invalid(_))
+        ));
+        assert!(matches!(
+            QuantizedPanel::encode(QuantMode::Int8, 3, [vec![1.0, 2.0]]),
+            Err(QuantError::Invalid(_))
+        ));
+        assert!(matches!(
+            QuantizedPanel::encode(QuantMode::F16, 2, [vec![1.0, f64::NAN]]),
+            Err(QuantError::Invalid(_))
+        ));
+        assert!(matches!(
+            QuantizedPanel::encode(QuantMode::Int8, 2, [vec![f64::INFINITY, 0.0]]),
+            Err(QuantError::Invalid(_))
+        ));
+        let panel = QuantizedPanel::encode(QuantMode::Int8, 2, [vec![1.0, 0.5]]).expect("encode");
+        assert!(matches!(
+            panel.quantize_query(&[1.0]),
+            Err(QuantError::Invalid(_))
+        ));
+        assert!(matches!(
+            panel.quantize_query(&[f64::NAN, 0.0]),
+            Err(QuantError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip_bit_exactly() {
+        let mut rng = Rng::new(5);
+        let rows = random_rows(&mut rng, 17, 6);
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let panel = QuantizedPanel::encode(mode, 6, &rows).expect("encode");
+            let a = panel.slice_rows(0, 5).expect("slice");
+            let b = panel.slice_rows(5, 11).expect("slice");
+            let c = panel.slice_rows(11, 17).expect("slice");
+            assert_eq!(a.len(), 5);
+            let stitched = QuantizedPanel::concat(&[a, b, c]).expect("concat");
+            assert_eq!(stitched, panel);
+            assert!(panel.slice_rows(4, 2).is_err());
+            assert!(panel.slice_rows(0, 18).is_err());
+        }
+        let int8 = QuantizedPanel::encode(QuantMode::Int8, 6, &rows).expect("encode");
+        let f16p = QuantizedPanel::encode(QuantMode::F16, 6, &rows).expect("encode");
+        assert!(QuantizedPanel::concat(&[int8, f16p]).is_err());
+        assert!(QuantizedPanel::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut rng = Rng::new(13);
+        let rows = random_rows(&mut rng, 9, 5);
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let panel = QuantizedPanel::encode(mode, 5, &rows).expect("encode");
+            let bytes = panel.to_bytes();
+            let back = QuantizedPanel::from_bytes(&bytes).expect("parse");
+            assert_eq!(back, panel);
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_structural_corruption() {
+        let rows = [vec![1.0, -0.5, 0.25]];
+        let panel = QuantizedPanel::encode(QuantMode::Int8, 3, &rows).expect("encode");
+        let bytes = panel.to_bytes();
+
+        // Truncations and padding never parse.
+        for cut in 0..bytes.len() {
+            assert!(
+                QuantizedPanel::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(QuantizedPanel::from_bytes(&padded).is_err());
+
+        // Unknown mode tag.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+
+        // Declared shape no longer matching the byte count.
+        let mut bad = bytes.clone();
+        bad[1] = 2;
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+
+        // Non-finite scale.
+        let mut bad = bytes.clone();
+        bad[17..25].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+
+        // Negative norm.
+        let mut bad = bytes.clone();
+        bad[25..33].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+
+        // int8 component of -128.
+        let mut bad = bytes.clone();
+        let data_off = bytes.len() - 3;
+        bad[data_off] = 0x80;
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+
+        // Zero scale with non-zero data.
+        let mut bad = bytes.clone();
+        bad[17..25].copy_from_slice(&0.0f64.to_le_bytes());
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+
+        // f16: a component decoding outside [-1, 1] (2.0 = 0x4000) and an
+        // infinity pattern are both rejected.
+        let fpanel = QuantizedPanel::encode(QuantMode::F16, 3, &rows).expect("encode");
+        let fbytes = fpanel.to_bytes();
+        let fdata_off = fbytes.len() - 6;
+        let mut bad = fbytes.clone();
+        bad[fdata_off..fdata_off + 2].copy_from_slice(&0x4000u16.to_le_bytes());
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+        let mut bad = fbytes.clone();
+        bad[fdata_off..fdata_off + 2].copy_from_slice(&f16::F16_INFINITY.to_le_bytes());
+        assert!(QuantizedPanel::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn rebase_zeroes_errors_and_fixes_norms() {
+        let mut rng = Rng::new(21);
+        let rows = random_rows(&mut rng, 12, 8);
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let mut panel = QuantizedPanel::encode(mode, 8, &rows).expect("encode");
+            panel.rebase_on_dequantized();
+            let canonical = panel.dequantize_all();
+            for i in 0..panel.len() {
+                assert_eq!(panel.errs[i], 0.0);
+                let norm = canonical[i * 8..(i + 1) * 8]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum::<f64>()
+                    .sqrt();
+                assert_eq!(panel.norms[i], norm);
+            }
+        }
+    }
+
+    #[test]
+    fn size_accounting_matches_modes() {
+        let rows = vec![vec![0.5; 32]; 100];
+        let int8 = QuantizedPanel::encode(QuantMode::Int8, 32, &rows).expect("encode");
+        let f16p = QuantizedPanel::encode(QuantMode::F16, 32, &rows).expect("encode");
+        assert_eq!(int8.f64_bytes(), 100 * 32 * 8);
+        assert_eq!(int8.data.len(), 100 * 32);
+        assert_eq!(f16p.data.len(), 100 * 32 * 2);
+        assert!(int8.resident_bytes() < int8.f64_bytes() / 3);
+        assert!(f16p.resident_bytes() < f16p.f64_bytes() / 2);
+    }
+}

@@ -60,7 +60,7 @@ use galign_serve::api::{
 };
 use galign_serve::client::{Client, ClientConfig, Response};
 use galign_serve::json;
-use galign_serve::topk::EngineMode;
+use galign_serve::topk::{EngineMode, QuantMode};
 use galign_telemetry::context::{self, PropagationHandle};
 use galign_telemetry::failpoint::{self, Action};
 use galign_telemetry::flight::{FlightRecorder, RecordKind, TraceRecord};
@@ -198,7 +198,7 @@ pub struct HedgePolicy {
     /// Static hedge delay; `None` disables hedging entirely.
     pub after: Option<Duration>,
     /// Derive the delay from the observed `router.hop.ms` p99 once
-    /// [`ADAPTIVE_MIN_SAMPLES`] samples exist (clamped to
+    /// `ADAPTIVE_MIN_SAMPLES` (64) samples exist (clamped to
     /// `[1ms, 2s]`). Note the feedback is *stabilising*: a browning-out
     /// fleet inflates the p99, which hedges later and sheds hedge load
     /// exactly when the fleet can least afford extra requests.
@@ -258,6 +258,7 @@ fn defaults(default_k: usize, max_k: usize) -> RequestDefaults {
         default_k,
         max_k,
         default_mode: EngineMode::Auto,
+        default_quant: QuantMode::Off,
     }
 }
 

@@ -42,12 +42,20 @@
 //! partial answers, deadline sheds — plus this process's own
 //! retry-budget spend, so a brownout run reports not just percentiles
 //! but *which* defense absorbed the fault.
+//!
+//! `--quant int8|f16` stamps a `quant` field on every query so the run
+//! exercises the server's quantized first-pass scan (responses stay
+//! byte-identical, so all verification is unchanged). `--report-rss`
+//! appends this process's `VmRSS` (from `/proc/self/status`) and the
+//! target's resident artifact bytes (from `/healthz`) to the report,
+//! for memory-footprint A/Bs of quantized vs f64 serving.
 
 use galign_serve::api::{self, BatchRequest, TopkRequest};
 use galign_serve::client::{Client, ClientConfig};
 use galign_serve::json::{self, Json};
 use galign_serve::server::TRACE_HEADER;
 use galign_serve::testutil::Xorshift;
+use galign_serve::QuantMode;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -65,6 +73,8 @@ struct Args {
     router: bool,
     targets: Option<usize>,
     chaos_summary: bool,
+    quant: QuantMode,
+    report_rss: bool,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +92,8 @@ fn parse_args() -> Args {
         router: false,
         targets: None,
         chaos_summary: false,
+        quant: QuantMode::Off,
+        report_rss: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -109,12 +121,19 @@ fn parse_args() -> Args {
             "--router" => args.router = true,
             "--targets" => args.targets = Some(take("targets").parse().expect("--targets")),
             "--chaos-summary" => args.chaos_summary = true,
+            "--quant" => {
+                let value = take("quant");
+                args.quant = QuantMode::from_name(&value).unwrap_or_else(|| {
+                    panic!("--quant must be 'off', 'int8' or 'f16', got '{value}'")
+                });
+            }
+            "--report-rss" => args.report_rss = true,
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: loadtest [--addr HOST:PORT] [--requests N] \
                      [--concurrency C] [--k K] [--batch B] [--queries Q] [--open-loop RPS] \
                      [--seed S] [--max-retries R] [--untraced] [--router] [--targets N] \
-                     [--chaos-summary]"
+                     [--chaos-summary] [--quant off|int8|f16] [--report-rss]"
                 );
                 std::process::exit(2);
             }
@@ -183,6 +202,34 @@ fn chaos_snapshot(probe: &Client) -> BTreeMap<String, f64> {
         );
     }
     out
+}
+
+/// This process's resident set size in kB, read from `/proc/self/status`
+/// (std-only). `None` off Linux or if the field is absent — the report
+/// degrades to printing "unavailable" rather than failing the run.
+fn vm_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Prints the memory-footprint section: this process's VmRSS plus the
+/// resident artifact bytes the target reported on `/healthz` (f64 and
+/// quantized separately, when the server is new enough to report them).
+fn print_rss_report(health: Option<&Json>) {
+    match vm_rss_kb() {
+        Some(kb) => println!("memory: loadtest VmRSS {kb} kB"),
+        None => println!("memory: loadtest VmRSS unavailable (no /proc/self/status)"),
+    }
+    let bytes = |key: &str| health.and_then(|h| h.get(key).and_then(Json::as_usize));
+    if let (Some(f64_bytes), Some(quant_bytes)) =
+        (bytes("artifact_f64_bytes"), bytes("artifact_quant_bytes"))
+    {
+        println!(
+            "memory: target artifact {} bytes resident (f64 {f64_bytes}, quantized {quant_bytes})",
+            f64_bytes + quant_bytes
+        );
+    }
 }
 
 /// Prints the counter movement between two snapshots; zero-delta rows are
@@ -254,7 +301,7 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "loadtest: {} requests x {} clients against {} ({role}{}, {} source nodes, k={}, batch={}{}{}{})",
+        "loadtest: {} requests x {} clients against {} ({role}{}, {} source nodes, k={}, batch={}{}{}{}{})",
         args.requests,
         args.concurrency,
         args.addr,
@@ -269,7 +316,12 @@ fn main() {
         },
         args.open_loop
             .map_or(String::new(), |r| format!(", open-loop {r:.0} req/s")),
-        if args.untraced { ", untraced" } else { "" }
+        if args.untraced { ", untraced" } else { "" },
+        if args.quant == QuantMode::Off {
+            String::new()
+        } else {
+            format!(", quant {}", args.quant)
+        }
     );
 
     let chaos_before = args.chaos_summary.then(|| chaos_snapshot(&probe));
@@ -291,7 +343,7 @@ fn main() {
             args.seed,
             args.max_retries,
         );
-        let untraced = args.untraced;
+        let (untraced, quant) = (args.untraced, args.quant);
         handles.push(std::thread::spawn(move || {
             let thread_seed = seed ^ (client_id as u64).wrapping_mul(0x9e37);
             let client =
@@ -309,8 +361,12 @@ fn main() {
             };
             let schedule_base = Instant::now();
             for i in 0..per_client {
-                let mut one_query =
-                    || TopkRequest::new((0..batch).map(|_| rng.below(nodes)).collect(), k);
+                let mut one_query = || {
+                    let mut req =
+                        TopkRequest::new((0..batch).map(|_| rng.below(nodes)).collect(), k);
+                    req.quant = quant;
+                    req
+                };
                 let body = if queries > 0 {
                     let qs: Vec<TopkRequest> = (0..queries).map(|_| one_query()).collect();
                     BatchRequest::to_json(&qs)
@@ -427,6 +483,9 @@ fn main() {
     }
     if let Some(before) = chaos_before {
         print_chaos_summary(&before, &chaos_snapshot(&probe));
+    }
+    if args.report_rss {
+        print_rss_report(doc.as_ref());
     }
     if failures > 0 || total == 0 {
         std::process::exit(1);

@@ -26,7 +26,7 @@
 //! over the batched execution path byte-identical by construction.
 
 use crate::json::{self, Json};
-use crate::topk::EngineMode;
+use crate::topk::{EngineMode, QuantMode};
 use std::sync::Arc;
 
 pub use galign_matrix::simblock::Hit;
@@ -40,6 +40,9 @@ pub struct RequestDefaults {
     pub max_k: usize,
     /// Engine used when the body omits `mode`.
     pub default_mode: EngineMode,
+    /// First-pass scan precision when the body omits `quant` (the
+    /// server's `--quant` flag).
+    pub default_quant: QuantMode,
 }
 
 /// One fully resolved top-k query: defaults applied, limits checked.
@@ -53,10 +56,14 @@ pub struct TopkRequest {
     pub theta: Option<Vec<f64>>,
     /// Engine selection.
     pub mode: EngineMode,
+    /// First-pass scan precision (results are bit-identical across
+    /// settings; see [`QuantMode`]).
+    pub quant: QuantMode,
 }
 
 impl TopkRequest {
-    /// A plain query with default θ and `auto` engine selection.
+    /// A plain query with default θ, `auto` engine selection and f64
+    /// scans.
     #[must_use]
     pub fn new(nodes: Vec<usize>, k: usize) -> TopkRequest {
         TopkRequest {
@@ -64,6 +71,7 @@ impl TopkRequest {
             k,
             theta: None,
             mode: EngineMode::Auto,
+            quant: QuantMode::Off,
         }
     }
 
@@ -122,11 +130,19 @@ impl TopkRequest {
                 .and_then(EngineMode::from_name)
                 .ok_or("\"mode\" must be \"exact\", \"ann\" or \"auto\"")?,
         };
+        let quant = match doc.get("quant") {
+            None => defaults.default_quant,
+            Some(v) => v
+                .as_str()
+                .and_then(QuantMode::from_name)
+                .ok_or("\"quant\" must be \"off\", \"int8\" or \"f16\"")?,
+        };
         Ok(TopkRequest {
             nodes,
             k,
             theta,
             mode,
+            quant,
         })
     }
 
@@ -143,7 +159,8 @@ impl TopkRequest {
 
     /// Renders the query as a request body (client-side assembly). `k` is
     /// always explicit; θ is included when set; `mode` is included unless
-    /// it is `auto` (the universal server default).
+    /// it is `auto` (the universal server default); `quant` is included
+    /// unless it is `off`.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"nodes\":[");
@@ -166,6 +183,9 @@ impl TopkRequest {
         }
         if self.mode != EngineMode::Auto {
             out.push_str(&format!(",\"mode\":\"{}\"", self.mode.name()));
+        }
+        if self.quant != QuantMode::Off {
+            out.push_str(&format!(",\"quant\":\"{}\"", self.quant.name()));
         }
         out.push('}');
         out
@@ -403,6 +423,7 @@ mod tests {
             default_k: 10,
             max_k: 1000,
             default_mode: EngineMode::Auto,
+            default_quant: QuantMode::Off,
         }
     }
 
@@ -413,17 +434,31 @@ mod tests {
             k: 5,
             theta: Some(vec![0.25, 0.75]),
             mode: EngineMode::Ann,
+            quant: QuantMode::Int8,
         };
         let body = req.to_json();
         assert_eq!(
             body,
-            r#"{"nodes":[3,0,7],"k":5,"theta":[0.25,0.75],"mode":"ann"}"#
+            r#"{"nodes":[3,0,7],"k":5,"theta":[0.25,0.75],"mode":"ann","quant":"int8"}"#
         );
         let back = TopkRequest::from_body(body.as_bytes(), &defaults()).unwrap();
         assert_eq!(back, req);
-        // Auto mode is the wire default and stays implicit.
+        // Auto mode and f64 scans are the wire defaults and stay implicit.
         let plain = TopkRequest::new(vec![1], 2).to_json();
         assert_eq!(plain, r#"{"nodes":[1],"k":2}"#);
+    }
+
+    #[test]
+    fn request_parse_applies_quant_default() {
+        let d = RequestDefaults {
+            default_quant: QuantMode::F16,
+            ..defaults()
+        };
+        let req = TopkRequest::from_body(br#"{"node":4}"#, &d).unwrap();
+        assert_eq!(req.quant, QuantMode::F16);
+        // An explicit "off" overrides a server-side quantized default.
+        let req = TopkRequest::from_body(br#"{"node":4,"quant":"off"}"#, &d).unwrap();
+        assert_eq!(req.quant, QuantMode::Off);
     }
 
     #[test]
@@ -442,6 +477,7 @@ mod tests {
             (br#"{"nodes":[0],"theta":3}"#, "theta"),
             (br#"{"nodes":[-1]}"#, "non-negative"),
             (br#"{"nodes":[0],"mode":"warp"}"#, "mode"),
+            (br#"{"nodes":[0],"quant":"int4"}"#, "quant"),
         ] {
             let msg = TopkRequest::from_body(body, &d).unwrap_err();
             assert!(

@@ -12,18 +12,27 @@
 //!
 //! ```text
 //! magic            8 B   b"GALNART1"
-//! format version   4 B   u32, 1, 2 or 3
-//! flags            4 B   u32, bit 0 = rows already L2-normalized
+//! format version   4 B   u32, 1, 2, 3 or 4
+//! flags            4 B   u32, bit 0 = rows already L2-normalized,
+//!                        bit 1 = quantized section is primary (v4 only;
+//!                        the f64 matrix blocks are omitted and
+//!                        reconstructed by dequantization at load)
 //! layer count      4 B   u32, layers per side (k+1, incl. attribute layer)
 //! reserved         4 B   u32, zero
 //! theta section    8·L B f64 layer weights, then 8 B FNV-1a of the bytes
 //! source blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
 //! target blocks    L ×  [rows u64, cols u64, rows·cols f64, FNV-1a u64]
+//!                        (both omitted when the quant-primary flag is set)
 //! index section    v2+:  [len u64, len bytes, FNV-1a u64]
+//! quant section    v4:   [len u64, payload, FNV-1a u64] — see
+//!                        [`QuantSection`] for the payload layout
 //! shard manifest   v3:   [shard_id u32, num_shards u32, start u64,
 //!                         end u64, parent_targets u64, parent_checksum
 //!                         u64, replica count u32, replicas (len u32 +
 //!                         utf8 bytes each), FNV-1a u64 of the section]
+//!                  v4:   presence u32 (0 or 1), then the v3 section when
+//!                        present (a quantized artifact need not be a
+//!                        shard, so presence becomes explicit)
 //! file checksum    8 B   FNV-1a of every preceding byte
 //! ```
 //!
@@ -35,12 +44,18 @@
 //! target-id range `[start, end)`, the replica set that serves it, and
 //! `parent_checksum` — the FNV-1a of the *parent's* concatenated target
 //! layers ([`Artifact::target_checksum`]) — so an assembled shard set can
-//! prove it reconstitutes the exact parent it was split from. Writers
-//! always emit the lowest version that can represent the artifact (1 with
-//! neither section, 2 with an index only, 3 with a manifest), so plain
-//! artifacts remain readable by old readers; old readers reject newer
-//! files with a clear "newer than this build" error rather than silently
-//! dropping a section.
+//! prove it reconstitutes the exact parent it was split from. Version 4
+//! appends a [`QuantSection`]: int8 or f16 panels over the concatenated
+//! per-layer rows of both sides (see [`Artifact::with_quant`]). In
+//! *sidecar* mode the f64 blocks stay in the file and the panels only
+//! accelerate scans; in *primary* mode the f64 blocks are dropped from
+//! the file and the canonical values ARE the dequantized values, so the
+//! artifact shrinks ~8x (int8) while loads stay bit-deterministic.
+//! Writers always emit the lowest version that can represent the artifact
+//! (1 with neither section, 2 with an index only, 3 with a manifest, 4
+//! with a quant section), so plain artifacts remain readable by old
+//! readers; old readers reject newer files with a clear "newer than this
+//! build" error rather than silently dropping a section.
 //!
 //! Loads validate magic, version (future versions are rejected, never
 //! silently reinterpreted), shape consistency between the two sides, every
@@ -50,17 +65,25 @@
 use std::io;
 use std::path::Path;
 
+use galign_quant::{QuantMode, QuantizedPanel};
+
 /// File magic: "GALN ARTifact" plus a format generation digit.
 pub const MAGIC: [u8; 8] = *b"GALNART1";
 
 /// Current on-disk format version. Readers reject anything newer. Writers
 /// emit the lowest version that represents the artifact: 1 with neither
 /// optional section, 2 with an ANN index (see [`Artifact::index`]), 3 with
-/// a shard manifest (see [`Artifact::manifest`]).
-pub const FORMAT_VERSION: u32 = 3;
+/// a shard manifest (see [`Artifact::manifest`]), 4 with a quantized
+/// section (see [`Artifact::quant`]).
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Flag bit: matrix rows are already L2-normalized (cosine-ready).
 pub const FLAG_ROWS_NORMALIZED: u32 = 1;
+
+/// Flag bit (v4): the quantized section is primary — the file carries no
+/// f64 matrix blocks and the canonical rows are reconstructed by
+/// dequantizing the panels at load time.
+pub const FLAG_QUANT_PRIMARY: u32 = 2;
 
 /// FNV-1a 64-bit offset basis (the running-hash seed for
 /// [`fnv1a_extend`]).
@@ -329,6 +352,199 @@ impl ShardManifest {
     }
 }
 
+/// FNV-1a over the concatenated little-endian bytes of one side's layers,
+/// in layer order — the identity that binds a [`QuantSection`] to the f64
+/// rows it was encoded from.
+#[must_use]
+fn side_checksum(mats: &[Mat]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for m in mats {
+        hash = fnv1a_extend(hash, &m.to_le_bytes());
+    }
+    hash
+}
+
+/// Quantized companion of the embedding pair: one [`QuantizedPanel`] per
+/// side over the concatenated per-layer rows, plus the metadata needed to
+/// slice dequantized rows back into layers and to prove the panels match
+/// the f64 data they were encoded from.
+///
+/// Payload layout inside the v4 quant section (all little-endian):
+///
+/// ```text
+/// mode              1 B   u8, QuantMode tag (1 = int8, 2 = f16)
+/// layer count       4 B   u32, must equal the header layer count
+/// dims              4·L B u32 each, per-layer embedding columns
+/// source checksum   8 B   FNV-1a of the f64 source layers, layer order
+/// target checksum   8 B   FNV-1a of the f64 target layers, layer order
+/// source panel      [len u64, len bytes]   QuantizedPanel serialization
+/// target panel      [len u64, len bytes]   QuantizedPanel serialization
+/// ```
+///
+/// Whether the section is *primary* (f64 blocks omitted from the file) is
+/// carried by the [`FLAG_QUANT_PRIMARY`] header flag, not the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSection {
+    /// Component encoding of both panels.
+    pub mode: QuantMode,
+    /// Per-layer embedding dimensions, used to slice the concatenated
+    /// dequantized rows back into per-layer matrices.
+    pub dims: Vec<usize>,
+    /// Primary mode: the f64 blocks are not written and the canonical
+    /// values are the dequantized panel rows (see [`Artifact::with_quant`]).
+    pub primary: bool,
+    /// Quantized source-side rows (one row per source node, concatenated
+    /// layers).
+    pub source: QuantizedPanel,
+    /// Quantized target-side rows.
+    pub target: QuantizedPanel,
+    /// FNV-1a over the f64 source layers this panel was encoded from.
+    pub source_checksum: u64,
+    /// FNV-1a over the f64 target layers this panel was encoded from.
+    pub target_checksum: u64,
+}
+
+impl QuantSection {
+    /// Serializes the quant section payload (length prefix and checksum
+    /// appended by the artifact writer).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.mode.tag());
+        out.extend_from_slice(&(self.dims.len() as u32).to_le_bytes());
+        for &d in &self.dims {
+            out.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&self.source_checksum.to_le_bytes());
+        out.extend_from_slice(&self.target_checksum.to_le_bytes());
+        for panel in [&self.source, &self.target] {
+            let bytes = panel.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Parses and structurally validates a quant section payload.
+    fn parse(bytes: &[u8], primary: bool, layers: usize) -> io::Result<QuantSection> {
+        let mut r = Reader { bytes, pos: 0 };
+        let tag = r.take(1)?[0];
+        let mode = QuantMode::from_tag(tag)
+            .ok_or_else(|| invalid(format!("unknown quantization mode tag {tag}")))?;
+        let declared = r.u32()? as usize;
+        if declared != layers {
+            return Err(invalid(format!(
+                "quant section declares {declared} layers but the artifact has {layers}"
+            )));
+        }
+        let mut dims = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            dims.push(r.u32()? as usize);
+        }
+        let source_checksum = r.u64()?;
+        let target_checksum = r.u64()?;
+        let read_panel = |r: &mut Reader<'_>| -> io::Result<QuantizedPanel> {
+            let len =
+                usize::try_from(r.u64()?).map_err(|_| invalid("quant panel length overflow"))?;
+            QuantizedPanel::from_bytes(r.take(len)?).map_err(|e| invalid(e.to_string()))
+        };
+        let source = read_panel(&mut r)?;
+        let target = read_panel(&mut r)?;
+        if r.pos != bytes.len() {
+            return Err(invalid("trailing bytes in quant section"));
+        }
+        let dim: usize = dims.iter().sum();
+        for (name, panel) in [("source", &source), ("target", &target)] {
+            if panel.mode() != mode {
+                return Err(invalid(format!(
+                    "quant {name} panel mode disagrees with the section mode"
+                )));
+            }
+            if panel.dim() != dim {
+                return Err(invalid(format!(
+                    "quant {name} panel dimension {} disagrees with the layer dims (sum {dim})",
+                    panel.dim()
+                )));
+            }
+        }
+        Ok(QuantSection {
+            mode,
+            dims,
+            primary,
+            source,
+            target,
+            source_checksum,
+            target_checksum,
+        })
+    }
+
+    /// Checks that the section agrees with the artifact's f64 rows: layer
+    /// dims, panel row counts, and the binding checksums over both sides.
+    ///
+    /// # Errors
+    /// `InvalidData` naming the first disagreement — a checksum mismatch
+    /// means the panels were not encoded from these rows (tampered or
+    /// mispaired) and the artifact must not serve quantized scans.
+    pub fn validate(&self, artifact: &Artifact) -> io::Result<()> {
+        if self.dims.len() != artifact.num_layers() {
+            return Err(invalid(format!(
+                "quant section has {} layer dims but the artifact has {} layers",
+                self.dims.len(),
+                artifact.num_layers()
+            )));
+        }
+        for (l, &d) in self.dims.iter().enumerate() {
+            if artifact.source[l].cols() != d {
+                return Err(invalid(format!(
+                    "quant dim {d} disagrees with layer {l} dimension {}",
+                    artifact.source[l].cols()
+                )));
+            }
+        }
+        if self.source.len() != artifact.source_nodes()
+            || self.target.len() != artifact.target_nodes()
+        {
+            return Err(invalid(format!(
+                "quant panels hold {}/{} rows but the artifact has {}/{} nodes",
+                self.source.len(),
+                self.target.len(),
+                artifact.source_nodes(),
+                artifact.target_nodes()
+            )));
+        }
+        if side_checksum(&artifact.source) != self.source_checksum {
+            return Err(invalid(
+                "quantized section does not match the f64 source rows (checksum mismatch)",
+            ));
+        }
+        if side_checksum(&artifact.target) != self.target_checksum {
+            return Err(invalid(
+                "quantized section does not match the f64 target rows (checksum mismatch)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Splits a flat buffer of `rows` concatenated multi-layer rows back into
+/// one matrix per layer (inverse of the row concatenation
+/// [`Artifact::with_quant`] encodes).
+fn split_layers(flat: &[f64], rows: usize, dims: &[usize]) -> io::Result<Vec<Mat>> {
+    let dim: usize = dims.iter().sum();
+    let mut mats = Vec::with_capacity(dims.len());
+    let mut offset = 0usize;
+    for &d in dims {
+        let mut data = Vec::with_capacity(rows * d);
+        for i in 0..rows {
+            let start = i * dim + offset;
+            data.extend_from_slice(&flat[start..start + d]);
+        }
+        mats.push(Mat::new(rows, d, data)?);
+        offset += d;
+    }
+    Ok(mats)
+}
+
 /// A trained alignment artifact: θ layer weights plus the multi-order
 /// embedding layers of both networks.
 #[derive(Debug, Clone, PartialEq)]
@@ -350,6 +566,9 @@ pub struct Artifact {
     /// one row-partition of a parent (forcing format version 3 on write);
     /// `None` is a whole artifact.
     pub manifest: Option<ShardManifest>,
+    /// Optional quantized companion panels (forcing format version 4 on
+    /// write; see [`Artifact::with_quant`]).
+    pub quant: Option<QuantSection>,
 }
 
 impl Artifact {
@@ -397,6 +616,7 @@ impl Artifact {
             rows_normalized,
             index: None,
             manifest: None,
+            quant: None,
         })
     }
 
@@ -417,6 +637,75 @@ impl Artifact {
     pub fn with_manifest(mut self, manifest: ShardManifest) -> io::Result<Self> {
         manifest.validate(self.target_nodes())?;
         self.manifest = Some(manifest);
+        Ok(self)
+    }
+
+    /// Attaches quantized panels over the concatenated per-layer rows of
+    /// both sides (written as format version 4; see [`Artifact::quant`]).
+    ///
+    /// Rows are L2-normalized first if they were not already — quantized
+    /// scans certify cosine scores, which presumes unit rows — and
+    /// normalization invalidates any embedded ANN index, which is dropped.
+    ///
+    /// With `keep_f64` the panels ride sidecar: the f64 rows stay in the
+    /// file bit-for-bit and the panels only accelerate first-pass scans.
+    /// Without it the section becomes *primary*: the f64 rows are replaced
+    /// by their dequantized reconstruction (so the canonical values round
+    /// trip exactly through the panels), the panel error bounds are
+    /// rebased to zero, the f64 blocks are omitted from the file (~8x
+    /// smaller for int8), and any embedded index is dropped because the
+    /// vectors changed.
+    ///
+    /// # Errors
+    /// When this artifact is a shard (quantize the parent and re-split so
+    /// every shard shares one encoding), or quantization rejects the rows
+    /// (non-finite values, zero total dimension).
+    pub fn with_quant(mut self, mode: QuantMode, keep_f64: bool) -> io::Result<Self> {
+        if self.manifest.is_some() {
+            return Err(invalid(
+                "cannot quantize a shard artifact; quantize the parent and re-split",
+            ));
+        }
+        if !self.rows_normalized {
+            for m in self.source.iter_mut().chain(&mut self.target) {
+                m.normalize_rows();
+            }
+            self.rows_normalized = true;
+            // The embedded index was built over the raw rows.
+            self.index = None;
+        }
+        let dims: Vec<usize> = self.source.iter().map(Mat::cols).collect();
+        let dim: usize = dims.iter().sum();
+        let encode = |mats: &[Mat]| -> io::Result<QuantizedPanel> {
+            let rows = (0..mats[0].rows()).map(|i| {
+                let mut row = Vec::with_capacity(dim);
+                for m in mats {
+                    row.extend_from_slice(m.row(i));
+                }
+                row
+            });
+            QuantizedPanel::encode(mode, dim, rows).map_err(|e| invalid(e.to_string()))
+        };
+        let mut source = encode(&self.source)?;
+        let mut target = encode(&self.target)?;
+        if !keep_f64 {
+            source.rebase_on_dequantized();
+            target.rebase_on_dequantized();
+            self.source = split_layers(&source.dequantize_all(), source.len(), &dims)?;
+            self.target = split_layers(&target.dequantize_all(), target.len(), &dims)?;
+            // The canonical vectors changed; an embedded index over the
+            // old rows would return wrong neighbors.
+            self.index = None;
+        }
+        self.quant = Some(QuantSection {
+            mode,
+            dims,
+            primary: !keep_f64,
+            source_checksum: side_checksum(&self.source),
+            target_checksum: side_checksum(&self.target),
+            source,
+            target,
+        });
         Ok(self)
     }
 
@@ -445,11 +734,7 @@ impl Artifact {
     /// regardless of flags, θ, or per-shard ANN indexes.
     #[must_use]
     pub fn target_checksum(&self) -> u64 {
-        let mut hash = FNV_OFFSET;
-        for layer in &self.target {
-            hash = fnv1a_extend(hash, &layer.to_le_bytes());
-        }
-        hash
+        side_checksum(&self.target)
     }
 
     /// Splits the target side into `num_shards` contiguous row ranges,
@@ -498,7 +783,7 @@ impl Artifact {
                 .iter()
                 .map(|m| m.slice_rows(start, end))
                 .collect::<io::Result<_>>()?;
-            let shard = Artifact::new(
+            let mut shard = Artifact::new(
                 self.theta.clone(),
                 self.source.clone(),
                 target,
@@ -513,6 +798,23 @@ impl Artifact {
                 parent_checksum,
                 replicas: replica_sets.map_or_else(Vec::new, |s| s[shard_id].clone()),
             })?;
+            if let Some(q) = &self.quant {
+                // Full source panel (every shard scores every query node),
+                // target panel sliced to this shard's rows; the binding
+                // checksum is recomputed over the shard's own f64 rows.
+                shard.quant = Some(QuantSection {
+                    mode: q.mode,
+                    dims: q.dims.clone(),
+                    primary: q.primary,
+                    source: q.source.clone(),
+                    target: q
+                        .target
+                        .slice_rows(start, end)
+                        .map_err(|e| invalid(e.to_string()))?,
+                    source_checksum: q.source_checksum,
+                    target_checksum: side_checksum(&shard.target),
+                });
+            }
             shards.push(shard);
             start = end;
         }
@@ -571,6 +873,23 @@ impl Artifact {
                     m.shard_id, head.shard_id
                 )));
             }
+            let quant_agrees = match (&shard.quant, &first.quant) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    a.mode == b.mode
+                        && a.dims == b.dims
+                        && a.primary == b.primary
+                        && a.source == b.source
+                        && a.source_checksum == b.source_checksum
+                }
+                _ => false,
+            };
+            if !quant_agrees {
+                return Err(invalid(format!(
+                    "shard {} disagrees with shard {} on quantization",
+                    m.shard_id, head.shard_id
+                )));
+            }
             let slot = &mut by_id[m.shard_id as usize];
             if slot.is_some() {
                 return Err(invalid(format!("duplicate shard id {}", m.shard_id)));
@@ -612,7 +931,7 @@ impl Artifact {
             }
             target.push(Mat::new(head.parent_targets as usize, cols, data)?);
         }
-        let assembled = Artifact::new(
+        let mut assembled = Artifact::new(
             first.theta.clone(),
             first.source.clone(),
             target,
@@ -626,30 +945,51 @@ impl Artifact {
                 head.parent_checksum
             )));
         }
+        if let Some(q) = &first.quant {
+            let panels: Vec<QuantizedPanel> = ordered
+                .iter()
+                .map(|s| s.quant.as_ref().expect("checked above").target.clone())
+                .collect();
+            let stitched = QuantizedPanel::concat(&panels).map_err(|e| invalid(e.to_string()))?;
+            assembled.quant = Some(QuantSection {
+                mode: q.mode,
+                dims: q.dims.clone(),
+                primary: q.primary,
+                source: q.source.clone(),
+                source_checksum: q.source_checksum,
+                target_checksum: side_checksum(&assembled.target),
+                target: stitched,
+            });
+        }
         Ok(assembled)
     }
 
     /// Serializes to the binary format described in the module docs,
     /// emitting the lowest version that represents the artifact: 1 with
     /// neither optional section (so old readers keep working), 2 with an
-    /// ANN index, 3 with a shard manifest.
+    /// ANN index, 3 with a shard manifest, 4 with a quantized section.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let version: u32 = if self.manifest.is_some() {
+        let version: u32 = if self.quant.is_some() {
+            4
+        } else if self.manifest.is_some() {
             3
         } else if self.index.is_some() {
             2
         } else {
             1
         };
+        let primary = self.quant.as_ref().is_some_and(|q| q.primary);
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&version.to_le_bytes());
-        let flags = if self.rows_normalized {
-            FLAG_ROWS_NORMALIZED
-        } else {
-            0
-        };
+        let mut flags = 0u32;
+        if self.rows_normalized {
+            flags |= FLAG_ROWS_NORMALIZED;
+        }
+        if primary {
+            flags |= FLAG_QUANT_PRIMARY;
+        }
         out.extend_from_slice(&flags.to_le_bytes());
         out.extend_from_slice(&(self.theta.len() as u32).to_le_bytes());
         out.extend_from_slice(&0u32.to_le_bytes());
@@ -659,22 +999,42 @@ impl Artifact {
         }
         let theta_sum = fnv1a(&out[theta_start..]);
         out.extend_from_slice(&theta_sum.to_le_bytes());
-        for m in self.source.iter().chain(&self.target) {
-            out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
-            out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
-            let data = m.to_le_bytes();
-            out.extend_from_slice(&data);
-            out.extend_from_slice(&fnv1a(&data).to_le_bytes());
+        if !primary {
+            for m in self.source.iter().chain(&self.target) {
+                out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+                out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+                let data = m.to_le_bytes();
+                out.extend_from_slice(&data);
+                out.extend_from_slice(&fnv1a(&data).to_le_bytes());
+            }
         }
         if version >= 2 {
-            // The index section is unconditional from v2 on; in v3 an
-            // index-less shard writes an empty section (length 0).
+            // The index section is unconditional from v2 on; in v3+ an
+            // index-less artifact writes an empty section (length 0).
             let index = self.index.as_deref().unwrap_or(&[]);
             out.extend_from_slice(&(index.len() as u64).to_le_bytes());
             out.extend_from_slice(index);
             out.extend_from_slice(&fnv1a(index).to_le_bytes());
         }
-        if let Some(manifest) = &self.manifest {
+        if let Some(quant) = &self.quant {
+            let payload = quant.to_bytes();
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        }
+        if version >= 4 {
+            // v4 makes manifest presence explicit: a quantized artifact
+            // need not be a shard.
+            match &self.manifest {
+                Some(manifest) => {
+                    out.extend_from_slice(&1u32.to_le_bytes());
+                    let section = manifest.to_bytes();
+                    out.extend_from_slice(&section);
+                    out.extend_from_slice(&fnv1a(&section).to_le_bytes());
+                }
+                None => out.extend_from_slice(&0u32.to_le_bytes()),
+            }
+        } else if let Some(manifest) = &self.manifest {
             let section = manifest.to_bytes();
             out.extend_from_slice(&section);
             out.extend_from_slice(&fnv1a(&section).to_le_bytes());
@@ -722,6 +1082,12 @@ impl Artifact {
         if layers == 0 {
             return Err(invalid("artifact declares zero layers"));
         }
+        let primary = flags & FLAG_QUANT_PRIMARY != 0;
+        if primary && version < 4 {
+            return Err(invalid(format!(
+                "quant-primary flag requires format version 4 (file is version {version})"
+            )));
+        }
         let theta_start = r.pos;
         let mut theta = Vec::with_capacity(layers);
         for _ in 0..layers {
@@ -734,22 +1100,24 @@ impl Artifact {
             ));
         }
         let mut sides = Vec::with_capacity(2 * layers);
-        for i in 0..2 * layers {
-            let rows = usize::try_from(r.u64()?).map_err(|_| invalid("rows overflow"))?;
-            let cols = usize::try_from(r.u64()?).map_err(|_| invalid("cols overflow"))?;
-            let nbytes = rows
-                .checked_mul(cols)
-                .and_then(|n| n.checked_mul(8))
-                .ok_or_else(|| invalid("matrix shape overflows"))?;
-            let data = r.take(nbytes)?;
-            let sum = fnv1a(data);
-            let mat = Mat::from_le_bytes(rows, cols, data)?;
-            if r.u64()? != sum {
-                return Err(invalid(format!(
-                    "matrix block {i} checksum mismatch (corrupt artifact)"
-                )));
+        if !primary {
+            for i in 0..2 * layers {
+                let rows = usize::try_from(r.u64()?).map_err(|_| invalid("rows overflow"))?;
+                let cols = usize::try_from(r.u64()?).map_err(|_| invalid("cols overflow"))?;
+                let nbytes = rows
+                    .checked_mul(cols)
+                    .and_then(|n| n.checked_mul(8))
+                    .ok_or_else(|| invalid("matrix shape overflows"))?;
+                let data = r.take(nbytes)?;
+                let sum = fnv1a(data);
+                let mat = Mat::from_le_bytes(rows, cols, data)?;
+                if r.u64()? != sum {
+                    return Err(invalid(format!(
+                        "matrix block {i} checksum mismatch (corrupt artifact)"
+                    )));
+                }
+                sides.push(mat);
             }
-            sides.push(mat);
         }
         let index = if version >= 2 {
             let len = usize::try_from(r.u64()?).map_err(|_| invalid("index length overflow"))?;
@@ -769,7 +1137,39 @@ impl Artifact {
         } else {
             None
         };
-        let manifest = if version >= 3 {
+        let quant = if version >= 4 {
+            let len = usize::try_from(r.u64()?).map_err(|_| invalid("quant length overflow"))?;
+            let payload = r.take(len)?;
+            if r.u64()? != fnv1a(payload) {
+                return Err(invalid(
+                    "quant section checksum mismatch (corrupt artifact)",
+                ));
+            }
+            Some(QuantSection::parse(payload, primary, layers)?)
+        } else {
+            None
+        };
+        let manifest = if version >= 4 {
+            match r.u32()? {
+                0 => None,
+                1 => {
+                    let section_start = r.pos;
+                    let manifest = ShardManifest::parse(&mut r)?;
+                    let section_sum = fnv1a(&bytes[section_start..r.pos]);
+                    if r.u64()? != section_sum {
+                        return Err(invalid(
+                            "shard manifest checksum mismatch (corrupt artifact)",
+                        ));
+                    }
+                    Some(manifest)
+                }
+                other => {
+                    return Err(invalid(format!(
+                        "manifest presence marker must be 0 or 1, got {other}"
+                    )))
+                }
+            }
+        } else if version >= 3 {
             let section_start = r.pos;
             let manifest = ShardManifest::parse(&mut r)?;
             let section_sum = fnv1a(&bytes[section_start..r.pos]);
@@ -792,13 +1192,35 @@ impl Artifact {
                 bytes.len() - r.pos
             )));
         }
-        let target = sides.split_off(layers);
-        let mut artifact = Artifact::new(theta, sides, target, flags & FLAG_ROWS_NORMALIZED != 0)?;
+        let (source, target) = if primary {
+            // No f64 blocks in the file: the canonical rows are the
+            // deterministic dequantization of the panels.
+            let q = quant
+                .as_ref()
+                .ok_or_else(|| invalid("quant-primary artifact is missing the quant section"))?;
+            (
+                split_layers(&q.source.dequantize_all(), q.source.len(), &q.dims)?,
+                split_layers(&q.target.dequantize_all(), q.target.len(), &q.dims)?,
+            )
+        } else {
+            let target = sides.split_off(layers);
+            (sides, target)
+        };
+        let mut artifact = Artifact::new(theta, source, target, flags & FLAG_ROWS_NORMALIZED != 0)?;
         if let Some(m) = &manifest {
             m.validate(artifact.target_nodes())?;
         }
+        if let Some(q) = &quant {
+            if !artifact.rows_normalized {
+                return Err(invalid(
+                    "quantized artifacts require the rows-normalized flag",
+                ));
+            }
+            q.validate(&artifact)?;
+        }
         artifact.index = index;
         artifact.manifest = manifest;
+        artifact.quant = quant;
         Ok(artifact)
     }
 
@@ -910,7 +1332,7 @@ impl<'a> Reader<'a> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::testutil::Xorshift;
 
@@ -1301,6 +1723,179 @@ mod tests {
                 Artifact::from_bytes(&bad).is_err(),
                 "flip at byte {pos} went undetected"
             );
+        }
+    }
+
+    /// Wider rows than [`random_artifact`] so the per-row panel metadata
+    /// (scale/norm/err) cannot mask the quantized size win. Shared with
+    /// the server tests.
+    pub(crate) fn quantizable_artifact(seed: u64) -> Artifact {
+        let mut rng = Xorshift::new(seed);
+        let dims = [16usize, 16];
+        let mk = |rng: &mut Xorshift, rows: usize| -> Vec<Mat> {
+            dims.iter()
+                .map(|&d| {
+                    Mat::new(rows, d, (0..rows * d).map(|_| rng.f64_signed()).collect()).unwrap()
+                })
+                .collect()
+        };
+        let source = mk(&mut rng, 40);
+        let target = mk(&mut rng, 48);
+        Artifact::new(vec![0.4, 0.6], source, target, false).unwrap()
+    }
+
+    #[test]
+    fn quantized_sidecar_roundtrips_as_version_4() {
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let a = quantizable_artifact(40).with_quant(mode, true).unwrap();
+            assert!(a.rows_normalized, "with_quant must normalize rows");
+            let q = a.quant.as_ref().unwrap();
+            assert!(!q.primary);
+            assert_eq!(q.mode, mode);
+            assert_eq!(q.source.len(), a.source_nodes());
+            assert_eq!(q.target.len(), a.target_nodes());
+            let bytes = a.to_bytes();
+            assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 4);
+            let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+            assert_eq!(
+                flags & FLAG_QUANT_PRIMARY,
+                0,
+                "sidecar must not set primary"
+            );
+            let back = Artifact::from_bytes(&bytes).unwrap();
+            assert_eq!(back, a, "sidecar v4 must round trip bit-for-bit");
+            // Old readers reject v4 files with the "newer" message.
+            for ceiling in [1, 2, 3] {
+                let err = Artifact::from_bytes_with_max_version(&bytes, ceiling).unwrap_err();
+                assert!(err.to_string().contains("newer"), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_primary_shrinks_and_reconstructs() {
+        let plain = quantizable_artifact(41);
+        let plain_bytes = plain.to_bytes();
+        let primary = plain.clone().with_quant(QuantMode::Int8, false).unwrap();
+        let q = primary.quant.as_ref().unwrap();
+        assert!(q.primary);
+        let bytes = primary.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 4);
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        assert_ne!(flags & FLAG_QUANT_PRIMARY, 0);
+        // Canonical values are the dequantized values, so the f64 rows are
+        // reconstructible bit-for-bit from the panels alone.
+        let back = Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back, primary);
+        for (ma, mb) in primary.target.iter().zip(&back.target) {
+            assert_eq!(ma.to_le_bytes(), mb.to_le_bytes());
+        }
+        // The acceptance floor: int8-primary at least 3.5x smaller than the
+        // f64-only artifact over the same rows.
+        assert!(
+            plain_bytes.len() * 10 >= bytes.len() * 35,
+            "primary {} B not >=3.5x below plain {} B",
+            bytes.len(),
+            plain_bytes.len()
+        );
+        // f16 primary also round trips (2 bytes per component).
+        let f16 = plain.clone().with_quant(QuantMode::F16, false).unwrap();
+        let f16_bytes = f16.to_bytes();
+        assert_eq!(Artifact::from_bytes(&f16_bytes).unwrap(), f16);
+        assert!(f16_bytes.len() < plain_bytes.len());
+    }
+
+    #[test]
+    fn quantize_normalizes_rows_drops_stale_index_and_rejects_shards() {
+        let a = quantizable_artifact(42).with_index(vec![1, 2, 3]);
+        // Normalization changes the rows, so the embedded index is stale
+        // and must be dropped.
+        let sidecar = a.clone().with_quant(QuantMode::Int8, true).unwrap();
+        assert!(sidecar.rows_normalized);
+        assert!(sidecar.index.is_none());
+        // Re-attaching an index over the (now stable) rows keeps v4.
+        let indexed = sidecar.with_index(vec![9, 9]);
+        let back = Artifact::from_bytes(&indexed.to_bytes()).unwrap();
+        assert_eq!(back.index.as_deref(), Some(&[9u8, 9][..]));
+        assert_eq!(back, indexed);
+        // Primary mode replaces the rows, so it drops the index too.
+        let primary = a
+            .clone()
+            .with_quant(QuantMode::Int8, true)
+            .unwrap()
+            .with_index(vec![7])
+            .with_quant(QuantMode::Int8, false)
+            .unwrap();
+        assert!(primary.index.is_none());
+        // Shards must not be quantized independently.
+        let shard = quantizable_artifact(43).split(2, None).unwrap()[0].clone();
+        let err = shard.with_quant(QuantMode::Int8, true).unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+    }
+
+    #[test]
+    fn quant_checksums_bind_panels_to_the_f64_rows() {
+        let mut a = quantizable_artifact(44)
+            .with_quant(QuantMode::Int8, true)
+            .unwrap();
+        // Tamper with one f64 target value without re-quantizing: the
+        // matrix block checksum is rewritten (self-consistent) but the
+        // quant section's binding checksum must catch the divergence.
+        let mut data: Vec<f64> = a.target[0].as_slice().to_vec();
+        data[5] += 0.25;
+        a.target[0] = Mat::new(a.target[0].rows(), a.target[0].cols(), data).unwrap();
+        let err = Artifact::from_bytes(&a.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn every_corrupted_byte_in_v4_is_detected() {
+        for keep_f64 in [true, false] {
+            let bytes = quantizable_artifact(45)
+                .with_quant(QuantMode::Int8, keep_f64)
+                .unwrap()
+                .to_bytes();
+            for pos in (0..bytes.len()).step_by(89) {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 0x20;
+                assert!(
+                    Artifact::from_bytes(&bad).is_err(),
+                    "flip at byte {pos} (keep_f64 {keep_f64}) went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_and_assemble_carry_the_quant_section() {
+        for keep_f64 in [true, false] {
+            let parent = quantizable_artifact(46)
+                .with_quant(QuantMode::Int8, keep_f64)
+                .unwrap();
+            let shards = parent.split(3, None).unwrap();
+            for shard in &shards {
+                let q = shard.quant.as_ref().unwrap();
+                let m = shard.manifest.as_ref().unwrap();
+                assert_eq!(q.target.len(), shard.target_nodes());
+                assert_eq!(q.source.len(), parent.source_nodes());
+                assert_eq!(q.primary, !keep_f64);
+                // The shard's panel rows dequantize to exactly its rows.
+                assert_eq!(q.target_checksum, shard.target_checksum());
+                assert_eq!(m.parent_checksum, parent.target_checksum());
+                // Shards serialize as v4 and round trip.
+                let bytes = shard.to_bytes();
+                assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 4);
+                assert_eq!(&Artifact::from_bytes(&bytes).unwrap(), shard);
+            }
+            // Any order reassembles to the exact parent, quant included.
+            let shuffled = vec![shards[1].clone(), shards[2].clone(), shards[0].clone()];
+            let back = Artifact::assemble_shards(&shuffled).unwrap();
+            assert_eq!(back, parent);
+            // A shard stripped of its quant section breaks the set.
+            let mut stripped = shards.clone();
+            stripped[1].quant = None;
+            let err = Artifact::assemble_shards(&stripped).unwrap_err();
+            assert!(err.to_string().contains("quantization"), "{err}");
         }
     }
 

@@ -17,7 +17,7 @@
 //! ## Bit-identity
 //!
 //! Batched execution is *observably identical* to sequential execution:
-//! [`crate::topk::TopkIndex::topk_gathered_with_mode`] accumulates each
+//! [`crate::topk::TopkIndex::topk_gathered_with_opts`] accumulates each
 //! gathered row in the exact floating-point order of the sequential
 //! kernel, ANN candidate searches stay per-query, and `select_topk`'s tie
 //! contract is shared — so a `/v2` batch renders byte-for-byte what N
@@ -34,7 +34,7 @@
 use crate::api::{self, BatchRequest, NodeResult, RequestDefaults, TopkRequest, TopkResponse};
 use crate::cache::QueryKey;
 use crate::server::{error_body, Generation, Inner, Reply};
-use crate::topk::{EngineMode, EngineUsed, RowQuery};
+use crate::topk::{EngineMode, EngineUsed, QuantMode, RowQuery};
 use galign_matrix::simblock::Hit;
 use galign_telemetry::context::{self, PropagationHandle};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -194,6 +194,10 @@ impl Coalescer {
 struct Planned {
     request: TopkRequest,
     ann_routed: bool,
+    /// The scan precision the index will actually use — the request's
+    /// `quant` after the degrade-to-f64 check, so caching and grouping
+    /// key on what gets computed, not what was asked for.
+    quant: QuantMode,
     /// Per queried node: `Some` = cache hit, `None` = computed this flush.
     slots: Vec<Option<Arc<Vec<Hit>>>>,
     /// Positions into `request.nodes` that missed the cache.
@@ -210,13 +214,15 @@ struct JobPlan {
 }
 
 /// Grouping key for gathered execution: queries are computable together
-/// only when they agree on artifact generation, θ, and routing decision.
-type GroupKey = (u64, bool, Option<Vec<u64>>);
+/// only when they agree on artifact generation, θ, routing decision, and
+/// effective scan precision.
+type GroupKey = (u64, bool, u8, Option<Vec<u64>>);
 
 struct Group {
     generation: Arc<Generation>,
     theta: Option<Vec<f64>>,
     ann_routed: bool,
+    quant: QuantMode,
     /// Deduplicated (node, k) work items.
     queries: Vec<RowQuery>,
     /// (node, k) → index into `queries` / `results`.
@@ -257,12 +263,14 @@ pub(crate) fn process_jobs(inner: &Inner, jobs: Vec<Job>) -> Vec<Completion> {
             let key = (
                 plan.job.generation.number,
                 planned.ann_routed,
+                planned.quant.tag(),
                 theta_key(theta),
             );
             let group = groups.entry(key).or_insert_with(|| Group {
                 generation: Arc::clone(&plan.job.generation),
                 theta: planned.request.theta.clone(),
                 ann_routed: planned.ann_routed,
+                quant: planned.quant,
                 queries: Vec::new(),
                 index_of: HashMap::new(),
                 results: Vec::new(),
@@ -295,7 +303,7 @@ pub(crate) fn process_jobs(inner: &Inner, jobs: Vec<Job>) -> Vec<Completion> {
             let computed = group
                 .generation
                 .index
-                .topk_gathered_with_mode(&group.queries, group.theta.as_deref(), mode)
+                .topk_gathered_with_opts(&group.queries, group.theta.as_deref(), mode, group.quant)
                 .expect("queries validated before grouping");
             group.results = computed
                 .into_iter()
@@ -341,6 +349,7 @@ fn plan_job(inner: &Inner, job: Job) -> JobPlan {
             default_k: inner.cfg.default_k,
             max_k: inner.cfg.max_k,
             default_mode: inner.cfg.default_mode,
+            default_quant: inner.cfg.quant,
         };
         let st = context::stage("parse");
         let parsed: Vec<Result<TopkRequest, String>> = if job.v2 {
@@ -389,18 +398,23 @@ fn plan_job(inner: &Inner, job: Job) -> JobPlan {
                 // ANN and exact results must never alias each other.
                 let st = context::stage("engine_select");
                 let ann_routed = index.would_use_ann(request.mode);
+                let quant = index.effective_quant_mode(request.quant);
                 let engine = if ann_routed { "ann" } else { "exact" };
-                st.finish_with(vec![("engine", engine.to_string())]);
+                st.finish_with(vec![
+                    ("engine", engine.to_string()),
+                    ("quant", quant.name().to_string()),
+                ]);
                 let st = context::stage("cache_lookup");
                 let mut slots = vec![None; request.nodes.len()];
                 let mut misses = Vec::new();
                 for (i, &node) in request.nodes.iter().enumerate() {
-                    let key = QueryKey::with_generation(
+                    let key = QueryKey::with_quant(
                         node,
                         request.k,
                         request.theta.as_deref(),
                         ann_routed,
                         job.generation.number,
+                        quant,
                     );
                     match inner.cache.get(&key) {
                         Some(hits) => slots[i] = Some(hits),
@@ -419,6 +433,7 @@ fn plan_job(inner: &Inner, job: Job) -> JobPlan {
                 Ok(Planned {
                     request,
                     ann_routed,
+                    quant,
                     slots,
                     misses,
                 })
@@ -468,24 +483,31 @@ fn finish_job(inner: &Inner, plan: JobPlan, groups: &BTreeMap<GroupKey, Group>) 
             let Planned {
                 request,
                 ann_routed,
+                quant,
                 mut slots,
                 misses,
             } = planned;
             let theta = request.theta.as_deref();
             if !misses.is_empty() {
-                let key = (job.generation.number, ann_routed, theta_key(theta));
+                let key = (
+                    job.generation.number,
+                    ann_routed,
+                    quant.tag(),
+                    theta_key(theta),
+                );
                 let group = groups.get(&key).expect("miss-bearing query has a group");
                 for pos in misses.iter().copied() {
                     let node = request.nodes[pos];
                     let slot = group.index_of[&(node, request.k)];
                     let hits = Arc::clone(&group.results[slot]);
                     inner.cache.insert(
-                        QueryKey::with_generation(
+                        QueryKey::with_quant(
                             node,
                             request.k,
                             theta,
                             ann_routed,
                             job.generation.number,
+                            quant,
                         ),
                         Arc::clone(&hits),
                     );

@@ -7,7 +7,7 @@
 //! intrusive doubly-linked list over a slab (`O(1)` get/insert/evict, no
 //! per-operation allocation beyond the inserted value).
 
-use crate::topk::Hit;
+use crate::topk::{Hit, QuantMode};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -37,6 +37,11 @@ pub struct QueryKey {
     /// generation that finishes after the clear re-inserts under its old
     /// generation and can never poison post-swap lookups.
     pub generation: u64,
+    /// First-pass scan precision the query requested. Exact-engine
+    /// quantized scans are bit-identical to f64 scans, but ANN traversal
+    /// over quantized rows may visit *different candidates* than f64
+    /// traversal, so the two must never share entries.
+    pub quant: QuantMode,
 }
 
 impl QueryKey {
@@ -62,12 +67,27 @@ impl QueryKey {
         ann_engine: bool,
         generation: u64,
     ) -> Self {
+        QueryKey::with_quant(node, k, theta, ann_engine, generation, QuantMode::Off)
+    }
+
+    /// Builds a fully discriminated key, including the requested scan
+    /// precision.
+    #[must_use]
+    pub fn with_quant(
+        node: usize,
+        k: usize,
+        theta: Option<&[f64]>,
+        ann_engine: bool,
+        generation: u64,
+        quant: QuantMode,
+    ) -> Self {
         QueryKey {
             node,
             k,
             theta_bits: theta.map(|t| t.iter().map(|v| v.to_bits()).collect()),
             ann_engine,
             generation,
+            quant,
         }
     }
 }
@@ -398,6 +418,16 @@ mod tests {
         let ann = QueryKey::with_engine(1, 5, None, true);
         assert_ne!(exact, ann, "ANN and exact results must never alias");
         assert_eq!(exact, QueryKey::with_engine(1, 5, None, false));
+    }
+
+    #[test]
+    fn quant_mode_is_part_of_the_key() {
+        let f64_scan = QueryKey::with_quant(1, 5, None, true, 0, QuantMode::Off);
+        let int8 = QueryKey::with_quant(1, 5, None, true, 0, QuantMode::Int8);
+        let f16 = QueryKey::with_quant(1, 5, None, true, 0, QuantMode::F16);
+        assert_ne!(f64_scan, int8);
+        assert_ne!(int8, f16);
+        assert_eq!(f64_scan, QueryKey::with_generation(1, 5, None, true, 0));
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //!
 //! * [`artifact`] — a versioned, FNV-1a-checksummed binary format for
 //!   θ-weighted multi-order embedding pairs (~8x smaller than the JSON in
-//!   `galign::persist`, validated byte-for-byte at load time);
+//!   `galign::persist`, validated byte-for-byte at load time). Version 4
+//!   adds an optional quantized section ([`artifact::QuantSection`],
+//!   int8 or f16 panels from `galign-quant`): as a *sidecar* it rides
+//!   along for scan acceleration, as the *primary* encoding it replaces
+//!   the f64 blocks entirely (≥3.5× smaller files) and the f64 rows are
+//!   reconstructed deterministically at load;
 //! * [`topk`] — query validation over the *shared* blocked scoring engine
 //!   (`galign_matrix::simblock`): row-normalized dot-product scoring over
 //!   the θ-weighted layers with heap-based partial selection, parallel
@@ -18,7 +23,10 @@
 //!   engine per query (`exact | ann | auto`), ANN candidates are exactly
 //!   re-ranked through `select_topk` (so scores stay bit-identical to the
 //!   exact engine's), and low-confidence candidate sets fall back to the
-//!   full scan;
+//!   full scan. When the artifact carries quantized panels, a per-request
+//!   `quant` field (`off | int8 | f16`) routes the first-pass scan over
+//!   them — int8/f16 shortlisting with a certified error margin, then
+//!   exact f64 re-rank, so responses stay byte-identical to f64 scans;
 //! * [`cache`] — a sharded in-memory LRU keyed on `(node, k, θ)`;
 //! * [`api`] — the typed wire schema shared by server, client, router
 //!   and loadtest: [`api::TopkRequest`], [`api::BatchRequest`] (the
@@ -87,10 +95,10 @@ pub mod testutil;
 pub mod topk;
 
 pub use api::{BatchRequest, TopkRequest, TopkResponse};
-pub use artifact::{Artifact, Mat, ShardManifest};
+pub use artifact::{Artifact, Mat, QuantSection, ShardManifest};
 pub use cache::{LruCache, QueryKey, ShardedCache};
 pub use client::{Client, ClientConfig, PoolStats};
 pub use server::{
     ServeConfig, Server, ServerConfig, ServerConfigBuilder, ServerHandle, GENERATION_HEADER,
 };
-pub use topk::{EngineMode, EngineUsed, Hit, QueryError, TopkIndex};
+pub use topk::{EngineMode, EngineUsed, Hit, QuantMode, QueryError, TopkIndex};

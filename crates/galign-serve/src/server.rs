@@ -88,10 +88,13 @@
 //!
 //! Query body (v1):
 //! `{"nodes": [0, 3], "k": 5, "theta": [0.2, 0.3, 0.5], "mode": "auto"}` —
-//! `k`, `theta` and `mode` optional. `mode` picks the scoring engine
-//! (`exact | ann | auto`, default from [`ServerConfig::default_mode`]);
-//! the response reports the routing decision in its top-level `"engine"`
-//! field. v2 wraps any number of such objects:
+//! `k`, `theta`, `mode` and `quant` optional. `mode` picks the scoring
+//! engine (`exact | ann | auto`, default from
+//! [`ServerConfig::default_mode`]); the response reports the routing
+//! decision in its top-level `"engine"` field. `quant` picks the
+//! first-pass scan precision (`off | int8 | f16`, default from
+//! [`ServerConfig::quant`]); responses are bit-identical across settings
+//! and the body shape does not change. v2 wraps any number of such objects:
 //! `{"queries": [{...}, {...}]}` → `{"results": [<v1 body>, ...]}`, with
 //! per-query errors isolated as `{"error": "..."}` entries. See
 //! [`crate::api`] for the typed request/response structs.
@@ -109,7 +112,7 @@ use crate::cache::ShardedCache;
 use crate::evloop::{self, Event, Poller};
 use crate::http::{self, Parsed, Request};
 use crate::json;
-use crate::topk::{EngineMode, TopkIndex};
+use crate::topk::{EngineMode, QuantMode, TopkIndex};
 use galign_telemetry::context::{PropagationHandle, TraceContext, TraceId};
 use galign_telemetry::flight::{self, FlightRecorder, RecordKind, TraceRecord};
 use std::collections::HashMap;
@@ -168,6 +171,10 @@ pub struct ServerConfig {
     /// when an index is attached and the target network is at least
     /// `ann_threshold` nodes).
     pub default_mode: EngineMode,
+    /// First-pass scan precision used when a query omits `quant` (the
+    /// `--quant` flag). Results are bit-identical across settings;
+    /// degrades to f64 when the artifact carries no matching panels.
+    pub quant: QuantMode,
     /// Overrides the index's `auto` switchover point when set.
     pub ann_threshold: Option<usize>,
     /// Flight-recorder ring capacity (completed traces retained for
@@ -223,6 +230,7 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(5),
             retry_after_secs: 1,
             default_mode: EngineMode::Auto,
+            quant: QuantMode::Off,
             ann_threshold: None,
             flight_recorder_size: flight::DEFAULT_CAPACITY,
             flight_slowest_k: flight::DEFAULT_SLOWEST_K,
@@ -316,6 +324,10 @@ impl ServerConfigBuilder {
     builder_field!(
         /// Engine when a query omits `mode`.
         default_mode: EngineMode
+    );
+    builder_field!(
+        /// Scan precision when a query omits `quant`.
+        quant: QuantMode
     );
     builder_field!(
         /// Flight-recorder ring capacity.
@@ -426,6 +438,17 @@ impl Inner {
     }
 }
 
+/// Publishes the resident artifact footprint: f64 rows and quantized
+/// panels separately, plus their sum (`serve.artifact.bytes`). Set at
+/// bind and on every hot swap, refreshed on `/metrics` reads.
+fn set_artifact_gauges(index: &TopkIndex) {
+    let f64_bytes = index.f64_resident_bytes();
+    let quant_bytes = index.quant_resident_bytes();
+    galign_telemetry::gauge_set("serve.artifact.f64_bytes", f64_bytes as f64);
+    galign_telemetry::gauge_set("serve.artifact.quant_bytes", quant_bytes as f64);
+    galign_telemetry::gauge_set("serve.artifact.bytes", (f64_bytes + quant_bytes) as f64);
+}
+
 /// Installs `index` as the next generation: applies the configured `auto`
 /// threshold, swaps the slot, clears the top-k cache (cached hits must
 /// never outlive their artifact) and returns the new generation number.
@@ -433,6 +456,7 @@ fn install_index(inner: &Inner, mut index: TopkIndex) -> u64 {
     if let Some(threshold) = inner.cfg.ann_threshold {
         index.set_auto_threshold(threshold);
     }
+    set_artifact_gauges(&index);
     let number = {
         let mut slot = inner.index.write().expect("generation lock");
         let number = slot.number + 1;
@@ -492,6 +516,7 @@ impl Server {
             index.set_auto_threshold(threshold);
         }
         flight::configure(cfg.flight_recorder_size, cfg.flight_slowest_k);
+        set_artifact_gauges(&index);
         let access_log = match &cfg.access_log {
             Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
                 path,
@@ -1555,6 +1580,7 @@ fn route(inner: &Inner, request: &Request, started: Instant) -> Reply {
                 "serve.index.auto_threshold",
                 generation.index.auto_threshold() as f64,
             );
+            set_artifact_gauges(&generation.index);
             if request.query_param("format") == Some("prometheus") {
                 Reply {
                     status: 200,
@@ -1680,7 +1706,7 @@ fn healthz(inner: &Inner, generation: &Generation) -> String {
         None => String::new(),
     };
     format!(
-        "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{},\"index\":\"{}\",\"mode\":\"{}\",\"generation\":{}{shard}}}",
+        "{{\"status\":\"{status}\",\"source_nodes\":{},\"target_nodes\":{},\"layers\":{},\"workers\":{},\"cache_entries\":{},\"pending\":{pending},\"in_flight\":{in_flight},\"shed_total\":{shed_total},\"queue_depth\":{},\"index\":\"{}\",\"mode\":\"{}\",\"quant\":\"{}\",\"quant_available\":\"{}\",\"artifact_f64_bytes\":{},\"artifact_quant_bytes\":{},\"generation\":{}{shard}}}",
         generation.index.source_nodes(),
         generation.index.target_nodes(),
         generation.index.num_layers(),
@@ -1692,6 +1718,13 @@ fn healthz(inner: &Inner, generation: &Generation) -> String {
             .ann_backend()
             .map_or("none", galign_index::Backend::name),
         inner.cfg.default_mode,
+        inner.cfg.quant,
+        generation
+            .index
+            .quant_available()
+            .map_or("none", QuantMode::name),
+        generation.index.f64_resident_bytes(),
+        generation.index.quant_resident_bytes(),
         generation.number,
     )
 }
@@ -1895,6 +1928,34 @@ mod tests {
         let doc = json::parse(&healthz2(&with_ann)).unwrap();
         assert_eq!(doc.get("index").unwrap().as_str(), Some("hnsw"));
         assert_eq!(doc.get("mode").unwrap().as_str(), Some("auto"));
+    }
+
+    #[test]
+    fn healthz_reports_quant_state_and_artifact_bytes() {
+        let inner = test_inner();
+        let doc = json::parse(&healthz2(&inner)).unwrap();
+        // The plain test artifact has no panels and the default config
+        // serves f64 scans.
+        assert_eq!(doc.get("quant").unwrap().as_str(), Some("off"));
+        assert_eq!(doc.get("quant_available").unwrap().as_str(), Some("none"));
+        let f64_bytes = doc.get("artifact_f64_bytes").unwrap().as_usize().unwrap();
+        // 3×2 f64 rows on each side of one layer.
+        assert_eq!(f64_bytes, 2 * 3 * 2 * 8);
+        assert_eq!(doc.get("artifact_quant_bytes").unwrap().as_usize(), Some(0));
+        // A quantized artifact advertises its resident encoding and a
+        // non-zero quantized footprint.
+        let with_quant = test_inner_with(ServerConfig {
+            quant: crate::topk::QuantMode::Int8,
+            ..ServerConfig::default()
+        });
+        let artifact = crate::artifact::tests::quantizable_artifact(7)
+            .with_quant(galign_quant::QuantMode::Int8, true)
+            .unwrap();
+        install_index(&with_quant, TopkIndex::from_artifact(artifact));
+        let doc = json::parse(&healthz2(&with_quant)).unwrap();
+        assert_eq!(doc.get("quant").unwrap().as_str(), Some("int8"));
+        assert_eq!(doc.get("quant_available").unwrap().as_str(), Some("int8"));
+        assert!(doc.get("artifact_quant_bytes").unwrap().as_usize().unwrap() > 0);
     }
 
     #[test]

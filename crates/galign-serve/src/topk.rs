@@ -96,6 +96,74 @@ impl fmt::Display for EngineUsed {
     }
 }
 
+/// First-pass scan precision requested by a query (the HTTP `quant`
+/// field / the `--quant` serve flag). Hits and scores are bit-identical
+/// across all settings: a quantized scan only *shortlists* candidates
+/// (with a certified error margin that provably covers the exact top-k),
+/// and every shortlisted candidate is re-ranked through the exact f64
+/// kernel. A quantized mode silently degrades to the f64 path when the
+/// loaded artifact carries no matching panels — the results do not
+/// change, only the memory traffic does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantMode {
+    /// Full f64 scans (the default).
+    #[default]
+    Off,
+    /// int8 first-pass scan over the artifact's int8 panels.
+    Int8,
+    /// f16 first-pass scan over the artifact's f16 panels.
+    F16,
+}
+
+impl QuantMode {
+    /// Parses the HTTP spelling (`"off"` / `"int8"` / `"f16"`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<QuantMode> {
+        match name {
+            "off" => Some(QuantMode::Off),
+            "int8" => Some(QuantMode::Int8),
+            "f16" => Some(QuantMode::F16),
+            _ => None,
+        }
+    }
+
+    /// The HTTP spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantMode::Off => "off",
+            QuantMode::Int8 => "int8",
+            QuantMode::F16 => "f16",
+        }
+    }
+
+    /// Stable discriminant for cache and batch-grouping keys.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            QuantMode::Off => 0,
+            QuantMode::Int8 => 1,
+            QuantMode::F16 => 2,
+        }
+    }
+
+    /// The panel encoding this request mode asks for (`None` for `Off`).
+    #[must_use]
+    pub fn panel_mode(self) -> Option<galign_quant::QuantMode> {
+        match self {
+            QuantMode::Off => None,
+            QuantMode::Int8 => Some(galign_quant::QuantMode::Int8),
+            QuantMode::F16 => Some(galign_quant::QuantMode::F16),
+        }
+    }
+}
+
+impl fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A rejected query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
@@ -156,9 +224,17 @@ pub struct RowQuery {
     pub k: usize,
 }
 
+/// Quantized target panel kept resident for first-pass scans, shared with
+/// the ANN index (which walks the same rows during traversal).
+struct QuantHandle {
+    mode: galign_quant::QuantMode,
+    target: std::sync::Arc<galign_quant::QuantizedPanel>,
+}
+
 /// An in-memory query index over a loaded [`Artifact`]: normalized
-/// multi-order embeddings of both networks, the default θ, and an
-/// optional ANN index over the concatenated target rows.
+/// multi-order embeddings of both networks, the default θ, an optional
+/// ANN index over the concatenated target rows, and the artifact's
+/// quantized target panel when it carried one.
 pub struct TopkIndex {
     source: Vec<Dense>,
     target: Vec<Dense>,
@@ -166,6 +242,7 @@ pub struct TopkIndex {
     ann: Option<Box<dyn AnnIndex>>,
     auto_threshold: usize,
     shard: Option<ShardManifest>,
+    quant: Option<QuantHandle>,
 }
 
 impl fmt::Debug for TopkIndex {
@@ -176,6 +253,7 @@ impl fmt::Debug for TopkIndex {
             .field("layers", &self.theta.len())
             .field("ann", &self.ann.as_ref().map(|a| a.backend()))
             .field("auto_threshold", &self.auto_threshold)
+            .field("quant", &self.quant.as_ref().map(|q| q.mode.name()))
             .finish()
     }
 }
@@ -195,6 +273,7 @@ impl TopkIndex {
             rows_normalized,
             index,
             manifest,
+            quant,
         } = artifact;
         let convert = |mats: Vec<Mat>| -> Vec<Dense> {
             mats.into_iter()
@@ -208,6 +287,24 @@ impl TopkIndex {
                 })
                 .collect()
         };
+        // The panels were encoded over the rows exactly as stored; if the
+        // rows get renormalized here the panels no longer describe them,
+        // so quantized scans must be disabled rather than serve margins
+        // that certify the wrong vectors.
+        let quant = match quant {
+            Some(q) if rows_normalized => Some(QuantHandle {
+                mode: q.mode,
+                target: std::sync::Arc::new(q.target),
+            }),
+            Some(_) => {
+                galign_telemetry::info!(
+                    "topk",
+                    "artifact rows are not pre-normalized; ignoring its quantized panels"
+                );
+                None
+            }
+            None => None,
+        };
         let mut idx = TopkIndex {
             source: convert(source),
             target: convert(target),
@@ -215,6 +312,7 @@ impl TopkIndex {
             ann: None,
             auto_threshold: DEFAULT_AUTO_THRESHOLD,
             shard: manifest,
+            quant,
         };
         if let Some(bytes) = index {
             if let Err(e) = idx.attach_index_bytes(&bytes) {
@@ -271,6 +369,67 @@ impl TopkIndex {
     #[must_use]
     pub fn ann_backend(&self) -> Option<Backend> {
         self.ann.as_ref().map(|a| a.backend())
+    }
+
+    /// The quantized scan mode this index can actually serve — the
+    /// encoding of the artifact's resident panels — or `None` when the
+    /// artifact carried no (usable) quantized section.
+    #[must_use]
+    pub fn quant_available(&self) -> Option<QuantMode> {
+        self.quant.as_ref().map(|q| match q.mode {
+            galign_quant::QuantMode::Int8 => QuantMode::Int8,
+            galign_quant::QuantMode::F16 => QuantMode::F16,
+        })
+    }
+
+    /// Resident bytes of the f64 embedding rows (both sides, all layers).
+    #[must_use]
+    pub fn f64_resident_bytes(&self) -> usize {
+        self.source
+            .iter()
+            .chain(&self.target)
+            .map(|d| d.rows() * d.cols() * std::mem::size_of::<f64>())
+            .sum()
+    }
+
+    /// Resident bytes of the quantized target panel (0 without one).
+    #[must_use]
+    pub fn quant_resident_bytes(&self) -> usize {
+        self.quant.as_ref().map_or(0, |q| q.target.resident_bytes())
+    }
+
+    /// The panel a request-level `quant` mode resolves to: `Some` only
+    /// when a panel is resident *and* its encoding matches the request
+    /// (asking for `int8` against an `f16` artifact degrades to f64 —
+    /// results are bit-identical either way).
+    fn effective_quant(&self, requested: QuantMode) -> Option<&QuantHandle> {
+        let want = requested.panel_mode()?;
+        let q = self.quant.as_ref()?;
+        (q.mode == want).then_some(q)
+    }
+
+    /// The scan mode a request-level `quant` actually resolves to on this
+    /// index: the request's own mode when matching panels are resident,
+    /// `Off` when it degrades to the f64 path. Deterministic per request,
+    /// so the batch planner can key caching and grouping on it.
+    #[must_use]
+    pub fn effective_quant_mode(&self, requested: QuantMode) -> QuantMode {
+        if self.effective_quant(requested).is_some() {
+            requested
+        } else {
+            QuantMode::Off
+        }
+    }
+
+    /// Hands the resident panel to the ANN index so traversal can walk
+    /// quantized rows. Backends that cannot (or a shape mismatch) only
+    /// cost a log line — searches keep working on f64 vectors.
+    fn attach_quant_to_ann(&mut self) {
+        if let (Some(ann), Some(q)) = (self.ann.as_mut(), self.quant.as_ref()) {
+            if let Err(e) = ann.attach_quant(std::sync::Arc::clone(&q.target)) {
+                galign_telemetry::info!("topk", "quantized ANN traversal unavailable: {e}");
+            }
+        }
     }
 
     /// The `mode: auto` switchover point (target nodes).
@@ -336,6 +495,7 @@ impl TopkIndex {
             ),
         };
         self.ann = Some(built);
+        self.attach_quant_to_ann();
         Ok(())
     }
 
@@ -350,6 +510,7 @@ impl TopkIndex {
         let ann = galign_index::load(bytes, self.target_vector_set())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         self.ann = Some(ann);
+        self.attach_quant_to_ann();
         Ok(())
     }
 
@@ -401,11 +562,16 @@ impl TopkIndex {
         node: usize,
         k: usize,
         theta: &[f64],
+        quantized: bool,
     ) -> Option<Vec<Hit>> {
         let q = self.query_vector(node, theta);
         let mut stats = SearchStats::default();
         let st = context::stage("ann_search");
-        let cands = ann.search(&q, k, &mut stats);
+        let cands = if quantized {
+            ann.search_quant(&q, k, &mut stats)
+        } else {
+            ann.search(&q, k, &mut stats)
+        };
         st.finish_with(vec![
             ("candidates", cands.len().to_string()),
             ("distance_evals", stats.distance_evals.to_string()),
@@ -537,16 +703,47 @@ impl TopkIndex {
         theta: Option<&[f64]>,
         mode: EngineMode,
     ) -> Result<(Vec<Hit>, EngineUsed), QueryError> {
+        self.topk_with_opts(node, k, theta, mode, QuantMode::Off)
+    }
+
+    /// [`TopkIndex::topk_with_mode`] plus first-pass quantization. Under a
+    /// quantized mode the exact scan shortlists candidates on the resident
+    /// panel (certified margins, see `galign-quant`) and re-ranks the
+    /// shortlist through the exact kernel, and ANN traversal walks
+    /// quantized rows with the exact re-rank unchanged — hits and scores
+    /// stay bit-identical to [`QuantMode::Off`].
+    ///
+    /// # Errors
+    /// Same as [`TopkIndex::topk`].
+    pub fn topk_with_opts(
+        &self,
+        node: usize,
+        k: usize,
+        theta: Option<&[f64]>,
+        mode: EngineMode,
+        quant: QuantMode,
+    ) -> Result<(Vec<Hit>, EngineUsed), QueryError> {
         self.check(&[node], k, theta)?;
         let th = theta.unwrap_or(&self.theta);
+        let quantized = self.effective_quant(quant);
         if let Some(ann) = self.pick_ann(mode) {
-            if let Some(hits) = self.ann_topk(ann, node, k, th) {
+            if let Some(hits) = self.ann_topk(ann, node, k, th, quantized.is_some()) {
                 return Ok((hits, EngineUsed::Ann));
             }
         }
         let panel = self.panel(th);
         let st = context::stage("exact_scan");
-        let hits = select_topk(&panel.score_row(node), k);
+        let hits = match quantized {
+            Some(q) => {
+                if galign_telemetry::metrics_enabled() {
+                    galign_telemetry::counter_add("serve.quant.scans", 1);
+                }
+                panel
+                    .topk_row_quantized(&q.target, node, k)
+                    .expect("resident panel validated against the target rows at load")
+            }
+            None => select_topk(&panel.score_row(node), k),
+        };
         st.finish_with(vec![("rows", "1".to_string())]);
         context::annotate("distance_evals", self.target_nodes() as u64);
         Ok((hits, EngineUsed::Exact))
@@ -566,12 +763,40 @@ impl TopkIndex {
         theta: Option<&[f64]>,
         mode: EngineMode,
     ) -> Result<Vec<(Vec<Hit>, EngineUsed)>, QueryError> {
+        self.topk_batch_with_opts(nodes, k, theta, mode, QuantMode::Off)
+    }
+
+    /// [`TopkIndex::topk_batch_with_mode`] plus first-pass quantization
+    /// (see [`TopkIndex::topk_with_opts`] — bit-identical results).
+    ///
+    /// # Errors
+    /// Same as [`TopkIndex::topk_batch`] — the whole batch is rejected
+    /// before any scoring happens.
+    pub fn topk_batch_with_opts(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        theta: Option<&[f64]>,
+        mode: EngineMode,
+        quant: QuantMode,
+    ) -> Result<Vec<(Vec<Hit>, EngineUsed)>, QueryError> {
         self.check(nodes, k, theta)?;
         let th = theta.unwrap_or(&self.theta);
+        let quantized = self.effective_quant(quant);
         let Some(ann) = self.pick_ann(mode) else {
             let panel = self.panel(th);
             let st = context::stage("exact_scan");
-            let rows = simblock::topk_rows(&panel, nodes, k);
+            let rows = match quantized {
+                Some(q) => {
+                    if galign_telemetry::metrics_enabled() {
+                        galign_telemetry::counter_add("serve.quant.scans", nodes.len() as u64);
+                    }
+                    panel
+                        .topk_rows_quantized(&q.target, nodes, k)
+                        .expect("resident panel validated against the target rows at load")
+                }
+                None => simblock::topk_rows(&panel, nodes, k),
+            };
             st.finish_with(vec![("rows", nodes.len().to_string())]);
             context::annotate("distance_evals", (nodes.len() * self.target_nodes()) as u64);
             return Ok(rows
@@ -581,17 +806,29 @@ impl TopkIndex {
         };
         Ok(nodes
             .iter()
-            .map(|&node| match self.ann_topk(ann, node, k, th) {
-                Some(hits) => (hits, EngineUsed::Ann),
-                None => {
-                    let panel = self.panel(th);
-                    let st = context::stage("exact_scan");
-                    let hits = select_topk(&panel.score_row(node), k);
-                    st.finish_with(vec![("rows", "1".to_string())]);
-                    context::annotate("distance_evals", self.target_nodes() as u64);
-                    (hits, EngineUsed::Exact)
-                }
-            })
+            .map(
+                |&node| match self.ann_topk(ann, node, k, th, quantized.is_some()) {
+                    Some(hits) => (hits, EngineUsed::Ann),
+                    None => {
+                        let panel = self.panel(th);
+                        let st = context::stage("exact_scan");
+                        let hits = match quantized {
+                            Some(q) => {
+                                if galign_telemetry::metrics_enabled() {
+                                    galign_telemetry::counter_add("serve.quant.scans", 1);
+                                }
+                                panel
+                                    .topk_row_quantized(&q.target, node, k)
+                                    .expect("resident panel validated at load")
+                            }
+                            None => select_topk(&panel.score_row(node), k),
+                        };
+                        st.finish_with(vec![("rows", "1".to_string())]);
+                        context::annotate("distance_evals", self.target_nodes() as u64);
+                        (hits, EngineUsed::Exact)
+                    }
+                },
+            )
             .collect())
     }
 
@@ -638,6 +875,32 @@ impl TopkIndex {
         rows
     }
 
+    /// Quantized counterpart of [`TopkIndex::gathered_exact`]: per-query
+    /// certified shortlist + exact re-rank on the shared panel. The
+    /// shortlist is query-specific, so there is no gathered GEMM to share
+    /// — the win is the panel's memory traffic, not batching.
+    fn quant_exact(&self, q: &QuantHandle, queries: &[RowQuery], th: &[f64]) -> Vec<Vec<Hit>> {
+        let panel = self.panel(th);
+        let st = context::stage("exact_scan");
+        if galign_telemetry::metrics_enabled() {
+            galign_telemetry::counter_add("serve.quant.scans", queries.len() as u64);
+        }
+        let rows: Vec<Vec<Hit>> = queries
+            .iter()
+            .map(|rq| {
+                panel
+                    .topk_row_quantized(&q.target, rq.node, rq.k)
+                    .expect("resident panel validated against the target rows at load")
+            })
+            .collect();
+        st.finish_with(vec![("rows", queries.len().to_string())]);
+        context::annotate(
+            "distance_evals",
+            (queries.len() * self.target_nodes()) as u64,
+        );
+        rows
+    }
+
     /// Coalesced top-k with engine selection: the batched counterpart of
     /// [`TopkIndex::topk_batch_with_mode`], bit-identical to it query for
     /// query. On the ANN path every query keeps its *own* candidate set
@@ -656,11 +919,32 @@ impl TopkIndex {
         theta: Option<&[f64]>,
         mode: EngineMode,
     ) -> Result<Vec<(Vec<Hit>, EngineUsed)>, QueryError> {
+        self.topk_gathered_with_opts(queries, theta, mode, QuantMode::Off)
+    }
+
+    /// [`TopkIndex::topk_gathered_with_mode`] plus first-pass quantization
+    /// (see [`TopkIndex::topk_with_opts`] — bit-identical results; under a
+    /// quantized mode the pooled exact scans become per-query certified
+    /// shortlists and ANN searches walk quantized rows).
+    ///
+    /// # Errors
+    /// Same as [`TopkIndex::topk_gathered`].
+    pub fn topk_gathered_with_opts(
+        &self,
+        queries: &[RowQuery],
+        theta: Option<&[f64]>,
+        mode: EngineMode,
+        quant: QuantMode,
+    ) -> Result<Vec<(Vec<Hit>, EngineUsed)>, QueryError> {
         let nodes = self.check_queries(queries, theta)?;
         let th = theta.unwrap_or(&self.theta);
+        let quantized = self.effective_quant(quant);
         let Some(ann) = self.pick_ann(mode) else {
-            return Ok(self
-                .gathered_exact(queries, &nodes, th)
+            let rows = match quantized {
+                Some(q) => self.quant_exact(q, queries, th),
+                None => self.gathered_exact(queries, &nodes, th),
+            };
+            return Ok(rows
                 .into_iter()
                 .map(|hits| (hits, EngineUsed::Exact))
                 .collect());
@@ -675,7 +959,11 @@ impl TopkIndex {
         for (i, q) in queries.iter().enumerate() {
             let qv = self.query_vector(q.node, th);
             let mut stats = SearchStats::default();
-            let cands = ann.search(&qv, q.k, &mut stats);
+            let cands = if quantized.is_some() {
+                ann.search_quant(&qv, q.k, &mut stats)
+            } else {
+                ann.search(&qv, q.k, &mut stats)
+            };
             total_cands += cands.len() as u64;
             total_evals += stats.distance_evals;
             if cands.len() < q.k.min(self.target_nodes()) {
@@ -756,7 +1044,10 @@ impl TopkIndex {
         if !fallback.is_empty() {
             let fb_queries: Vec<RowQuery> = fallback.iter().map(|&i| queries[i]).collect();
             let fb_nodes: Vec<usize> = fb_queries.iter().map(|q| q.node).collect();
-            let hits = self.gathered_exact(&fb_queries, &fb_nodes, th);
+            let hits = match quantized {
+                Some(q) => self.quant_exact(q, &fb_queries, th),
+                None => self.gathered_exact(&fb_queries, &fb_nodes, th),
+            };
             for (&i, h) in fallback.iter().zip(hits) {
                 out[i] = Some((h, EngineUsed::Exact));
             }
@@ -1042,6 +1333,128 @@ mod tests {
                 assert_eq!(g.score.to_bits(), w.score.to_bits());
             }
         }
+    }
+
+    fn tiny_artifact() -> Artifact {
+        let data = vec![1.0, 0.0, 0.0, 1.0, 0.6, 0.8, -1.0, 0.5];
+        let m = Mat::new(4, 2, data).unwrap();
+        Artifact::new(
+            vec![0.5, 0.5],
+            vec![m.clone(), m.clone()],
+            vec![m.clone(), m],
+            false,
+        )
+        .unwrap()
+    }
+
+    fn assert_hits_bitwise(got: &[Hit], want: &[Hit]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.target, w.target);
+            assert_eq!(g.score.to_bits(), w.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn quant_modes_parse_and_tag() {
+        assert_eq!(QuantMode::from_name("off"), Some(QuantMode::Off));
+        assert_eq!(QuantMode::from_name("int8"), Some(QuantMode::Int8));
+        assert_eq!(QuantMode::from_name("f16"), Some(QuantMode::F16));
+        assert_eq!(QuantMode::from_name("int4"), None);
+        assert_eq!(QuantMode::default(), QuantMode::Off);
+        assert_eq!(QuantMode::Int8.tag(), 1);
+        assert_eq!(QuantMode::F16.name(), "f16");
+    }
+
+    #[test]
+    fn quantized_scans_are_bit_identical_across_engines() {
+        for (gmode, smode) in [
+            (galign_quant::QuantMode::Int8, QuantMode::Int8),
+            (galign_quant::QuantMode::F16, QuantMode::F16),
+        ] {
+            let artifact = tiny_artifact().with_quant(gmode, true).unwrap();
+            let mut idx = TopkIndex::from_artifact(artifact);
+            assert_eq!(idx.quant_available(), Some(smode));
+            assert!(idx.quant_resident_bytes() > 0);
+            assert!(idx.f64_resident_bytes() > 0);
+            idx.build_ann(Backend::Ivf).unwrap();
+            for node in 0..4 {
+                for k in [1, 2, 4, 9] {
+                    let exact = idx.topk(node, k, None).unwrap();
+                    for mode in [EngineMode::Exact, EngineMode::Ann, EngineMode::Auto] {
+                        let (hits, _) = idx.topk_with_opts(node, k, None, mode, smode).unwrap();
+                        assert_hits_bitwise(&hits, &exact);
+                        // The other panel encoding degrades to f64 —
+                        // results must still match bit for bit.
+                        let other = match smode {
+                            QuantMode::Int8 => QuantMode::F16,
+                            _ => QuantMode::Int8,
+                        };
+                        let (hits, _) = idx.topk_with_opts(node, k, None, mode, other).unwrap();
+                        assert_hits_bitwise(&hits, &exact);
+                    }
+                }
+            }
+            // Batched and gathered quantized paths match per-query results.
+            let nodes = [3, 0, 2, 2];
+            let batch = idx
+                .topk_batch_with_opts(&nodes, 3, None, EngineMode::Exact, smode)
+                .unwrap();
+            for (i, &n) in nodes.iter().enumerate() {
+                assert_hits_bitwise(&batch[i].0, &idx.topk(n, 3, None).unwrap());
+            }
+            let queries = [
+                RowQuery { node: 3, k: 1 },
+                RowQuery { node: 0, k: 4 },
+                RowQuery { node: 1, k: 100 },
+            ];
+            for mode in [EngineMode::Exact, EngineMode::Ann, EngineMode::Auto] {
+                let gathered = idx
+                    .topk_gathered_with_opts(&queries, None, mode, smode)
+                    .unwrap();
+                for (i, q) in queries.iter().enumerate() {
+                    let (want, engine) =
+                        idx.topk_with_opts(q.node, q.k, None, mode, smode).unwrap();
+                    assert_eq!(gathered[i].1, engine);
+                    assert_hits_bitwise(&gathered[i].0, &want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_primary_artifact_serves_bit_identically_through_bytes() {
+        let primary = tiny_artifact()
+            .with_quant(galign_quant::QuantMode::Int8, false)
+            .unwrap();
+        let reloaded = Artifact::from_bytes(&primary.to_bytes()).unwrap();
+        let idx = TopkIndex::from_artifact(reloaded);
+        assert_eq!(idx.quant_available(), Some(QuantMode::Int8));
+        for node in 0..4 {
+            let exact = idx.topk(node, 4, None).unwrap();
+            let (hits, _) = idx
+                .topk_with_opts(node, 4, None, EngineMode::Exact, QuantMode::Int8)
+                .unwrap();
+            assert_hits_bitwise(&hits, &exact);
+        }
+    }
+
+    #[test]
+    fn unnormalized_artifact_disables_quant_panels() {
+        let mut artifact = tiny_artifact()
+            .with_quant(galign_quant::QuantMode::Int8, true)
+            .unwrap();
+        // Forge the flag off: the index renormalizes rows at load, so the
+        // panels no longer describe them and must be dropped.
+        artifact.rows_normalized = false;
+        let idx = TopkIndex::from_artifact(artifact);
+        assert_eq!(idx.quant_available(), None);
+        assert_eq!(idx.quant_resident_bytes(), 0);
+        // Quantized requests silently serve the f64 path.
+        let (hits, _) = idx
+            .topk_with_opts(0, 2, None, EngineMode::Exact, QuantMode::Int8)
+            .unwrap();
+        assert_hits_bitwise(&hits, &idx.topk(0, 2, None).unwrap());
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Shard-manifest round trips across the full on-disk version matrix.
 //!
 //! Writers emit the lowest format version that represents the artifact
-//! (1 plain, 2 with an ANN index blob, 3 with a shard manifest), and
-//! the v3 reader must keep loading all of them. The manifest itself
-//! must survive write → read bit-exactly, a full shard set must
-//! reassemble to the parent's exact bytes, and a `parent_checksum`
-//! mismatch must be rejected — never stitched into a silently wrong
-//! artifact.
+//! (1 plain, 2 with an ANN index blob, 3 with a shard manifest, 4 with
+//! a quantized panel section), and the v4 reader must keep loading all
+//! of them. The manifest itself must survive write → read bit-exactly,
+//! a full shard set must reassemble to the parent's exact bytes, and a
+//! `parent_checksum` mismatch must be rejected — never stitched into a
+//! silently wrong artifact. A quantized parent's panel section travels
+//! through `split()`/`assemble_shards()` sliced per shard, and a
+//! tampered quant payload in a written shard never loads.
 
+use galign_quant::QuantMode;
 use galign_serve::artifact::{Artifact, Mat, ShardManifest};
 use std::path::PathBuf;
 
@@ -59,19 +62,70 @@ fn writers_emit_the_lowest_representable_version() {
 
     let shard = fixture(1, 10).split(2, None).unwrap().remove(0);
     assert_eq!(wire_version(&shard.to_bytes()), 3, "manifest forces v3");
+
+    let quantized = fixture(1, 10).with_quant(QuantMode::Int8, true).unwrap();
+    assert_eq!(
+        wire_version(&quantized.to_bytes()),
+        4,
+        "quant section forces v4"
+    );
 }
 
 #[test]
-fn every_version_round_trips_through_the_v3_reader() {
+fn every_version_round_trips_through_the_v4_reader() {
     for (name, artifact) in [
         ("v1", fixture(5, 9)),
         ("v2", fixture(5, 9).with_index(vec![9, 8, 7])),
         ("v3", fixture(5, 9).split(3, None).unwrap().remove(1)),
+        (
+            "v4-sidecar",
+            fixture(5, 9).with_quant(QuantMode::Int8, true).unwrap(),
+        ),
+        (
+            "v4-primary",
+            fixture(5, 9).with_quant(QuantMode::F16, false).unwrap(),
+        ),
     ] {
         let path = tmp(&format!("roundtrip-{name}.galign"));
         artifact.write(&path).unwrap();
         let back = Artifact::read(&path).unwrap();
         assert_eq!(artifact, back, "{name} round trip");
+    }
+}
+
+#[test]
+fn quantized_shards_round_trip_and_reject_tampering() {
+    for (label, keep_f64) in [("sidecar", true), ("primary", false)] {
+        let parent = fixture(12, 10)
+            .with_quant(QuantMode::Int8, keep_f64)
+            .unwrap();
+        let shards = parent.split(3, None).unwrap();
+        for (i, shard) in shards.iter().enumerate() {
+            // Each shard carries its own slice of the panel: one row per
+            // shard target, full source side.
+            let q = shard.quant.as_ref().expect("shard keeps the quant section");
+            let m = shard.manifest.as_ref().unwrap();
+            assert_eq!(q.target.len() as u64, m.end - m.start, "{label} shard {i}");
+            assert_eq!(q.source.len(), parent.source_nodes());
+            let path = tmp(&format!("quant-shard-{label}-{i}.galign"));
+            shard.write(&path).unwrap();
+            assert_eq!(&Artifact::read(&path).unwrap(), shard, "{label} shard {i}");
+        }
+        let back = Artifact::assemble_shards(&shards).unwrap();
+        assert_eq!(back.to_bytes(), parent.to_bytes(), "{label} reassembly");
+
+        // Flip one byte inside the quant payload of a written shard: the
+        // section checksum must reject the file, not serve drifted panels.
+        let shard_bytes = shards[1].to_bytes();
+        let needle = shards[1].quant.as_ref().unwrap().to_bytes();
+        let pos = shard_bytes
+            .windows(needle.len())
+            .position(|w| w == needle.as_slice())
+            .expect("quant payload appears verbatim in the wire bytes");
+        let mut tampered = shard_bytes.clone();
+        tampered[pos + needle.len() / 2] ^= 0x40;
+        let err = Artifact::from_bytes(&tampered).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{label}");
     }
 }
 

@@ -26,7 +26,7 @@
 //!
 //! 1. **thread-local** ([`cfg_local`]) — scoped to the calling thread, the
 //!    right tool for unit tests that run in parallel;
-//! 2. **global** ([`cfg`]) — process-wide, needed when the faulted code
+//! 2. **global** ([`fn@cfg`]) — process-wide, needed when the faulted code
 //!    runs on other threads (e.g. server workers);
 //! 3. **environment** — `GALIGN_FAILPOINTS="site=spec;site2=spec"`, read
 //!    once at first use and merged into the global layer.

@@ -251,7 +251,7 @@ impl Registry {
     }
 
     /// Records one sample into the named histogram. Retention is bounded:
-    /// only the most recent [`MAX_HISTOGRAM_SAMPLES`] samples back the
+    /// only the most recent `MAX_HISTOGRAM_SAMPLES` samples back the
     /// percentiles, so recording is safe on unbounded serving workloads.
     pub fn histogram_record(&self, name: &str, value: f64) {
         let mut h = self.histograms.lock().expect("histogram lock");

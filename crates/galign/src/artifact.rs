@@ -64,6 +64,47 @@ pub fn export_artifact(result: &GAlignResult, path: &Path) -> Result<()> {
     Ok(())
 }
 
+/// [`artifact_from_alignment`] plus a quantized panel section
+/// ([`galign_serve::QuantMode`]; `Off` returns the plain artifact).
+///
+/// With `keep_f64 = false` (quant-primary) the panels *replace* the f64
+/// layer blocks in the written file — readers reconstruct the rows
+/// deterministically, so the artifact serves identical responses at a
+/// fraction of the size. With `keep_f64 = true` (sidecar) both
+/// representations are kept and the panels only accelerate first-pass
+/// scans. Quantization re-normalises rows, so attach any ANN index
+/// *after* this call.
+///
+/// # Errors
+/// Conversion failures, or non-finite embedding components rejected by
+/// the encoder.
+pub fn quantized_artifact_from_alignment(
+    alignment: &AlignmentMatrix,
+    mode: galign_serve::QuantMode,
+    keep_f64: bool,
+) -> Result<Artifact> {
+    let artifact = artifact_from_alignment(alignment)?;
+    match mode.panel_mode() {
+        None => Ok(artifact),
+        Some(encoding) => Ok(artifact.with_quant(encoding, keep_f64)?),
+    }
+}
+
+/// Runs [`quantized_artifact_from_alignment`] on a full pipeline result
+/// and writes the binary artifact to `path`.
+///
+/// # Errors
+/// See [`quantized_artifact_from_alignment`]; plus IO failures.
+pub fn export_quantized_artifact(
+    result: &GAlignResult,
+    mode: galign_serve::QuantMode,
+    keep_f64: bool,
+    path: &Path,
+) -> Result<()> {
+    quantized_artifact_from_alignment(&result.alignment, mode, keep_f64)?.write(path)?;
+    Ok(())
+}
+
 /// Splits `artifact` into `num_shards` shard artifacts (contiguous
 /// target-id ranges, each carrying a shard manifest) and writes them to
 /// `out_dir` as `shard-0000.galign`, `shard-0001.galign`, ….
@@ -164,7 +205,7 @@ pub fn migrate_embeddings_json(
 mod tests {
     use super::*;
     use galign_matrix::rng::SeededRng;
-    use galign_serve::topk::TopkIndex;
+    use galign_serve::topk::{EngineMode, QuantMode as ServeQuant, TopkIndex};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("galign-artifact-test");
@@ -214,6 +255,53 @@ mod tests {
         for (v, expected) in alignment.top1_anchors() {
             let hits = index.topk(v, 1, None).unwrap();
             assert_eq!(hits[0].target, expected, "node {v}");
+        }
+    }
+
+    #[test]
+    fn quantized_export_shrinks_and_serves_identically() {
+        let mut rng = SeededRng::new(21);
+        let source = random_embedding(&mut rng, 40, &[16, 16]);
+        let target = random_embedding(&mut rng, 48, &[16, 16]);
+        let alignment = AlignmentMatrix::new(&source, &target, LayerSelection::uniform(2)).unwrap();
+
+        // `Off` is a no-op passthrough.
+        let plain =
+            quantized_artifact_from_alignment(&alignment, galign_serve::QuantMode::Off, false)
+                .unwrap();
+        assert!(plain.quant.is_none());
+
+        // Quant-primary: panels replace the f64 blocks on disk.
+        let quantized =
+            quantized_artifact_from_alignment(&alignment, galign_serve::QuantMode::Int8, false)
+                .unwrap();
+        assert!(quantized.quant.is_some());
+        let (p, q) = (tmp("quant-plain.bin"), tmp("quant-int8.bin"));
+        plain.write(&p).unwrap();
+        quantized.write(&q).unwrap();
+        let (plain_bytes, quant_bytes) = (
+            std::fs::metadata(&p).unwrap().len(),
+            std::fs::metadata(&q).unwrap().len(),
+        );
+        assert!(
+            quant_bytes * 3 < plain_bytes,
+            "int8 artifact {quant_bytes}B not >3x smaller than f64 {plain_bytes}B"
+        );
+
+        // Served responses ignore the request's quant knob bit-for-bit.
+        let index = TopkIndex::from_artifact(Artifact::read(&q).unwrap());
+        for node in [0, 17, 39] {
+            let (off, _) = index
+                .topk_with_opts(node, 5, None, EngineMode::Exact, ServeQuant::Off)
+                .unwrap();
+            let (int8, _) = index
+                .topk_with_opts(node, 5, None, EngineMode::Exact, ServeQuant::Int8)
+                .unwrap();
+            assert_eq!(off.len(), int8.len());
+            for (a, b) in off.iter().zip(&int8) {
+                assert_eq!(a.target, b.target, "node {node}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "node {node}");
+            }
         }
     }
 
